@@ -1,0 +1,32 @@
+"""Shared benchmark plumbing.
+
+Every benchmark runs its experiment driver exactly once through
+``benchmark.pedantic`` (the drivers are long simulations; statistical
+repetition happens *inside* them via multiple training iterations),
+prints the reproduced table, and persists the rows under
+``bench_results/``.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to see the tables inline; they are also saved as JSON.
+"""
+
+import pytest
+
+from repro.bench import save_result
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run a driver once under pytest-benchmark; print and persist."""
+
+    def _run(driver, **kwargs):
+        result = benchmark.pedantic(
+            driver, kwargs=kwargs, rounds=1, iterations=1
+        )
+        print()
+        print(result.table())
+        save_result(result)
+        return result
+
+    return _run

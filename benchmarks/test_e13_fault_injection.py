@@ -1,0 +1,15 @@
+"""E13 (extension) — fault injection: one degraded InfiniBand rail."""
+
+from repro.bench.experiments import e13_degraded_rail
+
+
+def test_e13_degraded_rail(run_experiment):
+    res = run_experiment(e13_degraded_rail, gpus=132, iterations=2)
+    # A 4x and even 20x single-rail slowdown is absorbed by overlap.
+    assert res.measured["retained_at_25pct_rail"] > 0.97
+    assert res.measured["retained_at_5pct_rail"] > 0.95
+    # Near-total rail loss gates the synchronous allreduce hard.
+    assert res.measured["retained_at_1pct_rail"] < 0.6
+    # Efficiency column tracks the same story.
+    effs = [float(r["efficiency"].rstrip("%")) for r in res.rows]
+    assert effs[-1] < 50 < effs[0]

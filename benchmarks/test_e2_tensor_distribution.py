@@ -1,0 +1,13 @@
+"""E2 — DLv3+ gradient tensor size distribution (fusion motivation)."""
+
+from repro.bench.experiments import e2_tensor_distribution
+
+
+def test_e2_tensor_distribution(run_experiment):
+    res = run_experiment(e2_tensor_distribution)
+    assert res.measured["tensor_count"] == 440
+    # Long tail: the median tensor is tiny...
+    assert res.measured["median_bytes"] < 16_000
+    # ...while a handful of MB-scale tensors carry almost all bytes.
+    assert float(res.rows[-1]["share of bytes"].rstrip("%")) > 90
+    assert res.measured["total_MiB"] > 150  # ~41M params in fp32

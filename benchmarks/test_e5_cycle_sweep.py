@@ -1,0 +1,23 @@
+"""E5 — cycle-time sweep at 132 GPUs."""
+
+from repro.bench.experiments import e5_cycle_sweep
+
+
+def test_e5_cycle_sweep(run_experiment):
+    res = run_experiment(
+        e5_cycle_sweep,
+        gpus=132,
+        iterations=2,
+        cycles_ms=(0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0),
+    )
+    # Large cycles stall the backward tail measurably.
+    assert res.measured["large_cycle_penalty"] > 1.05
+    assert res.measured["best_cycle_ms_spectrum"] <= 2.5
+    # Stall grows with cycle time under the tuned setup (ends of the
+    # sweep; mid-sweep points can jitter by fractions of a ms).
+    stalls = [row["GDR stall ms/iter"] for row in res.rows]
+    assert stalls[-1] > 10 * stalls[0]
+    assert stalls[-1] == max(stalls)
+    # More frequent cycles -> more (smaller) fused ops.
+    ops = [row["GDR ops/iter"] for row in res.rows]
+    assert ops == sorted(ops, reverse=True)

@@ -1,0 +1,16 @@
+"""E8 — per-scale scaling-efficiency table (default vs tuned)."""
+
+from repro.bench.experiments import e8_efficiency_table
+
+
+def test_e8_efficiency_table(run_experiment):
+    res = run_experiment(
+        e8_efficiency_table, gpu_counts=(1, 24, 132), iterations=3
+    )
+    assert [row["GPUs"] for row in res.rows] == [1, 24, 132]
+    # The tuning gain concentrates at scale.
+    gains = [row["gain (points)"] for row in res.rows]
+    assert gains[-1] == max(gains)
+    assert gains[-1] > 15
+    # At 1 GPU there is nothing to tune.
+    assert abs(gains[0]) < 3

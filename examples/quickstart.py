@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: simulate DLv3+ distributed training on a Summit slice.
+
+Runs the paper's two configurations — default Horovod on Spectrum MPI and
+the tuned Horovod + MVAPICH2-GDR setup — on 24 simulated GPUs (4 Summit
+nodes), and prints throughput, scaling efficiency, and where the time in
+one iteration goes.
+
+Usage::
+
+    python examples/quickstart.py [--gpus 24] [--iterations 4]
+"""
+
+import argparse
+
+from repro.core import (
+    measure_training,
+    paper_default_config,
+    paper_tuned_config,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--gpus", type=int, default=24,
+                        help="number of simulated V100s (6 per node)")
+    parser.add_argument("--iterations", type=int, default=4,
+                        help="training iterations to simulate")
+    args = parser.parse_args()
+
+    print(f"Simulating DeepLab-v3+ training on {args.gpus} V100s "
+          f"({-(-args.gpus // 6)} Summit nodes)\n")
+
+    for name, config in [
+        ("default", paper_default_config()),
+        ("tuned", paper_tuned_config()),
+    ]:
+        m = measure_training(
+            args.gpus, config, iterations=args.iterations, jitter_std=0.03
+        )
+        iters = len(m.stats.iteration_seconds)
+        rt = m.runtime_stats
+        print(f"[{name}] {m.config.label}")
+        print(f"  throughput          {m.images_per_second:9.1f} img/s")
+        print(f"  scaling efficiency  {m.scaling_efficiency * 100:9.1f} %")
+        print(f"  mean iteration      {m.stats.mean_iteration_seconds * 1e3:9.1f} ms "
+              f"(compute-only: {m.stats.compute_iteration_seconds * 1e3:.1f} ms)")
+        print(f"  allreduce           {rt.allreduce_seconds / iters * 1e3:9.1f} ms/iter "
+              f"over {rt.fused_ops / iters:.0f} fused ops")
+        print(f"  negotiation         {rt.negotiation_seconds / iters * 1e3:9.2f} ms/iter "
+              f"({rt.cache_hits} response-cache hits)")
+        edr = m.link_utilization.get("ib-edr")
+        if edr:
+            print(f"  EDR rail traffic    {edr['bytes'] / 1e9:9.2f} GB "
+                  f"({edr['mean_utilization'] * 100:.1f}% mean utilization)")
+        print()
+
+    print("Next steps: examples/summit_scaling.py reproduces the paper's")
+    print("headline figure; examples/tune_knobs.py runs the staged tuning")
+    print("procedure; examples/train_minideeplab.py trains a real network.")
+
+
+if __name__ == "__main__":
+    main()

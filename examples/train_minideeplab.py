@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Train a real segmentation network with real distributed gradients.
+
+This is the mechanistic complement to the throughput simulations: four
+replicas of MiniDeepLab (a pure-numpy encoder/ASPP/decoder network) train
+on the synthetic VOC-mini shapes dataset.  Every step, each replica's
+*actual* gradients travel through the simulated Horovod runtime —
+negotiation, fusion packing, ring allreduce over the modeled Summit
+fabric — and the averaged result updates all replicas.
+
+Watch for two things: real mIOU climbing, and the replicas staying
+bitwise identical (the ring allreduce is deterministic across ranks).
+
+Usage::
+
+    python examples/train_minideeplab.py [--steps 150] [--world 4]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.data import VOCMini
+from repro.npnn import DataParallelTrainer, ParallelConfig
+from repro.npnn.viz import side_by_side
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=150)
+    parser.add_argument("--world", type=int, default=4,
+                        help="number of data-parallel replicas")
+    parser.add_argument("--size", type=int, default=24,
+                        help="image resolution of the synthetic dataset")
+    args = parser.parse_args()
+
+    dataset = VOCMini(size=args.size, num_classes=4, seed=3)
+    trainer = DataParallelTrainer(
+        dataset,
+        ParallelConfig(world=args.world, per_replica_batch=4, width=8,
+                       lr=0.08),
+    )
+    val = list(range(2000, 2048))
+    print(f"MiniDeepLab: {trainer.replicas[0].num_params:,} params, "
+          f"{args.world} replicas, global batch "
+          f"{trainer.config.global_batch}")
+    print(f"initial mIOU: {trainer.evaluate(val):.3f}\n")
+
+    chunk = max(1, args.steps // 6)
+    done = 0
+    while done < args.steps:
+        trainer.train(min(chunk, args.steps - done))
+        done = len(trainer.history)
+        last = trainer.history[-1]
+        print(f"step {done:4d}  loss {last.mean_loss:6.3f}  "
+              f"mIOU {trainer.evaluate(val):5.3f}  "
+              f"allreduce {last.allreduce_sim_seconds * 1e3:5.2f} ms(sim)  "
+              f"in-sync: {trainer.replicas_in_sync()}")
+
+    assert trainer.replicas_in_sync(), "replicas diverged!"
+    print("\nreplicas remained bitwise identical throughout — the")
+    print("distributed gradient path computes exactly synchronous SGD.")
+
+    # Show one validation sample: ground truth vs prediction.
+    image, mask = dataset.sample(val[0])
+    x = np.ascontiguousarray(
+        image[None].transpose(0, 3, 1, 2)
+    ).astype(np.float64)
+    pred = trainer.replicas[0].predict(x)[0]
+    print("\n" + side_by_side(mask, pred))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Deep dive: where one training iteration's time goes, default vs tuned.
+
+Combines the three observability surfaces the library exposes —
+iteration breakdown, Horovod-timeline phase totals, and per-link-type
+fabric utilization — into one side-by-side diagnosis of the paper's
+default-vs-tuned gap at scale.  This is the analysis a practitioner
+would run before reaching for the tuning knobs.
+
+Usage::
+
+    python examples/where_time_goes.py [--gpus 132]
+"""
+
+import argparse
+
+from repro.core import (
+    measure_training,
+    paper_default_config,
+    paper_tuned_config,
+)
+
+
+def describe(m) -> list[str]:
+    iters = len(m.stats.iteration_seconds)
+    lines = [f"{m.config.label}"]
+    lines.append(
+        f"  {m.images_per_second:8.1f} img/s   "
+        f"{m.scaling_efficiency * 100:5.1f}% efficiency"
+    )
+    mean_ms = m.stats.mean_iteration_seconds * 1e3
+    compute_ms = m.stats.compute_iteration_seconds * 1e3
+    lines.append(
+        f"  iteration {mean_ms:8.1f} ms = compute {compute_ms:.1f} ms "
+        f"+ exposed {max(0.0, mean_ms - compute_ms):.1f} ms"
+    )
+    lines.append("  timeline (per iteration):")
+    for phase, total in sorted(
+        m.timeline.total_by_phase().items(), key=lambda kv: -kv[1]
+    ):
+        lines.append(f"    {phase:<12} {total / iters * 1e3:9.2f} ms")
+    lines.append("  fabric traffic by link type:")
+    for name, entry in sorted(
+        m.link_utilization.items(), key=lambda kv: -kv[1]["bytes"]
+    ):
+        if entry["bytes"] == 0:
+            continue
+        lines.append(
+            f"    {name:<16} {entry['bytes'] / 1e9:8.2f} GB over "
+            f"{entry['links']:4d} links "
+            f"({entry['mean_utilization'] * 100:5.1f}% mean utilization)"
+        )
+    return lines
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--gpus", type=int, default=132)
+    parser.add_argument("--iterations", type=int, default=3)
+    args = parser.parse_args()
+
+    for name, cfg in (("DEFAULT", paper_default_config()),
+                      ("TUNED", paper_tuned_config())):
+        m = measure_training(args.gpus, cfg, iterations=args.iterations,
+                             jitter_std=0.0)
+        print(f"--- {name} @ {args.gpus} GPUs ---")
+        print("\n".join(describe(m)))
+        print()
+
+    print("Reading the diagnosis: the default's QUEUE + ALLREDUCE totals")
+    print("exceed what backward can hide; the tuned setup drops both via")
+    print("GPUDirect RDMA, hierarchy, and a larger fusion buffer.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on machines without the ``wheel`` package (legacy
+``setup.py develop`` path) — e.g. air-gapped clusters like the one this
+reproduction was developed on.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,17 @@
+"""repro: executable reproduction of "Efficient Training of Semantic Image
+Segmentation on Summit using Horovod and MVAPICH2-GDR" (IPDPSW 2020).
+
+The package builds every system the paper depends on — a discrete-event
+simulation kernel, a Summit hardware model, a simulated MPI with real
+collective algorithms and per-library performance profiles, Horovod's
+control plane, DeepLab-v3+/ResNet-50 cost models, a distributed trainer,
+and a real pure-numpy segmentation network — and reproduces every number
+in the paper's evaluation on a laptop.
+
+Start at :mod:`repro.core` (``measure_training``, ``StagedTuner``) or run
+``python -m repro --help``.  See README.md, DESIGN.md and EXPERIMENTS.md.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,137 @@
+"""Command-line entry point: run reproduction experiments by id.
+
+Usage::
+
+    python -m repro list                  # show the experiment index
+    python -m repro run E1 E2 E7          # run selected experiments
+    python -m repro run E6 --quick        # scaled-down, faster variants
+    python -m repro measure --gpus 48 --config tuned
+
+Results are printed as tables and saved under ``bench_results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import experiments as E
+from repro.bench.harness import save_result
+from repro.core import (
+    measure_training,
+    paper_default_config,
+    paper_tuned_config,
+)
+
+#: Experiment registry: id -> (description, full-scale kwargs, quick kwargs).
+EXPERIMENTS = {
+    "E1": ("single-GPU throughput (DLv3+ vs ResNet-50)",
+           E.e1_single_gpu_throughput, {}, {"iterations": 2}),
+    "E2": ("DLv3+ gradient tensor size distribution",
+           E.e2_tensor_distribution, {}, {}),
+    "E3": ("OSU allreduce latency per MPI library",
+           E.e3_osu_allreduce, {"gpus": 24}, {"gpus": 12, "iterations": 2}),
+    "E4": ("fusion-threshold sweep",
+           E.e4_fusion_sweep, {"gpus": 132, "iterations": 2},
+           {"gpus": 24, "iterations": 2}),
+    "E5": ("cycle-time sweep",
+           E.e5_cycle_sweep, {"gpus": 132, "iterations": 2},
+           {"gpus": 24, "iterations": 2}),
+    "E6": ("headline scaling comparison (default vs tuned)",
+           E.e6_scaling_comparison, {},
+           {"gpu_counts": (1, 6, 24), "iterations": 2}),
+    "E7": ("final mIOU (convergence model)", E.e7_miou, {}, {}),
+    "E7b": ("real npnn data-parallel training",
+            E.e7_npnn_training, {"steps": 120}, {"steps": 30}),
+    "E8": ("per-scale efficiency table",
+           E.e8_efficiency_table, {},
+           {"gpu_counts": (1, 6, 24), "iterations": 2}),
+    "E9": ("tuning-step ablation at scale",
+           E.e9_ablation, {"gpus": 132, "iterations": 2},
+           {"gpus": 24, "iterations": 2}),
+    "E10": ("staged tuning procedure",
+            E.e10_autotune_vs_staged, {},
+            {"probe_gpus": 12, "iterations": 2, "validate": False,
+             "run_autotuner": False}),
+    "E11": ("time to train the VOC recipe (extension)",
+            E.e11_time_to_train, {},
+            {"gpu_counts": (1, 24), "iterations": 2}),
+    "E12": ("strong vs weak scaling (extension)",
+            E.e12_strong_vs_weak_scaling, {},
+            {"gpu_counts": (6, 12, 24), "global_batch": 48, "iterations": 2}),
+    "E13": ("fault injection: degraded rail (extension)",
+            E.e13_degraded_rail, {},
+            {"gpus": 48, "iterations": 2, "factors": (1.0, 0.05)}),
+}
+
+
+def cmd_list() -> int:
+    """Print the experiment index."""
+    print(f"{'id':<5} description")
+    for exp_id, (desc, *_rest) in EXPERIMENTS.items():
+        print(f"{exp_id:<5} {desc}")
+    return 0
+
+
+def cmd_run(ids: list[str], quick: bool) -> int:
+    """Run the selected experiments and persist their results."""
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}; try `python -m repro list`",
+              file=sys.stderr)
+        return 2
+    for exp_id in ids:
+        _desc, driver, full_kwargs, quick_kwargs = EXPERIMENTS[exp_id]
+        kwargs = quick_kwargs if quick else full_kwargs
+        start = time.time()
+        result = driver(**kwargs)
+        print(result.table())
+        path = save_result(result)
+        print(f"[{exp_id}: {time.time() - start:.0f}s, saved {path}]\n")
+    return 0
+
+
+def cmd_measure(gpus: int, config_name: str, iterations: int,
+                model: str) -> int:
+    """One ad-hoc measurement of a named configuration."""
+    configs = {"default": paper_default_config, "tuned": paper_tuned_config}
+    if config_name not in configs:
+        print(f"config must be one of {sorted(configs)}", file=sys.stderr)
+        return 2
+    m = measure_training(gpus, configs[config_name](), model=model,
+                         iterations=iterations, jitter_std=0.03)
+    print(f"{m.config.label}  model={model}")
+    print(f"{gpus} GPUs: {m.images_per_second:.1f} img/s, "
+          f"{m.scaling_efficiency * 100:.1f}% scaling efficiency")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and dispatch."""
+    parser = argparse.ArgumentParser(prog="python -m repro",
+                                     description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="show the experiment index")
+    run_p = sub.add_parser("run", help="run experiments by id")
+    run_p.add_argument("ids", nargs="+", metavar="ID")
+    run_p.add_argument("--quick", action="store_true",
+                       help="scaled-down, faster variants")
+    meas_p = sub.add_parser("measure", help="one ad-hoc training measurement")
+    meas_p.add_argument("--gpus", type=int, default=24)
+    meas_p.add_argument("--config", default="tuned",
+                        choices=("default", "tuned"))
+    meas_p.add_argument("--iterations", type=int, default=3)
+    meas_p.add_argument("--model", default="deeplab",
+                        choices=("deeplab", "resnet50", "resnet101",
+                                 "mobilenetv2"))
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "run":
+        return cmd_run(args.ids, args.quick)
+    return cmd_measure(args.gpus, args.config, args.iterations, args.model)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,23 @@
+"""Benchmark harness: one driver per paper table/figure.
+
+Each experiment ``E1``–``E10`` in DESIGN.md has a driver in
+:mod:`repro.bench.experiments` that runs the simulation, returns an
+:class:`~repro.bench.harness.ExperimentResult` (structured rows +
+paper-vs-measured summary), and can render itself as the table/series the
+paper reports.  The ``benchmarks/`` pytest-benchmark targets are thin
+wrappers that execute a driver, assert the reproduced *shape* (who wins,
+by roughly what factor), print the table, and persist the rows as JSON
+under ``bench_results/``.
+"""
+
+from repro.bench.harness import ExperimentResult, format_rows, save_result
+from repro.bench.plots import ascii_chart
+from repro.bench import experiments
+
+__all__ = [
+    "ExperimentResult",
+    "ascii_chart",
+    "experiments",
+    "format_rows",
+    "save_result",
+]

@@ -1,0 +1,743 @@
+"""Experiment drivers E1–E10 (see DESIGN.md §4 for the index).
+
+Every driver is deterministic (seeded), returns an
+:class:`~repro.bench.harness.ExperimentResult`, and accepts size
+parameters so tests can run scaled-down versions while the benchmark
+targets run the paper-scale configuration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.bench.harness import ExperimentResult
+from repro.core import (
+    ScalingCurve,
+    ScalingPoint,
+    StagedTuner,
+    measure_training,
+    paper_default_config,
+    paper_tuned_config,
+)
+from repro.core.sweep import model_profile
+from repro.data import VOC2012_AUG, VOCMini
+from repro.horovod.config import HorovodConfig
+from repro.models import build_deeplabv3plus
+from repro.mpi import MPI_LIBRARIES, MVAPICH2_GDR, SPECTRUM_MPI
+from repro.mpi.osu import osu_allreduce
+from repro.npnn import DataParallelTrainer, ParallelConfig
+from repro.sim.units import KiB, MiB
+from repro.train.convergence import MIOU_MODEL
+from repro.train.recipe import VOCSegmentationRecipe
+from repro.train.schedule import linear_scaled_lr
+
+__all__ = [
+    "e1_single_gpu_throughput",
+    "e2_tensor_distribution",
+    "e3_osu_allreduce",
+    "e4_fusion_sweep",
+    "e5_cycle_sweep",
+    "e6_scaling_comparison",
+    "e7_miou",
+    "e7_npnn_training",
+    "e8_efficiency_table",
+    "e9_ablation",
+    "e10_autotune_vs_staged",
+    "e11_time_to_train",
+]
+
+#: The paper evaluates up to 22 nodes × 6 V100 = 132 GPUs.
+PAPER_MAX_GPUS = 132
+#: GPU counts for scaling curves (Summit allocations grow by nodes).
+SCALING_GPUS = (1, 6, 12, 24, 48, 96, 132)
+
+
+def _make_comm(gpus: int, library):
+    import math
+
+    from repro.cluster import Fabric, build_summit
+    from repro.mpi import Comm
+    from repro.sim import Environment
+
+    env = Environment()
+    topo = build_summit(env, nodes=max(1, math.ceil(gpus / 6)))
+    return Comm(Fabric(topo), topo.gpus()[:gpus], library)
+
+
+# ---------------------------------------------------------------- E1 ----
+def e1_single_gpu_throughput(iterations: int = 3) -> ExperimentResult:
+    """E1 — single-V100 throughput: DLv3+ 6.7 vs ResNet-50 300 img/s."""
+    rows = []
+    measured = {}
+    paper_numbers = {"deeplab": 6.7, "resnet50": 300.0}
+    for model, paper_ips in paper_numbers.items():
+        profile = model_profile(model)
+        m = measure_training(
+            1, paper_default_config(), model=model, iterations=iterations,
+            jitter_std=0.0,
+        )
+        rows.append({
+            "model": model,
+            "batch": profile.batch_size,
+            "paper img/s": paper_ips,
+            "compute img/s": round(profile.images_per_second, 2),
+            "measured img/s": round(m.images_per_second, 2),
+        })
+        measured[f"{model}_img_per_s"] = round(m.images_per_second, 2)
+    ratio = (
+        measured["resnet50_img_per_s"] / measured["deeplab_img_per_s"]
+    )
+    measured["throughput_ratio"] = round(ratio, 1)
+    return ExperimentResult(
+        experiment="E1",
+        title="Single-GPU training throughput (V100)",
+        rows=rows,
+        paper={
+            "deeplab_img_per_s": 6.7,
+            "resnet50_img_per_s": 300.0,
+            "throughput_ratio": 44.8,
+        },
+        measured=measured,
+    )
+
+
+# ---------------------------------------------------------------- E2 ----
+def e2_tensor_distribution() -> ExperimentResult:
+    """E2 — DLv3+ gradient tensor-size distribution (fusion motivation)."""
+    graph = build_deeplabv3plus()
+    sizes = np.array([t.nbytes for t in graph.grad_tensors()])
+    buckets = [
+        ("<= 4 KiB", sizes <= 4 * KiB),
+        ("4-64 KiB", (sizes > 4 * KiB) & (sizes <= 64 * KiB)),
+        ("64 KiB-1 MiB", (sizes > 64 * KiB) & (sizes <= 1 * MiB)),
+        ("> 1 MiB", sizes > 1 * MiB),
+    ]
+    rows = [
+        {
+            "bucket": name,
+            "tensors": int(mask.sum()),
+            "bytes (MiB)": round(float(sizes[mask].sum()) / MiB, 2),
+            "share of bytes": f"{sizes[mask].sum() / sizes.sum() * 100:.1f}%",
+        }
+        for name, mask in buckets
+    ]
+    return ExperimentResult(
+        experiment="E2",
+        title="DLv3+ gradient tensor size distribution",
+        rows=rows,
+        paper={"tensor_count": "hundreds (model has ~41M params)"},
+        measured={
+            "tensor_count": len(sizes),
+            "median_bytes": int(np.median(sizes)),
+            "max_bytes": int(sizes.max()),
+            "total_MiB": round(float(sizes.sum()) / MiB, 1),
+        },
+        notes="the long tail of tiny tensors is what tensor fusion amortizes",
+    )
+
+
+# ---------------------------------------------------------------- E3 ----
+def e3_osu_allreduce(gpus: int = 24, iterations: int = 3,
+                     sizes: tuple[int, ...] | None = None) -> ExperimentResult:
+    """E3 — OSU-style allreduce latency vs message size per library."""
+    if sizes is None:
+        sizes = tuple(4 ** i for i in range(2, 14))  # 16 B .. 64 MiB
+    rows = []
+    for nbytes in sizes:
+        row = {"bytes": nbytes}
+        for name, lib in sorted(MPI_LIBRARIES.items()):
+            res = osu_allreduce(
+                _make_comm(gpus, lib), nbytes, iterations=iterations
+            )
+            row[f"{name} (us)"] = round(res.latency_us, 1)
+        row["GDR speedup"] = round(
+            row["SpectrumMPI (us)"] / row["MVAPICH2-GDR (us)"], 2
+        )
+        rows.append(row)
+    small = rows[0]["GDR speedup"]
+    large = rows[-1]["GDR speedup"]
+    return ExperimentResult(
+        experiment="E3",
+        title=f"OSU allreduce latency, {gpus} GPUs",
+        rows=rows,
+        paper={"gdr_faster_at_all_sizes": "yes (published OSU comparisons)"},
+        measured={
+            "gdr_faster_at_all_sizes": "yes" if min(r["GDR speedup"] for r in rows) > 1 else "no",
+            "small_msg_speedup": small,
+            "large_msg_speedup": large,
+        },
+    )
+
+
+# ---------------------------------------------------------------- E4 ----
+def e4_fusion_sweep(gpus: int = 24, iterations: int = 3,
+                    thresholds: tuple[int, ...] | None = None) -> ExperimentResult:
+    """E4 — HOROVOD_FUSION_THRESHOLD sweep at fixed scale.
+
+    Swept on both bases: under the default Spectrum library (where
+    exposed communication makes fusion a first-order throughput knob at
+    scale) and under the tuned MVAPICH2-GDR setup (where communication
+    hides and fusion only shows in serialized allreduce time).
+    """
+    if thresholds is None:
+        thresholds = (1 * MiB, 8 * MiB, 32 * MiB, 64 * MiB, 128 * MiB, 256 * MiB)
+    bases = [("Spectrum", paper_default_config()), ("GDR", paper_tuned_config())]
+    rows = []
+    for threshold in thresholds:
+        row = {"fusion": f"{threshold // MiB}MiB" if threshold else "off"}
+        for base_name, base in bases:
+            cfg = dataclasses.replace(
+                base,
+                horovod=base.horovod.with_(fusion_threshold_bytes=threshold),
+            )
+            m = measure_training(gpus, cfg, iterations=iterations, jitter_std=0.0)
+            iters = len(m.stats.iteration_seconds)
+            row[f"{base_name} img/s"] = round(m.images_per_second, 1)
+            row[f"{base_name} ops/iter"] = round(
+                m.runtime_stats.fused_ops / iters, 1
+            )
+            row[f"{base_name} allreduce ms/iter"] = round(
+                m.runtime_stats.allreduce_seconds / iters * 1e3, 1
+            )
+        rows.append(row)
+    best = max(rows, key=lambda r: r["Spectrum img/s"])
+    return ExperimentResult(
+        experiment="E4",
+        title=f"Fusion-threshold sweep, {gpus} GPUs",
+        rows=rows,
+        paper={"shape": "small thresholds are worst; large thresholds amortize latency"},
+        measured={
+            "worst_spectrum": min(rows, key=lambda r: r["Spectrum img/s"])["fusion"],
+            "best_spectrum": best["fusion"],
+            "small_fusion_penalty": round(
+                best["Spectrum img/s"] / rows[0]["Spectrum img/s"], 3
+            ),
+        },
+    )
+
+
+# ---------------------------------------------------------------- E5 ----
+def e5_cycle_sweep(gpus: int = 132, iterations: int = 3,
+                   cycles_ms: tuple[float, ...] = (0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0)
+                   ) -> ExperimentResult:
+    """E5 — HOROVOD_CYCLE_TIME sweep (fragmentation vs stall).
+
+    Under the default Spectrum library (exposed, α-heavy communication),
+    small cycles fragment fusion into many expensive collectives and
+    large cycles stall the backward tail — the interior optimum the
+    paper's tuning finds.  Under the tuned GDR setup the same sweep is a
+    gentle monotone (communication hides), also reported.
+    """
+    bases = [("Spectrum", paper_default_config()), ("GDR", paper_tuned_config())]
+    rows = []
+    for cycle_ms in cycles_ms:
+        row = {"cycle (ms)": cycle_ms}
+        for base_name, base in bases:
+            cfg = dataclasses.replace(
+                base, horovod=base.horovod.with_(cycle_time_s=cycle_ms * 1e-3)
+            )
+            m = measure_training(gpus, cfg, iterations=iterations, jitter_std=0.0)
+            iters = len(m.stats.iteration_seconds)
+            row[f"{base_name} img/s"] = round(m.images_per_second, 1)
+            row[f"{base_name} ops/iter"] = round(
+                m.runtime_stats.fused_ops / iters, 1
+            )
+            row[f"{base_name} stall ms/iter"] = round(
+                max(0.0, m.stats.mean_iteration_seconds
+                    - m.stats.compute_iteration_seconds) * 1e3, 1
+            )
+        rows.append(row)
+    best = max(rows, key=lambda r: r["Spectrum img/s"])
+    worst = min(rows, key=lambda r: r["Spectrum img/s"])
+    return ExperimentResult(
+        experiment="E5",
+        title=f"Cycle-time sweep, {gpus} GPUs",
+        rows=rows,
+        paper={"shape": "small cycles preferred; large cycles stall the tail"},
+        measured={
+            "best_cycle_ms_spectrum": best["cycle (ms)"],
+            "large_cycle_penalty": round(
+                best["Spectrum img/s"] / worst["Spectrum img/s"], 3
+            ),
+        },
+        notes="model limitation: the host-CPU cost that penalizes sub-ms "
+              "cycles in production Horovod is not modeled, so the small-"
+              "cycle end is flat here instead of turning over",
+    )
+
+
+# ---------------------------------------------------------------- E6 ----
+def e6_scaling_comparison(gpu_counts: tuple[int, ...] = SCALING_GPUS,
+                          iterations: int = 3,
+                          jitter_std: float = 0.03) -> ExperimentResult:
+    """E6 — the headline figure: default vs tuned scaling to 132 GPUs.
+
+    Small-scale points are cheap to simulate, so they run extra
+    iterations: with per-rank compute jitter, a couple of steady
+    iterations at 1 GPU would otherwise be a noisy efficiency baseline.
+    """
+    configs = [
+        ("default (Spectrum MPI)", paper_default_config()),
+        ("tuned (MVAPICH2-GDR)", paper_tuned_config()),
+    ]
+    curves = []
+    for name, cfg in configs:
+        curve = ScalingCurve(name)
+        for gpus in gpu_counts:
+            iters = iterations if gpus > 24 else max(iterations, 8)
+            m = measure_training(
+                gpus, cfg, iterations=iters, jitter_std=jitter_std
+            )
+            curve.add(ScalingPoint.from_measurement(m))
+        curves.append(curve)
+    default, tuned = curves
+    rows = []
+    for gpus in gpu_counts:
+        d, t = default.point(gpus), tuned.point(gpus)
+        rows.append({
+            "GPUs": gpus,
+            "default img/s": round(d.images_per_second, 1),
+            "default eff": f"{d.efficiency * 100:.1f}%",
+            "tuned img/s": round(t.images_per_second, 1),
+            "tuned eff": f"{t.efficiency * 100:.1f}%",
+            "speedup": round(t.images_per_second / d.images_per_second, 2),
+        })
+    last = max(gpu_counts)
+    d_eff = default.point(last).efficiency * 100
+    t_eff = tuned.point(last).efficiency * 100
+    return ExperimentResult(
+        experiment="E6",
+        title=f"Scaling comparison up to {last} GPUs (DLv3+, bs 8/GPU)",
+        rows=rows,
+        paper={
+            "tuned_efficiency_at_132": 92.0,
+            "default_efficiency_at_132": 92.0 / 1.3,
+            "speedup_at_132": 1.3,
+            "efficiency_gain_points": 23.9,
+        },
+        measured={
+            "tuned_efficiency_at_132": round(t_eff, 1),
+            "default_efficiency_at_132": round(d_eff, 1),
+            "speedup_at_132": round(
+                tuned.point(last).images_per_second
+                / default.point(last).images_per_second, 2
+            ),
+            "efficiency_gain_points": round(t_eff - d_eff, 1),
+        },
+        notes="efficiency = throughput / (GPUs x calibrated 1-GPU compute throughput)",
+    )
+
+
+# ---------------------------------------------------------------- E7 ----
+def e7_miou(seed: int = 0) -> ExperimentResult:
+    """E7 — final accuracy: the paper's 80.8% mIOU distributed run.
+
+    Distributed configuration: 16 GPUs × batch 8 = global batch 128 with
+    the linear-scaling warmup rule, standard 45-epoch budget.
+    """
+    epochs = VOC2012_AUG.epochs_for_steps(30_000, 16)
+    rows = []
+    setups = [
+        ("single-GPU baseline (B=16)", 16, True, True),
+        ("distributed, LR scaled + warmup (B=128)", 128, True, True),
+        ("distributed, no warmup (B=128)", 128, True, False),
+    ]
+    for name, batch, scaling, warmup in setups:
+        miou = MIOU_MODEL.miou(epochs, batch, lr_scaling=scaling,
+                               warmup=warmup, seed=seed)
+        rows.append({
+            "setup": name,
+            "global batch": batch,
+            "epochs": round(epochs, 1),
+            "mIOU %": round(miou, 2),
+        })
+    schedule = linear_scaled_lr(
+        0.007, world_size=16, max_steps=30_000 * 16 // 128,
+        steps_per_epoch=VOC2012_AUG.steps_per_epoch(128),
+    )
+    distributed = rows[1]["mIOU %"]
+    return ExperimentResult(
+        experiment="E7",
+        title="Final PASCAL VOC val mIOU (convergence model)",
+        rows=rows,
+        paper={"distributed_miou": 80.8},
+        measured={
+            "distributed_miou": distributed,
+            "peak_lr": round(schedule.base_lr, 4),
+            "warmup_steps": schedule.warmup_steps,
+        },
+        notes="mechanistic gradient-exactness is checked separately by the "
+              "npnn trainer (e7_npnn_training)",
+    )
+
+
+def e7_npnn_training(steps: int = 120, world: int = 4,
+                     seed: int = 0) -> ExperimentResult:
+    """E7b — real distributed training on VOC-mini (actual compute)."""
+    dataset = VOCMini(size=24, num_classes=4, seed=seed)
+    trainer = DataParallelTrainer(
+        dataset,
+        ParallelConfig(world=world, per_replica_batch=4, width=8, lr=0.08,
+                       seed=seed),
+    )
+    val = list(range(2000, 2048))
+    initial = trainer.evaluate(val)
+    rows = [{"step": 0, "loss": float("nan"), "mIOU": round(initial, 3)}]
+    chunk = max(1, steps // 4)
+    done = 0
+    while done < steps:
+        n = min(chunk, steps - done)
+        trainer.train(n)
+        done += n
+        rows.append({
+            "step": done,
+            "loss": round(trainer.history[-1].mean_loss, 3),
+            "mIOU": round(trainer.evaluate(val), 3),
+        })
+    return ExperimentResult(
+        experiment="E7b",
+        title=f"Real npnn data-parallel training, {world} replicas (VOC-mini)",
+        rows=rows,
+        paper={"replicas_bitwise_in_sync": "required by sync SGD"},
+        measured={
+            "replicas_bitwise_in_sync": "yes" if trainer.replicas_in_sync() else "NO",
+            "initial_miou": round(initial, 3),
+            "final_miou": rows[-1]["mIOU"],
+        },
+    )
+
+
+# ---------------------------------------------------------------- E8 ----
+def e8_efficiency_table(e6: ExperimentResult | None = None,
+                        **kwargs) -> ExperimentResult:
+    """E8 — per-scale efficiency/speedup table derived from E6."""
+    if e6 is None:
+        e6 = e6_scaling_comparison(**kwargs)
+    rows = []
+    for row in e6.rows:
+        d_eff = float(row["default eff"].rstrip("%"))
+        t_eff = float(row["tuned eff"].rstrip("%"))
+        rows.append({
+            "GPUs": row["GPUs"],
+            "default eff": row["default eff"],
+            "tuned eff": row["tuned eff"],
+            "gain (points)": round(t_eff - d_eff, 1),
+            "tuned/default": row["speedup"],
+        })
+    return ExperimentResult(
+        experiment="E8",
+        title="Scaling efficiency and tuning gain per scale",
+        rows=rows,
+        paper=e6.paper,
+        measured=e6.measured,
+    )
+
+
+# ---------------------------------------------------------------- E9 ----
+def e9_ablation(gpus: int = PAPER_MAX_GPUS, iterations: int = 3,
+                jitter_std: float = 0.03) -> ExperimentResult:
+    """E9 — which tuning step buys what, at full scale."""
+    tuned = paper_tuned_config()
+    default = paper_default_config()
+    variants = [
+        ("default", default),
+        ("default + MVAPICH2-GDR only", dataclasses.replace(
+            default, library=MVAPICH2_GDR)),
+        ("default + fp16 compression", dataclasses.replace(
+            default, horovod=default.horovod.with_(compression="fp16"))),
+        ("tuned - hierarchical", dataclasses.replace(
+            tuned, horovod=tuned.horovod.with_(hierarchical_allreduce=False))),
+        ("tuned - GDR (Spectrum + tuned knobs)", dataclasses.replace(
+            tuned, library=SPECTRUM_MPI)),
+        ("tuned (all steps)", tuned),
+        ("tuned + fp16 compression", dataclasses.replace(
+            tuned, horovod=tuned.horovod.with_(compression="fp16"))),
+    ]
+    rows = []
+    for name, cfg in variants:
+        m = measure_training(gpus, cfg, iterations=iterations,
+                             jitter_std=jitter_std)
+        rows.append({
+            "configuration": name,
+            "img/s": round(m.images_per_second, 1),
+            "efficiency": f"{m.scaling_efficiency * 100:.1f}%",
+        })
+    by_name = {r["configuration"]: r["img/s"] for r in rows}
+    default_ips = by_name["default"]
+    return ExperimentResult(
+        experiment="E9",
+        title=f"Tuning-step ablation at {gpus} GPUs",
+        rows=rows,
+        paper={"default_is_the_unique_poor_config": "yes"},
+        measured={
+            "default_is_the_unique_poor_config": "yes"
+            if all(
+                ips > 1.1 * default_ips
+                for name, ips in by_name.items()
+                if name != "default"
+            )
+            else "no",
+            "gdr_only_gain": round(
+                by_name["default + MVAPICH2-GDR only"] / default_ips, 2
+            ),
+            "knobs_only_gain": round(
+                by_name["tuned - GDR (Spectrum + tuned knobs)"] / default_ips, 2
+            ),
+            "full_tuning_gain": round(
+                by_name["tuned (all steps)"] / default_ips, 2
+            ),
+        },
+        notes="in this model either escape route — the GDR library swap or "
+              "the hierarchical/fusion knob changes — recovers near-linear "
+              "scaling; the default configuration is poor because it has "
+              "neither",
+    )
+
+
+# ---------------------------------------------------------------- E10 ----
+def e10_autotune_vs_staged(probe_gpus: int = 24, validate_gpus: int = PAPER_MAX_GPUS,
+                           iterations: int = 3,
+                           validate: bool = True,
+                           run_autotuner: bool = True) -> ExperimentResult:
+    """E10 — staged manual tuning vs Horovod's runtime autotuner.
+
+    The paper's method is the staged procedure; Horovod also ships an
+    autotuner (``HOROVOD_AUTOTUNE``) that perturbs the same knobs at
+    runtime.  Both search the same grids here against the same simulated
+    objective; the comparison shows the staged procedure reaches an
+    equivalent configuration in comparable (or fewer) measurements —
+    which is the paper's justification for not modifying Horovod.
+    """
+    from repro.horovod.autotune import Autotuner
+    from repro.mpi.libraries import MVAPICH2_GDR
+
+    fusion_grid = (1 * MiB, 32 * MiB, 128 * MiB)
+    cycle_grid = (1e-3, 5e-3, 25e-3)
+    tuner = StagedTuner(
+        probe_gpus=probe_gpus,
+        iterations=iterations,
+        fusion_grid=fusion_grid,
+        cycle_grid=cycle_grid,
+    )
+    outcome = tuner.tune()
+    rows = [
+        {
+            "method": "staged",
+            "stage": s.stage,
+            "candidates": len(s.candidates),
+            "chosen": s.chosen,
+        }
+        for s in outcome.stages
+    ]
+    measured = {
+        "staged_choice": outcome.best.label,
+        "staged_measurements": outcome.measurements,
+    }
+    notes = outcome.report()
+
+    if run_autotuner:
+        # Horovod's autotuner runs per-process: it can vary the HOROVOD_*
+        # knobs but not the MPI library underneath, so it starts from the
+        # already-GDR setup (as it would inside an MVAPICH2-GDR job).
+        base = dataclasses.replace(paper_default_config(), library=MVAPICH2_GDR)
+
+        def objective(hvd_cfg: HorovodConfig) -> float:
+            m = measure_training(
+                probe_gpus,
+                dataclasses.replace(base, horovod=hvd_cfg),
+                iterations=iterations,
+                jitter_std=0.0,
+            )
+            # Same composite the staged tuner effectively uses: throughput
+            # minus the exposure risk (in img/s-equivalent units).
+            stall = max(
+                0.0,
+                m.stats.mean_iteration_seconds
+                - m.stats.compute_iteration_seconds,
+            )
+            iters = len(m.stats.steady_iterations)
+            backlog = m.runtime_stats.allreduce_seconds / max(1, iters)
+            return m.images_per_second - (stall + backlog) * 10.0
+
+        auto = Autotuner(cycle_grid=cycle_grid, fusion_grid=fusion_grid)
+        auto_result = auto.run(objective, base=base.horovod)
+        rows.append({
+            "method": "autotune",
+            "stage": "(coordinate descent)",
+            "candidates": auto_result.evaluations,
+            "chosen": auto_result.best_config.describe(),
+        })
+        measured["autotune_choice"] = auto_result.best_config.describe()
+        measured["autotune_measurements"] = auto_result.evaluations
+
+    if validate:
+        m_pick = measure_training(validate_gpus, outcome.best,
+                                  iterations=iterations, jitter_std=0.03)
+        m_hand = measure_training(validate_gpus, paper_tuned_config(),
+                                  iterations=iterations, jitter_std=0.03)
+        measured["tuner_pick_eff_at_scale"] = round(
+            m_pick.scaling_efficiency * 100, 1
+        )
+        measured["hand_tuned_eff_at_scale"] = round(
+            m_hand.scaling_efficiency * 100, 1
+        )
+    return ExperimentResult(
+        experiment="E10",
+        title="Staged tuning vs runtime autotuning",
+        rows=rows,
+        paper={"tuning_without_code_changes_reaches_~92%": 92.0},
+        measured=measured,
+        notes=notes,
+    )
+
+
+# ---------------------------------------------------------------- E11 ----
+def e11_time_to_train(gpu_counts: tuple[int, ...] = (1, 24, 132),
+                      iterations: int = 3,
+                      jitter_std: float = 0.03) -> ExperimentResult:
+    """E11 (extension) — wall-clock time to the standard VOC recipe.
+
+    Not a table from the paper: this derives what the tuning *buys in
+    practice* by combining measured throughput (E6 machinery), the
+    constant-epoch DeepLab recipe, and the convergence model — hours of
+    Summit time per trained model, default vs tuned, plus the predicted
+    final mIOU at each global batch.
+    """
+    recipe = VOCSegmentationRecipe()
+    rows = []
+    for gpus in gpu_counts:
+        row = {"GPUs": gpus, "global batch": gpus * recipe.per_gpu_batch,
+               "steps": recipe.steps_at(gpus)}
+        for name, cfg in (("default", paper_default_config()),
+                          ("tuned", paper_tuned_config())):
+            m = measure_training(gpus, cfg, iterations=iterations,
+                                 jitter_std=jitter_std)
+            outcome = recipe.outcome(gpus, m.images_per_second)
+            row[f"{name} hours"] = round(outcome.wall_hours, 2)
+            if name == "tuned":
+                row["predicted mIOU %"] = round(outcome.predicted_miou, 1)
+        row["hours saved"] = round(row["default hours"] - row["tuned hours"], 2)
+        rows.append(row)
+    last = rows[-1]
+    return ExperimentResult(
+        experiment="E11",
+        title="Time to train the standard VOC recipe (extension)",
+        rows=rows,
+        paper={"note": "derived extension, not a paper table"},
+        measured={
+            "single_gpu_hours": rows[0]["tuned hours"],
+            "max_scale_tuned_hours": last["tuned hours"],
+            "max_scale_hours_saved": last["hours saved"],
+        },
+        notes="constant-epoch scaling: same optimization work at every "
+              "scale; accuracy at large batch priced by the convergence "
+              "model",
+    )
+
+
+# ---------------------------------------------------------------- E12 ----
+def e12_strong_vs_weak_scaling(gpu_counts: tuple[int, ...] = (6, 12, 24, 48, 96),
+                               global_batch: int = 96,
+                               iterations: int = 3) -> ExperimentResult:
+    """E12 (extension) — strong vs weak scaling of the tuned setup.
+
+    The paper scales *weakly* (fixed batch 8 per GPU).  This extension
+    contrasts that with *strong* scaling at a fixed global batch: the
+    per-GPU batch shrinks with scale, so launch overheads amortize less
+    and communication gets less backward time to hide under.  Finding:
+    DLv3+ is so compute-heavy per image that it strong-scales gracefully
+    down to batch 1 (a few percent off weak scaling) — the wall sits
+    below one image per GPU.
+    """
+    cfg = paper_tuned_config()
+    weak_batch = 8
+    rows = []
+    for gpus in gpu_counts:
+        if global_batch % gpus:
+            raise ValueError(
+                f"global_batch {global_batch} not divisible by {gpus} GPUs"
+            )
+        strong_batch = global_batch // gpus
+        weak = measure_training(gpus, cfg, per_gpu_batch=weak_batch,
+                                iterations=iterations, jitter_std=0.0)
+        strong = measure_training(gpus, cfg, per_gpu_batch=strong_batch,
+                                  iterations=iterations, jitter_std=0.0)
+        rows.append({
+            "GPUs": gpus,
+            "weak img/s (bs8/GPU)": round(weak.images_per_second, 1),
+            "weak eff": f"{weak.scaling_efficiency * 100:.1f}%",
+            f"strong img/s (G={global_batch})": round(
+                strong.images_per_second, 1
+            ),
+            "strong bs/GPU": strong_batch,
+            "strong iter (ms)": round(
+                strong.stats.mean_iteration_seconds * 1e3, 1
+            ),
+        })
+    first, last = rows[0], rows[-1]
+    strong_col = f"strong img/s (G={global_batch})"
+    strong_speedup = last[strong_col] / first[strong_col]
+    ideal = gpu_counts[-1] / gpu_counts[0]
+    return ExperimentResult(
+        experiment="E12",
+        title=f"Strong vs weak scaling (tuned config, global batch {global_batch})",
+        rows=rows,
+        paper={"note": "extension; the paper reports weak scaling only"},
+        measured={
+            "weak_eff_at_max": last["weak eff"],
+            "strong_speedup": round(strong_speedup, 2),
+            "ideal_speedup": round(ideal, 1),
+            "strong_scaling_efficiency": round(strong_speedup / ideal * 100, 1),
+        },
+        notes="DLv3+ strong-scales gracefully to batch 1 per GPU: its "
+              "per-image compute dwarfs both launch overheads and "
+              "communication",
+    )
+
+
+# ---------------------------------------------------------------- E13 ----
+def e13_degraded_rail(gpus: int = 132, iterations: int = 3,
+                      factors: tuple[float, ...] = (1.0, 0.25, 0.05, 0.01)
+                      ) -> ExperimentResult:
+    """E13 (extension) — fault injection: one slow InfiniBand rail.
+
+    Synchronous data parallelism is gated by its slowest participant.
+    Degrading a single node's rail (flapping link, mis-seated cable)
+    slows every allreduce that crosses it; this measures how gracefully
+    the tuned configuration absorbs partial-bandwidth faults.
+    """
+    from repro.cluster.topology import Device
+
+    cfg = paper_tuned_config()
+    rows = []
+    for factor in factors:
+        def fault(topo, factor=factor):
+            if factor < 1.0:
+                # Node 0's rail 0: NIC to leaf switch.
+                topo.degrade_link(Device.nic(0, 0), Device.switch(1), factor)
+
+        m = measure_training(gpus, cfg, iterations=iterations,
+                             jitter_std=0.0, fault=fault)
+        rows.append({
+            "rail bandwidth": f"{factor * 100:g}%",
+            "img/s": round(m.images_per_second, 1),
+            "efficiency": f"{m.scaling_efficiency * 100:.1f}%",
+            "iter (ms)": round(m.stats.mean_iteration_seconds * 1e3, 1),
+        })
+    healthy = rows[0]["img/s"]
+    by_factor = {f: row["img/s"] for f, row in zip(factors, rows)}
+    return ExperimentResult(
+        experiment="E13",
+        title=f"Fault injection: one degraded EDR rail, {gpus} GPUs",
+        rows=rows,
+        paper={"note": "extension; not a paper experiment"},
+        measured={
+            f"retained_at_{int(f * 100)}pct_rail": round(ips / healthy, 3)
+            for f, ips in by_factor.items() if f < 1.0
+        },
+        notes="communication hidden under backward absorbs even a 20x "
+              "single-rail degradation; only near-total rail loss gates "
+              "the synchronous allreduce",
+    )

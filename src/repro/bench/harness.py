@@ -1,0 +1,87 @@
+"""Result containers and table/JSON rendering for the experiment drivers."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["ExperimentResult", "format_rows", "save_result"]
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table/figure.
+
+    ``rows`` is a list of flat dicts sharing the same keys (the table
+    columns); ``paper`` maps claim names to the paper's values and
+    ``measured`` to ours, so EXPERIMENTS.md can be generated from runs.
+    """
+
+    experiment: str
+    title: str
+    rows: list[dict] = field(default_factory=list)
+    paper: dict[str, float | str] = field(default_factory=dict)
+    measured: dict[str, float | str] = field(default_factory=dict)
+    notes: str = ""
+
+    def table(self) -> str:
+        """Rendered fixed-width table plus the paper-vs-measured block."""
+        parts = [f"== {self.experiment}: {self.title} =="]
+        if self.rows:
+            parts.append(format_rows(self.rows))
+        if self.paper:
+            parts.append("paper vs measured:")
+            for key, pval in self.paper.items():
+                mval = self.measured.get(key, "—")
+                parts.append(f"  {key:<38} paper={_fmt(pval):>10}  ours={_fmt(mval):>10}")
+        if self.notes:
+            parts.append(f"note: {self.notes}")
+        return "\n".join(parts)
+
+    def to_json(self) -> str:
+        """JSON form with every field."""
+        return json.dumps(
+            {
+                "experiment": self.experiment,
+                "title": self.title,
+                "rows": self.rows,
+                "paper": self.paper,
+                "measured": self.measured,
+                "notes": self.notes,
+            },
+            indent=1,
+        )
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}" if abs(value) < 1000 else f"{value:,.0f}"
+    return str(value)
+
+
+def format_rows(rows: list[dict]) -> str:
+    """Fixed-width table from a list of same-keyed dicts."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0])
+    for row in rows:
+        if list(row) != columns:
+            raise ValueError("rows must share identical column order")
+    widths = {
+        c: max(len(str(c)), max(len(_fmt(r[c])) for r in rows)) for c in columns
+    }
+    header = "  ".join(f"{c:>{widths[c]}}" for c in columns)
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append("  ".join(f"{_fmt(row[c]):>{widths[c]}}" for c in columns))
+    return "\n".join(lines)
+
+
+def save_result(result: ExperimentResult, directory: str | Path = "bench_results") -> Path:
+    """Persist a result as ``<directory>/<experiment>.json``; returns the path."""
+    out_dir = Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"{result.experiment.lower()}.json"
+    path.write_text(result.to_json())
+    return path

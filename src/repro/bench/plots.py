@@ -1,0 +1,80 @@
+"""Terminal figures: ASCII line charts for the paper's figure-shaped data.
+
+Benchmarks and examples print tables; for the figure-shaped experiments
+(scaling curves, sweeps, OSU latency curves) an actual *picture* of the
+shape is worth having even in a terminal.  :func:`ascii_chart` renders
+multiple named series over a shared x axis into a fixed-size character
+grid with per-series markers and a legend — no plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["ascii_chart"]
+
+MARKERS = "ox*+#@%&"
+
+
+def ascii_chart(x: list[float], series: dict[str, list[float]],
+                width: int = 64, height: int = 16,
+                x_label: str = "", y_label: str = "",
+                log_x: bool = False) -> str:
+    """Render named y-series over shared x values as an ASCII chart.
+
+    Points are plotted with one marker character per series and joined
+    visually by proximity on the grid; the y axis is annotated with min /
+    max, the x axis with its endpoints.  ``log_x`` spaces the x axis
+    logarithmically (message-size sweeps).
+    """
+    if not x or not series:
+        raise ValueError("need x values and at least one series")
+    if any(len(ys) != len(x) for ys in series.values()):
+        raise ValueError("every series must match the length of x")
+    if len(series) > len(MARKERS):
+        raise ValueError(f"at most {len(MARKERS)} series supported")
+    if width < 16 or height < 4:
+        raise ValueError("chart too small")
+    if log_x and min(x) <= 0:
+        raise ValueError("log_x requires positive x values")
+
+    xs = [math.log10(v) for v in x] if log_x else list(x)
+    x_lo, x_hi = min(xs), max(xs)
+    all_y = [v for ys in series.values() for v in ys]
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (name, ys) in zip(MARKERS, series.items()):
+        for xv, yv in zip(xs, ys):
+            col = round((xv - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((yv - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    y_hi_lab = f"{y_hi:g}"
+    y_lo_lab = f"{y_lo:g}"
+    pad = max(len(y_hi_lab), len(y_lo_lab))
+    lines = []
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = y_hi_lab.rjust(pad)
+        elif i == height - 1:
+            label = y_lo_lab.rjust(pad)
+        else:
+            label = " " * pad
+        lines.append(f"{label} |{''.join(row)}|")
+    x_lo_lab = f"{x[0]:g}"
+    x_hi_lab = f"{x[-1]:g}"
+    axis = f"{' ' * pad} +{'-' * width}+"
+    xline = (f"{' ' * pad}  {x_lo_lab}"
+             f"{' ' * max(1, width - len(x_lo_lab) - len(x_hi_lab))}{x_hi_lab}")
+    lines.append(axis)
+    lines.append(xline)
+    if x_label or y_label:
+        lines.append(f"{' ' * pad}  x: {x_label}   y: {y_label}".rstrip())
+    legend = "   ".join(
+        f"{marker}={name}" for marker, name in zip(MARKERS, series)
+    )
+    lines.append(f"{' ' * pad}  {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Hardware model of a Summit-like GPU cluster.
+
+The paper's testbed is the Summit supercomputer at Oak Ridge National
+Laboratory: IBM AC922 nodes with 2 POWER9 sockets and 6 NVIDIA V100 GPUs,
+NVLink 2.0 intra-node links, an X-bus between sockets, and dual-rail
+Mellanox EDR InfiniBand (100 Gbit/s per rail) into a non-blocking fat tree.
+
+This package models that hardware at the *flow level*: every physical link
+is a serialized resource with a latency and a bandwidth, and a message
+transfer occupies all links on its route for ``Σ latency + bytes / min(bw)``
+(wormhole-style). That is exactly the level of detail at which the paper's
+effects live — NVLink vs InfiniBand bandwidth hierarchy, per-node injection
+bottlenecks, and GPU-direct vs host-staged data paths.
+
+Key entry points:
+
+* :func:`~repro.cluster.summit.build_summit` — a ready-made Summit topology.
+* :class:`~repro.cluster.fabric.Fabric` — timed transfers between devices.
+* :data:`~repro.cluster.gpu.V100` — the calibrated GPU compute spec.
+"""
+
+from repro.cluster.fabric import Fabric, TransferStats
+from repro.cluster.gpu import V100, GPUSpec
+from repro.cluster.links import Link, LinkSpec
+from repro.cluster.summit import SUMMIT_NODE, build_summit
+from repro.cluster.topology import Device, Topology
+
+__all__ = [
+    "Device",
+    "Fabric",
+    "GPUSpec",
+    "Link",
+    "LinkSpec",
+    "SUMMIT_NODE",
+    "Topology",
+    "TransferStats",
+    "V100",
+    "build_summit",
+]

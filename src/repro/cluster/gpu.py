@@ -1,0 +1,112 @@
+"""GPU compute specification and the calibrated V100 instance.
+
+The GPU model exposes exactly what the layer cost model
+(:mod:`repro.models.costmodel`) needs: peak arithmetic throughput, memory
+bandwidth, kernel-launch overhead, and sustained-efficiency factors.  The
+efficiency factors are *calibration constants*: they are chosen once so
+that the reproduced single-GPU throughputs match the paper's two measured
+numbers (DLv3+ 6.7 img/s, ResNet-50 300 img/s) and never touched again —
+every scaling result downstream is derived, not fitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GPUSpec", "V100"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Datasheet + calibration parameters of one GPU.
+
+    Attributes
+    ----------
+    name:
+        Marketing name (``"V100-SXM2-16GB"``).
+    peak_fp32_flops:
+        Peak single-precision FLOP/s.
+    peak_fp16_flops:
+        Peak half/tensor-core FLOP/s (used by the fp16-compression path).
+    mem_bandwidth_Bps:
+        HBM2 bandwidth in bytes/second.
+    mem_bytes:
+        Device memory capacity in bytes.
+    kernel_launch_s:
+        Fixed overhead per kernel launch in seconds (dominates tiny layers).
+    compute_efficiency:
+        Fraction of peak FLOP/s sustained by compute-bound kernels
+        (convolutions through cuDNN typically reach 0.3–0.6 of peak on
+        V100; exact value is calibrated, see module docstring).
+    mem_efficiency:
+        Fraction of peak memory bandwidth sustained by bandwidth-bound
+        kernels (BN, ReLU, elementwise).
+    """
+
+    name: str
+    peak_fp32_flops: float
+    peak_fp16_flops: float
+    mem_bandwidth_Bps: float
+    mem_bytes: int
+    kernel_launch_s: float
+    compute_efficiency: float
+    mem_efficiency: float
+
+    def __post_init__(self) -> None:
+        for field in (
+            "peak_fp32_flops",
+            "peak_fp16_flops",
+            "mem_bandwidth_Bps",
+            "mem_bytes",
+            "kernel_launch_s",
+        ):
+            if getattr(self, field) <= 0:
+                raise ValueError(f"{field} must be positive")
+        if not 0 < self.compute_efficiency <= 1:
+            raise ValueError("compute_efficiency must be in (0, 1]")
+        if not 0 < self.mem_efficiency <= 1:
+            raise ValueError("mem_efficiency must be in (0, 1]")
+
+    @property
+    def sustained_fp32_flops(self) -> float:
+        """Sustained FLOP/s for compute-bound fp32 kernels."""
+        return self.peak_fp32_flops * self.compute_efficiency
+
+    @property
+    def sustained_mem_Bps(self) -> float:
+        """Sustained bytes/second for bandwidth-bound kernels."""
+        return self.mem_bandwidth_Bps * self.mem_efficiency
+
+    def kernel_seconds(self, flops: float, bytes_moved: float,
+                       compute_factor: float = 1.0,
+                       mem_factor: float = 1.0) -> float:
+        """Roofline execution time of one kernel.
+
+        The kernel takes the max of its compute time and its memory time
+        (roofline model), plus the fixed launch overhead.  The factors
+        scale the *sustained* rates for kernel classes that fall short of
+        the sustained baseline (depthwise, dilated, small-GEMM kernels);
+        see :class:`repro.models.costmodel.ModelCost` for the table.
+        """
+        if compute_factor <= 0 or mem_factor <= 0:
+            raise ValueError("efficiency factors must be positive")
+        compute = flops / (self.sustained_fp32_flops * compute_factor)
+        memory = bytes_moved / (self.sustained_mem_Bps * mem_factor)
+        return self.kernel_launch_s + max(compute, memory)
+
+
+#: NVIDIA Tesla V100-SXM2-16GB as deployed in Summit AC922 nodes.
+#:
+#: Datasheet numbers: 15.7 TFLOP/s fp32, 125 TFLOP/s tensor fp16, 900 GB/s
+#: HBM2, 16 GB.  ``compute_efficiency`` / ``mem_efficiency`` / launch
+#: overhead are the calibration constants described in the module docstring.
+V100 = GPUSpec(
+    name="V100-SXM2-16GB",
+    peak_fp32_flops=15.7e12,
+    peak_fp16_flops=125e12,
+    mem_bandwidth_Bps=900e9,
+    mem_bytes=16 * (1 << 30),
+    kernel_launch_s=5e-6,
+    compute_efficiency=0.65,
+    mem_efficiency=0.85,
+)

@@ -1,0 +1,117 @@
+"""Summit (ORNL) topology preset.
+
+One Summit node is an IBM AC922: two POWER9 sockets, three V100 GPUs per
+socket.  Within a socket, every GPU↔GPU and GPU↔CPU pair is joined by two
+NVLink 2.0 bricks (2 × 25 GB/s = 50 GB/s per direction).  The sockets are
+joined by a 64 GB/s X-bus.  Each socket hosts one Mellanox EDR InfiniBand
+rail (100 Gbit/s ≈ 12.5 GB/s, ~12.3 GB/s achievable) into a non-blocking
+fat tree.
+
+The fat tree is modeled as leaf switches (``nodes_per_leaf`` nodes each)
+with an aggregated non-blocking uplink into a single spine: because
+Summit's fabric has full bisection bandwidth, the only contended fabric
+resources are the per-node injection links — which the star-of-leaves
+preserves exactly while keeping the event count low.
+
+The paper evaluates up to 132 GPUs = 22 nodes; :func:`build_summit`
+defaults to that size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.links import LinkSpec
+from repro.cluster.topology import Device, Topology
+from repro.sim import Environment
+from repro.sim.units import gbyte_per_s, microseconds
+
+__all__ = ["SUMMIT_NODE", "SummitNodeSpec", "build_summit"]
+
+
+@dataclass(frozen=True)
+class SummitNodeSpec:
+    """Shape of one AC922 node."""
+
+    sockets: int = 2
+    gpus_per_socket: int = 3
+    rails: int = 2
+
+    @property
+    def gpus_per_node(self) -> int:
+        """Total GPUs in the node (6 on Summit)."""
+        return self.sockets * self.gpus_per_socket
+
+
+#: The production Summit node shape (2 sockets × 3 V100, dual-rail EDR).
+SUMMIT_NODE = SummitNodeSpec()
+
+# Link datasheet values.  Latencies are one-way, measured-scale numbers:
+# NVLink p2p ~1.9 µs (driver + fabric), X-bus sub-µs, PCIe ~0.9 µs, EDR
+# NIC+switch hop ~0.75 µs (OSU osu_latency on EDR reports ~1.5 µs/2 hops).
+NVLINK2_GPU_GPU = LinkSpec("nvlink2-gg", microseconds(1.9), gbyte_per_s(47.0))
+NVLINK2_GPU_CPU = LinkSpec("nvlink2-gc", microseconds(1.9), gbyte_per_s(47.0))
+XBUS = LinkSpec("x-bus", microseconds(0.6), gbyte_per_s(58.0))
+PCIE_CPU_NIC = LinkSpec("pcie4-x8", microseconds(0.9), gbyte_per_s(15.0))
+IB_EDR_RAIL = LinkSpec("ib-edr", microseconds(0.75), gbyte_per_s(12.3))
+
+
+def _leaf_uplink(nodes_per_leaf: int, rails: int) -> LinkSpec:
+    """Aggregated non-blocking uplink for one leaf switch."""
+    return LinkSpec(
+        "ib-edr-uplink",
+        microseconds(0.3),
+        IB_EDR_RAIL.bandwidth_Bps * nodes_per_leaf * rails,
+    )
+
+
+def build_summit(
+    env: Environment,
+    nodes: int = 22,
+    node_spec: SummitNodeSpec = SUMMIT_NODE,
+    nodes_per_leaf: int = 18,
+) -> Topology:
+    """Build a Summit-like topology with ``nodes`` AC922 nodes.
+
+    Returns a :class:`~repro.cluster.topology.Topology` whose GPU devices,
+    in sorted order, define the MPI rank order used throughout the
+    reproduction (rank = node * 6 + local GPU index).
+    """
+    if nodes < 1:
+        raise ValueError(f"need at least one node, got {nodes}")
+    if nodes_per_leaf < 1:
+        raise ValueError(f"nodes_per_leaf must be >= 1, got {nodes_per_leaf}")
+    topo = Topology(env, name=f"summit-{nodes}n")
+
+    n_leaves = (nodes + nodes_per_leaf - 1) // nodes_per_leaf
+    spine = Device.switch(0)
+    leaves = [Device.switch(1 + i) for i in range(n_leaves)]
+    uplink = _leaf_uplink(nodes_per_leaf, node_spec.rails)
+    if n_leaves > 1:
+        for leaf in leaves:
+            topo.add_link(leaf, spine, uplink)
+
+    for node in range(nodes):
+        cpus = [Device.cpu(node, s) for s in range(node_spec.sockets)]
+        # Inter-socket X-bus.
+        for a, b in zip(cpus, cpus[1:]):
+            topo.add_link(a, b, XBUS)
+        leaf = leaves[node // nodes_per_leaf]
+        for socket in range(node_spec.sockets):
+            cpu = cpus[socket]
+            gpus = [
+                Device.gpu(node, socket * node_spec.gpus_per_socket + g)
+                for g in range(node_spec.gpus_per_socket)
+            ]
+            # Same-socket GPUs are all-to-all NVLink-connected, and each
+            # GPU also has an NVLink path to its socket's CPU.
+            for i, gpu in enumerate(gpus):
+                topo.add_link(gpu, cpu, NVLINK2_GPU_CPU)
+                for other in gpus[i + 1 :]:
+                    topo.add_link(gpu, other, NVLINK2_GPU_GPU)
+            # One EDR rail per socket (dual-rail node total).
+            rail = socket % node_spec.rails
+            nic = Device.nic(node, rail)
+            topo.add_link(cpu, nic, PCIE_CPU_NIC)
+            topo.add_link(nic, leaf, IB_EDR_RAIL)
+    return topo

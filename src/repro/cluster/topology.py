@@ -1,0 +1,206 @@
+"""Cluster topology graph: devices, links, and routing.
+
+The topology is a directed multigraph-free ``networkx.DiGraph`` whose nodes
+are :class:`Device` instances (GPUs, CPUs/sockets, NICs, switches) and
+whose edges each carry one :class:`~repro.cluster.links.Link`.  Routes are
+minimum-latency shortest paths, computed lazily and cached — on the
+fat-tree topologies we build, these coincide with the routes a real
+subnet manager would program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.cluster.links import Link, LinkSpec
+from repro.sim import Environment
+
+__all__ = ["Device", "RouteInfo", "Topology"]
+
+
+@dataclass(frozen=True)
+class RouteInfo:
+    """Precomputed per-route quantities for the transfer hot path."""
+
+    links: tuple[Link, ...]
+    #: Links re-ordered by global order key (deadlock-free acquisition).
+    acquire_order: tuple[Link, ...]
+    latency_s: float
+    bottleneck_Bps: float
+
+
+@dataclass(frozen=True, order=True)
+class Device:
+    """One addressable endpoint or forwarding element in the cluster.
+
+    Attributes
+    ----------
+    kind:
+        ``"gpu"``, ``"cpu"``, ``"nic"``, or ``"switch"``.
+    node:
+        Hosting node index; ``-1`` for network-side elements (switches).
+    index:
+        Index within the node (GPU 0–5, socket 0–1, rail 0–1) or the
+        switch's global index.
+    """
+
+    kind: str
+    node: int
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}:{self.node}:{self.index}"
+
+    @staticmethod
+    def gpu(node: int, index: int) -> "Device":
+        """The ``index``-th GPU of ``node``."""
+        return Device("gpu", node, index)
+
+    @staticmethod
+    def cpu(node: int, socket: int) -> "Device":
+        """The ``socket``-th CPU socket of ``node``."""
+        return Device("cpu", node, socket)
+
+    @staticmethod
+    def nic(node: int, rail: int) -> "Device":
+        """The ``rail``-th InfiniBand NIC of ``node``."""
+        return Device("nic", node, rail)
+
+    @staticmethod
+    def switch(index: int) -> "Device":
+        """Global switch ``index`` (node = -1 by convention)."""
+        return Device("switch", -1, index)
+
+
+class Topology:
+    """A directed graph of :class:`Device` nodes joined by :class:`Link` edges.
+
+    Full-duplex physical links are added with :meth:`add_link` (default
+    ``duplex=True``), which creates an independent serialized :class:`Link`
+    in each direction.
+    """
+
+    def __init__(self, env: Environment, name: str = "cluster") -> None:
+        self.env = env
+        self.name = name
+        self.graph = nx.DiGraph()
+        self._route_cache: dict[tuple[Device, Device], list[Link]] = {}
+        self._route_info_cache: dict[tuple[Device, Device], RouteInfo] = {}
+
+    # -- construction ----------------------------------------------------
+    def add_device(self, device: Device) -> Device:
+        """Register a device (idempotent)."""
+        self.graph.add_node(device)
+        return device
+
+    def add_link(self, a: Device, b: Device, spec: LinkSpec, duplex: bool = True) -> None:
+        """Join ``a`` and ``b`` with a link of type ``spec``.
+
+        With ``duplex`` (the default) an independent reverse link is
+        created too.  Adding a second link between the same pair replaces
+        the first — the model is one (possibly aggregated) link per
+        device pair per direction.
+        """
+        self.add_device(a)
+        self.add_device(b)
+        self.graph.add_edge(a, b, link=Link(self.env, spec, f"{a}->{b}"))
+        if duplex:
+            self.graph.add_edge(b, a, link=Link(self.env, spec, f"{b}->{a}"))
+        self._route_cache.clear()
+        self._route_info_cache.clear()
+
+    # -- queries ----------------------------------------------------------
+    def devices(self, kind: str | None = None) -> list[Device]:
+        """All devices, optionally filtered by ``kind``, in sorted order."""
+        devs = (d for d in self.graph.nodes if kind is None or d.kind == kind)
+        return sorted(devs)
+
+    def gpus(self) -> list[Device]:
+        """All GPU devices, ordered by (node, index) — the MPI rank order."""
+        return self.devices("gpu")
+
+    def link(self, a: Device, b: Device) -> Link:
+        """The direct link from ``a`` to ``b`` (KeyError if absent)."""
+        return self.graph.edges[a, b]["link"]
+
+    def links(self) -> list[Link]:
+        """Every directed link in the topology."""
+        return [data["link"] for _, _, data in self.graph.edges(data=True)]
+
+    def same_node(self, a: Device, b: Device) -> bool:
+        """True when both devices live in the same physical node."""
+        return a.node == b.node and a.node >= 0
+
+    def route(self, src: Device, dst: Device) -> list[Link]:
+        """Minimum-latency route from ``src`` to ``dst`` as a link list.
+
+        Routes are cached; ``src == dst`` yields an empty route (a local
+        operation that costs no fabric time).
+        """
+        if src == dst:
+            return []
+        cached = self._route_cache.get((src, dst))
+        if cached is None:
+            path = nx.shortest_path(
+                self.graph, src, dst, weight=lambda a, b, d: d["link"].latency_s
+            )
+            cached = [self.graph.edges[u, v]["link"] for u, v in zip(path, path[1:])]
+            self._route_cache[(src, dst)] = cached
+        return cached
+
+    def degrade_link(self, a: Device, b: Device, factor: float,
+                     duplex: bool = True) -> None:
+        """Reduce the a→b link's bandwidth to ``factor`` of its current value.
+
+        Models a failing/contended component (flapping rail, mis-seated
+        cable, PCIe downtraining) for fault-injection studies.  With
+        ``duplex`` the reverse direction degrades too.  Route caches are
+        invalidated; accumulated traffic counters are preserved.
+        """
+        if not 0 < factor <= 1:
+            raise ValueError(f"factor must be in (0, 1], got {factor}")
+        pairs = [(a, b)] + ([(b, a)] if duplex else [])
+        for src, dst in pairs:
+            link = self.link(src, dst)
+            link.spec = LinkSpec(
+                f"{link.spec.name}-degraded",
+                link.spec.latency_s,
+                link.spec.bandwidth_Bps * factor,
+            )
+        self._route_cache.clear()
+        self._route_info_cache.clear()
+
+    def route_info(self, src: Device, dst: Device) -> RouteInfo | None:
+        """Cached :class:`RouteInfo` for the route, ``None`` if src == dst."""
+        if src == dst:
+            return None
+        info = self._route_info_cache.get((src, dst))
+        if info is None:
+            links = tuple(self.route(src, dst))
+            info = RouteInfo(
+                links=links,
+                acquire_order=tuple(sorted(links, key=lambda l: l.order_key)),
+                latency_s=sum(l.latency_s for l in links),
+                bottleneck_Bps=min(l.bandwidth_Bps for l in links),
+            )
+            self._route_info_cache[(src, dst)] = info
+        return info
+
+    def route_latency(self, src: Device, dst: Device) -> float:
+        """Sum of link latencies along the route (unloaded)."""
+        return sum(link.latency_s for link in self.route(src, dst))
+
+    def route_bandwidth(self, src: Device, dst: Device) -> float:
+        """Bottleneck (minimum) bandwidth along the route in bytes/second."""
+        route = self.route(src, dst)
+        if not route:
+            return float("inf")
+        return min(link.bandwidth_Bps for link in route)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Topology {self.name}: {len(self.graph.nodes)} devices, "
+            f"{self.graph.number_of_edges()} links>"
+        )

@@ -1,0 +1,116 @@
+"""Scaling curves and the paper's efficiency metrics.
+
+A :class:`ScalingCurve` is one line of the paper's headline figure: a
+named configuration measured over a list of GPU counts.  It computes the
+metrics the paper reports — aggregate images/second, speedup over one
+GPU, and scaling efficiency (measured / ideal-linear) — and formats the
+comparison tables the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.sweep import Measurement
+
+__all__ = ["ScalingCurve", "ScalingPoint"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One (GPU count, measurement) point of a scaling curve."""
+
+    gpus: int
+    images_per_second: float
+    efficiency: float
+    mean_iteration_seconds: float
+
+    @staticmethod
+    def from_measurement(m: Measurement) -> "ScalingPoint":
+        """Project a full :class:`Measurement` onto the reported metrics."""
+        return ScalingPoint(
+            gpus=m.gpus,
+            images_per_second=m.images_per_second,
+            efficiency=m.scaling_efficiency,
+            mean_iteration_seconds=m.stats.mean_iteration_seconds,
+        )
+
+
+@dataclass
+class ScalingCurve:
+    """A named configuration measured across GPU counts."""
+
+    name: str
+    points: list[ScalingPoint] = field(default_factory=list)
+
+    def add(self, point: ScalingPoint) -> None:
+        """Append a point; GPU counts must be strictly increasing."""
+        if self.points and point.gpus <= self.points[-1].gpus:
+            raise ValueError("points must be added in increasing GPU order")
+        self.points.append(point)
+
+    def point(self, gpus: int) -> ScalingPoint:
+        """The point at exactly ``gpus`` (KeyError if absent)."""
+        for p in self.points:
+            if p.gpus == gpus:
+                return p
+        raise KeyError(f"no point at {gpus} GPUs in curve {self.name!r}")
+
+    @property
+    def gpu_counts(self) -> list[int]:
+        """The x-axis of the curve."""
+        return [p.gpus for p in self.points]
+
+    def speedup(self, gpus: int) -> float:
+        """Throughput at ``gpus`` over the curve's smallest point,
+        normalized per GPU of that smallest point."""
+        base = self.points[0]
+        return self.point(gpus).images_per_second / (
+            base.images_per_second / base.gpus
+        )
+
+    def table(self) -> str:
+        """Fixed-width per-point table (GPUs, img/s, efficiency, iter ms)."""
+        lines = [
+            f"-- {self.name} --",
+            f"{'GPUs':>5} {'img/s':>10} {'efficiency':>11} {'iter(ms)':>10}",
+        ]
+        for p in self.points:
+            lines.append(
+                f"{p.gpus:>5} {p.images_per_second:>10.1f} "
+                f"{p.efficiency * 100:>10.1f}% {p.mean_iteration_seconds * 1e3:>10.1f}"
+            )
+        return "\n".join(lines)
+
+    @staticmethod
+    def comparison_table(curves: list["ScalingCurve"]) -> str:
+        """Side-by-side efficiency table plus speedup-of-last-over-first.
+
+        All curves must share the same GPU counts.  This is the layout of
+        the paper's headline comparison (default vs tuned).
+        """
+        if not curves:
+            raise ValueError("need at least one curve")
+        counts = curves[0].gpu_counts
+        for c in curves[1:]:
+            if c.gpu_counts != counts:
+                raise ValueError("curves cover different GPU counts")
+        header = f"{'GPUs':>5}"
+        for c in curves:
+            header += f" {c.name + ' img/s':>22} {'eff':>7}"
+        if len(curves) >= 2:
+            header += f" {'speedup':>8}"
+        lines = [header]
+        for gpus in counts:
+            row = f"{gpus:>5}"
+            for c in curves:
+                p = c.point(gpus)
+                row += f" {p.images_per_second:>22.1f} {p.efficiency * 100:>6.1f}%"
+            if len(curves) >= 2:
+                ratio = (
+                    curves[-1].point(gpus).images_per_second
+                    / curves[0].point(gpus).images_per_second
+                )
+                row += f" {ratio:>7.2f}x"
+            lines.append(row)
+        return "\n".join(lines)

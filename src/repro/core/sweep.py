@@ -1,0 +1,157 @@
+"""The measurement driver: one call = one simulated training run.
+
+:func:`measure_training` is the single entry point every benchmark,
+example and the staged tuner uses.  It assembles the whole stack — Summit
+slice of the requested size, MPI library, Horovod runtime, model profile,
+trainer — runs a short measured job, and returns a
+:class:`Measurement`.
+
+Model iteration profiles are cached per (model, batch) because building
+the DLv3+ layer graph is pure overhead across the hundreds of
+measurements a sweep performs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cluster import Fabric, build_summit
+from repro.core.knobs import SystemConfig
+from repro.horovod.runtime import HorovodRuntime, RuntimeStats
+from repro.horovod.timeline import Timeline
+from repro.models import (
+    ModelCost,
+    build_deeplabv3plus,
+    build_mobilenetv2,
+    build_resnet50,
+    build_resnet101,
+)
+from repro.models.costmodel import IterationProfile
+from repro.mpi.communicator import Comm
+from repro.sim import Environment
+from repro.train import DistributedTrainer, TrainJob
+from repro.train.stats import TrainStats
+
+__all__ = ["Measurement", "clear_profile_cache", "measure_training", "model_profile"]
+
+#: Summit has 6 GPUs per node; GPU counts that are not multiples of 6
+#: occupy the last node partially (as real jobs do).
+GPUS_PER_NODE = 6
+
+_PROFILE_CACHE: dict[tuple[str, int], IterationProfile] = {}
+
+#: Model registry for the sweep driver: name -> (builder, default batch).
+MODEL_BUILDERS = {
+    "deeplab": (build_deeplabv3plus, 8),
+    "resnet50": (build_resnet50, 128),
+    "resnet101": (build_resnet101, 96),
+    "mobilenetv2": (build_mobilenetv2, 192),
+}
+
+
+def model_profile(model: str, per_gpu_batch: int | None = None) -> IterationProfile:
+    """The cached V100 iteration profile for a registry model."""
+    if model not in MODEL_BUILDERS:
+        raise KeyError(f"unknown model {model!r}; available: {sorted(MODEL_BUILDERS)}")
+    builder, default_batch = MODEL_BUILDERS[model]
+    batch = per_gpu_batch if per_gpu_batch is not None else default_batch
+    key = (model, batch)
+    if key not in _PROFILE_CACHE:
+        _PROFILE_CACHE[key] = ModelCost(builder()).profile(batch)
+    return _PROFILE_CACHE[key]
+
+
+def clear_profile_cache() -> None:
+    """Drop cached profiles (tests that tweak cost constants need this)."""
+    _PROFILE_CACHE.clear()
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Outcome of one simulated training run."""
+
+    gpus: int
+    config: SystemConfig
+    model: str
+    stats: TrainStats
+    runtime_stats: RuntimeStats
+    timeline: Timeline
+    #: Compute-only single-GPU throughput (the ideal-scaling baseline).
+    single_gpu_images_per_second: float
+    #: Per-link-type fabric utilization over the run (where time went).
+    link_utilization: dict = None
+
+    @property
+    def images_per_second(self) -> float:
+        """Measured steady-state aggregate throughput."""
+        return self.stats.images_per_second
+
+    @property
+    def scaling_efficiency(self) -> float:
+        """Throughput / (GPUs × single-GPU compute throughput)."""
+        return self.images_per_second / (
+            self.gpus * self.single_gpu_images_per_second
+        )
+
+    @property
+    def label(self) -> str:
+        """Config label for tables."""
+        return self.config.label
+
+
+def measure_training(
+    gpus: int,
+    config: SystemConfig,
+    model: str = "deeplab",
+    per_gpu_batch: int | None = None,
+    iterations: int = 4,
+    warmup_iterations: int = 1,
+    jitter_std: float = 0.03,
+    seed: int = 0,
+    negotiation: str = "analytic",
+    fault=None,
+) -> Measurement:
+    """Simulate a measured training job and return its statistics.
+
+    Builds a fresh Summit slice with ``ceil(gpus / 6)`` nodes, runs
+    ``iterations`` synchronous data-parallel steps of ``model`` under the
+    given :class:`~repro.core.knobs.SystemConfig`, and reports throughput
+    against the calibrated single-GPU compute baseline.
+
+    ``fault`` is an optional fault-injection hook ``fault(topology)``
+    applied after the cluster is built (e.g. degrade a rail with
+    :meth:`~repro.cluster.topology.Topology.degrade_link`).
+    """
+    if gpus < 1:
+        raise ValueError(f"gpus must be >= 1, got {gpus}")
+    profile = model_profile(model, per_gpu_batch)
+    env = Environment()
+    nodes = max(1, math.ceil(gpus / GPUS_PER_NODE))
+    topo = build_summit(env, nodes=nodes)
+    if fault is not None:
+        fault(topo)
+    comm = Comm(Fabric(topo), topo.gpus()[:gpus], config.library)
+    timeline = Timeline()
+    runtime = HorovodRuntime(
+        comm, config.horovod, timeline=timeline, negotiation=negotiation
+    )
+    job = TrainJob(
+        iterations=iterations,
+        per_gpu_batch=profile.batch_size,
+        warmup_iterations=warmup_iterations,
+        jitter_std=jitter_std,
+        seed=seed,
+    )
+    fabric = comm.fabric
+    stats = DistributedTrainer(runtime, profile, job).run()
+    return Measurement(
+        gpus=gpus,
+        config=config,
+        model=model,
+        stats=stats,
+        runtime_stats=runtime.stats,
+        timeline=timeline,
+        single_gpu_images_per_second=profile.images_per_second,
+        link_utilization=fabric.utilization_report(),
+    )

@@ -1,0 +1,25 @@
+"""Dataset statistics and the synthetic data substrate.
+
+The paper trains on the augmented PASCAL VOC 2012 segmentation set
+(10,582 train / 1,449 val images, 21 classes, 513×513 crops).  We cannot
+redistribute VOC; what the reproduction actually needs from it is:
+
+* the **epoch geometry** (images per epoch → steps per epoch at a given
+  global batch) and the **input-pipeline load** (bytes decoded and
+  augmented per second) — provided by :data:`~repro.data.voc.VOC2012_AUG`
+  and :class:`~repro.data.pipeline.InputPipelineModel`;
+* **real label structure** for the npnn end-to-end trainer — provided by
+  :class:`~repro.data.voc.VOCMini`, a seeded synthetic shapes dataset
+  with pixel-accurate masks and a learnable color→class mapping.
+"""
+
+from repro.data.pipeline import InputPipelineModel, PipelineClock
+from repro.data.voc import VOC2012_AUG, DatasetStats, VOCMini
+
+__all__ = [
+    "DatasetStats",
+    "InputPipelineModel",
+    "PipelineClock",
+    "VOC2012_AUG",
+    "VOCMini",
+]

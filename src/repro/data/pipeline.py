@@ -1,0 +1,81 @@
+"""Host-side input-pipeline timing model.
+
+Summit nodes feed each GPU from POWER9 cores (read from GPFS, JPEG
+decode, random crop/flip/scale augmentation, H2D copy).  The TF dataset
+pipeline prefetches: the pipeline produces batches continuously and the
+training step consumes them, so the *observed* stall per iteration is
+``max(0, batch_production_time - step_time)`` once the prefetch buffer
+drains.
+
+The trainer models this with a producer clock per rank: batch ``i+1``
+becomes ready ``batch_seconds`` after batch ``i`` started producing,
+bounded by the prefetch depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["InputPipelineModel"]
+
+
+@dataclass(frozen=True)
+class InputPipelineModel:
+    """Per-rank input pipeline parameters.
+
+    Attributes
+    ----------
+    seconds_per_image:
+        Host time to read + decode + augment one image with all reader
+        threads accounted (i.e. already divided by parallelism).
+    h2d_seconds_per_image:
+        Host-to-device copy time per image (NVLink on Summit: fast).
+    prefetch_batches:
+        Producer work-ahead depth (TF ``prefetch``).
+    """
+
+    seconds_per_image: float = 1.1e-3
+    h2d_seconds_per_image: float = 0.05e-3
+    prefetch_batches: int = 2
+
+    def __post_init__(self) -> None:
+        if self.seconds_per_image < 0 or self.h2d_seconds_per_image < 0:
+            raise ValueError("pipeline times must be >= 0")
+        if self.prefetch_batches < 1:
+            raise ValueError("prefetch depth must be >= 1")
+
+    def batch_seconds(self, batch_size: int) -> float:
+        """Production time of one batch."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        return batch_size * (self.seconds_per_image + self.h2d_seconds_per_image)
+
+
+class PipelineClock:
+    """Tracks when each batch becomes ready for one rank.
+
+    A tiny piece of mutable state the trainer owns: ``wait(now)`` returns
+    how long the consumer must stall for the next batch, and advances the
+    producer clock (which can run ahead by ``prefetch_batches``).
+    """
+
+    def __init__(self, model: InputPipelineModel, batch_size: int,
+                 start_time: float = 0.0) -> None:
+        self.model = model
+        self.batch_s = model.batch_seconds(batch_size)
+        #: Completion times of produced-but-unconsumed batches.
+        self._ready_at = [
+            start_time + (i + 1) * self.batch_s
+            for i in range(model.prefetch_batches)
+        ]
+
+    def wait(self, now: float) -> float:
+        """Stall needed at time ``now`` to obtain the next batch."""
+        ready = self._ready_at.pop(0)
+        stall = max(0.0, ready - now)
+        # Producer starts the replacement batch as soon as a slot frees
+        # (bounded work-ahead): it cannot start before its predecessor
+        # finished, nor before the consumer freed the slot (= now+stall).
+        last = self._ready_at[-1] if self._ready_at else ready
+        self._ready_at.append(max(last, now + stall) + self.batch_s)
+        return stall

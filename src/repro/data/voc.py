@@ -1,0 +1,133 @@
+"""PASCAL VOC 2012 statistics and the VOC-mini synthetic substitute.
+
+:data:`VOC2012_AUG` carries the numbers the training recipes and the
+benchmarks derive everything from (the standard DeepLab setup: SBD-
+augmented train set, 30k steps at global batch 16 ≈ 45 epochs).
+
+:class:`VOCMini` generates a miniature segmentation task with the same
+*structure* as VOC — RGB images, integer masks, background-dominated class
+distribution — at laptop scale: colored geometric shapes on textured
+backgrounds, where each class has a characteristic (noisy) color, so a
+small CNN can genuinely learn the mapping and real mIOU can be measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.rng import stable_seed
+
+__all__ = ["DatasetStats", "VOC2012_AUG", "VOCMini"]
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """Epoch geometry of a segmentation dataset."""
+
+    name: str
+    train_images: int
+    val_images: int
+    num_classes: int
+    crop_size: int
+    #: Mean encoded image+label bytes (JPEG+PNG), for I/O modeling.
+    encoded_bytes_per_image: int
+
+    def steps_per_epoch(self, global_batch: int) -> int:
+        """Optimizer steps in one epoch at ``global_batch`` (ceil)."""
+        if global_batch < 1:
+            raise ValueError("global_batch must be >= 1")
+        return -(-self.train_images // global_batch)
+
+    def epochs_for_steps(self, steps: int, global_batch: int) -> float:
+        """Fractional epochs covered by ``steps`` optimizer steps."""
+        if steps < 0:
+            raise ValueError("steps must be >= 0")
+        return steps * global_batch / self.train_images
+
+
+#: Augmented PASCAL VOC 2012 (train_aug from SBD), the paper's dataset.
+VOC2012_AUG = DatasetStats(
+    name="voc2012_aug",
+    train_images=10_582,
+    val_images=1_449,
+    num_classes=21,
+    crop_size=513,
+    encoded_bytes_per_image=120_000,
+)
+
+
+class VOCMini:
+    """Synthetic shapes-segmentation dataset (real pixels, real masks).
+
+    Each sample is an RGB float image in [0, 1] with 1–``max_shapes``
+    axis-aligned rectangles and circles; each foreground class ``c`` has a
+    base color, perturbed per-shape and per-pixel with Gaussian noise, on
+    a textured background (class 0).  Deterministic per ``(seed, index)``.
+    """
+
+    def __init__(self, size: int = 32, num_classes: int = 4,
+                 max_shapes: int = 3, noise: float = 0.06, seed: int = 0) -> None:
+        if size < 8:
+            raise ValueError("size must be >= 8")
+        if not 2 <= num_classes <= 12:
+            raise ValueError("num_classes must be in [2, 12]")
+        if max_shapes < 1:
+            raise ValueError("max_shapes must be >= 1")
+        self.size = size
+        self.num_classes = num_classes
+        self.max_shapes = max_shapes
+        self.noise = noise
+        self.seed = seed
+        # Fixed, well-separated base colors per class (background = gray).
+        palette_rng = np.random.default_rng(stable_seed("vocmini-palette"))
+        self.palette = 0.15 + 0.7 * palette_rng.random((12, 3))
+        self.palette[0] = (0.5, 0.5, 0.5)
+
+    def sample(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        """Generate sample ``index``: (image HxWx3 float32, mask HxW int64)."""
+        rng = np.random.default_rng(stable_seed(self.seed, "sample", index))
+        s = self.size
+        image = np.empty((s, s, 3), dtype=np.float32)
+        background = self.palette[0]
+        image[:] = background + rng.normal(0, self.noise, (s, s, 3))
+        mask = np.zeros((s, s), dtype=np.int64)
+        yy, xx = np.mgrid[0:s, 0:s]
+        n_shapes = int(rng.integers(1, self.max_shapes + 1))
+        for _ in range(n_shapes):
+            cls = int(rng.integers(1, self.num_classes))
+            color = self.palette[cls] + rng.normal(0, self.noise / 2, 3)
+            if rng.random() < 0.5:  # rectangle
+                h = int(rng.integers(s // 6, s // 2))
+                w = int(rng.integers(s // 6, s // 2))
+                top = int(rng.integers(0, s - h))
+                left = int(rng.integers(0, s - w))
+                region = (yy >= top) & (yy < top + h) & (xx >= left) & (xx < left + w)
+            else:  # circle
+                r = int(rng.integers(s // 8, s // 3))
+                cy = int(rng.integers(r, s - r))
+                cx = int(rng.integers(r, s - r))
+                region = (yy - cy) ** 2 + (xx - cx) ** 2 <= r * r
+            mask[region] = cls
+            image[region] = color + rng.normal(0, self.noise, (int(region.sum()), 3))
+        np.clip(image, 0.0, 1.0, out=image)
+        return image, mask
+
+    def batch(self, indices: list[int]) -> tuple[np.ndarray, np.ndarray]:
+        """Stack samples into (N,H,W,3) images and (N,H,W) masks."""
+        samples = [self.sample(i) for i in indices]
+        return (
+            np.stack([im for im, _ in samples]),
+            np.stack([m for _, m in samples]),
+        )
+
+    def shard_indices(self, n_samples: int, rank: int, world: int) -> list[int]:
+        """Contiguous-stride shard of ``range(n_samples)`` for one rank.
+
+        The standard Horovod sharding: rank r takes indices r, r+world,
+        r+2*world, ... — disjoint across ranks, jointly covering the set.
+        """
+        if not 0 <= rank < world:
+            raise ValueError(f"rank {rank} out of range for world {world}")
+        return list(range(rank, n_samples, world))

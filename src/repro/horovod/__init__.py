@@ -1,0 +1,40 @@
+"""A from-scratch reimplementation of Horovod's control plane.
+
+Horovod's data-parallel engine has three moving parts the paper tunes:
+
+* a **background coordinator** that ticks every ``HOROVOD_CYCLE_TIME``
+  milliseconds, negotiates which gradient tensors are ready on *all*
+  ranks (workers send requests to rank 0; rank 0 broadcasts responses),
+  and enqueues collective operations (:mod:`repro.horovod.runtime`);
+* a **tensor fusion buffer** that packs small tensors into batched
+  allreduces up to ``HOROVOD_FUSION_THRESHOLD`` bytes
+  (:mod:`repro.horovod.fusion`);
+* optional **hierarchical allreduce** and **fp16 compression** paths
+  (:mod:`repro.horovod.compression`).
+
+All of it is reimplemented here as discrete-event processes over the
+simulated MPI layer, configured through the same ``HOROVOD_*`` environment
+knobs the paper sweeps (:mod:`repro.horovod.config`), plus the runtime
+autotuner Horovod ships (:mod:`repro.horovod.autotune`).
+"""
+
+from repro.horovod.autotune import Autotuner, AutotuneResult
+from repro.horovod.compression import compress_fp16, decompress_fp16
+from repro.horovod.config import HorovodConfig
+from repro.horovod.fusion import FusionGroup, PendingTensor, pack_tensors
+from repro.horovod.runtime import HorovodRuntime
+from repro.horovod.timeline import Timeline, TimelineEvent
+
+__all__ = [
+    "Autotuner",
+    "AutotuneResult",
+    "FusionGroup",
+    "HorovodConfig",
+    "HorovodRuntime",
+    "PendingTensor",
+    "Timeline",
+    "TimelineEvent",
+    "compress_fp16",
+    "decompress_fp16",
+    "pack_tensors",
+]

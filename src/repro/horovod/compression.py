@@ -1,0 +1,39 @@
+"""fp16 gradient compression (Horovod's ``Compression.fp16``).
+
+Horovod can cast gradients to half precision before the allreduce and
+back after, halving wire bytes at the cost of two casts and reduced
+mantissa.  The runtime models the timing (cast kernels are
+bandwidth-bound sweeps); these functions implement the *data* path for
+numpy payloads so the real npnn trainer can exercise compression and the
+tests can quantify its rounding error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["cast_seconds", "compress_fp16", "decompress_fp16"]
+
+
+def compress_fp16(x: np.ndarray) -> np.ndarray:
+    """Cast to fp16 (the lossy half of the round trip)."""
+    return x.astype(np.float16)
+
+
+def decompress_fp16(x: np.ndarray, dtype=np.float32) -> np.ndarray:
+    """Cast back to working precision."""
+    if x.dtype != np.float16:
+        raise ValueError(f"expected fp16 payload, got {x.dtype}")
+    return x.astype(dtype)
+
+
+def cast_seconds(nbytes: int, mem_bandwidth_Bps: float) -> float:
+    """Time of one cast kernel over ``nbytes`` of fp32 input.
+
+    Reads the fp32 buffer and writes the fp16 one (1.5× traffic).
+    """
+    if nbytes < 0:
+        raise ValueError("negative size")
+    if mem_bandwidth_Bps <= 0:
+        raise ValueError("bandwidth must be positive")
+    return 1.5 * nbytes / mem_bandwidth_Bps

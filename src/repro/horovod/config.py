@@ -1,0 +1,118 @@
+"""Horovod runtime knobs (`HOROVOD_*` environment variables).
+
+This is the paper's tuning surface.  Defaults mirror the Horovod releases
+of the paper's timeframe (0.16–0.19): 64 MB fusion threshold, 5 ms cycle
+time, flat (non-hierarchical) allreduce, no compression, response cache
+on.  :meth:`HorovodConfig.from_env` parses the same string forms users
+put in their job scripts, so the sweep harness can be driven with literal
+``HOROVOD_FUSION_THRESHOLD=268435456`` style settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+from repro.sim.units import MiB
+
+__all__ = ["HorovodConfig"]
+
+
+@dataclass(frozen=True)
+class HorovodConfig:
+    """One complete setting of the Horovod knobs.
+
+    Attributes
+    ----------
+    fusion_threshold_bytes:
+        ``HOROVOD_FUSION_THRESHOLD`` — max bytes packed into one fused
+        allreduce.  0 disables fusion (every tensor goes alone).
+    cycle_time_s:
+        ``HOROVOD_CYCLE_TIME`` (seconds here; milliseconds in the env
+        var) — period of the coordinator's negotiation tick.
+    hierarchical_allreduce:
+        ``HOROVOD_HIERARCHICAL_ALLREDUCE`` — use the two-level
+        node-leader allreduce instead of a flat one.
+    cache_enabled:
+        ``HOROVOD_CACHE_CAPACITY > 0`` — reuse negotiation responses for
+        previously seen ready-tensor sets (skips the per-cycle gather).
+    compression:
+        ``"none"`` or ``"fp16"`` — gradient compression before allreduce.
+    allreduce_algorithm:
+        Force a specific collective algorithm (``None`` = the MPI
+        library's size-based selection table).
+    """
+
+    fusion_threshold_bytes: int = 64 * MiB
+    cycle_time_s: float = 5e-3
+    hierarchical_allreduce: bool = False
+    cache_enabled: bool = True
+    compression: str = "none"
+    allreduce_algorithm: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.fusion_threshold_bytes < 0:
+            raise ValueError("fusion threshold must be >= 0")
+        if self.cycle_time_s <= 0:
+            raise ValueError("cycle time must be > 0")
+        if self.compression not in ("none", "fp16"):
+            raise ValueError(f"unknown compression {self.compression!r}")
+
+    @classmethod
+    def default(cls) -> "HorovodConfig":
+        """Horovod out-of-the-box settings (the paper's baseline)."""
+        return cls()
+
+    @classmethod
+    def from_env(cls, env: Mapping[str, str]) -> "HorovodConfig":
+        """Parse job-script style ``HOROVOD_*`` variables.
+
+        Unknown variables are ignored (like Horovod itself); malformed
+        values raise ``ValueError``.
+        """
+        cfg = cls()
+        updates: dict = {}
+        if "HOROVOD_FUSION_THRESHOLD" in env:
+            updates["fusion_threshold_bytes"] = int(env["HOROVOD_FUSION_THRESHOLD"])
+        if "HOROVOD_CYCLE_TIME" in env:
+            # Horovod takes milliseconds (float allowed).
+            updates["cycle_time_s"] = float(env["HOROVOD_CYCLE_TIME"]) * 1e-3
+        if "HOROVOD_HIERARCHICAL_ALLREDUCE" in env:
+            updates["hierarchical_allreduce"] = _parse_bool(
+                env["HOROVOD_HIERARCHICAL_ALLREDUCE"]
+            )
+        if "HOROVOD_CACHE_CAPACITY" in env:
+            updates["cache_enabled"] = int(env["HOROVOD_CACHE_CAPACITY"]) > 0
+        if "HOROVOD_COMPRESSION" in env:
+            updates["compression"] = env["HOROVOD_COMPRESSION"].lower()
+        return replace(cfg, **updates)
+
+    def with_(self, **kwargs) -> "HorovodConfig":
+        """A copy with the given fields replaced (sweep convenience)."""
+        return replace(self, **kwargs)
+
+    def describe(self) -> str:
+        """Compact human-readable form for reports and timelines."""
+        parts = [
+            f"fusion={self.fusion_threshold_bytes // MiB}MiB"
+            if self.fusion_threshold_bytes >= MiB
+            else f"fusion={self.fusion_threshold_bytes}B",
+            f"cycle={self.cycle_time_s * 1e3:g}ms",
+            f"hier={'on' if self.hierarchical_allreduce else 'off'}",
+            f"cache={'on' if self.cache_enabled else 'off'}",
+        ]
+        if self.compression != "none":
+            parts.append(f"comp={self.compression}")
+        if self.allreduce_algorithm:
+            parts.append(f"alg={self.allreduce_algorithm}")
+        return " ".join(parts)
+
+
+def _parse_bool(value: str) -> bool:
+    """Horovod-style boolean env parsing ('1'/'true'/'yes' etc.)."""
+    v = value.strip().lower()
+    if v in ("1", "true", "yes", "on"):
+        return True
+    if v in ("0", "false", "no", "off", ""):
+        return False
+    raise ValueError(f"cannot parse boolean env value {value!r}")

@@ -1,0 +1,288 @@
+"""The Horovod background coordinator as a discrete-event process.
+
+Faithful to Horovod's MPI-mode control flow:
+
+1. Each rank's training loop calls :meth:`HorovodRuntime.submit` as its
+   backward pass produces gradient tensors (Horovod: enqueuing a
+   ``TensorTableEntry``).  The call returns an event that fires when the
+   *averaged* tensor is back on that rank.
+2. A background loop ticks every ``cycle_time``.  If any tensors are
+   outstanding it runs a **negotiation** round: a linear gather of request
+   metadata to rank 0 plus a broadcast of the response list (with the
+   response cache on, previously seen ready-sets skip the gather and only
+   pay the small broadcast — Horovod's bitvector path).
+3. Tensors that are ready on **all** ranks are packed into fusion groups
+   (:func:`repro.horovod.fusion.pack_tensors`) and executed in order:
+   pack memcpy → (optional fp16 compress) → allreduce over the simulated
+   MPI → (decompress) → unpack memcpy.  Like Horovod's MPI path, the
+   background thread blocks while each collective runs.
+
+The runtime works in both payload modes: :class:`VirtualBuffer` for
+at-scale timing studies, real numpy arrays for the npnn trainer (where
+fusion concatenation/splitting moves actual gradient data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.cluster.gpu import GPUSpec, V100
+from repro.horovod.compression import cast_seconds
+from repro.horovod.config import HorovodConfig
+from repro.horovod.fusion import FusionGroup, PendingTensor, pack_tensors
+from repro.horovod.timeline import Timeline
+from repro.mpi.communicator import Comm
+from repro.mpi.payload import VirtualBuffer
+from repro.sim import Environment, Event
+
+__all__ = ["HorovodRuntime", "RuntimeStats"]
+
+
+@dataclass
+class RuntimeStats:
+    """Counters the tuning analysis reads after a run."""
+
+    cycles: int = 0
+    negotiations: int = 0
+    cache_hits: int = 0
+    fused_ops: int = 0
+    tensors_reduced: int = 0
+    bytes_reduced: int = 0
+    negotiation_seconds: float = 0.0
+    allreduce_seconds: float = 0.0
+    memcpy_seconds: float = 0.0
+    compression_seconds: float = 0.0
+
+    @property
+    def mean_fusion_size(self) -> float:
+        """Average bytes per fused allreduce."""
+        return self.bytes_reduced / self.fused_ops if self.fused_ops else 0.0
+
+
+@dataclass
+class _TensorEntry:
+    """Per-tensor negotiation state."""
+
+    name: str
+    nbytes: int
+    payloads: dict[int, Any] = field(default_factory=dict)
+    events: dict[int, Event] = field(default_factory=dict)
+    first_submit_s: float = 0.0
+
+
+class HorovodRuntime:
+    """One Horovod process group's background engine.
+
+    Parameters
+    ----------
+    comm:
+        The simulated MPI communicator (defines world size and fabric).
+    config:
+        The ``HOROVOD_*`` knob settings.
+    gpu:
+        GPU spec used to price fusion-buffer memcpys and casts.
+    timeline:
+        Optional :class:`Timeline` to record phase spans into.
+    control_bytes_per_tensor:
+        Size of one tensor's negotiation metadata (name + shape + dtype
+        descriptor in real Horovod; 64 B is representative).
+    negotiation:
+        ``"messages"`` simulates every control message of each round
+        (linear gather + broadcast) through the fabric — ground truth but
+        O(ranks) events per cycle.  ``"analytic"`` (default) charges the
+        closed-form :meth:`repro.mpi.communicator.Comm.control_round_seconds`
+        instead; tests pin the two against each other.
+    """
+
+    def __init__(self, comm: Comm, config: HorovodConfig,
+                 gpu: GPUSpec = V100, timeline: Timeline | None = None,
+                 control_bytes_per_tensor: int = 64,
+                 negotiation: str = "analytic") -> None:
+        if negotiation not in ("messages", "analytic"):
+            raise ValueError(f"unknown negotiation mode {negotiation!r}")
+        self.negotiation = negotiation
+        self.comm = comm
+        self.env: Environment = comm.env
+        self.config = config
+        self.gpu = gpu
+        self.timeline = timeline if timeline is not None else Timeline()
+        self.control_bytes_per_tensor = control_bytes_per_tensor
+        self.stats = RuntimeStats()
+        self._entries: dict[str, _TensorEntry] = {}
+        self._ready: list[PendingTensor] = []
+        self._response_cache: set[tuple[str, ...]] = set()
+        self._shutdown = False
+        self._loop = self.env.process(self._coordinator_loop())
+
+    @property
+    def size(self) -> int:
+        """World size."""
+        return self.comm.size
+
+    # -- worker API -----------------------------------------------------------
+    def submit(self, rank: int, name: str, payload: Any) -> Event:
+        """Enqueue ``payload`` (this rank's gradient tensor ``name``).
+
+        Returns an event that fires with the averaged tensor once the
+        fused allreduce containing it completes on this rank.  Submitting
+        the same name twice from one rank before completion is an error
+        (as in Horovod).
+        """
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range")
+        nbytes = (
+            payload.nbytes if isinstance(payload, (np.ndarray, VirtualBuffer))
+            else None
+        )
+        if nbytes is None:
+            raise TypeError(f"unsupported payload type {type(payload).__name__}")
+        entry = self._entries.get(name)
+        if entry is None:
+            entry = _TensorEntry(name, int(nbytes), first_submit_s=self.env.now)
+            self._entries[name] = entry
+        if rank in entry.payloads:
+            raise ValueError(f"rank {rank} already submitted tensor {name!r}")
+        if entry.nbytes != int(nbytes):
+            raise ValueError(
+                f"tensor {name!r} size mismatch across ranks: "
+                f"{entry.nbytes} vs {nbytes}"
+            )
+        entry.payloads[rank] = payload
+        event = Event(self.env)
+        entry.events[rank] = event
+        if len(entry.payloads) == self.size:
+            self._ready.append(PendingTensor(name, entry.nbytes, self.env.now))
+        return event
+
+    def shutdown(self) -> None:
+        """Ask the coordinator loop to exit at its next tick."""
+        self._shutdown = True
+
+    # -- coordinator -----------------------------------------------------------
+    def _coordinator_loop(self):
+        while True:
+            yield self.env.timeout(self.config.cycle_time_s)
+            if self._shutdown:
+                return
+            self.stats.cycles += 1
+            if not self._entries:
+                continue
+            ready = self._ready
+            self._ready = []
+            yield from self._negotiate(ready)
+            if not ready:
+                continue
+            for group in pack_tensors(ready, self.config.fusion_threshold_bytes):
+                yield from self._execute_group(group)
+
+    def _negotiate(self, ready: list[PendingTensor]):
+        """One negotiation round: gather requests, broadcast responses."""
+        start = self.env.now
+        signature = tuple(t.name for t in ready)
+        cached = self.config.cache_enabled and signature in self._response_cache
+        per_rank = max(
+            4, self.control_bytes_per_tensor * max(1, len(self._entries))
+        )
+        per_rank = (per_rank + 3) // 4 * 4
+        if cached and ready:
+            # Bitvector path: one small broadcast.
+            self.stats.cache_hits += 1
+            if self.negotiation == "messages":
+                yield self.comm.bcast(VirtualBuffer(64), root=0)
+            else:
+                yield self.env.timeout(self.comm.control_round_seconds(64, cached=True))
+        else:
+            if self.negotiation == "messages":
+                payloads = [VirtualBuffer(per_rank) for _ in range(self.size)]
+                yield self.comm.gather_linear(payloads, root=0)
+                yield self.comm.bcast(VirtualBuffer(per_rank), root=0)
+            else:
+                yield self.env.timeout(self.comm.control_round_seconds(per_rank))
+            if ready and self.config.cache_enabled:
+                self._response_cache.add(signature)
+        self.stats.negotiations += 1
+        self.stats.negotiation_seconds += self.env.now - start
+        self.timeline.record(
+            "NEGOTIATE", f"cycle_{self.stats.cycles}", start, self.env.now
+        )
+
+    # -- data plane --------------------------------------------------------------
+    def _execute_group(self, group: FusionGroup):
+        entries = [self._entries.pop(t.name) for t in group.tensors]
+        label = entries[0].name if len(entries) == 1 else f"fused_x{len(entries)}"
+        numpy_mode = isinstance(next(iter(entries[0].payloads.values())), np.ndarray)
+
+        # Queue span: from the moment the group's last tensor became
+        # ready on all ranks until execution starts now (cycle wait plus
+        # serialization behind earlier groups).
+        queued_since = max(t.ready_time for t in group.tensors)
+        if self.env.now > queued_since:
+            self.timeline.record("QUEUE", label, queued_since, self.env.now)
+
+        # Pack into the fusion buffer (skipped for singletons, as Horovod
+        # skips the copy when a tensor is reduced unfused).
+        if len(entries) > 1:
+            start = self.env.now
+            yield self.env.timeout(2 * group.nbytes / self.gpu.sustained_mem_Bps)
+            self.stats.memcpy_seconds += self.env.now - start
+            self.timeline.record("MEMCPY_IN", label, start, self.env.now)
+
+        wire_bytes = group.nbytes
+        if self.config.compression == "fp16":
+            start = self.env.now
+            yield self.env.timeout(cast_seconds(group.nbytes, self.gpu.sustained_mem_Bps))
+            self.stats.compression_seconds += self.env.now - start
+            self.timeline.record("COMPRESS", label, start, self.env.now)
+            wire_bytes = group.nbytes // 2
+
+        if numpy_mode:
+            fused = [
+                np.concatenate([e.payloads[r].ravel() for e in entries])
+                for r in range(self.size)
+            ]
+        else:
+            elem = 2 if self.config.compression == "fp16" else 4
+            aligned = (wire_bytes + elem - 1) // elem * elem
+            fused = [VirtualBuffer(aligned, elem) for _ in range(self.size)]
+
+        start = self.env.now
+        algorithm = (
+            "hierarchical" if self.config.hierarchical_allreduce
+            else self.config.allreduce_algorithm
+        )
+        results = yield self.comm.allreduce(fused, algorithm=algorithm, average=True)
+        self.stats.allreduce_seconds += self.env.now - start
+        self.timeline.record("ALLREDUCE", label, start, self.env.now)
+
+        if self.config.compression == "fp16":
+            start = self.env.now
+            yield self.env.timeout(cast_seconds(group.nbytes, self.gpu.sustained_mem_Bps))
+            self.stats.compression_seconds += self.env.now - start
+            self.timeline.record("DECOMPRESS", label, start, self.env.now)
+
+        if len(entries) > 1:
+            start = self.env.now
+            yield self.env.timeout(2 * group.nbytes / self.gpu.sustained_mem_Bps)
+            self.stats.memcpy_seconds += self.env.now - start
+            self.timeline.record("MEMCPY_OUT", label, start, self.env.now)
+
+        self.stats.fused_ops += 1
+        self.stats.tensors_reduced += len(entries)
+        self.stats.bytes_reduced += group.nbytes
+
+        # Hand each rank its averaged tensor back.
+        for rank in range(self.size):
+            if numpy_mode:
+                flat = results[rank]
+                offset = 0
+                for e in entries:
+                    shape = e.payloads[rank].shape
+                    n = e.payloads[rank].size
+                    e.events[rank].succeed(flat[offset:offset + n].reshape(shape))
+                    offset += n
+            else:
+                for e in entries:
+                    e.events[rank].succeed(VirtualBuffer((e.nbytes + 3) // 4 * 4))

@@ -1,0 +1,38 @@
+"""Model zoo: layer-graph reconstructions with compute/size accounting.
+
+The Horovod control plane never sees TensorFlow ops — it sees (a) how long
+forward/backward take on the GPU and (b) the sequence of gradient tensors
+(name, size, readiness time) the backward pass emits.  This package
+reconstructs exactly that for the paper's two models:
+
+* :func:`~repro.models.resnet.build_resnet50` — ResNet-50 v1.5 at 224²,
+  the paper's throughput yardstick (300 img/s on one V100).
+* :func:`~repro.models.deeplab.build_deeplabv3plus` — DeepLab-v3+ with the
+  modified-aligned Xception-65 backbone, output stride 16, ASPP rates
+  (6, 12, 18) and the paper's 513×513 crops (6.7 img/s on one V100).
+
+Every layer carries its trainable parameter count, forward FLOPs and
+activation bytes; :mod:`repro.models.costmodel` turns those into V100
+kernel times and a backward-pass gradient emission schedule.
+"""
+
+from repro.models.costmodel import IterationProfile, ModelCost
+from repro.models.deeplab import build_deeplabv3plus
+from repro.models.layers import GradTensor, LayerSpec, ModelGraph
+from repro.models.mobilenet import build_mobilenetv2
+from repro.models.resnet import build_resnet, build_resnet50, build_resnet101
+from repro.models.xception import build_xception65_backbone
+
+__all__ = [
+    "GradTensor",
+    "IterationProfile",
+    "LayerSpec",
+    "ModelCost",
+    "ModelGraph",
+    "build_deeplabv3plus",
+    "build_mobilenetv2",
+    "build_resnet",
+    "build_resnet101",
+    "build_resnet50",
+    "build_xception65_backbone",
+]

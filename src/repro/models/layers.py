@@ -1,0 +1,303 @@
+"""Layer specifications and the model-graph container.
+
+A :class:`LayerSpec` records, for one executable layer, everything the
+cost model and the Horovod runtime need: trainable parameter tensors
+(name + element count), forward FLOPs per image, and activation bytes
+per image.  A :class:`ModelGraph` is the ordered forward sequence of
+layers; the backward pass is its reverse, and the *gradient emission
+order* (what Horovod negotiates, in order) is derived from it.
+
+Conventions
+-----------
+* FLOPs count multiply and add separately (1 MAC = 2 FLOPs).
+* Spatial geometry uses TensorFlow ``SAME`` padding: ``out = ceil(in/stride)``.
+* Activation byte counts assume fp32 and count input read + output write,
+  the traffic that prices bandwidth-bound layers (BN, ReLU, add) in the
+  roofline model.
+
+The :class:`_GraphBuilder` helpers (``conv``, ``sep_conv``, ``bn_relu``…)
+compute geometry, FLOPs and parameters so model definitions read like the
+papers' architecture tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["GradTensor", "LayerSpec", "ModelGraph"]
+
+FP32 = 4  # bytes per element
+
+
+@dataclass(frozen=True)
+class GradTensor:
+    """One gradient tensor as seen by the Horovod runtime.
+
+    ``emission_index`` orders tensors by backward-pass readiness:
+    index 0 becomes ready first (the *last* forward layer's gradients).
+    """
+
+    name: str
+    numel: int
+    emission_index: int
+
+    @property
+    def nbytes(self) -> int:
+        """fp32 byte size of the tensor."""
+        return self.numel * FP32
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One executable layer of a model graph.
+
+    Attributes
+    ----------
+    name:
+        Unique layer name (``"conv2_block1_conv1"``…).
+    kind:
+        ``"conv"``, ``"dwconv"``, ``"bn"``, ``"relu"``, ``"pool"``,
+        ``"fc"``, ``"add"``, ``"upsample"``, ``"concat"``, ``"pad"``.
+    out_hw:
+        Output spatial size (h, w).
+    out_ch:
+        Output channels.
+    flops:
+        Forward FLOPs per image (MAC = 2).
+    act_bytes:
+        Activation bytes read + written per image (fp32).
+    weights:
+        Trainable parameter tensors as ``(suffix, numel)`` pairs, in the
+        order their gradients become ready within this layer's backward.
+    dilation:
+        Atrous rate (1 = dense).  Dilated kernels run at reduced
+        efficiency in the cost model, as they did in TF-era cuDNN.
+    """
+
+    name: str
+    kind: str
+    out_hw: tuple[int, int]
+    out_ch: int
+    flops: int
+    act_bytes: int
+    weights: tuple[tuple[str, int], ...] = ()
+    dilation: int = 1
+
+    @property
+    def params(self) -> int:
+        """Total trainable parameters in this layer."""
+        return sum(n for _, n in self.weights)
+
+    @property
+    def trainable(self) -> bool:
+        """True when the layer has parameters (emits gradients)."""
+        return bool(self.weights)
+
+
+@dataclass
+class ModelGraph:
+    """An ordered forward sequence of layers plus model metadata."""
+
+    name: str
+    input_hw: tuple[int, int]
+    input_ch: int
+    layers: list[LayerSpec] = field(default_factory=list)
+
+    @property
+    def total_params(self) -> int:
+        """Trainable parameter count of the whole model."""
+        return sum(layer.params for layer in self.layers)
+
+    @property
+    def total_flops(self) -> int:
+        """Forward FLOPs per image (MAC = 2)."""
+        return sum(layer.flops for layer in self.layers)
+
+    @property
+    def gradient_nbytes(self) -> int:
+        """Total fp32 gradient bytes per step (== 4 × total_params)."""
+        return self.total_params * FP32
+
+    def grad_tensors(self) -> list[GradTensor]:
+        """Gradient tensors in backward emission order.
+
+        Backward runs layers in reverse; within a layer, weight tensors
+        keep their declared order.  This ordering is what the Horovod
+        fusion buffer packs.
+        """
+        tensors: list[GradTensor] = []
+        for layer in reversed(self.layers):
+            for suffix, numel in layer.weights:
+                tensors.append(
+                    GradTensor(f"{layer.name}/{suffix}", numel, len(tensors))
+                )
+        return tensors
+
+    def layer(self, name: str) -> LayerSpec:
+        """Look up a layer by exact name."""
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(f"no layer named {name!r} in {self.name}")
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``ValueError`` on violation."""
+        seen = set()
+        for layer in self.layers:
+            if layer.name in seen:
+                raise ValueError(f"duplicate layer name {layer.name!r}")
+            seen.add(layer.name)
+            if layer.flops < 0 or layer.act_bytes < 0:
+                raise ValueError(f"negative cost on layer {layer.name!r}")
+            if min(layer.out_hw) < 1 or layer.out_ch < 1:
+                raise ValueError(f"degenerate geometry on layer {layer.name!r}")
+
+    def summary(self) -> str:
+        """A human-readable per-layer table (name, kind, shape, params, GFLOPs)."""
+        lines = [
+            f"{self.name}  input {self.input_hw[0]}x{self.input_hw[1]}x{self.input_ch}",
+            f"{'layer':<42} {'kind':<9} {'output':<14} {'params':>12} {'MFLOPs':>10}",
+        ]
+        for layer in self.layers:
+            shape = f"{layer.out_hw[0]}x{layer.out_hw[1]}x{layer.out_ch}"
+            lines.append(
+                f"{layer.name:<42} {layer.kind:<9} {shape:<14} "
+                f"{layer.params:>12,} {layer.flops / 1e6:>10.1f}"
+            )
+        lines.append(
+            f"total params {self.total_params:,}  "
+            f"forward GFLOPs {self.total_flops / 1e9:.2f}"
+        )
+        return "\n".join(lines)
+
+
+def same_pad_out(hw: tuple[int, int], stride: int) -> tuple[int, int]:
+    """TensorFlow SAME-padding output size."""
+    return (math.ceil(hw[0] / stride), math.ceil(hw[1] / stride))
+
+
+class GraphBuilder:
+    """Imperative builder that threads geometry through layer helpers.
+
+    Not exported: model modules use it internally.  Branching (residual /
+    ASPP) is handled with :meth:`checkpoint` / :meth:`restore` around each
+    branch, plus :meth:`add` / :meth:`concat` to merge.
+    """
+
+    def __init__(self, name: str, input_hw: tuple[int, int], input_ch: int) -> None:
+        self.graph = ModelGraph(name, input_hw, input_ch)
+        self.hw = input_hw
+        self.ch = input_ch
+
+    # -- state management --------------------------------------------------
+    def checkpoint(self) -> tuple[tuple[int, int], int]:
+        """Snapshot (hw, channels) before entering a branch."""
+        return (self.hw, self.ch)
+
+    def restore(self, state: tuple[tuple[int, int], int]) -> None:
+        """Restore a snapshot taken by :meth:`checkpoint`."""
+        self.hw, self.ch = state
+
+    def _emit(self, spec: LayerSpec) -> LayerSpec:
+        self.graph.layers.append(spec)
+        self.hw = spec.out_hw
+        self.ch = spec.out_ch
+        return spec
+
+    # -- layers -------------------------------------------------------------
+    def conv(self, name: str, out_ch: int, k: int, stride: int = 1,
+             dilation: int = 1, bias: bool = False) -> LayerSpec:
+        """2-D convolution, SAME padding."""
+        out_hw = same_pad_out(self.hw, stride)
+        macs = out_hw[0] * out_hw[1] * out_ch * self.ch * k * k
+        weights = [("kernel", k * k * self.ch * out_ch)]
+        if bias:
+            weights.append(("bias", out_ch))
+        act = FP32 * (self.hw[0] * self.hw[1] * self.ch + out_hw[0] * out_hw[1] * out_ch)
+        return self._emit(
+            LayerSpec(name, "conv", out_hw, out_ch, 2 * macs, act, tuple(weights),
+                      dilation=dilation)
+        )
+
+    def dwconv(self, name: str, k: int, stride: int = 1, dilation: int = 1) -> LayerSpec:
+        """Depthwise convolution (channel multiplier 1)."""
+        out_hw = same_pad_out(self.hw, stride)
+        macs = out_hw[0] * out_hw[1] * self.ch * k * k
+        act = FP32 * (self.hw[0] * self.hw[1] + out_hw[0] * out_hw[1]) * self.ch
+        return self._emit(
+            LayerSpec(name, "dwconv", out_hw, self.ch, 2 * macs, act,
+                      (("depthwise_kernel", k * k * self.ch),), dilation=dilation)
+        )
+
+    def bn(self, name: str) -> LayerSpec:
+        """Batch normalization (γ, β trainable)."""
+        n = self.hw[0] * self.hw[1] * self.ch
+        return self._emit(
+            LayerSpec(name, "bn", self.hw, self.ch, 4 * n, 2 * FP32 * n,
+                      (("gamma", self.ch), ("beta", self.ch)))
+        )
+
+    def relu(self, name: str) -> LayerSpec:
+        """ReLU activation."""
+        n = self.hw[0] * self.hw[1] * self.ch
+        return self._emit(LayerSpec(name, "relu", self.hw, self.ch, n, 2 * FP32 * n))
+
+    def bn_relu(self, prefix: str) -> None:
+        """The ubiquitous BN+ReLU pair."""
+        self.bn(f"{prefix}_bn")
+        self.relu(f"{prefix}_relu")
+
+    def sep_conv(self, prefix: str, out_ch: int, k: int = 3, stride: int = 1,
+                 dilation: int = 1, depth_activation: bool = True) -> None:
+        """Separable conv as DeepLab builds it: DW → BN(+ReLU) → PW → BN(+ReLU)."""
+        self.dwconv(f"{prefix}_depthwise", k, stride=stride, dilation=dilation)
+        self.bn(f"{prefix}_depthwise_bn")
+        if depth_activation:
+            self.relu(f"{prefix}_depthwise_relu")
+        self.conv(f"{prefix}_pointwise", out_ch, 1)
+        self.bn(f"{prefix}_pointwise_bn")
+        if depth_activation:
+            self.relu(f"{prefix}_pointwise_relu")
+
+    def maxpool(self, name: str, k: int = 3, stride: int = 2) -> LayerSpec:
+        """Max pooling, SAME padding."""
+        out_hw = same_pad_out(self.hw, stride)
+        n = out_hw[0] * out_hw[1] * self.ch * k * k
+        act = FP32 * (self.hw[0] * self.hw[1] + out_hw[0] * out_hw[1]) * self.ch
+        return self._emit(LayerSpec(name, "pool", out_hw, self.ch, n, act))
+
+    def global_avgpool(self, name: str) -> LayerSpec:
+        """Global average pooling to 1×1."""
+        n = self.hw[0] * self.hw[1] * self.ch
+        return self._emit(LayerSpec(name, "pool", (1, 1), self.ch, n, FP32 * (n + self.ch)))
+
+    def fc(self, name: str, out_features: int, bias: bool = True) -> LayerSpec:
+        """Fully connected layer on a 1×1 feature."""
+        if self.hw != (1, 1):
+            raise ValueError(f"fc after non-global feature {self.hw}")
+        macs = self.ch * out_features
+        weights = [("kernel", self.ch * out_features)]
+        if bias:
+            weights.append(("bias", out_features))
+        act = FP32 * (self.ch + out_features)
+        return self._emit(
+            LayerSpec(name, "fc", (1, 1), out_features, 2 * macs, act, tuple(weights))
+        )
+
+    def add(self, name: str) -> LayerSpec:
+        """Elementwise residual add (geometry unchanged)."""
+        n = self.hw[0] * self.hw[1] * self.ch
+        return self._emit(LayerSpec(name, "add", self.hw, self.ch, n, 3 * FP32 * n))
+
+    def concat(self, name: str, extra_ch: int) -> LayerSpec:
+        """Channel concatenation with a branch of ``extra_ch`` channels."""
+        out_ch = self.ch + extra_ch
+        n = self.hw[0] * self.hw[1] * out_ch
+        return self._emit(LayerSpec(name, "concat", self.hw, out_ch, 0, 2 * FP32 * n))
+
+    def upsample(self, name: str, out_hw: tuple[int, int]) -> LayerSpec:
+        """Bilinear resize to ``out_hw``."""
+        n = out_hw[0] * out_hw[1] * self.ch
+        act = FP32 * (self.hw[0] * self.hw[1] + out_hw[0] * out_hw[1]) * self.ch
+        return self._emit(LayerSpec(name, "upsample", out_hw, self.ch, 8 * n, act))

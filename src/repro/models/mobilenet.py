@@ -1,0 +1,69 @@
+"""MobileNetV2 layer graph (DeepLab's lightweight backbone option).
+
+The DeepLab family offers MobileNetV2 as the fast backbone (the paper's
+related work uses Xception-65 for accuracy; MobileNetV2 is the standard
+latency-oriented alternative).  Included in the zoo both for completeness
+and because its parameter count (3,504,872 at width 1.0, 1000 classes) is
+a strong external check on the graph-builder arithmetic.
+
+Architecture (Sandler et al., 2018): a 32-channel stride-2 stem, seven
+groups of inverted-residual bottlenecks (expansion 6 except the first),
+a 1280-channel 1×1 head, global pooling and the classifier.
+"""
+
+from __future__ import annotations
+
+from repro.models.layers import GraphBuilder, ModelGraph
+
+__all__ = ["build_mobilenetv2"]
+
+#: (expansion t, output channels c, repeats n, first stride s) per group.
+INVERTED_RESIDUAL_CFG = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+
+def _inverted_residual(b: GraphBuilder, name: str, expansion: int,
+                       out_ch: int, stride: int) -> None:
+    """One inverted-residual block: expand → depthwise → project."""
+    in_ch = b.ch
+    entry = b.checkpoint()
+    hidden = in_ch * expansion
+    if expansion != 1:
+        b.conv(f"{name}_expand", hidden, 1)
+        b.bn_relu(f"{name}_expand")
+    b.dwconv(f"{name}_depthwise", 3, stride=stride)
+    b.bn_relu(f"{name}_depthwise")
+    b.conv(f"{name}_project", out_ch, 1)
+    b.bn(f"{name}_project_bn")  # linear bottleneck: no activation
+    if stride == 1 and in_ch == out_ch:
+        main = b.checkpoint()
+        b.restore(main)
+        b.add(f"{name}_add")
+    _ = entry  # geometry bookkeeping only; shortcut is identity
+
+
+def build_mobilenetv2(input_hw: tuple[int, int] = (224, 224),
+                      num_classes: int = 1000) -> ModelGraph:
+    """Build MobileNetV2 (width multiplier 1.0)."""
+    b = GraphBuilder("mobilenetv2", input_hw, 3)
+    b.conv("stem_conv", 32, 3, stride=2)
+    b.bn_relu("stem")
+    block = 0
+    for expansion, out_ch, repeats, first_stride in INVERTED_RESIDUAL_CFG:
+        for i in range(repeats):
+            stride = first_stride if i == 0 else 1
+            _inverted_residual(b, f"block{block}", expansion, out_ch, stride)
+            block += 1
+    b.conv("head_conv", 1280, 1)
+    b.bn_relu("head")
+    b.global_avgpool("avg_pool")
+    b.fc("classifier", num_classes)
+    b.graph.validate()
+    return b.graph

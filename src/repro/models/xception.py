@@ -1,0 +1,86 @@
+"""Modified Aligned Xception-65 backbone, as used by DeepLab-v3+.
+
+DeepLab's changes vs. the original Xception: deeper (65 layers), all max
+pooling replaced by stride-2 separable convolutions, and BN + ReLU after
+every 3×3 depthwise convolution ("depth activation") in the exit flow.
+With output stride 16 on 513×513 inputs the feature maps run
+513 → 257 → 129 → 65 → 33, the exit flow switches to dilation 2 instead
+of striding, and the decoder taps the stride-4 (129×129×256) feature after
+entry-flow block 2.
+"""
+
+from __future__ import annotations
+
+from repro.models.layers import GraphBuilder
+
+__all__ = ["build_xception65_backbone"]
+
+#: Number of middle-flow residual blocks in Xception-65.
+MIDDLE_BLOCKS = 16
+
+
+def _xception_block(b: GraphBuilder, name: str, channels: list[int],
+                    stride: int, dilation: int = 1,
+                    depth_activation: bool = False,
+                    skip: str = "conv") -> None:
+    """One Xception block: 3 separable convs + (conv|identity|none) shortcut.
+
+    ``channels`` lists the three pointwise output widths; the stride (or
+    dilation at output-stride saturation) applies to the last sep conv.
+    """
+    entry = b.checkpoint()
+    for i, ch in enumerate(channels, start=1):
+        s = stride if i == len(channels) else 1
+        b.sep_conv(f"{name}_sepconv{i}", ch, 3, stride=s, dilation=dilation,
+                   depth_activation=depth_activation)
+    main = b.checkpoint()
+    if skip == "conv":
+        b.restore(entry)
+        b.conv(f"{name}_shortcut_conv", channels[-1], 1, stride=stride)
+        b.bn(f"{name}_shortcut_bn")
+        b.restore(main)
+        b.add(f"{name}_add")
+    elif skip == "sum":
+        b.restore(main)
+        b.add(f"{name}_add")
+    elif skip != "none":
+        raise ValueError(f"unknown skip mode {skip!r}")
+
+
+def build_xception65_backbone(b: GraphBuilder, output_stride: int = 16) -> dict:
+    """Append the Xception-65 backbone to builder ``b``.
+
+    Returns a dict with the builder states at the decoder tap points:
+    ``{"low_level": (hw, ch) at stride 4, "out": (hw, ch) at output_stride}``.
+    """
+    if output_stride not in (8, 16):
+        raise ValueError(f"output_stride must be 8 or 16, got {output_stride}")
+    # Entry flow stem.
+    b.conv("entry_flow_conv1_1", 32, 3, stride=2)
+    b.bn_relu("entry_flow_conv1_1")
+    b.conv("entry_flow_conv1_2", 64, 3)
+    b.bn_relu("entry_flow_conv1_2")
+    _xception_block(b, "entry_flow_block1", [128, 128, 128], stride=2)
+    low_level = b.checkpoint()  # stride 4 features feed the decoder
+    _xception_block(b, "entry_flow_block2", [256, 256, 256], stride=2)
+    # Block 3 takes the net to stride 16; with OS=8 it would keep stride 8
+    # and dilate everything after (we model the paper's OS=16 training).
+    block3_stride = 2 if output_stride == 16 else 1
+    dilation = 1 if output_stride == 16 else 2
+    _xception_block(b, "entry_flow_block3", [728, 728, 728], stride=block3_stride,
+                    dilation=dilation)
+    # Middle flow: 16 identity-residual blocks at constant width.
+    for i in range(1, MIDDLE_BLOCKS + 1):
+        _xception_block(b, f"middle_flow_block{i}", [728, 728, 728], stride=1,
+                        dilation=dilation, skip="sum")
+    # Exit flow: at OS=16 the exit block stops striding and dilates instead.
+    exit_dilation = dilation * 2
+    _xception_block(b, "exit_flow_block1", [728, 1024, 1024], stride=1,
+                    dilation=exit_dilation)
+    b.sep_conv("exit_flow_sepconv1", 1536, 3, dilation=exit_dilation,
+               depth_activation=True)
+    b.sep_conv("exit_flow_sepconv2", 1536, 3, dilation=exit_dilation,
+               depth_activation=True)
+    b.sep_conv("exit_flow_sepconv3", 2048, 3, dilation=exit_dilation,
+               depth_activation=True)
+    return {"low_level": low_level, "out": b.checkpoint()}

@@ -1,0 +1,60 @@
+"""Simulated MPI: real collective algorithms over the simulated fabric.
+
+This package reimplements the MPI functionality the paper depends on:
+
+* **Point-to-point** messaging with MPI semantics — eager vs. rendezvous
+  protocol selection by message size, (source, tag) matching, per-pair
+  FIFO ordering (:mod:`repro.mpi.communicator`).
+* **Collectives** — ring, recursive doubling, Rabenseifner
+  (recursive-halving reduce-scatter + recursive-doubling allgather),
+  binomial tree, and two-level hierarchical allreduce, all executed as
+  real message schedules over the fabric (:mod:`repro.mpi.collectives`).
+* **Library profiles** — the observable differences between IBM Spectrum
+  MPI (Summit's default, host-staged GPU buffers) and MVAPICH2-GDR
+  (GPU-Direct RDMA): per-message software latency, achievable bandwidth
+  fraction, protocol thresholds and algorithm selection tables
+  (:mod:`repro.mpi.libraries`).
+* **Microbenchmarks** — OSU-style latency / allreduce drivers used by
+  experiment E3 (:mod:`repro.mpi.osu`).
+
+Collectives are *data-carrying*: with numpy payloads they move and reduce
+real arrays (bit-exactness is tested), and with
+:class:`~repro.mpi.payload.VirtualBuffer` payloads the same schedules run
+at scale without allocating gradient-sized memory.
+"""
+
+from repro.mpi.communicator import Comm
+from repro.mpi.libraries import (
+    ALL_LIBRARIES,
+    MPI_LIBRARIES,
+    MVAPICH2_GDR,
+    NCCL,
+    SPECTRUM_MPI,
+    MPILibrary,
+)
+from repro.mpi.payload import (
+    NUMPY_OPS,
+    VIRTUAL_OPS,
+    NumpyOps,
+    PayloadOps,
+    VirtualBuffer,
+    VirtualOps,
+    ops_for,
+)
+
+__all__ = [
+    "ALL_LIBRARIES",
+    "Comm",
+    "MPI_LIBRARIES",
+    "MPILibrary",
+    "MVAPICH2_GDR",
+    "NCCL",
+    "NUMPY_OPS",
+    "NumpyOps",
+    "PayloadOps",
+    "SPECTRUM_MPI",
+    "VIRTUAL_OPS",
+    "VirtualBuffer",
+    "VirtualOps",
+    "ops_for",
+]

@@ -1,0 +1,57 @@
+"""Collective algorithm implementations and registry.
+
+Each algorithm is a generator function ``fn(ctx, grank, payload)`` that
+runs as one simulation process per rank, exchanges real payloads through
+``ctx.isend`` / ``ctx.recv``, and returns that rank's reduced result.
+
+Available allreduce algorithms:
+
+========================  =====================================================
+``ring``                  bandwidth-optimal: reduce-scatter + allgather rings
+``recursive_doubling``    latency-optimal: log2(p) full-size exchanges
+``rabenseifner``          recursive-halving reduce-scatter + recursive-
+                          doubling allgather (bandwidth-optimal, log latency)
+``tree``                  binomial reduce to rank 0 + binomial broadcast
+``hierarchical``          two-level: intra-node reduce → inter-node allreduce
+                          among node leaders → intra-node broadcast (the
+                          HOROVOD_HIERARCHICAL_ALLREDUCE path)
+========================  =====================================================
+"""
+
+from repro.mpi.collectives.hierarchical import hierarchical_allreduce
+from repro.mpi.collectives.rabenseifner import rabenseifner_allreduce
+from repro.mpi.collectives.recursive import recursive_doubling_allreduce
+from repro.mpi.collectives.ring import ring_allreduce
+from repro.mpi.collectives.tree import binomial_bcast, binomial_reduce, tree_allreduce
+
+__all__ = [
+    "ALGORITHMS",
+    "binomial_bcast",
+    "binomial_reduce",
+    "get_algorithm",
+    "hierarchical_allreduce",
+    "rabenseifner_allreduce",
+    "recursive_doubling_allreduce",
+    "ring_allreduce",
+    "tree_allreduce",
+]
+
+#: Registry mapping algorithm name -> generator function.
+ALGORITHMS = {
+    "ring": ring_allreduce,
+    "recursive_doubling": recursive_doubling_allreduce,
+    "rabenseifner": rabenseifner_allreduce,
+    "tree": tree_allreduce,
+    "hierarchical": hierarchical_allreduce,
+}
+
+
+def get_algorithm(name: str):
+    """Look up a collective algorithm by registry name."""
+    try:
+        return ALGORITHMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown collective algorithm {name!r}; "
+            f"available: {sorted(ALGORITHMS)}"
+        ) from None

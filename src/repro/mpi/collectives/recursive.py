@@ -1,0 +1,78 @@
+"""Latency-optimal recursive-doubling allreduce.
+
+``log2(p)`` rounds; in round ``k`` every rank exchanges its full buffer
+with the partner whose rank differs in bit ``k`` and reduces.  Traffic per
+rank is ``log2(p) · n`` bytes — far worse than ring for large ``n`` — but
+only ``log2(p)`` latency terms, which makes it the library choice for
+small messages.
+
+Non-power-of-two communicator sizes use the standard MPICH fold: the first
+``2r`` ranks (where ``r = p - 2^⌊log2 p⌋``) pair up, odd ranks fold their
+contribution into their even neighbor and sit out the doubling rounds,
+then receive the final result back.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.mpi.communicator import CollCtx
+
+__all__ = ["largest_pow2_leq", "recursive_doubling_allreduce"]
+
+
+def largest_pow2_leq(p: int) -> int:
+    """The largest power of two ≤ ``p`` (p ≥ 1)."""
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    return 1 << (p.bit_length() - 1)
+
+
+def recursive_doubling_allreduce(ctx: CollCtx, grank: int, payload: Any):
+    """One rank's recursive-doubling process; returns the reduced payload."""
+    p = ctx.size
+    ops = ctx.ops
+    if p == 1:
+        return payload
+        yield  # pragma: no cover
+    pof2 = largest_pow2_leq(p)
+    rem = p - pof2
+    data = payload
+    fold_tag = ctx.tag
+    final_tag = ctx.tag + 1
+    round_base = ctx.tag + 2
+
+    # Fold phase: ranks [0, 2*rem) pair up (even, odd).
+    if grank < 2 * rem:
+        if grank % 2 == 1:
+            yield ctx.isend(grank, grank - 1, data, fold_tag)
+            data = yield ctx.recv(grank, grank - 1, final_tag)
+            return data
+        incoming = yield ctx.recv(grank, grank + 1, fold_tag)
+        data = ops.add(data, incoming)
+        newrank = grank // 2
+    else:
+        newrank = grank - rem
+
+    # Doubling rounds among the pof2 surviving ranks.
+    mask = 1
+    round_idx = 0
+    while mask < pof2:
+        partner_new = newrank ^ mask
+        partner = partner_new * 2 if partner_new < rem else partner_new + rem
+        send_done = ctx.isend(grank, partner, data, round_base + round_idx)
+        incoming = yield ctx.recv(grank, partner, round_base + round_idx)
+        # Canonical order (lower contribution first) so that partners
+        # compute bitwise-identical sums.
+        if newrank < partner_new:
+            data = ops.add(data, incoming)
+        else:
+            data = ops.add(incoming, data)
+        yield send_done
+        mask <<= 1
+        round_idx += 1
+
+    # Unfold: even survivors return the result to their folded partner.
+    if grank < 2 * rem:
+        yield ctx.isend(grank, grank + 1, data, final_tag)
+    return data

@@ -1,0 +1,58 @@
+"""Bandwidth-optimal ring allreduce.
+
+The classic two-phase ring (Baidu/Horovod style): the buffer is split into
+``p`` balanced segments; a reduce-scatter phase of ``p-1`` neighbor
+exchanges leaves each rank with one fully reduced segment, then an
+allgather phase of ``p-1`` exchanges circulates the reduced segments.
+
+Total traffic per rank is ``2 (p-1)/p · n`` bytes — asymptotically optimal
+— at the cost of ``2 (p-1)`` latency terms, which is why libraries only
+select it for large messages.
+
+A useful property this implementation preserves: every rank applies the
+reductions for a given segment in the same order (ring order), so the ring
+allreduce result is **bitwise identical across ranks** even in floating
+point.  The npnn data-parallel trainer relies on this.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.mpi.communicator import CollCtx
+
+__all__ = ["ring_allreduce"]
+
+
+def ring_allreduce(ctx: CollCtx, grank: int, payload: Any):
+    """One rank's ring-allreduce process; returns the reduced payload."""
+    p = ctx.size
+    ops = ctx.ops
+    if p == 1:
+        return payload
+        yield  # pragma: no cover - marks this function as a generator
+    segments = ops.split(payload, p)
+    right = (grank + 1) % p
+    left = (grank - 1) % p
+
+    # Phase 1: reduce-scatter.  After p-1 steps, this rank holds the fully
+    # reduced segment (grank + 1) mod p.
+    for step in range(p - 1):
+        send_idx = (grank - step) % p
+        recv_idx = (grank - step - 1) % p
+        send_done = ctx.isend(grank, right, segments[send_idx], ctx.tag + step)
+        incoming = yield ctx.recv(grank, left, ctx.tag + step)
+        segments[recv_idx] = ops.add(incoming, segments[recv_idx])
+        yield send_done
+
+    # Phase 2: allgather of the reduced segments.
+    base = ctx.tag + p
+    for step in range(p - 1):
+        send_idx = (grank + 1 - step) % p
+        recv_idx = (grank - step) % p
+        send_done = ctx.isend(grank, right, segments[send_idx], base + step)
+        incoming = yield ctx.recv(grank, left, base + step)
+        segments[recv_idx] = incoming
+        yield send_done
+
+    return ops.concat(segments)

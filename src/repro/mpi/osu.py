@@ -1,0 +1,120 @@
+"""OSU-style microbenchmarks over the simulated MPI.
+
+Reproduces the measurement methodology of the OSU Micro-Benchmarks suite
+(from the same MVAPICH group as the paper): ``osu_latency`` is a ping-pong
+between two ranks, ``osu_allreduce`` times repeated allreduces across the
+full communicator and reports the mean per-iteration latency.
+
+These drivers own the simulation clock: they repeatedly advance the
+environment until their operations complete.  Use them on a dedicated
+environment, not inside a larger training simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mpi.communicator import Comm
+from repro.mpi.payload import VirtualBuffer
+
+__all__ = ["OSUResult", "osu_allreduce", "osu_bcast", "osu_latency",
+           "sweep_allreduce"]
+
+
+@dataclass(frozen=True)
+class OSUResult:
+    """One microbenchmark measurement."""
+
+    benchmark: str
+    nbytes: int
+    ranks: int
+    latency_s: float
+    iterations: int
+
+    @property
+    def latency_us(self) -> float:
+        """Latency in microseconds (OSU's reporting unit)."""
+        return self.latency_s * 1e6
+
+    @property
+    def bandwidth_Bps(self) -> float:
+        """Effective per-rank bandwidth (bytes / latency)."""
+        return self.nbytes / self.latency_s if self.latency_s > 0 else float("inf")
+
+
+def osu_latency(comm: Comm, nbytes: int, iterations: int = 10,
+                ranks: tuple[int, int] = (0, 1)) -> OSUResult:
+    """Ping-pong latency between two ranks (half round-trip, like OSU)."""
+    if comm.size < 2:
+        raise ValueError("osu_latency needs at least 2 ranks")
+    a, b = ranks
+    env = comm.env
+    start = env.now
+    tag = comm.fresh_tag_block()
+    size = _aligned(nbytes)
+
+    def side_a(env):
+        for it in range(iterations):
+            yield comm.isend(a, b, VirtualBuffer(size), tag + 2 * it)
+            yield comm.recv(a, b, tag + 2 * it + 1)
+
+    def side_b(env):
+        for it in range(iterations):
+            got = yield comm.recv(b, a, tag + 2 * it)
+            yield comm.isend(b, a, got, tag + 2 * it + 1)
+
+    pa = env.process(side_a(env))
+    pb = env.process(side_b(env))
+    env.run(until=env.all_of([pa, pb]))
+    elapsed = env.now - start
+    return OSUResult("osu_latency", nbytes, 2, elapsed / (2 * iterations), iterations)
+
+
+def osu_allreduce(comm: Comm, nbytes: int, iterations: int = 5,
+                  algorithm: str | None = None) -> OSUResult:
+    """Mean allreduce latency over ``iterations`` back-to-back operations."""
+    env = comm.env
+    start = env.now
+    size = _aligned(nbytes)
+    for _ in range(iterations):
+        done = comm.allreduce(
+            [VirtualBuffer(size) for _ in range(comm.size)], algorithm=algorithm
+        )
+        env.run(until=done)
+    elapsed = env.now - start
+    return OSUResult("osu_allreduce", nbytes, comm.size, elapsed / iterations, iterations)
+
+
+def osu_bcast(comm: Comm, nbytes: int, iterations: int = 5,
+              root: int = 0) -> OSUResult:
+    """Mean binomial-broadcast latency over ``iterations`` operations."""
+    env = comm.env
+    start = env.now
+    size = _aligned(nbytes)
+    for _ in range(iterations):
+        done = comm.bcast(VirtualBuffer(size), root=root)
+        env.run(until=done)
+    elapsed = env.now - start
+    return OSUResult("osu_bcast", nbytes, comm.size, elapsed / iterations,
+                     iterations)
+
+
+def sweep_allreduce(make_comm, sizes: list[int], iterations: int = 5,
+                    algorithm: str | None = None) -> list[OSUResult]:
+    """Run ``osu_allreduce`` for each size on a fresh communicator.
+
+    ``make_comm`` is a zero-argument factory returning a fresh
+    :class:`Comm` (fresh environment) per measurement, so sizes don't
+    interact through link-state carryover.
+    """
+    return [
+        osu_allreduce(make_comm(), size, iterations=iterations, algorithm=algorithm)
+        for size in sizes
+    ]
+
+
+def _aligned(nbytes: int) -> int:
+    """Round up to fp32 alignment (OSU sizes are powers of two anyway)."""
+    if nbytes < 0:
+        raise ValueError(f"negative message size {nbytes}")
+    return ((nbytes + 3) // 4) * 4

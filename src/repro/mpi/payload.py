@@ -1,0 +1,178 @@
+"""Payload abstraction: the data collectives carry.
+
+Collective algorithms are written once against the small
+:class:`PayloadOps` interface and run in two modes:
+
+* **Data mode** (:class:`NumpyOps`): payloads are numpy arrays; reductions
+  actually happen.  Used for correctness tests (hypothesis property tests
+  assert allreduce == elementwise sum) and for the real
+  :mod:`repro.npnn` data-parallel trainer.
+* **Timing mode** (:class:`VirtualOps`): payloads are
+  :class:`VirtualBuffer` size-only placeholders, so the same message
+  schedules execute at 132-GPU scale without allocating 132 × 164 MB of
+  gradients.
+
+Splits are *balanced contiguous* splits in element units (numpy) or byte
+units rounded to the element size (virtual), matching how ring/Rabenseifner
+implementations segment buffers in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = [
+    "NUMPY_OPS",
+    "NumpyOps",
+    "PayloadOps",
+    "VIRTUAL_OPS",
+    "VirtualBuffer",
+    "VirtualOps",
+    "ops_for",
+]
+
+
+@runtime_checkable
+class PayloadOps(Protocol):
+    """Operations a collective algorithm needs on its payload type."""
+
+    def nbytes(self, x: Any) -> int:
+        """Size of payload ``x`` in bytes."""
+        ...
+
+    def split(self, x: Any, k: int) -> list[Any]:
+        """Split ``x`` into ``k`` contiguous balanced segments."""
+        ...
+
+    def concat(self, parts: list[Any]) -> Any:
+        """Concatenate segments back into one payload."""
+        ...
+
+    def add(self, a: Any, b: Any) -> Any:
+        """Elementwise sum of equal-shaped payloads."""
+        ...
+
+    def clone(self, x: Any) -> Any:
+        """An independent copy of ``x`` (simulated device-to-device copy)."""
+        ...
+
+    def scale(self, x: Any, s: float) -> Any:
+        """Payload scaled by scalar ``s`` (used for averaging)."""
+        ...
+
+
+class NumpyOps:
+    """Real data movement: payloads are 1-D numpy arrays."""
+
+    def nbytes(self, x: np.ndarray) -> int:
+        """Byte size of the array."""
+        return int(x.nbytes)
+
+    def split(self, x: np.ndarray, k: int) -> list[np.ndarray]:
+        """Balanced contiguous split (``np.array_split`` semantics)."""
+        if k < 1:
+            raise ValueError(f"split into {k} parts")
+        return [np.ascontiguousarray(part) for part in np.array_split(x, k)]
+
+    def concat(self, parts: list[np.ndarray]) -> np.ndarray:
+        """Concatenate along axis 0."""
+        return np.concatenate(parts) if parts else np.empty(0)
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise sum (fresh array; inputs unmodified)."""
+        if a.shape != b.shape:
+            raise ValueError(f"shape mismatch in reduce: {a.shape} vs {b.shape}")
+        return a + b
+
+    def clone(self, x: np.ndarray) -> np.ndarray:
+        """Deep copy."""
+        return x.copy()
+
+    def scale(self, x: np.ndarray, s: float) -> np.ndarray:
+        """Scalar multiply."""
+        return x * s
+
+
+@dataclass(frozen=True)
+class VirtualBuffer:
+    """A size-only stand-in for a device buffer.
+
+    ``elem_size`` is the element width in bytes (4 for fp32 gradients,
+    2 for fp16-compressed); splits respect element boundaries.
+    """
+
+    nbytes: int
+    elem_size: int = 4
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError(f"negative buffer size {self.nbytes}")
+        if self.elem_size < 1:
+            raise ValueError(f"bad element size {self.elem_size}")
+        if self.nbytes % self.elem_size:
+            raise ValueError(
+                f"size {self.nbytes} not a multiple of elem_size {self.elem_size}"
+            )
+
+    @property
+    def numel(self) -> int:
+        """Number of elements in the buffer."""
+        return self.nbytes // self.elem_size
+
+
+class VirtualOps:
+    """Timing-only payloads: track sizes, move no data."""
+
+    def nbytes(self, x: VirtualBuffer) -> int:
+        """Byte size of the virtual buffer."""
+        return x.nbytes
+
+    def split(self, x: VirtualBuffer, k: int) -> list[VirtualBuffer]:
+        """Balanced element split, mirroring ``np.array_split``."""
+        if k < 1:
+            raise ValueError(f"split into {k} parts")
+        n, rem = divmod(x.numel, k)
+        return [
+            VirtualBuffer((n + (1 if i < rem else 0)) * x.elem_size, x.elem_size)
+            for i in range(k)
+        ]
+
+    def concat(self, parts: list[VirtualBuffer]) -> VirtualBuffer:
+        """Concatenation = size sum (element sizes must agree)."""
+        if not parts:
+            return VirtualBuffer(0)
+        elem = parts[0].elem_size
+        if any(p.elem_size != elem for p in parts):
+            raise ValueError("cannot concat virtual buffers of different elem_size")
+        return VirtualBuffer(sum(p.nbytes for p in parts), elem)
+
+    def add(self, a: VirtualBuffer, b: VirtualBuffer) -> VirtualBuffer:
+        """Reduction leaves the size unchanged; sizes must match."""
+        if a.nbytes != b.nbytes:
+            raise ValueError(f"size mismatch in reduce: {a.nbytes} vs {b.nbytes}")
+        return a
+
+    def clone(self, x: VirtualBuffer) -> VirtualBuffer:
+        """Virtual buffers are immutable; clone is identity."""
+        return x
+
+    def scale(self, x: VirtualBuffer, s: float) -> VirtualBuffer:
+        """Scaling leaves the size unchanged."""
+        return x
+
+
+#: Shared stateless instances.
+NUMPY_OPS = NumpyOps()
+VIRTUAL_OPS = VirtualOps()
+
+
+def ops_for(payload: Any) -> PayloadOps:
+    """Pick the right :class:`PayloadOps` for a payload instance."""
+    if isinstance(payload, np.ndarray):
+        return NUMPY_OPS
+    if isinstance(payload, VirtualBuffer):
+        return VIRTUAL_OPS
+    raise TypeError(f"no payload ops for {type(payload).__name__}")

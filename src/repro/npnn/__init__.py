@@ -1,0 +1,59 @@
+"""npnn: a real, pure-numpy neural-network substrate.
+
+Everything else in the reproduction *models* computation; this package
+*performs* it.  It exists to close the loop the convergence model cannot:
+prove mechanically that the distributed training path — sharding,
+backward, gradient submission through the Horovod runtime, ring
+allreduce, averaged update — computes exactly the gradients synchronous
+SGD specifies, and genuinely learns a segmentation task (real mIOU on
+:class:`repro.data.voc.VOCMini`).
+
+Contents:
+
+* :mod:`repro.npnn.functional` — im2col convolution (stride + dilation,
+  SAME padding), bilinear resize, both with exact backward passes
+  (gradcheck-tested);
+* :mod:`repro.npnn.layers` — Conv2D / BatchNorm2D / ReLU / containers
+  with a params/grads dict API;
+* :mod:`repro.npnn.model` — MiniDeepLab: a scaled-down encoder + ASPP +
+  decoder with the same architectural motifs as DLv3+;
+* :mod:`repro.npnn.loss` / :mod:`repro.npnn.optim` /
+  :mod:`repro.npnn.metrics` — per-pixel softmax cross-entropy,
+  SGD+momentum, confusion-matrix mIOU;
+* :mod:`repro.npnn.parallel` — the data-parallel trainer that moves real
+  gradients through the simulated Horovod runtime.
+
+Arrays are NCHW, float64 by default (so distributed-vs-serial equality
+is checkable to 1e-12).
+"""
+
+from repro.npnn.layers import (
+    BatchNorm2D,
+    Concat,
+    Conv2D,
+    DepthwiseConv2D,
+    ReLU,
+    Sequential,
+)
+from repro.npnn.loss import softmax_cross_entropy
+from repro.npnn.metrics import confusion_matrix, mean_iou, pixel_accuracy
+from repro.npnn.model import MiniDeepLab
+from repro.npnn.optim import SGD
+from repro.npnn.parallel import DataParallelTrainer, ParallelConfig
+
+__all__ = [
+    "BatchNorm2D",
+    "Concat",
+    "Conv2D",
+    "DataParallelTrainer",
+    "DepthwiseConv2D",
+    "MiniDeepLab",
+    "ParallelConfig",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "confusion_matrix",
+    "mean_iou",
+    "pixel_accuracy",
+    "softmax_cross_entropy",
+]

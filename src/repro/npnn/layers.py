@@ -1,0 +1,257 @@
+"""Trainable layers with a params/grads dict API.
+
+Every layer exposes ``params`` and ``grads`` (same keys), ``forward`` /
+``backward``, and ``named_params()`` for the optimizer and the
+data-parallel gradient exchange.  ``backward`` *accumulates* into
+``grads``; call :meth:`Layer.zero_grads` between steps.
+
+Initialization is deterministic from an explicit ``rng`` so that
+data-parallel replicas constructed with the same seed are bitwise
+identical — the property the parallel-equivalence tests rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.npnn.functional import (
+    conv2d,
+    conv2d_backward,
+    depthwise_conv2d,
+    depthwise_conv2d_backward,
+)
+
+__all__ = [
+    "BatchNorm2D",
+    "Concat",
+    "Conv2D",
+    "DepthwiseConv2D",
+    "Layer",
+    "ReLU",
+    "Sequential",
+]
+
+
+class Layer:
+    """Base layer: parameter bookkeeping plus the forward/backward pair."""
+
+    def __init__(self) -> None:
+        self.params: dict[str, np.ndarray] = {}
+        self.grads: dict[str, np.ndarray] = {}
+        self.training = True
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute the layer output, caching what backward needs."""
+        raise NotImplementedError
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        """Accumulate parameter grads; return the input gradient."""
+        raise NotImplementedError
+
+    def named_params(self, prefix: str = ""):
+        """Yield (qualified_name, param_array, grad_array) triples."""
+        for name in self.params:
+            yield f"{prefix}{name}", self.params[name], self.grads[name]
+
+    def zero_grads(self) -> None:
+        """Reset accumulated gradients to zero."""
+        for g in self.grads.values():
+            g[...] = 0.0
+
+    def set_training(self, training: bool) -> None:
+        """Switch between train and eval behavior (BN statistics)."""
+        self.training = training
+
+
+class Conv2D(Layer):
+    """Convolution with SAME padding, stride and dilation (He init)."""
+
+    def __init__(self, in_ch: int, out_ch: int, k: int = 3, stride: int = 1,
+                 dilation: int = 1, bias: bool = True,
+                 rng: np.random.Generator | None = None,
+                 dtype=np.float64) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        scale = np.sqrt(2.0 / (in_ch * k * k))
+        self.stride = stride
+        self.dilation = dilation
+        self.params["weight"] = (
+            rng.standard_normal((out_ch, in_ch, k, k)) * scale
+        ).astype(dtype)
+        self.grads["weight"] = np.zeros_like(self.params["weight"])
+        if bias:
+            self.params["bias"] = np.zeros(out_ch, dtype=dtype)
+            self.grads["bias"] = np.zeros(out_ch, dtype=dtype)
+        self._ctx = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out, self._ctx = conv2d(
+            x, self.params["weight"], self.params.get("bias"),
+            stride=self.stride, dilation=self.dilation,
+        )
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        dx, dw, db = conv2d_backward(dout, self._ctx)
+        self.grads["weight"] += dw
+        if "bias" in self.grads:
+            self.grads["bias"] += db
+        return dx
+
+
+class DepthwiseConv2D(Layer):
+    """Depthwise convolution (channel multiplier 1), SAME padding.
+
+    Combined with a 1×1 :class:`Conv2D` this forms the separable
+    convolution DLv3+ is built from; ``dilation > 1`` makes it atrous.
+    """
+
+    def __init__(self, channels: int, k: int = 3, stride: int = 1,
+                 dilation: int = 1, rng: np.random.Generator | None = None,
+                 dtype=np.float64) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        scale = np.sqrt(2.0 / (k * k))
+        self.stride = stride
+        self.dilation = dilation
+        self.params["depthwise_kernel"] = (
+            rng.standard_normal((channels, k, k)) * scale
+        ).astype(dtype)
+        self.grads["depthwise_kernel"] = np.zeros_like(
+            self.params["depthwise_kernel"]
+        )
+        self._ctx = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out, self._ctx = depthwise_conv2d(
+            x, self.params["depthwise_kernel"],
+            stride=self.stride, dilation=self.dilation,
+        )
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        dx, dw = depthwise_conv2d_backward(dout, self._ctx)
+        self.grads["depthwise_kernel"] += dw
+        return dx
+
+
+class BatchNorm2D(Layer):
+    """Batch normalization over (N, H, W) with running eval statistics."""
+
+    def __init__(self, channels: int, momentum: float = 0.9, eps: float = 1e-5,
+                 dtype=np.float64) -> None:
+        super().__init__()
+        self.eps = eps
+        self.momentum = momentum
+        self.params["gamma"] = np.ones(channels, dtype=dtype)
+        self.params["beta"] = np.zeros(channels, dtype=dtype)
+        self.grads["gamma"] = np.zeros(channels, dtype=dtype)
+        self.grads["beta"] = np.zeros(channels, dtype=dtype)
+        self.running_mean = np.zeros(channels, dtype=dtype)
+        self.running_var = np.ones(channels, dtype=dtype)
+        self._ctx = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        g = self.params["gamma"][None, :, None, None]
+        b = self.params["beta"][None, :, None, None]
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = (
+                self.momentum * self.running_mean + (1 - self.momentum) * mean
+            )
+            self.running_var = (
+                self.momentum * self.running_var + (1 - self.momentum) * var
+            )
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv = 1.0 / np.sqrt(var + self.eps)
+        xhat = (x - mean[None, :, None, None]) * inv[None, :, None, None]
+        self._ctx = (xhat, inv, x.shape)
+        return g * xhat + b
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        xhat, inv, shape = self._ctx
+        n = shape[0] * shape[2] * shape[3]
+        g = self.params["gamma"][None, :, None, None]
+        self.grads["gamma"] += (dout * xhat).sum(axis=(0, 2, 3))
+        self.grads["beta"] += dout.sum(axis=(0, 2, 3))
+        dxhat = dout * g
+        if not self.training:
+            return dxhat * inv[None, :, None, None]
+        s1 = dxhat.sum(axis=(0, 2, 3))[None, :, None, None]
+        s2 = (dxhat * xhat).sum(axis=(0, 2, 3))[None, :, None, None]
+        return (inv[None, :, None, None] / n) * (n * dxhat - s1 - xhat * s2)
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        return dout * self._mask
+
+
+class Sequential(Layer):
+    """A chain of layers with a shared params namespace."""
+
+    def __init__(self, layers: list[tuple[str, Layer]]) -> None:
+        super().__init__()
+        names = [name for name, _ in layers]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate layer names in Sequential")
+        self.layers = layers
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for _, layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        for _, layer in reversed(self.layers):
+            dout = layer.backward(dout)
+        return dout
+
+    def named_params(self, prefix: str = ""):
+        for name, layer in self.layers:
+            yield from layer.named_params(f"{prefix}{name}/")
+
+    def zero_grads(self) -> None:
+        for _, layer in self.layers:
+            layer.zero_grads()
+
+    def set_training(self, training: bool) -> None:
+        self.training = training
+        for _, layer in self.layers:
+            layer.set_training(training)
+
+
+class Concat:
+    """Channel concatenation helper with backward split (not a Layer:
+    it has no parameters and takes multiple inputs)."""
+
+    def __init__(self) -> None:
+        self._splits: list[int] | None = None
+
+    def forward(self, xs: list[np.ndarray]) -> np.ndarray:
+        """Concatenate NCHW tensors along channels."""
+        self._splits = [x.shape[1] for x in xs]
+        return np.concatenate(xs, axis=1)
+
+    def backward(self, dout: np.ndarray) -> list[np.ndarray]:
+        """Split the gradient back into the input pieces."""
+        if self._splits is None:
+            raise RuntimeError("backward before forward")
+        out = []
+        start = 0
+        for width in self._splits:
+            out.append(dout[:, start:start + width])
+            start += width
+        return out

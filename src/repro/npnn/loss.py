@@ -1,0 +1,53 @@
+"""Per-pixel softmax cross-entropy (the segmentation training loss)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["softmax_cross_entropy"]
+
+
+def softmax_cross_entropy(logits: np.ndarray, labels: np.ndarray,
+                          ignore_label: int | None = None):
+    """Mean per-pixel cross-entropy and its gradient.
+
+    Parameters
+    ----------
+    logits:
+        (N, C, H, W) raw scores.
+    labels:
+        (N, H, W) integer class ids.
+    ignore_label:
+        Pixels with this label contribute neither loss nor gradient
+        (VOC's 255 boundary convention).
+
+    Returns ``(loss, dlogits)`` where the loss is averaged over counted
+    pixels and ``dlogits`` is the exact gradient of that average.
+    """
+    n, c, h, w = logits.shape
+    if labels.shape != (n, h, w):
+        raise ValueError(f"labels shape {labels.shape} mismatches logits {logits.shape}")
+    valid = np.ones(labels.shape, dtype=bool)
+    if ignore_label is not None:
+        valid = labels != ignore_label
+    count = int(valid.sum())
+    if count == 0:
+        return 0.0, np.zeros_like(logits)
+    safe_labels = np.where(valid, labels, 0)
+    if safe_labels.min() < 0 or safe_labels.max() >= c:
+        raise ValueError("label id out of range")
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    picked = np.take_along_axis(probs, safe_labels[:, None], axis=1)[:, 0]
+    loss = float(-(np.log(np.maximum(picked, 1e-300)) * valid).sum() / count)
+    dlogits = probs.copy()
+    onehot_idx = safe_labels[:, None]
+    np.put_along_axis(
+        dlogits,
+        onehot_idx,
+        np.take_along_axis(dlogits, onehot_idx, axis=1) - 1.0,
+        axis=1,
+    )
+    dlogits *= valid[:, None] / count
+    return loss, dlogits

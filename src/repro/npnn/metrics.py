@@ -1,0 +1,53 @@
+"""Segmentation metrics: confusion matrix, mIOU, pixel accuracy.
+
+mIOU here is exactly the PASCAL VOC definition the paper reports (80.8%):
+per-class intersection-over-union from the global confusion matrix,
+averaged over classes that appear in either prediction or ground truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["confusion_matrix", "mean_iou", "pixel_accuracy"]
+
+
+def confusion_matrix(pred: np.ndarray, target: np.ndarray, num_classes: int,
+                     ignore_label: int | None = None) -> np.ndarray:
+    """(num_classes, num_classes) matrix: rows = target, cols = prediction."""
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch {pred.shape} vs {target.shape}")
+    if num_classes < 1:
+        raise ValueError("num_classes must be >= 1")
+    p = pred.ravel()
+    t = target.ravel()
+    if ignore_label is not None:
+        keep = t != ignore_label
+        p, t = p[keep], t[keep]
+    if len(t) and (t.min() < 0 or t.max() >= num_classes):
+        raise ValueError("target label out of range")
+    if len(p) and (p.min() < 0 or p.max() >= num_classes):
+        raise ValueError("prediction label out of range")
+    return np.bincount(
+        t * num_classes + p, minlength=num_classes * num_classes
+    ).reshape(num_classes, num_classes)
+
+
+def mean_iou(matrix: np.ndarray) -> float:
+    """Mean IOU over classes present in target or prediction."""
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError("confusion matrix must be square")
+    intersection = np.diag(matrix).astype(float)
+    union = matrix.sum(axis=0) + matrix.sum(axis=1) - intersection
+    present = union > 0
+    if not present.any():
+        return 0.0
+    return float((intersection[present] / union[present]).mean())
+
+
+def pixel_accuracy(matrix: np.ndarray) -> float:
+    """Fraction of counted pixels predicted correctly."""
+    total = matrix.sum()
+    if total == 0:
+        return 0.0
+    return float(np.diag(matrix).sum() / total)

@@ -1,0 +1,159 @@
+"""MiniDeepLab: the laptop-scale analogue of DeepLab-v3+.
+
+Same architectural motifs at 1/16 the resolution and a fraction of the
+width: a strided encoder (output stride 4), an ASPP block with parallel
+atrous branches (rates 1, 2, 4), and a decoder that upsamples, fuses a
+reduced low-level feature, refines, classifies per pixel and upsamples to
+input resolution.  ~60k parameters — small enough to gradcheck, big
+enough to genuinely learn VOC-mini.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.npnn.functional import bilinear_resize, bilinear_resize_backward
+from repro.npnn.layers import (
+    BatchNorm2D,
+    Concat,
+    Conv2D,
+    DepthwiseConv2D,
+    Layer,
+    ReLU,
+    Sequential,
+)
+from repro.sim.rng import stable_seed
+
+__all__ = ["MiniDeepLab"]
+
+
+def _conv_bn_relu(name: str, in_ch: int, out_ch: int, k: int, rng,
+                  stride: int = 1, dilation: int = 1, dtype=np.float64,
+                  separable: bool = False) -> Sequential:
+    if separable and k > 1:
+        # DLv3+'s actual motif: depthwise (possibly atrous) + pointwise.
+        return Sequential([
+            (f"{name}_dw", DepthwiseConv2D(in_ch, k, stride=stride,
+                                           dilation=dilation, rng=rng,
+                                           dtype=dtype)),
+            (f"{name}_dw_bn", BatchNorm2D(in_ch, dtype=dtype)),
+            (f"{name}_dw_relu", ReLU()),
+            (f"{name}_pw", Conv2D(in_ch, out_ch, 1, bias=False, rng=rng,
+                                  dtype=dtype)),
+            (f"{name}_pw_bn", BatchNorm2D(out_ch, dtype=dtype)),
+            (f"{name}_pw_relu", ReLU()),
+        ])
+    return Sequential([
+        (f"{name}_conv", Conv2D(in_ch, out_ch, k, stride=stride,
+                                dilation=dilation, bias=False, rng=rng,
+                                dtype=dtype)),
+        (f"{name}_bn", BatchNorm2D(out_ch, dtype=dtype)),
+        (f"{name}_relu", ReLU()),
+    ])
+
+
+class MiniDeepLab(Layer):
+    """Encoder + ASPP + decoder segmentation network (NCHW)."""
+
+    def __init__(self, num_classes: int = 4, width: int = 8, seed: int = 0,
+                 dtype=np.float64, separable: bool = False) -> None:
+        super().__init__()
+        if width < 2:
+            raise ValueError("width must be >= 2")
+        rng = np.random.default_rng(stable_seed("minideeplab", seed))
+        w = width
+        self.num_classes = num_classes
+        self.separable = separable
+        # Encoder: 32x32 -> 16x16 (low level) -> 8x8.
+        self.stem = _conv_bn_relu("stem", 3, w, 3, rng, dtype=dtype)
+        self.down1 = _conv_bn_relu("down1", w, 2 * w, 3, rng, stride=2, dtype=dtype)
+        self.down2 = _conv_bn_relu("down2", 2 * w, 4 * w, 3, rng, stride=2, dtype=dtype)
+        # ASPP: three parallel branches at rates 1 (1x1), 2, 4.  With
+        # ``separable`` the atrous branches use the true DLv3+ motif
+        # (depthwise atrous + pointwise).
+        self.aspp0 = _conv_bn_relu("aspp0", 4 * w, w, 1, rng, dtype=dtype)
+        self.aspp1 = _conv_bn_relu("aspp1", 4 * w, w, 3, rng, dilation=2,
+                                   dtype=dtype, separable=separable)
+        self.aspp2 = _conv_bn_relu("aspp2", 4 * w, w, 3, rng, dilation=4,
+                                   dtype=dtype, separable=separable)
+        self.aspp_concat = Concat()
+        self.proj = _conv_bn_relu("proj", 3 * w, 2 * w, 1, rng, dtype=dtype)
+        # Decoder.
+        self.low = _conv_bn_relu("low", 2 * w, w, 1, rng, dtype=dtype)
+        self.dec_concat = Concat()
+        self.refine = _conv_bn_relu("refine", 3 * w, 2 * w, 3, rng,
+                                    dtype=dtype, separable=separable)
+        self.logits = Conv2D(2 * w, num_classes, 1, bias=True, rng=rng, dtype=dtype)
+        self._modules = [
+            ("stem", self.stem), ("down1", self.down1), ("down2", self.down2),
+            ("aspp0", self.aspp0), ("aspp1", self.aspp1), ("aspp2", self.aspp2),
+            ("proj", self.proj), ("low", self.low), ("refine", self.refine),
+            ("logits", self.logits),
+        ]
+        self._up1_ctx = None
+        self._up2_ctx = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != 3:
+            raise ValueError(f"expected NCHW RGB input, got shape {x.shape}")
+        s = self.stem.forward(x)
+        low = self.down1.forward(s)
+        enc = self.down2.forward(low)
+        a = self.aspp_concat.forward([
+            self.aspp0.forward(enc),
+            self.aspp1.forward(enc),
+            self.aspp2.forward(enc),
+        ])
+        p = self.proj.forward(a)
+        up1, self._up1_ctx = bilinear_resize(p, low.shape[2:])
+        lowf = self.low.forward(low)
+        d = self.dec_concat.forward([up1, lowf])
+        r = self.refine.forward(d)
+        logit = self.logits.forward(r)
+        out, self._up2_ctx = bilinear_resize(logit, x.shape[2:])
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        dlogit = bilinear_resize_backward(dout, self._up2_ctx)
+        dr = self.logits.backward(dlogit)
+        dd = self.refine.backward(dr)
+        dup1, dlowf = self.dec_concat.backward(dd)
+        dlow_branch = self.low.backward(dlowf)
+        dp = bilinear_resize_backward(dup1, self._up1_ctx)
+        da = self.proj.backward(dp)
+        da0, da1, da2 = self.aspp_concat.backward(da)
+        denc = (
+            self.aspp0.backward(da0)
+            + self.aspp1.backward(da1)
+            + self.aspp2.backward(da2)
+        )
+        dlow = self.down2.backward(denc) + dlow_branch
+        ds = self.down1.backward(dlow)
+        return self.stem.backward(ds)
+
+    def named_params(self, prefix: str = ""):
+        for name, module in self._modules:
+            yield from module.named_params(f"{prefix}{name}/")
+
+    def zero_grads(self) -> None:
+        for _, module in self._modules:
+            module.zero_grads()
+
+    def set_training(self, training: bool) -> None:
+        self.training = training
+        for _, module in self._modules:
+            module.set_training(training)
+
+    # -- convenience -----------------------------------------------------------
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Class-id map (N, H, W) for NCHW ``images`` in eval mode."""
+        was_training = self.training
+        self.set_training(False)
+        out = self.forward(images)
+        self.set_training(was_training)
+        return out.argmax(axis=1)
+
+    @property
+    def num_params(self) -> int:
+        """Total trainable parameters."""
+        return sum(p.size for _, p, _ in self.named_params())

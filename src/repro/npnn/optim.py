@@ -1,0 +1,53 @@
+"""SGD with momentum (the DeepLab optimizer)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SGD"]
+
+
+class SGD:
+    """Momentum SGD over a model's ``named_params()``.
+
+    ``v ← μ·v + g ;  p ← p − lr·v`` — the classic (non-Nesterov) form
+    TensorFlow's ``MomentumOptimizer`` implements, which DeepLab uses
+    with μ = 0.9.  Velocities are keyed by qualified parameter name, so
+    one optimizer instance follows one model instance.
+    """
+
+    def __init__(self, lr: float = 0.01, momentum: float = 0.9,
+                 weight_decay: float = 0.0) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be > 0")
+        if not 0 <= momentum < 1:
+            raise ValueError("momentum must be in [0, 1)")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be >= 0")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: dict[str, np.ndarray] = {}
+
+    def step(self, model, lr: float | None = None,
+             grads_override: dict[str, np.ndarray] | None = None) -> None:
+        """Apply one update.
+
+        ``grads_override`` (keyed like ``named_params`` names) substitutes
+        external gradients — this is how the data-parallel trainer applies
+        *allreduced* gradients instead of the local ones.
+        """
+        eff_lr = self.lr if lr is None else lr
+        for name, param, grad in model.named_params():
+            g = grads_override[name] if grads_override is not None else grad
+            if g.shape != param.shape:
+                raise ValueError(f"gradient shape mismatch for {name}")
+            if self.weight_decay and param.ndim > 1:
+                g = g + self.weight_decay * param
+            v = self._velocity.get(name)
+            if v is None:
+                v = np.zeros_like(param)
+                self._velocity[name] = v
+            v *= self.momentum
+            v += g
+            param -= eff_lr * v

@@ -1,0 +1,43 @@
+"""Terminal visualization of segmentation masks.
+
+Renders class-id maps as character grids so the real-training example can
+*show* predictions next to ground truth without any plotting dependency.
+Class 0 (background) renders as ``.``; foreground classes cycle through a
+fixed glyph alphabet.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["render_mask", "side_by_side"]
+
+GLYPHS = ".#o*+x%@&$"
+
+
+def render_mask(mask: np.ndarray, max_classes: int = len(GLYPHS)) -> str:
+    """Render an (H, W) integer mask as a character grid."""
+    if mask.ndim != 2:
+        raise ValueError(f"expected a 2-D mask, got shape {mask.shape}")
+    if mask.min() < 0 or mask.max() >= max_classes:
+        raise ValueError(
+            f"mask classes must be in [0, {max_classes}); got "
+            f"[{mask.min()}, {mask.max()}]"
+        )
+    return "\n".join(
+        "".join(GLYPHS[int(c)] for c in row) for row in np.asarray(mask)
+    )
+
+
+def side_by_side(left: np.ndarray, right: np.ndarray,
+                 titles: tuple[str, str] = ("truth", "prediction"),
+                 gap: str = "   ") -> str:
+    """Render two equally sized masks next to each other with titles."""
+    if left.shape != right.shape:
+        raise ValueError(f"shape mismatch: {left.shape} vs {right.shape}")
+    l_lines = render_mask(left).splitlines()
+    r_lines = render_mask(right).splitlines()
+    width = left.shape[1]
+    header = f"{titles[0]:<{width}}{gap}{titles[1]}"
+    body = "\n".join(f"{a}{gap}{b}" for a, b in zip(l_lines, r_lines))
+    return f"{header}\n{body}"

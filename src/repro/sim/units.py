@@ -1,0 +1,58 @@
+"""Unit helpers: all simulation time is seconds, all sizes are bytes.
+
+The HPC literature mixes µs/ms latencies, GB/s and Gbit/s bandwidths, and
+MB/MiB buffer sizes; these helpers keep call sites explicit and greppable.
+Binary prefixes (KiB/MiB) are used for buffer sizes to match Horovod's
+fusion-threshold semantics; decimal prefixes for link bandwidths to match
+vendor datasheets (NVLink 50 GB/s, EDR 100 Gbit/s).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "GB",
+    "GiB",
+    "KB",
+    "KiB",
+    "MB",
+    "MiB",
+    "gbit_per_s",
+    "gbyte_per_s",
+    "microseconds",
+    "milliseconds",
+    "seconds_per_byte",
+]
+
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+KiB = 1 << 10
+MiB = 1 << 20
+GiB = 1 << 30
+
+
+def microseconds(us: float) -> float:
+    """Convert microseconds to seconds."""
+    return us * 1e-6
+
+
+def milliseconds(ms: float) -> float:
+    """Convert milliseconds to seconds."""
+    return ms * 1e-3
+
+
+def gbyte_per_s(gb: float) -> float:
+    """Convert a GB/s (decimal) bandwidth to bytes/second."""
+    return gb * 1e9
+
+
+def gbit_per_s(gbit: float) -> float:
+    """Convert a Gbit/s bandwidth to bytes/second."""
+    return gbit * 1e9 / 8.0
+
+
+def seconds_per_byte(bandwidth_bytes_per_s: float) -> float:
+    """The per-byte transfer cost (β) of a link, in seconds."""
+    if bandwidth_bytes_per_s <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_bytes_per_s}")
+    return 1.0 / bandwidth_bytes_per_s

@@ -1,0 +1,33 @@
+"""Distributed training: the synchronous SGD loop over the simulation.
+
+:class:`~repro.train.trainer.DistributedTrainer` runs one simulation
+process per rank: input-pipeline stall → forward → backward (submitting
+each gradient tensor to the Horovod runtime at its emission time) →
+barrier on all averaged gradients → optimizer step.  Communication
+overlaps backward exactly as in real Horovod, so scaling efficiency is an
+*output* of the simulation, not an assumption.
+
+Support modules: LR schedules with the linear-scaling warmup rule
+(:mod:`repro.train.schedule`), the calibrated mIOU convergence model
+(:mod:`repro.train.convergence`), and run statistics
+(:mod:`repro.train.stats`).
+"""
+
+from repro.train.convergence import ConvergenceModel, MIOU_MODEL
+from repro.train.recipe import RecipeOutcome, VOCSegmentationRecipe
+from repro.train.schedule import LRSchedule, linear_scaled_lr, poly_schedule
+from repro.train.stats import TrainStats
+from repro.train.trainer import DistributedTrainer, TrainJob
+
+__all__ = [
+    "ConvergenceModel",
+    "DistributedTrainer",
+    "LRSchedule",
+    "MIOU_MODEL",
+    "RecipeOutcome",
+    "TrainJob",
+    "TrainStats",
+    "VOCSegmentationRecipe",
+    "linear_scaled_lr",
+    "poly_schedule",
+]

@@ -1,0 +1,91 @@
+"""Calibrated mIOU convergence model (experiment E7's substitute).
+
+We cannot train the real DLv3+ to 80.8% mIOU in this environment (no
+GPUs, no VOC); what the paper reports is a *final-accuracy* data point:
+distributed training at scale, with standard LR scaling, matches the
+published single-worker accuracy.  This module substitutes an empirical
+convergence surface with the three well-established effects that govern
+it, calibrated to published DeepLab numbers:
+
+* **epoch saturation** — accuracy approaches an asymptote exponentially
+  in epochs (the standard recipe, 30k steps at global batch 16 ≈ 45.4
+  epochs, lands ~0.6 points below the asymptote);
+* **large-batch penalty** — growing global batch at fixed epochs costs
+  accuracy, roughly quadratic in ``log2(B/B0)`` (Goyal et al., Shallue et
+  al.); the linear-scaling rule with warmup removes most but not all of
+  it (≈0.1 pt per doubling with warmup, ≈0.45 pt without);
+* **seeded run-to-run noise** (±0.15 pt).
+
+Calibration anchors: DLv3+ (Xception-65, OS=16, VOC val, no COCO
+pretrain) ≈ 81.6% at the standard recipe; the paper's distributed run
+80.8%.  The npnn package provides the complementary *mechanistic* check
+that the distributed gradient path is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.rng import stable_seed
+
+__all__ = ["ConvergenceModel", "MIOU_MODEL"]
+
+
+@dataclass(frozen=True)
+class ConvergenceModel:
+    """mIOU as a function of (epochs, global batch, LR handling).
+
+    Attributes
+    ----------
+    asymptote:
+        mIOU (%) with unbounded epochs at the reference batch.
+    epoch_gap0 / epoch_tau:
+        Accuracy gap at epoch 0 and its exponential decay constant.
+    ref_batch:
+        Batch size at which no large-batch penalty applies.
+    penalty_scaled / penalty_unscaled:
+        Points lost per ``log2(B/ref_batch)²`` with and without the
+        linear-scaling + warmup rule.
+    noise_pt:
+        Std-dev of seeded run-to-run noise, in points.
+    """
+
+    asymptote: float = 82.2
+    epoch_gap0: float = 12.0
+    epoch_tau: float = 15.0
+    ref_batch: int = 16
+    penalty_scaled: float = 0.10
+    penalty_unscaled: float = 0.45
+    noise_pt: float = 0.15
+
+    def miou(self, epochs: float, global_batch: int,
+             lr_scaling: bool = True, warmup: bool = True,
+             seed: int | None = 0) -> float:
+        """Predicted final mIOU (%) for one training run.
+
+        ``lr_scaling and warmup`` selects the mild penalty slope; either
+        missing selects the steep one.  ``seed=None`` disables noise.
+        """
+        if epochs < 0:
+            raise ValueError("epochs must be >= 0")
+        if global_batch < 1:
+            raise ValueError("global_batch must be >= 1")
+        value = self.asymptote - self.epoch_gap0 * np.exp(-epochs / self.epoch_tau)
+        if global_batch > self.ref_batch:
+            slope = (
+                self.penalty_scaled if (lr_scaling and warmup)
+                else self.penalty_unscaled
+            )
+            value -= slope * np.log2(global_batch / self.ref_batch) ** 2
+        if seed is not None:
+            rng = np.random.default_rng(
+                stable_seed("miou", seed, epochs, global_batch, lr_scaling, warmup)
+            )
+            value += rng.normal(0.0, self.noise_pt)
+        return float(max(0.0, value))
+
+
+#: The calibrated instance every experiment uses.
+MIOU_MODEL = ConvergenceModel()

@@ -1,0 +1,98 @@
+"""Training recipes: from throughput and epoch budgets to wall-clock time.
+
+The practical consequence of the paper's tuning is *hours saved at
+constant accuracy*: synchronous data parallelism at a fixed epoch budget
+does the same optimization work regardless of scale (modulo the
+large-batch penalty the convergence model prices), so end-to-end training
+time is ``total_images / throughput``.  :class:`VOCSegmentationRecipe`
+packages the standard DeepLab VOC recipe (30k steps at global batch 16 ≈
+45.4 epochs) and converts any measured throughput into time-to-train and
+predicted final mIOU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.voc import VOC2012_AUG, DatasetStats
+from repro.train.convergence import ConvergenceModel, MIOU_MODEL
+
+__all__ = ["RecipeOutcome", "VOCSegmentationRecipe"]
+
+
+@dataclass(frozen=True)
+class RecipeOutcome:
+    """One scale point of a recipe: work, time and predicted accuracy."""
+
+    gpus: int
+    global_batch: int
+    steps: int
+    epochs: float
+    wall_hours: float
+    predicted_miou: float
+
+
+@dataclass(frozen=True)
+class VOCSegmentationRecipe:
+    """The standard DeepLab PASCAL VOC recipe at constant epoch budget.
+
+    Attributes
+    ----------
+    dataset:
+        Dataset statistics (defaults to augmented VOC 2012).
+    reference_steps / reference_batch:
+        The single-worker recipe: 30k steps at global batch 16.
+    per_gpu_batch:
+        Per-GPU batch size when scaling out (the paper's 8).
+    """
+
+    dataset: DatasetStats = VOC2012_AUG
+    reference_steps: int = 30_000
+    reference_batch: int = 16
+    per_gpu_batch: int = 8
+    convergence: ConvergenceModel = MIOU_MODEL
+
+    def __post_init__(self) -> None:
+        if self.reference_steps < 1 or self.reference_batch < 1:
+            raise ValueError("reference recipe must be positive")
+        if self.per_gpu_batch < 1:
+            raise ValueError("per_gpu_batch must be >= 1")
+
+    @property
+    def epoch_budget(self) -> float:
+        """Epochs of the reference recipe (≈45.4 for DeepLab VOC)."""
+        return self.dataset.epochs_for_steps(
+            self.reference_steps, self.reference_batch
+        )
+
+    @property
+    def total_images(self) -> int:
+        """Images processed over the whole recipe (scale-invariant)."""
+        return self.reference_steps * self.reference_batch
+
+    def steps_at(self, gpus: int) -> int:
+        """Optimizer steps at ``gpus`` workers (constant epoch budget)."""
+        if gpus < 1:
+            raise ValueError("gpus must be >= 1")
+        return max(1, round(self.total_images / (gpus * self.per_gpu_batch)))
+
+    def outcome(self, gpus: int, images_per_second: float,
+                seed: int | None = 0) -> RecipeOutcome:
+        """Time-to-train and predicted mIOU at a measured throughput."""
+        if images_per_second <= 0:
+            raise ValueError("throughput must be positive")
+        global_batch = gpus * self.per_gpu_batch
+        steps = self.steps_at(gpus)
+        epochs = self.dataset.epochs_for_steps(steps, global_batch)
+        wall_hours = self.total_images / images_per_second / 3600.0
+        miou = self.convergence.miou(
+            epochs, global_batch, lr_scaling=True, warmup=True, seed=seed
+        )
+        return RecipeOutcome(
+            gpus=gpus,
+            global_batch=global_batch,
+            steps=steps,
+            epochs=epochs,
+            wall_hours=wall_hours,
+            predicted_miou=miou,
+        )

@@ -1,0 +1,79 @@
+"""Learning-rate schedules for the DeepLab recipe.
+
+DeepLab trains with the "poly" schedule — ``lr(step) = lr0 · (1 -
+step/max_steps)^0.9`` — and distributed data parallelism uses the linear
+scaling rule with gradual warmup (Goyal et al.): the base LR is scaled by
+the number of workers and ramped up linearly over the first few epochs to
+avoid early divergence at large batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LRSchedule", "linear_scaled_lr", "poly_schedule"]
+
+
+@dataclass(frozen=True)
+class LRSchedule:
+    """A fully resolved step → learning-rate function.
+
+    ``warmup_steps`` ramp linearly from ``warmup_init`` to ``base_lr``;
+    afterwards the poly decay runs over the remaining steps.
+    """
+
+    base_lr: float
+    max_steps: int
+    power: float = 0.9
+    warmup_steps: int = 0
+    warmup_init: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_lr <= 0:
+            raise ValueError("base_lr must be > 0")
+        if self.max_steps < 1:
+            raise ValueError("max_steps must be >= 1")
+        if not 0 <= self.warmup_steps < self.max_steps:
+            raise ValueError("warmup_steps must be in [0, max_steps)")
+        if self.warmup_init < 0:
+            raise ValueError("warmup_init must be >= 0")
+
+    def lr(self, step: int) -> float:
+        """Learning rate at optimizer step ``step`` (0-based)."""
+        if step < 0:
+            raise ValueError("step must be >= 0")
+        step = min(step, self.max_steps - 1)
+        if self.warmup_steps and step < self.warmup_steps:
+            frac = (step + 1) / self.warmup_steps
+            return self.warmup_init + frac * (self.base_lr - self.warmup_init)
+        decay_steps = self.max_steps - self.warmup_steps
+        progress = (step - self.warmup_steps) / decay_steps
+        return self.base_lr * (1.0 - progress) ** self.power
+
+
+def poly_schedule(base_lr: float = 0.007, max_steps: int = 30_000,
+                  power: float = 0.9) -> LRSchedule:
+    """The standard single-worker DeepLab VOC schedule."""
+    return LRSchedule(base_lr=base_lr, max_steps=max_steps, power=power)
+
+
+def linear_scaled_lr(base_lr: float, world_size: int, max_steps: int,
+                     warmup_epochs: float = 5.0, steps_per_epoch: int = 662,
+                     power: float = 0.9) -> LRSchedule:
+    """Linear-scaling rule with gradual warmup for ``world_size`` workers.
+
+    The scaled peak LR is ``base_lr × world_size``; warmup covers
+    ``warmup_epochs`` (at the *scaled* steps-per-epoch the caller passes).
+    With one worker this reduces to the plain poly schedule.
+    """
+    if world_size < 1:
+        raise ValueError("world_size must be >= 1")
+    warmup = 0 if world_size == 1 else int(warmup_epochs * steps_per_epoch)
+    warmup = min(warmup, max(0, max_steps - 1))
+    return LRSchedule(
+        base_lr=base_lr * world_size,
+        max_steps=max_steps,
+        power=power,
+        warmup_steps=warmup,
+        warmup_init=base_lr,
+    )

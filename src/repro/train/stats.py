@@ -1,0 +1,82 @@
+"""Run statistics and the paper's scaling metrics.
+
+The paper reports images/second, speedup over one GPU, and *scaling
+efficiency* — measured throughput over (ideal linear) throughput.
+:class:`TrainStats` is what a :class:`~repro.train.trainer.DistributedTrainer`
+run returns; warmup iterations (cold caches, first negotiation) are kept
+but excluded from the steady-state aggregates, mirroring how the paper's
+measurements discard the first batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.horovod.runtime import RuntimeStats
+
+__all__ = ["TrainStats"]
+
+
+@dataclass
+class TrainStats:
+    """Measured outcome of one (simulated) training run."""
+
+    world_size: int
+    per_gpu_batch: int
+    #: Wall time of every iteration (synchronous across ranks).
+    iteration_seconds: list[float] = field(default_factory=list)
+    #: Iterations excluded from steady-state aggregates.
+    warmup_iterations: int = 1
+    #: Per-rank total stall waiting on the input pipeline.
+    input_stall_seconds: float = 0.0
+    #: A copy of the Horovod runtime counters at run end.
+    runtime: RuntimeStats | None = None
+    #: Single-GPU compute-only iteration time (for efficiency baselines).
+    compute_iteration_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.world_size < 1 or self.per_gpu_batch < 1:
+            raise ValueError("world_size and per_gpu_batch must be >= 1")
+        if self.warmup_iterations < 0:
+            raise ValueError("warmup_iterations must be >= 0")
+
+    @property
+    def global_batch(self) -> int:
+        """World size × per-GPU batch."""
+        return self.world_size * self.per_gpu_batch
+
+    @property
+    def steady_iterations(self) -> list[float]:
+        """Iteration times after warmup."""
+        steady = self.iteration_seconds[self.warmup_iterations:]
+        if not steady:
+            raise ValueError("no steady-state iterations recorded")
+        return steady
+
+    @property
+    def mean_iteration_seconds(self) -> float:
+        """Mean steady-state iteration time."""
+        steady = self.steady_iterations
+        return sum(steady) / len(steady)
+
+    @property
+    def images_per_second(self) -> float:
+        """Aggregate steady-state throughput."""
+        return self.global_batch / self.mean_iteration_seconds
+
+    def speedup_over(self, single_gpu: "TrainStats") -> float:
+        """Throughput speedup relative to a 1-GPU run."""
+        return self.images_per_second / single_gpu.images_per_second
+
+    def scaling_efficiency(self, single_gpu: "TrainStats") -> float:
+        """Measured / ideal-linear throughput, in [0, 1+ε]."""
+        ideal = single_gpu.images_per_second * self.world_size
+        return self.images_per_second / ideal
+
+    @property
+    def comm_overhead_fraction(self) -> float:
+        """Fraction of the steady iteration not covered by pure compute."""
+        if self.compute_iteration_seconds <= 0:
+            raise ValueError("compute_iteration_seconds not set")
+        mean = self.mean_iteration_seconds
+        return max(0.0, 1.0 - self.compute_iteration_seconds / mean)

@@ -1,0 +1,142 @@
+"""The synchronous data-parallel training loop as simulation processes.
+
+One process per rank, per iteration:
+
+1. stall on the input pipeline if the next batch isn't ready
+   (:class:`~repro.data.pipeline.PipelineClock`);
+2. run forward (a timed compute segment);
+3. run backward, submitting each gradient tensor to the
+   :class:`~repro.horovod.runtime.HorovodRuntime` at its emission offset —
+   this is where communication/computation overlap comes from;
+4. wait for *all* averaged gradients (the synchronous-SGD barrier);
+5. apply the optimizer update.
+
+Per-rank compute jitter (a lognormal multiplier per rank × iteration)
+models real kernel-time variation; it is what makes negotiation wait on
+stragglers, one of the effects cycle-time tuning trades against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.pipeline import InputPipelineModel, PipelineClock
+from repro.horovod.runtime import HorovodRuntime
+from repro.models.costmodel import IterationProfile
+from repro.mpi.payload import VirtualBuffer
+from repro.sim import Environment
+from repro.sim.rng import RandomStreams
+from repro.train.stats import TrainStats
+
+__all__ = ["DistributedTrainer", "TrainJob"]
+
+
+@dataclass(frozen=True)
+class TrainJob:
+    """What to run: length, batch, jitter, input pipeline."""
+
+    iterations: int = 5
+    per_gpu_batch: int = 8
+    warmup_iterations: int = 1
+    #: Lognormal sigma of the per-rank, per-iteration compute multiplier.
+    jitter_std: float = 0.0
+    pipeline: InputPipelineModel | None = field(default_factory=InputPipelineModel)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if self.per_gpu_batch < 1:
+            raise ValueError("per_gpu_batch must be >= 1")
+        if not 0 <= self.warmup_iterations < self.iterations:
+            raise ValueError("warmup_iterations must be in [0, iterations)")
+        if self.jitter_std < 0:
+            raise ValueError("jitter_std must be >= 0")
+
+
+class DistributedTrainer:
+    """Drives a training run over an existing runtime and profile.
+
+    The ``profile`` must have been computed at ``job.per_gpu_batch``
+    (checked).  ``run()`` owns the simulation clock: it executes the whole
+    job, shuts the runtime's coordinator down, and returns statistics.
+    """
+
+    def __init__(self, runtime: HorovodRuntime, profile: IterationProfile,
+                 job: TrainJob) -> None:
+        if profile.batch_size != job.per_gpu_batch:
+            raise ValueError(
+                f"profile computed at batch {profile.batch_size}, "
+                f"job uses {job.per_gpu_batch}"
+            )
+        self.runtime = runtime
+        self.env: Environment = runtime.env
+        self.profile = profile
+        self.job = job
+        self._iteration_marks: list[float] = []
+        self._input_stall = 0.0
+
+    @property
+    def world_size(self) -> int:
+        """Number of ranks in the run."""
+        return self.runtime.size
+
+    def run(self) -> TrainStats:
+        """Execute the job and return measured statistics."""
+        start = self.env.now
+        procs = [
+            self.env.process(self._rank_loop(rank))
+            for rank in range(self.world_size)
+        ]
+        self.env.run(until=self.env.all_of(procs))
+        self.runtime.shutdown()
+        self.env.run()
+        marks = [start] + self._iteration_marks
+        return TrainStats(
+            world_size=self.world_size,
+            per_gpu_batch=self.job.per_gpu_batch,
+            iteration_seconds=[b - a for a, b in zip(marks, marks[1:])],
+            warmup_iterations=self.job.warmup_iterations,
+            input_stall_seconds=self._input_stall,
+            runtime=self.runtime.stats,
+            compute_iteration_seconds=self.profile.compute_s,
+        )
+
+    # -- per-rank process ------------------------------------------------------
+    def _rank_loop(self, rank: int):
+        job = self.job
+        profile = self.profile
+        streams = RandomStreams(job.seed).child(f"rank{rank}")
+        jitter_gen = streams.get("compute-jitter")
+        clock = (
+            PipelineClock(job.pipeline, job.per_gpu_batch, self.env.now)
+            if job.pipeline is not None
+            else None
+        )
+        for iteration in range(job.iterations):
+            if clock is not None:
+                stall = clock.wait(self.env.now)
+                if stall > 0:
+                    yield self.env.timeout(stall)
+                    self._input_stall += stall
+            jitter = (
+                float(jitter_gen.lognormal(0.0, job.jitter_std))
+                if job.jitter_std > 0
+                else 1.0
+            )
+            yield self.env.timeout(profile.forward_s * jitter)
+            # Backward: submit each tensor at its (jittered) emission time.
+            events = []
+            previous = 0.0
+            for offset, tensor in profile.emission_schedule:
+                delta = (offset - previous) * jitter
+                if delta > 0:
+                    yield self.env.timeout(delta)
+                previous = offset
+                events.append(
+                    self.runtime.submit(rank, tensor.name, VirtualBuffer(tensor.nbytes))
+                )
+            yield self.env.all_of(events)
+            yield self.env.timeout(profile.optimizer_s * jitter)
+            if rank == 0:
+                self._iteration_marks.append(self.env.now)

@@ -1,0 +1,53 @@
+"""Tests for the result container and table rendering."""
+
+import json
+
+import pytest
+
+from repro.bench import ExperimentResult, format_rows, save_result
+
+
+def test_format_rows_alignment():
+    rows = [{"a": 1, "b": "xx"}, {"a": 100, "b": "y"}]
+    text = format_rows(rows)
+    lines = text.splitlines()
+    assert lines[0].split() == ["a", "b"]
+    assert len(lines) == 4  # header, rule, two rows
+
+
+def test_format_rows_requires_same_columns():
+    with pytest.raises(ValueError):
+        format_rows([{"a": 1}, {"b": 2}])
+
+
+def test_format_rows_empty():
+    assert format_rows([]) == "(no rows)"
+
+
+def test_result_table_sections():
+    res = ExperimentResult(
+        experiment="EX",
+        title="demo",
+        rows=[{"k": 1}],
+        paper={"claim": 92.0},
+        measured={"claim": 93.1},
+        notes="a note",
+    )
+    text = res.table()
+    assert "EX: demo" in text
+    assert "paper=" in text and "ours=" in text
+    assert "a note" in text
+
+
+def test_result_missing_measured_shows_dash():
+    res = ExperimentResult("EX", "demo", paper={"claim": 1.0})
+    assert "—" in res.table()
+
+
+def test_json_roundtrip(tmp_path):
+    res = ExperimentResult("E1", "t", rows=[{"x": 1.5}], paper={"p": 2})
+    path = save_result(res, tmp_path)
+    assert path.name == "e1.json"
+    data = json.loads(path.read_text())
+    assert data["rows"] == [{"x": 1.5}]
+    assert data["paper"] == {"p": 2}

@@ -1,0 +1,78 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bench import ascii_chart
+
+
+def test_basic_chart_structure():
+    out = ascii_chart([1, 2, 3], {"a": [1.0, 2.0, 3.0]}, width=20, height=5)
+    lines = out.splitlines()
+    # 5 grid rows + axis + x labels + legend
+    assert len(lines) == 8
+    assert "o=a" in lines[-1]
+    assert lines[0].endswith("|") and "|" in lines[0]
+
+
+def test_markers_distinct_per_series():
+    out = ascii_chart([1, 2], {"up": [1, 2], "down": [2, 1]}, width=20, height=5)
+    assert "o=up" in out and "x=down" in out
+    assert "o" in out and "x" in out
+
+
+def test_extremes_plotted_at_edges():
+    out = ascii_chart([0, 10], {"s": [0.0, 100.0]}, width=21, height=5)
+    lines = out.splitlines()
+    # max value in top row, min in bottom row.
+    assert "o" in lines[0]
+    assert "o" in lines[4]
+    assert lines[0].strip().startswith("100")
+
+
+def test_log_x_spacing():
+    out_lin = ascii_chart([1, 10, 100], {"s": [1, 1, 1]}, width=21, height=4)
+    out_log = ascii_chart([1, 10, 100], {"s": [1, 1, 1]}, width=21, height=4,
+                          log_x=True)
+    # Log spacing puts the middle point at the center column; linear
+    # pushes it toward the left edge — the renders must differ.
+    assert out_lin != out_log
+
+
+def test_axis_labels_and_legend():
+    out = ascii_chart([1, 2], {"s": [1, 2]}, x_label="GPUs", y_label="img/s")
+    assert "x: GPUs" in out and "y: img/s" in out
+
+
+def test_constant_series_does_not_crash():
+    out = ascii_chart([1, 2, 3], {"flat": [5.0, 5.0, 5.0]})
+    assert "o" in out
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ascii_chart([], {"a": []})
+    with pytest.raises(ValueError):
+        ascii_chart([1, 2], {"a": [1.0]})
+    with pytest.raises(ValueError):
+        ascii_chart([1], {"a": [1]}, width=4)
+    with pytest.raises(ValueError):
+        ascii_chart([0, 1], {"a": [1, 2]}, log_x=True)
+    with pytest.raises(ValueError):
+        ascii_chart([1], {f"s{i}": [1] for i in range(9)})
+
+
+@given(
+    st.lists(st.floats(0.1, 1e6), min_size=2, max_size=12, unique=True),
+    st.integers(16, 80),
+    st.integers(4, 30),
+)
+def test_never_crashes_and_size_stable(xs, width, height):
+    xs = sorted(xs)
+    ys = [float(i) for i in range(len(xs))]
+    out = ascii_chart(xs, {"s": ys}, width=width, height=height)
+    lines = out.splitlines()
+    assert len(lines) == height + 3
+    # Every grid row is exactly the same width.
+    assert len({len(l) for l in lines[:height]}) == 1

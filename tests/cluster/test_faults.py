@@ -1,0 +1,63 @@
+"""Tests for fault injection (link degradation)."""
+
+import pytest
+
+from repro.cluster import Device, Fabric, build_summit
+from repro.sim import Environment
+
+
+def make():
+    env = Environment()
+    topo = build_summit(env, nodes=2)
+    return env, topo, Fabric(topo)
+
+
+def test_degrade_slows_transfers_through_link():
+    env, topo, fabric = make()
+    src, dst = Device.gpu(0, 0), Device.gpu(1, 0)
+    healthy = fabric.transfer_seconds(src, dst, 10 << 20)
+    topo.degrade_link(Device.nic(0, 0), Device.switch(1), 0.1)
+    degraded = fabric.transfer_seconds(src, dst, 10 << 20)
+    assert degraded > 5 * healthy
+
+
+def test_degrade_leaves_other_routes_untouched():
+    env, topo, fabric = make()
+    other = fabric.transfer_seconds(Device.gpu(0, 3), Device.gpu(1, 3), 1 << 20)
+    topo.degrade_link(Device.nic(0, 0), Device.switch(1), 0.1)
+    # Socket-1 GPUs use rail 1; unaffected.
+    assert fabric.transfer_seconds(
+        Device.gpu(0, 3), Device.gpu(1, 3), 1 << 20
+    ) == pytest.approx(other)
+
+
+def test_degrade_duplex_affects_both_directions():
+    env, topo, fabric = make()
+    topo.degrade_link(Device.nic(0, 0), Device.switch(1), 0.5)
+    fwd = topo.link(Device.nic(0, 0), Device.switch(1))
+    rev = topo.link(Device.switch(1), Device.nic(0, 0))
+    assert "degraded" in fwd.spec.name and "degraded" in rev.spec.name
+
+
+def test_degrade_simplex_option():
+    env, topo, fabric = make()
+    topo.degrade_link(Device.nic(0, 0), Device.switch(1), 0.5, duplex=False)
+    rev = topo.link(Device.switch(1), Device.nic(0, 0))
+    assert "degraded" not in rev.spec.name
+
+
+def test_degrade_validation():
+    env, topo, fabric = make()
+    with pytest.raises(ValueError):
+        topo.degrade_link(Device.nic(0, 0), Device.switch(1), 0.0)
+    with pytest.raises(ValueError):
+        topo.degrade_link(Device.nic(0, 0), Device.switch(1), 1.5)
+
+
+def test_degrade_invalidates_route_cache():
+    env, topo, fabric = make()
+    src, dst = Device.gpu(0, 0), Device.gpu(1, 0)
+    before = topo.route_bandwidth(src, dst)
+    topo.degrade_link(Device.nic(0, 0), Device.switch(1), 0.5)
+    after = topo.route_bandwidth(src, dst)
+    assert after == pytest.approx(before * 0.5)

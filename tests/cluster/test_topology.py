@@ -1,0 +1,119 @@
+"""Tests for devices, links, and the Summit topology."""
+
+import pytest
+
+from repro.cluster import Device, LinkSpec, Topology, build_summit
+from repro.cluster.summit import SUMMIT_NODE, SummitNodeSpec
+from repro.sim import Environment
+from repro.sim.units import gbyte_per_s, microseconds
+
+
+def test_linkspec_validation():
+    with pytest.raises(ValueError):
+        LinkSpec("bad", -1e-6, 1e9)
+    with pytest.raises(ValueError):
+        LinkSpec("bad", 1e-6, 0)
+
+
+def test_linkspec_transfer_seconds():
+    spec = LinkSpec("l", 1e-6, 1e9)
+    assert spec.transfer_seconds(0) == 1e-6
+    assert spec.transfer_seconds(10**9) == pytest.approx(1.000001)
+
+
+def test_device_ordering_is_rank_order():
+    devs = [Device.gpu(1, 0), Device.gpu(0, 5), Device.gpu(0, 0)]
+    assert sorted(devs) == [Device.gpu(0, 0), Device.gpu(0, 5), Device.gpu(1, 0)]
+
+
+def test_topology_duplex_links_are_independent():
+    env = Environment()
+    topo = Topology(env)
+    a, b = Device.gpu(0, 0), Device.gpu(0, 1)
+    topo.add_link(a, b, LinkSpec("l", 1e-6, 1e9))
+    assert topo.link(a, b) is not topo.link(b, a)
+
+
+def test_route_self_is_empty():
+    env = Environment()
+    topo = build_summit(env, nodes=1)
+    g = Device.gpu(0, 0)
+    assert topo.route(g, g) == []
+    assert topo.route_bandwidth(g, g) == float("inf")
+
+
+def test_summit_node_shape():
+    assert SUMMIT_NODE.gpus_per_node == 6
+    assert SummitNodeSpec(sockets=2, gpus_per_socket=2).gpus_per_node == 4
+
+
+def test_summit_gpu_count_and_rank_order():
+    env = Environment()
+    topo = build_summit(env, nodes=3)
+    gpus = topo.gpus()
+    assert len(gpus) == 18
+    assert gpus[0] == Device.gpu(0, 0)
+    assert gpus[7] == Device.gpu(1, 1)
+
+
+def test_summit_same_socket_gpus_direct_nvlink():
+    env = Environment()
+    topo = build_summit(env, nodes=1)
+    route = topo.route(Device.gpu(0, 0), Device.gpu(0, 2))
+    assert len(route) == 1
+    assert route[0].spec.name == "nvlink2-gg"
+
+
+def test_summit_cross_socket_route_uses_xbus():
+    env = Environment()
+    topo = build_summit(env, nodes=1)
+    route = topo.route(Device.gpu(0, 0), Device.gpu(0, 3))
+    names = [l.spec.name for l in route]
+    assert "x-bus" in names
+    # gpu -> cpu0 -> cpu1 -> gpu
+    assert names[0] == "nvlink2-gc" and names[-1] == "nvlink2-gc"
+
+
+def test_summit_inter_node_route_crosses_ib():
+    env = Environment()
+    topo = build_summit(env, nodes=2)
+    route = topo.route(Device.gpu(0, 0), Device.gpu(1, 0))
+    names = [l.spec.name for l in route]
+    assert names.count("ib-edr") == 2  # injection + reception
+    assert "pcie4-x8" in names
+
+
+def test_summit_bottleneck_bandwidth_inter_node():
+    env = Environment()
+    topo = build_summit(env, nodes=2)
+    bw = topo.route_bandwidth(Device.gpu(0, 0), Device.gpu(1, 0))
+    assert bw == pytest.approx(gbyte_per_s(12.3))
+
+
+def test_summit_multi_leaf_routes_exist():
+    env = Environment()
+    topo = build_summit(env, nodes=40, nodes_per_leaf=18)
+    # Nodes 0 and 39 are on different leaves -> route crosses the spine.
+    route = topo.route(Device.gpu(0, 0), Device.gpu(39, 5))
+    names = [l.spec.name for l in route]
+    assert names.count("ib-edr-uplink") == 2
+
+
+def test_summit_invalid_args():
+    env = Environment()
+    with pytest.raises(ValueError):
+        build_summit(env, nodes=0)
+    with pytest.raises(ValueError):
+        build_summit(env, nodes=2, nodes_per_leaf=0)
+
+
+def test_route_latency_is_sum():
+    env = Environment()
+    topo = build_summit(env, nodes=1)
+    route = topo.route(Device.gpu(0, 0), Device.gpu(0, 1))
+    assert topo.route_latency(Device.gpu(0, 0), Device.gpu(0, 1)) == pytest.approx(
+        sum(l.latency_s for l in route)
+    )
+    assert topo.route_latency(Device.gpu(0, 0), Device.gpu(0, 1)) == pytest.approx(
+        microseconds(1.9)
+    )

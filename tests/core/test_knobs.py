@@ -1,0 +1,47 @@
+"""Tests for the knob registry and named configurations."""
+
+import pytest
+
+from repro.core import KNOBS, Knob, paper_default_config, paper_tuned_config
+from repro.sim.units import MiB
+
+
+def test_registry_covers_paper_surface():
+    assert set(KNOBS) == {
+        "mpi_library",
+        "fusion_threshold",
+        "cycle_time",
+        "hierarchical_allreduce",
+    }
+
+
+def test_knob_grids_nonempty_and_env_vars_spelled():
+    for knob in KNOBS.values():
+        assert knob.grid
+    assert KNOBS["fusion_threshold"].env_var == "HOROVOD_FUSION_THRESHOLD"
+    assert KNOBS["cycle_time"].env_var == "HOROVOD_CYCLE_TIME"
+
+
+def test_knob_requires_grid():
+    with pytest.raises(ValueError):
+        Knob("x", "X", "desc", grid=())
+
+
+def test_default_config_is_spectrum_with_horovod_defaults():
+    cfg = paper_default_config()
+    assert cfg.library.name == "SpectrumMPI"
+    assert cfg.horovod.fusion_threshold_bytes == 64 * MiB
+    assert not cfg.horovod.hierarchical_allreduce
+
+
+def test_tuned_config_changes_every_staged_knob():
+    default, tuned = paper_default_config(), paper_tuned_config()
+    assert tuned.library.name == "MVAPICH2-GDR"
+    assert tuned.horovod.fusion_threshold_bytes > default.horovod.fusion_threshold_bytes
+    assert tuned.horovod.cycle_time_s < default.horovod.cycle_time_s
+    assert tuned.horovod.hierarchical_allreduce
+
+
+def test_labels_are_descriptive():
+    assert "SpectrumMPI" in paper_default_config().label
+    assert "hier=on" in paper_tuned_config().label

@@ -1,0 +1,121 @@
+"""Tests for the measurement driver and scaling-curve math."""
+
+import pytest
+
+from repro.core import (
+    Measurement,
+    ScalingCurve,
+    ScalingPoint,
+    measure_training,
+    paper_default_config,
+    paper_tuned_config,
+)
+from repro.core.sweep import model_profile
+
+
+def quick(gpus, config=None, **kw):
+    kw.setdefault("iterations", 2)
+    kw.setdefault("jitter_std", 0.0)
+    return measure_training(gpus, config or paper_default_config(), **kw)
+
+
+class TestMeasureTraining:
+    def test_single_gpu_matches_compute_baseline(self):
+        m = quick(1)
+        # One GPU: no peers to wait on; only cycle quantization remains.
+        assert m.scaling_efficiency > 0.97
+        assert m.images_per_second == pytest.approx(6.7, rel=0.08)
+
+    def test_multi_gpu_structural_fields(self):
+        m = quick(6, iterations=2)
+        assert m.gpus == 6
+        assert m.stats.world_size == 6
+        assert m.runtime_stats.tensors_reduced > 0
+        assert m.timeline.events
+        assert 0 < m.scaling_efficiency <= 1.01
+
+    def test_resnet_model_selectable(self):
+        m = quick(2, model="resnet50")
+        assert m.model == "resnet50"
+        assert m.stats.per_gpu_batch == 128
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            quick(2, model="vgg")
+
+    def test_invalid_gpus_rejected(self):
+        with pytest.raises(ValueError):
+            quick(0)
+
+    def test_profile_cache_returns_same_object(self):
+        assert model_profile("deeplab") is model_profile("deeplab")
+
+    def test_tuned_not_slower_than_default_small_scale(self):
+        d = quick(12)
+        t = quick(12, paper_tuned_config())
+        assert t.images_per_second >= 0.98 * d.images_per_second
+
+    def test_deterministic_given_seed(self):
+        a = quick(6, jitter_std=0.03, seed=5)
+        b = quick(6, jitter_std=0.03, seed=5)
+        assert a.stats.iteration_seconds == b.stats.iteration_seconds
+
+    def test_seed_changes_jittered_run(self):
+        a = quick(6, jitter_std=0.03, seed=1)
+        b = quick(6, jitter_std=0.03, seed=2)
+        assert a.stats.iteration_seconds != b.stats.iteration_seconds
+
+
+class TestScalingCurve:
+    def make_point(self, gpus, ips, eff):
+        return ScalingPoint(gpus, ips, eff, 1.0)
+
+    def test_add_requires_increasing(self):
+        c = ScalingCurve("x")
+        c.add(self.make_point(1, 6.7, 1.0))
+        with pytest.raises(ValueError):
+            c.add(self.make_point(1, 6.7, 1.0))
+
+    def test_point_lookup(self):
+        c = ScalingCurve("x")
+        c.add(self.make_point(1, 6.7, 1.0))
+        c.add(self.make_point(6, 38.0, 0.94))
+        assert c.point(6).images_per_second == 38.0
+        with pytest.raises(KeyError):
+            c.point(12)
+
+    def test_speedup(self):
+        c = ScalingCurve("x")
+        c.add(self.make_point(1, 10.0, 1.0))
+        c.add(self.make_point(4, 30.0, 0.75))
+        assert c.speedup(4) == pytest.approx(3.0)
+
+    def test_from_measurement_projection(self):
+        m = quick(2)
+        p = ScalingPoint.from_measurement(m)
+        assert p.gpus == 2
+        assert p.images_per_second == pytest.approx(m.images_per_second)
+
+    def test_table_contains_rows(self):
+        c = ScalingCurve("default")
+        c.add(self.make_point(1, 6.7, 1.0))
+        text = c.table()
+        assert "default" in text and "6.7" in text
+
+    def test_comparison_table(self):
+        a, b = ScalingCurve("default"), ScalingCurve("tuned")
+        for gpus, (ia, ib) in [(1, (6.7, 6.7)), (6, (36.0, 39.0))]:
+            a.add(self.make_point(gpus, ia, ia / (6.7 * gpus)))
+            b.add(self.make_point(gpus, ib, ib / (6.7 * gpus)))
+        text = ScalingCurve.comparison_table([a, b])
+        assert "speedup" in text
+        assert "1.08x" in text  # 39/36
+
+    def test_comparison_table_mismatched_counts_rejected(self):
+        a, b = ScalingCurve("a"), ScalingCurve("b")
+        a.add(self.make_point(1, 1.0, 1.0))
+        b.add(self.make_point(2, 2.0, 1.0))
+        with pytest.raises(ValueError):
+            ScalingCurve.comparison_table([a, b])
+        with pytest.raises(ValueError):
+            ScalingCurve.comparison_table([])

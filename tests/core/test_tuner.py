@@ -1,0 +1,82 @@
+"""Tests for the staged tuning procedure (fast, small probe scale)."""
+
+import pytest
+
+from repro.core import StagedTuner, paper_default_config
+from repro.sim.units import MiB
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    """One small staged tune shared by the assertions below."""
+    tuner = StagedTuner(
+        probe_gpus=12,
+        iterations=2,
+        fusion_grid=(1 * MiB, 64 * MiB),
+        cycle_grid=(2.5e-3, 10e-3),
+    )
+    return tuner.tune()
+
+
+def test_runs_all_four_stages_in_paper_order(outcome):
+    assert [s.stage for s in outcome.stages] == [
+        "mpi_library",
+        "fusion_threshold",
+        "cycle_time",
+        "hierarchical_allreduce",
+    ]
+
+
+def test_measurement_count_matches_grids(outcome):
+    # 2 libraries + 2 fusion + 2 cycle + 2 hierarchical
+    assert outcome.measurements == 8
+    assert sum(len(s.candidates) for s in outcome.stages) == 8
+
+
+def test_library_stage_picks_gdr(outcome):
+    """The library stage must discover MVAPICH2-GDR (the paper's step 1):
+    same throughput plateau, far less serialized allreduce time."""
+    stage = outcome.stage("mpi_library")
+    assert stage.chosen == "MVAPICH2-GDR"
+    _, _, ar_gdr = stage.candidate("MVAPICH2-GDR")
+    _, _, ar_spec = stage.candidate("SpectrumMPI")
+    assert ar_gdr < ar_spec
+
+
+def test_fusion_stage_prefers_larger_fusion(outcome):
+    assert outcome.stage("fusion_threshold").chosen == "fusion=64MiB"
+
+
+def test_best_config_is_gdr(outcome):
+    assert outcome.best.library.name == "MVAPICH2-GDR"
+
+
+def test_report_mentions_every_stage(outcome):
+    report = outcome.report()
+    for stage in outcome.stages:
+        assert stage.stage in report
+    assert "tuned:" in report
+
+
+def test_stage_lookup_errors(outcome):
+    with pytest.raises(KeyError):
+        outcome.stage("nope")
+    with pytest.raises(KeyError):
+        outcome.stages[0].candidate("nope")
+
+
+def test_tuner_validation():
+    with pytest.raises(ValueError):
+        StagedTuner(probe_gpus=1)
+
+
+def test_tuner_respects_base_config():
+    tuner = StagedTuner(
+        probe_gpus=6,
+        iterations=2,
+        fusion_grid=(64 * MiB,),
+        cycle_grid=(5e-3,),
+    )
+    base = paper_default_config()
+    out = tuner.tune(base=base)
+    assert out.best.horovod.cache_enabled == base.horovod.cache_enabled

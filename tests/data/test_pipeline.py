@@ -1,0 +1,71 @@
+"""Tests for the input-pipeline timing model."""
+
+import pytest
+
+from repro.data import InputPipelineModel
+from repro.data.pipeline import PipelineClock
+
+
+def test_batch_seconds():
+    m = InputPipelineModel(seconds_per_image=1e-3, h2d_seconds_per_image=1e-4)
+    assert m.batch_seconds(8) == pytest.approx(8 * 1.1e-3)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        InputPipelineModel(seconds_per_image=-1)
+    with pytest.raises(ValueError):
+        InputPipelineModel(prefetch_batches=0)
+    with pytest.raises(ValueError):
+        InputPipelineModel().batch_seconds(0)
+
+
+def test_clock_first_batch_waits_production_time():
+    m = InputPipelineModel(seconds_per_image=1e-3, h2d_seconds_per_image=0,
+                           prefetch_batches=2)
+    clock = PipelineClock(m, batch_size=10)  # batch takes 10 ms
+    assert clock.wait(0.0) == pytest.approx(0.010)
+
+
+def test_clock_fast_consumer_stalls_every_batch():
+    """Consumer faster than producer: steady stall = production - step."""
+    m = InputPipelineModel(seconds_per_image=1e-3, h2d_seconds_per_image=0,
+                           prefetch_batches=2)
+    clock = PipelineClock(m, batch_size=10)
+    now = 0.0
+    stalls = []
+    for _ in range(6):
+        stall = clock.wait(now)
+        stalls.append(stall)
+        now += stall + 0.004  # 4 ms step < 10 ms production
+    # After warm-up, the consumer is production-bound: ~6 ms stall/step.
+    assert stalls[-1] == pytest.approx(0.006, abs=1e-9)
+
+
+def test_clock_slow_consumer_never_stalls():
+    m = InputPipelineModel(seconds_per_image=1e-3, h2d_seconds_per_image=0,
+                           prefetch_batches=2)
+    clock = PipelineClock(m, batch_size=10)
+    now = 0.0
+    total = 0.0
+    for i in range(6):
+        stall = clock.wait(now)
+        total += stall
+        now += stall + 0.050  # 50 ms step >> 10 ms production
+    # Only the initial fill can stall.
+    assert total == pytest.approx(0.010)
+
+
+def test_prefetch_bounds_work_ahead():
+    """With depth d, at most d batches are ready ahead of consumption."""
+    m = InputPipelineModel(seconds_per_image=1e-3, h2d_seconds_per_image=0,
+                           prefetch_batches=3)
+    clock = PipelineClock(m, batch_size=10)
+    # Consume nothing for a long time, then drain: only 3 are instantly
+    # available; the 4th requires new production time.
+    now = 10.0
+    assert clock.wait(now) == 0.0
+    assert clock.wait(now) == 0.0
+    assert clock.wait(now) == 0.0
+    fourth = clock.wait(now)
+    assert fourth > 0.0

@@ -1,0 +1,125 @@
+"""Tests for dataset statistics and the VOC-mini generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import VOC2012_AUG, DatasetStats, VOCMini
+
+
+class TestDatasetStats:
+    def test_voc_reference_numbers(self):
+        assert VOC2012_AUG.train_images == 10_582
+        assert VOC2012_AUG.val_images == 1_449
+        assert VOC2012_AUG.num_classes == 21
+        assert VOC2012_AUG.crop_size == 513
+
+    def test_steps_per_epoch(self):
+        assert VOC2012_AUG.steps_per_epoch(16) == 662  # ceil(10582/16)
+        assert VOC2012_AUG.steps_per_epoch(10_582) == 1
+
+    def test_standard_recipe_epochs(self):
+        """30k steps @ global batch 16 = the standard ~45-epoch recipe."""
+        assert VOC2012_AUG.epochs_for_steps(30_000, 16) == pytest.approx(
+            45.36, abs=0.01
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VOC2012_AUG.steps_per_epoch(0)
+        with pytest.raises(ValueError):
+            VOC2012_AUG.epochs_for_steps(-1, 16)
+
+    @given(st.integers(1, 4096))
+    def test_steps_epochs_inverse(self, batch):
+        steps = VOC2012_AUG.steps_per_epoch(batch)
+        assert VOC2012_AUG.epochs_for_steps(steps, batch) >= 1.0
+        assert VOC2012_AUG.epochs_for_steps(steps - 1, batch) < 1.0
+
+
+class TestVOCMini:
+    def test_sample_shapes_and_types(self):
+        ds = VOCMini(size=24, num_classes=4)
+        image, mask = ds.sample(0)
+        assert image.shape == (24, 24, 3) and image.dtype == np.float32
+        assert mask.shape == (24, 24) and mask.dtype == np.int64
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_mask_classes_in_range(self):
+        ds = VOCMini(size=24, num_classes=4)
+        for i in range(10):
+            _, mask = ds.sample(i)
+            assert mask.min() >= 0 and mask.max() < 4
+
+    def test_deterministic_per_index(self):
+        a = VOCMini(size=16, seed=3).sample(7)
+        b = VOCMini(size=16, seed=3).sample(7)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_different_indices_differ(self):
+        ds = VOCMini(size=16)
+        assert not np.array_equal(ds.sample(0)[0], ds.sample(1)[0])
+
+    def test_foreground_present_and_background_majority_overall(self):
+        ds = VOCMini(size=32, num_classes=4, seed=1)
+        fg = bg = 0
+        for i in range(20):
+            _, mask = ds.sample(i)
+            fg += (mask > 0).sum()
+            bg += (mask == 0).sum()
+        assert fg > 0
+        assert bg > fg * 0.3  # background is a substantial class
+
+    def test_classes_have_distinct_colors(self):
+        """Mean color per class must be separable (learnable mapping)."""
+        ds = VOCMini(size=32, num_classes=4, seed=0)
+        sums = np.zeros((4, 3))
+        counts = np.zeros(4)
+        for i in range(30):
+            img, mask = ds.sample(i)
+            for c in range(4):
+                sel = mask == c
+                sums[c] += img[sel].sum(axis=0)
+                counts[c] += sel.sum()
+        means = sums / counts[:, None]
+        for a in range(4):
+            for b in range(a + 1, 4):
+                assert np.linalg.norm(means[a] - means[b]) > 0.15
+
+    def test_batch_stacks(self):
+        ds = VOCMini(size=16)
+        images, masks = ds.batch([0, 1, 2])
+        assert images.shape == (3, 16, 16, 3)
+        assert masks.shape == (3, 16, 16)
+
+    def test_shard_indices_partition(self):
+        ds = VOCMini()
+        world = 4
+        shards = [ds.shard_indices(22, r, world) for r in range(world)]
+        combined = sorted(i for s in shards for i in s)
+        assert combined == list(range(22))
+        assert all(
+            not (set(a) & set(b)) for i, a in enumerate(shards) for b in shards[i + 1:]
+        )
+
+    def test_shard_validation(self):
+        with pytest.raises(ValueError):
+            VOCMini().shard_indices(10, 4, 4)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            VOCMini(size=4)
+        with pytest.raises(ValueError):
+            VOCMini(num_classes=1)
+        with pytest.raises(ValueError):
+            VOCMini(max_shapes=0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 500))
+    def test_any_sample_valid(self, index):
+        ds = VOCMini(size=16, num_classes=5, seed=9)
+        image, mask = ds.sample(index)
+        assert np.isfinite(image).all()
+        assert set(np.unique(mask)) <= set(range(5))

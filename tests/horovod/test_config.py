@@ -1,0 +1,71 @@
+"""Tests for HorovodConfig parsing and validation."""
+
+import pytest
+
+from repro.horovod import HorovodConfig
+from repro.sim.units import MiB
+
+
+def test_defaults_match_horovod():
+    cfg = HorovodConfig.default()
+    assert cfg.fusion_threshold_bytes == 64 * MiB
+    assert cfg.cycle_time_s == pytest.approx(5e-3)
+    assert not cfg.hierarchical_allreduce
+    assert cfg.cache_enabled
+    assert cfg.compression == "none"
+
+
+def test_from_env_full():
+    cfg = HorovodConfig.from_env({
+        "HOROVOD_FUSION_THRESHOLD": str(256 * MiB),
+        "HOROVOD_CYCLE_TIME": "2.5",
+        "HOROVOD_HIERARCHICAL_ALLREDUCE": "1",
+        "HOROVOD_CACHE_CAPACITY": "0",
+        "HOROVOD_COMPRESSION": "fp16",
+        "SOME_OTHER_VAR": "ignored",
+    })
+    assert cfg.fusion_threshold_bytes == 256 * MiB
+    assert cfg.cycle_time_s == pytest.approx(2.5e-3)
+    assert cfg.hierarchical_allreduce
+    assert not cfg.cache_enabled
+    assert cfg.compression == "fp16"
+
+
+def test_from_env_empty_gives_defaults():
+    assert HorovodConfig.from_env({}) == HorovodConfig.default()
+
+
+@pytest.mark.parametrize("value,expected", [
+    ("1", True), ("true", True), ("YES", True), ("on", True),
+    ("0", False), ("false", False), ("", False), ("off", False),
+])
+def test_bool_env_parsing(value, expected):
+    cfg = HorovodConfig.from_env({"HOROVOD_HIERARCHICAL_ALLREDUCE": value})
+    assert cfg.hierarchical_allreduce is expected
+
+
+def test_bad_bool_rejected():
+    with pytest.raises(ValueError):
+        HorovodConfig.from_env({"HOROVOD_HIERARCHICAL_ALLREDUCE": "maybe"})
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        HorovodConfig(fusion_threshold_bytes=-1)
+    with pytest.raises(ValueError):
+        HorovodConfig(cycle_time_s=0)
+    with pytest.raises(ValueError):
+        HorovodConfig(compression="int8")
+
+
+def test_with_replaces_fields():
+    cfg = HorovodConfig.default().with_(cycle_time_s=1e-3)
+    assert cfg.cycle_time_s == 1e-3
+    assert cfg.fusion_threshold_bytes == HorovodConfig.default().fusion_threshold_bytes
+
+
+def test_describe_is_compact():
+    s = HorovodConfig.default().describe()
+    assert "fusion=64MiB" in s and "cycle=5ms" in s and "hier=off" in s
+    s2 = HorovodConfig(compression="fp16", allreduce_algorithm="ring").describe()
+    assert "comp=fp16" in s2 and "alg=ring" in s2

@@ -1,0 +1,89 @@
+"""Tests for tensor-fusion packing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.horovod import PendingTensor, pack_tensors
+
+
+def pt(name, nbytes):
+    return PendingTensor(name, nbytes, ready_time=0.0)
+
+
+def test_zero_threshold_disables_fusion():
+    groups = pack_tensors([pt("a", 10), pt("b", 20)], 0)
+    assert [g.names for g in groups] == [["a"], ["b"]]
+
+
+def test_packs_up_to_threshold():
+    groups = pack_tensors([pt("a", 40), pt("b", 40), pt("c", 40)], 100)
+    # a+b fit (80 <= 100); adding c would exceed, so c starts a new group.
+    assert [g.names for g in groups] == [["a", "b"], ["c"]]
+    assert groups[0].nbytes == 80
+
+
+def test_split_when_exceeding_threshold():
+    groups = pack_tensors([pt("a", 60), pt("b", 60), pt("c", 60)], 100)
+    assert [g.names for g in groups] == [["a"], ["b"], ["c"]]
+
+
+def test_exact_fit_closes_group():
+    groups = pack_tensors([pt("a", 50), pt("b", 50), pt("c", 10)], 100)
+    assert [g.names for g in groups] == [["a", "b"], ["c"]]
+
+
+def test_oversized_tensor_goes_alone():
+    groups = pack_tensors([pt("small", 10), pt("huge", 1000), pt("tail", 10)], 100)
+    assert [g.names for g in groups] == [["small"], ["huge"], ["tail"]]
+
+
+def test_order_preserved():
+    tensors = [pt(f"t{i}", 30) for i in range(6)]
+    groups = pack_tensors(tensors, 100)
+    flat = [n for g in groups for n in g.names]
+    assert flat == [f"t{i}" for i in range(6)]
+
+
+def test_empty_input():
+    assert pack_tensors([], 100) == []
+
+
+def test_negative_threshold_rejected():
+    with pytest.raises(ValueError):
+        pack_tensors([pt("a", 1)], -1)
+
+
+def test_negative_tensor_size_rejected():
+    with pytest.raises(ValueError):
+        PendingTensor("a", -1, 0.0)
+
+
+def test_group_len_and_nbytes():
+    g = pack_tensors([pt("a", 5), pt("b", 7)], 100)[0]
+    assert len(g) == 2 and g.nbytes == 12
+
+
+@given(
+    sizes=st.lists(st.integers(0, 1000), max_size=40),
+    threshold=st.integers(0, 2000),
+)
+def test_packing_invariants(sizes, threshold):
+    tensors = [pt(f"t{i}", s) for i, s in enumerate(sizes)]
+    groups = pack_tensors(tensors, threshold)
+    # 1. Every tensor appears exactly once, in order.
+    flat = [n for g in groups for n in g.names]
+    assert flat == [t.name for t in tensors]
+    # 2. No group is empty.
+    assert all(len(g) > 0 for g in groups)
+    # 3. Multi-tensor groups never exceed the threshold (only an
+    #    oversized singleton may), and packing is maximal: consecutive
+    #    groups could not have been merged.
+    if threshold > 0:
+        for g in groups:
+            if len(g) > 1:
+                assert g.nbytes <= threshold
+        for a, b in zip(groups, groups[1:]):
+            assert a.nbytes + b.tensors[0].nbytes > threshold or a.nbytes >= threshold
+    # 4. Total bytes conserved.
+    assert sum(g.nbytes for g in groups) == sum(sizes)

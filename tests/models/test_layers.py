@@ -1,0 +1,146 @@
+"""Tests for layer specs, the graph builder, and graph invariants."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.models.layers import FP32, GradTensor, GraphBuilder, LayerSpec, same_pad_out
+
+
+def test_same_pad_out():
+    assert same_pad_out((513, 513), 2) == (257, 257)
+    assert same_pad_out((257, 257), 2) == (129, 129)
+    assert same_pad_out((224, 224), 2) == (112, 112)
+    assert same_pad_out((7, 7), 1) == (7, 7)
+
+
+@given(st.integers(1, 600), st.integers(1, 4))
+def test_same_pad_out_property(h, s):
+    out = same_pad_out((h, h), s)[0]
+    assert (out - 1) * s < h <= out * s
+
+
+def test_conv_params_and_flops():
+    b = GraphBuilder("t", (8, 8), 3)
+    layer = b.conv("c", 16, 3)
+    assert layer.params == 3 * 3 * 3 * 16
+    # 8*8 output positions * 16 out_ch * 3 in_ch * 9 taps MACs * 2
+    assert layer.flops == 2 * 8 * 8 * 16 * 3 * 9
+    assert layer.out_hw == (8, 8)
+
+
+def test_conv_with_bias_and_stride():
+    b = GraphBuilder("t", (8, 8), 4)
+    layer = b.conv("c", 8, 1, stride=2, bias=True)
+    assert layer.out_hw == (4, 4)
+    assert dict(layer.weights) == {"kernel": 4 * 8, "bias": 8}
+
+
+def test_dwconv_params():
+    b = GraphBuilder("t", (8, 8), 32)
+    layer = b.dwconv("dw", 3)
+    assert layer.params == 9 * 32
+    assert layer.out_ch == 32
+    assert layer.flops == 2 * 8 * 8 * 32 * 9
+
+
+def test_dilation_recorded():
+    b = GraphBuilder("t", (16, 16), 8)
+    layer = b.dwconv("dw", 3, dilation=6)
+    assert layer.dilation == 6
+
+
+def test_bn_has_gamma_beta():
+    b = GraphBuilder("t", (4, 4), 10)
+    layer = b.bn("bn")
+    assert dict(layer.weights) == {"gamma": 10, "beta": 10}
+
+
+def test_relu_add_concat_no_params():
+    b = GraphBuilder("t", (4, 4), 10)
+    assert b.relu("r").params == 0
+    assert b.add("a").params == 0
+    layer = b.concat("c", extra_ch=6)
+    assert layer.params == 0 and layer.out_ch == 16
+
+
+def test_fc_requires_global_feature():
+    b = GraphBuilder("t", (4, 4), 10)
+    with pytest.raises(ValueError):
+        b.fc("fc", 5)
+    b.global_avgpool("gap")
+    layer = b.fc("fc", 5)
+    assert layer.params == 10 * 5 + 5
+
+
+def test_upsample_geometry():
+    b = GraphBuilder("t", (33, 33), 256)
+    layer = b.upsample("up", (129, 129))
+    assert layer.out_hw == (129, 129)
+    assert layer.out_ch == 256
+
+
+def test_checkpoint_restore_roundtrip():
+    b = GraphBuilder("t", (16, 16), 3)
+    b.conv("c1", 8, 3, stride=2)
+    state = b.checkpoint()
+    b.conv("c2", 32, 3, stride=2)
+    assert b.hw == (4, 4)
+    b.restore(state)
+    assert b.hw == (8, 8) and b.ch == 8
+
+
+def test_grad_tensor_nbytes():
+    t = GradTensor("x", 100, 0)
+    assert t.nbytes == 400
+
+
+def test_grad_tensors_reverse_order():
+    b = GraphBuilder("t", (4, 4), 3)
+    b.conv("first", 8, 3)
+    b.relu("mid")
+    b.conv("last", 8, 3, bias=True)
+    tensors = b.graph.grad_tensors()
+    assert [t.name for t in tensors] == ["last/kernel", "last/bias", "first/kernel"]
+    assert [t.emission_index for t in tensors] == [0, 1, 2]
+
+
+def test_graph_totals():
+    b = GraphBuilder("t", (4, 4), 3)
+    b.conv("c", 8, 1)
+    b.bn("bn")
+    g = b.graph
+    assert g.total_params == 3 * 8 + 16
+    assert g.gradient_nbytes == g.total_params * FP32
+
+
+def test_graph_layer_lookup():
+    b = GraphBuilder("t", (4, 4), 3)
+    b.conv("c", 8, 1)
+    assert b.graph.layer("c").out_ch == 8
+    with pytest.raises(KeyError):
+        b.graph.layer("missing")
+
+
+def test_validate_rejects_duplicates():
+    b = GraphBuilder("t", (4, 4), 3)
+    b.conv("c", 8, 1)
+    b.graph.layers.append(b.graph.layers[0])
+    with pytest.raises(ValueError, match="duplicate"):
+        b.graph.validate()
+
+
+def test_validate_rejects_degenerate():
+    from repro.models.layers import ModelGraph
+
+    g = ModelGraph("t", (4, 4), 3)
+    g.layers.append(LayerSpec("bad", "conv", (0, 4), 8, 10, 10))
+    with pytest.raises(ValueError, match="degenerate"):
+        g.validate()
+
+
+def test_summary_contains_totals():
+    b = GraphBuilder("t", (4, 4), 3)
+    b.conv("c", 8, 1)
+    s = b.graph.summary()
+    assert "total params" in s and "c" in s

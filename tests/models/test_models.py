@@ -1,0 +1,162 @@
+"""Reference checks for the ResNet-50 and DeepLab-v3+ reconstructions."""
+
+import pytest
+
+from repro.models import (
+    ModelCost,
+    build_deeplabv3plus,
+    build_resnet50,
+)
+
+
+@pytest.fixture(scope="module")
+def resnet():
+    return build_resnet50()
+
+
+@pytest.fixture(scope="module")
+def deeplab():
+    return build_deeplabv3plus()
+
+
+class TestResNet50:
+    def test_exact_parameter_count(self, resnet):
+        """The canonical published number for ResNet-50 (incl. FC + BN)."""
+        assert resnet.total_params == 25_557_032
+
+    def test_flops_match_published(self, resnet):
+        """~4.1 GMACs = ~8.2 GFLOPs forward at 224x224."""
+        assert resnet.total_flops / 1e9 == pytest.approx(8.2, rel=0.03)
+
+    def test_stage_output_geometry(self, resnet):
+        assert resnet.layer("conv1").out_hw == (112, 112)
+        assert resnet.layer("conv2_block3_out_relu").out_hw == (56, 56)
+        assert resnet.layer("conv5_block3_out_relu").out_hw == (7, 7)
+        assert resnet.layer("conv5_block3_out_relu").out_ch == 2048
+        assert resnet.layer("fc1000").out_ch == 1000
+
+    def test_gradient_tensor_count(self, resnet):
+        # 53 convs + 53 BNs x 2 + fc kernel + fc bias = 161
+        assert len(resnet.grad_tensors()) == 161
+
+    def test_shortcut_only_on_downsample_blocks(self, resnet):
+        names = [l.name for l in resnet.layers]
+        assert "conv3_block1_shortcut_conv" in names
+        assert "conv3_block2_shortcut_conv" not in names
+
+
+class TestDeepLab:
+    def test_parameter_count_near_published(self, deeplab):
+        """Published DLv3+ (Xception-65) has ~41M trainable parameters."""
+        assert deeplab.total_params == pytest.approx(41e6, rel=0.03)
+
+    def test_output_stride_16_geometry(self, deeplab):
+        assert deeplab.layer("entry_flow_block3_add").out_hw == (33, 33)
+        assert deeplab.layer("exit_flow_sepconv3_pointwise").out_ch == 2048
+        assert deeplab.layer("aspp_projection_conv").out_hw == (33, 33)
+        assert deeplab.layer("decoder_concat").out_hw == (129, 129)
+        assert deeplab.layer("logits_upsample").out_hw == (513, 513)
+        assert deeplab.layer("logits_conv").out_ch == 21
+
+    def test_decoder_concat_channels(self, deeplab):
+        # 256 (upsampled ASPP) + 48 (reduced low level)
+        assert deeplab.layer("decoder_concat").out_ch == 304
+
+    def test_many_gradient_tensors(self, deeplab):
+        """DLv3+ has hundreds of small tensors -> fusion matters (E2)."""
+        tensors = deeplab.grad_tensors()
+        assert len(tensors) > 400
+        sizes = sorted(t.nbytes for t in tensors)
+        # Long-tailed: the median tensor is tiny, the max is MB-scale.
+        assert sizes[len(sizes) // 2] < 16_000
+        assert sizes[-1] > 4_000_000
+
+    def test_aspp_branch_count(self, deeplab):
+        names = [l.name for l in deeplab.layers]
+        assert "aspp0_conv" in names
+        for i in (1, 2, 3):
+            assert f"aspp{i}_depthwise" in names
+        assert "image_pooling_conv" in names
+
+    def test_atrous_rates_recorded(self, deeplab):
+        assert deeplab.layer("aspp1_depthwise").dilation == 6
+        assert deeplab.layer("aspp2_depthwise").dilation == 12
+        assert deeplab.layer("aspp3_depthwise").dilation == 18
+
+    def test_output_stride_8_variant(self):
+        g = build_deeplabv3plus(output_stride=8)
+        assert g.layer("entry_flow_block3_add").out_hw == (65, 65)
+
+    def test_invalid_output_stride(self):
+        with pytest.raises(ValueError):
+            build_deeplabv3plus(output_stride=4)
+
+    def test_custom_classes(self):
+        g = build_deeplabv3plus(num_classes=19)  # cityscapes
+        assert g.layer("logits_conv").out_ch == 19
+
+
+class TestCalibration:
+    """The headline single-GPU numbers (experiment E1)."""
+
+    def test_resnet50_throughput(self, resnet):
+        ips = ModelCost(resnet).profile(128).images_per_second
+        assert ips == pytest.approx(300, rel=0.05)
+
+    def test_deeplab_throughput(self, deeplab):
+        ips = ModelCost(deeplab).profile(8).images_per_second
+        assert ips == pytest.approx(6.7, rel=0.05)
+
+    def test_throughput_ratio(self, resnet, deeplab):
+        r = ModelCost(resnet).profile(128).images_per_second
+        d = ModelCost(deeplab).profile(8).images_per_second
+        assert 40 < r / d < 50  # paper: ~45x
+
+
+class TestCostModel:
+    def test_profile_consistency(self, resnet):
+        prof = ModelCost(resnet).profile(32)
+        assert prof.compute_s == pytest.approx(
+            prof.forward_s + prof.backward_s + prof.optimizer_s
+        )
+        assert prof.images_per_second == pytest.approx(32 / prof.compute_s)
+
+    def test_emission_schedule_ordering(self, deeplab):
+        prof = ModelCost(deeplab).profile(8)
+        offsets = [t for t, _ in prof.emission_schedule]
+        assert offsets == sorted(offsets)
+        assert offsets[-1] == pytest.approx(prof.backward_s)
+        indices = [g.emission_index for _, g in prof.emission_schedule]
+        assert indices == list(range(len(indices)))
+
+    def test_emission_first_tensor_is_last_layer(self, deeplab):
+        prof = ModelCost(deeplab).profile(8)
+        first = prof.emission_schedule[0][1]
+        assert first.name.startswith("logits_conv")
+
+    def test_emission_total_bytes_match_params(self, resnet):
+        prof = ModelCost(resnet).profile(8)
+        assert sum(g.nbytes for _, g in prof.emission_schedule) == (
+            resnet.gradient_nbytes
+        )
+
+    def test_batch_scaling_superlinear_throughput(self, resnet):
+        """Bigger batches amortize launch overhead: img/s grows with bs."""
+        mc = ModelCost(resnet)
+        assert (
+            mc.profile(64).images_per_second < mc.profile(128).images_per_second
+        )
+
+    def test_invalid_batch(self, resnet):
+        with pytest.raises(ValueError):
+            ModelCost(resnet).profile(0)
+
+    def test_backward_slower_than_forward(self, resnet):
+        prof = ModelCost(resnet).profile(32)
+        assert prof.backward_s > prof.forward_s
+
+    def test_kernel_factor_validation(self):
+        from repro.cluster import V100
+
+        with pytest.raises(ValueError):
+            V100.kernel_seconds(1.0, 1.0, compute_factor=0)

@@ -1,0 +1,25 @@
+"""Shared helpers for MPI-layer tests."""
+
+import math
+
+import pytest
+
+from repro.cluster import Fabric, build_summit
+from repro.mpi import MVAPICH2_GDR, Comm
+from repro.sim import Environment
+
+
+def make_comm(p, library=MVAPICH2_GDR, gpus_per_node=6):
+    """A communicator over the first ``p`` GPUs of a fresh Summit build."""
+    env = Environment()
+    nodes = max(1, math.ceil(p / gpus_per_node))
+    topo = build_summit(env, nodes=nodes)
+    fabric = Fabric(topo)
+    devices = topo.gpus()[:p]
+    return env, Comm(fabric, devices, library)
+
+
+@pytest.fixture
+def comm4():
+    env, comm = make_comm(4)
+    return env, comm

@@ -1,0 +1,156 @@
+"""Correctness of every collective algorithm, data and timing modes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import VirtualBuffer
+from repro.mpi.collectives import ALGORITHMS, get_algorithm
+from repro.mpi.collectives.recursive import largest_pow2_leq
+
+from tests.mpi.conftest import make_comm
+
+ALL_ALGS = sorted(ALGORITHMS)
+
+
+def run_allreduce(p, payloads, algorithm, average=False):
+    env, comm = make_comm(p)
+    done = comm.allreduce(payloads, algorithm=algorithm, average=average)
+    results = env.run(until=done)
+    return results, env.now
+
+
+def random_payloads(p, n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal(n) for _ in range(p)]
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGS)
+@pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 6, 7, 8, 12, 13])
+def test_allreduce_equals_sum(algorithm, p):
+    n = 23
+    payloads = random_payloads(p, n, seed=p)
+    expected = np.sum(payloads, axis=0)
+    results, elapsed = run_allreduce(p, payloads, algorithm)
+    assert len(results) == p
+    for r in results:
+        np.testing.assert_allclose(r, expected, rtol=1e-12)
+    if p > 1:
+        assert elapsed > 0
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGS)
+def test_allreduce_bitwise_identical_across_ranks(algorithm):
+    """All our algorithms produce the same bits on every rank."""
+    p = 7
+    payloads = random_payloads(p, 31, seed=99)
+    results, _ = run_allreduce(p, payloads, algorithm)
+    for r in results[1:]:
+        np.testing.assert_array_equal(r, results[0])
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGS)
+def test_allreduce_average(algorithm):
+    p = 4
+    payloads = [np.full(5, float(i)) for i in range(p)]
+    results, _ = run_allreduce(p, payloads, algorithm, average=True)
+    for r in results:
+        np.testing.assert_allclose(r, np.full(5, 1.5))
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGS)
+@pytest.mark.parametrize("p", [1, 2, 4, 6, 9])
+def test_allreduce_virtual_mode_preserves_size(algorithm, p):
+    payloads = [VirtualBuffer(4096) for _ in range(p)]
+    results, elapsed = run_allreduce(p, payloads, algorithm)
+    assert all(r.nbytes == 4096 for r in results)
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGS)
+def test_allreduce_empty_payload(algorithm):
+    p = 4
+    payloads = [np.empty(0) for _ in range(p)]
+    results, _ = run_allreduce(p, payloads, algorithm)
+    assert all(len(r) == 0 for r in results)
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGS)
+def test_allreduce_size_smaller_than_ranks(algorithm):
+    """Fewer elements than ranks: split yields empty segments."""
+    p = 6
+    payloads = [np.full(2, float(i)) for i in range(p)]
+    results, _ = run_allreduce(p, payloads, algorithm)
+    for r in results:
+        np.testing.assert_allclose(r, np.full(2, 15.0))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    algorithm=st.sampled_from(ALL_ALGS),
+    p=st.integers(1, 10),
+    n=st.integers(0, 40),
+    seed=st.integers(0, 1000),
+)
+def test_allreduce_property(algorithm, p, n, seed):
+    """Property: any algorithm, any size, any data -> elementwise sum."""
+    payloads = random_payloads(p, n, seed=seed)
+    expected = np.sum(payloads, axis=0) if p else np.zeros(n)
+    results, _ = run_allreduce(p, payloads, algorithm)
+    for r in results:
+        np.testing.assert_allclose(r, expected, rtol=1e-10, atol=1e-12)
+
+
+def test_get_algorithm_unknown():
+    with pytest.raises(KeyError, match="unknown collective"):
+        get_algorithm("nope")
+
+
+def test_largest_pow2_leq():
+    assert [largest_pow2_leq(i) for i in (1, 2, 3, 4, 7, 8, 9, 132)] == [
+        1, 2, 2, 4, 4, 8, 8, 128,
+    ]
+    with pytest.raises(ValueError):
+        largest_pow2_leq(0)
+
+
+def test_payload_count_must_match_size():
+    env, comm = make_comm(4)
+    with pytest.raises(ValueError):
+        comm.allreduce([np.zeros(3)] * 3)
+
+
+def test_default_algorithm_selection_by_size():
+    """Without an explicit algorithm the library table picks by size."""
+    env, comm = make_comm(4)
+    # Small message -> recursive doubling; just verify it completes and sums.
+    payloads = [np.full(4, float(i), dtype=np.float32) for i in range(4)]
+    done = comm.allreduce(payloads)
+    results = env.run(until=done)
+    np.testing.assert_allclose(results[0], np.full(4, 6.0))
+
+
+def test_gather_linear():
+    env, comm = make_comm(5)
+    payloads = [np.full(3, float(r)) for r in range(5)]
+    done = comm.gather_linear(payloads, root=0)
+    results = env.run(until=done)
+    for r, res in enumerate(results):
+        np.testing.assert_array_equal(res, np.full(3, float(r)))
+
+
+def test_bcast_delivers_to_all():
+    env, comm = make_comm(6)
+    data = np.arange(4.0)
+    done = comm.bcast(data, root=2)
+    results = env.run(until=done)
+    assert len(results) == 6
+    for r in results:
+        np.testing.assert_array_equal(r, data)
+
+
+def test_bcast_single_rank():
+    env, comm = make_comm(1)
+    done = comm.bcast(np.arange(3.0), root=0)
+    results = env.run(until=done)
+    np.testing.assert_array_equal(results[0], np.arange(3.0))

@@ -1,0 +1,71 @@
+"""Tests for the analytic negotiation cost and fabric utilization report."""
+
+import pytest
+
+from repro.mpi import SPECTRUM_MPI, VirtualBuffer
+
+from tests.mpi.conftest import make_comm
+
+
+class TestControlRoundSeconds:
+    def test_single_rank_is_cheap(self):
+        env, comm = make_comm(1)
+        assert comm.control_round_seconds(64) < 1e-5
+
+    def test_grows_with_ranks(self):
+        costs = [
+            make_comm(p)[1].control_round_seconds(64) for p in (2, 12, 48)
+        ]
+        assert costs == sorted(costs)
+
+    def test_cached_is_cheaper(self):
+        env, comm = make_comm(24)
+        assert comm.control_round_seconds(64, cached=True) < (
+            comm.control_round_seconds(64)
+        )
+
+    def test_validation(self):
+        env, comm = make_comm(2)
+        with pytest.raises(ValueError):
+            comm.control_round_seconds(-1)
+
+    def test_tracks_simulated_round_within_factor_two(self):
+        """The closed form must track the fully simulated gather+bcast."""
+        env, comm = make_comm(24)
+        per_rank = 128
+        analytic = comm.control_round_seconds(per_rank)
+        start = env.now
+        done = comm.gather_linear(
+            [VirtualBuffer(per_rank) for _ in range(24)], root=0
+        )
+        env.run(until=done)
+        done = comm.bcast(VirtualBuffer(per_rank), root=0)
+        env.run(until=done)
+        simulated = env.now - start
+        assert analytic == pytest.approx(simulated, rel=1.0)
+        assert analytic > simulated / 3
+
+    def test_spectrum_costlier_than_gdr(self):
+        a = make_comm(24)[1].control_round_seconds(64)
+        b = make_comm(24, library=SPECTRUM_MPI)[1].control_round_seconds(64)
+        assert b > a
+
+
+class TestUtilizationReport:
+    def test_report_after_traffic(self):
+        env, comm = make_comm(12)
+        done = comm.allreduce(
+            [VirtualBuffer(4 << 20) for _ in range(12)], algorithm="ring"
+        )
+        env.run(until=done)
+        report = comm.fabric.utilization_report()
+        assert "ib-edr" in report and "nvlink2-gg" in report
+        assert report["ib-edr"]["bytes"] > 0
+        for entry in report.values():
+            assert 0 <= entry["mean_utilization"] <= 1
+
+    def test_report_idle_fabric(self):
+        env, comm = make_comm(2)
+        report = comm.fabric.utilization_report(elapsed_seconds=1.0)
+        assert all(e["bytes"] == 0 for e in report.values())
+        assert all(e["mean_utilization"] == 0.0 for e in report.values())

@@ -1,0 +1,68 @@
+"""Tests for the OSU microbenchmark drivers and the NCCL profile."""
+
+import pytest
+
+from repro.mpi import ALL_LIBRARIES, MPI_LIBRARIES, MVAPICH2_GDR, NCCL
+from repro.mpi.osu import OSUResult, osu_allreduce, osu_bcast, osu_latency, sweep_allreduce
+from repro.sim.units import KiB, MiB
+
+from tests.mpi.conftest import make_comm
+
+
+class TestOSUDrivers:
+    def test_allreduce_result_fields(self):
+        env, comm = make_comm(4)
+        res = osu_allreduce(comm, 1024, iterations=3)
+        assert res.benchmark == "osu_allreduce"
+        assert res.ranks == 4 and res.iterations == 3
+        assert res.latency_s > 0
+
+    def test_bcast_cheaper_than_allreduce(self):
+        res_ar = osu_allreduce(make_comm(8)[1], 1 * MiB, iterations=2)
+        res_bc = osu_bcast(make_comm(8)[1], 1 * MiB, iterations=2)
+        assert res_bc.latency_s < res_ar.latency_s
+
+    def test_bcast_scales_log_in_ranks(self):
+        """Binomial tree: doubling ranks adds ~one level, not 2x time."""
+        t6 = osu_bcast(make_comm(6)[1], 64 * KiB, iterations=2).latency_s
+        t12 = osu_bcast(make_comm(12)[1], 64 * KiB, iterations=2).latency_s
+        assert t12 < 2.2 * t6
+
+    def test_sweep_allreduce(self):
+        results = sweep_allreduce(
+            lambda: make_comm(4)[1], [1024, 1 * MiB], iterations=2
+        )
+        assert [r.nbytes for r in results] == [1024, 1 * MiB]
+        assert results[0].latency_s < results[1].latency_s
+
+    def test_size_alignment_and_validation(self):
+        env, comm = make_comm(2)
+        res = osu_latency(comm, 5, iterations=1)  # rounds up to 8
+        assert res.nbytes == 5
+        with pytest.raises(ValueError):
+            osu_allreduce(make_comm(2)[1], -1)
+
+    def test_osu_result_is_frozen(self):
+        res = OSUResult("b", 1, 2, 1.0, 1)
+        with pytest.raises(AttributeError):
+            res.latency_s = 2.0
+
+
+class TestNCCLProfile:
+    def test_registries(self):
+        assert "NCCL" not in MPI_LIBRARIES  # not a paper tuning target
+        assert ALL_LIBRARIES["NCCL"] is NCCL
+        assert set(MPI_LIBRARIES) < set(ALL_LIBRARIES)
+
+    def test_nccl_ring_biased_selection(self):
+        assert NCCL.allreduce_algorithm(1 * MiB, 24) == "ring"
+        assert NCCL.allreduce_algorithm(64 * KiB, 24) == "ring"
+        assert NCCL.allreduce_algorithm(1 * KiB, 24) == "recursive_doubling"
+
+    def test_nccl_fastest_small_message_allreduce(self):
+        lat = {}
+        for name, lib in ALL_LIBRARIES.items():
+            res = osu_allreduce(make_comm(12, library=lib)[1], 4 * KiB,
+                                iterations=2)
+            lat[name] = res.latency_s
+        assert lat["NCCL"] < lat["MVAPICH2-GDR"] < lat["SpectrumMPI"]

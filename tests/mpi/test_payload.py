@@ -1,0 +1,111 @@
+"""Tests for payload operations (numpy and virtual modes)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mpi import NUMPY_OPS, VIRTUAL_OPS, VirtualBuffer, ops_for
+
+
+class TestNumpyOps:
+    def test_nbytes(self):
+        assert NUMPY_OPS.nbytes(np.zeros(10, dtype=np.float32)) == 40
+
+    def test_split_concat_roundtrip(self):
+        x = np.arange(10.0)
+        parts = NUMPY_OPS.split(x, 3)
+        assert [len(p) for p in parts] == [4, 3, 3]
+        np.testing.assert_array_equal(NUMPY_OPS.concat(parts), x)
+
+    def test_split_more_parts_than_elements(self):
+        parts = NUMPY_OPS.split(np.arange(2.0), 4)
+        assert [len(p) for p in parts] == [1, 1, 0, 0]
+
+    def test_split_invalid(self):
+        with pytest.raises(ValueError):
+            NUMPY_OPS.split(np.arange(4.0), 0)
+
+    def test_add_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            NUMPY_OPS.add(np.zeros(3), np.zeros(4))
+
+    def test_add_does_not_mutate(self):
+        a, b = np.ones(3), np.full(3, 2.0)
+        out = NUMPY_OPS.add(a, b)
+        np.testing.assert_array_equal(a, np.ones(3))
+        np.testing.assert_array_equal(out, np.full(3, 3.0))
+
+    def test_clone_independent(self):
+        a = np.ones(3)
+        c = NUMPY_OPS.clone(a)
+        c[0] = 99
+        assert a[0] == 1
+
+    def test_scale(self):
+        np.testing.assert_array_equal(NUMPY_OPS.scale(np.full(2, 4.0), 0.25), np.ones(2))
+
+    @given(st.integers(1, 50), st.integers(1, 12))
+    def test_split_is_balanced_and_ordered(self, n, k):
+        x = np.arange(float(n))
+        parts = NUMPY_OPS.split(x, k)
+        sizes = [len(p) for p in parts]
+        assert sum(sizes) == n
+        assert max(sizes) - min(sizes) <= 1
+        assert sizes == sorted(sizes, reverse=True)
+        np.testing.assert_array_equal(NUMPY_OPS.concat(parts), x)
+
+
+class TestVirtualOps:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VirtualBuffer(-4)
+        with pytest.raises(ValueError):
+            VirtualBuffer(10, elem_size=4)  # not multiple
+        with pytest.raises(ValueError):
+            VirtualBuffer(4, elem_size=0)
+
+    def test_numel(self):
+        assert VirtualBuffer(40, 4).numel == 10
+
+    def test_split_matches_numpy_split_sizes(self):
+        vb = VirtualBuffer(40, 4)
+        vparts = VIRTUAL_OPS.split(vb, 3)
+        nparts = NUMPY_OPS.split(np.zeros(10, dtype=np.float32), 3)
+        assert [p.nbytes for p in vparts] == [p.nbytes for p in nparts]
+
+    def test_concat(self):
+        parts = [VirtualBuffer(8), VirtualBuffer(12)]
+        assert VIRTUAL_OPS.concat(parts).nbytes == 20
+
+    def test_concat_empty(self):
+        assert VIRTUAL_OPS.concat([]).nbytes == 0
+
+    def test_concat_mixed_elem_size_rejected(self):
+        with pytest.raises(ValueError):
+            VIRTUAL_OPS.concat([VirtualBuffer(8, 4), VirtualBuffer(8, 2)])
+
+    def test_add_size_mismatch(self):
+        with pytest.raises(ValueError):
+            VIRTUAL_OPS.add(VirtualBuffer(8), VirtualBuffer(12))
+
+    def test_add_scale_clone_preserve_size(self):
+        vb = VirtualBuffer(16)
+        assert VIRTUAL_OPS.add(vb, VirtualBuffer(16)).nbytes == 16
+        assert VIRTUAL_OPS.scale(vb, 0.5).nbytes == 16
+        assert VIRTUAL_OPS.clone(vb).nbytes == 16
+
+    @given(st.integers(0, 1000), st.integers(1, 16))
+    def test_split_conserves_bytes(self, numel, k):
+        vb = VirtualBuffer(numel * 4, 4)
+        parts = VIRTUAL_OPS.split(vb, k)
+        assert sum(p.nbytes for p in parts) == vb.nbytes
+        sizes = [p.numel for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+
+def test_ops_for_dispatch():
+    assert ops_for(np.zeros(2)) is NUMPY_OPS
+    assert ops_for(VirtualBuffer(8)) is VIRTUAL_OPS
+    with pytest.raises(TypeError):
+        ops_for("nope")

@@ -1,0 +1,164 @@
+"""Timing *shape* of the simulated MPI: the qualitative facts the paper's
+tuning exploits must hold in the model."""
+
+import pytest
+
+from repro.mpi import MVAPICH2_GDR, SPECTRUM_MPI, VirtualBuffer
+from repro.mpi.costmodel import allreduce_time, alpha_beta_for
+from repro.mpi.osu import osu_allreduce, osu_latency
+from repro.sim.units import KiB, MiB
+
+from tests.mpi.conftest import make_comm
+
+
+def allreduce_elapsed(p, nbytes, algorithm, library=MVAPICH2_GDR):
+    env, comm = make_comm(p, library=library)
+    done = comm.allreduce(
+        [VirtualBuffer(nbytes) for _ in range(p)], algorithm=algorithm
+    )
+    env.run(until=done)
+    return env.now
+
+
+def test_recursive_doubling_beats_ring_small_messages():
+    """Latency-bound regime: log(p) rounds beat 2(p-1) rounds."""
+    t_rd = allreduce_elapsed(12, 4 * KiB, "recursive_doubling")
+    t_ring = allreduce_elapsed(12, 4 * KiB, "ring")
+    assert t_rd < t_ring
+
+
+def test_ring_beats_recursive_doubling_large_messages():
+    """Bandwidth-bound regime: 2n/p traffic beats n log(p)."""
+    t_rd = allreduce_elapsed(12, 64 * MiB, "recursive_doubling")
+    t_ring = allreduce_elapsed(12, 64 * MiB, "ring")
+    assert t_ring < t_rd
+
+
+def test_rabenseifner_between_ring_and_rd_latency():
+    """Rabenseifner has ring's traffic with log latency: best of both for
+    mid sizes, and never dramatically worse than either."""
+    n = 256 * KiB
+    t_rab = allreduce_elapsed(12, n, "rabenseifner")
+    t_ring = allreduce_elapsed(12, n, "ring")
+    t_rd = allreduce_elapsed(12, n, "recursive_doubling")
+    assert t_rab < t_ring
+    assert t_rab < 1.5 * t_rd
+
+
+def test_hierarchical_beats_flat_ring_latency_regime():
+    """At scale with moderate messages (the regime fused Horovod buffers
+    live in), cutting inter-node participants 6x wins — the paper's
+    HIERARCHICAL_ALLREDUCE effect."""
+    for p, n in [(24, 1 * MiB), (72, 4 * MiB)]:
+        t_flat = allreduce_elapsed(p, n, "ring")
+        t_hier = allreduce_elapsed(p, n, "hierarchical")
+        assert t_hier < t_flat, (p, n)
+
+
+def test_flat_ring_beats_hierarchical_bandwidth_regime():
+    """For huge buffers a well-mapped flat ring is bandwidth-optimal and
+    hierarchical's full-size intra-node stages cost extra — the crossover
+    the E9 ablation bench documents."""
+    t_flat = allreduce_elapsed(24, 32 * MiB, "ring")
+    t_hier = allreduce_elapsed(24, 32 * MiB, "hierarchical")
+    assert t_flat < t_hier
+
+
+def test_hierarchical_single_node_close_to_flat():
+    """Within one node hierarchical degenerates to the flat algorithm."""
+    t_hier = allreduce_elapsed(6, 8 * MiB, "hierarchical")
+    t_flat = allreduce_elapsed(6, 8 * MiB, "ring")
+    assert t_hier == pytest.approx(t_flat, rel=0.05)
+
+
+def test_mvapich_gdr_faster_than_spectrum_all_sizes():
+    """The library gap that motivates the paper, across the size range."""
+    for nbytes in (4 * KiB, 256 * KiB, 16 * MiB):
+        t_spec = allreduce_elapsed(12, nbytes, "ring", library=SPECTRUM_MPI)
+        t_gdr = allreduce_elapsed(12, nbytes, "ring", library=MVAPICH2_GDR)
+        assert t_gdr < t_spec, f"size {nbytes}"
+
+
+def test_allreduce_time_scales_sublinearly_with_ranks_ring():
+    """Ring bandwidth term is ~constant in p; time grows via latency only."""
+    n = 64 * MiB
+    t12 = allreduce_elapsed(12, n, "ring")
+    t24 = allreduce_elapsed(24, n, "ring")
+    assert t24 < 1.6 * t12
+
+
+def test_osu_latency_small_message_scale():
+    """Inter-node small-message GPU latency: GDR must be in the low single-
+    digit µs, Spectrum in the tens of µs (published OSU shape)."""
+    env, comm = make_comm(12, library=MVAPICH2_GDR)
+    gdr = osu_latency(comm, 8, ranks=(0, 6))
+    env, comm = make_comm(12, library=SPECTRUM_MPI)
+    spec = osu_latency(comm, 8, ranks=(0, 6))
+    assert 2 < gdr.latency_us < 12
+    assert 15 < spec.latency_us < 50
+    assert spec.latency_s > 2.5 * gdr.latency_s
+
+
+def test_osu_allreduce_monotone_in_size():
+    env, comm = make_comm(6)
+    sizes = [1 * KiB, 32 * KiB, 1 * MiB, 16 * MiB]
+    lat = [osu_allreduce(make_comm(6)[1], s, iterations=2).latency_s for s in sizes]
+    assert lat == sorted(lat)
+
+
+def test_osu_result_bandwidth_property():
+    env, comm = make_comm(2)
+    res = osu_latency(comm, 1 * MiB)
+    assert res.bandwidth_Bps > 0
+    assert res.latency_us == pytest.approx(res.latency_s * 1e6)
+
+
+def test_osu_latency_needs_two_ranks():
+    env, comm = make_comm(1)
+    with pytest.raises(ValueError):
+        osu_latency(comm, 8)
+
+
+class TestAnalyticCrossValidation:
+    """DES results must track the α–β formulas on uniform topologies."""
+
+    @pytest.mark.parametrize("algorithm", ["ring", "recursive_doubling", "rabenseifner"])
+    def test_intra_node_matches_model(self, algorithm):
+        """Single node (uniform NVLink all-to-all, p=4 power of two)."""
+        p, n = 4, 8 * MiB
+        env, comm = make_comm(p)
+        ab = alpha_beta_for(comm, inter_node=False)
+        predicted = allreduce_time(algorithm, p, n, ab)
+        done = comm.allreduce(
+            [VirtualBuffer(n) for _ in range(p)], algorithm=algorithm
+        )
+        env.run(until=done)
+        # Within 35%: the DES adds eager/rendezvous detail and real
+        # balanced-split sizes the formula ignores.
+        assert env.now == pytest.approx(predicted, rel=0.35)
+
+    def test_model_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            allreduce_time("nope", 4, 100, AlphaBetaStub())
+
+    def test_model_p1_free(self):
+        ab = alpha_beta_for(make_comm(2)[1], inter_node=False)
+        assert allreduce_time("ring", 1, 100, ab) == 0.0
+
+    def test_model_invalid_p(self):
+        ab = alpha_beta_for(make_comm(2)[1], inter_node=False)
+        with pytest.raises(ValueError):
+            allreduce_time("ring", 0, 100, ab)
+
+    def test_alpha_beta_requires_matching_pair(self):
+        env, comm = make_comm(2)  # both ranks on node 0
+        with pytest.raises(ValueError):
+            alpha_beta_for(comm, inter_node=True)
+
+
+class AlphaBetaStub:
+    alpha = 1e-6
+    beta = 1e-9
+
+    def message(self, nbytes):
+        return self.alpha + nbytes * self.beta

@@ -1,0 +1,84 @@
+"""Gradcheck and equivalence tests for the depthwise convolution."""
+
+import numpy as np
+import pytest
+
+from repro.npnn import DepthwiseConv2D
+from repro.npnn.functional import (
+    conv2d,
+    depthwise_conv2d,
+    depthwise_conv2d_backward,
+)
+
+from tests.npnn.test_functional import numeric_grad
+
+RNG = np.random.default_rng(3)
+
+
+def test_matches_grouped_dense_conv():
+    """Depthwise conv == dense conv with a block-diagonal kernel."""
+    x = RNG.standard_normal((2, 3, 6, 6))
+    w = RNG.standard_normal((3, 3, 3))
+    out, _ = depthwise_conv2d(x, w)
+    dense_w = np.zeros((3, 3, 3, 3))
+    for c in range(3):
+        dense_w[c, c] = w[c]
+    expected, _ = conv2d(x, dense_w)
+    np.testing.assert_allclose(out, expected, rtol=1e-12)
+
+
+def test_shape_with_stride():
+    x = RNG.standard_normal((1, 4, 9, 9))
+    w = RNG.standard_normal((4, 3, 3))
+    out, _ = depthwise_conv2d(x, w, stride=2)
+    assert out.shape == (1, 4, 5, 5)
+
+
+def test_channel_mismatch_rejected():
+    with pytest.raises(ValueError):
+        depthwise_conv2d(np.zeros((1, 3, 4, 4)), np.zeros((2, 3, 3)))
+
+
+@pytest.mark.parametrize("stride,dilation", [(1, 1), (2, 1), (1, 3)])
+def test_gradcheck(stride, dilation):
+    x = RNG.standard_normal((2, 2, 6, 6))
+    w = RNG.standard_normal((2, 3, 3)) * 0.5
+    out, ctx = depthwise_conv2d(x, w, stride=stride, dilation=dilation)
+    target = RNG.standard_normal(out.shape)
+
+    def loss():
+        o, _ = depthwise_conv2d(x, w, stride=stride, dilation=dilation)
+        return float((o * target).sum())
+
+    dx, dw = depthwise_conv2d_backward(target, ctx)
+    np.testing.assert_allclose(dx, numeric_grad(loss, x), atol=1e-6)
+    np.testing.assert_allclose(dw, numeric_grad(loss, w), atol=1e-6)
+
+
+class TestDepthwiseLayer:
+    def test_forward_backward_shapes(self):
+        layer = DepthwiseConv2D(4, stride=2, rng=RNG)
+        x = RNG.standard_normal((2, 4, 8, 8))
+        out = layer.forward(x)
+        assert out.shape == (2, 4, 4, 4)
+        dx = layer.backward(np.ones_like(out))
+        assert dx.shape == x.shape
+        assert layer.grads["depthwise_kernel"].any()
+
+    def test_param_name_matches_cost_model_convention(self):
+        layer = DepthwiseConv2D(2, rng=RNG)
+        names = [n for n, _, _ in layer.named_params()]
+        assert names == ["depthwise_kernel"]
+
+    def test_sep_conv_composition(self):
+        """DW + 1x1 pointwise = a separable conv block end to end."""
+        from repro.npnn import Conv2D, Sequential
+
+        sep = Sequential([
+            ("dw", DepthwiseConv2D(3, dilation=2, rng=RNG)),
+            ("pw", Conv2D(3, 8, k=1, rng=RNG)),
+        ])
+        x = RNG.standard_normal((1, 3, 8, 8))
+        out = sep.forward(x)
+        assert out.shape == (1, 8, 8, 8)
+        sep.backward(np.ones_like(out))

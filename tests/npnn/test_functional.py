@@ -1,0 +1,161 @@
+"""Gradcheck and geometry tests for the functional kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.npnn.functional import (
+    bilinear_resize,
+    bilinear_resize_backward,
+    conv2d,
+    conv2d_backward,
+    conv_geometry,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def numeric_grad(f, x, eps=1e-6):
+    """Central-difference gradient of scalar f at x."""
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    gflat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        f_plus = f()
+        flat[i] = orig - eps
+        f_minus = f()
+        flat[i] = orig
+        gflat[i] = (f_plus - f_minus) / (2 * eps)
+    return grad
+
+
+class TestConvGeometry:
+    def test_same_padding_matches_tf(self):
+        out, before, after = conv_geometry((5, 5), 3, 1, 1)
+        assert out == (5, 5) and before == (1, 1) and after == (1, 1)
+
+    def test_stride_2(self):
+        out, _, _ = conv_geometry((5, 5), 3, 2, 1)
+        assert out == (3, 3)
+
+    def test_dilation_widens_padding(self):
+        _, before, after = conv_geometry((7, 7), 3, 1, 3)
+        assert before == (3, 3) and after == (3, 3)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            conv_geometry((5, 5), 0, 1, 1)
+
+    @given(st.integers(1, 20), st.integers(1, 3), st.integers(1, 3),
+           st.integers(1, 3))
+    def test_output_matches_ceil(self, dim, k, s, d):
+        out, _, _ = conv_geometry((dim, dim), k, s, d)
+        assert out[0] == -(-dim // s)
+
+
+class TestConv2D:
+    def test_identity_kernel(self):
+        x = RNG.standard_normal((1, 1, 4, 4))
+        w = np.zeros((1, 1, 1, 1))
+        w[0, 0, 0, 0] = 1.0
+        out, _ = conv2d(x, w)
+        np.testing.assert_allclose(out, x)
+
+    def test_channel_sum_1x1(self):
+        x = RNG.standard_normal((2, 3, 4, 4))
+        w = np.ones((1, 3, 1, 1))
+        out, _ = conv2d(x, w)
+        np.testing.assert_allclose(out[:, 0], x.sum(axis=1))
+
+    def test_matches_direct_convolution(self):
+        """Cross-check im2col against a naive nested-loop conv."""
+        x = RNG.standard_normal((1, 2, 5, 5))
+        w = RNG.standard_normal((3, 2, 3, 3))
+        out, _ = conv2d(x, w)
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        expected = np.zeros((1, 3, 5, 5))
+        for f in range(3):
+            for i in range(5):
+                for j in range(5):
+                    expected[0, f, i, j] = (
+                        xp[0, :, i:i + 3, j:j + 3] * w[f]
+                    ).sum()
+        np.testing.assert_allclose(out, expected, rtol=1e-12)
+
+    def test_bias_added(self):
+        x = np.zeros((1, 1, 2, 2))
+        w = np.zeros((2, 1, 1, 1))
+        b = np.array([3.0, -1.0])
+        out, _ = conv2d(x, w, b)
+        assert (out[0, 0] == 3.0).all() and (out[0, 1] == -1.0).all()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            conv2d(np.zeros((1, 2, 4, 4)), np.zeros((1, 3, 3, 3)))
+
+    @pytest.mark.parametrize("stride,dilation", [(1, 1), (2, 1), (1, 2), (2, 3)])
+    def test_gradcheck(self, stride, dilation):
+        x = RNG.standard_normal((2, 2, 6, 6))
+        w = RNG.standard_normal((3, 2, 3, 3)) * 0.5
+        b = RNG.standard_normal(3) * 0.1
+        target = None
+
+        def loss():
+            out, _ = conv2d(x, w, b, stride=stride, dilation=dilation)
+            return float((out * target).sum())
+
+        out, ctx = conv2d(x, w, b, stride=stride, dilation=dilation)
+        target = RNG.standard_normal(out.shape)
+        dx, dw, db = conv2d_backward(target, ctx)
+        np.testing.assert_allclose(dx, numeric_grad(loss, x), atol=1e-6)
+        np.testing.assert_allclose(dw, numeric_grad(loss, w), atol=1e-6)
+        np.testing.assert_allclose(db, numeric_grad(loss, b), atol=1e-6)
+
+
+class TestBilinearResize:
+    def test_identity_same_size(self):
+        x = RNG.standard_normal((1, 2, 4, 4))
+        out, _ = bilinear_resize(x, (4, 4))
+        np.testing.assert_allclose(out, x)
+
+    def test_constant_preserved(self):
+        x = np.full((1, 1, 3, 3), 7.0)
+        out, _ = bilinear_resize(x, (9, 9))
+        np.testing.assert_allclose(out, 7.0)
+
+    def test_upsample_shape(self):
+        out, _ = bilinear_resize(RNG.standard_normal((2, 3, 8, 8)), (16, 16))
+        assert out.shape == (2, 3, 16, 16)
+
+    def test_downsample_shape(self):
+        out, _ = bilinear_resize(RNG.standard_normal((1, 1, 8, 8)), (3, 5))
+        assert out.shape == (1, 1, 3, 5)
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            bilinear_resize(RNG.standard_normal((1, 1, 4, 4)), (0, 4))
+
+    def test_gradcheck(self):
+        x = RNG.standard_normal((1, 2, 4, 4))
+        out, ctx = bilinear_resize(x, (7, 5))
+        target = RNG.standard_normal(out.shape)
+
+        def loss():
+            o, _ = bilinear_resize(x, (7, 5))
+            return float((o * target).sum())
+
+        dx = bilinear_resize_backward(target, ctx)
+        np.testing.assert_allclose(dx, numeric_grad(loss, x), atol=1e-6)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(2, 6), st.integers(2, 10))
+    def test_energy_conserved_for_constant_grad(self, in_dim, out_dim):
+        """Sum of backward(ones) equals number of output pixels (the
+        bilinear weights at each output pixel sum to 1)."""
+        x = RNG.standard_normal((1, 1, in_dim, in_dim))
+        _, ctx = bilinear_resize(x, (out_dim, out_dim))
+        dx = bilinear_resize_backward(np.ones((1, 1, out_dim, out_dim)), ctx)
+        assert dx.sum() == pytest.approx(out_dim * out_dim)

@@ -1,0 +1,267 @@
+"""Tests for layers, loss, optimizer, and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.npnn import (
+    BatchNorm2D,
+    Concat,
+    Conv2D,
+    ReLU,
+    SGD,
+    Sequential,
+    confusion_matrix,
+    mean_iou,
+    pixel_accuracy,
+    softmax_cross_entropy,
+)
+
+RNG = np.random.default_rng(7)
+
+
+class TestConv2DLayer:
+    def test_deterministic_init_from_rng(self):
+        a = Conv2D(3, 4, rng=np.random.default_rng(5))
+        b = Conv2D(3, 4, rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(a.params["weight"], b.params["weight"])
+
+    def test_forward_backward_shapes(self):
+        layer = Conv2D(3, 8, stride=2, rng=RNG)
+        x = RNG.standard_normal((2, 3, 8, 8))
+        out = layer.forward(x)
+        assert out.shape == (2, 8, 4, 4)
+        dx = layer.backward(np.ones_like(out))
+        assert dx.shape == x.shape
+        assert layer.grads["weight"].any()
+
+    def test_grads_accumulate_and_zero(self):
+        layer = Conv2D(1, 1, k=1, rng=RNG)
+        x = np.ones((1, 1, 2, 2))
+        layer.forward(x)
+        layer.backward(np.ones((1, 1, 2, 2)))
+        g1 = layer.grads["weight"].copy()
+        layer.forward(x)
+        layer.backward(np.ones((1, 1, 2, 2)))
+        np.testing.assert_allclose(layer.grads["weight"], 2 * g1)
+        layer.zero_grads()
+        assert not layer.grads["weight"].any()
+
+
+class TestBatchNorm:
+    def test_normalizes_in_training(self):
+        bn = BatchNorm2D(4)
+        x = RNG.standard_normal((8, 4, 5, 5)) * 3 + 2
+        out = bn.forward(x)
+        assert out.mean(axis=(0, 2, 3)) == pytest.approx(np.zeros(4), abs=1e-10)
+        assert out.var(axis=(0, 2, 3)) == pytest.approx(np.ones(4), rel=1e-3)
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm2D(2, momentum=0.0)  # running stats = last batch
+        x = RNG.standard_normal((16, 2, 4, 4)) * 2 + 1
+        bn.forward(x)
+        bn.set_training(False)
+        y = bn.forward(x)
+        # Eval output on the same batch matches train-mode normalization
+        # (up to the biased/unbiased var difference).
+        assert abs(y.mean()) < 0.05
+
+    def test_gradcheck(self):
+        bn = BatchNorm2D(2)
+        x = RNG.standard_normal((3, 2, 4, 4))
+        target = RNG.standard_normal((3, 2, 4, 4))
+        out = bn.forward(x)
+        dx = bn.backward(target)
+
+        def loss():
+            return float((bn.forward(x) * target).sum())
+
+        eps = 1e-6
+        num = np.zeros_like(x)
+        flat, nflat = x.ravel(), num.ravel()
+        for i in range(0, flat.size, 7):  # sample every 7th element
+            orig = flat[i]
+            flat[i] = orig + eps
+            lp = loss()
+            flat[i] = orig - eps
+            lm = loss()
+            flat[i] = orig
+            nflat[i] = (lp - lm) / (2 * eps)
+        mask = num != 0
+        np.testing.assert_allclose(dx[mask], num[mask], atol=1e-5)
+
+    def test_gamma_beta_grads(self):
+        bn = BatchNorm2D(2)
+        x = RNG.standard_normal((3, 2, 4, 4))
+        bn.forward(x)
+        bn.backward(np.ones((3, 2, 4, 4)))
+        np.testing.assert_allclose(bn.grads["beta"], 3 * 4 * 4)
+
+
+class TestReLUAndContainers:
+    def test_relu(self):
+        r = ReLU()
+        x = np.array([[-1.0, 2.0]])
+        np.testing.assert_array_equal(r.forward(x), [[0.0, 2.0]])
+        np.testing.assert_array_equal(r.backward(np.ones((1, 2))), [[0.0, 1.0]])
+
+    def test_sequential_chains_and_names(self):
+        seq = Sequential([
+            ("c", Conv2D(1, 2, k=1, rng=RNG)),
+            ("bn", BatchNorm2D(2)),
+            ("r", ReLU()),
+        ])
+        x = RNG.standard_normal((2, 1, 3, 3))
+        out = seq.forward(x)
+        assert out.shape == (2, 2, 3, 3)
+        seq.backward(np.ones_like(out))
+        names = [n for n, _, _ in seq.named_params()]
+        assert names == ["c/weight", "c/bias", "bn/gamma", "bn/beta"]
+
+    def test_sequential_rejects_duplicate_names(self):
+        with pytest.raises(ValueError):
+            Sequential([("a", ReLU()), ("a", ReLU())])
+
+    def test_concat_roundtrip(self):
+        cat = Concat()
+        a, b = RNG.standard_normal((1, 2, 3, 3)), RNG.standard_normal((1, 3, 3, 3))
+        out = cat.forward([a, b])
+        assert out.shape == (1, 5, 3, 3)
+        da, db = cat.backward(out)
+        np.testing.assert_array_equal(da, a)
+        np.testing.assert_array_equal(db, b)
+
+    def test_concat_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            Concat().backward(np.zeros((1, 2, 2, 2)))
+
+
+class TestLoss:
+    def test_uniform_logits_loss_is_log_c(self):
+        logits = np.zeros((1, 4, 2, 2))
+        labels = np.zeros((1, 2, 2), dtype=int)
+        loss, _ = softmax_cross_entropy(logits, labels)
+        assert loss == pytest.approx(np.log(4))
+
+    def test_gradient_sums_to_zero_per_pixel(self):
+        logits = RNG.standard_normal((2, 3, 4, 4))
+        labels = RNG.integers(0, 3, (2, 4, 4))
+        _, d = softmax_cross_entropy(logits, labels)
+        np.testing.assert_allclose(d.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_gradcheck(self):
+        logits = RNG.standard_normal((1, 3, 2, 2))
+        labels = RNG.integers(0, 3, (1, 2, 2))
+        _, d = softmax_cross_entropy(logits, labels)
+        eps = 1e-6
+        num = np.zeros_like(logits)
+        flat, nflat = logits.ravel(), num.ravel()
+        for i in range(flat.size):
+            orig = flat[i]
+            flat[i] = orig + eps
+            lp, _ = softmax_cross_entropy(logits, labels)
+            flat[i] = orig - eps
+            lm, _ = softmax_cross_entropy(logits, labels)
+            flat[i] = orig
+            nflat[i] = (lp - lm) / (2 * eps)
+        np.testing.assert_allclose(d, num, atol=1e-7)
+
+    def test_ignore_label(self):
+        logits = RNG.standard_normal((1, 3, 2, 2))
+        labels = np.full((1, 2, 2), 255)
+        labels[0, 0, 0] = 1
+        loss, d = softmax_cross_entropy(logits, labels, ignore_label=255)
+        assert np.isfinite(loss)
+        assert not d[0, :, 1, 1].any()  # ignored pixel has zero grad
+
+    def test_all_ignored(self):
+        logits = RNG.standard_normal((1, 3, 2, 2))
+        labels = np.full((1, 2, 2), 255)
+        loss, d = softmax_cross_entropy(logits, labels, ignore_label=255)
+        assert loss == 0.0 and not d.any()
+
+    def test_bad_labels_rejected(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros((1, 3, 2, 2)), np.full((1, 2, 2), 9))
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros((1, 3, 2, 2)), np.zeros((1, 3, 3), int))
+
+
+class TestSGD:
+    def test_plain_sgd_step(self):
+        layer = Conv2D(1, 1, k=1, bias=False, rng=RNG)
+        layer.grads["weight"][:] = 1.0
+        before = layer.params["weight"].copy()
+        SGD(lr=0.1, momentum=0.0).step(layer)
+        np.testing.assert_allclose(layer.params["weight"], before - 0.1)
+
+    def test_momentum_accumulates(self):
+        layer = Conv2D(1, 1, k=1, bias=False, rng=RNG)
+        opt = SGD(lr=1.0, momentum=0.5)
+        before = layer.params["weight"].copy()
+        layer.grads["weight"][:] = 1.0
+        opt.step(layer)  # v=1, p -= 1
+        opt.step(layer)  # v=1.5, p -= 1.5
+        np.testing.assert_allclose(layer.params["weight"], before - 2.5)
+
+    def test_grads_override(self):
+        layer = Conv2D(1, 1, k=1, bias=False, rng=RNG)
+        layer.grads["weight"][:] = 99.0  # should be ignored
+        before = layer.params["weight"].copy()
+        SGD(lr=0.1, momentum=0.0).step(
+            layer, grads_override={"weight": np.ones_like(before)}
+        )
+        np.testing.assert_allclose(layer.params["weight"], before - 0.1)
+
+    def test_weight_decay_skips_1d_params(self):
+        bn = BatchNorm2D(2)
+        bn.grads["gamma"][:] = 0.0
+        opt = SGD(lr=0.1, momentum=0.0, weight_decay=1.0)
+        before = bn.params["gamma"].copy()
+        opt.step(bn)
+        np.testing.assert_allclose(bn.params["gamma"], before)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SGD(lr=0)
+        with pytest.raises(ValueError):
+            SGD(momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD(weight_decay=-1)
+
+
+class TestMetrics:
+    def test_perfect_prediction(self):
+        t = np.array([[0, 1], [2, 1]])
+        m = confusion_matrix(t, t, 3)
+        assert mean_iou(m) == 1.0
+        assert pixel_accuracy(m) == 1.0
+
+    def test_known_miou(self):
+        target = np.array([0, 0, 1, 1])
+        pred = np.array([0, 1, 1, 1])
+        m = confusion_matrix(pred, target, 2)
+        # class0: i=1 u=2 -> 0.5 ; class1: i=2 u=3 -> 2/3
+        assert mean_iou(m) == pytest.approx((0.5 + 2 / 3) / 2)
+        assert pixel_accuracy(m) == pytest.approx(0.75)
+
+    def test_absent_class_excluded(self):
+        target = np.zeros(4, dtype=int)
+        pred = np.zeros(4, dtype=int)
+        m = confusion_matrix(pred, target, 5)
+        assert mean_iou(m) == 1.0  # only class 0 present
+
+    def test_ignore_label(self):
+        target = np.array([0, 255, 1])
+        pred = np.array([0, 0, 1])
+        m = confusion_matrix(pred, target, 2, ignore_label=255)
+        assert m.sum() == 2 and mean_iou(m) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.zeros(2, int), np.zeros(3, int), 2)
+        with pytest.raises(ValueError):
+            confusion_matrix(np.zeros(2, int), np.full(2, 5), 2)
+        with pytest.raises(ValueError):
+            mean_iou(np.zeros((2, 3)))
+        assert mean_iou(np.zeros((2, 2))) == 0.0
+        assert pixel_accuracy(np.zeros((2, 2))) == 0.0

@@ -1,0 +1,35 @@
+"""Tests for the terminal mask renderer."""
+
+import numpy as np
+import pytest
+
+from repro.npnn.viz import render_mask, side_by_side
+
+
+def test_render_basic():
+    mask = np.array([[0, 1], [2, 0]])
+    assert render_mask(mask) == ".#\no."
+
+
+def test_render_rejects_bad_input():
+    with pytest.raises(ValueError):
+        render_mask(np.zeros((2, 2, 2), dtype=int))
+    with pytest.raises(ValueError):
+        render_mask(np.full((2, 2), 99))
+    with pytest.raises(ValueError):
+        render_mask(np.full((2, 2), -1))
+
+
+def test_side_by_side_layout():
+    a = np.zeros((2, 3), dtype=int)
+    b = np.ones((2, 3), dtype=int)
+    out = side_by_side(a, b)
+    lines = out.splitlines()
+    assert lines[0].startswith("truth")
+    assert "prediction" in lines[0]
+    assert lines[1] == "...   ###"
+
+
+def test_side_by_side_shape_mismatch():
+    with pytest.raises(ValueError):
+        side_by_side(np.zeros((2, 2), int), np.zeros((3, 3), int))

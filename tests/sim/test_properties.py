@@ -1,0 +1,109 @@
+"""Property-based tests on the DES kernel invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import AllOf, AnyOf, Environment, Resource
+
+
+@given(st.lists(st.floats(0, 100), min_size=1, max_size=30))
+def test_events_processed_in_time_order(delays):
+    """Callbacks fire in nondecreasing simulation time."""
+    env = Environment()
+    seen = []
+    for d in delays:
+        env.timeout(d).callbacks.append(lambda _e: seen.append(env.now))
+    env.run()
+    assert seen == sorted(seen)
+    assert len(seen) == len(delays)
+    assert env.now == max(delays)
+
+
+@given(st.lists(st.floats(0.01, 50), min_size=1, max_size=15))
+def test_sequential_process_time_is_sum(delays):
+    env = Environment()
+
+    def proc(env):
+        for d in delays:
+            yield env.timeout(d)
+
+    env.process(proc(env))
+    env.run()
+    assert abs(env.now - sum(delays)) < 1e-9 * max(1, len(delays))
+
+
+@given(st.lists(st.floats(0.01, 50), min_size=1, max_size=15))
+def test_parallel_processes_time_is_max(delays):
+    env = Environment()
+
+    def proc(env, d):
+        yield env.timeout(d)
+
+    for d in delays:
+        env.process(proc(env, d))
+    env.run()
+    assert env.now == max(delays)
+
+
+@given(st.lists(st.floats(0.01, 20), min_size=1, max_size=10))
+def test_allof_fires_at_max_anyof_at_min(delays):
+    env = Environment()
+    timeouts = [env.timeout(d) for d in delays]
+    all_times, any_times = [], []
+    AllOf(env, list(timeouts)).callbacks.append(
+        lambda _e: all_times.append(env.now)
+    )
+    AnyOf(env, list(timeouts)).callbacks.append(
+        lambda _e: any_times.append(env.now)
+    )
+    env.run()
+    assert all_times == [max(delays)]
+    assert any_times == [min(delays)]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    capacity=st.integers(1, 4),
+    holds=st.lists(st.floats(0.1, 5), min_size=1, max_size=12),
+)
+def test_resource_throughput_bound(capacity, holds):
+    """With capacity c, total elapsed >= sum(holds)/c and >= max hold."""
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+
+    def user(env, hold):
+        with res.request() as req:
+            yield req
+            yield env.timeout(hold)
+
+    for h in holds:
+        env.process(user(env, h))
+    env.run()
+    assert env.now >= sum(holds) / capacity - 1e-9
+    assert env.now >= max(holds) - 1e-12
+    assert res.count == 0 and res.queue_len == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**32 - 1), st.integers(1, 8))
+def test_simulation_deterministic_under_seeded_jitter(seed, nprocs):
+    """Two identical runs produce identical completion times."""
+    from repro.sim import RandomStreams
+
+    def run_once():
+        env = Environment()
+        streams = RandomStreams(seed)
+        done = []
+
+        def proc(env, rank):
+            gen = streams.child(f"r{rank}").get("t")
+            for _ in range(3):
+                yield env.timeout(float(gen.random()) + 0.01)
+            done.append(env.now)
+
+        for r in range(nprocs):
+            env.process(proc(env, r))
+        env.run()
+        return done
+
+    assert run_once() == run_once()

@@ -1,0 +1,174 @@
+"""Unit tests for Resource and Store primitives."""
+
+import pytest
+
+from repro.sim import Environment, Resource, SimulationError, Store
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    acquired = []
+
+    def user(env, tag, hold):
+        with res.request() as req:
+            yield req
+            acquired.append((env.now, tag))
+            yield env.timeout(hold)
+
+    env.process(user(env, "a", 5))
+    env.process(user(env, "b", 5))
+    env.process(user(env, "c", 1))
+    env.run()
+    # a and b acquire at t=0; c waits until one releases at t=5
+    assert acquired == [(0, "a"), (0, "b"), (5, "c")]
+
+
+def test_resource_fifo_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    grants = []
+
+    def user(env, tag):
+        with res.request() as req:
+            yield req
+            grants.append(tag)
+            yield env.timeout(1)
+
+    for tag in "abcde":
+        env.process(user(env, tag))
+    env.run()
+    assert grants == list("abcde")
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_release_cancels_queued_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder(env):
+        with res.request() as req:
+            yield req
+            yield env.timeout(10)
+
+    def impatient(env):
+        req = res.request()
+        result = yield env.any_of([req, env.timeout(1)])
+        if req not in result:
+            res.release(req)  # cancel: still queued
+            return "gave up"
+        return "got it"
+
+    env.process(holder(env))
+    p = env.process(impatient(env))
+    env.run()
+    assert p.value == "gave up"
+    assert res.queue_len == 0
+
+
+def test_resource_double_release_is_error():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def proc(env):
+        req = res.request()
+        yield req
+        res.release(req)
+        res.release(req)
+
+    env.process(proc(env))
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_resource_counters():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder(env):
+        with res.request() as req:
+            yield req
+            assert res.count == 1
+            yield env.timeout(2)
+
+    def waiter(env):
+        yield env.timeout(1)
+        with res.request() as req:
+            assert res.queue_len == 1
+            yield req
+
+    env.process(holder(env))
+    env.process(waiter(env))
+    env.run()
+    assert res.count == 0 and res.queue_len == 0
+
+
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+
+    def proc(env):
+        store.put("x")
+        item = yield store.get()
+        return item
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == "x"
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+
+    def getter(env):
+        item = yield store.get()
+        return (env.now, item)
+
+    def putter(env):
+        yield env.timeout(3)
+        store.put("late")
+
+    g = env.process(getter(env))
+    env.process(putter(env))
+    env.run()
+    assert g.value == (3, "late")
+
+
+def test_store_fifo_across_items_and_getters():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def getter(env, tag):
+        item = yield store.get()
+        received.append((tag, item))
+
+    env.process(getter(env, "g1"))
+    env.process(getter(env, "g2"))
+
+    def putter(env):
+        yield env.timeout(1)
+        store.put("i1")
+        store.put("i2")
+        store.put("i3")
+
+    env.process(putter(env))
+    env.run()
+    assert received == [("g1", "i1"), ("g2", "i2")]
+    assert store.peek_all() == ["i3"]
+
+
+def test_store_get_nowait():
+    env = Environment()
+    store = Store(env)
+    with pytest.raises(SimulationError):
+        store.get_nowait()
+    store.put(7)
+    assert store.get_nowait() == 7
+    assert len(store) == 0

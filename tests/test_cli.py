@@ -1,0 +1,48 @@
+"""Tests for the `python -m repro` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for exp_id in EXPERIMENTS:
+        assert exp_id in out
+
+
+def test_run_unknown_id(capsys):
+    assert main(["run", "E99"]) == 2
+    assert "unknown" in capsys.readouterr().err
+
+
+def test_run_quick_e2(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    assert main(["run", "E2", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "E2" in out and "tensor" in out.lower()
+    saved = json.loads((tmp_path / "bench_results" / "e2.json").read_text())
+    assert saved["experiment"] == "E2"
+
+
+def test_measure_command(capsys):
+    assert main(["measure", "--gpus", "2", "--iterations", "2",
+                 "--config", "tuned"]) == 0
+    out = capsys.readouterr().out
+    assert "img/s" in out and "efficiency" in out
+
+
+def test_measure_with_model(capsys):
+    assert main(["measure", "--gpus", "2", "--iterations", "2",
+                 "--model", "mobilenetv2"]) == 0
+    assert "mobilenetv2" in capsys.readouterr().out
+
+
+def test_every_registered_experiment_has_quick_kwargs():
+    for exp_id, (desc, driver, full, quick) in EXPERIMENTS.items():
+        assert callable(driver), exp_id
+        assert isinstance(full, dict) and isinstance(quick, dict)
+        assert desc

@@ -1,0 +1,102 @@
+"""Cross-layer integration tests: invariants that span multiple packages."""
+
+import pytest
+
+from repro.core import (
+    measure_training,
+    paper_default_config,
+    paper_tuned_config,
+)
+from repro.core.sweep import model_profile
+
+
+@pytest.fixture(scope="module")
+def measurement():
+    """One shared 6-GPU default-config measurement."""
+    return measure_training(
+        6, paper_default_config(), iterations=3, jitter_std=0.0
+    )
+
+
+class TestAccountingInvariants:
+    def test_every_gradient_byte_reduced(self, measurement):
+        """Runtime counters must match the model's gradient inventory."""
+        profile = model_profile("deeplab")
+        iters = len(measurement.stats.iteration_seconds)
+        expected_bytes = profile.batch_size and sum(
+            g.nbytes for _, g in profile.emission_schedule
+        )
+        assert measurement.runtime_stats.bytes_reduced == expected_bytes * iters
+        assert measurement.runtime_stats.tensors_reduced == (
+            len(profile.emission_schedule) * iters
+        )
+
+    def test_timeline_matches_runtime_counters(self, measurement):
+        totals = measurement.timeline.total_by_phase()
+        rt = measurement.runtime_stats
+        assert totals["ALLREDUCE"] == pytest.approx(rt.allreduce_seconds)
+        assert totals["NEGOTIATE"] == pytest.approx(rt.negotiation_seconds)
+        assert len(measurement.timeline.spans("ALLREDUCE")) == rt.fused_ops
+
+    def test_iteration_bounded_below_by_compute(self, measurement):
+        assert (
+            measurement.stats.mean_iteration_seconds
+            >= measurement.stats.compute_iteration_seconds
+        )
+
+    def test_efficiency_consistent_with_throughput(self, measurement):
+        profile = model_profile("deeplab")
+        expected = measurement.images_per_second / (
+            6 * profile.images_per_second
+        )
+        assert measurement.scaling_efficiency == pytest.approx(expected)
+
+
+class TestPaperHeadlineShapes:
+    """The abstract's claims, at reduced scale where they already show."""
+
+    def test_throughput_scales_with_gpus(self):
+        m6 = measure_training(6, paper_tuned_config(), iterations=2,
+                              jitter_std=0.0)
+        m12 = measure_training(12, paper_tuned_config(), iterations=2,
+                               jitter_std=0.0)
+        assert m12.images_per_second > 1.9 * m6.images_per_second
+
+    def test_default_at_132_is_poor_and_tuned_is_near_linear(self):
+        """The headline claim at full scale (slow test, ~30 s)."""
+        d = measure_training(132, paper_default_config(), iterations=2,
+                             jitter_std=0.0)
+        t = measure_training(132, paper_tuned_config(), iterations=2,
+                             jitter_std=0.0)
+        assert d.scaling_efficiency < 0.80
+        assert t.scaling_efficiency > 0.90
+        assert t.images_per_second / d.images_per_second > 1.2
+
+    def test_single_gpu_calibration_via_full_stack(self):
+        m = measure_training(1, paper_default_config(), iterations=3,
+                             jitter_std=0.0)
+        assert m.images_per_second == pytest.approx(6.7, rel=0.05)
+
+
+class TestDeterminism:
+    def test_full_stack_reproducible(self):
+        a = measure_training(6, paper_tuned_config(), iterations=2, seed=3)
+        b = measure_training(6, paper_tuned_config(), iterations=2, seed=3)
+        assert a.stats.iteration_seconds == b.stats.iteration_seconds
+        assert a.runtime_stats.allreduce_seconds == pytest.approx(
+            b.runtime_stats.allreduce_seconds
+        )
+
+    def test_library_choice_changes_only_comm(self):
+        d = measure_training(6, paper_default_config(), iterations=2,
+                             jitter_std=0.0)
+        t = measure_training(6, paper_tuned_config(), iterations=2,
+                             jitter_std=0.0)
+        # Same compute baseline either way.
+        assert d.stats.compute_iteration_seconds == pytest.approx(
+            t.stats.compute_iteration_seconds
+        )
+        # Different communication cost.
+        assert d.runtime_stats.allreduce_seconds > (
+            t.runtime_stats.allreduce_seconds
+        )

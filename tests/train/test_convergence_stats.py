@@ -1,0 +1,106 @@
+"""Tests for the convergence model and run statistics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.train import MIOU_MODEL, TrainStats
+from repro.train.convergence import ConvergenceModel
+
+
+class TestConvergenceModel:
+    def test_paper_anchor_distributed(self):
+        """16 GPUs x bs 8 = B 128 at the standard 45.4-epoch recipe."""
+        miou = MIOU_MODEL.miou(45.4, 128)
+        assert miou == pytest.approx(80.8, abs=0.5)
+
+    def test_paper_anchor_single(self):
+        assert MIOU_MODEL.miou(45.4, 16) == pytest.approx(81.6, abs=0.4)
+
+    def test_more_epochs_better(self):
+        m = ConvergenceModel()
+        assert m.miou(60, 16, seed=None) > m.miou(20, 16, seed=None)
+
+    def test_larger_batch_worse_at_fixed_epochs(self):
+        m = ConvergenceModel()
+        assert m.miou(45, 512, seed=None) < m.miou(45, 16, seed=None)
+
+    def test_warmup_mitigates_large_batch(self):
+        m = ConvergenceModel()
+        with_rule = m.miou(45, 256, lr_scaling=True, warmup=True, seed=None)
+        without = m.miou(45, 256, lr_scaling=True, warmup=False, seed=None)
+        assert with_rule > without
+
+    def test_no_penalty_at_reference_batch_or_below(self):
+        m = ConvergenceModel()
+        assert m.miou(45, 16, seed=None) == m.miou(45, 8, seed=None)
+
+    def test_seeded_noise_reproducible_and_bounded(self):
+        m = ConvergenceModel()
+        a = m.miou(45, 128, seed=7)
+        b = m.miou(45, 128, seed=7)
+        assert a == b
+        clean = m.miou(45, 128, seed=None)
+        assert abs(a - clean) < 4 * m.noise_pt
+
+    def test_never_negative(self):
+        assert ConvergenceModel().miou(0, 10**6, warmup=False, seed=None) >= 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MIOU_MODEL.miou(-1, 16)
+        with pytest.raises(ValueError):
+            MIOU_MODEL.miou(10, 0)
+
+    @given(st.floats(0, 200), st.integers(1, 4096))
+    def test_bounded_by_asymptote(self, epochs, batch):
+        m = ConvergenceModel()
+        assert m.miou(epochs, batch, seed=None) <= m.asymptote
+
+
+class TestTrainStats:
+    def make(self, iters, world=4, batch=8, warmup=1):
+        return TrainStats(
+            world_size=world,
+            per_gpu_batch=batch,
+            iteration_seconds=iters,
+            warmup_iterations=warmup,
+            compute_iteration_seconds=1.0,
+        )
+
+    def test_global_batch(self):
+        assert self.make([1.0, 1.0]).global_batch == 32
+
+    def test_warmup_excluded(self):
+        s = self.make([9.0, 1.0, 1.0])
+        assert s.mean_iteration_seconds == pytest.approx(1.0)
+
+    def test_images_per_second(self):
+        s = self.make([1.0, 2.0])  # steady = [2.0]
+        assert s.images_per_second == pytest.approx(16.0)
+
+    def test_efficiency_and_speedup(self):
+        single = TrainStats(1, 8, [0.5, 1.0], compute_iteration_seconds=1.0)
+        multi = self.make([1.0, 1.25])  # 4 gpus, steady 1.25 -> 25.6 img/s
+        assert multi.speedup_over(single) == pytest.approx(3.2)
+        assert multi.scaling_efficiency(single) == pytest.approx(0.8)
+
+    def test_comm_overhead_fraction(self):
+        s = self.make([1.0, 1.25])
+        assert s.comm_overhead_fraction == pytest.approx(0.2)
+        s_fast = self.make([1.0, 0.9])
+        assert s_fast.comm_overhead_fraction == 0.0
+
+    def test_no_steady_iterations_error(self):
+        s = self.make([1.0])
+        with pytest.raises(ValueError):
+            s.mean_iteration_seconds
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainStats(0, 8)
+        with pytest.raises(ValueError):
+            TrainStats(1, 8, warmup_iterations=-1)
+        s = TrainStats(1, 8, iteration_seconds=[1.0], warmup_iterations=0)
+        with pytest.raises(ValueError):
+            s.comm_overhead_fraction  # compute_iteration_seconds unset

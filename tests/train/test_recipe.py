@@ -1,0 +1,56 @@
+"""Tests for the training recipe (time-to-train + accuracy projection)."""
+
+import pytest
+
+from repro.train import VOCSegmentationRecipe
+
+
+@pytest.fixture
+def recipe():
+    return VOCSegmentationRecipe()
+
+
+def test_epoch_budget_matches_standard_recipe(recipe):
+    assert recipe.epoch_budget == pytest.approx(45.36, abs=0.01)
+    assert recipe.total_images == 480_000
+
+
+def test_steps_shrink_linearly_with_gpus(recipe):
+    assert recipe.steps_at(1) == 60_000  # batch 8 per GPU
+    assert recipe.steps_at(2) == 30_000
+    assert recipe.steps_at(132) == pytest.approx(455, abs=1)
+
+
+def test_constant_epoch_budget_across_scales(recipe):
+    for gpus in (1, 6, 48, 132):
+        out = recipe.outcome(gpus, images_per_second=100.0, seed=None)
+        assert out.epochs == pytest.approx(recipe.epoch_budget, rel=0.01)
+
+
+def test_wall_hours_inverse_in_throughput(recipe):
+    slow = recipe.outcome(24, images_per_second=100.0)
+    fast = recipe.outcome(24, images_per_second=200.0)
+    assert slow.wall_hours == pytest.approx(2 * fast.wall_hours)
+
+
+def test_single_v100_takes_about_20_hours(recipe):
+    out = recipe.outcome(1, images_per_second=6.7)
+    assert out.wall_hours == pytest.approx(19.9, abs=0.2)
+
+
+def test_predicted_miou_declines_with_batch(recipe):
+    small = recipe.outcome(2, images_per_second=10, seed=None)
+    big = recipe.outcome(132, images_per_second=800, seed=None)
+    assert big.predicted_miou < small.predicted_miou
+    assert big.predicted_miou > 77
+
+
+def test_validation(recipe):
+    with pytest.raises(ValueError):
+        recipe.steps_at(0)
+    with pytest.raises(ValueError):
+        recipe.outcome(4, images_per_second=0)
+    with pytest.raises(ValueError):
+        VOCSegmentationRecipe(per_gpu_batch=0)
+    with pytest.raises(ValueError):
+        VOCSegmentationRecipe(reference_steps=0)

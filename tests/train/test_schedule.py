@@ -1,0 +1,77 @@
+"""Tests for LR schedules (poly decay + linear-scaling warmup)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.train import LRSchedule, linear_scaled_lr, poly_schedule
+
+
+class TestPoly:
+    def test_starts_at_base(self):
+        s = poly_schedule(base_lr=0.007, max_steps=100)
+        assert s.lr(0) == pytest.approx(0.007)
+
+    def test_decays_to_near_zero(self):
+        s = poly_schedule(base_lr=0.007, max_steps=100)
+        assert s.lr(99) < 1e-3
+
+    def test_power_09(self):
+        s = poly_schedule(base_lr=1.0, max_steps=10, power=0.9)
+        assert s.lr(5) == pytest.approx(0.5 ** 0.9)
+
+    def test_clamps_past_max(self):
+        s = poly_schedule(max_steps=10)
+        assert s.lr(500) == s.lr(9)
+
+    def test_monotone_decreasing(self):
+        s = poly_schedule(base_lr=0.01, max_steps=50)
+        lrs = [s.lr(i) for i in range(50)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LRSchedule(base_lr=0, max_steps=10)
+        with pytest.raises(ValueError):
+            LRSchedule(base_lr=0.1, max_steps=0)
+        with pytest.raises(ValueError):
+            LRSchedule(base_lr=0.1, max_steps=10, warmup_steps=10)
+        with pytest.raises(ValueError):
+            poly_schedule().lr(-1)
+
+
+class TestLinearScaling:
+    def test_single_worker_is_plain_poly(self):
+        s = linear_scaled_lr(0.007, world_size=1, max_steps=100)
+        p = poly_schedule(0.007, max_steps=100)
+        assert s.warmup_steps == 0
+        assert s.lr(0) == p.lr(0)
+        assert s.lr(50) == p.lr(50)
+
+    def test_peak_lr_scaled_by_world(self):
+        s = linear_scaled_lr(0.007, world_size=8, max_steps=1000,
+                             steps_per_epoch=50)
+        assert s.base_lr == pytest.approx(0.056)
+
+    def test_warmup_ramps_from_base(self):
+        s = linear_scaled_lr(0.01, world_size=4, max_steps=1000,
+                             warmup_epochs=2, steps_per_epoch=100)
+        assert s.warmup_steps == 200
+        assert s.lr(0) < s.lr(100) < s.lr(199)
+        assert s.lr(199) == pytest.approx(0.04, rel=0.01)
+
+    def test_warmup_capped_below_max_steps(self):
+        s = linear_scaled_lr(0.01, world_size=4, max_steps=50,
+                             warmup_epochs=10, steps_per_epoch=100)
+        assert s.warmup_steps < 50
+
+    def test_invalid_world(self):
+        with pytest.raises(ValueError):
+            linear_scaled_lr(0.01, world_size=0, max_steps=10)
+
+    @given(st.integers(1, 64), st.integers(10, 500))
+    def test_lr_always_positive_and_bounded(self, world, max_steps):
+        s = linear_scaled_lr(0.007, world_size=world, max_steps=max_steps)
+        for step in (0, max_steps // 2, max_steps - 1):
+            lr = s.lr(step)
+            assert 0 < lr <= 0.007 * world + 1e-12

@@ -1,0 +1,111 @@
+"""Integration tests for the distributed trainer over the simulation."""
+
+import pytest
+
+from repro.horovod import HorovodConfig, HorovodRuntime
+from repro.models import ModelCost, build_deeplabv3plus
+from repro.train import DistributedTrainer, TrainJob
+from repro.train.trainer import TrainJob as TJ
+
+from tests.mpi.conftest import make_comm
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return ModelCost(build_deeplabv3plus()).profile(8)
+
+
+def run_job(profile, p=6, job=None, config=None, negotiation="analytic"):
+    env, comm = make_comm(p)
+    runtime = HorovodRuntime(comm, config or HorovodConfig.default(),
+                             negotiation=negotiation)
+    trainer = DistributedTrainer(runtime, profile,
+                                 job or TrainJob(iterations=3))
+    return trainer.run()
+
+
+class TestTrainJob:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TJ(iterations=0)
+        with pytest.raises(ValueError):
+            TJ(per_gpu_batch=0)
+        with pytest.raises(ValueError):
+            TJ(iterations=2, warmup_iterations=2)
+        with pytest.raises(ValueError):
+            TJ(jitter_std=-0.1)
+
+
+class TestDistributedTrainer:
+    def test_batch_mismatch_rejected(self, profile):
+        env, comm = make_comm(2)
+        runtime = HorovodRuntime(comm, HorovodConfig.default())
+        with pytest.raises(ValueError, match="batch"):
+            DistributedTrainer(runtime, profile, TrainJob(per_gpu_batch=4))
+
+    def test_iteration_count_and_positive_times(self, profile):
+        stats = run_job(profile, job=TrainJob(iterations=3))
+        assert len(stats.iteration_seconds) == 3
+        assert all(t > 0 for t in stats.iteration_seconds)
+
+    def test_all_gradients_reduced_every_iteration(self, profile):
+        stats = run_job(profile, p=2, job=TrainJob(iterations=2))
+        tensors_per_iter = len(profile.emission_schedule)
+        assert stats.runtime.tensors_reduced == 2 * tensors_per_iter
+        assert stats.runtime.bytes_reduced == 2 * sum(
+            g.nbytes for _, g in profile.emission_schedule
+        )
+
+    def test_iteration_not_faster_than_compute(self, profile):
+        stats = run_job(profile, p=6)
+        assert stats.mean_iteration_seconds >= profile.compute_s
+
+    def test_input_pipeline_stall_accounted(self, profile):
+        """A pathologically slow pipeline dominates the iteration."""
+        from repro.data import InputPipelineModel
+
+        slow = InputPipelineModel(seconds_per_image=0.5)  # 4 s per batch!
+        stats = run_job(
+            profile, p=2,
+            job=TrainJob(iterations=2, pipeline=slow),
+        )
+        assert stats.mean_iteration_seconds > 3.0
+        assert stats.input_stall_seconds > 0
+
+    def test_no_pipeline_means_no_stall(self, profile):
+        stats = run_job(profile, p=2, job=TrainJob(iterations=2, pipeline=None))
+        assert stats.input_stall_seconds == 0.0
+
+    def test_messages_vs_analytic_negotiation_close(self, profile):
+        """The analytic control-plane model must track the fully simulated
+        one within a few percent of iteration time."""
+        a = run_job(profile, p=6, negotiation="analytic")
+        m = run_job(profile, p=6, negotiation="messages")
+        assert a.mean_iteration_seconds == pytest.approx(
+            m.mean_iteration_seconds, rel=0.03
+        )
+
+    def test_deterministic_without_jitter(self, profile):
+        s1 = run_job(profile, p=3)
+        s2 = run_job(profile, p=3)
+        assert s1.iteration_seconds == s2.iteration_seconds
+
+    def test_jitter_slows_multi_rank_iterations(self, profile):
+        base = run_job(profile, p=6, job=TrainJob(iterations=3))
+        jittered = run_job(
+            profile, p=6, job=TrainJob(iterations=3, jitter_std=0.05)
+        )
+        # Synchronous SGD waits for the slowest rank each iteration.
+        assert (
+            jittered.mean_iteration_seconds > base.mean_iteration_seconds
+        )
+
+    def test_compression_reduces_wire_bytes_effect(self, profile):
+        plain = run_job(profile, p=6)
+        fp16 = run_job(
+            profile, p=6,
+            config=HorovodConfig.default().with_(compression="fp16"),
+        )
+        assert fp16.runtime.compression_seconds > 0
+        # Same tensors reduced either way.
+        assert fp16.runtime.tensors_reduced == plain.runtime.tensors_reduced
