@@ -1,9 +1,34 @@
-"""E13 (extension) — fault injection: one degraded InfiniBand rail."""
+"""E13 (extension) — scheduled fault injection & resilience sweep.
 
-from repro.bench.experiments import e13_degraded_rail
+E13 runs the tuned configuration through declarative fault schedules
+(straggler, flapping rail, mid-run crash, and all three combined);
+E13b is the static single-degraded-rail ablation it grew out of.
+"""
+
+from repro.bench.experiments import e13_degraded_rail, e13_fault_injection
 
 
-def test_e13_degraded_rail(run_experiment):
+def test_e13_fault_injection(run_experiment):
+    res = run_experiment(
+        e13_fault_injection,
+        gpus=24, iterations=4, slowdowns=(3.0,), flap_fractions=(0.3,),
+    )
+    assert res.measured["retained_baseline"] == 1.0
+    # A 3x straggler gates the synchronous barrier for its window.
+    assert res.measured["retained_straggler_x3"] < 0.95
+    # A 30%-duty rail flap is absorbed by transfer retries.
+    assert 0.5 < res.measured["retained_rail_flap_30pct"] <= 1.0
+    flap_row = next(r for r in res.rows if r["scenario"] == "rail flap 30%")
+    assert flap_row["retries"] > 0
+    # The crash shrinks the world by one; survivors keep training.
+    crash_row = next(r for r in res.rows if r["scenario"] == "rank crash")
+    assert crash_row["survivors"] == 23
+    assert crash_row["suspect (ms)"] > 0
+    # The combined schedule completes with bounded throughput loss.
+    assert 0.3 < res.measured["retained_straggler_flap_crash"] < 1.0
+
+
+def test_e13b_degraded_rail(run_experiment):
     res = run_experiment(e13_degraded_rail, gpus=132, iterations=2)
     # A 4x and even 20x single-rail slowdown is absorbed by overlap.
     assert res.measured["retained_at_25pct_rail"] > 0.97

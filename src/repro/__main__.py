@@ -60,9 +60,13 @@ EXPERIMENTS = {
     "E12": ("strong vs weak scaling (extension)",
             E.e12_strong_vs_weak_scaling, {},
             {"gpu_counts": (6, 12, 24), "global_batch": 48, "iterations": 2}),
-    "E13": ("fault injection: degraded rail (extension)",
-            E.e13_degraded_rail, {},
-            {"gpus": 48, "iterations": 2, "factors": (1.0, 0.05)}),
+    "E13": ("fault injection & resilience sweep (extension)",
+            E.e13_fault_injection, {},
+            {"gpus": 12, "iterations": 4,
+             "slowdowns": (3.0,), "flap_fractions": (0.3,)}),
+    "E13b": ("fault injection: degraded rail (extension)",
+             E.e13_degraded_rail, {},
+             {"gpus": 48, "iterations": 2, "factors": (1.0, 0.05)}),
 }
 
 
@@ -89,6 +93,61 @@ def cmd_run(ids: list[str], quick: bool) -> int:
         print(result.table())
         path = save_result(result)
         print(f"[{exp_id}: {time.time() - start:.0f}s, saved {path}]\n")
+    return 0
+
+
+def cmd_faults_run(schedule_path: str, gpus: int, config_name: str,
+                   iterations: int, model: str, deadline_ms: float) -> int:
+    """Run one training job under a JSON fault schedule and report."""
+    import dataclasses
+    from pathlib import Path
+
+    from repro.faults import FaultSchedule
+
+    configs = {"default": paper_default_config, "tuned": paper_tuned_config}
+    if config_name not in configs:
+        print(f"config must be one of {sorted(configs)}", file=sys.stderr)
+        return 2
+    path = Path(schedule_path)
+    if not path.exists():
+        print(f"schedule file not found: {path}", file=sys.stderr)
+        return 2
+    try:
+        schedule = FaultSchedule.from_json(path.read_text())
+    except ValueError as err:
+        print(f"bad schedule {path}: {err}", file=sys.stderr)
+        return 2
+    bad_ranks = sorted({getattr(f, "rank", 0) for f in schedule
+                        if not 0 <= getattr(f, "rank", 0) < gpus})
+    if bad_ranks:
+        print(f"bad schedule {path}: ranks {bad_ranks} out of range for "
+              f"--gpus {gpus}", file=sys.stderr)
+        return 2
+    if deadline_ms <= 0 and any(type(f).__name__ == "RankCrash"
+                                for f in schedule):
+        print("schedule contains a rank_crash but the failure detector is "
+              "off; pass --deadline-ms > 0 or the run will never terminate",
+              file=sys.stderr)
+        return 2
+    cfg = configs[config_name]()
+    if deadline_ms > 0:
+        cfg = dataclasses.replace(cfg, horovod=cfg.horovod.with_(
+            negotiation_deadline_s=deadline_ms * 1e-3
+        ))
+    m = measure_training(gpus, cfg, model=model, iterations=iterations,
+                         jitter_std=0.0, schedule=schedule)
+    report = m.fault_report or {}
+    print(f"{m.config.label}  model={model}  faults={len(schedule)}")
+    print(f"{gpus} GPUs: {m.images_per_second:.1f} img/s, "
+          f"mean iteration {m.stats.mean_iteration_seconds * 1e3:.1f} ms")
+    for key in ("faults_applied", "faults_reverted", "flap_cycles",
+                "transfer_retries", "transfer_timeouts", "suspects",
+                "suspects_cleared", "rank_crashes", "rank_restarts",
+                "surviving_ranks"):
+        print(f"  {key:<22} {report.get(key, 0)}")
+    print(f"  {'suspect_seconds':<22} {report.get('suspect_seconds', 0.0):.4f}")
+    for phase, seconds in report.get("fault_phase_seconds", {}).items():
+        print(f"  {phase + '_seconds':<22} {seconds:.4f}")
     return 0
 
 
@@ -125,11 +184,31 @@ def main(argv: list[str] | None = None) -> int:
     meas_p.add_argument("--model", default="deeplab",
                         choices=("deeplab", "resnet50", "resnet101",
                                  "mobilenetv2"))
+    faults_p = sub.add_parser("faults",
+                              help="fault-injection runs (see repro.faults)")
+    faults_sub = faults_p.add_subparsers(dest="faults_command", required=True)
+    frun_p = faults_sub.add_parser(
+        "run", help="train once under a JSON fault schedule")
+    frun_p.add_argument("--schedule", required=True,
+                        help="path to a fault-schedule JSON file")
+    frun_p.add_argument("--gpus", type=int, default=24)
+    frun_p.add_argument("--config", default="tuned",
+                        choices=("default", "tuned"))
+    frun_p.add_argument("--iterations", type=int, default=6)
+    frun_p.add_argument("--model", default="deeplab",
+                        choices=("deeplab", "resnet50", "resnet101",
+                                 "mobilenetv2"))
+    frun_p.add_argument("--deadline-ms", type=float, default=0.0,
+                        help="negotiation deadline in ms (0 = detector off; "
+                             "required for crash schedules to shrink)")
     args = parser.parse_args(argv)
     if args.command == "list":
         return cmd_list()
     if args.command == "run":
         return cmd_run(args.ids, args.quick)
+    if args.command == "faults":
+        return cmd_faults_run(args.schedule, args.gpus, args.config,
+                              args.iterations, args.model, args.deadline_ms)
     return cmd_measure(args.gpus, args.config, args.iterations, args.model)
 
 

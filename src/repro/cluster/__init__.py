@@ -19,7 +19,7 @@ Key entry points:
 * :data:`~repro.cluster.gpu.V100` — the calibrated GPU compute spec.
 """
 
-from repro.cluster.fabric import Fabric, TransferStats
+from repro.cluster.fabric import Fabric, LinkDownError, TransferStats
 from repro.cluster.gpu import V100, GPUSpec
 from repro.cluster.links import Link, LinkSpec
 from repro.cluster.summit import SUMMIT_NODE, build_summit
@@ -30,6 +30,7 @@ __all__ = [
     "Fabric",
     "GPUSpec",
     "Link",
+    "LinkDownError",
     "LinkSpec",
     "SUMMIT_NODE",
     "Topology",

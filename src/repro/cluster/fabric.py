@@ -25,7 +25,20 @@ from dataclasses import dataclass, field
 from repro.cluster.topology import Device, Topology
 from repro.sim import Environment
 
-__all__ = ["Fabric", "TransferStats"]
+__all__ = ["Fabric", "LinkDownError", "TransferStats"]
+
+
+class LinkDownError(RuntimeError):
+    """Raised when a transfer's route crosses a link that is down.
+
+    Flapping-rail fault injection marks links down; senders (the MPI
+    layer) catch this and retry with backoff until the link comes back or
+    their transfer timeout expires.
+    """
+
+    def __init__(self, label: str) -> None:
+        super().__init__(f"link {label} is down")
+        self.label = label
 
 
 @dataclass
@@ -124,6 +137,7 @@ class Fabric:
         info = self.topology.route_info(src, dst)
         if info is None:
             return 0.0
+        self._check_route_up(info)
         duration = (
             info.latency_s
             + extra_latency
@@ -136,6 +150,13 @@ class Fabric:
             req = link.resource.request()
             yield req
             held.append((link, req))
+        # A link may have flapped down while we queued for the route;
+        # release everything and fail so the sender can back off.
+        down = next((l for l in info.links if not l.up), None)
+        if down is not None:
+            for link, req in held:
+                link.resource.release(req)
+            raise LinkDownError(down.label)
         yield self.env.timeout(duration)
         for link, req in held:
             link.record(nbytes, duration)
@@ -143,3 +164,9 @@ class Fabric:
         elapsed = self.env.now - start
         self.stats.record(nbytes, elapsed, [l.spec.name for l in info.links])
         return elapsed
+
+    @staticmethod
+    def _check_route_up(info) -> None:
+        for link in info.links:
+            if not link.up:
+                raise LinkDownError(link.label)

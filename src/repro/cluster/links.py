@@ -62,6 +62,15 @@ class Link:
     def __init__(self, env: Environment, spec: LinkSpec, label: str) -> None:
         self.env = env
         self.spec = spec
+        #: The pristine datasheet spec this link was built with.  Fault
+        #: injection (degrade/restore) always recomputes ``spec`` from
+        #: this, so repeated degradations compose instead of accreting.
+        self.base_spec = spec
+        #: Current bandwidth factor relative to ``base_spec`` (1.0 = healthy).
+        self.degrade_factor = 1.0
+        #: False while the link is administratively/physically down
+        #: (flapping rail): transfers through it fail and must retry.
+        self.up = True
         #: Topology-level label, e.g. ``"gpu:0:1->gpu:0:2"``.
         self.label = label
         self.order_key = next(_link_ids)
@@ -70,6 +79,25 @@ class Link:
         self.bytes_carried = 0
         #: Total seconds this link was held by transfers.
         self.busy_seconds = 0.0
+
+    def set_factor(self, factor: float) -> None:
+        """Set bandwidth to ``factor`` × the *original* spec's bandwidth.
+
+        ``factor == 1.0`` restores the pristine spec (including its
+        name); anything lower rebuilds the spec from ``base_spec`` with a
+        single ``-degraded`` suffix, however many times it is applied.
+        """
+        if not 0 < factor <= 1:
+            raise ValueError(f"factor must be in (0, 1], got {factor}")
+        self.degrade_factor = factor
+        if factor == 1.0:
+            self.spec = self.base_spec
+        else:
+            self.spec = LinkSpec(
+                f"{self.base_spec.name}-degraded",
+                self.base_spec.latency_s,
+                self.base_spec.bandwidth_Bps * factor,
+            )
 
     @property
     def latency_s(self) -> float:

@@ -73,6 +73,21 @@ class Device:
         """Global switch ``index`` (node = -1 by convention)."""
         return Device("switch", -1, index)
 
+    @staticmethod
+    def parse(text: str) -> "Device":
+        """Parse the ``str(device)`` form ``"kind:node:index"`` back.
+
+        This is the device syntax fault-schedule files use to name link
+        endpoints (e.g. ``"nic:0:0"``, ``"switch:-1:1"``).
+        """
+        parts = text.strip().split(":")
+        if len(parts) != 3:
+            raise ValueError(f"bad device string {text!r}; want 'kind:node:index'")
+        kind, node, index = parts
+        if kind not in ("gpu", "cpu", "nic", "switch"):
+            raise ValueError(f"unknown device kind {kind!r} in {text!r}")
+        return Device(kind, int(node), int(index))
+
 
 class Topology:
     """A directed graph of :class:`Device` nodes joined by :class:`Link` edges.
@@ -152,23 +167,65 @@ class Topology:
 
     def degrade_link(self, a: Device, b: Device, factor: float,
                      duplex: bool = True) -> None:
-        """Reduce the a→b link's bandwidth to ``factor`` of its current value.
+        """Multiply the a→b link's bandwidth factor by ``factor``.
 
         Models a failing/contended component (flapping rail, mis-seated
-        cable, PCIe downtraining) for fault-injection studies.  With
-        ``duplex`` the reverse direction degrades too.  Route caches are
-        invalidated; accumulated traffic counters are preserved.
+        cable, PCIe downtraining) for fault-injection studies.  Repeated
+        degradations *compose*: the effective bandwidth is always
+        ``base × Π factors``, rebuilt from the pristine spec, so the name
+        carries exactly one ``-degraded`` suffix.  With ``duplex`` the
+        reverse direction degrades too.  Route caches are invalidated;
+        accumulated traffic counters are preserved.
         """
         if not 0 < factor <= 1:
             raise ValueError(f"factor must be in (0, 1], got {factor}")
-        pairs = [(a, b)] + ([(b, a)] if duplex else [])
-        for src, dst in pairs:
+        for src, dst in self._directions(a, b, duplex):
             link = self.link(src, dst)
-            link.spec = LinkSpec(
-                f"{link.spec.name}-degraded",
-                link.spec.latency_s,
-                link.spec.bandwidth_Bps * factor,
-            )
+            link.set_factor(link.degrade_factor * factor)
+        self._invalidate_routes()
+
+    def set_link_factor(self, a: Device, b: Device, factor: float,
+                        duplex: bool = True) -> None:
+        """Set the a→b bandwidth factor *absolutely* (1.0 = pristine).
+
+        Unlike :meth:`degrade_link` this does not compose — it is the
+        primitive fault revert uses to restore a link to exactly the
+        factor it had before a fault was applied.
+        """
+        for src, dst in self._directions(a, b, duplex):
+            self.link(src, dst).set_factor(factor)
+        self._invalidate_routes()
+
+    def restore_link(self, a: Device, b: Device, duplex: bool = True) -> None:
+        """Undo all degradation and down state on the a→b link.
+
+        The inverse of :meth:`degrade_link` / :meth:`set_link_up` needed
+        by flapping-link fault injection: the spec returns to the pristine
+        datasheet values (original name, latency, bandwidth) and the link
+        is brought back up.
+        """
+        for src, dst in self._directions(a, b, duplex):
+            link = self.link(src, dst)
+            link.set_factor(1.0)
+            link.up = True
+        self._invalidate_routes()
+
+    def set_link_up(self, a: Device, b: Device, up: bool,
+                    duplex: bool = True) -> None:
+        """Mark the a→b link up or down (down = transfers fail and retry)."""
+        for src, dst in self._directions(a, b, duplex):
+            self.link(src, dst).up = up
+        self._invalidate_routes()
+
+    def link_factor(self, a: Device, b: Device) -> float:
+        """Current bandwidth factor of the a→b link (1.0 = healthy)."""
+        return self.link(a, b).degrade_factor
+
+    def _directions(self, a: Device, b: Device,
+                    duplex: bool) -> list[tuple[Device, Device]]:
+        return [(a, b)] + ([(b, a)] if duplex else [])
+
+    def _invalidate_routes(self) -> None:
         self._route_cache.clear()
         self._route_info_cache.clear()
 

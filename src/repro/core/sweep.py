@@ -81,6 +81,8 @@ class Measurement:
     single_gpu_images_per_second: float
     #: Per-link-type fabric utilization over the run (where time went).
     link_utilization: dict = None
+    #: Resilience counters, present when a fault schedule was injected.
+    fault_report: dict | None = None
 
     @property
     def images_per_second(self) -> float:
@@ -111,6 +113,7 @@ def measure_training(
     seed: int = 0,
     negotiation: str = "analytic",
     fault=None,
+    schedule=None,
 ) -> Measurement:
     """Simulate a measured training job and return its statistics.
 
@@ -122,6 +125,10 @@ def measure_training(
     ``fault`` is an optional fault-injection hook ``fault(topology)``
     applied after the cluster is built (e.g. degrade a rail with
     :meth:`~repro.cluster.topology.Topology.degrade_link`).
+
+    ``schedule`` is an optional :class:`~repro.faults.FaultSchedule`; a
+    :class:`~repro.faults.FaultInjector` is wired across topology,
+    runtime and trainer, and the Measurement gains a ``fault_report``.
     """
     if gpus < 1:
         raise ValueError(f"gpus must be >= 1, got {gpus}")
@@ -144,7 +151,39 @@ def measure_training(
         seed=seed,
     )
     fabric = comm.fabric
-    stats = DistributedTrainer(runtime, profile, job).run()
+    injector = None
+    if schedule is not None:
+        from repro.faults import FaultInjector
+
+        injector = FaultInjector(env, schedule, topology=topo, timeline=timeline)
+        trainer = DistributedTrainer(runtime, profile, job, faults=injector)
+        injector.bind(runtime=runtime, trainer=trainer).start()
+    else:
+        trainer = DistributedTrainer(runtime, profile, job)
+    stats = trainer.run()
+    fault_report = None
+    if injector is not None:
+        totals = timeline.total_by_phase()
+        fault_report = {
+            "faults_applied": injector.stats.applied,
+            "faults_reverted": injector.stats.reverted,
+            "flap_cycles": injector.stats.flap_cycles,
+            "crashes": injector.stats.crashes,
+            "restarts": injector.stats.restarts,
+            "transfer_retries": comm.transfer_retries,
+            "transfer_timeouts": comm.transfer_timeouts,
+            "suspects": runtime.stats.suspects,
+            "suspects_cleared": runtime.stats.suspects_cleared,
+            "rank_crashes": runtime.stats.rank_crashes,
+            "rank_restarts": runtime.stats.rank_restarts,
+            "suspect_seconds": runtime.stats.suspect_seconds,
+            "fault_phase_seconds": {
+                phase: totals.get(phase, 0.0)
+                for phase in ("FAULT", "SUSPECT", "RECOVER")
+            },
+            "surviving_ranks": len(runtime.active),
+            "completed_iterations": dict(trainer.completed_iterations),
+        }
     return Measurement(
         gpus=gpus,
         config=config,
@@ -154,4 +193,5 @@ def measure_training(
         timeline=timeline,
         single_gpu_images_per_second=profile.images_per_second,
         link_utilization=fabric.utilization_report(),
+        fault_report=fault_report,
     )

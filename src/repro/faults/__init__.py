@@ -1,0 +1,38 @@
+"""Fault injection and resilience for the simulated cluster.
+
+Two halves:
+
+* **Injection** (:mod:`repro.faults.spec`, :mod:`repro.faults.injector`) —
+  declarative, time-scheduled faults (straggler GPUs, flapping or
+  degraded links, rank crashes and elastic restarts) applied to a live
+  simulation and reverted exactly when their window closes.
+* **Response** — the resilience mechanisms live with the components they
+  protect: transfer retry/backoff in :class:`repro.mpi.communicator.Comm`,
+  the negotiation-deadline failure detector and elastic communicator
+  shrink in :class:`repro.horovod.runtime.HorovodRuntime`, and process
+  kill/restart handling in :class:`repro.train.trainer.DistributedTrainer`.
+
+Experiment E13 (``repro run E13`` / ``repro faults run``) sweeps schedules
+built from these specs and reports retained throughput.
+"""
+
+from repro.faults.injector import FaultInjector, InjectorStats
+from repro.faults.spec import (
+    DegradedRail,
+    FaultSchedule,
+    LinkFlap,
+    RankCrash,
+    RankRestart,
+    StragglerGPU,
+)
+
+__all__ = [
+    "DegradedRail",
+    "FaultInjector",
+    "FaultSchedule",
+    "InjectorStats",
+    "LinkFlap",
+    "RankCrash",
+    "RankRestart",
+    "StragglerGPU",
+]

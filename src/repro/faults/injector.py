@@ -1,0 +1,190 @@
+"""The fault injector: schedules applied to a live simulation.
+
+:class:`FaultInjector` turns a declarative :class:`~repro.faults.spec.FaultSchedule`
+into discrete-event processes — one per fault — that mutate the live
+topology / runtime / trainer at each fault's virtual start time and
+revert the mutation when the window expires (restoring route caches and
+link specs exactly).  Crash/restart faults drive the trainer's process
+lifecycle and the runtime's membership reports instead.
+
+Wiring order for a full training run::
+
+    injector = FaultInjector(env, schedule, topology=topo, timeline=runtime.timeline)
+    injector.bind(runtime=runtime, trainer=trainer)
+    injector.start()          # before env.run() / trainer.run()
+
+The injector is deliberately duck-typed towards the trainer: anything
+with ``kill_rank`` / ``restart_rank`` works, and
+:meth:`compute_multiplier` is the hook the trainer polls for straggler
+slowdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.cluster.topology import Device, Topology
+from repro.faults.spec import (
+    DegradedRail,
+    FaultSchedule,
+    LinkFlap,
+    RankCrash,
+    RankRestart,
+    StragglerGPU,
+)
+from repro.horovod.timeline import Timeline
+from repro.sim import Environment
+
+__all__ = ["FaultInjector", "InjectorStats"]
+
+
+@dataclass
+class InjectorStats:
+    """What the injector did, for run reports."""
+
+    applied: int = 0
+    reverted: int = 0
+    flap_cycles: int = 0
+    crashes: int = 0
+    restarts: int = 0
+
+
+class FaultInjector:
+    """Executes a fault schedule against a live simulation."""
+
+    def __init__(self, env: Environment, schedule: FaultSchedule,
+                 topology: Topology | None = None,
+                 timeline: Timeline | None = None) -> None:
+        self.env = env
+        self.schedule = schedule
+        self.topology = topology
+        self.timeline = timeline
+        self.runtime: Any | None = None
+        self.trainer: Any | None = None
+        self.stats = InjectorStats()
+        self._straggler_mult: dict[int, list[float]] = {}
+        self._started = False
+
+    def bind(self, runtime: Any | None = None, trainer: Any | None = None) -> "FaultInjector":
+        """Attach the runtime/trainer that rank faults act on."""
+        if runtime is not None:
+            self.runtime = runtime
+        if trainer is not None:
+            self.trainer = trainer
+        return self
+
+    def start(self) -> "FaultInjector":
+        """Spawn one driver process per scheduled fault (idempotent)."""
+        if self._started:
+            return self
+        self._started = True
+        for spec in self.schedule:
+            self.env.process(self._drive(spec))
+        return self
+
+    # -- trainer hook ----------------------------------------------------------
+    def compute_multiplier(self, rank: int) -> float:
+        """Product of the active straggler slowdowns for ``rank``."""
+        mult = 1.0
+        for factor in self._straggler_mult.get(rank, ()):
+            mult *= factor
+        return mult
+
+    # -- per-fault processes ---------------------------------------------------
+    def _drive(self, spec):
+        yield self.env.timeout(spec.start_s)
+        if isinstance(spec, StragglerGPU):
+            yield from self._drive_straggler(spec)
+        elif isinstance(spec, DegradedRail):
+            yield from self._drive_degraded_rail(spec)
+        elif isinstance(spec, LinkFlap):
+            yield from self._drive_link_flap(spec)
+        elif isinstance(spec, RankCrash):
+            self._apply_crash(spec)
+        elif isinstance(spec, RankRestart):
+            self._apply_restart(spec)
+
+    def _drive_straggler(self, spec: StragglerGPU):
+        start = self.env.now
+        self._straggler_mult.setdefault(spec.rank, []).append(spec.slowdown)
+        self.stats.applied += 1
+        yield self.env.timeout(spec.duration_s)
+        self._straggler_mult[spec.rank].remove(spec.slowdown)
+        self.stats.reverted += 1
+        self._record(f"straggler_rank{spec.rank}_x{spec.slowdown:g}", start)
+
+    def _drive_degraded_rail(self, spec: DegradedRail):
+        start = self.env.now
+        a, b = self._endpoints(spec)
+        prior = self.topology.link_factor(a, b)
+        self.topology.set_link_factor(a, b, prior * spec.factor)
+        self.stats.applied += 1
+        yield self.env.timeout(spec.duration_s)
+        self.topology.set_link_factor(a, b, prior)
+        self.stats.reverted += 1
+        self._record(f"degraded_{a}--{b}_x{spec.factor:g}", start)
+
+    def _drive_link_flap(self, spec: LinkFlap):
+        start = self.env.now
+        a, b = self._endpoints(spec)
+        self.stats.applied += 1
+        prior = self.topology.link_factor(a, b)
+        end = start + spec.duration_s
+        while self.env.now < end:
+            # Down window (clipped at the fault's end).
+            down = min(spec.down_s, end - self.env.now)
+            if spec.severity == 0.0:
+                self.topology.set_link_up(a, b, False)
+            else:
+                self.topology.set_link_factor(a, b, prior * spec.severity)
+            self.stats.flap_cycles += 1
+            yield self.env.timeout(down)
+            self.topology.set_link_up(a, b, True)
+            self.topology.set_link_factor(a, b, prior)
+            remainder = spec.period_s - spec.down_s
+            if remainder <= 0 or self.env.now >= end:
+                break
+            yield self.env.timeout(min(remainder, end - self.env.now))
+        self.stats.reverted += 1
+        self._record(f"flap_{a}--{b}", start)
+
+    def _apply_crash(self, spec: RankCrash) -> None:
+        if self.trainer is not None:
+            self.trainer.kill_rank(spec.rank)
+        if self.runtime is not None:
+            self.runtime.report_crash(spec.rank)
+        if self.trainer is None and self.runtime is None:
+            raise RuntimeError(
+                "RankCrash fired but neither trainer nor runtime is bound"
+            )
+        self.stats.applied += 1
+        self.stats.crashes += 1
+        self._record(f"crash_rank{spec.rank}", self.env.now)
+
+    def _apply_restart(self, spec: RankRestart) -> None:
+        if self.trainer is None and self.runtime is None:
+            raise RuntimeError(
+                "RankRestart fired but neither trainer nor runtime is bound"
+            )
+        if self.trainer is not None:
+            # The trainer's restart process drains stale state and then
+            # re-admits the rank via runtime.report_restart itself.
+            self.trainer.restart_rank(spec.rank)
+        elif self.runtime is not None:
+            self.runtime.report_restart(spec.rank)
+        self.stats.applied += 1
+        self.stats.restarts += 1
+        self._record(f"restart_rank{spec.rank}", self.env.now)
+
+    # -- helpers ---------------------------------------------------------------
+    def _endpoints(self, spec) -> tuple[Device, Device]:
+        if self.topology is None:
+            raise RuntimeError(
+                f"{type(spec).__name__} needs a topology but none was given"
+            )
+        return Device.parse(spec.link[0]), Device.parse(spec.link[1])
+
+    def _record(self, label: str, start_s: float) -> None:
+        if self.timeline is not None:
+            self.timeline.record("FAULT", label, start_s, self.env.now)

@@ -1,0 +1,221 @@
+"""Declarative fault specifications.
+
+A :class:`FaultSchedule` is a list of typed fault specs, each anchored at
+a virtual start time.  Schedules are plain data — they can be built in
+code, round-tripped through dicts, or loaded from JSON files for the
+``repro faults run --schedule`` CLI.  The JSON schema (one object with a
+``faults`` array; times in seconds) is documented in the README.
+
+Link endpoints are written as ``"kind:node:index"`` device strings (the
+:meth:`repro.cluster.topology.Device.parse` format), e.g.
+``["nic:0:0", "switch:-1:1"]`` for node 0's rail-0 NIC uplink.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.cluster.topology import Device
+
+__all__ = [
+    "DegradedRail",
+    "FaultSchedule",
+    "LinkFlap",
+    "RankCrash",
+    "RankRestart",
+    "StragglerGPU",
+]
+
+
+@dataclass(frozen=True)
+class StragglerGPU:
+    """One rank's compute runs ``slowdown``× slower for a window."""
+
+    rank: int
+    start_s: float
+    duration_s: float
+    slowdown: float = 2.0
+
+    def __post_init__(self) -> None:
+        _check_window(self)
+        if self.rank < 0:
+            raise ValueError("rank must be >= 0")
+        if self.slowdown <= 1.0:
+            raise ValueError("slowdown must be > 1 (1.0 is healthy)")
+
+
+@dataclass(frozen=True)
+class LinkFlap:
+    """A link bounces: ``down_s`` down at the start of every ``period_s``.
+
+    ``severity`` 0.0 means the link goes hard-down (transfers raise and
+    retry); a value in (0, 1) means it degrades to that bandwidth
+    fraction instead of dropping.  Cycles repeat within ``duration_s``.
+    """
+
+    link: tuple[str, str]
+    start_s: float
+    duration_s: float
+    period_s: float
+    down_s: float
+    severity: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_window(self)
+        _check_link(self.link)
+        if self.period_s <= 0:
+            raise ValueError("period_s must be > 0")
+        if not 0 < self.down_s <= self.period_s:
+            raise ValueError("down_s must be in (0, period_s]")
+        if not 0 <= self.severity < 1:
+            raise ValueError("severity must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class DegradedRail:
+    """A link runs at ``factor`` of its nominal bandwidth for a window."""
+
+    link: tuple[str, str]
+    start_s: float
+    duration_s: float
+    factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        _check_window(self)
+        _check_link(self.link)
+        if not 0 < self.factor < 1:
+            raise ValueError("factor must be in (0, 1)")
+
+
+@dataclass(frozen=True)
+class RankCrash:
+    """A rank's process dies at ``start_s`` (no self-revert)."""
+
+    rank: int
+    start_s: float
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ValueError("start_s must be >= 0")
+        if self.rank < 0:
+            raise ValueError("rank must be >= 0")
+
+
+@dataclass(frozen=True)
+class RankRestart:
+    """A previously crashed rank rejoins elastically at ``start_s``."""
+
+    rank: int
+    start_s: float
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ValueError("start_s must be >= 0")
+        if self.rank < 0:
+            raise ValueError("rank must be >= 0")
+
+
+#: JSON ``type`` tag ↔ spec class.
+_TYPES = {
+    "straggler": StragglerGPU,
+    "link_flap": LinkFlap,
+    "degraded_rail": DegradedRail,
+    "rank_crash": RankCrash,
+    "rank_restart": RankRestart,
+}
+_TAGS = {cls: tag for tag, cls in _TYPES.items()}
+
+FaultSpec = StragglerGPU | LinkFlap | DegradedRail | RankCrash | RankRestart
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered collection of fault specs for one run."""
+
+    faults: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for spec in self.faults:
+            if type(spec) not in _TAGS:
+                raise TypeError(f"not a fault spec: {spec!r}")
+
+    def __iter__(self) -> Iterator[FaultSpec]:
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    @classmethod
+    def of(cls, *specs: FaultSpec) -> "FaultSchedule":
+        """Build from spec arguments."""
+        return cls(tuple(specs))
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultSchedule":
+        """Parse the ``{"faults": [{"type": ..., ...}, ...]}`` form."""
+        if not isinstance(data, dict) or "faults" not in data:
+            raise ValueError("schedule must be an object with a 'faults' array")
+        specs = []
+        for i, item in enumerate(data["faults"]):
+            if not isinstance(item, dict) or "type" not in item:
+                raise ValueError(f"fault #{i} must be an object with a 'type'")
+            kind = item["type"]
+            spec_cls = _TYPES.get(kind)
+            if spec_cls is None:
+                raise ValueError(
+                    f"fault #{i}: unknown type {kind!r} "
+                    f"(expected one of {sorted(_TYPES)})"
+                )
+            kwargs = {k: v for k, v in item.items() if k != "type"}
+            if "link" in kwargs:
+                link = kwargs["link"]
+                if not (isinstance(link, (list, tuple)) and len(link) == 2):
+                    raise ValueError(f"fault #{i}: link must be a 2-element array")
+                kwargs["link"] = (str(link[0]), str(link[1]))
+            try:
+                specs.append(spec_cls(**kwargs))
+            except TypeError as err:
+                raise ValueError(f"fault #{i} ({kind}): {err}") from err
+        return cls(tuple(specs))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        """Parse a JSON document in the :meth:`from_dict` schema."""
+        return cls.from_dict(json.loads(text))
+
+    def to_dict(self) -> dict[str, Any]:
+        """Inverse of :meth:`from_dict` (round-trip safe)."""
+        out = []
+        for spec in self.faults:
+            d = asdict(spec)
+            if "link" in d:
+                d["link"] = list(d["link"])
+            out.append({"type": _TAGS[type(spec)], **d})
+        return {"faults": out}
+
+    def to_json(self) -> str:
+        """Serialize to the JSON schema ``from_json`` reads."""
+        return json.dumps(self.to_dict(), indent=1)
+
+    def end_s(self) -> float:
+        """Virtual time when the last fault window closes."""
+        ends = [
+            spec.start_s + getattr(spec, "duration_s", 0.0) for spec in self.faults
+        ]
+        return max(ends, default=0.0)
+
+
+def _check_window(spec: Any) -> None:
+    if spec.start_s < 0:
+        raise ValueError("start_s must be >= 0")
+    if spec.duration_s <= 0:
+        raise ValueError("duration_s must be > 0")
+
+
+def _check_link(link: Iterable[str]) -> None:
+    a, b = link
+    Device.parse(a)
+    Device.parse(b)

@@ -41,6 +41,15 @@ class HorovodConfig:
     allreduce_algorithm:
         Force a specific collective algorithm (``None`` = the MPI
         library's size-based selection table).
+    negotiation_deadline_s:
+        Resilience knob: how long the coordinator lets a tensor wait for
+        missing ranks before marking them *suspect*.  ``None`` (the
+        default) disables the failure detector entirely — healthy runs
+        pay nothing.
+    suspect_retries:
+        How many exponentially backed-off re-probes a suspect rank gets
+        before a reported crash is confirmed and the communicator
+        shrinks to the survivors.
     """
 
     fusion_threshold_bytes: int = 64 * MiB
@@ -49,6 +58,8 @@ class HorovodConfig:
     cache_enabled: bool = True
     compression: str = "none"
     allreduce_algorithm: str | None = None
+    negotiation_deadline_s: float | None = None
+    suspect_retries: int = 2
 
     def __post_init__(self) -> None:
         if self.fusion_threshold_bytes < 0:
@@ -57,6 +68,10 @@ class HorovodConfig:
             raise ValueError("cycle time must be > 0")
         if self.compression not in ("none", "fp16"):
             raise ValueError(f"unknown compression {self.compression!r}")
+        if self.negotiation_deadline_s is not None and self.negotiation_deadline_s <= 0:
+            raise ValueError("negotiation deadline must be > 0 (or None)")
+        if self.suspect_retries < 0:
+            raise ValueError("suspect_retries must be >= 0")
 
     @classmethod
     def default(cls) -> "HorovodConfig":
@@ -85,6 +100,10 @@ class HorovodConfig:
             updates["cache_enabled"] = int(env["HOROVOD_CACHE_CAPACITY"]) > 0
         if "HOROVOD_COMPRESSION" in env:
             updates["compression"] = env["HOROVOD_COMPRESSION"].lower()
+        if "HOROVOD_NEGOTIATION_DEADLINE" in env:
+            # Milliseconds, like HOROVOD_CYCLE_TIME; 0 disables.
+            ms = float(env["HOROVOD_NEGOTIATION_DEADLINE"])
+            updates["negotiation_deadline_s"] = ms * 1e-3 if ms > 0 else None
         return replace(cfg, **updates)
 
     def with_(self, **kwargs) -> "HorovodConfig":
@@ -105,6 +124,8 @@ class HorovodConfig:
             parts.append(f"comp={self.compression}")
         if self.allreduce_algorithm:
             parts.append(f"alg={self.allreduce_algorithm}")
+        if self.negotiation_deadline_s is not None:
+            parts.append(f"deadline={self.negotiation_deadline_s * 1e3:g}ms")
         return " ".join(parts)
 
 

@@ -55,6 +55,17 @@ class RuntimeStats:
     allreduce_seconds: float = 0.0
     memcpy_seconds: float = 0.0
     compression_seconds: float = 0.0
+    # -- resilience counters (populated only with a negotiation deadline) --
+    #: Ranks that missed the negotiation deadline at least once.
+    suspects: int = 0
+    #: Suspects that caught up before confirmation (stragglers, not crashes).
+    suspects_cleared: int = 0
+    #: Confirmed crashes: the communicator shrank past these ranks.
+    rank_crashes: int = 0
+    #: Ranks elastically re-admitted after a restart.
+    rank_restarts: int = 0
+    #: Total wall time ranks spent under suspicion (detection latency).
+    suspect_seconds: float = 0.0
 
     @property
     def mean_fusion_size(self) -> float:
@@ -71,6 +82,17 @@ class _TensorEntry:
     payloads: dict[int, Any] = field(default_factory=dict)
     events: dict[int, Event] = field(default_factory=dict)
     first_submit_s: float = 0.0
+    #: True once the tensor has been moved to the ready queue.
+    queued: bool = False
+
+
+@dataclass
+class _Suspicion:
+    """Failure-detector state for one suspected rank."""
+
+    since: float
+    retries_left: int
+    next_retry_at: float
 
 
 class HorovodRuntime:
@@ -112,15 +134,26 @@ class HorovodRuntime:
         self.control_bytes_per_tensor = control_bytes_per_tensor
         self.stats = RuntimeStats()
         self._entries: dict[str, _TensorEntry] = {}
-        self._ready: list[PendingTensor] = []
+        self._ready: list[tuple[PendingTensor, frozenset[int]]] = []
         self._response_cache: set[tuple[str, ...]] = set()
         self._shutdown = False
+        # -- elastic membership ------------------------------------------------
+        #: Ranks currently expected to participate in every tensor.
+        self.active: set[int] = set(range(comm.size))
+        self._removed: set[int] = set()
+        self._crash_reports: set[int] = set()
+        self._suspects: dict[int, _Suspicion] = {}
         self._loop = self.env.process(self._coordinator_loop())
 
     @property
     def size(self) -> int:
-        """World size."""
+        """World size (launch-time; does not shrink with crashes)."""
         return self.comm.size
+
+    @property
+    def active_ranks(self) -> list[int]:
+        """Currently participating ranks, sorted."""
+        return sorted(self.active)
 
     # -- worker API -----------------------------------------------------------
     def submit(self, rank: int, name: str, payload: Any) -> Event:
@@ -153,13 +186,66 @@ class HorovodRuntime:
         entry.payloads[rank] = payload
         event = Event(self.env)
         entry.events[rank] = event
-        if len(entry.payloads) == self.size:
-            self._ready.append(PendingTensor(name, entry.nbytes, self.env.now))
+        self._maybe_ready(entry)
         return event
 
     def shutdown(self) -> None:
         """Ask the coordinator loop to exit at its next tick."""
         self._shutdown = True
+
+    # -- elastic membership API -------------------------------------------------
+    def report_crash(self, rank: int) -> None:
+        """Out-of-band crash notice (e.g. from a fault injector).
+
+        This is the ground truth the failure detector consults: a suspect
+        rank is only removed once its crash has been *reported*, so pure
+        stragglers are never evicted, only genuinely dead ranks.
+        """
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range")
+        self._crash_reports.add(rank)
+
+    def report_restart(self, rank: int) -> None:
+        """Re-admit a previously crashed rank into the active set.
+
+        The caller must ensure the rank's stale submissions have drained
+        (see :meth:`drain_rank`) before re-admission.
+        """
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range")
+        if rank in self.active:
+            return
+        self._removed.discard(rank)
+        self._crash_reports.discard(rank)
+        self.active.add(rank)
+        self.stats.rank_restarts += 1
+        self.timeline.record(
+            "RECOVER", f"rejoin_rank_{rank}", self.env.now, self.env.now
+        )
+
+    def drain_rank(self, rank: int):
+        """Generator: wait until no pending tensor holds ``rank``'s payload.
+
+        A restarting rank yields from this before rejoining, so its
+        pre-crash submissions (still referenced by in-flight fusion
+        groups of the surviving ranks) cannot collide with the fresh
+        submissions of its new life.
+        """
+        while any(rank in e.payloads for e in self._entries.values()):
+            yield self.env.timeout(self.config.cycle_time_s)
+
+    def _maybe_ready(self, entry: _TensorEntry) -> None:
+        """Queue ``entry`` once every active rank has submitted it."""
+        if entry.queued or not self.active <= entry.payloads.keys():
+            return
+        entry.queued = True
+        # Snapshot who takes part: everyone who submitted and is not
+        # confirmed dead — a rank that submitted but crashed before the
+        # group ran lost its process, so its queued gradient is dropped.
+        participants = frozenset(entry.payloads) - self._removed
+        self._ready.append(
+            (PendingTensor(entry.name, entry.nbytes, self.env.now), participants)
+        )
 
     # -- coordinator -----------------------------------------------------------
     def _coordinator_loop(self):
@@ -170,13 +256,92 @@ class HorovodRuntime:
             self.stats.cycles += 1
             if not self._entries:
                 continue
+            if self.config.negotiation_deadline_s is not None:
+                yield from self._failure_detector()
             ready = self._ready
             self._ready = []
-            yield from self._negotiate(ready)
+            yield from self._negotiate([t for t, _ in ready])
             if not ready:
                 continue
-            for group in pack_tensors(ready, self.config.fusion_threshold_bytes):
-                yield from self._execute_group(group)
+            # Tensors sharing a participant set fuse together; distinct
+            # sets (mid-shrink transients) reduce as separate subgroups.
+            buckets: dict[frozenset[int], list[PendingTensor]] = {}
+            for tensor, participants in ready:
+                buckets.setdefault(participants, []).append(tensor)
+            for participants, tensors in buckets.items():
+                if not participants:
+                    for tensor in tensors:
+                        self._entries.pop(tensor.name, None)
+                    continue
+                for group in pack_tensors(
+                    tensors, self.config.fusion_threshold_bytes
+                ):
+                    yield from self._execute_group(group, participants)
+
+    # -- failure detector --------------------------------------------------------
+    def _failure_detector(self):
+        """Deadline scan: suspect → backed-off re-probes → confirm → shrink.
+
+        Runs once per cycle when ``negotiation_deadline_s`` is set.  A
+        rank becomes *suspect* when some tensor has waited past the
+        deadline without its submission.  Suspects get
+        ``suspect_retries`` re-probes with exponential backoff (each
+        charged one small cached control round); a suspect whose crash
+        was reported (:meth:`report_crash`) is evicted after the last
+        probe, shrinking the communicator to the survivors.  Suspects
+        that catch up are cleared — a straggler never triggers eviction.
+        """
+        deadline = self.config.negotiation_deadline_s
+        now = self.env.now
+        missing: set[int] = set()
+        for entry in self._entries.values():
+            if entry.queued or now - entry.first_submit_s < deadline:
+                continue
+            missing |= self.active - entry.payloads.keys()
+        for rank in [r for r in self._suspects if r not in missing]:
+            info = self._suspects.pop(rank)
+            self.stats.suspects_cleared += 1
+            self.stats.suspect_seconds += now - info.since
+            self.timeline.record("SUSPECT", f"rank_{rank}", info.since, now)
+        for rank in sorted(missing):
+            info = self._suspects.get(rank)
+            if info is None:
+                self._suspects[rank] = _Suspicion(
+                    since=now,
+                    retries_left=self.config.suspect_retries,
+                    next_retry_at=now + deadline,
+                )
+                self.stats.suspects += 1
+                continue
+            if now < info.next_retry_at:
+                continue
+            if info.retries_left > 0:
+                info.retries_left -= 1
+                backoff = deadline * 2 ** (
+                    self.config.suspect_retries - info.retries_left
+                )
+                info.next_retry_at = now + backoff
+                # Each re-probe is one small control round to the rank.
+                yield self.env.timeout(
+                    self.comm.control_round_seconds(64, cached=True)
+                )
+            elif rank in self._crash_reports:
+                self._confirm_crash(rank, info)
+
+    def _confirm_crash(self, rank: int, info: _Suspicion) -> None:
+        now = self.env.now
+        self._suspects.pop(rank, None)
+        self.active.discard(rank)
+        self._removed.add(rank)
+        self.stats.rank_crashes += 1
+        self.stats.suspect_seconds += now - info.since
+        self.timeline.record("SUSPECT", f"rank_{rank}", info.since, now)
+        self.timeline.record(
+            "RECOVER", f"shrink_to_{len(self.active)}", info.since, now
+        )
+        # Tensors that were only waiting on the evicted rank are now ready.
+        for entry in self._entries.values():
+            self._maybe_ready(entry)
 
     def _negotiate(self, ready: list[PendingTensor]):
         """One negotiation round: gather requests, broadcast responses."""
@@ -210,10 +375,13 @@ class HorovodRuntime:
         )
 
     # -- data plane --------------------------------------------------------------
-    def _execute_group(self, group: FusionGroup):
+    def _execute_group(self, group: FusionGroup, participants: frozenset[int] | None = None):
+        if participants is None:
+            participants = frozenset(range(self.size))
+        ranks = sorted(participants)
         entries = [self._entries.pop(t.name) for t in group.tensors]
         label = entries[0].name if len(entries) == 1 else f"fused_x{len(entries)}"
-        numpy_mode = isinstance(next(iter(entries[0].payloads.values())), np.ndarray)
+        numpy_mode = isinstance(entries[0].payloads[ranks[0]], np.ndarray)
 
         # Queue span: from the moment the group's last tensor became
         # ready on all ranks until execution starts now (cycle wait plus
@@ -241,19 +409,22 @@ class HorovodRuntime:
         if numpy_mode:
             fused = [
                 np.concatenate([e.payloads[r].ravel() for e in entries])
-                for r in range(self.size)
+                for r in ranks
             ]
         else:
             elem = 2 if self.config.compression == "fp16" else 4
             aligned = (wire_bytes + elem - 1) // elem * elem
-            fused = [VirtualBuffer(aligned, elem) for _ in range(self.size)]
+            fused = [VirtualBuffer(aligned, elem) for _ in ranks]
 
         start = self.env.now
         algorithm = (
             "hierarchical" if self.config.hierarchical_allreduce
             else self.config.allreduce_algorithm
         )
-        results = yield self.comm.allreduce(fused, algorithm=algorithm, average=True)
+        subgroup = ranks if len(ranks) < self.size else None
+        results = yield self.comm.allreduce(
+            fused, algorithm=algorithm, average=True, ranks=subgroup
+        )
         self.stats.allreduce_seconds += self.env.now - start
         self.timeline.record("ALLREDUCE", label, start, self.env.now)
 
@@ -273,10 +444,10 @@ class HorovodRuntime:
         self.stats.tensors_reduced += len(entries)
         self.stats.bytes_reduced += group.nbytes
 
-        # Hand each rank its averaged tensor back.
-        for rank in range(self.size):
+        # Hand each participating rank its averaged tensor back.
+        for i, rank in enumerate(ranks):
             if numpy_mode:
-                flat = results[rank]
+                flat = results[i]
                 offset = 0
                 for e in entries:
                     shape = e.payloads[rank].shape
@@ -286,3 +457,20 @@ class HorovodRuntime:
             else:
                 for e in entries:
                     e.events[rank].succeed(VirtualBuffer((e.nbytes + 3) // 4 * 4))
+
+        # Extra submitters — a rank that rejoined after this group's
+        # participant snapshot — adopt the group consensus (elastic
+        # Horovod semantics: late arrivals take the survivors' average).
+        flat0 = results[0] if numpy_mode else None
+        offset = 0
+        for e in entries:
+            n = next(iter(e.payloads.values())).size if numpy_mode else 0
+            for rank in sorted(set(e.payloads) - participants - self._removed):
+                if e.events[rank].triggered:
+                    continue
+                if numpy_mode:
+                    shape = e.payloads[rank].shape
+                    e.events[rank].succeed(flat0[offset:offset + n].reshape(shape))
+                else:
+                    e.events[rank].succeed(VirtualBuffer((e.nbytes + 3) // 4 * 4))
+            offset += n

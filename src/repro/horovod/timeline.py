@@ -23,7 +23,13 @@ PHASES = (
     "MEMCPY_OUT",  # unpack from the fusion buffer
     "COMPRESS",    # fp16 encode
     "DECOMPRESS",  # fp16 decode
+    "FAULT",       # an injected fault was active (span = fault lifetime)
+    "SUSPECT",     # a rank was suspected missing (span = suspicion window)
+    "RECOVER",     # resilience action: communicator shrink / rank rejoin
 )
+
+#: The subset of :data:`PHASES` added by the fault/resilience subsystem.
+FAULT_PHASES = ("FAULT", "SUSPECT", "RECOVER")
 
 
 @dataclass(frozen=True)
@@ -67,7 +73,11 @@ class Timeline:
         return [ev for ev in self.events if ev.phase == phase]
 
     def to_chrome_trace(self) -> str:
-        """Serialize as Chrome-trace JSON (µs units, complete events)."""
+        """Serialize as Chrome-trace JSON (µs units, complete events).
+
+        Events are emitted in ascending ``ts`` order (stable for ties),
+        which trace viewers tolerate but schema checks can rely on.
+        """
         trace = {
             "traceEvents": [
                 {
@@ -79,7 +89,7 @@ class Timeline:
                     "pid": 0,
                     "tid": PHASES.index(ev.phase),
                 }
-                for ev in self.events
+                for ev in sorted(self.events, key=lambda e: e.start_s)
             ]
         }
         return json.dumps(trace, indent=1)

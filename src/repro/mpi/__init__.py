@@ -23,7 +23,7 @@ real arrays (bit-exactness is tested), and with
 at scale without allocating gradient-sized memory.
 """
 
-from repro.mpi.communicator import Comm
+from repro.mpi.communicator import Comm, TransferTimeout
 from repro.mpi.libraries import (
     ALL_LIBRARIES,
     MPI_LIBRARIES,
@@ -53,6 +53,7 @@ __all__ = [
     "NumpyOps",
     "PayloadOps",
     "SPECTRUM_MPI",
+    "TransferTimeout",
     "VIRTUAL_OPS",
     "VirtualBuffer",
     "VirtualOps",

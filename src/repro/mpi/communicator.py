@@ -32,13 +32,22 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.cluster.fabric import Fabric
+from repro.cluster.fabric import Fabric, LinkDownError
 from repro.cluster.topology import Device
 from repro.mpi.libraries import MPILibrary
 from repro.mpi.payload import PayloadOps, ops_for
 from repro.sim import Environment, Event, Process
 
-__all__ = ["CollCtx", "Comm"]
+__all__ = ["CollCtx", "Comm", "TransferTimeout"]
+
+
+class TransferTimeout(RuntimeError):
+    """A point-to-point transfer exhausted its retry/timeout budget.
+
+    Raised by the sender when every retry of a transfer found its route
+    down and the accumulated backoff exceeded the communicator's
+    ``transfer_timeout_s`` — the MPI-level symptom of a link that flapped
+    down and never came back."""
 
 #: Tag stride reserved per collective invocation (must exceed the tag span
 #: any single algorithm uses; ring uses 2p, hierarchical uses 3 blocks).
@@ -69,19 +78,32 @@ class Comm:
         MPI library performance profile.
     """
 
-    def __init__(self, fabric: Fabric, devices: list[Device], library: MPILibrary) -> None:
+    def __init__(self, fabric: Fabric, devices: list[Device], library: MPILibrary,
+                 retry_backoff_s: float = 100e-6,
+                 transfer_timeout_s: float = 5.0) -> None:
         if not devices:
             raise ValueError("communicator needs at least one rank")
         if len(set(devices)) != len(devices):
             raise ValueError("duplicate devices in communicator")
+        if retry_backoff_s <= 0 or transfer_timeout_s <= 0:
+            raise ValueError("retry backoff and transfer timeout must be > 0")
         self.fabric = fabric
         self.env: Environment = fabric.env
         self.devices = list(devices)
         self.library = library
+        #: First retry wait after a transfer finds its route down; doubles
+        #: on every consecutive failed attempt of the same transfer.
+        self.retry_backoff_s = retry_backoff_s
+        #: Total backoff budget per transfer before :class:`TransferTimeout`.
+        self.transfer_timeout_s = transfer_timeout_s
         self._mailboxes = [_Mailbox() for _ in devices]
         self._tags = itertools.count()
         #: Number of point-to-point messages sent (control + data).
         self.messages_sent = 0
+        #: Transfers that found a down link and backed off before retrying.
+        self.transfer_retries = 0
+        #: Transfers abandoned after exhausting the retry budget.
+        self.transfer_timeouts = 0
 
     @property
     def size(self) -> int:
@@ -157,13 +179,33 @@ class Comm:
             yield self.env.timeout(lib.rendezvous_rtt_s)
         src_dev, dst_dev = self.devices[src], self.devices[dst]
         same = self.fabric.topology.same_node(src_dev, dst_dev)
-        elapsed = yield from self.fabric.transfer_gen(
-            src_dev,
-            dst_dev,
-            nbytes,
-            extra_latency=lib.sw_latency(same),
-            bandwidth_derate=lib.bw_derate(same),
-        )
+        # Retry-with-backoff: a route through a flapped-down link fails
+        # fast; the sender sleeps (exponentially longer each attempt) and
+        # retries until the link recovers or the timeout budget runs out.
+        attempt = 0
+        waited = 0.0
+        while True:
+            try:
+                elapsed = yield from self.fabric.transfer_gen(
+                    src_dev,
+                    dst_dev,
+                    nbytes,
+                    extra_latency=lib.sw_latency(same),
+                    bandwidth_derate=lib.bw_derate(same),
+                )
+                break
+            except LinkDownError as down:
+                backoff = self.retry_backoff_s * (2 ** attempt)
+                if waited + backoff > self.transfer_timeout_s:
+                    self.transfer_timeouts += 1
+                    raise TransferTimeout(
+                        f"transfer {src}->{dst} ({nbytes} B) gave up after "
+                        f"{attempt} retries / {waited:.3f}s backoff: {down}"
+                    ) from down
+                self.transfer_retries += 1
+                attempt += 1
+                waited += backoff
+                yield self.env.timeout(backoff)
         self._deposit(dst, key, payload)
         return elapsed
 
@@ -187,31 +229,44 @@ class Comm:
         payloads: list[Any],
         algorithm: str | None = None,
         average: bool = False,
+        ranks: list[int] | None = None,
     ) -> Process:
         """Allreduce one payload per rank; completes with the result list.
 
         ``algorithm`` overrides the library's size-based selection
         (``"ring"``, ``"recursive_doubling"``, ``"rabenseifner"``,
         ``"tree"``, ``"hierarchical"``).  With ``average`` the sum is
-        scaled by ``1/size`` (Horovod's default reduction).
-        """
-        if len(payloads) != self.size:
-            raise ValueError(f"expected {self.size} payloads, got {len(payloads)}")
-        return self.env.process(self._allreduce_proc(payloads, algorithm, average))
+        scaled by ``1/participants`` (Horovod's default reduction).
 
-    def _allreduce_proc(self, payloads, algorithm, average):
+        ``ranks`` restricts the collective to a subgroup of world ranks
+        (``payloads[i]`` belongs to ``ranks[i]``) — the elastic-shrink
+        path the Horovod runtime uses after a confirmed rank crash runs
+        over the surviving subgroup without building a new communicator.
+        """
+        group = list(range(self.size)) if ranks is None else list(ranks)
+        if not group:
+            raise ValueError("allreduce needs at least one participating rank")
+        if len(set(group)) != len(group):
+            raise ValueError(f"duplicate ranks in allreduce subgroup {group}")
+        for r in group:
+            self._check_rank(r)
+        if len(payloads) != len(group):
+            raise ValueError(f"expected {len(group)} payloads, got {len(payloads)}")
+        return self.env.process(self._allreduce_proc(payloads, algorithm, average, group))
+
+    def _allreduce_proc(self, payloads, algorithm, average, group):
         from repro.mpi.collectives import get_algorithm
 
         ops = ops_for(payloads[0])
         nbytes = ops.nbytes(payloads[0])
-        name = algorithm or self.library.allreduce_algorithm(nbytes, self.size)
+        name = algorithm or self.library.allreduce_algorithm(nbytes, len(group))
         fn = get_algorithm(name)
-        ctx = CollCtx(self, ops, self.fresh_tag_block(), list(range(self.size)))
-        procs = [self.env.process(fn(ctx, r, payloads[r])) for r in range(self.size)]
+        ctx = CollCtx(self, ops, self.fresh_tag_block(), group)
+        procs = [self.env.process(fn(ctx, g, payloads[g])) for g in range(len(group))]
         yield self.env.all_of(procs)
         results = [p.value for p in procs]
         if average:
-            results = [ops.scale(r, 1.0 / self.size) for r in results]
+            results = [ops.scale(r, 1.0 / len(group)) for r in results]
         return results
 
     # -- control plane (Horovod negotiation) ---------------------------------

@@ -51,6 +51,10 @@ class ParallelConfig:
     momentum: float = 0.9
     width: int = 8
     fusion_threshold_bytes: int = 1 * MiB
+    #: Collective used for gradient averaging.  ``"recursive_doubling"``
+    #: reduces every element in the same pairwise order regardless of
+    #: fusion layout, so fused and unfused runs are bit-identical.
+    allreduce_algorithm: str = "ring"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -112,7 +116,7 @@ class DataParallelTrainer:
         return loss, grads
 
     def allreduce_gradients(self, per_rank: list[dict]) -> tuple[list[dict], float]:
-        """Average gradient dicts through the Horovod runtime (ring).
+        """Average gradient dicts through the Horovod runtime.
 
         Returns per-rank averaged dicts plus the simulated seconds the
         exchange took on the modeled fabric.  With ``world == 1`` the
@@ -127,7 +131,7 @@ class DataParallelTrainer:
         cfg = HorovodConfig.default().with_(
             fusion_threshold_bytes=self.config.fusion_threshold_bytes,
             cycle_time_s=1e-4,
-            allreduce_algorithm="ring",
+            allreduce_algorithm=self.config.allreduce_algorithm,
         )
         runtime = HorovodRuntime(comm, cfg)
         names = list(per_rank[0])
@@ -145,6 +149,7 @@ class DataParallelTrainer:
         env.run(until=env.all_of(procs))
         runtime.shutdown()
         env.run()
+        self.last_runtime_stats = runtime.stats
         return results, env.now
 
     # -- training loop -------------------------------------------------------------

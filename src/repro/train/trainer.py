@@ -14,17 +14,27 @@ One process per rank, per iteration:
 Per-rank compute jitter (a lognormal multiplier per rank × iteration)
 models real kernel-time variation; it is what makes negotiation wait on
 stragglers, one of the effects cycle-time tuning trades against.
+
+Fault hooks: a :class:`~repro.faults.injector.FaultInjector` (or anything
+with a ``compute_multiplier(rank)`` method) can be attached to slow ranks
+down, and :meth:`DistributedTrainer.kill_rank` /
+:meth:`DistributedTrainer.restart_rank` model process death and elastic
+rejoin.  A restarted rank first drains its stale submissions from the
+runtime, waits for the survivors' next iteration boundary, re-admits
+itself at that instant, then runs in lockstep with them (gradient
+tensors are matched by name, so the barrier self-aligns).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.data.pipeline import InputPipelineModel, PipelineClock
 from repro.horovod.runtime import HorovodRuntime
 from repro.models.costmodel import IterationProfile
 from repro.mpi.payload import VirtualBuffer
-from repro.sim import Environment
+from repro.sim import Environment, Interrupt
 from repro.sim.rng import RandomStreams
 from repro.train.stats import TrainStats
 
@@ -60,10 +70,14 @@ class DistributedTrainer:
     The ``profile`` must have been computed at ``job.per_gpu_batch``
     (checked).  ``run()`` owns the simulation clock: it executes the whole
     job, shuts the runtime's coordinator down, and returns statistics.
+
+    ``faults`` is an optional duck-typed hook exposing
+    ``compute_multiplier(rank) -> float``; compute segments of that rank
+    are stretched by the returned factor (1.0 = healthy).
     """
 
     def __init__(self, runtime: HorovodRuntime, profile: IterationProfile,
-                 job: TrainJob) -> None:
+                 job: TrainJob, faults: Any | None = None) -> None:
         if profile.batch_size != job.per_gpu_batch:
             raise ValueError(
                 f"profile computed at batch {profile.batch_size}, "
@@ -73,25 +87,45 @@ class DistributedTrainer:
         self.env: Environment = runtime.env
         self.profile = profile
         self.job = job
-        self._iteration_marks: list[float] = []
+        self.faults = faults
+        self._iteration_marks: dict[int, float] = {}
         self._input_stall = 0.0
+        self._alive: set[int] = set(range(runtime.size))
+        self._rank_procs: dict[int, Any] = {}
+        self._procs: list[Any] = []
+        self._next_barrier = 0
+        self._boundary: Any | None = None
+        #: Iterations finished per rank (survivors end at ``job.iterations``).
+        self.completed_iterations: dict[int, int] = {}
 
     @property
     def world_size(self) -> int:
         """Number of ranks in the run."""
         return self.runtime.size
 
+    @property
+    def alive_ranks(self) -> list[int]:
+        """Ranks whose training process is currently running, sorted."""
+        return sorted(self._alive)
+
     def run(self) -> TrainStats:
         """Execute the job and return measured statistics."""
         start = self.env.now
-        procs = [
-            self.env.process(self._rank_loop(rank))
-            for rank in range(self.world_size)
-        ]
-        self.env.run(until=self.env.all_of(procs))
+        self._alive = set(range(self.world_size))
+        for rank in range(self.world_size):
+            proc = self.env.process(self._rank_loop(rank))
+            self._rank_procs[rank] = proc
+            self._procs.append(proc)
+        # Restarts spawn new processes mid-run, so loop until no process
+        # (original or dynamically added) is still pending.
+        while True:
+            pending = [p for p in self._procs if not p.triggered]
+            if not pending:
+                break
+            self.env.run(until=self.env.all_of(pending))
         self.runtime.shutdown()
         self.env.run()
-        marks = [start] + self._iteration_marks
+        marks = [start] + [t for _, t in sorted(self._iteration_marks.items())]
         return TrainStats(
             world_size=self.world_size,
             per_gpu_batch=self.job.per_gpu_batch,
@@ -102,10 +136,44 @@ class DistributedTrainer:
             compute_iteration_seconds=self.profile.compute_s,
         )
 
+    # -- fault hooks -----------------------------------------------------------
+    def kill_rank(self, rank: int) -> None:
+        """Kill ``rank``'s training process mid-flight (a crash).
+
+        The runtime is *not* told directly — its failure detector has to
+        notice the missing rank, as in a real deployment (pair this with
+        :meth:`~repro.horovod.runtime.HorovodRuntime.report_crash`).
+        """
+        if not 0 <= rank < self.world_size:
+            raise ValueError(f"rank {rank} out of range")
+        self._alive.discard(rank)
+        proc = self._rank_procs.get(rank)
+        if proc is not None and not proc.triggered:
+            proc.interrupt("rank killed by fault injection")
+
+    def restart_rank(self, rank: int) -> None:
+        """Spawn a replacement process for a crashed ``rank``.
+
+        The new process drains the rank's stale submissions, re-admits
+        the rank into the runtime's active set, and joins the survivors
+        at the next iteration barrier.  No-op if the rank is alive.
+        """
+        if not 0 <= rank < self.world_size:
+            raise ValueError(f"rank {rank} out of range")
+        if rank in self._alive:
+            return
+        proc = self.env.process(self._restart_loop(rank))
+        self._rank_procs[rank] = proc
+        self._procs.append(proc)
+
+    def _fault_mult(self, rank: int) -> float:
+        if self.faults is None:
+            return 1.0
+        return float(self.faults.compute_multiplier(rank))
+
     # -- per-rank process ------------------------------------------------------
     def _rank_loop(self, rank: int):
         job = self.job
-        profile = self.profile
         streams = RandomStreams(job.seed).child(f"rank{rank}")
         jitter_gen = streams.get("compute-jitter")
         clock = (
@@ -113,30 +181,75 @@ class DistributedTrainer:
             if job.pipeline is not None
             else None
         )
-        for iteration in range(job.iterations):
-            if clock is not None:
-                stall = clock.wait(self.env.now)
-                if stall > 0:
-                    yield self.env.timeout(stall)
-                    self._input_stall += stall
-            jitter = (
-                float(jitter_gen.lognormal(0.0, job.jitter_std))
-                if job.jitter_std > 0
-                else 1.0
-            )
-            yield self.env.timeout(profile.forward_s * jitter)
-            # Backward: submit each tensor at its (jittered) emission time.
-            events = []
-            previous = 0.0
-            for offset, tensor in profile.emission_schedule:
-                delta = (offset - previous) * jitter
-                if delta > 0:
-                    yield self.env.timeout(delta)
-                previous = offset
-                events.append(
-                    self.runtime.submit(rank, tensor.name, VirtualBuffer(tensor.nbytes))
+        try:
+            for iteration in range(job.iterations):
+                yield from self._one_iteration(rank, iteration, jitter_gen, clock)
+        except Interrupt:
+            return
+
+    def _restart_loop(self, rank: int):
+        job = self.job
+        streams = RandomStreams(job.seed).child(f"rank{rank}-restart")
+        jitter_gen = streams.get("compute-jitter")
+        try:
+            yield from self.runtime.drain_rank(rank)
+            # Re-admission must land exactly on an iteration boundary.
+            # Joining mid-iteration would re-submit tensor names the
+            # survivors already reduced this iteration, creating entries
+            # only the *next* iteration can complete — a deadlock on the
+            # final one.  At the barrier instant no survivor has emitted
+            # anything for the next iteration yet (optimizer + forward
+            # time still ahead of them), so every name merges cleanly.
+            if self._alive and self._next_barrier < job.iterations:
+                yield self._iteration_boundary()
+            self.runtime.report_restart(rank)
+            self._alive.add(rank)
+            while self._next_barrier < job.iterations:
+                yield from self._one_iteration(
+                    rank, self._next_barrier, jitter_gen, None
                 )
-            yield self.env.all_of(events)
-            yield self.env.timeout(profile.optimizer_s * jitter)
-            if rank == 0:
-                self._iteration_marks.append(self.env.now)
+        except Interrupt:
+            return
+
+    def _iteration_boundary(self):
+        """Shared event fired each time an iteration barrier completes."""
+        if self._boundary is None or self._boundary.triggered:
+            self._boundary = self.env.event()
+        return self._boundary
+
+    def _one_iteration(self, rank: int, iteration: int, jitter_gen, clock):
+        job = self.job
+        profile = self.profile
+        if clock is not None:
+            stall = clock.wait(self.env.now)
+            if stall > 0:
+                yield self.env.timeout(stall)
+                self._input_stall += stall
+        jitter = (
+            float(jitter_gen.lognormal(0.0, job.jitter_std))
+            if job.jitter_std > 0
+            else 1.0
+        )
+        yield self.env.timeout(profile.forward_s * jitter * self._fault_mult(rank))
+        # Backward: submit each tensor at its (jittered) emission time.
+        events = []
+        previous = 0.0
+        for offset, tensor in profile.emission_schedule:
+            delta = (offset - previous) * jitter * self._fault_mult(rank)
+            if delta > 0:
+                yield self.env.timeout(delta)
+            previous = offset
+            events.append(
+                self.runtime.submit(rank, tensor.name, VirtualBuffer(tensor.nbytes))
+            )
+        yield self.env.all_of(events)
+        # All barrier participants pass here at the same instant, before
+        # any optimizer time elapses — a race-free shared iteration count.
+        if iteration + 1 > self._next_barrier:
+            self._next_barrier = iteration + 1
+        if self._boundary is not None and not self._boundary.triggered:
+            self._boundary.succeed()
+        yield self.env.timeout(profile.optimizer_s * jitter * self._fault_mult(rank))
+        self.completed_iterations[rank] = self.completed_iterations.get(rank, 0) + 1
+        if self._alive and rank == min(self._alive):
+            self._iteration_marks.setdefault(iteration, self.env.now)

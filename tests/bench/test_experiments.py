@@ -5,6 +5,8 @@ import pytest
 from repro.bench import experiments as E
 from repro.sim.units import MiB
 
+pytestmark = pytest.mark.slow
+
 
 class TestE1:
     def test_matches_paper_numbers(self):

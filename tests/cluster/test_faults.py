@@ -61,3 +61,67 @@ def test_degrade_invalidates_route_cache():
     topo.degrade_link(Device.nic(0, 0), Device.switch(1), 0.5)
     after = topo.route_bandwidth(src, dst)
     assert after == pytest.approx(before * 0.5)
+
+
+NIC, SW = Device.nic(0, 0), Device.switch(1)
+
+
+def test_repeated_degrade_composes_from_base_spec():
+    """0.5 then 0.5 again = 0.25× nominal, with no name accretion."""
+    env, topo, fabric = make()
+    nominal = topo.link(NIC, SW).spec.bandwidth_Bps
+    topo.degrade_link(NIC, SW, 0.5)
+    topo.degrade_link(NIC, SW, 0.5)
+    link = topo.link(NIC, SW)
+    assert link.spec.bandwidth_Bps == pytest.approx(nominal * 0.25)
+    assert link.spec.name.count("degraded") == 1
+    assert topo.link_factor(NIC, SW) == pytest.approx(0.25)
+
+
+def test_restore_link_is_exact_inverse():
+    env, topo, fabric = make()
+    src, dst = Device.gpu(0, 0), Device.gpu(1, 0)
+    healthy = fabric.transfer_seconds(src, dst, 10 << 20)
+    original_spec = topo.link(NIC, SW).spec
+    topo.degrade_link(NIC, SW, 0.1)
+    topo.degrade_link(NIC, SW, 0.3)
+    topo.restore_link(NIC, SW)
+    link = topo.link(NIC, SW)
+    assert link.spec == original_spec
+    assert topo.link_factor(NIC, SW) == 1.0
+    assert fabric.transfer_seconds(src, dst, 10 << 20) == pytest.approx(healthy)
+
+
+def test_restore_refreshes_route_cache():
+    env, topo, fabric = make()
+    src, dst = Device.gpu(0, 0), Device.gpu(1, 0)
+    before = topo.route_bandwidth(src, dst)
+    topo.degrade_link(NIC, SW, 0.5)
+    assert topo.route_bandwidth(src, dst) == pytest.approx(before * 0.5)
+    topo.restore_link(NIC, SW)
+    assert topo.route_bandwidth(src, dst) == pytest.approx(before)
+
+
+def test_set_link_factor_is_absolute_not_compounding():
+    env, topo, fabric = make()
+    nominal = topo.link(NIC, SW).spec.bandwidth_Bps
+    topo.set_link_factor(NIC, SW, 0.5)
+    topo.set_link_factor(NIC, SW, 0.5)
+    assert topo.link(NIC, SW).spec.bandwidth_Bps == pytest.approx(nominal * 0.5)
+
+
+def test_restore_also_brings_link_back_up():
+    env, topo, fabric = make()
+    topo.set_link_up(NIC, SW, False)
+    assert not topo.link(NIC, SW).up
+    assert not topo.link(SW, NIC).up
+    topo.restore_link(NIC, SW)
+    assert topo.link(NIC, SW).up
+    assert topo.link(SW, NIC).up
+
+
+def test_set_link_up_simplex():
+    env, topo, fabric = make()
+    topo.set_link_up(NIC, SW, False, duplex=False)
+    assert not topo.link(NIC, SW).up
+    assert topo.link(SW, NIC).up

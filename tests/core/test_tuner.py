@@ -1,9 +1,12 @@
-"""Tests for the staged tuning procedure (fast, small probe scale)."""
+"""Tests for the staged tuning procedure (small probe scale, but a full
+staged tune is still a multi-second simulation — marked slow)."""
 
 import pytest
 
 from repro.core import StagedTuner, paper_default_config
 from repro.sim.units import MiB
+
+pytestmark = pytest.mark.slow
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,126 @@
+"""Fault spec and schedule: validation, JSON round-trips, schema errors."""
+
+import pytest
+
+from repro.faults import (
+    DegradedRail,
+    FaultSchedule,
+    LinkFlap,
+    RankCrash,
+    RankRestart,
+    StragglerGPU,
+)
+
+RAIL = ("nic:0:0", "switch:-1:1")
+
+
+class TestValidation:
+    def test_straggler_rejects_slowdown_below_one(self):
+        with pytest.raises(ValueError):
+            StragglerGPU(rank=0, start_s=0, duration_s=1, slowdown=1.0)
+        with pytest.raises(ValueError):
+            StragglerGPU(rank=0, start_s=0, duration_s=1, slowdown=0.5)
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ValueError):
+            StragglerGPU(rank=0, start_s=-1, duration_s=1)
+        with pytest.raises(ValueError):
+            StragglerGPU(rank=0, start_s=0, duration_s=0)
+        with pytest.raises(ValueError):
+            RankCrash(rank=0, start_s=-0.1)
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(ValueError):
+            RankCrash(rank=-1, start_s=0)
+        with pytest.raises(ValueError):
+            RankRestart(rank=-2, start_s=0)
+
+    def test_flap_duty_cycle_bounds(self):
+        with pytest.raises(ValueError):
+            LinkFlap(link=RAIL, start_s=0, duration_s=1, period_s=0, down_s=0.1)
+        with pytest.raises(ValueError):
+            LinkFlap(link=RAIL, start_s=0, duration_s=1, period_s=0.5, down_s=0.6)
+        with pytest.raises(ValueError):
+            LinkFlap(link=RAIL, start_s=0, duration_s=1, period_s=0.5,
+                     down_s=0.1, severity=1.0)
+
+    def test_degraded_rail_factor_bounds(self):
+        with pytest.raises(ValueError):
+            DegradedRail(link=RAIL, start_s=0, duration_s=1, factor=0.0)
+        with pytest.raises(ValueError):
+            DegradedRail(link=RAIL, start_s=0, duration_s=1, factor=1.0)
+
+    def test_bad_device_string_rejected(self):
+        with pytest.raises(ValueError):
+            DegradedRail(link=("nic:0", "switch:-1:1"), start_s=0,
+                         duration_s=1, factor=0.5)
+        with pytest.raises(ValueError):
+            DegradedRail(link=("rocket:0:0", "switch:-1:1"), start_s=0,
+                         duration_s=1, factor=0.5)
+
+    def test_schedule_rejects_non_specs(self):
+        with pytest.raises(TypeError):
+            FaultSchedule(("not a spec",))
+
+
+class TestRoundTrip:
+    def schedule(self):
+        return FaultSchedule.of(
+            StragglerGPU(rank=3, start_s=0.5, duration_s=1.0, slowdown=2.5),
+            LinkFlap(link=RAIL, start_s=0.2, duration_s=2.0, period_s=0.5,
+                     down_s=0.1, severity=0.25),
+            DegradedRail(link=RAIL, start_s=1.0, duration_s=1.5, factor=0.1),
+            RankCrash(rank=5, start_s=2.0),
+            RankRestart(rank=5, start_s=3.0),
+        )
+
+    def test_dict_round_trip(self):
+        s = self.schedule()
+        assert FaultSchedule.from_dict(s.to_dict()) == s
+
+    def test_json_round_trip(self):
+        s = self.schedule()
+        assert FaultSchedule.from_json(s.to_json()) == s
+
+    def test_iteration_and_len(self):
+        s = self.schedule()
+        assert len(s) == 5
+        assert [type(f).__name__ for f in s] == [
+            "StragglerGPU", "LinkFlap", "DegradedRail",
+            "RankCrash", "RankRestart",
+        ]
+
+    def test_end_s(self):
+        s = self.schedule()
+        assert s.end_s() == pytest.approx(3.0)  # the restart at t=3
+        assert FaultSchedule().end_s() == 0.0
+
+
+class TestSchemaErrors:
+    def test_missing_faults_key(self):
+        with pytest.raises(ValueError, match="faults"):
+            FaultSchedule.from_dict({"events": []})
+
+    def test_unknown_type(self):
+        with pytest.raises(ValueError, match="unknown type"):
+            FaultSchedule.from_dict(
+                {"faults": [{"type": "meteor_strike", "start_s": 0}]}
+            )
+
+    def test_missing_type(self):
+        with pytest.raises(ValueError, match="type"):
+            FaultSchedule.from_dict({"faults": [{"rank": 1}]})
+
+    def test_unknown_field_reports_fault_index(self):
+        with pytest.raises(ValueError, match="fault #0"):
+            FaultSchedule.from_dict(
+                {"faults": [{"type": "rank_crash", "rank": 1, "start_s": 0,
+                             "bogus": 1}]}
+            )
+
+    def test_bad_link_shape(self):
+        with pytest.raises(ValueError, match="2-element"):
+            FaultSchedule.from_dict(
+                {"faults": [{"type": "degraded_rail", "link": ["nic:0:0"],
+                             "start_s": 0, "duration_s": 1, "factor": 0.5}]}
+            )

@@ -1,0 +1,87 @@
+"""Differential test: tensor fusion must not change the numerics.
+
+The fusion buffer is a pure transport optimization — packing gradients
+into one big allreduce instead of many small ones must produce exactly
+the same averaged gradients, and therefore exactly the same weights,
+as the unfused path.  We train the real npnn model twice through the
+simulated Horovod runtime, once with fusion on and once with
+``fusion_threshold_bytes=0`` (every tensor reduced alone), and require
+bit-identical weights after several steps.
+
+The collective is pinned to recursive doubling: it reduces every element
+in the same pairwise rank order regardless of where the element sits in
+the (fused or unfused) buffer, so equality is exact, not approximate.
+Ring, by contrast, rotates its segment accumulation order with the
+buffer layout — the last test documents that reassociation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import VOCMini
+from repro.npnn import DataParallelTrainer, ParallelConfig
+from repro.sim.units import MiB
+
+
+def make_trainer(fusion_threshold_bytes, world=3, algorithm="recursive_doubling"):
+    ds = VOCMini(size=16, num_classes=3, seed=2)
+    cfg = ParallelConfig(world=world, per_replica_batch=2, width=4, lr=0.05,
+                         fusion_threshold_bytes=fusion_threshold_bytes,
+                         allreduce_algorithm=algorithm, seed=0)
+    return DataParallelTrainer(ds, cfg)
+
+
+def named_weights(trainer, rank=0):
+    return {name: p.copy() for name, p, _ in trainer.replicas[rank].named_params()}
+
+
+def test_fused_and_unfused_weights_identical_after_3_steps():
+    fused = make_trainer(fusion_threshold_bytes=1 * MiB)
+    unfused = make_trainer(fusion_threshold_bytes=0)
+    fused.train(3)
+    unfused.train(3)
+    wf = named_weights(fused)
+    wu = named_weights(unfused)
+    assert wf.keys() == wu.keys()
+    for name in wf:
+        np.testing.assert_array_equal(wf[name], wu[name], err_msg=name)
+
+
+def test_fusion_actually_fuses():
+    """Sanity: the two runs really exercise different fusion behavior."""
+    fused = make_trainer(fusion_threshold_bytes=1 * MiB)
+    unfused = make_trainer(fusion_threshold_bytes=0)
+    fused.step()
+    fused_stats = fused.last_runtime_stats
+    unfused.step()
+    unfused_stats = unfused.last_runtime_stats
+    n_tensors = len(list(fused.replicas[0].named_params()))
+    assert unfused_stats.fused_ops == n_tensors
+    assert fused_stats.fused_ops < unfused_stats.fused_ops
+    assert fused_stats.mean_fusion_size > unfused_stats.mean_fusion_size
+
+
+@pytest.mark.parametrize("world", (2, 5))
+def test_equivalence_across_world_sizes(world):
+    fused = make_trainer(fusion_threshold_bytes=1 * MiB, world=world)
+    unfused = make_trainer(fusion_threshold_bytes=0, world=world)
+    fused.train(2)
+    unfused.train(2)
+    for rank in range(world):
+        wf = named_weights(fused, rank)
+        wu = named_weights(unfused, rank)
+        for name in wf:
+            np.testing.assert_array_equal(wf[name], wu[name], err_msg=name)
+
+
+def test_ring_reassociates_but_stays_close():
+    """Ring's fused/unfused results differ only by float reassociation."""
+    fused = make_trainer(fusion_threshold_bytes=1 * MiB, algorithm="ring")
+    unfused = make_trainer(fusion_threshold_bytes=0, algorithm="ring")
+    fused.train(3)
+    unfused.train(3)
+    wf = named_weights(fused)
+    wu = named_weights(unfused)
+    for name in wf:
+        np.testing.assert_allclose(wf[name], wu[name], rtol=0, atol=1e-12,
+                                   err_msg=name)

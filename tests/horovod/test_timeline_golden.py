@@ -1,0 +1,100 @@
+"""Golden-trace regression test for ``Timeline.to_chrome_trace``.
+
+A small, fully deterministic training run (zero jitter, fixed seed) with
+a fault schedule exercises every phase family — negotiation, queueing,
+allreduce, and the fault/resilience phases — and its Chrome trace is
+compared against a committed golden file.  Any change to the trace
+format, the phase vocabulary, or the simulated timings shows up as a
+diff here.
+
+Regenerate after an intentional timing/format change with::
+
+    PYTHONPATH=src python tests/horovod/test_timeline_golden.py --regen
+"""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.horovod.timeline import FAULT_PHASES, PHASES
+
+GOLDEN = Path(__file__).parent / "data" / "timeline_golden.json"
+
+
+def make_trace() -> str:
+    """The deterministic run whose trace is pinned."""
+    from repro.core.knobs import paper_tuned_config
+    from repro.core.sweep import clear_profile_cache, measure_training
+    from repro.faults import FaultSchedule, RankCrash, StragglerGPU
+
+    clear_profile_cache()
+    cfg = paper_tuned_config()
+    # A long cycle keeps the trace small (fewer NEGOTIATE/QUEUE spans)
+    # without losing any phase coverage.
+    cfg = dataclasses.replace(cfg, horovod=cfg.horovod.with_(
+        cycle_time_s=50e-3, negotiation_deadline_s=0.2, suspect_retries=1,
+    ))
+    schedule = FaultSchedule.of(
+        StragglerGPU(rank=1, start_s=1.0, duration_s=1.0, slowdown=2.0),
+        RankCrash(rank=2, start_s=2.5),
+    )
+    m = measure_training(3, cfg, iterations=3, jitter_std=0.0, seed=0,
+                         schedule=schedule)
+    return m.timeline.to_chrome_trace()
+
+
+@pytest.fixture(scope="module")
+def trace_events():
+    return json.loads(make_trace())["traceEvents"]
+
+
+def test_matches_golden(trace_events):
+    golden = json.loads(GOLDEN.read_text())["traceEvents"]
+    assert len(trace_events) == len(golden)
+    for ours, theirs in zip(trace_events, golden):
+        assert ours["name"] == theirs["name"]
+        assert ours["cat"] == theirs["cat"]
+        assert ours["ph"] == theirs["ph"]
+        assert ours["pid"] == theirs["pid"]
+        assert ours["tid"] == theirs["tid"]
+        assert ours["ts"] == pytest.approx(theirs["ts"], rel=1e-9, abs=1e-6)
+        assert ours["dur"] == pytest.approx(theirs["dur"], rel=1e-9, abs=1e-6)
+
+
+def test_schema_is_valid_chrome_trace(trace_events):
+    assert trace_events, "trace must not be empty"
+    for ev in trace_events:
+        assert set(ev) == {"name", "cat", "ph", "ts", "dur", "pid", "tid"}
+        assert ev["ph"] == "X"
+        assert ev["cat"] in PHASES
+        assert ev["dur"] >= 0
+        assert ev["tid"] == PHASES.index(ev["cat"])
+
+
+def test_timestamps_monotonic(trace_events):
+    ts = [ev["ts"] for ev in trace_events]
+    assert ts == sorted(ts)
+
+
+def test_known_phases_present(trace_events):
+    cats = {ev["cat"] for ev in trace_events}
+    # Core lifecycle phases of any fused run…
+    assert {"NEGOTIATE", "ALLREDUCE"} <= cats
+    # …plus the fault phases this scenario injects.
+    assert set(FAULT_PHASES) <= cats
+    names = {ev["name"] for ev in trace_events if ev["cat"] == "FAULT"}
+    assert any(n.startswith("straggler_rank1") for n in names)
+    assert any(n.startswith("crash_rank2") for n in names)
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(make_trace())
+        print(f"wrote {GOLDEN}")
+    else:
+        print(__doc__)

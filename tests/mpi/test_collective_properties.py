@@ -1,0 +1,87 @@
+"""Property tests: all allreduce algorithms agree with each other.
+
+Seeded-random tensors pushed through every algorithm (ring, tree,
+recursive doubling, Rabenseifner, hierarchical) must produce results that
+(a) match ``np.sum`` / ``np.mean`` of the inputs, (b) agree *across
+algorithms* within floating-point reassociation tolerance, and (c) hold
+for awkward world sizes — odd, prime, power-of-two ±1 — and degenerate
+payloads (zero-length, single element).
+"""
+
+import numpy as np
+import pytest
+
+from repro.mpi.collectives import ALGORITHMS
+
+from tests.mpi.conftest import make_comm
+
+ALL_ALGS = sorted(ALGORITHMS)
+
+#: Odd / even / prime / pow2±1 world sizes.
+WORLD_SIZES = (2, 3, 4, 5, 7, 8, 9, 11, 16)
+
+
+def run_allreduce(p, payloads, algorithm, average=False):
+    env, comm = make_comm(p)
+    done = comm.allreduce(payloads, algorithm=algorithm, average=average)
+    return env.run(until=done)
+
+
+def random_payloads(p, n, seed):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal(n) for _ in range(p)]
+
+
+@pytest.mark.parametrize("p", WORLD_SIZES)
+@pytest.mark.parametrize("algorithm", ALL_ALGS)
+def test_matches_numpy_mean(algorithm, p):
+    payloads = random_payloads(p, 37, seed=1000 + p)
+    expected = np.mean(payloads, axis=0)
+    results = run_allreduce(p, payloads, algorithm, average=True)
+    assert len(results) == p
+    for r in results:
+        np.testing.assert_allclose(r, expected, rtol=1e-12, atol=1e-12)
+
+
+@pytest.mark.parametrize("p", WORLD_SIZES)
+def test_algorithms_agree_pairwise(p):
+    """Every algorithm computes the same sum (up to reassociation)."""
+    payloads = random_payloads(p, 53, seed=2000 + p)
+    reference = None
+    for algorithm in ALL_ALGS:
+        results = run_allreduce(p, [x.copy() for x in payloads], algorithm)
+        if reference is None:
+            reference = results[0]
+        for r in results:
+            np.testing.assert_allclose(r, reference, rtol=1e-11, atol=1e-11)
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGS)
+@pytest.mark.parametrize("p", (2, 5, 8))
+def test_zero_length_payloads(algorithm, p):
+    """Empty tensors reduce without error and come back empty."""
+    payloads = [np.zeros(0) for _ in range(p)]
+    results = run_allreduce(p, payloads, algorithm)
+    assert len(results) == p
+    for r in results:
+        assert isinstance(r, np.ndarray) and r.size == 0
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGS)
+@pytest.mark.parametrize("p", (3, 4))
+def test_single_element_payloads(algorithm, p):
+    payloads = [np.array([float(rank + 1)]) for rank in range(p)]
+    expected = sum(float(r + 1) for r in range(p))
+    results = run_allreduce(p, payloads, algorithm)
+    for r in results:
+        np.testing.assert_allclose(r, [expected], rtol=1e-12)
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGS)
+def test_deterministic_across_runs(algorithm):
+    """Same seed, same world → bit-identical results on repeat runs."""
+    p = 5
+    first = run_allreduce(p, random_payloads(p, 29, seed=7), algorithm)
+    second = run_allreduce(p, random_payloads(p, 29, seed=7), algorithm)
+    for a, b in zip(first, second):
+        np.testing.assert_array_equal(a, b)

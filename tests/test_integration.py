@@ -62,6 +62,7 @@ class TestPaperHeadlineShapes:
                                jitter_std=0.0)
         assert m12.images_per_second > 1.9 * m6.images_per_second
 
+    @pytest.mark.slow
     def test_default_at_132_is_poor_and_tuned_is_near_linear(self):
         """The headline claim at full scale (slow test, ~30 s)."""
         d = measure_training(132, paper_default_config(), iterations=2,
