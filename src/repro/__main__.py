@@ -67,7 +67,22 @@ EXPERIMENTS = {
     "E13b": ("fault injection: degraded rail (extension)",
              E.e13_degraded_rail, {},
              {"gpus": 48, "iterations": 2, "factors": (1.0, 0.05)}),
+    "E14": ("efficiency attribution: where the time goes (extension)",
+            E.e14_efficiency_attribution, {},
+            {"gpu_counts": (6, 24), "iterations": 2}),
 }
+
+
+def package_version() -> str:
+    """Installed package version, falling back to the source tree's."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        import repro
+
+        return repro.__version__
 
 
 def cmd_list() -> int:
@@ -152,17 +167,90 @@ def cmd_faults_run(schedule_path: str, gpus: int, config_name: str,
 
 
 def cmd_measure(gpus: int, config_name: str, iterations: int,
-                model: str) -> int:
+                model: str, as_json: bool = False) -> int:
     """One ad-hoc measurement of a named configuration."""
     configs = {"default": paper_default_config, "tuned": paper_tuned_config}
     if config_name not in configs:
         print(f"config must be one of {sorted(configs)}", file=sys.stderr)
         return 2
     m = measure_training(gpus, configs[config_name](), model=model,
-                         iterations=iterations, jitter_std=0.03)
+                         iterations=iterations, jitter_std=0.03,
+                         telemetry=as_json)
+    if as_json:
+        import json
+
+        from repro.telemetry import attribute_measurement
+
+        att = attribute_measurement(m)
+        print(json.dumps({
+            "gpus": gpus,
+            "config": config_name,
+            "config_label": m.config.label,
+            "model": model,
+            "iterations": iterations,
+            "images_per_second": m.images_per_second,
+            "scaling_efficiency": m.scaling_efficiency,
+            "mean_iteration_seconds": m.stats.mean_iteration_seconds,
+            "single_gpu_images_per_second": m.single_gpu_images_per_second,
+            "runtime": {
+                "cycles": m.runtime_stats.cycles,
+                "negotiations": m.runtime_stats.negotiations,
+                "cache_hits": m.runtime_stats.cache_hits,
+                "fused_ops": m.runtime_stats.fused_ops,
+                "tensors_reduced": m.runtime_stats.tensors_reduced,
+                "bytes_reduced": m.runtime_stats.bytes_reduced,
+            },
+            "link_utilization": m.link_utilization,
+            "attribution": {
+                "mean_wall_s": att.mean_wall_s,
+                "totals_s": att.totals(),
+                "shares": att.shares(),
+                "overhead_share": att.overhead_share(),
+                "max_sum_error": att.max_sum_error,
+            },
+        }, indent=1))
+        return 0
     print(f"{m.config.label}  model={model}")
     print(f"{gpus} GPUs: {m.images_per_second:.1f} img/s, "
           f"{m.scaling_efficiency * 100:.1f}% scaling efficiency")
+    return 0
+
+
+def cmd_telemetry(gpus: int, config_name: str, iterations: int, model: str,
+                  export_dir: str | None) -> int:
+    """Run one instrumented measurement and print/export the attribution."""
+    from pathlib import Path
+
+    from repro.telemetry import (
+        attribute_measurement,
+        merge_chrome_trace,
+        to_jsonl,
+        to_prometheus,
+    )
+
+    configs = {"default": paper_default_config, "tuned": paper_tuned_config}
+    if config_name not in configs:
+        print(f"config must be one of {sorted(configs)}", file=sys.stderr)
+        return 2
+    m = measure_training(gpus, configs[config_name](), model=model,
+                         iterations=iterations, jitter_std=0.03,
+                         telemetry=True)
+    att = attribute_measurement(m)
+    print(f"{m.config.label}  model={model}")
+    print(f"{gpus} GPUs: {m.images_per_second:.1f} img/s, "
+          f"{m.scaling_efficiency * 100:.1f}% scaling efficiency\n")
+    print(att.table())
+    if export_dir is not None:
+        out = Path(export_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        registry = m.telemetry.registry
+        (out / "metrics.prom").write_text(to_prometheus(registry))
+        (out / "telemetry.jsonl").write_text(
+            to_jsonl(registry, m.telemetry.iteration_samples))
+        (out / "trace.json").write_text(
+            merge_chrome_trace(m.timeline, registry))
+        print(f"\n[exported metrics.prom, telemetry.jsonl, trace.json "
+              f"to {out}]")
     return 0
 
 
@@ -170,6 +258,8 @@ def main(argv: list[str] | None = None) -> int:
     """Parse arguments and dispatch."""
     parser = argparse.ArgumentParser(prog="python -m repro",
                                      description=__doc__)
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {package_version()}")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="show the experiment index")
     run_p = sub.add_parser("run", help="run experiments by id")
@@ -184,6 +274,22 @@ def main(argv: list[str] | None = None) -> int:
     meas_p.add_argument("--model", default="deeplab",
                         choices=("deeplab", "resnet50", "resnet101",
                                  "mobilenetv2"))
+    meas_p.add_argument("--json", action="store_true",
+                        help="machine-readable output (includes the "
+                             "telemetry attribution summary)")
+    tele_p = sub.add_parser(
+        "telemetry",
+        help="instrumented measurement + efficiency attribution")
+    tele_p.add_argument("--gpus", type=int, default=24)
+    tele_p.add_argument("--config", default="tuned",
+                        choices=("default", "tuned"))
+    tele_p.add_argument("--iterations", type=int, default=3)
+    tele_p.add_argument("--model", default="deeplab",
+                        choices=("deeplab", "resnet50", "resnet101",
+                                 "mobilenetv2"))
+    tele_p.add_argument("--export", metavar="DIR", default=None,
+                        help="also write metrics.prom, telemetry.jsonl and "
+                             "trace.json into DIR")
     faults_p = sub.add_parser("faults",
                               help="fault-injection runs (see repro.faults)")
     faults_sub = faults_p.add_subparsers(dest="faults_command", required=True)
@@ -209,7 +315,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "faults":
         return cmd_faults_run(args.schedule, args.gpus, args.config,
                               args.iterations, args.model, args.deadline_ms)
-    return cmd_measure(args.gpus, args.config, args.iterations, args.model)
+    if args.command == "telemetry":
+        return cmd_telemetry(args.gpus, args.config, args.iterations,
+                             args.model, args.export)
+    return cmd_measure(args.gpus, args.config, args.iterations, args.model,
+                       args.json)
 
 
 if __name__ == "__main__":

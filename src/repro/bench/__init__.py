@@ -11,12 +11,13 @@ under ``bench_results/``.
 """
 
 from repro.bench.harness import ExperimentResult, format_rows, save_result
-from repro.bench.plots import ascii_chart
+from repro.bench.plots import ascii_chart, chart_result
 from repro.bench import experiments
 
 __all__ = [
     "ExperimentResult",
     "ascii_chart",
+    "chart_result",
     "experiments",
     "format_rows",
     "save_result",

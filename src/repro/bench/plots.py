@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 
-__all__ = ["ascii_chart"]
+__all__ = ["ascii_chart", "chart_result"]
 
 MARKERS = "ox*+#@%&"
 
@@ -78,3 +78,47 @@ def ascii_chart(x: list[float], series: dict[str, list[float]],
     )
     lines.append(f"{' ' * pad}  {legend}")
     return "\n".join(lines)
+
+
+def _numeric(value) -> float:
+    """Coerce a table cell to float (accepts '93.2%' and '1,244')."""
+    if isinstance(value, (int, float)):
+        return float(value)
+    return float(str(value).strip().rstrip("%").replace(",", ""))
+
+
+def chart_result(result, x: str, y: str, group: str | None = None,
+                 **kwargs) -> str:
+    """Chart one column of an :class:`~repro.bench.harness.ExperimentResult`.
+
+    Plots column ``y`` over column ``x`` of ``result.rows``.  With
+    ``group``, each distinct value of that column becomes its own series
+    (e.g. ``chart_result(res, x="gpus", y="efficiency", group="config")``
+    for default-vs-tuned curves); every group must cover the same x
+    values.  Percent and comma-formatted cells are parsed numerically.
+    Remaining keyword arguments pass through to :func:`ascii_chart`.
+    """
+    rows = result.rows
+    if not rows:
+        raise ValueError(f"{result.experiment}: no rows to chart")
+    for column in (x, y) + ((group,) if group else ()):
+        if column not in rows[0]:
+            raise ValueError(
+                f"{result.experiment}: no column {column!r}; "
+                f"available: {list(rows[0])}"
+            )
+    series: dict[str, dict[float, float]] = {}
+    for row in rows:
+        name = str(row[group]) if group else y
+        series.setdefault(name, {})[_numeric(row[x])] = _numeric(row[y])
+    xs = sorted(next(iter(series.values())))
+    for name, points in series.items():
+        if sorted(points) != xs:
+            raise ValueError(
+                f"{result.experiment}: series {name!r} covers x={sorted(points)}, "
+                f"expected {xs}"
+            )
+    kwargs.setdefault("x_label", x)
+    kwargs.setdefault("y_label", y)
+    return ascii_chart(xs, {n: [p[v] for v in xs] for n, p in series.items()},
+                       **kwargs)

@@ -83,6 +83,9 @@ class Measurement:
     link_utilization: dict = None
     #: Resilience counters, present when a fault schedule was injected.
     fault_report: dict | None = None
+    #: :class:`~repro.telemetry.TelemetryProbe` attached to the run, when
+    #: measured with ``telemetry=True`` (feeds the attribution engine).
+    telemetry: object = None
 
     @property
     def images_per_second(self) -> float:
@@ -114,6 +117,7 @@ def measure_training(
     negotiation: str = "analytic",
     fault=None,
     schedule=None,
+    telemetry=None,
 ) -> Measurement:
     """Simulate a measured training job and return its statistics.
 
@@ -129,6 +133,13 @@ def measure_training(
     ``schedule`` is an optional :class:`~repro.faults.FaultSchedule`; a
     :class:`~repro.faults.FaultInjector` is wired across topology,
     runtime and trainer, and the Measurement gains a ``fault_report``.
+
+    ``telemetry`` attaches observability: ``True`` builds a fresh
+    :class:`~repro.telemetry.TelemetryProbe`, or pass an existing probe.
+    The probe is threaded through every layer (observation-only — the
+    simulated timings are unchanged) and returned on
+    ``Measurement.telemetry``, ready for
+    :func:`~repro.telemetry.attribute_measurement`.
     """
     if gpus < 1:
         raise ValueError(f"gpus must be >= 1, got {gpus}")
@@ -151,16 +162,29 @@ def measure_training(
         seed=seed,
     )
     fabric = comm.fabric
+    probe = None
+    if telemetry:
+        from repro.telemetry import TelemetryProbe
+
+        probe = telemetry if isinstance(telemetry, TelemetryProbe) else TelemetryProbe()
     injector = None
     if schedule is not None:
         from repro.faults import FaultInjector
 
         injector = FaultInjector(env, schedule, topology=topo, timeline=timeline)
-        trainer = DistributedTrainer(runtime, profile, job, faults=injector)
+        trainer = DistributedTrainer(
+            runtime, profile, job, faults=injector, probe=probe
+        )
         injector.bind(runtime=runtime, trainer=trainer).start()
     else:
-        trainer = DistributedTrainer(runtime, profile, job)
+        trainer = DistributedTrainer(runtime, profile, job, probe=probe)
+    if probe is not None:
+        probe.attach(
+            env=env, comm=comm, runtime=runtime, trainer=trainer, fabric=fabric
+        )
     stats = trainer.run()
+    if probe is not None:
+        probe.finalize()
     fault_report = None
     if injector is not None:
         totals = timeline.total_by_phase()
@@ -194,4 +218,5 @@ def measure_training(
         single_gpu_images_per_second=profile.images_per_second,
         link_utilization=fabric.utilization_report(),
         fault_report=fault_report,
+        telemetry=probe,
     )

@@ -132,6 +132,10 @@ class HorovodRuntime:
         self.gpu = gpu
         self.timeline = timeline if timeline is not None else Timeline()
         self.control_bytes_per_tensor = control_bytes_per_tensor
+        #: Optional telemetry hook (``on_cycle`` / ``on_negotiation`` /
+        #: ``on_group`` / ``on_detect``) — see
+        #: :class:`repro.telemetry.TelemetryProbe`.
+        self.probe: Any = None
         self.stats = RuntimeStats()
         self._entries: dict[str, _TensorEntry] = {}
         self._ready: list[tuple[PendingTensor, frozenset[int]]] = []
@@ -254,6 +258,8 @@ class HorovodRuntime:
             if self._shutdown:
                 return
             self.stats.cycles += 1
+            if self.probe is not None:
+                self.probe.on_cycle(len(self._entries), len(self._ready))
             if not self._entries:
                 continue
             if self.config.negotiation_deadline_s is not None:
@@ -322,9 +328,10 @@ class HorovodRuntime:
                 )
                 info.next_retry_at = now + backoff
                 # Each re-probe is one small control round to the rank.
-                yield self.env.timeout(
-                    self.comm.control_round_seconds(64, cached=True)
-                )
+                probe_s = self.comm.control_round_seconds(64, cached=True)
+                if self.probe is not None:
+                    self.probe.on_detect(probe_s)
+                yield self.env.timeout(probe_s)
             elif rank in self._crash_reports:
                 self._confirm_crash(rank, info)
 
@@ -370,6 +377,8 @@ class HorovodRuntime:
                 self._response_cache.add(signature)
         self.stats.negotiations += 1
         self.stats.negotiation_seconds += self.env.now - start
+        if self.probe is not None:
+            self.probe.on_negotiation(self.env.now - start, cached, len(ready))
         self.timeline.record(
             "NEGOTIATE", f"cycle_{self.stats.cycles}", start, self.env.now
         )
@@ -389,6 +398,12 @@ class HorovodRuntime:
         queued_since = max(t.ready_time for t in group.tensors)
         if self.env.now > queued_since:
             self.timeline.record("QUEUE", label, queued_since, self.env.now)
+        if self.probe is not None:
+            self.probe.on_group(
+                group.nbytes, len(entries), len(ranks),
+                self.config.fusion_threshold_bytes,
+                max(0.0, self.env.now - queued_since),
+            )
 
         # Pack into the fusion buffer (skipped for singletons, as Horovod
         # skips the copy when a tensor is reduced unfused).

@@ -98,6 +98,9 @@ class Comm:
         self.transfer_timeout_s = transfer_timeout_s
         self._mailboxes = [_Mailbox() for _ in devices]
         self._tags = itertools.count()
+        #: Optional telemetry hook (``on_allreduce(algorithm, nbytes,
+        #: ranks, seconds)``) — see :class:`repro.telemetry.TelemetryProbe`.
+        self.probe: Any = None
         #: Number of point-to-point messages sent (control + data).
         self.messages_sent = 0
         #: Transfers that found a down link and backed off before retrying.
@@ -262,8 +265,13 @@ class Comm:
         name = algorithm or self.library.allreduce_algorithm(nbytes, len(group))
         fn = get_algorithm(name)
         ctx = CollCtx(self, ops, self.fresh_tag_block(), group)
+        started_s = self.env.now
         procs = [self.env.process(fn(ctx, g, payloads[g])) for g in range(len(group))]
         yield self.env.all_of(procs)
+        if self.probe is not None:
+            self.probe.on_allreduce(
+                name, nbytes, len(group), self.env.now - started_s
+            )
         results = [p.value for p in procs]
         if average:
             results = [ops.scale(r, 1.0 / len(group)) for r in results]

@@ -404,6 +404,11 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active: Process | None = None
+        #: Optional observation-only hook object (``on_schedule(env, event,
+        #: delay)`` / ``on_step(env, event, depth)``) — see
+        #: :class:`repro.telemetry.TelemetryProbe`.  Must never create
+        #: events or mutate kernel state.
+        self.monitor: Any = None
 
     @property
     def now(self) -> float:
@@ -440,6 +445,8 @@ class Environment:
     def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
         self._eid += 1
         heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        if self.monitor is not None:
+            self.monitor.on_schedule(self, event, delay)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if queue is empty."""
@@ -450,6 +457,8 @@ class Environment:
         if not self._queue:
             raise SimulationError("step() on an empty event queue")
         self._now, _, _, event = heapq.heappop(self._queue)
+        if self.monitor is not None:
+            self.monitor.on_step(self, event, len(self._queue))
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)

@@ -1,0 +1,61 @@
+"""Observability subsystem: metrics, cross-layer instrumentation, attribution.
+
+``repro.telemetry`` watches a measured run from the inside and explains
+where its time goes:
+
+* :mod:`~repro.telemetry.metrics` — a process-wide :class:`MetricRegistry`
+  of labeled counters/gauges/histograms keyed on **simulated** time;
+* :mod:`~repro.telemetry.instrument` — a :class:`TelemetryProbe` threaded
+  through the DES kernel, MPI layer, Horovod runtime and trainer via
+  optional, observation-only hooks;
+* :mod:`~repro.telemetry.attribution` — the critical-path engine that
+  decomposes each iteration into compute / input-stall / straggler-skew /
+  exposed-comm / fusion-wait / fault-suspect buckets summing to wall time;
+* :mod:`~repro.telemetry.export` — Prometheus text exposition, JSONL event
+  log, and counter-track merging into the Chrome trace.
+"""
+
+from repro.telemetry.attribution import (
+    BUCKETS,
+    IterationBreakdown,
+    RunAttribution,
+    attribute_measurement,
+    attribute_samples,
+    compare_attributions,
+)
+from repro.telemetry.export import (
+    merge_chrome_trace,
+    parse_prometheus,
+    to_jsonl,
+    to_prometheus,
+)
+from repro.telemetry.instrument import IterationSample, TelemetryProbe
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricRegistry,
+)
+
+__all__ = [
+    "BUCKETS",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "IterationBreakdown",
+    "IterationSample",
+    "MetricFamily",
+    "MetricRegistry",
+    "RunAttribution",
+    "TelemetryProbe",
+    "attribute_measurement",
+    "attribute_samples",
+    "compare_attributions",
+    "merge_chrome_trace",
+    "parse_prometheus",
+    "to_jsonl",
+    "to_prometheus",
+]

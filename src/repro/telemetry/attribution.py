@@ -1,0 +1,258 @@
+"""Critical-path efficiency attribution: where each iteration's time goes.
+
+The paper's headline is a scaling-efficiency number; this module explains
+it.  Every measured iteration is decomposed into buckets that **sum to
+the iteration's wall time exactly** (by construction, not by fitting):
+
+``compute``
+    The marking rank's own busy time: forward + backward + optimizer,
+    including its compute jitter and any fault slowdown.
+``input_stall``
+    Waiting on the input pipeline before the forward pass.
+``straggler_skew``
+    From the marking rank's last gradient emission until the *slowest*
+    rank's last emission — time the synchronous barrier is stretched by
+    peer compute skew, before any communication could finish.
+``exposed_comm``
+    Within the tail window (last emission anywhere → barrier), the time
+    covered by communication work on the coordinator's critical path:
+    negotiation, pack/unpack memcpys, compression, and the allreduce
+    itself (taken from the runtime timeline, clipped to the window).
+``fusion_wait``
+    The remainder of the tail window: the coordinator idling for its next
+    cycle tick while gradients sit in the fusion queue — the
+    ``HOROVOD_CYCLE_TIME`` cost the paper tunes.
+``fault_suspect``
+    The idle-tail fraction that co-occurs with an active failure-detector
+    suspicion (``SUSPECT`` timeline spans): stall attributable to a
+    suspected-missing rank rather than to cycle cadence.
+
+The decomposition uses the *marking rank* (the lowest-numbered alive
+rank, whose optimizer completion defines the trainer's iteration marks),
+so ``wall = start→end`` of that rank's
+:class:`~repro.telemetry.instrument.IterationSample` matches the
+trainer's recorded iteration time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.telemetry.instrument import IterationSample
+
+__all__ = [
+    "BUCKETS",
+    "IterationBreakdown",
+    "RunAttribution",
+    "attribute_measurement",
+    "attribute_samples",
+    "compare_attributions",
+]
+
+#: Attribution buckets, in report order.
+BUCKETS = (
+    "compute",
+    "input_stall",
+    "straggler_skew",
+    "exposed_comm",
+    "fusion_wait",
+    "fault_suspect",
+)
+
+#: Timeline phases that are communication work on the critical path.
+COMM_PHASES = (
+    "NEGOTIATE", "ALLREDUCE", "MEMCPY_IN", "MEMCPY_OUT",
+    "COMPRESS", "DECOMPRESS",
+)
+
+
+def _union_seconds(spans: Iterable[tuple[float, float]],
+                   lo: float, hi: float) -> float:
+    """Total length of the union of ``spans`` clipped to ``[lo, hi]``."""
+    clipped = sorted(
+        (max(s, lo), min(e, hi)) for s, e in spans if e > lo and s < hi
+    )
+    total = 0.0
+    cursor = lo
+    for s, e in clipped:
+        s = max(s, cursor)
+        if e > s:
+            total += e - s
+            cursor = e
+    return total
+
+
+@dataclass(frozen=True)
+class IterationBreakdown:
+    """One iteration's wall time split into the attribution buckets."""
+
+    iteration: int
+    wall_s: float
+    buckets: dict[str, float]
+
+    @property
+    def bucket_sum_s(self) -> float:
+        """Sum over buckets (equals ``wall_s`` up to float rounding)."""
+        return sum(self.buckets.values())
+
+    def share(self, bucket: str) -> float:
+        """Bucket seconds / wall seconds."""
+        return self.buckets[bucket] / self.wall_s if self.wall_s > 0 else 0.0
+
+
+@dataclass
+class RunAttribution:
+    """Steady-state attribution of one measured run."""
+
+    gpus: int
+    label: str
+    breakdowns: list[IterationBreakdown] = field(default_factory=list)
+
+    @property
+    def mean_wall_s(self) -> float:
+        """Mean steady-state iteration wall time."""
+        if not self.breakdowns:
+            raise ValueError("no iterations attributed")
+        return sum(b.wall_s for b in self.breakdowns) / len(self.breakdowns)
+
+    def totals(self) -> dict[str, float]:
+        """Mean seconds per bucket across steady iterations."""
+        n = len(self.breakdowns)
+        if not n:
+            raise ValueError("no iterations attributed")
+        return {
+            bucket: sum(b.buckets[bucket] for b in self.breakdowns) / n
+            for bucket in BUCKETS
+        }
+
+    def shares(self) -> dict[str, float]:
+        """Mean bucket seconds as a fraction of mean wall time."""
+        wall = self.mean_wall_s
+        return {k: v / wall for k, v in self.totals().items()}
+
+    @property
+    def max_sum_error(self) -> float:
+        """Worst relative |bucket sum − wall| across iterations."""
+        return max(
+            abs(b.bucket_sum_s - b.wall_s) / b.wall_s if b.wall_s > 0 else 0.0
+            for b in self.breakdowns
+        )
+
+    def overhead_share(self) -> float:
+        """Exposed-comm + fusion-wait share (the tunable overhead)."""
+        shares = self.shares()
+        return shares["exposed_comm"] + shares["fusion_wait"]
+
+    def table(self) -> str:
+        """Fixed-width per-bucket summary table."""
+        totals = self.totals()
+        shares = self.shares()
+        lines = [
+            f"-- attribution: {self.label} @ {self.gpus} GPUs "
+            f"(wall {self.mean_wall_s * 1e3:.1f} ms/iter) --",
+            f"{'bucket':<16} {'ms/iter':>10} {'share':>8}",
+        ]
+        for bucket in BUCKETS:
+            lines.append(
+                f"{bucket:<16} {totals[bucket] * 1e3:>10.2f} "
+                f"{shares[bucket] * 100:>7.1f}%"
+            )
+        return "\n".join(lines)
+
+
+def attribute_samples(samples: list[IterationSample], timeline,
+                      warmup_iterations: int = 1, gpus: int = 0,
+                      label: str = "") -> RunAttribution:
+    """Decompose per-rank iteration samples against a runtime timeline.
+
+    ``timeline`` is duck-typed: anything with ``spans(phase)`` returning
+    objects with ``start_s``/``end_s`` (the runtime's
+    :class:`~repro.horovod.timeline.Timeline`).
+    """
+    if not samples:
+        raise ValueError("no iteration samples to attribute")
+    comm_spans = [
+        (ev.start_s, ev.end_s)
+        for phase in COMM_PHASES
+        for ev in timeline.spans(phase)
+    ]
+    suspect_spans = [
+        (ev.start_s, ev.end_s) for ev in timeline.spans("SUSPECT")
+    ]
+    by_iteration: dict[int, list[IterationSample]] = {}
+    for s in samples:
+        by_iteration.setdefault(s.iteration, []).append(s)
+
+    breakdowns = []
+    for iteration in sorted(by_iteration):
+        if iteration < warmup_iterations:
+            continue
+        group = by_iteration[iteration]
+        # The marking rank defines the trainer's iteration span.
+        mark = min(group, key=lambda s: s.rank)
+        wall = mark.end_s - mark.start_s
+        emit_max = max(s.last_emit_s for s in group)
+        skew = max(0.0, emit_max - mark.last_emit_s)
+        tail_lo = min(emit_max, mark.barrier_s)
+        tail = mark.barrier_s - tail_lo
+        exposed = min(tail, _union_seconds(comm_spans, tail_lo, mark.barrier_s))
+        idle = max(0.0, tail - exposed)
+        suspect_frac = 0.0
+        if idle > 0 and suspect_spans:
+            overlap = _union_seconds(suspect_spans, tail_lo, mark.barrier_s)
+            suspect_frac = min(1.0, overlap / tail) if tail > 0 else 0.0
+        buckets = {
+            "compute": mark.compute_s,
+            "input_stall": mark.stall_s,
+            "straggler_skew": skew,
+            "exposed_comm": exposed,
+            "fusion_wait": idle * (1.0 - suspect_frac),
+            "fault_suspect": idle * suspect_frac,
+        }
+        breakdowns.append(IterationBreakdown(iteration, wall, buckets))
+    if not breakdowns:
+        raise ValueError(
+            f"all {len(by_iteration)} iterations fell inside the "
+            f"{warmup_iterations}-iteration warmup"
+        )
+    return RunAttribution(gpus=gpus, label=label, breakdowns=breakdowns)
+
+
+def attribute_measurement(measurement) -> RunAttribution:
+    """Attribution of a telemetry-enabled :class:`~repro.core.sweep.Measurement`.
+
+    The measurement must have been produced with ``telemetry=True`` (its
+    ``telemetry`` attribute carries the probe whose iteration samples
+    feed the decomposition).
+    """
+    probe = getattr(measurement, "telemetry", None)
+    if probe is None or not getattr(probe, "iteration_samples", None):
+        raise ValueError(
+            "measurement has no telemetry samples; run measure_training "
+            "with telemetry=True"
+        )
+    return attribute_samples(
+        probe.iteration_samples,
+        measurement.timeline,
+        warmup_iterations=measurement.stats.warmup_iterations,
+        gpus=measurement.gpus,
+        label=measurement.config.label,
+    )
+
+
+def compare_attributions(a: RunAttribution, b: RunAttribution) -> list[dict]:
+    """Per-bucket delta rows between two runs (e.g. default vs tuned)."""
+    ta, sa = a.totals(), a.shares()
+    tb, sb = b.totals(), b.shares()
+    rows = []
+    for bucket in BUCKETS:
+        rows.append({
+            "bucket": bucket,
+            f"{a.label or 'A'} ms": round(ta[bucket] * 1e3, 2),
+            f"{a.label or 'A'} share": f"{sa[bucket] * 100:.1f}%",
+            f"{b.label or 'B'} ms": round(tb[bucket] * 1e3, 2),
+            f"{b.label or 'B'} share": f"{sb[bucket] * 100:.1f}%",
+            "delta ms": round((tb[bucket] - ta[bucket]) * 1e3, 2),
+        })
+    return rows

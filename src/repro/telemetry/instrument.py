@@ -1,0 +1,268 @@
+"""Cross-layer instrumentation: one probe object, hooked into every layer.
+
+A :class:`TelemetryProbe` is the single object a measured run carries
+through the stack.  Each layer exposes a narrow, optional hook (an
+attribute that defaults to ``None`` and costs one ``is None`` check when
+unused):
+
+* ``Environment.monitor`` — the DES kernel calls :meth:`on_schedule` /
+  :meth:`on_step` (event-queue depth, queue-residency latency);
+* ``Comm.probe`` — :meth:`on_allreduce` per collective (algorithm, bytes,
+  participant count, wall seconds);
+* ``HorovodRuntime.probe`` — :meth:`on_cycle`, :meth:`on_negotiation`,
+  :meth:`on_group`, :meth:`on_detect` (outstanding tensors, negotiation
+  latency and cache hits, fusion-buffer occupancy and cycle wait,
+  failure-detector probe time);
+* ``DistributedTrainer.probe`` — :meth:`on_iteration` with the exact
+  simulated instants of each phase boundary (input stall, forward, last
+  gradient emission, allreduce barrier, optimizer), the raw material of
+  the attribution engine (:mod:`repro.telemetry.attribution`).
+
+Everything the probe records is *observation only*: no simulation events
+are created and no ordering changes, so an instrumented run reproduces
+the uninstrumented run's timings bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.telemetry.metrics import MetricRegistry
+
+__all__ = ["IterationSample", "TelemetryProbe"]
+
+#: Sample the tracked event-queue-depth gauge every N kernel steps — the
+#: histogram sees every step; the track stays small enough to merge into
+#: a Chrome trace.
+QUEUE_TRACK_STRIDE = 64
+
+
+@dataclass(frozen=True)
+class IterationSample:
+    """Phase-boundary instants of one rank's iteration (simulated seconds).
+
+    ``start_s <= stall_end_s <= forward_end_s <= last_emit_s <=
+    barrier_s <= end_s`` always holds; differences between consecutive
+    instants are the phase durations (input stall, forward, backward,
+    allreduce wait, optimizer).
+    """
+
+    rank: int
+    iteration: int
+    start_s: float
+    stall_end_s: float
+    forward_end_s: float
+    last_emit_s: float
+    barrier_s: float
+    end_s: float
+
+    @property
+    def forward_s(self) -> float:
+        """Forward-pass duration."""
+        return self.forward_end_s - self.stall_end_s
+
+    @property
+    def backward_s(self) -> float:
+        """Backward pass: forward end to last gradient emission."""
+        return self.last_emit_s - self.forward_end_s
+
+    @property
+    def wait_s(self) -> float:
+        """Exposed allreduce wait: last emission to the sync barrier."""
+        return self.barrier_s - self.last_emit_s
+
+    @property
+    def optimizer_s(self) -> float:
+        """Optimizer-update duration."""
+        return self.end_s - self.barrier_s
+
+    @property
+    def stall_s(self) -> float:
+        """Input-pipeline stall before the iteration's forward pass."""
+        return self.stall_end_s - self.start_s
+
+    @property
+    def compute_s(self) -> float:
+        """Total busy compute (forward + backward + optimizer)."""
+        return self.forward_s + self.backward_s + self.optimizer_s
+
+
+class TelemetryProbe:
+    """Metric registry plus the hook methods every layer calls into."""
+
+    def __init__(self, registry: MetricRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricRegistry()
+        #: Per-rank, per-iteration phase instants (attribution input).
+        self.iteration_samples: list[IterationSample] = []
+        self._fabric = None
+        self._comm = None
+        self._runtime = None
+        self._steps = 0
+        r = self.registry
+        # -- sim kernel ---------------------------------------------------
+        self._events_total = r.counter(
+            "sim_events_processed_total", "DES events popped and dispatched")
+        self._queue_depth = r.histogram(
+            "sim_event_queue_depth", "event-queue depth observed at each step",
+            buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, float("inf")))
+        self._queue_track = r.gauge(
+            "sim_event_queue_depth_now", "event-queue depth (sampled track)",
+            track=True)
+        self._schedule_delay = r.histogram(
+            "sim_schedule_delay_seconds",
+            "queue residency: delay between scheduling and dispatch")
+        # -- MPI ----------------------------------------------------------
+        self._allreduce_ops = r.counter(
+            "mpi_allreduce_total", "collective invocations",
+            labelnames=("algorithm",))
+        self._allreduce_seconds = r.counter(
+            "mpi_allreduce_seconds_total", "wall seconds inside collectives",
+            labelnames=("algorithm",))
+        self._allreduce_bytes = r.counter(
+            "mpi_allreduce_bytes_total", "payload bytes per collective",
+            labelnames=("algorithm",))
+        self._messages_total = r.counter(
+            "mpi_messages_total", "point-to-point messages (control + data)")
+        # -- Horovod runtime ----------------------------------------------
+        self._cycles = r.counter(
+            "hvd_cycles_total", "coordinator ticks")
+        self._outstanding = r.gauge(
+            "hvd_outstanding_tensors", "tensors awaiting negotiation",
+            track=True)
+        self._negotiations = r.counter(
+            "hvd_negotiations_total", "negotiation rounds",
+            labelnames=("cached",))
+        self._negotiation_latency = r.histogram(
+            "hvd_negotiation_seconds", "per-round negotiation latency")
+        self._fusion_occupancy = r.histogram(
+            "hvd_fusion_occupancy_ratio",
+            "fused-group bytes / fusion threshold",
+            buckets=(0.1, 0.25, 0.5, 0.75, 0.9, 1.0, float("inf")))
+        self._fusion_tensors = r.histogram(
+            "hvd_fusion_tensors_per_group", "tensors packed per fused op",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, float("inf")))
+        self._fusion_wait = r.histogram(
+            "hvd_fusion_queue_wait_seconds",
+            "ready-to-execution wait (cycle wait + serialization)")
+        self._detector_seconds = r.counter(
+            "hvd_detector_seconds_total", "failure-detector probe time")
+        self._cache_hit_ratio = r.gauge(
+            "hvd_cache_hit_ratio", "response-cache hits / negotiations")
+        # -- trainer ------------------------------------------------------
+        self._phase_seconds = r.counter(
+            "train_phase_seconds_total", "per-phase busy/wait seconds",
+            labelnames=("phase",))
+        self._iterations = r.counter(
+            "train_iterations_total", "rank-iterations completed")
+        # -- links (pulled at finalize) -----------------------------------
+        self._link_bytes = r.counter(
+            "link_bytes_total", "bytes carried per link type",
+            labelnames=("type",))
+        self._link_busy = r.counter(
+            "link_busy_seconds_total", "busy seconds per link type",
+            labelnames=("type",))
+        self._link_utilization = r.gauge(
+            "link_mean_utilization", "mean utilization per link type",
+            labelnames=("type",))
+        self._link_queue = r.gauge(
+            "link_contention_queued", "transfers queued on busy links",
+            track=True)
+
+    # -- wiring ------------------------------------------------------------
+    def attach(self, env: Any = None, comm: Any = None, runtime: Any = None,
+               trainer: Any = None, fabric: Any = None) -> "TelemetryProbe":
+        """Install this probe on the given layer objects (any subset)."""
+        if env is not None:
+            self.registry.bind_clock(lambda: env.now)
+            env.monitor = self
+        if comm is not None:
+            comm.probe = self
+            self._comm = comm
+        if runtime is not None:
+            runtime.probe = self
+            self._runtime = runtime
+        if trainer is not None:
+            trainer.probe = self
+        if fabric is not None:
+            self._fabric = fabric
+        return self
+
+    def finalize(self) -> None:
+        """Pull run-level aggregates (links, message counts, cache ratio)."""
+        if self._fabric is not None:
+            for name, entry in self._fabric.utilization_report().items():
+                self._link_bytes.labels(type=name).inc(entry["bytes"])
+                self._link_busy.labels(type=name).inc(entry["busy_s"])
+                self._link_utilization.labels(type=name).set(
+                    entry["mean_utilization"])
+        if self._comm is not None:
+            self._messages_total.inc(self._comm.messages_sent)
+        if self._runtime is not None:
+            stats = self._runtime.stats
+            if stats.negotiations:
+                self._cache_hit_ratio.set(stats.cache_hits / stats.negotiations)
+
+    # -- sim kernel hooks --------------------------------------------------
+    def on_schedule(self, env: Any, event: Any, delay: float) -> None:
+        """An event was pushed to fire ``delay`` seconds from now."""
+        self._schedule_delay.observe(delay)
+
+    def on_step(self, env: Any, event: Any, depth: int) -> None:
+        """One event was popped and its callbacks ran."""
+        self._events_total.inc()
+        self._queue_depth.observe(depth)
+        self._steps += 1
+        if self._steps % QUEUE_TRACK_STRIDE == 0:
+            self._queue_track.set(depth)
+
+    # -- MPI hooks ---------------------------------------------------------
+    def on_allreduce(self, algorithm: str, nbytes: int, ranks: int,
+                     seconds: float) -> None:
+        """One collective completed."""
+        self._allreduce_ops.labels(algorithm=algorithm).inc()
+        self._allreduce_seconds.labels(algorithm=algorithm).inc(seconds)
+        self._allreduce_bytes.labels(algorithm=algorithm).inc(nbytes)
+
+    # -- Horovod runtime hooks ----------------------------------------------
+    def on_cycle(self, outstanding: int, ready: int) -> None:
+        """One coordinator tick; sample queue state."""
+        self._cycles.inc()
+        self._outstanding.set(outstanding)
+        if self._fabric is not None:
+            queued = sum(
+                link.resource.queue_len
+                for link in self._fabric.topology.links()
+                if link.resource.queue_len
+            )
+            self._link_queue.set(queued)
+
+    def on_negotiation(self, seconds: float, cached: bool,
+                       tensors: int) -> None:
+        """One negotiation round finished."""
+        self._negotiations.labels(cached="yes" if cached else "no").inc()
+        self._negotiation_latency.observe(seconds)
+
+    def on_group(self, nbytes: int, tensors: int, ranks: int,
+                 threshold_bytes: int, queue_wait_s: float) -> None:
+        """One fused allreduce group executed."""
+        if threshold_bytes > 0:
+            self._fusion_occupancy.observe(nbytes / threshold_bytes)
+        self._fusion_tensors.observe(tensors)
+        self._fusion_wait.observe(queue_wait_s)
+
+    def on_detect(self, seconds: float) -> None:
+        """The failure detector spent ``seconds`` re-probing a suspect."""
+        self._detector_seconds.inc(seconds)
+
+    # -- trainer hooks -------------------------------------------------------
+    def on_iteration(self, sample: IterationSample) -> None:
+        """One rank finished one iteration; record phases + keep the sample."""
+        self.iteration_samples.append(sample)
+        self._iterations.inc()
+        phases = self._phase_seconds
+        phases.labels(phase="input_stall").inc(sample.stall_s)
+        phases.labels(phase="forward").inc(sample.forward_s)
+        phases.labels(phase="backward").inc(sample.backward_s)
+        phases.labels(phase="allreduce_wait").inc(sample.wait_s)
+        phases.labels(phase="optimizer").inc(sample.optimizer_s)

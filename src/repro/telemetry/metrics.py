@@ -1,0 +1,277 @@
+"""Process-wide metric registry: labeled counters, gauges, histograms.
+
+The observability layer's data model follows the Prometheus client
+conventions — a :class:`MetricRegistry` owns metric *families* (one per
+name), each family owns *children* (one per label combination), and a
+child carries the actual value.  Two deliberate differences:
+
+* samples are keyed on **simulated time**: the registry holds a ``clock``
+  callable (normally ``lambda: env.now``) and every update stamps the
+  child with the simulation instant, so exported samples line up with the
+  Chrome trace rather than with host wall time;
+* a family created with ``track=True`` additionally appends every update
+  to a ``(t, value)`` series — the "counter track" the trace exporter
+  merges into ``chrome://tracing`` counter rows.
+
+Updates are a couple of attribute writes, cheap enough to leave always-on;
+with ``registry.enabled = False`` every update short-circuits to a no-op
+so instrumented code needs no conditional of its own.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram buckets, in seconds (the dominant unit here):
+#: microseconds through tens of seconds, plus the implicit +Inf.
+DEFAULT_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, float("inf")
+)
+
+_VALID_KINDS = ("counter", "gauge", "histogram")
+
+
+class Counter:
+    """A monotonically increasing value (events, bytes, operations)."""
+
+    __slots__ = ("family", "labels", "value", "last_t", "track")
+
+    def __init__(self, family: "MetricFamily", labels: tuple[str, ...]) -> None:
+        self.family = family
+        self.labels = labels
+        self.value = 0.0
+        self.last_t = family.registry.clock()
+        self.track: list[tuple[float, float]] | None = (
+            [] if family.tracked else None
+        )
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) at the current simulated time."""
+        registry = self.family.registry
+        if not registry.enabled:
+            return
+        if amount < 0:
+            raise ValueError(f"counter {self.family.name!r} cannot decrease")
+        self.value += amount
+        self.last_t = registry.clock()
+        if self.track is not None:
+            self.track.append((self.last_t, self.value))
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, occupancy)."""
+
+    __slots__ = ("family", "labels", "value", "last_t", "track")
+
+    def __init__(self, family: "MetricFamily", labels: tuple[str, ...]) -> None:
+        self.family = family
+        self.labels = labels
+        self.value = 0.0
+        self.last_t = family.registry.clock()
+        self.track: list[tuple[float, float]] | None = (
+            [] if family.tracked else None
+        )
+
+    def set(self, value: float) -> None:
+        """Set the gauge at the current simulated time."""
+        registry = self.family.registry
+        if not registry.enabled:
+            return
+        self.value = float(value)
+        self.last_t = registry.clock()
+        if self.track is not None:
+            self.track.append((self.last_t, self.value))
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative)."""
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount``."""
+        self.set(self.value - amount)
+
+
+class Histogram:
+    """A distribution with cumulative buckets plus sum and count."""
+
+    __slots__ = ("family", "labels", "bucket_counts", "sum", "count", "last_t")
+
+    def __init__(self, family: "MetricFamily", labels: tuple[str, ...]) -> None:
+        self.family = family
+        self.labels = labels
+        self.bucket_counts = [0] * len(family.buckets)
+        self.sum = 0.0
+        self.count = 0
+        self.last_t = family.registry.clock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation at the current simulated time."""
+        registry = self.family.registry
+        if not registry.enabled:
+            return
+        for i, bound in enumerate(self.family.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+        self.sum += value
+        self.count += 1
+        self.last_t = registry.clock()
+
+    def cumulative(self) -> list[int]:
+        """Per-bucket counts as already-cumulative values (they are)."""
+        return list(self.bucket_counts)
+
+
+_CHILD_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """All children of one metric name (one per label combination)."""
+
+    def __init__(self, registry: "MetricRegistry", kind: str, name: str,
+                 help: str, labelnames: tuple[str, ...],
+                 buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+                 track: bool = False) -> None:
+        if kind not in _VALID_KINDS:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        if kind == "histogram" and track:
+            raise ValueError("histograms do not support track=True")
+        self.registry = registry
+        self.kind = kind
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self.tracked = track
+        if kind == "histogram":
+            bounds = tuple(sorted(set(buckets)))
+            if not bounds or bounds[-1] != float("inf"):
+                bounds = bounds + (float("inf"),)
+            self.buckets: tuple[float, ...] = bounds
+        else:
+            self.buckets = ()
+        self._children: dict[tuple[str, ...], Counter | Gauge | Histogram] = {}
+
+    def labels(self, **labelvalues: str) -> "Counter | Gauge | Histogram":
+        """The child for one label combination (created on first use)."""
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} expects labels {self.labelnames}, "
+                f"got {tuple(labelvalues)}"
+            )
+        key = tuple(str(labelvalues[ln]) for ln in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            child = _CHILD_TYPES[self.kind](self, key)
+            self._children[key] = child
+        return child
+
+    @property
+    def default(self) -> "Counter | Gauge | Histogram":
+        """The unlabeled child (only valid for label-less families)."""
+        if self.labelnames:
+            raise ValueError(f"metric {self.name!r} requires labels")
+        return self.labels()
+
+    # Label-less convenience delegation: family.inc() etc.
+    def inc(self, amount: float = 1.0) -> None:
+        """Delegate to the unlabeled child (counter/gauge families)."""
+        self.default.inc(amount)
+
+    def set(self, value: float) -> None:
+        """Delegate to the unlabeled child (gauge families)."""
+        self.default.set(value)
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Delegate to the unlabeled child (gauge families)."""
+        self.default.dec(amount)
+
+    def observe(self, value: float) -> None:
+        """Delegate to the unlabeled child (histogram families)."""
+        self.default.observe(value)
+
+    def children(self) -> Iterable["Counter | Gauge | Histogram"]:
+        """All children in creation order."""
+        return self._children.values()
+
+    def child_items(self):
+        """``(label_values, child)`` pairs in creation order."""
+        return self._children.items()
+
+
+class MetricRegistry:
+    """Owns every metric family of one measured run (or process).
+
+    ``clock`` supplies the simulated time used to stamp samples; attach
+    it to an environment with :meth:`bind_clock` once the run's
+    :class:`~repro.sim.Environment` exists.
+    """
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self._clock: Callable[[], float] = clock if clock is not None else (lambda: 0.0)
+        self._families: dict[str, MetricFamily] = {}
+        #: Master switch: False turns every metric update into a no-op.
+        self.enabled = True
+
+    def clock(self) -> float:
+        """Current sample timestamp (simulated seconds)."""
+        return self._clock()
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Point the registry at a run's simulated clock."""
+        self._clock = clock
+
+    def _family(self, kind: str, name: str, help: str,
+                labelnames: tuple[str, ...], **kwargs) -> MetricFamily:
+        family = self._families.get(name)
+        if family is not None:
+            if family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind}"
+                )
+            if family.labelnames != tuple(labelnames):
+                raise ValueError(
+                    f"metric {name!r} already registered with labels "
+                    f"{family.labelnames}"
+                )
+            return family
+        family = MetricFamily(self, kind, name, help, tuple(labelnames), **kwargs)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help: str = "",
+                labelnames: tuple[str, ...] = (),
+                track: bool = False) -> MetricFamily:
+        """Register (or fetch) a counter family."""
+        return self._family("counter", name, help, labelnames, track=track)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: tuple[str, ...] = (),
+              track: bool = False) -> MetricFamily:
+        """Register (or fetch) a gauge family."""
+        return self._family("gauge", name, help, labelnames, track=track)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: tuple[str, ...] = (),
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> MetricFamily:
+        """Register (or fetch) a histogram family."""
+        return self._family("histogram", name, help, labelnames,
+                            buckets=buckets)
+
+    def collect(self) -> Iterable[MetricFamily]:
+        """All families in registration order."""
+        return self._families.values()
+
+    def get(self, name: str) -> MetricFamily | None:
+        """The family registered under ``name``, if any."""
+        return self._families.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families

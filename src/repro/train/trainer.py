@@ -77,7 +77,8 @@ class DistributedTrainer:
     """
 
     def __init__(self, runtime: HorovodRuntime, profile: IterationProfile,
-                 job: TrainJob, faults: Any | None = None) -> None:
+                 job: TrainJob, faults: Any | None = None,
+                 probe: Any | None = None) -> None:
         if profile.batch_size != job.per_gpu_batch:
             raise ValueError(
                 f"profile computed at batch {profile.batch_size}, "
@@ -88,6 +89,9 @@ class DistributedTrainer:
         self.profile = profile
         self.job = job
         self.faults = faults
+        #: Optional telemetry hook (``on_iteration(IterationSample)``) —
+        #: see :class:`repro.telemetry.TelemetryProbe`.
+        self.probe = probe
         self._iteration_marks: dict[int, float] = {}
         self._input_stall = 0.0
         self._alive: set[int] = set(range(runtime.size))
@@ -220,17 +224,20 @@ class DistributedTrainer:
     def _one_iteration(self, rank: int, iteration: int, jitter_gen, clock):
         job = self.job
         profile = self.profile
+        start_s = self.env.now
         if clock is not None:
             stall = clock.wait(self.env.now)
             if stall > 0:
                 yield self.env.timeout(stall)
                 self._input_stall += stall
+        stall_end_s = self.env.now
         jitter = (
             float(jitter_gen.lognormal(0.0, job.jitter_std))
             if job.jitter_std > 0
             else 1.0
         )
         yield self.env.timeout(profile.forward_s * jitter * self._fault_mult(rank))
+        forward_end_s = self.env.now
         # Backward: submit each tensor at its (jittered) emission time.
         events = []
         previous = 0.0
@@ -242,7 +249,9 @@ class DistributedTrainer:
             events.append(
                 self.runtime.submit(rank, tensor.name, VirtualBuffer(tensor.nbytes))
             )
+        last_emit_s = self.env.now
         yield self.env.all_of(events)
+        barrier_s = self.env.now
         # All barrier participants pass here at the same instant, before
         # any optimizer time elapses — a race-free shared iteration count.
         if iteration + 1 > self._next_barrier:
@@ -253,3 +262,16 @@ class DistributedTrainer:
         self.completed_iterations[rank] = self.completed_iterations.get(rank, 0) + 1
         if self._alive and rank == min(self._alive):
             self._iteration_marks.setdefault(iteration, self.env.now)
+        if self.probe is not None:
+            from repro.telemetry.instrument import IterationSample
+
+            self.probe.on_iteration(IterationSample(
+                rank=rank,
+                iteration=iteration,
+                start_s=start_s,
+                stall_end_s=stall_end_s,
+                forward_end_s=forward_end_s,
+                last_emit_s=last_emit_s,
+                barrier_s=barrier_s,
+                end_s=self.env.now,
+            ))

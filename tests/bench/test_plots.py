@@ -76,3 +76,83 @@ def test_never_crashes_and_size_stable(xs, width, height):
     assert len(lines) == height + 3
     # Every grid row is exactly the same width.
     assert len({len(l) for l in lines[:height]}) == 1
+
+
+# -- chart_result ----------------------------------------------------------
+
+def _result(rows):
+    from repro.bench import ExperimentResult
+
+    return ExperimentResult(experiment="ET", title="test", rows=rows)
+
+
+def test_chart_result_grouped_series(tmp_path):
+    res = _result([
+        {"gpus": 6, "config": "default", "efficiency": "95.7%"},
+        {"gpus": 6, "config": "tuned", "efficiency": "96.0%"},
+        {"gpus": 24, "config": "default", "efficiency": "93.2%"},
+        {"gpus": 24, "config": "tuned", "efficiency": "93.3%"},
+    ])
+    from repro.bench import chart_result
+
+    out = chart_result(res, x="gpus", y="efficiency", group="config",
+                       width=32, height=6)
+    assert "o=default" in out and "x=tuned" in out
+    assert "x: gpus" in out and "y: efficiency" in out
+    # Smoke-render to a temp file, as the CLI/report flow would.
+    target = tmp_path / "chart.txt"
+    target.write_text(out)
+    assert target.stat().st_size > 0
+
+
+def test_chart_result_single_series_and_comma_numbers(tmp_path):
+    from repro.bench import chart_result
+
+    res = _result([
+        {"gpus": 1, "img/s": "1,244"},
+        {"gpus": 6, "img/s": "7,100"},
+    ])
+    out = chart_result(res, x="gpus", y="img/s", width=24, height=4)
+    target = tmp_path / "chart.txt"
+    target.write_text(out)
+    assert target.stat().st_size > 0
+    assert "o=img/s" in out
+
+
+def test_chart_result_validation():
+    from repro.bench import chart_result
+
+    with pytest.raises(ValueError):
+        chart_result(_result([]), x="gpus", y="eff")
+    with pytest.raises(ValueError):
+        chart_result(_result([{"gpus": 1}]), x="gpus", y="missing")
+    # Ragged groups (a series not covering every x) are rejected.
+    with pytest.raises(ValueError):
+        chart_result(_result([
+            {"gpus": 1, "cfg": "a", "v": 1},
+            {"gpus": 2, "cfg": "a", "v": 2},
+            {"gpus": 1, "cfg": "b", "v": 3},
+        ]), x="gpus", y="v", group="cfg")
+
+
+def test_chart_result_renders_saved_experiment_shapes(tmp_path):
+    """Smoke-render the figure-shaped experiment layouts end to end."""
+    from repro.bench import chart_result
+
+    shaped = {
+        "e6-scaling": _result([
+            {"gpus": g, "config": c, "img/s": g * (50 if c == "tuned" else 40)}
+            for g in (1, 6, 24) for c in ("default", "tuned")
+        ]),
+        "e4-fusion": _result([
+            {"threshold (MiB)": t, "iter (ms)": 1300 - 10 * t}
+            for t in (1, 8, 64, 128)
+        ]),
+    }
+    for name, res in shaped.items():
+        x, y = list(res.rows[0])[0], list(res.rows[0])[-1]
+        group = "config" if "config" in res.rows[0] else None
+        out = chart_result(res, x=x, y=y, group=group, log_x=(name == "e4-fusion"))
+        target = tmp_path / f"{name}.txt"
+        target.write_text(out)
+        assert target.stat().st_size > 0

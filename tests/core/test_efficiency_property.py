@@ -1,0 +1,94 @@
+"""Property tests for the scaling-efficiency invariants.
+
+The metrics in :mod:`repro.core.efficiency` encode the paper's headline
+arithmetic.  These invariants must hold for *any* curve, not just the
+measured ones:
+
+* efficiency is speedup over the ideal-linear baseline: for a curve
+  whose base point is one GPU at the single-GPU rate,
+  ``speedup(g) / g == efficiency(g)``;
+* the base point of such a curve has efficiency exactly 1.0;
+* a curve whose per-GPU throughput never exceeds the single-GPU rate
+  never exceeds ideal linear scaling (efficiency <= 1, speedup <= g).
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.efficiency import ScalingCurve, ScalingPoint
+
+#: A synthetic curve: single-GPU rate, then (gpus, efficiency) points.
+curves = st.tuples(
+    st.floats(0.1, 1e4),
+    st.lists(
+        st.tuples(st.integers(2, 4096), st.floats(0.01, 1.0)),
+        min_size=1, max_size=8,
+        unique_by=lambda p: p[0],
+    ),
+)
+
+
+def _build(single_ips: float, points: list[tuple[int, float]]) -> ScalingCurve:
+    curve = ScalingCurve("synthetic")
+    curve.add(ScalingPoint(
+        gpus=1, images_per_second=single_ips, efficiency=1.0,
+        mean_iteration_seconds=1.0 / single_ips,
+    ))
+    for gpus, eff in sorted(points):
+        ips = gpus * single_ips * eff
+        curve.add(ScalingPoint(
+            gpus=gpus, images_per_second=ips, efficiency=eff,
+            mean_iteration_seconds=1.0 / ips,
+        ))
+    return curve
+
+
+@given(curves)
+def test_efficiency_equals_speedup_over_gpus(params):
+    single_ips, points = params
+    curve = _build(single_ips, points)
+    for p in curve.points:
+        assert curve.speedup(p.gpus) / p.gpus == pytest.approx(p.efficiency)
+
+
+@given(curves)
+def test_base_point_efficiency_is_one(params):
+    single_ips, points = params
+    curve = _build(single_ips, points)
+    base = curve.points[0]
+    assert base.efficiency == 1.0
+    assert curve.speedup(base.gpus) == pytest.approx(base.gpus)
+
+
+@given(curves)
+def test_never_exceeds_ideal_linear(params):
+    single_ips, points = params
+    curve = _build(single_ips, points)
+    for p in curve.points:
+        # Per-GPU throughput never above the single-GPU rate...
+        assert p.images_per_second <= p.gpus * single_ips * (1 + 1e-9)
+        # ...so speedup never exceeds the GPU count.
+        assert curve.speedup(p.gpus) <= p.gpus * (1 + 1e-9)
+
+
+@given(curves)
+def test_monotone_gpu_order_enforced(params):
+    single_ips, points = params
+    curve = _build(single_ips, points)
+    with pytest.raises(ValueError):
+        curve.add(ScalingPoint(
+            gpus=curve.points[-1].gpus,  # not strictly increasing
+            images_per_second=1.0, efficiency=0.5,
+            mean_iteration_seconds=1.0,
+        ))
+
+
+def test_measurement_efficiency_definition():
+    """Measurement.scaling_efficiency is throughput over ideal linear."""
+    from repro.core import measure_training, paper_tuned_config
+
+    m = measure_training(2, paper_tuned_config(), iterations=2)
+    ideal = m.gpus * m.single_gpu_images_per_second
+    assert m.scaling_efficiency == pytest.approx(m.images_per_second / ideal)
+    assert 0 < m.scaling_efficiency <= 1.0

@@ -1,0 +1,140 @@
+"""Tests for the metric registry, families and child semantics."""
+
+import pytest
+
+from repro.telemetry import MetricRegistry
+from repro.telemetry.metrics import DEFAULT_BUCKETS
+
+
+def test_counter_inc_and_default_child():
+    r = MetricRegistry()
+    c = r.counter("ops_total", "operations")
+    c.inc()
+    c.inc(2.5)
+    assert c.default.value == 3.5
+
+
+def test_counter_rejects_decrease():
+    r = MetricRegistry()
+    c = r.counter("ops_total")
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_set_inc_dec():
+    r = MetricRegistry()
+    g = r.gauge("depth")
+    g.set(7)
+    g.inc(3)
+    g.dec(5)
+    assert g.default.value == 5.0
+
+
+def test_histogram_cumulative_buckets_sum_count():
+    r = MetricRegistry()
+    h = r.histogram("lat_seconds", buckets=(0.001, 0.01, 0.1))
+    for v in (0.0005, 0.005, 0.05, 0.5):
+        h.observe(v)
+    child = h.default
+    # Bounds are sorted with +Inf appended; counts are cumulative.
+    assert h.buckets == (0.001, 0.01, 0.1, float("inf"))
+    assert child.cumulative() == [1, 2, 3, 4]
+    assert child.count == 4
+    assert child.sum == pytest.approx(0.5555)
+
+
+def test_labeled_children_are_distinct():
+    r = MetricRegistry()
+    c = r.counter("bytes_total", labelnames=("algorithm",))
+    c.labels(algorithm="ring").inc(10)
+    c.labels(algorithm="tree").inc(1)
+    c.labels(algorithm="ring").inc(5)
+    assert c.labels(algorithm="ring").value == 15
+    assert c.labels(algorithm="tree").value == 1
+
+
+def test_label_mismatch_raises():
+    r = MetricRegistry()
+    c = r.counter("bytes_total", labelnames=("algorithm",))
+    with pytest.raises(ValueError):
+        c.labels(wrong="x")
+    with pytest.raises(ValueError):
+        c.default.inc()  # labeled family has no unlabeled child
+
+
+def test_reregistration_same_shape_returns_same_family():
+    r = MetricRegistry()
+    a = r.counter("x_total", labelnames=("k",))
+    b = r.counter("x_total", labelnames=("k",))
+    assert a is b
+
+
+def test_reregistration_conflicts_raise():
+    r = MetricRegistry()
+    r.counter("x_total")
+    with pytest.raises(ValueError):
+        r.gauge("x_total")
+    with pytest.raises(ValueError):
+        r.counter("x_total", labelnames=("k",))
+
+
+def test_histogram_track_unsupported():
+    from repro.telemetry.metrics import MetricFamily
+
+    r = MetricRegistry()
+    with pytest.raises(ValueError):
+        MetricFamily(r, "histogram", "h", "", (), track=True)
+    with pytest.raises(ValueError):
+        MetricFamily(r, "summary", "s", "", ())
+
+
+def test_disabled_registry_is_a_noop():
+    r = MetricRegistry()
+    c = r.counter("ops_total")
+    g = r.gauge("depth")
+    h = r.histogram("lat")
+    r.enabled = False
+    c.inc()
+    g.set(9)
+    h.observe(1.0)
+    assert c.default.value == 0.0
+    assert g.default.value == 0.0
+    assert h.default.count == 0
+
+
+def test_clock_stamps_samples_with_simulated_time():
+    now = {"t": 0.0}
+    r = MetricRegistry(clock=lambda: now["t"])
+    c = r.counter("ops_total")
+    now["t"] = 4.5
+    c.inc()
+    assert c.default.last_t == 4.5
+    now["t"] = 9.0
+    r.bind_clock(lambda: now["t"] * 2)
+    c.inc()
+    assert c.default.last_t == 18.0
+
+
+def test_tracked_series_records_every_update():
+    now = {"t": 0.0}
+    r = MetricRegistry(clock=lambda: now["t"])
+    g = r.gauge("depth", track=True)
+    for t, v in ((1.0, 3), (2.0, 5), (3.0, 2)):
+        now["t"] = t
+        g.set(v)
+    assert g.default.track == [(1.0, 3.0), (2.0, 5.0), (3.0, 2.0)]
+
+
+def test_registry_collect_and_lookup():
+    r = MetricRegistry()
+    r.counter("a_total")
+    r.gauge("b")
+    assert [f.name for f in r.collect()] == ["a_total", "b"]
+    assert "a_total" in r
+    assert r.get("b").kind == "gauge"
+    assert r.get("missing") is None
+
+
+def test_default_buckets_end_with_inf():
+    assert DEFAULT_BUCKETS[-1] == float("inf")
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)

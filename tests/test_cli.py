@@ -46,3 +46,57 @@ def test_every_registered_experiment_has_quick_kwargs():
         assert callable(driver), exp_id
         assert isinstance(full, dict) and isinstance(quick, dict)
         assert desc
+
+
+def test_version_flag(capsys):
+    from repro.__main__ import package_version
+
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+    out = capsys.readouterr().out
+    assert package_version() in out
+
+
+def test_package_version_matches_source():
+    import repro
+    from repro.__main__ import package_version
+
+    assert package_version() == repro.__version__
+
+
+def test_measure_json_includes_attribution(capsys):
+    assert main(["measure", "--gpus", "2", "--iterations", "2", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["gpus"] == 2
+    assert payload["images_per_second"] > 0
+    att = payload["attribution"]
+    assert att["max_sum_error"] < 0.02
+    assert set(att["shares"]) == {
+        "compute", "input_stall", "straggler_skew",
+        "exposed_comm", "fusion_wait", "fault_suspect",
+    }
+    assert sum(att["shares"].values()) == pytest.approx(1.0)
+
+
+def test_telemetry_command_prints_and_exports(tmp_path, capsys):
+    out_dir = tmp_path / "export"
+    assert main(["telemetry", "--gpus", "2", "--iterations", "2",
+                 "--export", str(out_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "attribution" in out and "fusion_wait" in out
+    prom = (out_dir / "metrics.prom").read_text()
+    assert "# TYPE train_iterations_total counter" in prom
+    assert (out_dir / "telemetry.jsonl").stat().st_size > 0
+    trace = json.loads((out_dir / "trace.json").read_text())
+    assert trace["traceEvents"]
+
+
+def test_run_quick_e14(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    assert main(["run", "E14", "--quick"]) == 0
+    saved = json.loads((tmp_path / "bench_results" / "e14.json").read_text())
+    assert saved["experiment"] == "E14"
+    assert saved["measured"]["max_bucket_sum_error"] < 0.02
+    # Tuned strictly beats default on tunable overhead at >= 24 GPUs.
+    assert saved["measured"]["overhead_delta_24"] > 0

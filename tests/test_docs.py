@@ -25,7 +25,8 @@ def test_core_docs_exist():
 def test_readme_mentions_all_packages(readme):
     for pkg in ("repro.sim", "repro.cluster", "repro.mpi", "repro.horovod",
                 "repro.models", "repro.train", "repro.npnn", "repro.core",
-                "repro.bench", "repro.data"):
+                "repro.bench", "repro.data", "repro.faults",
+                "repro.telemetry"):
         assert pkg in readme, pkg
 
 
@@ -44,9 +45,10 @@ def test_design_experiment_ids_have_drivers(design):
     from repro.bench import experiments
 
     for exp_id in ("E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
-                   "E10", "E11", "E12", "E13"):
+                   "E10", "E11", "E12", "E13", "E14"):
         assert f"| {exp_id} |" in design, exp_id
-    for fn in ("e1_single_gpu_throughput", "e13_degraded_rail"):
+    for fn in ("e1_single_gpu_throughput", "e13_degraded_rail",
+               "e14_efficiency_attribution"):
         assert hasattr(experiments, fn)
 
 
