@@ -14,6 +14,7 @@ Add ``-s`` to see the tables inline; they are also saved as JSON.
 import pytest
 
 from repro.bench import save_result
+from repro.bench.registry import get
 
 
 @pytest.fixture
@@ -28,5 +29,16 @@ def run_experiment(benchmark):
         print(result.table())
         save_result(result)
         return result
+
+    return _run
+
+
+@pytest.fixture
+def run_spec(run_experiment):
+    """Run a registry experiment by id (full-scale kwargs + overrides)."""
+
+    def _run(exp_id, **overrides):
+        spec = get(exp_id)
+        return run_experiment(spec.fn, **{**spec.kwargs(), **overrides})
 
     return _run

@@ -14,4 +14,15 @@ Start at :mod:`repro.core` (``measure_training``, ``StagedTuner``) or run
 
 __version__ = "1.0.0"
 
-__all__ = ["__version__"]
+
+def package_version() -> str:
+    """Installed package version, falling back to the source tree's."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        return __version__
+
+
+__all__ = ["__version__", "package_version"]

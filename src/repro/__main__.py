@@ -5,9 +5,13 @@ Usage::
     python -m repro list                  # show the experiment index
     python -m repro run E1 E2 E7          # run selected experiments
     python -m repro run E6 --quick        # scaled-down, faster variants
+    python -m repro run all --parallel    # fan sweeps across worker processes
+    python -m repro cache stats           # inspect the result cache
     python -m repro measure --gpus 48 --config tuned
 
-Results are printed as tables and saved under ``bench_results/``.
+Results are printed as tables and saved under ``bench_results/``;
+``run --parallel`` executes sweep-shaped experiments through
+:mod:`repro.runner` (process pool + content-addressed result cache).
 """
 
 from __future__ import annotations
@@ -16,98 +20,104 @@ import argparse
 import sys
 import time
 
-from repro.bench import experiments as E
 from repro.bench.harness import save_result
+from repro.bench.registry import REGISTRY, legacy_table
 from repro.core import (
     measure_training,
     paper_default_config,
     paper_tuned_config,
 )
 
-#: Experiment registry: id -> (description, full-scale kwargs, quick kwargs).
-EXPERIMENTS = {
-    "E1": ("single-GPU throughput (DLv3+ vs ResNet-50)",
-           E.e1_single_gpu_throughput, {}, {"iterations": 2}),
-    "E2": ("DLv3+ gradient tensor size distribution",
-           E.e2_tensor_distribution, {}, {}),
-    "E3": ("OSU allreduce latency per MPI library",
-           E.e3_osu_allreduce, {"gpus": 24}, {"gpus": 12, "iterations": 2}),
-    "E4": ("fusion-threshold sweep",
-           E.e4_fusion_sweep, {"gpus": 132, "iterations": 2},
-           {"gpus": 24, "iterations": 2}),
-    "E5": ("cycle-time sweep",
-           E.e5_cycle_sweep, {"gpus": 132, "iterations": 2},
-           {"gpus": 24, "iterations": 2}),
-    "E6": ("headline scaling comparison (default vs tuned)",
-           E.e6_scaling_comparison, {},
-           {"gpu_counts": (1, 6, 24), "iterations": 2}),
-    "E7": ("final mIOU (convergence model)", E.e7_miou, {}, {}),
-    "E7b": ("real npnn data-parallel training",
-            E.e7_npnn_training, {"steps": 120}, {"steps": 30}),
-    "E8": ("per-scale efficiency table",
-           E.e8_efficiency_table, {},
-           {"gpu_counts": (1, 6, 24), "iterations": 2}),
-    "E9": ("tuning-step ablation at scale",
-           E.e9_ablation, {"gpus": 132, "iterations": 2},
-           {"gpus": 24, "iterations": 2}),
-    "E10": ("staged tuning procedure",
-            E.e10_autotune_vs_staged, {},
-            {"probe_gpus": 12, "iterations": 2, "validate": False,
-             "run_autotuner": False}),
-    "E11": ("time to train the VOC recipe (extension)",
-            E.e11_time_to_train, {},
-            {"gpu_counts": (1, 24), "iterations": 2}),
-    "E12": ("strong vs weak scaling (extension)",
-            E.e12_strong_vs_weak_scaling, {},
-            {"gpu_counts": (6, 12, 24), "global_batch": 48, "iterations": 2}),
-    "E13": ("fault injection & resilience sweep (extension)",
-            E.e13_fault_injection, {},
-            {"gpus": 12, "iterations": 4,
-             "slowdowns": (3.0,), "flap_fractions": (0.3,)}),
-    "E13b": ("fault injection: degraded rail (extension)",
-             E.e13_degraded_rail, {},
-             {"gpus": 48, "iterations": 2, "factors": (1.0, 0.05)}),
-    "E14": ("efficiency attribution: where the time goes (extension)",
-            E.e14_efficiency_attribution, {},
-            {"gpu_counts": (6, 24), "iterations": 2}),
-}
+#: Legacy tuple view (description, fn, full kwargs, quick kwargs), kept
+#: for external callers; :mod:`repro.bench.registry` is the source of truth.
+EXPERIMENTS = legacy_table()
 
 
 def package_version() -> str:
     """Installed package version, falling back to the source tree's."""
-    try:
-        from importlib.metadata import PackageNotFoundError, version
+    from repro import package_version as _pv
 
-        return version("repro")
-    except PackageNotFoundError:
-        import repro
-
-        return repro.__version__
+    return _pv()
 
 
 def cmd_list() -> int:
     """Print the experiment index."""
-    print(f"{'id':<5} description")
-    for exp_id, (desc, *_rest) in EXPERIMENTS.items():
-        print(f"{exp_id:<5} {desc}")
+    print(f"{'id':<5} {'par':<4} description")
+    for spec in REGISTRY.values():
+        par = "yes" if spec.parallelizable else "-"
+        print(f"{spec.id:<5} {par:<4} {spec.title}")
     return 0
 
 
-def cmd_run(ids: list[str], quick: bool) -> int:
+def _build_runner(parallel: bool, workers: int, no_cache: bool):
+    """Runner for ``run --parallel`` (None = plain serial execution)."""
+    if not parallel:
+        return None
+    import os
+
+    from repro.runner import ResultCache, Runner
+
+    return Runner(workers=workers or (os.cpu_count() or 1),
+                  cache=None if no_cache else ResultCache())
+
+
+def cmd_run(ids: list[str], quick: bool, parallel: bool = False,
+            workers: int = 0, no_cache: bool = False) -> int:
     """Run the selected experiments and persist their results."""
-    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if ids == ["all"]:
+        ids = list(REGISTRY)
+    unknown = [i for i in ids if i not in REGISTRY]
     if unknown:
         print(f"unknown experiment ids: {unknown}; try `python -m repro list`",
               file=sys.stderr)
         return 2
+    runner = _build_runner(parallel, workers, no_cache)
     for exp_id in ids:
-        _desc, driver, full_kwargs, quick_kwargs = EXPERIMENTS[exp_id]
-        kwargs = quick_kwargs if quick else full_kwargs
+        spec = REGISTRY[exp_id]
+        before = runner.stats.as_dict() if runner is not None else None
         start = time.time()
-        result = driver(**kwargs)
+        result = spec.run(quick=quick, runner=runner)
+        elapsed = time.time() - start
+        result.meta = {"variant": "quick" if quick else "full"}
+        if runner is not None and spec.parallelizable:
+            delta = runner.stats.delta(before)
+            result.meta["runner"] = dict(runner.meta(), **delta)
         print(result.table())
         path = save_result(result)
-        print(f"[{exp_id}: {time.time() - start:.0f}s, saved {path}]\n")
+        line = f"[{exp_id}: {elapsed:.1f}s, saved {path}]"
+        run_meta = result.meta.get("runner")
+        if run_meta:
+            line += (f" [runner: {run_meta['workers']} workers, "
+                     f"{run_meta['cache_hits']} hits / "
+                     f"{run_meta['cache_misses']} misses]")
+        print(line + "\n")
+    if runner is not None and runner.cache is not None:
+        s = runner.cache.stats
+        print(f"[cache: {s.hits} hits, {s.misses} misses, "
+              f"{runner.cache.snapshot()['entries']} entries on disk]")
+    return 0
+
+
+def cmd_cache(action: str, directory: str | None, as_json: bool) -> int:
+    """``repro cache stats`` / ``repro cache clear``."""
+    from repro.runner import DEFAULT_CACHE_DIR, ResultCache
+
+    cache = ResultCache(directory=directory or DEFAULT_CACHE_DIR)
+    if action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {cache.directory}")
+        return 0
+    snap = cache.snapshot()
+    if as_json:
+        import json
+
+        print(json.dumps(snap, indent=1))
+        return 0
+    print(f"cache directory : {snap['directory']}")
+    print(f"entries         : {snap['entries']}")
+    print(f"total bytes     : {snap['total_bytes']}")
+    print(f"max bytes       : {snap['max_bytes']}")
+    print(f"salt            : {snap['salt']}")
     return 0
 
 
@@ -262,10 +272,28 @@ def main(argv: list[str] | None = None) -> int:
                         version=f"%(prog)s {package_version()}")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="show the experiment index")
-    run_p = sub.add_parser("run", help="run experiments by id")
+    run_p = sub.add_parser("run", help="run experiments by id ('all' = every)")
     run_p.add_argument("ids", nargs="+", metavar="ID")
     run_p.add_argument("--quick", action="store_true",
                        help="scaled-down, faster variants")
+    run_p.add_argument("--parallel", action="store_true",
+                       help="fan sweep-shaped experiments across worker "
+                            "processes with the result cache")
+    run_p.add_argument("--workers", type=int, default=0,
+                       help="worker processes for --parallel "
+                            "(0 = CPU count)")
+    run_p.add_argument("--no-cache", action="store_true",
+                       help="with --parallel: skip the on-disk result cache")
+    cache_p = sub.add_parser("cache", help="inspect/clear the result cache")
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    for verb, help_ in (("stats", "show cache contents and hit accounting"),
+                        ("clear", "delete every cached result")):
+        cp = cache_sub.add_parser(verb, help=help_)
+        cp.add_argument("--dir", default=None,
+                        help="cache directory (default bench_results/.cache)")
+        if verb == "stats":
+            cp.add_argument("--json", action="store_true",
+                            help="machine-readable output")
     meas_p = sub.add_parser("measure", help="one ad-hoc training measurement")
     meas_p.add_argument("--gpus", type=int, default=24)
     meas_p.add_argument("--config", default="tuned",
@@ -311,7 +339,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         return cmd_list()
     if args.command == "run":
-        return cmd_run(args.ids, args.quick)
+        return cmd_run(args.ids, args.quick, parallel=args.parallel,
+                       workers=args.workers, no_cache=args.no_cache)
+    if args.command == "cache":
+        return cmd_cache(args.cache_command, args.dir,
+                         getattr(args, "json", False))
     if args.command == "faults":
         return cmd_faults_run(args.schedule, args.gpus, args.config,
                               args.iterations, args.model, args.deadline_ms)

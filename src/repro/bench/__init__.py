@@ -10,15 +10,26 @@ by roughly what factor), print the table, and persist the rows as JSON
 under ``bench_results/``.
 """
 
-from repro.bench.harness import ExperimentResult, format_rows, save_result
+from repro.bench.harness import (
+    SCHEMA_VERSION,
+    ExperimentResult,
+    format_rows,
+    load_result,
+    save_result,
+)
 from repro.bench.plots import ascii_chart, chart_result
 from repro.bench import experiments
+from repro.bench.registry import REGISTRY, ExperimentSpec
 
 __all__ = [
+    "REGISTRY",
+    "SCHEMA_VERSION",
     "ExperimentResult",
+    "ExperimentSpec",
     "ascii_chart",
     "chart_result",
     "experiments",
     "format_rows",
+    "load_result",
     "save_result",
 ]

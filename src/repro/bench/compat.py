@@ -1,0 +1,64 @@
+"""Deprecation shims for the experiment-function API normalization.
+
+The drivers historically disagreed on spellings (``gpus`` vs
+``gpu_counts``) and on which accepted ``seed``.  The normalized API is
+keyword-only with one canonical name per concept;
+:func:`deprecated_kwargs` keeps the old spellings working for one
+transition cycle, warning **once per (function, keyword)** per process.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from typing import Callable
+
+__all__ = ["as_gpu_counts", "deprecated_kwargs"]
+
+_WARNED: set[tuple[str, str]] = set()
+
+
+def as_gpu_counts(value) -> tuple[int, ...]:
+    """Coerce a legacy scalar ``gpus=`` into a ``gpu_counts`` tuple."""
+    if isinstance(value, bool):
+        raise TypeError("gpus must be an int or a sequence of ints")
+    if isinstance(value, int):
+        return (value,)
+    return tuple(value)
+
+
+def deprecated_kwargs(**aliases) -> Callable:
+    """Map legacy keyword names onto their canonical replacements.
+
+    ``aliases`` maps ``old_name`` to either ``"new_name"`` or
+    ``("new_name", converter)``.  Passing both spellings is an error;
+    each legacy spelling warns once per process.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            for old, spec in aliases.items():
+                if old not in kwargs:
+                    continue
+                new, convert = spec if isinstance(spec, tuple) else (spec, None)
+                if new in kwargs:
+                    raise TypeError(
+                        f"{fn.__name__}() got both {old!r} (deprecated) "
+                        f"and {new!r}"
+                    )
+                key = (fn.__qualname__, old)
+                if key not in _WARNED:
+                    _WARNED.add(key)
+                    warnings.warn(
+                        f"{fn.__name__}({old}=...) is deprecated; "
+                        f"pass {new}= instead",
+                        DeprecationWarning, stacklevel=2,
+                    )
+                value = kwargs.pop(old)
+                kwargs[new] = convert(value) if convert is not None else value
+            return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

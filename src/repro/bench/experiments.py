@@ -4,6 +4,17 @@ Every driver is deterministic (seeded), returns an
 :class:`~repro.bench.harness.ExperimentResult`, and accepts size
 parameters so tests can run scaled-down versions while the benchmark
 targets run the paper-scale configuration.
+
+API conventions (normalized; legacy spellings warn once and forward):
+
+* parameters are keyword-only; fixed-scale drivers take ``gpus``,
+  scaling-curve drivers take ``gpu_counts``, and every driver that
+  simulates training takes ``seed``;
+* sweep-shaped drivers (E3–E6, E8, E9, E11, E12, E14) accept ``runner``
+  — a :class:`~repro.runner.Runner` — and resolve their independent
+  simulation points through it, so they parallelize and memoize for
+  free; ``runner=None`` is an inline serial runner with no cache, which
+  produces **bit-identical** results to the pre-runner serial code.
 """
 
 from __future__ import annotations
@@ -12,7 +23,9 @@ import dataclasses
 
 import numpy as np
 
+from repro.bench.compat import as_gpu_counts, deprecated_kwargs
 from repro.bench.harness import ExperimentResult
+from repro.runner import OSUPoint, Runner, TrainPoint
 from repro.core import (
     ScalingCurve,
     ScalingPoint,
@@ -58,20 +71,14 @@ PAPER_MAX_GPUS = 132
 SCALING_GPUS = (1, 6, 12, 24, 48, 96, 132)
 
 
-def _make_comm(gpus: int, library):
-    import math
-
-    from repro.cluster import Fabric, build_summit
-    from repro.mpi import Comm
-    from repro.sim import Environment
-
-    env = Environment()
-    topo = build_summit(env, nodes=max(1, math.ceil(gpus / 6)))
-    return Comm(Fabric(topo), topo.gpus()[:gpus], library)
+def _resolve(points, runner: Runner | None) -> list:
+    """Resolve simulation points through the given (or an inline) runner."""
+    return (runner if runner is not None else Runner()).run(points)
 
 
 # ---------------------------------------------------------------- E1 ----
-def e1_single_gpu_throughput(iterations: int = 3) -> ExperimentResult:
+def e1_single_gpu_throughput(*, iterations: int = 3,
+                             seed: int = 0) -> ExperimentResult:
     """E1 — single-V100 throughput: DLv3+ 6.7 vs ResNet-50 300 img/s."""
     rows = []
     measured = {}
@@ -80,7 +87,7 @@ def e1_single_gpu_throughput(iterations: int = 3) -> ExperimentResult:
         profile = model_profile(model)
         m = measure_training(
             1, paper_default_config(), model=model, iterations=iterations,
-            jitter_std=0.0,
+            jitter_std=0.0, seed=seed,
         )
         rows.append({
             "model": model,
@@ -108,8 +115,14 @@ def e1_single_gpu_throughput(iterations: int = 3) -> ExperimentResult:
 
 
 # ---------------------------------------------------------------- E2 ----
-def e2_tensor_distribution() -> ExperimentResult:
-    """E2 — DLv3+ gradient tensor-size distribution (fusion motivation)."""
+def e2_tensor_distribution(*, seed: int = 0) -> ExperimentResult:
+    """E2 — DLv3+ gradient tensor-size distribution (fusion motivation).
+
+    ``seed`` is accepted for signature uniformity with the other
+    drivers; the layer graph is reconstructed deterministically, so it
+    has no effect.
+    """
+    del seed  # deterministic reconstruction; kept for API uniformity
     graph = build_deeplabv3plus()
     sizes = np.array([t.nbytes for t in graph.grad_tensors()])
     buckets = [
@@ -143,19 +156,24 @@ def e2_tensor_distribution() -> ExperimentResult:
 
 
 # ---------------------------------------------------------------- E3 ----
-def e3_osu_allreduce(gpus: int = 24, iterations: int = 3,
-                     sizes: tuple[int, ...] | None = None) -> ExperimentResult:
+def e3_osu_allreduce(*, gpus: int = 24, iterations: int = 3,
+                     sizes: tuple[int, ...] | None = None,
+                     runner: Runner | None = None) -> ExperimentResult:
     """E3 — OSU-style allreduce latency vs message size per library."""
     if sizes is None:
         sizes = tuple(4 ** i for i in range(2, 14))  # 16 B .. 64 MiB
+    libraries = sorted(MPI_LIBRARIES.items())
+    points = [
+        OSUPoint(gpus=gpus, library=lib, nbytes=nbytes, iterations=iterations)
+        for nbytes in sizes
+        for _name, lib in libraries
+    ]
+    results = iter(_resolve(points, runner))
     rows = []
     for nbytes in sizes:
         row = {"bytes": nbytes}
-        for name, lib in sorted(MPI_LIBRARIES.items()):
-            res = osu_allreduce(
-                _make_comm(gpus, lib), nbytes, iterations=iterations
-            )
-            row[f"{name} (us)"] = round(res.latency_us, 1)
+        for name, _lib in libraries:
+            row[f"{name} (us)"] = round(next(results).latency_us, 1)
         row["GDR speedup"] = round(
             row["SpectrumMPI (us)"] / row["MVAPICH2-GDR (us)"], 2
         )
@@ -176,8 +194,10 @@ def e3_osu_allreduce(gpus: int = 24, iterations: int = 3,
 
 
 # ---------------------------------------------------------------- E4 ----
-def e4_fusion_sweep(gpus: int = 24, iterations: int = 3,
-                    thresholds: tuple[int, ...] | None = None) -> ExperimentResult:
+def e4_fusion_sweep(*, gpus: int = 24, iterations: int = 3,
+                    thresholds: tuple[int, ...] | None = None,
+                    seed: int = 0,
+                    runner: Runner | None = None) -> ExperimentResult:
     """E4 — HOROVOD_FUSION_THRESHOLD sweep at fixed scale.
 
     Swept on both bases: under the default Spectrum library (where
@@ -188,15 +208,24 @@ def e4_fusion_sweep(gpus: int = 24, iterations: int = 3,
     if thresholds is None:
         thresholds = (1 * MiB, 8 * MiB, 32 * MiB, 64 * MiB, 128 * MiB, 256 * MiB)
     bases = [("Spectrum", paper_default_config()), ("GDR", paper_tuned_config())]
+    points = [
+        TrainPoint(
+            gpus=gpus,
+            config=dataclasses.replace(
+                base,
+                horovod=base.horovod.with_(fusion_threshold_bytes=threshold),
+            ),
+            iterations=iterations, jitter_std=0.0, seed=seed,
+        )
+        for threshold in thresholds
+        for _base_name, base in bases
+    ]
+    results = iter(_resolve(points, runner))
     rows = []
     for threshold in thresholds:
         row = {"fusion": f"{threshold // MiB}MiB" if threshold else "off"}
-        for base_name, base in bases:
-            cfg = dataclasses.replace(
-                base,
-                horovod=base.horovod.with_(fusion_threshold_bytes=threshold),
-            )
-            m = measure_training(gpus, cfg, iterations=iterations, jitter_std=0.0)
+        for base_name, _base in bases:
+            m = next(results)
             iters = len(m.stats.iteration_seconds)
             row[f"{base_name} img/s"] = round(m.images_per_second, 1)
             row[f"{base_name} ops/iter"] = round(
@@ -223,9 +252,10 @@ def e4_fusion_sweep(gpus: int = 24, iterations: int = 3,
 
 
 # ---------------------------------------------------------------- E5 ----
-def e5_cycle_sweep(gpus: int = 132, iterations: int = 3,
-                   cycles_ms: tuple[float, ...] = (0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0)
-                   ) -> ExperimentResult:
+def e5_cycle_sweep(*, gpus: int = 132, iterations: int = 3,
+                   cycles_ms: tuple[float, ...] = (0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0),
+                   seed: int = 0,
+                   runner: Runner | None = None) -> ExperimentResult:
     """E5 — HOROVOD_CYCLE_TIME sweep (fragmentation vs stall).
 
     Under the default Spectrum library (exposed, α-heavy communication),
@@ -235,14 +265,23 @@ def e5_cycle_sweep(gpus: int = 132, iterations: int = 3,
     gentle monotone (communication hides), also reported.
     """
     bases = [("Spectrum", paper_default_config()), ("GDR", paper_tuned_config())]
+    points = [
+        TrainPoint(
+            gpus=gpus,
+            config=dataclasses.replace(
+                base, horovod=base.horovod.with_(cycle_time_s=cycle_ms * 1e-3)
+            ),
+            iterations=iterations, jitter_std=0.0, seed=seed,
+        )
+        for cycle_ms in cycles_ms
+        for _base_name, base in bases
+    ]
+    results = iter(_resolve(points, runner))
     rows = []
     for cycle_ms in cycles_ms:
         row = {"cycle (ms)": cycle_ms}
-        for base_name, base in bases:
-            cfg = dataclasses.replace(
-                base, horovod=base.horovod.with_(cycle_time_s=cycle_ms * 1e-3)
-            )
-            m = measure_training(gpus, cfg, iterations=iterations, jitter_std=0.0)
+        for base_name, _base in bases:
+            m = next(results)
             iters = len(m.stats.iteration_seconds)
             row[f"{base_name} img/s"] = round(m.images_per_second, 1)
             row[f"{base_name} ops/iter"] = round(
@@ -273,9 +312,12 @@ def e5_cycle_sweep(gpus: int = 132, iterations: int = 3,
 
 
 # ---------------------------------------------------------------- E6 ----
-def e6_scaling_comparison(gpu_counts: tuple[int, ...] = SCALING_GPUS,
+@deprecated_kwargs(gpus=("gpu_counts", as_gpu_counts))
+def e6_scaling_comparison(*, gpu_counts: tuple[int, ...] = SCALING_GPUS,
                           iterations: int = 3,
-                          jitter_std: float = 0.03) -> ExperimentResult:
+                          jitter_std: float = 0.03,
+                          seed: int = 0,
+                          runner: Runner | None = None) -> ExperimentResult:
     """E6 — the headline figure: default vs tuned scaling to 132 GPUs.
 
     Small-scale points are cheap to simulate, so they run extra
@@ -286,15 +328,21 @@ def e6_scaling_comparison(gpu_counts: tuple[int, ...] = SCALING_GPUS,
         ("default (Spectrum MPI)", paper_default_config()),
         ("tuned (MVAPICH2-GDR)", paper_tuned_config()),
     ]
+    points = [
+        TrainPoint(
+            gpus=gpus, config=cfg,
+            iterations=iterations if gpus > 24 else max(iterations, 8),
+            jitter_std=jitter_std, seed=seed,
+        )
+        for _name, cfg in configs
+        for gpus in gpu_counts
+    ]
+    results = iter(_resolve(points, runner))
     curves = []
-    for name, cfg in configs:
+    for name, _cfg in configs:
         curve = ScalingCurve(name)
-        for gpus in gpu_counts:
-            iters = iterations if gpus > 24 else max(iterations, 8)
-            m = measure_training(
-                gpus, cfg, iterations=iters, jitter_std=jitter_std
-            )
-            curve.add(ScalingPoint.from_measurement(m))
+        for _gpus in gpu_counts:
+            curve.add(ScalingPoint.from_measurement(next(results)))
         curves.append(curve)
     default, tuned = curves
     rows = []
@@ -335,7 +383,7 @@ def e6_scaling_comparison(gpu_counts: tuple[int, ...] = SCALING_GPUS,
 
 
 # ---------------------------------------------------------------- E7 ----
-def e7_miou(seed: int = 0) -> ExperimentResult:
+def e7_miou(*, seed: int = 0) -> ExperimentResult:
     """E7 — final accuracy: the paper's 80.8% mIOU distributed run.
 
     Distributed configuration: 16 GPUs × batch 8 = global batch 128 with
@@ -377,7 +425,7 @@ def e7_miou(seed: int = 0) -> ExperimentResult:
     )
 
 
-def e7_npnn_training(steps: int = 120, world: int = 4,
+def e7_npnn_training(*, steps: int = 120, world: int = 4,
                      seed: int = 0) -> ExperimentResult:
     """E7b — real distributed training on VOC-mini (actual compute)."""
     dataset = VOCMini(size=24, num_classes=4, seed=seed)
@@ -414,11 +462,13 @@ def e7_npnn_training(steps: int = 120, world: int = 4,
 
 
 # ---------------------------------------------------------------- E8 ----
-def e8_efficiency_table(e6: ExperimentResult | None = None,
+@deprecated_kwargs(gpus=("gpu_counts", as_gpu_counts))
+def e8_efficiency_table(*, e6: ExperimentResult | None = None,
+                        runner: Runner | None = None,
                         **kwargs) -> ExperimentResult:
     """E8 — per-scale efficiency/speedup table derived from E6."""
     if e6 is None:
-        e6 = e6_scaling_comparison(**kwargs)
+        e6 = e6_scaling_comparison(runner=runner, **kwargs)
     rows = []
     for row in e6.rows:
         d_eff = float(row["default eff"].rstrip("%"))
@@ -440,8 +490,9 @@ def e8_efficiency_table(e6: ExperimentResult | None = None,
 
 
 # ---------------------------------------------------------------- E9 ----
-def e9_ablation(gpus: int = PAPER_MAX_GPUS, iterations: int = 3,
-                jitter_std: float = 0.03) -> ExperimentResult:
+def e9_ablation(*, gpus: int = PAPER_MAX_GPUS, iterations: int = 3,
+                jitter_std: float = 0.03, seed: int = 0,
+                runner: Runner | None = None) -> ExperimentResult:
     """E9 — which tuning step buys what, at full scale."""
     tuned = paper_tuned_config()
     default = paper_default_config()
@@ -459,10 +510,14 @@ def e9_ablation(gpus: int = PAPER_MAX_GPUS, iterations: int = 3,
         ("tuned + fp16 compression", dataclasses.replace(
             tuned, horovod=tuned.horovod.with_(compression="fp16"))),
     ]
+    measurements = _resolve(
+        [TrainPoint(gpus=gpus, config=cfg, iterations=iterations,
+                    jitter_std=jitter_std, seed=seed)
+         for _name, cfg in variants],
+        runner,
+    )
     rows = []
-    for name, cfg in variants:
-        m = measure_training(gpus, cfg, iterations=iterations,
-                             jitter_std=jitter_std)
+    for (name, _cfg), m in zip(variants, measurements):
         rows.append({
             "configuration": name,
             "img/s": round(m.images_per_second, 1),
@@ -501,10 +556,13 @@ def e9_ablation(gpus: int = PAPER_MAX_GPUS, iterations: int = 3,
 
 
 # ---------------------------------------------------------------- E10 ----
-def e10_autotune_vs_staged(probe_gpus: int = 24, validate_gpus: int = PAPER_MAX_GPUS,
+def e10_autotune_vs_staged(*, probe_gpus: int = 24,
+                           validate_gpus: int = PAPER_MAX_GPUS,
                            iterations: int = 3,
                            validate: bool = True,
-                           run_autotuner: bool = True) -> ExperimentResult:
+                           run_autotuner: bool = True,
+                           seed: int = 0,
+                           runner: Runner | None = None) -> ExperimentResult:
     """E10 — staged manual tuning vs Horovod's runtime autotuner.
 
     The paper's method is the staged procedure; Horovod also ships an
@@ -524,6 +582,8 @@ def e10_autotune_vs_staged(probe_gpus: int = 24, validate_gpus: int = PAPER_MAX_
         iterations=iterations,
         fusion_grid=fusion_grid,
         cycle_grid=cycle_grid,
+        seed=seed,
+        runner=runner,
     )
     outcome = tuner.tune()
     rows = [
@@ -577,10 +637,13 @@ def e10_autotune_vs_staged(probe_gpus: int = 24, validate_gpus: int = PAPER_MAX_
         measured["autotune_measurements"] = auto_result.evaluations
 
     if validate:
-        m_pick = measure_training(validate_gpus, outcome.best,
-                                  iterations=iterations, jitter_std=0.03)
-        m_hand = measure_training(validate_gpus, paper_tuned_config(),
-                                  iterations=iterations, jitter_std=0.03)
+        m_pick, m_hand = _resolve(
+            [TrainPoint(gpus=validate_gpus, config=outcome.best,
+                        iterations=iterations, jitter_std=0.03, seed=seed),
+             TrainPoint(gpus=validate_gpus, config=paper_tuned_config(),
+                        iterations=iterations, jitter_std=0.03, seed=seed)],
+            runner,
+        )
         measured["tuner_pick_eff_at_scale"] = round(
             m_pick.scaling_efficiency * 100, 1
         )
@@ -598,9 +661,11 @@ def e10_autotune_vs_staged(probe_gpus: int = 24, validate_gpus: int = PAPER_MAX_
 
 
 # ---------------------------------------------------------------- E11 ----
-def e11_time_to_train(gpu_counts: tuple[int, ...] = (1, 24, 132),
+@deprecated_kwargs(gpus=("gpu_counts", as_gpu_counts))
+def e11_time_to_train(*, gpu_counts: tuple[int, ...] = (1, 24, 132),
                       iterations: int = 3,
-                      jitter_std: float = 0.03) -> ExperimentResult:
+                      jitter_std: float = 0.03, seed: int = 0,
+                      runner: Runner | None = None) -> ExperimentResult:
     """E11 (extension) — wall-clock time to the standard VOC recipe.
 
     Not a table from the paper: this derives what the tuning *buys in
@@ -610,14 +675,21 @@ def e11_time_to_train(gpu_counts: tuple[int, ...] = (1, 24, 132),
     final mIOU at each global batch.
     """
     recipe = VOCSegmentationRecipe()
+    configs = (("default", paper_default_config()),
+               ("tuned", paper_tuned_config()))
+    results = iter(_resolve(
+        [TrainPoint(gpus=gpus, config=cfg, iterations=iterations,
+                    jitter_std=jitter_std, seed=seed)
+         for gpus in gpu_counts
+         for _name, cfg in configs],
+        runner,
+    ))
     rows = []
     for gpus in gpu_counts:
         row = {"GPUs": gpus, "global batch": gpus * recipe.per_gpu_batch,
                "steps": recipe.steps_at(gpus)}
-        for name, cfg in (("default", paper_default_config()),
-                          ("tuned", paper_tuned_config())):
-            m = measure_training(gpus, cfg, iterations=iterations,
-                                 jitter_std=jitter_std)
+        for name, _cfg in configs:
+            m = next(results)
             outcome = recipe.outcome(gpus, m.images_per_second)
             row[f"{name} hours"] = round(outcome.wall_hours, 2)
             if name == "tuned":
@@ -642,9 +714,12 @@ def e11_time_to_train(gpu_counts: tuple[int, ...] = (1, 24, 132),
 
 
 # ---------------------------------------------------------------- E12 ----
-def e12_strong_vs_weak_scaling(gpu_counts: tuple[int, ...] = (6, 12, 24, 48, 96),
+@deprecated_kwargs(gpus=("gpu_counts", as_gpu_counts))
+def e12_strong_vs_weak_scaling(*,
+                               gpu_counts: tuple[int, ...] = (6, 12, 24, 48, 96),
                                global_batch: int = 96,
-                               iterations: int = 3) -> ExperimentResult:
+                               iterations: int = 3, seed: int = 0,
+                               runner: Runner | None = None) -> ExperimentResult:
     """E12 (extension) — strong vs weak scaling of the tuned setup.
 
     The paper scales *weakly* (fixed batch 8 per GPU).  This extension
@@ -657,17 +732,23 @@ def e12_strong_vs_weak_scaling(gpu_counts: tuple[int, ...] = (6, 12, 24, 48, 96)
     """
     cfg = paper_tuned_config()
     weak_batch = 8
-    rows = []
     for gpus in gpu_counts:
         if global_batch % gpus:
             raise ValueError(
                 f"global_batch {global_batch} not divisible by {gpus} GPUs"
             )
+    results = iter(_resolve(
+        [TrainPoint(gpus=gpus, config=cfg, per_gpu_batch=batch,
+                    iterations=iterations, jitter_std=0.0, seed=seed)
+         for gpus in gpu_counts
+         for batch in (weak_batch, global_batch // gpus)],
+        runner,
+    ))
+    rows = []
+    for gpus in gpu_counts:
         strong_batch = global_batch // gpus
-        weak = measure_training(gpus, cfg, per_gpu_batch=weak_batch,
-                                iterations=iterations, jitter_std=0.0)
-        strong = measure_training(gpus, cfg, per_gpu_batch=strong_batch,
-                                  iterations=iterations, jitter_std=0.0)
+        weak = next(results)
+        strong = next(results)
         rows.append({
             "GPUs": gpus,
             "weak img/s (bs8/GPU)": round(weak.images_per_second, 1),
@@ -702,9 +783,9 @@ def e12_strong_vs_weak_scaling(gpu_counts: tuple[int, ...] = (6, 12, 24, 48, 96)
 
 
 # ---------------------------------------------------------------- E13 ----
-def e13_degraded_rail(gpus: int = 132, iterations: int = 3,
-                      factors: tuple[float, ...] = (1.0, 0.25, 0.05, 0.01)
-                      ) -> ExperimentResult:
+def e13_degraded_rail(*, gpus: int = 132, iterations: int = 3,
+                      factors: tuple[float, ...] = (1.0, 0.25, 0.05, 0.01),
+                      seed: int = 0) -> ExperimentResult:
     """E13 (extension) — fault injection: one slow InfiniBand rail.
 
     Synchronous data parallelism is gated by its slowest participant.
@@ -722,8 +803,10 @@ def e13_degraded_rail(gpus: int = 132, iterations: int = 3,
                 # Node 0's rail 0: NIC to leaf switch.
                 topo.degrade_link(Device.nic(0, 0), Device.switch(1), factor)
 
+        # Arbitrary fault callables have no canonical form, so this
+        # driver stays serial/uncached (see TrainPoint's docstring).
         m = measure_training(gpus, cfg, iterations=iterations,
-                             jitter_std=0.0, fault=fault)
+                             jitter_std=0.0, seed=seed, fault=fault)
         rows.append({
             "rail bandwidth": f"{factor * 100:g}%",
             "img/s": round(m.images_per_second, 1),
@@ -747,10 +830,11 @@ def e13_degraded_rail(gpus: int = 132, iterations: int = 3,
     )
 
 
-def e13_fault_injection(gpus: int = 48, iterations: int = 6,
+def e13_fault_injection(*, gpus: int = 48, iterations: int = 6,
                         slowdowns: tuple[float, ...] = (1.5, 3.0),
                         flap_fractions: tuple[float, ...] = (0.1, 0.3),
-                        crash_at_fraction: float = 0.4) -> ExperimentResult:
+                        crash_at_fraction: float = 0.4,
+                        seed: int = 0) -> ExperimentResult:
     """E13 (extension) — scheduled fault injection & resilience sweep.
 
     Runs the tuned configuration through declarative fault schedules
@@ -771,7 +855,7 @@ def e13_fault_injection(gpus: int = 48, iterations: int = 6,
 
     cfg = paper_tuned_config()
     baseline = measure_training(gpus, cfg, iterations=iterations,
-                                jitter_std=0.0)
+                                jitter_std=0.0, seed=seed)
     t_iter = baseline.stats.mean_iteration_seconds
     span = t_iter * iterations
     rail = ("nic:0:0", "switch:-1:1")
@@ -828,7 +912,8 @@ def e13_fault_injection(gpus: int = 48, iterations: int = 6,
             m = baseline
         else:
             m = measure_training(gpus, scen_cfg, iterations=iterations,
-                                 jitter_std=0.0, schedule=schedule)
+                                 jitter_std=0.0, seed=seed,
+                                 schedule=schedule)
         report = m.fault_report or {}
         survivors = report.get("surviving_ranks", gpus)
         retained = m.images_per_second / baseline.images_per_second
@@ -858,9 +943,13 @@ def e13_fault_injection(gpus: int = 48, iterations: int = 6,
     )
 
 
+@deprecated_kwargs(gpus=("gpu_counts", as_gpu_counts))
 def e14_efficiency_attribution(
+    *,
     gpu_counts: tuple[int, ...] = (6, 24, 96, 132),
     iterations: int = 4,
+    seed: int = 0,
+    runner: Runner | None = None,
 ) -> ExperimentResult:
     """E14 (extension) — where does the efficiency go?
 
@@ -875,15 +964,22 @@ def e14_efficiency_attribution(
     """
     from repro.telemetry import BUCKETS, attribute_measurement
 
+    configs = (("default", paper_default_config()),
+               ("tuned", paper_tuned_config()))
+    results = iter(_resolve(
+        [TrainPoint(gpus=gpus, config=cfg, iterations=iterations,
+                    seed=seed, telemetry=True)
+         for gpus in gpu_counts
+         for _name, cfg in configs],
+        runner,
+    ))
     rows = []
     measured: dict[str, float] = {}
     worst_sum_error = 0.0
     for gpus in gpu_counts:
         overheads = {}
-        for name, cfg in (("default", paper_default_config()),
-                          ("tuned", paper_tuned_config())):
-            m = measure_training(gpus, cfg, iterations=iterations,
-                                 telemetry=True)
+        for name, cfg in configs:
+            m = next(results)
             att = attribute_measurement(m)
             shares = att.shares()
             worst_sum_error = max(worst_sum_error, att.max_sum_error)

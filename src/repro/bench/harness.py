@@ -1,4 +1,13 @@
-"""Result containers and table/JSON rendering for the experiment drivers."""
+"""Result containers and table/JSON rendering for the experiment drivers.
+
+Results are **schema-versioned**: :meth:`ExperimentResult.to_json` wraps
+the payload in an envelope carrying ``schema_version`` and the producing
+``package_version``, plus a free-form ``meta`` block (run variant, runner
+cache/worker statistics) stamped by whoever ran the experiment.
+:func:`load_result` is the inverse of :func:`save_result` — it reads both
+current and pre-envelope (schema 0) files, so existing
+``bench_results/*.json`` keep loading.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +15,20 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
-__all__ = ["ExperimentResult", "format_rows", "save_result"]
+from repro import package_version
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ExperimentResult",
+    "format_rows",
+    "load_result",
+    "save_result",
+]
+
+#: Version of the on-disk result JSON layout.  History:
+#: 0 — bare payload (no envelope);
+#: 1 — envelope with schema/package version + ``meta`` block.
+SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -16,6 +38,9 @@ class ExperimentResult:
     ``rows`` is a list of flat dicts sharing the same keys (the table
     columns); ``paper`` maps claim names to the paper's values and
     ``measured`` to ours, so EXPERIMENTS.md can be generated from runs.
+    ``meta`` is producer metadata (run variant, runner workers and cache
+    hit/miss counts) that travels with the result but is *not* part of
+    the measurement payload — determinism comparisons ignore it.
     """
 
     experiment: str
@@ -24,6 +49,7 @@ class ExperimentResult:
     paper: dict[str, float | str] = field(default_factory=dict)
     measured: dict[str, float | str] = field(default_factory=dict)
     notes: str = ""
+    meta: dict = field(default_factory=dict)
 
     def table(self) -> str:
         """Rendered fixed-width table plus the paper-vs-measured block."""
@@ -39,16 +65,30 @@ class ExperimentResult:
             parts.append(f"note: {self.notes}")
         return "\n".join(parts)
 
+    def payload(self) -> dict:
+        """The measurement payload alone (no envelope, no ``meta``).
+
+        This is what determinism gates compare: serial, parallel and
+        warm-cache runs of the same experiment must agree byte-for-byte
+        on ``json.dumps(result.payload(), ...)``.
+        """
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "rows": self.rows,
+            "paper": self.paper,
+            "measured": self.measured,
+            "notes": self.notes,
+        }
+
     def to_json(self) -> str:
-        """JSON form with every field."""
+        """Versioned JSON form: envelope + payload + ``meta``."""
         return json.dumps(
             {
-                "experiment": self.experiment,
-                "title": self.title,
-                "rows": self.rows,
-                "paper": self.paper,
-                "measured": self.measured,
-                "notes": self.notes,
+                "schema_version": SCHEMA_VERSION,
+                "package_version": package_version(),
+                **self.payload(),
+                "meta": self.meta,
             },
             indent=1,
         )
@@ -85,3 +125,31 @@ def save_result(result: ExperimentResult, directory: str | Path = "bench_results
     path = out_dir / f"{result.experiment.lower()}.json"
     path.write_text(result.to_json())
     return path
+
+
+def load_result(source: str | Path) -> ExperimentResult:
+    """Read a result saved by :func:`save_result` (any known schema).
+
+    ``source`` is a path to a result JSON file.  Round-trips exactly:
+    ``load_result(save_result(r)) == r``.  Files written before the
+    envelope existed (schema 0) load with an empty ``meta``.
+    """
+    text = Path(source).read_text()
+    data = json.loads(text)
+    if not isinstance(data, dict) or "experiment" not in data:
+        raise ValueError(f"{source}: not an ExperimentResult JSON file")
+    version = data.get("schema_version", 0)
+    if not 0 <= version <= SCHEMA_VERSION:
+        raise ValueError(
+            f"{source}: schema_version {version} is newer than this "
+            f"package understands ({SCHEMA_VERSION})"
+        )
+    return ExperimentResult(
+        experiment=data["experiment"],
+        title=data.get("title", ""),
+        rows=data.get("rows", []),
+        paper=data.get("paper", {}),
+        measured=data.get("measured", {}),
+        notes=data.get("notes", ""),
+        meta=data.get("meta", {}),
+    )

@@ -29,7 +29,12 @@ from repro.core.knobs import (
     paper_default_config,
     paper_tuned_config,
 )
-from repro.core.sweep import Measurement, clear_profile_cache, measure_training
+from repro.core.sweep import (
+    Measurement,
+    clear_profile_cache,
+    measure_many,
+    measure_training,
+)
 from repro.core.tuner import StagedTuner, StageResult, TuneOutcome
 
 __all__ = [
@@ -43,6 +48,7 @@ __all__ = [
     "SystemConfig",
     "TuneOutcome",
     "clear_profile_cache",
+    "measure_many",
     "measure_training",
     "paper_default_config",
     "paper_tuned_config",

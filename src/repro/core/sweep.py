@@ -33,7 +33,13 @@ from repro.sim import Environment
 from repro.train import DistributedTrainer, TrainJob
 from repro.train.stats import TrainStats
 
-__all__ = ["Measurement", "clear_profile_cache", "measure_training", "model_profile"]
+__all__ = [
+    "Measurement",
+    "clear_profile_cache",
+    "measure_many",
+    "measure_training",
+    "model_profile",
+]
 
 #: Summit has 6 GPUs per node; GPU counts that are not multiples of 6
 #: occupy the last node partially (as real jobs do).
@@ -220,3 +226,21 @@ def measure_training(
         fault_report=fault_report,
         telemetry=probe,
     )
+
+
+def measure_many(calls, runner=None) -> list[Measurement]:
+    """Batch form of :func:`measure_training` for independent points.
+
+    ``calls`` is a sequence of keyword dicts, each a valid argument set
+    for :func:`measure_training` (``gpus`` and ``config`` required; the
+    ``fault`` callable is not supported — it has no canonical cacheable
+    form).  Results come back in input order.  With ``runner=None`` an
+    inline serial :class:`~repro.runner.Runner` is used, which replicates
+    calling :func:`measure_training` in a loop exactly; pass a configured
+    runner to fan the batch across worker processes and/or the result
+    cache.
+    """
+    from repro.runner import Runner, TrainPoint
+
+    points = [TrainPoint(**kwargs) for kwargs in calls]
+    return (runner if runner is not None else Runner()).run(points)

@@ -17,11 +17,14 @@ differs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.knobs import KNOBS, SystemConfig, paper_default_config
 from repro.core.sweep import Measurement, measure_training
 from repro.mpi.libraries import MPI_LIBRARIES
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runner import Runner
 
 __all__ = ["StageResult", "StagedTuner", "TuneOutcome"]
 
@@ -80,7 +83,8 @@ class StagedTuner:
                  model: str = "deeplab",
                  fusion_grid: Sequence[int] | None = None,
                  cycle_grid: Sequence[float] | None = None,
-                 jitter_std: float = 0.0, seed: int = 0) -> None:
+                 jitter_std: float = 0.0, seed: int = 0,
+                 runner: "Runner | None" = None) -> None:
         if probe_gpus < 2:
             raise ValueError("probe_gpus must be >= 2")
         self.probe_gpus = probe_gpus
@@ -95,17 +99,38 @@ class StagedTuner:
         )
         self.jitter_std = jitter_std
         self.seed = seed
+        self.runner = runner
 
     # -- machinery ---------------------------------------------------------
-    def _measure(self, config: SystemConfig) -> Measurement:
-        return measure_training(
-            self.probe_gpus,
-            config,
-            model=self.model,
-            iterations=self.iterations,
-            jitter_std=self.jitter_std,
-            seed=self.seed,
-        )
+    def _measure_all(self, configs: Sequence[SystemConfig]) -> list[Measurement]:
+        """Measure every candidate of a stage — via the runner if one was
+        given (candidates within a stage are independent), serially
+        otherwise."""
+        if self.runner is not None:
+            from repro.runner import TrainPoint
+
+            return self.runner.run([
+                TrainPoint(
+                    gpus=self.probe_gpus,
+                    config=cfg,
+                    model=self.model,
+                    iterations=self.iterations,
+                    jitter_std=self.jitter_std,
+                    seed=self.seed,
+                )
+                for cfg in configs
+            ])
+        return [
+            measure_training(
+                self.probe_gpus,
+                cfg,
+                model=self.model,
+                iterations=self.iterations,
+                jitter_std=self.jitter_std,
+                seed=self.seed,
+            )
+            for cfg in configs
+        ]
 
     #: Throughputs within this relative band count as tied.  At probe
     #: scales where communication still hides under backward, raw
@@ -115,11 +140,12 @@ class StagedTuner:
 
     def _stage(self, name: str, outcome: TuneOutcome,
                candidates: list[tuple[str, SystemConfig]]) -> SystemConfig:
-        measured: list[tuple[str, SystemConfig, Measurement]] = []
-        for label, cfg in candidates:
-            m = self._measure(cfg)
-            outcome.measurements += 1
-            measured.append((label, cfg, m))
+        measurements = self._measure_all([cfg for _, cfg in candidates])
+        outcome.measurements += len(measurements)
+        measured: list[tuple[str, SystemConfig, Measurement]] = [
+            (label, cfg, m)
+            for (label, cfg), m in zip(candidates, measurements)
+        ]
         best_ips = max(m.images_per_second for _, _, m in measured)
         plateau = [
             row for row in measured

@@ -1,0 +1,45 @@
+"""Parallel cached experiment runner.
+
+The paper's contribution is a *sweep* — knob grids × MPI libraries × GPU
+counts — and every point in it is an independent, deterministic
+simulation.  This package makes the sweep layer exploit that:
+
+* :class:`~repro.runner.simpoint.SimPoint` /
+  :class:`~repro.runner.simpoint.TrainPoint` /
+  :class:`~repro.runner.simpoint.OSUPoint` — fully-specified simulation
+  points whose canonical content hash doubles as a cache key;
+* :class:`~repro.runner.cache.ResultCache` — persistent
+  content-addressed store under ``bench_results/.cache/`` with an LRU
+  size cap (``repro cache stats`` / ``repro cache clear`` on the CLI);
+* :class:`~repro.runner.pool.Runner` / :func:`~repro.runner.pool.run_points`
+  — process-pool fan-out with deterministic input-order merge, batch
+  dedup, progress callbacks and :mod:`repro.telemetry` counters.
+
+The sweep-shaped experiment drivers (E3–E6, E8, E9, E11, E12, E14), the
+staged tuner and ``repro run --parallel`` all execute through here;
+serial, parallel and warm-cache runs return bit-identical results.
+"""
+
+from repro.runner.cache import (
+    DEFAULT_CACHE_DIR,
+    DEFAULT_MAX_BYTES,
+    CacheStats,
+    ResultCache,
+)
+from repro.runner.pool import Runner, RunnerError, RunnerStats, run_points
+from repro.runner.simpoint import OSUPoint, SimPoint, TrainPoint, cache_salt
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "DEFAULT_MAX_BYTES",
+    "CacheStats",
+    "OSUPoint",
+    "ResultCache",
+    "Runner",
+    "RunnerError",
+    "RunnerStats",
+    "SimPoint",
+    "TrainPoint",
+    "cache_salt",
+    "run_points",
+]

@@ -1,0 +1,149 @@
+"""Persistent content-addressed result cache with an LRU size cap.
+
+One entry per :meth:`~repro.runner.simpoint.SimPoint.key`: a pickled
+:class:`~repro.core.sweep.Measurement` (or OSU result) under
+``bench_results/.cache/<key>.pkl``.  Recency is tracked with file mtimes
+— every hit touches its entry — and :meth:`ResultCache.put` evicts
+least-recently-used entries whenever the directory grows past
+``max_bytes``.  Unreadable or corrupt entries are treated as misses and
+deleted, so a cache can never poison a run: the worst case is re-running
+the simulation.
+
+The cache is safe against concurrent *writers* (atomic temp-file +
+rename), but hit/miss accounting is per-:class:`ResultCache` instance.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.sim.units import MiB
+
+__all__ = ["CacheStats", "ResultCache", "DEFAULT_CACHE_DIR",
+           "DEFAULT_MAX_BYTES"]
+
+#: Default on-disk location, next to the experiment JSON it accelerates.
+DEFAULT_CACHE_DIR = Path("bench_results") / ".cache"
+#: Default size cap; a cached quick-tier Measurement is ~100 KiB.
+DEFAULT_MAX_BYTES = 256 * MiB
+
+
+@dataclass
+class CacheStats:
+    """Lookup accounting for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> dict:
+        """Plain dict (for result metadata and CLI output)."""
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "evictions": self.evictions}
+
+
+class ResultCache:
+    """Content-addressed pickle store keyed by ``SimPoint.key()``."""
+
+    def __init__(self, directory: str | Path | None = None,
+                 max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be > 0")
+        self.directory = Path(directory) if directory is not None else DEFAULT_CACHE_DIR
+        self.max_bytes = int(max_bytes)
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> Path:
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise ValueError(f"malformed cache key {key!r}")
+        return self.directory / f"{key}.pkl"
+
+    # -- lookups -----------------------------------------------------------
+    def get(self, key: str):
+        """The cached value for ``key``, or ``None`` on a miss.
+
+        A hit refreshes the entry's LRU recency.  Corrupt entries are
+        deleted and reported as misses.
+        """
+        path = self._path(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            value = pickle.loads(blob)
+        except Exception:
+            path.unlink(missing_ok=True)
+            self.stats.misses += 1
+            return None
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: str, value) -> Path:
+        """Store ``value`` under ``key``; enforce the LRU size cap."""
+        path = self._path(key)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_bytes(blob)
+        tmp.replace(path)
+        self.stats.stores += 1
+        self._evict(keep=path)
+        return path
+
+    def _evict(self, keep: Path) -> None:
+        """Delete oldest-recency entries until under ``max_bytes``."""
+        entries = self.entries()
+        total = sum(size for _, size, _ in entries)
+        for path, size, _mtime in entries:
+            if total <= self.max_bytes:
+                break
+            if path == keep:
+                continue  # never evict the entry just written
+            path.unlink(missing_ok=True)
+            total -= size
+            self.stats.evictions += 1
+
+    # -- maintenance -------------------------------------------------------
+    def entries(self) -> list[tuple[Path, int, float]]:
+        """``(path, size_bytes, mtime)`` per entry, oldest recency first."""
+        rows = []
+        for path in self.directory.glob("*.pkl"):
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            rows.append((path, st.st_size, st.st_mtime))
+        rows.sort(key=lambda row: (row[2], row[0].name))
+        return rows
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path, _size, _mtime in self.entries():
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def snapshot(self) -> dict:
+        """Disk state + this instance's lookup accounting."""
+        from repro.runner.simpoint import cache_salt
+
+        entries = self.entries()
+        return {
+            "directory": str(self.directory),
+            "entries": len(entries),
+            "total_bytes": sum(size for _, size, _ in entries),
+            "max_bytes": self.max_bytes,
+            "salt": cache_salt(),
+            **self.stats.as_dict(),
+        }

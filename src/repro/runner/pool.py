@@ -1,0 +1,223 @@
+"""The parallel cached experiment runner.
+
+:meth:`Runner.run` resolves a batch of independent simulation points:
+
+1. every point's content key is computed and looked up in the (optional)
+   :class:`~repro.runner.cache.ResultCache` — hits resolve immediately;
+2. duplicate keys within the batch collapse to one execution;
+3. remaining points fan out across a ``ProcessPoolExecutor`` (``workers
+   >= 2``) or run inline (``workers <= 1``), and results **merge back in
+   input order** regardless of completion order, so a parallel run is
+   indistinguishable from the serial one;
+4. freshly computed values are written back to the cache, progress
+   callbacks fire per point, and :mod:`repro.telemetry` counters record
+   hits / executions / wall seconds.
+
+Determinism contract: a point's result depends only on the point (each
+execution builds a fresh simulation :class:`~repro.sim.Environment`), so
+serial, parallel and warm-cache runs of the same batch return
+bit-identical values.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.runner.cache import ResultCache
+from repro.runner.simpoint import SimPoint
+from repro.telemetry.metrics import MetricRegistry
+
+__all__ = ["Runner", "RunnerError", "RunnerStats", "run_points"]
+
+
+class RunnerError(RuntimeError):
+    """A point failed to execute; carries which one."""
+
+
+@dataclass
+class RunnerStats:
+    """Cumulative accounting across a runner's lifetime."""
+
+    points: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    deduplicated: int = 0
+    execute_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        """Plain dict (JSON-able)."""
+        return {
+            "points": self.points,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.points - self.cache_hits,
+            "executed": self.executed,
+            "deduplicated": self.deduplicated,
+            "execute_seconds": round(self.execute_seconds, 3),
+        }
+
+    def delta(self, before: dict) -> dict:
+        """Difference vs an earlier :meth:`as_dict` snapshot."""
+        now = self.as_dict()
+        return {
+            k: round(now[k] - before.get(k, 0), 3) if isinstance(now[k], float)
+            else now[k] - before.get(k, 0)
+            for k in now
+        }
+
+
+def _execute(point: SimPoint):
+    """Top-level worker entry (must be picklable by name)."""
+    return point.execute()
+
+
+class Runner:
+    """Process-pool executor + result cache for simulation points.
+
+    Parameters
+    ----------
+    workers:
+        ``0`` or ``1`` executes inline (the default: exact serial
+        behaviour, useful with a cache alone); ``>= 2`` fans out across
+        that many worker processes.
+    cache:
+        A :class:`~repro.runner.cache.ResultCache`, or ``None`` for no
+        memoization.
+    registry:
+        A :class:`~repro.telemetry.MetricRegistry` to record runner
+        counters into; a private one is created when omitted.
+    progress:
+        ``progress(done, total, point, cached)`` called after each point
+        resolves (in resolution order, not input order).
+    """
+
+    def __init__(self, workers: int = 0,
+                 cache: ResultCache | None = None,
+                 registry: MetricRegistry | None = None,
+                 progress: Callable[[int, int, SimPoint, bool], None] | None = None,
+                 ) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.workers = int(workers)
+        self.cache = cache
+        self.progress = progress
+        self.registry = registry if registry is not None else MetricRegistry()
+        self.stats = RunnerStats()
+        self._m_points = self.registry.counter(
+            "runner_points_total", "simulation points resolved",
+            labelnames=("status",))
+        self._m_batches = self.registry.counter(
+            "runner_batches_total", "run() invocations")
+        self._m_seconds = self.registry.counter(
+            "runner_execute_seconds_total",
+            "host wall seconds spent executing points")
+        self._m_workers = self.registry.gauge(
+            "runner_workers", "configured worker processes")
+        self._m_workers.set(self.workers)
+
+    # -- the core ----------------------------------------------------------
+    def run(self, points: Sequence[SimPoint]) -> list:
+        """Resolve every point; results are returned in input order."""
+        points = list(points)
+        self._m_batches.inc()
+        self.stats.points += len(points)
+        results: list = [None] * len(points)
+        done = 0
+
+        # Group input positions by content key (batch-level dedup).
+        groups: dict[str, list[int]] = {}
+        for i, point in enumerate(points):
+            groups.setdefault(point.key(), []).append(i)
+        self.stats.deduplicated += len(points) - len(groups)
+
+        def resolve(key: str, value, cached: bool) -> None:
+            nonlocal done
+            for i in groups[key]:
+                results[i] = value
+                done += 1
+                status = "cache_hit" if cached else "executed"
+                self._m_points.labels(status=status).inc()
+                if cached:
+                    self.stats.cache_hits += 1
+                if self.progress is not None:
+                    self.progress(done, len(points), points[i], cached)
+
+        todo: list[str] = []
+        for key in groups:
+            value = self.cache.get(key) if self.cache is not None else None
+            if value is not None:
+                resolve(key, value, cached=True)
+            else:
+                todo.append(key)
+
+        start = time.perf_counter()
+        if self.workers >= 2 and len(todo) > 1:
+            self._run_pool(points, groups, todo, resolve)
+        else:
+            for key in todo:
+                point = points[groups[key][0]]
+                try:
+                    value = point.execute()
+                except Exception as exc:
+                    raise RunnerError(
+                        f"point failed: {point.describe()}") from exc
+                self._store(key, value)
+                resolve(key, value, cached=False)
+        elapsed = time.perf_counter() - start
+        self.stats.executed += len(todo)
+        self.stats.execute_seconds += elapsed
+        self._m_seconds.inc(elapsed)
+        return results
+
+    def _run_pool(self, points, groups, todo, resolve) -> None:
+        """Fan ``todo`` keys out over a process pool; merge by index."""
+        workers = min(self.workers, len(todo))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_execute, points[groups[key][0]]): key
+                for key in todo
+            }
+            pending = set(futures)
+            try:
+                while pending:
+                    finished, pending = wait(pending,
+                                             return_when=FIRST_COMPLETED)
+                    for fut in finished:
+                        key = futures[fut]
+                        try:
+                            value = fut.result()
+                        except Exception as exc:
+                            raise RunnerError(
+                                "point failed: "
+                                f"{points[groups[key][0]].describe()}"
+                            ) from exc
+                        self._store(key, value)
+                        resolve(key, value, cached=False)
+            except BaseException:
+                for fut in pending:
+                    fut.cancel()
+                raise
+
+    def _store(self, key: str, value) -> None:
+        if self.cache is not None:
+            self.cache.put(key, value)
+
+    # -- reporting ---------------------------------------------------------
+    def meta(self) -> dict:
+        """Runner metadata for :class:`~repro.bench.harness.ExperimentResult`."""
+        out = {"workers": self.workers, **self.stats.as_dict()}
+        if self.cache is not None:
+            out["cache"] = self.cache.snapshot()
+        return out
+
+
+def run_points(points: Sequence[SimPoint], workers: int = 0,
+               cache: ResultCache | None = None,
+               registry: MetricRegistry | None = None,
+               progress: Callable[[int, int, SimPoint, bool], None] | None = None,
+               ) -> list:
+    """One-shot convenience: build a :class:`Runner` and resolve ``points``."""
+    return Runner(workers=workers, cache=cache, registry=registry,
+                  progress=progress).run(points)

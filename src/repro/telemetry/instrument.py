@@ -169,6 +169,18 @@ class TelemetryProbe:
             "link_contention_queued", "transfers queued on busy links",
             track=True)
 
+    def __getstate__(self) -> dict:
+        # Live layer objects (fabric/comm/runtime hold the simulation
+        # kernel's generators) cannot cross a process boundary; the
+        # recorded registry and iteration samples — everything the
+        # attribution engine reads — can.  Call :meth:`finalize` before
+        # pickling so run-level aggregates are already pulled.
+        state = self.__dict__.copy()
+        state["_fabric"] = None
+        state["_comm"] = None
+        state["_runtime"] = None
+        return state
+
     # -- wiring ------------------------------------------------------------
     def attach(self, env: Any = None, comm: Any = None, runtime: Any = None,
                trainer: Any = None, fabric: Any = None) -> "TelemetryProbe":

@@ -224,6 +224,19 @@ class MetricRegistry:
         """Current sample timestamp (simulated seconds)."""
         return self._clock()
 
+    def __getstate__(self) -> dict:
+        # The clock is a live closure over a run's Environment; recorded
+        # samples already carry their timestamps, so a pickled registry
+        # (runner workers, result cache) travels without it.
+        state = self.__dict__.copy()
+        state["_clock"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if self._clock is None:
+            self._clock = lambda: 0.0
+
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Point the registry at a run's simulated clock."""
         self._clock = clock

@@ -51,3 +51,67 @@ def test_json_roundtrip(tmp_path):
     data = json.loads(path.read_text())
     assert data["rows"] == [{"x": 1.5}]
     assert data["paper"] == {"p": 2}
+
+
+def test_to_json_envelope_fields():
+    from repro import package_version
+    from repro.bench.harness import SCHEMA_VERSION
+
+    res = ExperimentResult("E1", "t", meta={"variant": "quick"})
+    data = json.loads(res.to_json())
+    assert data["schema_version"] == SCHEMA_VERSION
+    assert data["package_version"] == package_version()
+    assert data["meta"] == {"variant": "quick"}
+
+
+def test_load_result_roundtrip(tmp_path):
+    from repro.bench.harness import load_result
+
+    res = ExperimentResult(
+        "E5", "cycle", rows=[{"x": 1.5, "y": "2%"}],
+        paper={"p": 2}, measured={"p": 2.1}, notes="n",
+        meta={"variant": "full", "runner": {"workers": 4}},
+    )
+    assert load_result(save_result(res, tmp_path)) == res
+
+
+def test_load_result_reads_schema_0_files(tmp_path):
+    from repro.bench.harness import load_result
+
+    legacy = tmp_path / "e9.json"
+    legacy.write_text(json.dumps({
+        "experiment": "E9", "title": "old", "rows": [{"a": 1}],
+        "paper": {}, "measured": {"k": 2}, "notes": "",
+    }))
+    res = load_result(legacy)
+    assert res.experiment == "E9"
+    assert res.rows == [{"a": 1}]
+    assert res.meta == {}
+
+
+def test_load_result_rejects_newer_schema(tmp_path):
+    from repro.bench.harness import SCHEMA_VERSION, load_result
+
+    path = tmp_path / "e1.json"
+    path.write_text(json.dumps({"experiment": "E1",
+                                "schema_version": SCHEMA_VERSION + 1}))
+    with pytest.raises(ValueError, match="newer"):
+        load_result(path)
+
+
+def test_load_result_rejects_non_result_json(tmp_path):
+    from repro.bench.harness import load_result
+
+    path = tmp_path / "junk.json"
+    path.write_text(json.dumps({"hello": "world"}))
+    with pytest.raises(ValueError, match="not an ExperimentResult"):
+        load_result(path)
+
+
+def test_payload_excludes_envelope_and_meta():
+    res = ExperimentResult("E1", "t", meta={"runner": {"workers": 8}})
+    payload = res.payload()
+    assert "meta" not in payload
+    assert "schema_version" not in payload
+    assert set(payload) == {"experiment", "title", "rows", "paper",
+                            "measured", "notes"}

@@ -1,0 +1,94 @@
+"""Tests for the persistent content-addressed result cache."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.runner import ResultCache
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+KEY_C = "c" * 64
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(directory=tmp_path / "cache")
+
+
+def test_miss_then_hit(cache):
+    assert cache.get(KEY_A) is None
+    cache.put(KEY_A, {"v": 1})
+    assert cache.get(KEY_A) == {"v": 1}
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.stores == 1
+
+
+def test_hit_is_bit_identical(cache):
+    value = {"floats": [0.1, 0.2, 3.0e-7], "nested": {"t": (1, 2)}}
+    cache.put(KEY_A, value)
+    roundtripped = cache.get(KEY_A)
+    assert pickle.dumps(roundtripped) == pickle.dumps(value)
+
+
+def test_malformed_key_rejected(cache):
+    for bad in ("", "xyz!", "ABC", "../escape"):
+        with pytest.raises(ValueError):
+            cache.get(bad)
+
+
+def test_corrupt_entry_is_a_miss_and_deleted(cache):
+    path = cache.put(KEY_A, {"v": 1})
+    path.write_bytes(b"not a pickle")
+    assert cache.get(KEY_A) is None
+    assert not path.exists()
+    # The next put works again.
+    cache.put(KEY_A, {"v": 2})
+    assert cache.get(KEY_A) == {"v": 2}
+
+
+def test_lru_eviction_drops_oldest(cache):
+    cache.max_bytes = 1  # force eviction on every put
+    p_a = cache.put(KEY_A, "x" * 100)
+    p_b = cache.put(KEY_B, "y" * 100)
+    # The entry just written is never evicted; the older one goes.
+    assert not p_a.exists()
+    assert p_b.exists()
+    assert cache.stats.evictions == 1
+
+
+def test_hit_refreshes_recency(cache, tmp_path):
+    cache.put(KEY_A, "a")
+    cache.put(KEY_B, "b")
+    # Make A look stale, then touch it via a hit.
+    path_a = cache.directory / f"{KEY_A}.pkl"
+    os.utime(path_a, (1, 1))
+    assert cache.entries()[0][0] == path_a
+    cache.get(KEY_A)
+    assert cache.entries()[0][0] != path_a
+
+
+def test_clear_and_snapshot(cache):
+    cache.put(KEY_A, 1)
+    cache.put(KEY_B, 2)
+    snap = cache.snapshot()
+    assert snap["entries"] == 2
+    assert snap["total_bytes"] > 0
+    assert snap["stores"] == 2
+    assert "salt" in snap
+    assert cache.clear() == 2
+    assert cache.snapshot()["entries"] == 0
+
+
+def test_missing_directory_is_all_misses(tmp_path):
+    cache = ResultCache(directory=tmp_path / "never-created")
+    assert cache.get(KEY_A) is None
+    assert cache.snapshot()["entries"] == 0
+    assert cache.clear() == 0
+
+
+def test_max_bytes_must_be_positive(tmp_path):
+    with pytest.raises(ValueError):
+        ResultCache(directory=tmp_path, max_bytes=0)

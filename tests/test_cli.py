@@ -100,3 +100,89 @@ def test_run_quick_e14(tmp_path, monkeypatch, capsys):
     assert saved["measured"]["max_bucket_sum_error"] < 0.02
     # Tuned strictly beats default on tunable overhead at >= 24 GPUs.
     assert saved["measured"]["overhead_delta_24"] > 0
+
+
+def test_registry_backs_the_legacy_table():
+    from repro.bench.registry import REGISTRY
+
+    assert set(EXPERIMENTS) == set(REGISTRY)
+    for exp_id, (desc, driver, full, quick) in EXPERIMENTS.items():
+        spec = REGISTRY[exp_id]
+        assert driver is spec.fn and desc == spec.title
+
+
+def test_list_marks_parallelizable(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "par" in out.splitlines()[0]
+    assert any(line.startswith("E4") and "yes" in line
+               for line in out.splitlines())
+
+
+def test_run_parallel_cold_then_warm(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    assert main(["run", "E4", "--quick", "--parallel", "--workers", "2"]) == 0
+    cold = capsys.readouterr().out
+    assert "0 hits" in cold
+    cold_payload = json.loads(
+        (tmp_path / "bench_results" / "e4.json").read_text())
+    assert cold_payload["meta"]["runner"]["cache_misses"] > 0
+
+    assert main(["run", "E4", "--quick", "--parallel", "--workers", "2"]) == 0
+    warm = capsys.readouterr().out
+    assert "0 misses" in warm
+    warm_payload = json.loads(
+        (tmp_path / "bench_results" / "e4.json").read_text())
+    assert warm_payload["meta"]["runner"]["executed"] == 0
+    # The measurement payload is bit-identical; only meta differs.
+    for key in ("rows", "paper", "measured", "notes", "title"):
+        assert warm_payload[key] == cold_payload[key]
+
+
+def test_run_stamps_variant_meta(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    assert main(["run", "E2", "--quick"]) == 0
+    saved = json.loads((tmp_path / "bench_results" / "e2.json").read_text())
+    assert saved["meta"]["variant"] == "quick"
+    assert "runner" not in saved["meta"]  # serial run: no runner stats
+
+
+def test_cache_stats_and_clear(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    from repro.runner import ResultCache
+
+    ResultCache(directory=cache_dir).put("a" * 64, {"v": 1})
+    assert main(["cache", "stats", "--dir", str(cache_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "entries         : 1" in out
+    assert main(["cache", "stats", "--dir", str(cache_dir), "--json"]) == 0
+    snap = json.loads(capsys.readouterr().out)
+    assert snap["entries"] == 1 and "salt" in snap
+    assert main(["cache", "clear", "--dir", str(cache_dir)]) == 0
+    assert "removed 1" in capsys.readouterr().out
+    assert main(["cache", "stats", "--dir", str(cache_dir), "--json"]) == 0
+    assert json.loads(capsys.readouterr().out)["entries"] == 0
+
+
+def test_run_all_expands_to_every_experiment(monkeypatch):
+    from repro import __main__ as cli
+
+    ran = []
+    monkeypatch.setattr(cli, "save_result", lambda r: "unsaved")
+
+    class FakeSpec:
+        parallelizable = False
+
+        def __init__(self, exp_id):
+            self.id = exp_id
+
+        def run(self, quick=False, runner=None):
+            ran.append(self.id)
+            from repro.bench.harness import ExperimentResult
+
+            return ExperimentResult(self.id, "fake")
+
+    fake = {exp_id: FakeSpec(exp_id) for exp_id in cli.REGISTRY}
+    monkeypatch.setattr(cli, "REGISTRY", fake)
+    assert cli.cmd_run(["all"], quick=True) == 0
+    assert ran == list(fake)
