@@ -6,6 +6,7 @@ Usage::
     python -m repro run E1 E2 E7          # run selected experiments
     python -m repro run E6 --quick        # scaled-down, faster variants
     python -m repro run all --parallel    # fan sweeps across worker processes
+    python -m repro run all --resume      # finish an interrupted sweep
     python -m repro cache stats           # inspect the result cache
     python -m repro measure --gpus 48 --config tuned
 
@@ -49,7 +50,8 @@ def cmd_list() -> int:
     return 0
 
 
-def _build_runner(parallel: bool, workers: int, no_cache: bool):
+def _build_runner(parallel: bool, workers: int, no_cache: bool,
+                  retries: int = 0):
     """Runner for ``run --parallel`` (None = plain serial execution)."""
     if not parallel:
         return None
@@ -58,12 +60,16 @@ def _build_runner(parallel: bool, workers: int, no_cache: bool):
     from repro.runner import ResultCache, Runner
 
     return Runner(workers=workers or (os.cpu_count() or 1),
-                  cache=None if no_cache else ResultCache())
+                  cache=None if no_cache else ResultCache(),
+                  retries=retries)
 
 
 def cmd_run(ids: list[str], quick: bool, parallel: bool = False,
-            workers: int = 0, no_cache: bool = False) -> int:
-    """Run the selected experiments and persist their results."""
+            workers: int = 0, no_cache: bool = False, resume: bool = False,
+            journal_path: str | None = None, retries: int = 1) -> int:
+    """Run the selected experiments, journaling each for ``--resume``."""
+    from repro.runner import RunJournal
+
     if ids == ["all"]:
         ids = list(REGISTRY)
     unknown = [i for i in ids if i not in REGISTRY]
@@ -71,30 +77,73 @@ def cmd_run(ids: list[str], quick: bool, parallel: bool = False,
         print(f"unknown experiment ids: {unknown}; try `python -m repro list`",
               file=sys.stderr)
         return 2
-    runner = _build_runner(parallel, workers, no_cache)
-    for exp_id in ids:
-        spec = REGISTRY[exp_id]
-        before = runner.stats.as_dict() if runner is not None else None
-        start = time.time()
-        result = spec.run(quick=quick, runner=runner)
-        elapsed = time.time() - start
-        result.meta = {"variant": "quick" if quick else "full"}
-        if runner is not None and spec.parallelizable:
-            delta = runner.stats.delta(before)
-            result.meta["runner"] = dict(runner.meta(), **delta)
-        print(result.table())
-        path = save_result(result)
-        line = f"[{exp_id}: {elapsed:.1f}s, saved {path}]"
-        run_meta = result.meta.get("runner")
-        if run_meta:
-            line += (f" [runner: {run_meta['workers']} workers, "
-                     f"{run_meta['cache_hits']} hits / "
-                     f"{run_meta['cache_misses']} misses]")
-        print(line + "\n")
+    variant = "quick" if quick else "full"
+    journal = RunJournal(journal_path)
+    if resume:
+        completed = journal.completed(variant)
+        skipped = [i for i in ids if i in completed]
+        ids = [i for i in ids if i not in completed]
+        if skipped:
+            print(f"[resume: skipping {len(skipped)} already-completed "
+                  f"experiment(s): {' '.join(skipped)}]")
+        if not ids:
+            print("[resume: nothing left to run]")
+            return 0
+        journal.append("sweep_resume", experiments=ids, variant=variant)
+    else:
+        journal.append("sweep_start", experiments=ids, variant=variant)
+    runner = _build_runner(parallel, workers, no_cache, retries=retries)
+    failures = []
+    try:
+        for exp_id in ids:
+            spec = REGISTRY[exp_id]
+            journal.append("experiment_start", experiment=exp_id,
+                           variant=variant)
+            before = runner.stats.as_dict() if runner is not None else None
+            start = time.time()
+            try:
+                result = spec.run(quick=quick, runner=runner)
+            except KeyboardInterrupt:
+                raise
+            except Exception as err:
+                journal.append("experiment_failed", experiment=exp_id,
+                               variant=variant, error=repr(err))
+                failures.append(exp_id)
+                print(f"[{exp_id} failed: {err!r}; continuing]",
+                      file=sys.stderr)
+                continue
+            elapsed = time.time() - start
+            result.meta = {"variant": variant}
+            if runner is not None and spec.parallelizable:
+                delta = runner.stats.delta(before)
+                result.meta["runner"] = dict(runner.meta(), **delta)
+            print(result.table())
+            path = save_result(result)
+            journal.append("experiment_done", experiment=exp_id,
+                           variant=variant, elapsed_s=round(elapsed, 3),
+                           path=str(path))
+            line = f"[{exp_id}: {elapsed:.1f}s, saved {path}]"
+            run_meta = result.meta.get("runner")
+            if run_meta:
+                line += (f" [runner: {run_meta['workers']} workers, "
+                         f"{run_meta['cache_hits']} hits / "
+                         f"{run_meta['cache_misses']} misses]")
+            print(line + "\n")
+    except KeyboardInterrupt:
+        journal.append("sweep_interrupted", variant=variant)
+        print(f"\n[interrupted — journal saved to {journal.path}; "
+              f"rerun with --resume to finish the remaining experiments]",
+              file=sys.stderr)
+        return 130
+    journal.append("sweep_done", variant=variant, failed=failures)
     if runner is not None and runner.cache is not None:
         s = runner.cache.stats
         print(f"[cache: {s.hits} hits, {s.misses} misses, "
               f"{runner.cache.snapshot()['entries']} entries on disk]")
+    if failures:
+        print(f"[{len(failures)} experiment(s) failed: {' '.join(failures)}]",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -168,8 +217,12 @@ def cmd_faults_run(schedule_path: str, gpus: int, config_name: str,
     for key in ("faults_applied", "faults_reverted", "flap_cycles",
                 "transfer_retries", "transfer_timeouts", "suspects",
                 "suspects_cleared", "rank_crashes", "rank_restarts",
-                "surviving_ranks"):
+                "surviving_ranks", "job_kills"):
         print(f"  {key:<22} {report.get(key, 0)}")
+    if m.interrupted:
+        done = len(m.stats.iteration_seconds)
+        print(f"  job killed after {done}/{iterations} iterations"
+              f" (stats cover the completed prefix)")
     print(f"  {'suspect_seconds':<22} {report.get('suspect_seconds', 0.0):.4f}")
     for phase, seconds in report.get("fault_phase_seconds", {}).items():
         print(f"  {phase + '_seconds':<22} {seconds:.4f}")
@@ -284,6 +337,15 @@ def main(argv: list[str] | None = None) -> int:
                             "(0 = CPU count)")
     run_p.add_argument("--no-cache", action="store_true",
                        help="with --parallel: skip the on-disk result cache")
+    run_p.add_argument("--resume", action="store_true",
+                       help="skip experiments the run journal already "
+                            "records as done (same variant)")
+    run_p.add_argument("--journal", metavar="PATH", default=None,
+                       help="run journal path "
+                            "(default bench_results/run_journal.jsonl)")
+    run_p.add_argument("--retries", type=int, default=1,
+                       help="with --parallel: per-point retries before a "
+                            "failure is fatal (default 1)")
     cache_p = sub.add_parser("cache", help="inspect/clear the result cache")
     cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
     for verb, help_ in (("stats", "show cache contents and hit accounting"),
@@ -340,7 +402,9 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_list()
     if args.command == "run":
         return cmd_run(args.ids, args.quick, parallel=args.parallel,
-                       workers=args.workers, no_cache=args.no_cache)
+                       workers=args.workers, no_cache=args.no_cache,
+                       resume=args.resume, journal_path=args.journal,
+                       retries=args.retries)
     if args.command == "cache":
         return cmd_cache(args.cache_command, args.dir,
                          getattr(args, "json", False))

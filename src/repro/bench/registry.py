@@ -170,6 +170,12 @@ _SPECS = (
         tags=("extension", "telemetry"),
         parallelizable=True,
     ),
+    ExperimentSpec(
+        "E15", "interrupt/resume determinism & checkpoint cost (extension)",
+        E.e15_interrupt_resume,
+        quick_kwargs={"gpus": 12, "iterations": 5, "cadences": (1,)},
+        tags=("extension", "checkpoint"),
+    ),
 )
 
 #: id -> spec, in presentation order.

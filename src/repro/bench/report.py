@@ -77,6 +77,11 @@ COMMENTARY = {
            "is attributed almost entirely to exposed communication plus "
            "fusion wait; the tuned config's overhead share is strictly "
            "smaller at every count >= 24 GPUs.",
+    "E15": "Extension (crash safety): the run is killed by a "
+           "`process_kill` fault at 60% of its wall time, resumed from "
+           "the last checkpoint, and the completed statistics are "
+           "compared byte-for-byte against an uninterrupted run — at "
+           "every checkpoint cadence the resumed run is bit-identical.",
 }
 
 HEADER = """\
@@ -100,7 +105,7 @@ Reproduction scope note: absolute times come from a calibrated simulation
 (see DESIGN.md §2/§5); the claims checked here are the paper's *shapes
 and headline ratios* — who wins, by how much, and where the crossovers
 fall — plus the two single-GPU throughputs the calibration is anchored
-to.  E1–E10 reproduce the paper; E11–E14 are documented extensions.
+to.  E1–E10 reproduce the paper; E11–E15 are documented extensions.
 
 Headline (abstract) claims at 132 GPUs:
 

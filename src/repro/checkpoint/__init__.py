@@ -1,0 +1,25 @@
+"""Crash-safe checkpointing: container format + training snapshot/resume."""
+
+from repro.checkpoint.format import (
+    SCHEMA_VERSION,
+    CheckpointError,
+    dumps_checkpoint,
+    inspect_checkpoint,
+    loads_checkpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.checkpoint.train import CheckpointPlan, TrainCheckpoint, resume_training
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointPlan",
+    "SCHEMA_VERSION",
+    "TrainCheckpoint",
+    "dumps_checkpoint",
+    "inspect_checkpoint",
+    "loads_checkpoint",
+    "read_checkpoint",
+    "resume_training",
+    "write_checkpoint",
+]

@@ -35,6 +35,7 @@ from repro.train.stats import TrainStats
 
 __all__ = [
     "Measurement",
+    "build_fault_report",
     "clear_profile_cache",
     "measure_many",
     "measure_training",
@@ -92,6 +93,12 @@ class Measurement:
     #: :class:`~repro.telemetry.TelemetryProbe` attached to the run, when
     #: measured with ``telemetry=True`` (feeds the attribution engine).
     telemetry: object = None
+    #: :class:`~repro.checkpoint.TrainCheckpoint` captured at the last
+    #: plan boundary, when measured with ``checkpoint=``.
+    checkpoint: object = None
+    #: True when the run was killed before completing (``ProcessKill`` /
+    #: ``CheckpointPlan.stop_at``) — the stats above are partial.
+    interrupted: bool = False
 
     @property
     def images_per_second(self) -> float:
@@ -111,6 +118,38 @@ class Measurement:
         return self.config.label
 
 
+def build_fault_report(injector, timeline, comm, runtime, trainer) -> dict:
+    """Assemble the resilience counters dict for a faulted run.
+
+    Shared between :func:`measure_training` and
+    :func:`repro.checkpoint.resume_training` so both produce the same
+    payload shape (a resumed run must compare equal to an uninterrupted
+    one field for field).
+    """
+    totals = timeline.total_by_phase()
+    return {
+        "faults_applied": injector.stats.applied,
+        "faults_reverted": injector.stats.reverted,
+        "flap_cycles": injector.stats.flap_cycles,
+        "crashes": injector.stats.crashes,
+        "restarts": injector.stats.restarts,
+        "job_kills": getattr(injector.stats, "kills", 0),
+        "transfer_retries": comm.transfer_retries,
+        "transfer_timeouts": comm.transfer_timeouts,
+        "suspects": runtime.stats.suspects,
+        "suspects_cleared": runtime.stats.suspects_cleared,
+        "rank_crashes": runtime.stats.rank_crashes,
+        "rank_restarts": runtime.stats.rank_restarts,
+        "suspect_seconds": runtime.stats.suspect_seconds,
+        "fault_phase_seconds": {
+            phase: totals.get(phase, 0.0)
+            for phase in ("FAULT", "SUSPECT", "RECOVER")
+        },
+        "surviving_ranks": len(runtime.active),
+        "completed_iterations": dict(trainer.completed_iterations),
+    }
+
+
 def measure_training(
     gpus: int,
     config: SystemConfig,
@@ -124,6 +163,7 @@ def measure_training(
     fault=None,
     schedule=None,
     telemetry=None,
+    checkpoint=None,
 ) -> Measurement:
     """Simulate a measured training job and return its statistics.
 
@@ -146,9 +186,32 @@ def measure_training(
     simulated timings are unchanged) and returned on
     ``Measurement.telemetry``, ready for
     :func:`~repro.telemetry.attribute_measurement`.
+
+    ``checkpoint`` captures resumable state at iteration boundaries: an
+    int is shorthand for ``CheckpointPlan(every=n)``, or pass a full
+    :class:`~repro.checkpoint.CheckpointPlan` (``stop_at`` interrupts the
+    run at that boundary; ``path`` persists the latest capture to disk).
+    The captured :class:`~repro.checkpoint.TrainCheckpoint` is returned
+    on ``Measurement.checkpoint``, ready for
+    :func:`~repro.checkpoint.resume_training`.
     """
     if gpus < 1:
         raise ValueError(f"gpus must be >= 1, got {gpus}")
+    plan = None
+    if checkpoint is not None:
+        from repro.checkpoint import CheckpointPlan
+
+        plan = (
+            checkpoint
+            if isinstance(checkpoint, CheckpointPlan)
+            else CheckpointPlan(every=int(checkpoint))
+        )
+        if fault is not None:
+            raise ValueError(
+                "checkpoint= cannot be combined with the fault= callable "
+                "(its topology mutation has no resumable representation); "
+                "use a FaultSchedule instead"
+            )
     profile = model_profile(model, per_gpu_batch)
     env = Environment()
     nodes = max(1, math.ceil(gpus / GPUS_PER_NODE))
@@ -179,11 +242,13 @@ def measure_training(
 
         injector = FaultInjector(env, schedule, topology=topo, timeline=timeline)
         trainer = DistributedTrainer(
-            runtime, profile, job, faults=injector, probe=probe
+            runtime, profile, job, faults=injector, probe=probe, checkpoint=plan
         )
         injector.bind(runtime=runtime, trainer=trainer).start()
     else:
-        trainer = DistributedTrainer(runtime, profile, job, probe=probe)
+        trainer = DistributedTrainer(
+            runtime, profile, job, probe=probe, checkpoint=plan
+        )
     if probe is not None:
         probe.attach(
             env=env, comm=comm, runtime=runtime, trainer=trainer, fabric=fabric
@@ -193,27 +258,30 @@ def measure_training(
         probe.finalize()
     fault_report = None
     if injector is not None:
-        totals = timeline.total_by_phase()
-        fault_report = {
-            "faults_applied": injector.stats.applied,
-            "faults_reverted": injector.stats.reverted,
-            "flap_cycles": injector.stats.flap_cycles,
-            "crashes": injector.stats.crashes,
-            "restarts": injector.stats.restarts,
-            "transfer_retries": comm.transfer_retries,
-            "transfer_timeouts": comm.transfer_timeouts,
-            "suspects": runtime.stats.suspects,
-            "suspects_cleared": runtime.stats.suspects_cleared,
-            "rank_crashes": runtime.stats.rank_crashes,
-            "rank_restarts": runtime.stats.rank_restarts,
-            "suspect_seconds": runtime.stats.suspect_seconds,
-            "fault_phase_seconds": {
-                phase: totals.get(phase, 0.0)
-                for phase in ("FAULT", "SUSPECT", "RECOVER")
+        fault_report = build_fault_report(
+            injector, timeline, comm, runtime, trainer
+        )
+    train_checkpoint = None
+    if plan is not None and trainer.last_checkpoint_state is not None:
+        from repro.checkpoint import TrainCheckpoint, write_checkpoint
+
+        train_checkpoint = TrainCheckpoint(
+            spec={
+                "gpus": gpus,
+                "config": config,
+                "model": model,
+                "per_gpu_batch": per_gpu_batch,
+                "iterations": iterations,
+                "warmup_iterations": warmup_iterations,
+                "jitter_std": jitter_std,
+                "seed": seed,
+                "negotiation": negotiation,
+                "schedule": schedule,
             },
-            "surviving_ranks": len(runtime.active),
-            "completed_iterations": dict(trainer.completed_iterations),
-        }
+            state=trainer.last_checkpoint_state,
+        )
+        if plan.path is not None:
+            write_checkpoint(plan.path, train_checkpoint)
     return Measurement(
         gpus=gpus,
         config=config,
@@ -225,6 +293,8 @@ def measure_training(
         link_utilization=fabric.utilization_report(),
         fault_report=fault_report,
         telemetry=probe,
+        checkpoint=train_checkpoint,
+        interrupted=trainer.job_killed,
     )
 
 

@@ -21,6 +21,7 @@ from repro.faults.spec import (
     DegradedRail,
     FaultSchedule,
     LinkFlap,
+    ProcessKill,
     RankCrash,
     RankRestart,
     StragglerGPU,
@@ -32,6 +33,7 @@ __all__ = [
     "FaultSchedule",
     "InjectorStats",
     "LinkFlap",
+    "ProcessKill",
     "RankCrash",
     "RankRestart",
     "StragglerGPU",

@@ -29,6 +29,7 @@ from repro.faults.spec import (
     DegradedRail,
     FaultSchedule,
     LinkFlap,
+    ProcessKill,
     RankCrash,
     RankRestart,
     StragglerGPU,
@@ -48,6 +49,7 @@ class InjectorStats:
     flap_cycles: int = 0
     crashes: int = 0
     restarts: int = 0
+    kills: int = 0
 
 
 class FaultInjector:
@@ -94,6 +96,9 @@ class FaultInjector:
     # -- per-fault processes ---------------------------------------------------
     def _drive(self, spec):
         yield self.env.timeout(spec.start_s)
+        yield from self._fire(spec)
+
+    def _fire(self, spec):
         if isinstance(spec, StragglerGPU):
             yield from self._drive_straggler(spec)
         elif isinstance(spec, DegradedRail):
@@ -104,6 +109,8 @@ class FaultInjector:
             self._apply_crash(spec)
         elif isinstance(spec, RankRestart):
             self._apply_restart(spec)
+        elif isinstance(spec, ProcessKill):
+            self._apply_kill(spec)
 
     def _drive_straggler(self, spec: StragglerGPU):
         start = self.env.now
@@ -177,6 +184,99 @@ class FaultInjector:
         self.stats.restarts += 1
         self._record(f"restart_rank{spec.rank}", self.env.now)
 
+    def _apply_kill(self, spec: ProcessKill) -> None:
+        if self.trainer is None:
+            raise RuntimeError("ProcessKill fired but no trainer is bound")
+        self.stats.applied += 1
+        self.stats.kills += 1
+        self._record("kill_job", self.env.now)
+        self.trainer.kill_job(f"process_kill at {spec.start_s:g}s")
+
+    # -- checkpoint resume -----------------------------------------------------
+    def start_resumed(self) -> "FaultInjector":
+        """Rejoin the schedule mid-flight at the current simulated time.
+
+        Used by :func:`repro.checkpoint.resume_training` after
+        :attr:`stats` has been restored from the checkpoint.  Replays the
+        schedule's link mutations up to ``env.now`` with the exact float
+        arithmetic of the live drivers, sets the resulting absolute
+        (factor, up) state on the fresh topology, re-applies straggler
+        multipliers for windows spanning the instant, and spawns
+        continuation processes that walk each in-flight window's
+        remaining edges at their original absolute times
+        (:meth:`~repro.sim.Environment.timeout_until` — no float drift).
+        Already-counted ``applied``/``flap_cycles`` are not re-counted.
+        """
+        if self._started:
+            return self
+        self._started = True
+        now = self.env.now
+        final, windows = _link_history(self.schedule, now)
+        if self.topology is not None:
+            for (a_s, b_s), (factor, up) in final.items():
+                a, b = Device.parse(a_s), Device.parse(b_s)
+                self.topology.set_link_factor(a, b, factor)
+                self.topology.set_link_up(a, b, up)
+        for spec in self.schedule:
+            if isinstance(spec, StragglerGPU):
+                if spec.start_s <= now < spec.start_s + spec.duration_s:
+                    self._straggler_mult.setdefault(spec.rank, []).append(
+                        spec.slowdown
+                    )
+        for i, spec in enumerate(self.schedule):
+            if spec.start_s > now:
+                self.env.process(self._drive_pending_resumed(spec))
+            elif isinstance(spec, StragglerGPU) and now < spec.start_s + spec.duration_s:
+                self.env.process(self._resume_straggler(spec))
+            elif isinstance(spec, (DegradedRail, LinkFlap)):
+                w = windows[i]
+                if now < w.finish_t:
+                    self.env.process(self._resume_window(spec, w))
+        return self
+
+    def _drive_pending_resumed(self, spec):
+        # timeout_until keeps the original absolute fire time exact
+        # (0.0 + start_s == start_s, but now + (start_s - now) need not be).
+        yield self.env.timeout_until(spec.start_s)
+        yield from self._fire(spec)
+
+    def _resume_straggler(self, spec: StragglerGPU):
+        # applied was counted (and the multiplier re-added) already —
+        # only the revert remains.
+        yield self.env.timeout_until(spec.start_s + spec.duration_s)
+        self._straggler_mult[spec.rank].remove(spec.slowdown)
+        self.stats.reverted += 1
+        self._record(
+            f"straggler_rank{spec.rank}_x{spec.slowdown:g}", spec.start_s
+        )
+
+    def _resume_window(self, spec, w: "_Window"):
+        a, b = self._endpoints(spec)
+        for t, op in w.ops:
+            if t <= self.env.now:
+                continue
+            yield self.env.timeout_until(t)
+            if op == "down":
+                if spec.severity == 0.0:
+                    self.topology.set_link_up(a, b, False)
+                else:
+                    self.topology.set_link_factor(a, b, w.prior * spec.severity)
+                self.stats.flap_cycles += 1
+            elif op == "up":
+                self.topology.set_link_up(a, b, True)
+                self.topology.set_link_factor(a, b, w.prior)
+            elif op == "revert":
+                self.topology.set_link_factor(a, b, w.prior)
+        if self.env.now < w.finish_t:
+            yield self.env.timeout_until(w.finish_t)
+        self.stats.reverted += 1
+        label = (
+            f"degraded_{a}--{b}_x{spec.factor:g}"
+            if isinstance(spec, DegradedRail)
+            else f"flap_{a}--{b}"
+        )
+        self._record(label, spec.start_s)
+
     # -- helpers ---------------------------------------------------------------
     def _endpoints(self, spec) -> tuple[Device, Device]:
         if self.topology is None:
@@ -188,3 +288,93 @@ class FaultInjector:
     def _record(self, label: str, start_s: float) -> None:
         if self.timeline is not None:
             self.timeline.record("FAULT", label, start_s, self.env.now)
+
+
+@dataclass
+class _Window:
+    """One link-mutating window's replayed edge history."""
+
+    index: int
+    link: tuple[str, str]
+    #: Link factor at window start (what the live driver captured).
+    prior: float
+    #: ``(time, op)`` edges: apply/revert (rail) or down/up (flap).
+    ops: list
+    #: When the live driver's generator ends (reverted++ / record).
+    finish_t: float
+
+
+def _link_history(schedule, until: float):
+    """Replay the schedule's link mutations with live-driver arithmetic.
+
+    Returns ``(final, windows)``: ``final`` maps each touched link to its
+    absolute ``(factor, up)`` state once every edge with time <= ``until``
+    has been applied (events at exactly ``until`` fired before the
+    checkpoint finalizer, so they count as done), and ``windows`` carries
+    per-window priors and edge lists for the continuation processes.
+
+    The edge times use the same incremental float expressions the live
+    generators evaluate (``t = t + down``, ``end = start + duration``),
+    so continuation sleeps land on bit-identical instants.
+    """
+    windows: list[_Window] = []
+    for i, spec in enumerate(schedule):
+        if isinstance(spec, DegradedRail):
+            start = spec.start_s
+            end = start + spec.duration_s
+            windows.append(_Window(
+                index=i, link=tuple(spec.link), prior=1.0,
+                ops=[(start, "apply"), (end, "revert")], finish_t=end,
+            ))
+        elif isinstance(spec, LinkFlap):
+            start = spec.start_s
+            end = start + spec.duration_s
+            ops = []
+            t = start
+            while t < end:
+                down = min(spec.down_s, end - t)
+                ops.append((t, "down"))
+                t = t + down
+                ops.append((t, "up"))
+                remainder = spec.period_s - spec.down_s
+                if remainder <= 0 or t >= end:
+                    break
+                t = t + min(remainder, end - t)
+            windows.append(_Window(
+                index=i, link=tuple(spec.link), prior=1.0,
+                ops=ops, finish_t=t,
+            ))
+    by_index = {w.index: w for w in windows}
+    merged = sorted(
+        ((t, w.index, seq, op, w) for w in windows
+         for seq, (t, op) in enumerate(w.ops)),
+        key=lambda e: (e[0], e[1], e[2]),
+    )
+    factor: dict[tuple[str, str], float] = {}
+    up: dict[tuple[str, str], bool] = {}
+    for t, index, seq, op, w in merged:
+        if t > until:
+            continue
+        spec = schedule.faults[index]
+        link = w.link
+        cur = factor.get(link, 1.0)
+        if op == "apply":
+            w.prior = cur
+            factor[link] = cur * spec.factor
+        elif op == "revert":
+            factor[link] = w.prior
+        elif op == "down":
+            if seq == 0:
+                w.prior = cur
+            if spec.severity == 0.0:
+                up[link] = False
+            else:
+                factor[link] = w.prior * spec.severity
+        elif op == "up":
+            up[link] = True
+            factor[link] = w.prior
+    final = {
+        link: (factor.get(link, 1.0), up.get(link, True))
+        for link in set(factor) | set(up)
+    }
+    return final, by_index

@@ -23,6 +23,7 @@ __all__ = [
     "DegradedRail",
     "FaultSchedule",
     "LinkFlap",
+    "ProcessKill",
     "RankCrash",
     "RankRestart",
     "StragglerGPU",
@@ -117,6 +118,26 @@ class RankRestart:
             raise ValueError("rank must be >= 0")
 
 
+@dataclass(frozen=True)
+class ProcessKill:
+    """The whole training job is killed (preemption/SIGKILL) at ``start_s``.
+
+    Unlike :class:`RankCrash`, nothing survives to detect or recover —
+    the run ends with partial statistics.  Pair with a
+    :class:`~repro.checkpoint.CheckpointPlan`: the state captured at the
+    last iteration boundary before the kill feeds
+    :func:`~repro.checkpoint.resume_training`, which strips pending
+    ``ProcessKill`` specs (the kill models the interruption itself, not
+    workload behaviour).
+    """
+
+    start_s: float
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ValueError("start_s must be >= 0")
+
+
 #: JSON ``type`` tag ↔ spec class.
 _TYPES = {
     "straggler": StragglerGPU,
@@ -124,10 +145,13 @@ _TYPES = {
     "degraded_rail": DegradedRail,
     "rank_crash": RankCrash,
     "rank_restart": RankRestart,
+    "process_kill": ProcessKill,
 }
 _TAGS = {cls: tag for tag, cls in _TYPES.items()}
 
-FaultSpec = StragglerGPU | LinkFlap | DegradedRail | RankCrash | RankRestart
+FaultSpec = (
+    StragglerGPU | LinkFlap | DegradedRail | RankCrash | RankRestart | ProcessKill
+)
 
 
 @dataclass(frozen=True)
@@ -179,7 +203,7 @@ class FaultSchedule:
                 specs.append(spec_cls(**kwargs))
             except TypeError as err:
                 raise ValueError(f"fault #{i} ({kind}): {err}") from err
-        return cls(tuple(specs))
+        return cls(tuple(specs)).validate()
 
     @classmethod
     def from_json(cls, text: str) -> "FaultSchedule":
@@ -206,6 +230,58 @@ class FaultSchedule:
             spec.start_s + getattr(spec, "duration_s", 0.0) for spec in self.faults
         ]
         return max(ends, default=0.0)
+
+    def validate(self) -> "FaultSchedule":
+        """Cross-spec consistency checks; returns ``self`` when clean.
+
+        Individual specs already validate their own fields in
+        ``__post_init__``; this catches combinations that are well-formed
+        in isolation but nonsensical together.  It runs automatically on
+        :meth:`from_dict`/:meth:`from_json` input (hand-built schedules
+        may intentionally model pathological sequences, e.g. the
+        runtime-only restart tests, so :meth:`of` does not call it).
+        """
+        # Crash/restart pairing must alternate per rank, in time order.
+        crash_like: dict[int, list] = {}
+        for spec in self.faults:
+            if isinstance(spec, (RankCrash, RankRestart)):
+                crash_like.setdefault(spec.rank, []).append(spec)
+        for rank, specs in crash_like.items():
+            crashed = False
+            for spec in sorted(specs, key=lambda s: s.start_s):
+                if isinstance(spec, RankCrash):
+                    if crashed:
+                        raise ValueError(
+                            f"rank {rank} crashes again at {spec.start_s:g}s "
+                            "without a rank_restart in between"
+                        )
+                    crashed = True
+                else:
+                    if not crashed:
+                        raise ValueError(
+                            f"rank_restart at {spec.start_s:g}s has no "
+                            f"preceding rank_crash for rank {rank}"
+                        )
+                    crashed = False
+        # Two flap windows on one link cannot overlap: each cycle's
+        # revert restores the state captured at ITS window start, so
+        # interleaved windows would fight over the link's true state.
+        flaps: dict[tuple[str, str], list[LinkFlap]] = {}
+        for spec in self.faults:
+            if isinstance(spec, LinkFlap):
+                flaps.setdefault(tuple(spec.link), []).append(spec)
+        for link, specs in flaps.items():
+            ordered = sorted(specs, key=lambda s: s.start_s)
+            for a, b in zip(ordered, ordered[1:]):
+                a_end = a.start_s + a.duration_s
+                if b.start_s < a_end:
+                    raise ValueError(
+                        f"overlapping link_flap windows on link "
+                        f"{link[0]}--{link[1]}: "
+                        f"[{a.start_s:g},{a_end:g})s and "
+                        f"[{b.start_s:g},{b.start_s + b.duration_s:g})s"
+                    )
+        return self
 
 
 def _check_window(spec: Any) -> None:

@@ -13,7 +13,14 @@ simulation.  This package makes the sweep layer exploit that:
   size cap (``repro cache stats`` / ``repro cache clear`` on the CLI);
 * :class:`~repro.runner.pool.Runner` / :func:`~repro.runner.pool.run_points`
   — process-pool fan-out with deterministic input-order merge, batch
-  dedup, progress callbacks and :mod:`repro.telemetry` counters.
+  dedup, progress callbacks, :mod:`repro.telemetry` counters, and
+  self-healing under failure: per-point watchdog timeouts, worker-crash
+  detection with pool respawn and isolation replay, bounded retry with
+  exponential backoff, and poison-point quarantine;
+* :class:`~repro.runner.journal.RunJournal` — append-only JSONL event
+  log under ``bench_results/`` that makes ``repro run all --resume``
+  replay only the experiments a crashed or interrupted sweep left
+  unfinished.
 
 The sweep-shaped experiment drivers (E3–E6, E8, E9, E11, E12, E14), the
 staged tuner and ``repro run --parallel`` all execute through here;
@@ -26,15 +33,18 @@ from repro.runner.cache import (
     CacheStats,
     ResultCache,
 )
+from repro.runner.journal import DEFAULT_JOURNAL_PATH, RunJournal
 from repro.runner.pool import Runner, RunnerError, RunnerStats, run_points
 from repro.runner.simpoint import OSUPoint, SimPoint, TrainPoint, cache_salt
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
+    "DEFAULT_JOURNAL_PATH",
     "DEFAULT_MAX_BYTES",
     "CacheStats",
     "OSUPoint",
     "ResultCache",
+    "RunJournal",
     "Runner",
     "RunnerError",
     "RunnerStats",

@@ -5,20 +5,31 @@ One entry per :meth:`~repro.runner.simpoint.SimPoint.key`: a pickled
 ``bench_results/.cache/<key>.pkl``.  Recency is tracked with file mtimes
 — every hit touches its entry — and :meth:`ResultCache.put` evicts
 least-recently-used entries whenever the directory grows past
-``max_bytes``.  Unreadable or corrupt entries are treated as misses and
-deleted, so a cache can never poison a run: the worst case is re-running
-the simulation.
+``max_bytes``.  Unreadable, zero-byte or truncated entries are treated
+as misses and deleted, so a cache can never poison a run: the worst case
+is re-running the simulation.
 
-The cache is safe against concurrent *writers* (atomic temp-file +
-rename), but hit/miss accounting is per-:class:`ResultCache` instance.
+Concurrency: writes are atomic (temp file + fsync + rename), and
+mutation paths (``put`` eviction, ``clear``) additionally hold an
+advisory ``fcntl`` lock on ``<dir>/.lock`` so concurrent sweeps sharing
+one cache directory don't race the LRU scan.  On platforms without
+``fcntl`` the lock degrades to a no-op — the rename is still atomic.
+Hit/miss accounting is per-:class:`ResultCache` instance.
 """
 
 from __future__ import annotations
 
+import contextlib
 import os
 import pickle
+import time
 from dataclasses import dataclass
 from pathlib import Path
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from repro.sim.units import MiB
 
@@ -29,6 +40,9 @@ __all__ = ["CacheStats", "ResultCache", "DEFAULT_CACHE_DIR",
 DEFAULT_CACHE_DIR = Path("bench_results") / ".cache"
 #: Default size cap; a cached quick-tier Measurement is ~100 KiB.
 DEFAULT_MAX_BYTES = 256 * MiB
+#: Orphaned temp files older than this are swept on the next ``put`` —
+#: they are leftovers from a writer that died mid-store.
+STALE_TMP_SECONDS = 300.0
 
 
 @dataclass
@@ -62,12 +76,30 @@ class ResultCache:
             raise ValueError(f"malformed cache key {key!r}")
         return self.directory / f"{key}.pkl"
 
+    @contextlib.contextmanager
+    def _lock(self):
+        """Advisory exclusive lock on the cache directory (best effort)."""
+        if fcntl is None:
+            yield
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.directory / ".lock", os.O_CREAT | os.O_RDWR)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            finally:
+                os.close(fd)
+
     # -- lookups -----------------------------------------------------------
     def get(self, key: str):
         """The cached value for ``key``, or ``None`` on a miss.
 
-        A hit refreshes the entry's LRU recency.  Corrupt entries are
-        deleted and reported as misses.
+        A hit refreshes the entry's LRU recency.  Zero-byte and corrupt
+        entries (e.g. a writer killed mid-store on a filesystem without
+        atomic rename durability) are deleted and reported as misses.
         """
         path = self._path(key)
         try:
@@ -75,9 +107,15 @@ class ResultCache:
         except OSError:
             self.stats.misses += 1
             return None
+        if not blob:
+            # Zero-byte entry: a torn write; self-heal as a miss.
+            path.unlink(missing_ok=True)
+            self.stats.misses += 1
+            return None
         try:
             value = pickle.loads(blob)
         except Exception:
+            # Truncated or garbage pickle: delete and re-execute.
             path.unlink(missing_ok=True)
             self.stats.misses += 1
             return None
@@ -94,11 +132,26 @@ class ResultCache:
         self.directory.mkdir(parents=True, exist_ok=True)
         blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-        tmp.write_bytes(blob)
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
         tmp.replace(path)
         self.stats.stores += 1
-        self._evict(keep=path)
+        with self._lock():
+            self._sweep_stale_tmp()
+            self._evict(keep=path)
         return path
+
+    def _sweep_stale_tmp(self) -> None:
+        """Remove temp files orphaned by writers that died mid-store."""
+        cutoff = time.time() - STALE_TMP_SECONDS
+        for tmp in self.directory.glob("*.tmp"):
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    tmp.unlink(missing_ok=True)
+            except OSError:
+                continue
 
     def _evict(self, keep: Path) -> None:
         """Delete oldest-recency entries until under ``max_bytes``."""
@@ -129,9 +182,10 @@ class ResultCache:
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""
         removed = 0
-        for path, _size, _mtime in self.entries():
-            path.unlink(missing_ok=True)
-            removed += 1
+        with self._lock():
+            for path, _size, _mtime in self.entries():
+                path.unlink(missing_ok=True)
+                removed += 1
         return removed
 
     def snapshot(self) -> dict:

@@ -1,0 +1,93 @@
+"""Append-only JSONL run journal for resumable sweeps.
+
+``repro run all`` can take hours; a crash or Ctrl-C should not force the
+whole sweep to repeat.  The journal records one JSON object per line
+under ``bench_results/run_journal.jsonl`` — sweep start/stop markers and
+per-experiment ``experiment_start`` / ``experiment_done`` /
+``experiment_failed`` events — and ``repro run all --resume`` replays
+only the experiments without an ``experiment_done`` record.
+
+Robustness contract: every append is a single ``write()`` of one
+newline-terminated line followed by ``flush()`` + ``fsync()``, so a
+crash can corrupt at most the final line; :meth:`RunJournal.events`
+silently drops a truncated tail instead of failing the resume that needs
+it most.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = ["DEFAULT_JOURNAL_PATH", "RunJournal"]
+
+#: Default location, next to the experiment results it tracks.
+DEFAULT_JOURNAL_PATH = Path("bench_results") / "run_journal.jsonl"
+
+
+class RunJournal:
+    """Append-only JSONL event log keyed by experiment id."""
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else DEFAULT_JOURNAL_PATH
+
+    # -- writing -----------------------------------------------------------
+    def append(self, event: str, **fields) -> dict:
+        """Durably append one ``{"event": ..., **fields}`` record."""
+        record = {"event": str(event), **fields}
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        return record
+
+    # -- reading -----------------------------------------------------------
+    def events(self) -> list[dict]:
+        """Every parseable record, in append order.
+
+        A truncated or garbled final line (writer killed mid-append) is
+        dropped; a garbled line elsewhere is skipped the same way —
+        resume must never die on the artifact of the crash it recovers
+        from.
+        """
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return []
+        records = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+        return records
+
+    def completed(self, variant: str | None = None) -> set[str]:
+        """Experiment ids with an ``experiment_done`` record.
+
+        ``variant`` restricts matching to records carrying that variant
+        tag (e.g. ``"quick"`` vs ``"paper"`` tiers), so a quick-tier
+        completion never satisfies a paper-tier resume.
+        """
+        done = set()
+        for record in self.events():
+            if record.get("event") != "experiment_done":
+                continue
+            if variant is not None and record.get("variant") != variant:
+                continue
+            eid = record.get("experiment")
+            if eid:
+                done.add(str(eid))
+        return done
+
+    def reset(self) -> None:
+        """Delete the journal (a fresh, non-resumed sweep starts clean)."""
+        self.path.unlink(missing_ok=True)

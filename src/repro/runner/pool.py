@@ -1,4 +1,4 @@
-"""The parallel cached experiment runner.
+"""The parallel cached experiment runner, hardened against worker failure.
 
 :meth:`Runner.run` resolves a batch of independent simulation points:
 
@@ -17,12 +17,42 @@ Determinism contract: a point's result depends only on the point (each
 execution builds a fresh simulation :class:`~repro.sim.Environment`), so
 serial, parallel and warm-cache runs of the same batch return
 bit-identical values.
+
+Self-healing: the pool survives the failures a long sweep actually hits.
+
+* **Worker crash** — a worker dying (segfault, ``os._exit``, OOM kill)
+  breaks the whole ``ProcessPoolExecutor`` and fails *every* in-flight
+  future, so the culprit is unknown.  The runner respawns the pool and
+  replays the victims one at a time (isolation): a point that crashes
+  *solo* is the culprit and is charged an attempt; innocents are not.
+* **Hung point** — with ``timeout_s`` set, a point running past its
+  watchdog deadline is charged a timeout; its worker is terminated (a
+  running future cannot be cancelled), the pool respawns, and in-flight
+  innocents are resubmitted uncharged.
+* **Bounded retry** — a charged failure is retried up to ``retries``
+  times with exponential backoff and deterministic per-(key, attempt)
+  jitter.
+* **Quarantine** — with ``failure_policy="quarantine"``, a point that
+  exhausts its retries resolves to ``None`` and is recorded in
+  :attr:`Runner.quarantined` instead of sinking the batch (the default
+  ``"raise"`` preserves the historical fail-fast contract).
+* **Progress isolation** — an exception from the ``progress`` callback
+  is counted (``runner_progress_errors_total``) and swallowed; only
+  ``KeyboardInterrupt`` still propagates, after a graceful pool drain.
 """
 
 from __future__ import annotations
 
+import random
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    CancelledError,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -46,6 +76,11 @@ class RunnerStats:
     executed: int = 0
     deduplicated: int = 0
     execute_seconds: float = 0.0
+    retries: int = 0
+    timeouts: int = 0
+    quarantined: int = 0
+    pool_respawns: int = 0
+    progress_errors: int = 0
 
     def as_dict(self) -> dict:
         """Plain dict (JSON-able)."""
@@ -56,6 +91,11 @@ class RunnerStats:
             "executed": self.executed,
             "deduplicated": self.deduplicated,
             "execute_seconds": round(self.execute_seconds, 3),
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "quarantined": self.quarantined,
+            "pool_respawns": self.pool_respawns,
+            "progress_errors": self.progress_errors,
         }
 
     def delta(self, before: dict) -> dict:
@@ -90,21 +130,63 @@ class Runner:
         counters into; a private one is created when omitted.
     progress:
         ``progress(done, total, point, cached)`` called after each point
-        resolves (in resolution order, not input order).
+        resolves (in resolution order, not input order).  Exceptions it
+        raises are counted and swallowed — a broken progress bar must not
+        abort a sweep.
+    retries:
+        How many times a failed/crashed/timed-out point is retried
+        before it is terminal (default 0: fail on first error, the
+        historical behaviour).
+    backoff_s / max_backoff_s:
+        Exponential-backoff base and cap between retries of one key;
+        jitter is deterministic per (key, attempt).
+    timeout_s:
+        Per-point watchdog for pool execution: a point running longer is
+        killed (its worker terminated, the pool respawned) and charged a
+        timeout.  ``None`` (default) disables the watchdog.  Inline
+        execution cannot be interrupted, so the watchdog only applies
+        with ``workers >= 2``.
+    failure_policy:
+        ``"raise"`` (default) re-raises the first terminal failure as
+        :class:`RunnerError`; ``"quarantine"`` records it in
+        :attr:`quarantined`, resolves the point to ``None`` and keeps
+        going.
     """
 
     def __init__(self, workers: int = 0,
                  cache: ResultCache | None = None,
                  registry: MetricRegistry | None = None,
                  progress: Callable[[int, int, SimPoint, bool], None] | None = None,
+                 retries: int = 0,
+                 backoff_s: float = 0.05,
+                 max_backoff_s: float = 2.0,
+                 timeout_s: float | None = None,
+                 failure_policy: str = "raise",
                  ) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("timeout_s must be > 0")
+        if failure_policy not in ("raise", "quarantine"):
+            raise ValueError(
+                f"failure_policy must be 'raise' or 'quarantine', "
+                f"got {failure_policy!r}"
+            )
         self.workers = int(workers)
         self.cache = cache
         self.progress = progress
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
+        self.max_backoff_s = float(max_backoff_s)
+        self.timeout_s = timeout_s
+        self.failure_policy = failure_policy
         self.registry = registry if registry is not None else MetricRegistry()
         self.stats = RunnerStats()
+        #: Terminal failures recorded under ``failure_policy="quarantine"``:
+        #: ``{"key", "point", "error"}`` dicts, in failure order.
+        self.quarantined: list[dict] = []
         self._m_points = self.registry.counter(
             "runner_points_total", "simulation points resolved",
             labelnames=("status",))
@@ -113,6 +195,17 @@ class Runner:
         self._m_seconds = self.registry.counter(
             "runner_execute_seconds_total",
             "host wall seconds spent executing points")
+        self._m_retries = self.registry.counter(
+            "runner_retries_total", "point retry attempts")
+        self._m_timeouts = self.registry.counter(
+            "runner_timeouts_total", "points killed by the watchdog")
+        self._m_quarantined = self.registry.counter(
+            "runner_quarantined_total", "points quarantined after retries")
+        self._m_respawns = self.registry.counter(
+            "runner_pool_respawns_total", "worker pool respawns")
+        self._m_progress_errors = self.registry.counter(
+            "runner_progress_errors_total",
+            "exceptions swallowed from progress callbacks")
         self._m_workers = self.registry.gauge(
             "runner_workers", "configured worker processes")
         self._m_workers.set(self.workers)
@@ -132,17 +225,22 @@ class Runner:
             groups.setdefault(point.key(), []).append(i)
         self.stats.deduplicated += len(points) - len(groups)
 
-        def resolve(key: str, value, cached: bool) -> None:
+        def resolve(key: str, value, cached: bool,
+                    status: str | None = None) -> None:
             nonlocal done
             for i in groups[key]:
                 results[i] = value
                 done += 1
-                status = "cache_hit" if cached else "executed"
-                self._m_points.labels(status=status).inc()
+                label = status or ("cache_hit" if cached else "executed")
+                self._m_points.labels(status=label).inc()
                 if cached:
                     self.stats.cache_hits += 1
                 if self.progress is not None:
-                    self.progress(done, len(points), points[i], cached)
+                    try:
+                        self.progress(done, len(points), points[i], cached)
+                    except Exception:
+                        self.stats.progress_errors += 1
+                        self._m_progress_errors.inc()
 
         todo: list[str] = []
         for key in groups:
@@ -154,51 +252,58 @@ class Runner:
 
         start = time.perf_counter()
         if self.workers >= 2 and len(todo) > 1:
-            self._run_pool(points, groups, todo, resolve)
+            _PoolDriver(self, points, groups, todo, resolve).run()
         else:
-            for key in todo:
-                point = points[groups[key][0]]
-                try:
-                    value = point.execute()
-                except Exception as exc:
-                    raise RunnerError(
-                        f"point failed: {point.describe()}") from exc
-                self._store(key, value)
-                resolve(key, value, cached=False)
+            self._run_inline(points, groups, todo, resolve)
         elapsed = time.perf_counter() - start
         self.stats.executed += len(todo)
         self.stats.execute_seconds += elapsed
         self._m_seconds.inc(elapsed)
         return results
 
-    def _run_pool(self, points, groups, todo, resolve) -> None:
-        """Fan ``todo`` keys out over a process pool; merge by index."""
-        workers = min(self.workers, len(todo))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_execute, points[groups[key][0]]): key
-                for key in todo
-            }
-            pending = set(futures)
-            try:
-                while pending:
-                    finished, pending = wait(pending,
-                                             return_when=FIRST_COMPLETED)
-                    for fut in finished:
-                        key = futures[fut]
-                        try:
-                            value = fut.result()
-                        except Exception as exc:
-                            raise RunnerError(
-                                "point failed: "
-                                f"{points[groups[key][0]].describe()}"
-                            ) from exc
-                        self._store(key, value)
-                        resolve(key, value, cached=False)
-            except BaseException:
-                for fut in pending:
-                    fut.cancel()
-                raise
+    def _run_inline(self, points, groups, todo, resolve) -> None:
+        for key in todo:
+            point = points[groups[key][0]]
+            attempt = 0
+            while True:
+                try:
+                    value = point.execute()
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    attempt += 1
+                    if attempt <= self.retries:
+                        self._count_retry(key, attempt)
+                        continue
+                    self._terminal(key, point, exc, resolve)
+                    break
+                self._store(key, value)
+                resolve(key, value, cached=False)
+                break
+
+    # -- failure plumbing (shared by inline and pool paths) ----------------
+    def _backoff(self, key: str, attempt: int) -> float:
+        jitter = 1.0 + random.Random(f"{key}:{attempt}").random()
+        return min(self.max_backoff_s,
+                   self.backoff_s * (2 ** (attempt - 1)) * jitter)
+
+    def _count_retry(self, key: str, attempt: int) -> None:
+        self.stats.retries += 1
+        self._m_retries.inc()
+        time.sleep(self._backoff(key, attempt))
+
+    def _terminal(self, key, point, exc, resolve) -> None:
+        if self.failure_policy == "quarantine":
+            self.stats.quarantined += 1
+            self._m_quarantined.inc()
+            self.quarantined.append({
+                "key": key,
+                "point": point.describe(),
+                "error": repr(exc),
+            })
+            resolve(key, None, cached=False, status="quarantined")
+            return
+        raise RunnerError(f"point failed: {point.describe()}") from exc
 
     def _store(self, key: str, value) -> None:
         if self.cache is not None:
@@ -208,16 +313,193 @@ class Runner:
     def meta(self) -> dict:
         """Runner metadata for :class:`~repro.bench.harness.ExperimentResult`."""
         out = {"workers": self.workers, **self.stats.as_dict()}
+        if self.quarantined:
+            out["quarantined_points"] = [dict(q) for q in self.quarantined]
         if self.cache is not None:
             out["cache"] = self.cache.snapshot()
         return out
+
+
+class _PoolDriver:
+    """One batch's process-pool state machine (crash/timeout recovery).
+
+    In-flight futures are capped at the worker count so a submitted
+    future is actually *running* — that makes the watchdog clock honest
+    and lets a broken pool's victim set be exactly the in-flight keys.
+    After a pool break the victims replay one at a time (``isolate``):
+    only a key that fails alone is charged an attempt.
+    """
+
+    def __init__(self, runner: Runner, points, groups, todo, resolve) -> None:
+        self.r = runner
+        self.points = points
+        self.groups = groups
+        self.resolve = resolve
+        self.queue: deque[str] = deque(todo)
+        self.isolate: deque[str] = deque()
+        self.attempts: dict[str, int] = {key: 0 for key in todo}
+        self.workers = min(runner.workers, max(1, len(todo)))
+        self.pool: ProcessPoolExecutor | None = None
+        self.inflight: dict = {}
+        self.started: dict = {}
+
+    def point(self, key: str):
+        return self.points[self.groups[key][0]]
+
+    def run(self) -> None:
+        self.pool = ProcessPoolExecutor(max_workers=self.workers)
+        try:
+            while self.queue or self.isolate or self.inflight:
+                self._fill()
+                self._reap()
+        except KeyboardInterrupt:
+            # Graceful drain: nothing new starts, workers die now, the
+            # batch's partial results stay merged.
+            self._kill_pool()
+            raise
+        finally:
+            if self.pool is not None:
+                if self.inflight:
+                    self._kill_pool()
+                else:
+                    self.pool.shutdown(wait=True)
+                    self.pool = None
+
+    # -- submission --------------------------------------------------------
+    def _fill(self) -> None:
+        if self.pool is None:
+            self._respawn()
+        cap = 1 if self.isolate else self.workers
+        source = self.isolate if self.isolate else self.queue
+        while source and len(self.inflight) < cap:
+            key = source.popleft()
+            fut = self.pool.submit(_execute, self.point(key))
+            self.inflight[fut] = key
+            self.started[fut] = time.perf_counter()
+
+    # -- completion --------------------------------------------------------
+    def _reap(self) -> None:
+        if not self.inflight:
+            return
+        timeout = None
+        if self.r.timeout_s is not None:
+            now = time.perf_counter()
+            deadline = min(self.started[f] for f in self.inflight) + self.r.timeout_s
+            timeout = max(0.02, deadline - now)
+        finished, _ = wait(set(self.inflight), timeout=timeout,
+                           return_when=FIRST_COMPLETED)
+        broken_exc = None
+        for fut in finished:
+            exc = self._exception(fut)
+            if isinstance(exc, BrokenExecutor):
+                broken_exc = exc
+        if broken_exc is not None:
+            self._handle_broken(broken_exc)
+            return
+        for fut in finished:
+            if fut not in self.inflight:
+                continue
+            key = self.inflight.pop(fut)
+            self.started.pop(fut, None)
+            exc = self._exception(fut)
+            if exc is None:
+                value = fut.result()
+                self.r._store(key, value)
+                self.resolve(key, value, cached=False)
+            else:
+                self._failure(key, exc, solo_retry=False)
+        if not finished and self.r.timeout_s is not None:
+            self._handle_timeouts()
+
+    @staticmethod
+    def _exception(fut):
+        try:
+            return fut.exception()
+        except CancelledError:
+            return None
+
+    # -- failure modes -----------------------------------------------------
+    def _handle_broken(self, exc: BaseException) -> None:
+        """A worker died; every in-flight future failed, culprit unknown."""
+        victims = list(self.inflight.values())
+        self.inflight.clear()
+        self.started.clear()
+        self._kill_pool()
+        self._respawn()
+        if len(victims) == 1:
+            # Alone in the pool (or already an isolation probe): guilty.
+            self._failure(victims[0], exc, solo_retry=True)
+        else:
+            # Replay one at a time; only a solo crasher gets charged.
+            self.isolate.extend(victims)
+
+    def _handle_timeouts(self) -> None:
+        now = time.perf_counter()
+        victims = [f for f in self.inflight
+                   if now - self.started[f] > self.r.timeout_s]
+        if not victims:
+            return
+        victim_keys = [self.inflight[f] for f in victims]
+        innocent_keys = [k for f, k in self.inflight.items()
+                         if f not in victims]
+        self.inflight.clear()
+        self.started.clear()
+        # Running futures cannot be cancelled — terminate the workers.
+        self._kill_pool()
+        self._respawn()
+        # Innocents go back to the front of the line, uncharged.
+        for key in reversed(innocent_keys):
+            self.queue.appendleft(key)
+        for key in victim_keys:
+            self.r.stats.timeouts += 1
+            self.r._m_timeouts.inc()
+            self._failure(
+                key,
+                TimeoutError(
+                    f"point exceeded timeout_s={self.r.timeout_s:g}"
+                ),
+                solo_retry=True,
+            )
+
+    def _failure(self, key: str, exc: BaseException, solo_retry: bool) -> None:
+        self.attempts[key] += 1
+        attempt = self.attempts[key]
+        if attempt <= self.r.retries:
+            self.r._count_retry(key, attempt)
+            # Crashers/timeouts damaged the pool — retry them solo so a
+            # repeat offence cannot take innocents down with it.
+            (self.isolate if solo_retry else self.queue).append(key)
+            return
+        self.r._terminal(key, self.point(key), exc, self.resolve)
+
+    # -- pool lifecycle ----------------------------------------------------
+    def _respawn(self) -> None:
+        if self.pool is None:
+            self.pool = ProcessPoolExecutor(max_workers=self.workers)
+            self.r.stats.pool_respawns += 1
+            self.r._m_respawns.inc()
+
+    def _kill_pool(self) -> None:
+        pool, self.pool = self.pool, None
+        if pool is None:
+            return
+        for proc in list(getattr(pool, "_processes", {}).values() or []):
+            try:
+                proc.terminate()
+            except Exception:
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
 
 
 def run_points(points: Sequence[SimPoint], workers: int = 0,
                cache: ResultCache | None = None,
                registry: MetricRegistry | None = None,
                progress: Callable[[int, int, SimPoint, bool], None] | None = None,
-               ) -> list:
-    """One-shot convenience: build a :class:`Runner` and resolve ``points``."""
+               **kwargs) -> list:
+    """One-shot convenience: build a :class:`Runner` and resolve ``points``.
+
+    Extra keyword arguments (``retries``, ``timeout_s``,
+    ``failure_policy``, ...) pass through to :class:`Runner`.
+    """
     return Runner(workers=workers, cache=cache, registry=registry,
-                  progress=progress).run(points)
+                  progress=progress, **kwargs).run(points)

@@ -178,14 +178,17 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+    def __init__(self, env: "Environment", delay: float, value: Any = None,
+                 _at: float | None = None) -> None:
+        if _at is not None:
+            delay = _at - env.now
         if delay < 0:
             raise ValueError(f"negative timeout delay {delay!r}")
         super().__init__(env)
         self.delay = delay
         self._ok = True
         self._value = value
-        env._schedule(self, NORMAL, delay)
+        env._schedule(self, NORMAL, delay, at=_at)
 
     # Timeouts are triggered at construction; succeed/fail are invalid.
     def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
@@ -429,6 +432,23 @@ class Environment:
         """Create a :class:`Timeout` firing ``delay`` seconds from now."""
         return Timeout(self, delay, value)
 
+    def timeout_until(self, when: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` firing at absolute time ``when``.
+
+        ``timeout(when - now)`` lands at ``now + (when - now)``, which can
+        differ from ``when`` by a rounding ulp.  Resume paths
+        (:mod:`repro.checkpoint`) need events to land exactly on times the
+        original run computed incrementally, so this schedules at ``when``
+        itself.  ``when`` must not be in the past; ``when == now`` behaves
+        like a zero delay.
+        """
+        when = float(when)
+        if when < self._now:
+            raise ValueError(
+                f"timeout_until({when}) is in the past (now={self._now})"
+            )
+        return Timeout(self, 0.0, value, _at=when)
+
     def process(self, generator: Generator) -> Process:
         """Start a new :class:`Process` running ``generator``."""
         return Process(self, generator)
@@ -442,9 +462,11 @@ class Environment:
         return AnyOf(self, events)
 
     # -- scheduling ------------------------------------------------------
-    def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+    def _schedule(self, event: Event, priority: int, delay: float = 0.0,
+                  at: float | None = None) -> None:
         self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        when = (self._now + delay) if at is None else at
+        heapq.heappush(self._queue, (when, priority, self._eid, event))
         if self.monitor is not None:
             self.monitor.on_schedule(self, event, delay)
 

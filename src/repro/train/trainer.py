@@ -27,6 +27,8 @@ tensors are matched by name, so the barrier self-aligns).
 
 from __future__ import annotations
 
+import dataclasses
+import pickle
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -78,7 +80,9 @@ class DistributedTrainer:
 
     def __init__(self, runtime: HorovodRuntime, profile: IterationProfile,
                  job: TrainJob, faults: Any | None = None,
-                 probe: Any | None = None) -> None:
+                 probe: Any | None = None,
+                 checkpoint: Any | None = None,
+                 resume_state: dict | None = None) -> None:
         if profile.batch_size != job.per_gpu_batch:
             raise ValueError(
                 f"profile computed at batch {profile.batch_size}, "
@@ -92,6 +96,11 @@ class DistributedTrainer:
         #: Optional telemetry hook (``on_iteration(IterationSample)``) —
         #: see :class:`repro.telemetry.TelemetryProbe`.
         self.probe = probe
+        #: Optional :class:`~repro.checkpoint.CheckpointPlan` controlling
+        #: state capture at iteration boundaries (duck-typed: anything
+        #: with ``every`` / ``stop_at`` works).
+        self.checkpoint_plan = checkpoint
+        self._resume_state = resume_state
         self._iteration_marks: dict[int, float] = {}
         self._input_stall = 0.0
         self._alive: set[int] = set(range(runtime.size))
@@ -99,8 +108,22 @@ class DistributedTrainer:
         self._procs: list[Any] = []
         self._next_barrier = 0
         self._boundary: Any | None = None
+        #: Ranks mid-rejoin (drained, not yet re-admitted) — checkpoints
+        #: are skipped while any rank is in this limbo.
+        self._rejoining: set[int] = set()
+        self._capture_pending: dict[int, dict[int, dict]] = {}
+        self._run_start_s = 0.0
         #: Iterations finished per rank (survivors end at ``job.iterations``).
         self.completed_iterations: dict[int, int] = {}
+        #: Most recent state dict captured by the checkpoint plan.
+        self.last_checkpoint_state: dict | None = None
+        #: Boundaries at which a checkpoint was successfully captured.
+        self.checkpoint_boundaries: list[int] = []
+        #: Captures skipped because the boundary was not quiescent.
+        self.checkpoints_skipped = 0
+        #: True once :meth:`kill_job` interrupted the run.
+        self.job_killed = False
+        self.halt_reason: str | None = None
 
     @property
     def world_size(self) -> int:
@@ -114,12 +137,36 @@ class DistributedTrainer:
 
     def run(self) -> TrainStats:
         """Execute the job and return measured statistics."""
-        start = self.env.now
+        if self._resume_state is not None:
+            return self._run_resumed()
+        self._run_start_s = self.env.now
         self._alive = set(range(self.world_size))
         for rank in range(self.world_size):
             proc = self.env.process(self._rank_loop(rank))
             self._rank_procs[rank] = proc
             self._procs.append(proc)
+        return self._finish()
+
+    def _run_resumed(self) -> TrainStats:
+        """Continue a run from a checkpoint state dict (see ``resume_state``)."""
+        rs = self._resume_state
+        self._run_start_s = rs["run_start_s"]
+        self._alive = set(rs["alive"])
+        self._next_barrier = rs["barrier"]
+        self._iteration_marks = dict(rs["iteration_marks"])
+        self._input_stall = rs["input_stall"]
+        self.completed_iterations = dict(rs["completed_iterations"])
+        # Sorted spawn order mirrors the relative event ordering the
+        # uninterrupted run's ranks have at the barrier instant.
+        for rank in sorted(rs["ranks"]):
+            proc = self.env.process(
+                self._resumed_rank_loop(rank, rs["ranks"][rank])
+            )
+            self._rank_procs[rank] = proc
+            self._procs.append(proc)
+        return self._finish()
+
+    def _finish(self) -> TrainStats:
         # Restarts spawn new processes mid-run, so loop until no process
         # (original or dynamically added) is still pending.
         while True:
@@ -129,7 +176,8 @@ class DistributedTrainer:
             self.env.run(until=self.env.all_of(pending))
         self.runtime.shutdown()
         self.env.run()
-        marks = [start] + [t for _, t in sorted(self._iteration_marks.items())]
+        marks = [self._run_start_s]
+        marks += [t for _, t in sorted(self._iteration_marks.items())]
         return TrainStats(
             world_size=self.world_size,
             per_gpu_batch=self.job.per_gpu_batch,
@@ -164,11 +212,30 @@ class DistributedTrainer:
         """
         if not 0 <= rank < self.world_size:
             raise ValueError(f"rank {rank} out of range")
-        if rank in self._alive:
+        if rank in self._alive or self.job_killed:
+            # A restart after kill_job would poll a shut-down coordinator
+            # forever; the killed run has nothing left to rejoin.
             return
+        self._rejoining.add(rank)
         proc = self.env.process(self._restart_loop(rank))
         self._rank_procs[rank] = proc
         self._procs.append(proc)
+
+    def kill_job(self, reason: str = "interrupted") -> None:
+        """Interrupt the whole run — the external preemption/SIGKILL model.
+
+        Every live training process is interrupted; ``run()`` then winds
+        down normally and returns partial statistics.  Pair with a
+        checkpoint plan: the state captured at the last boundary
+        (:attr:`last_checkpoint_state`) survives the kill and feeds
+        :func:`repro.checkpoint.resume_training`.
+        """
+        self.job_killed = True
+        self.halt_reason = reason
+        active = self.env.active_process
+        for proc in self._procs:
+            if proc is not active and not proc.triggered:
+                proc.interrupt(reason)
 
     def _fault_mult(self, rank: int) -> float:
         if self.faults is None:
@@ -208,12 +275,15 @@ class DistributedTrainer:
                 yield self._iteration_boundary()
             self.runtime.report_restart(rank)
             self._alive.add(rank)
+            self._rejoining.discard(rank)
             while self._next_barrier < job.iterations:
                 yield from self._one_iteration(
                     rank, self._next_barrier, jitter_gen, None
                 )
         except Interrupt:
             return
+        finally:
+            self._rejoining.discard(rank)
 
     def _iteration_boundary(self):
         """Shared event fired each time an iteration barrier completes."""
@@ -258,6 +328,11 @@ class DistributedTrainer:
             self._next_barrier = iteration + 1
         if self._boundary is not None and not self._boundary.triggered:
             self._boundary.succeed()
+        if self.checkpoint_plan is not None and self._capture_wanted(iteration + 1):
+            self._report_barrier(
+                rank, iteration, jitter, jitter_gen, clock,
+                (start_s, stall_end_s, forward_end_s, last_emit_s, barrier_s),
+            )
         yield self.env.timeout(profile.optimizer_s * jitter * self._fault_mult(rank))
         self.completed_iterations[rank] = self.completed_iterations.get(rank, 0) + 1
         if self._alive and rank == min(self._alive):
@@ -275,3 +350,171 @@ class DistributedTrainer:
                 barrier_s=barrier_s,
                 end_s=self.env.now,
             ))
+
+    # -- checkpointing ---------------------------------------------------------
+    def _capture_wanted(self, barrier: int) -> bool:
+        plan = self.checkpoint_plan
+        if self.job_killed or barrier >= self.job.iterations:
+            return False
+        if plan.stop_at is not None and barrier >= plan.stop_at:
+            # A boundary can be skipped (not quiescent), so the stop
+            # request stays armed until a capture actually lands.
+            return True
+        return plan.every > 0 and barrier % plan.every == 0
+
+    def _report_barrier(self, rank, iteration, jitter, jitter_gen, clock,
+                        times) -> None:
+        """One rank deposits its loop-local state at a barrier instant.
+
+        The barrier is the only moment the rank generators hold no
+        in-flight work, but their loop locals (jitter RNG, the drawn
+        multiplier for the iteration whose optimizer segment is still
+        ahead, the pipeline clock) live on the generator frames — each
+        rank passing the barrier parks a copy here, and a zero-delay
+        finalizer process assembles the full snapshot once every alive
+        rank has reported.
+        """
+        barrier = iteration + 1
+        reports = self._capture_pending.get(barrier)
+        first = reports is None
+        if first:
+            reports = {}
+            self._capture_pending[barrier] = reports
+        reports[rank] = {
+            "iteration": iteration,
+            "jitter": jitter,
+            "rng_state": jitter_gen.bit_generator.state,
+            "pipeline_ready_at": (
+                list(clock._ready_at) if clock is not None else None
+            ),
+            "sample": tuple(times),
+        }
+        if first:
+            # timeout(0) puts the finalizer after every event already
+            # scheduled at this instant: all rank reports, plus any fault
+            # driver firing exactly now (classified as done, not pending).
+            self._procs.append(
+                self.env.process(self._finalize_checkpoint(barrier))
+            )
+
+    def _finalize_checkpoint(self, barrier: int):
+        yield self.env.timeout(0.0)
+        reports = self._capture_pending.pop(barrier, {})
+        runtime = self.runtime
+        quiescent = (
+            set(reports) == self._alive
+            and not self._rejoining
+            and not runtime._entries
+            and not runtime._ready
+        )
+        if not quiescent:
+            self.checkpoints_skipped += 1
+            self._ckpt_count("checkpoint_skips_total")
+            return
+        self.last_checkpoint_state = self._snapshot_state(barrier, reports)
+        self.checkpoint_boundaries.append(barrier)
+        self._ckpt_count("checkpoint_captures_total")
+        plan = self.checkpoint_plan
+        if plan.stop_at is not None and barrier >= plan.stop_at:
+            self.kill_job(f"checkpoint plan stop_at boundary {barrier}")
+
+    def _snapshot_state(self, barrier: int, reports: dict[int, dict]) -> dict:
+        runtime = self.runtime
+        comm = runtime.comm
+        fabric = comm.fabric
+        inj_stats = getattr(self.faults, "stats", None)
+        return {
+            "clock": self.env.now,
+            "barrier": barrier,
+            "run_start_s": self._run_start_s,
+            "alive": sorted(self._alive),
+            "ranks": {r: dict(rec) for r, rec in sorted(reports.items())},
+            "iteration_marks": dict(self._iteration_marks),
+            "input_stall": self._input_stall,
+            "completed_iterations": dict(self.completed_iterations),
+            "runtime": {
+                "stats": dataclasses.replace(runtime.stats),
+                "response_cache": sorted(runtime._response_cache),
+                "active": sorted(runtime.active),
+                "removed": sorted(runtime._removed),
+                "crash_reports": sorted(runtime._crash_reports),
+                "suspects": {
+                    r: dataclasses.replace(s)
+                    for r, s in runtime._suspects.items()
+                },
+            },
+            "comm": {
+                "messages_sent": comm.messages_sent,
+                "transfer_retries": comm.transfer_retries,
+                "transfer_timeouts": comm.transfer_timeouts,
+            },
+            "fabric": {
+                "stats": dataclasses.replace(
+                    fabric.stats,
+                    bytes_by_link_type=dict(fabric.stats.bytes_by_link_type),
+                ),
+                "links": [
+                    (link.bytes_carried, link.busy_seconds)
+                    for link in fabric.topology.links()
+                ],
+            },
+            "timeline": list(runtime.timeline.events),
+            "injector": (
+                dataclasses.replace(inj_stats)
+                if dataclasses.is_dataclass(inj_stats)
+                else None
+            ),
+            "probe": (
+                pickle.dumps(self.probe) if self.probe is not None else None
+            ),
+        }
+
+    def _ckpt_count(self, name: str) -> None:
+        registry = getattr(self.probe, "registry", None)
+        if registry is not None:
+            registry.counter(name, "checkpoint lifecycle events").inc()
+
+    def _resumed_rank_loop(self, rank: int, rec: dict):
+        job = self.job
+        profile = self.profile
+        streams = RandomStreams(job.seed).child(f"rank{rank}")
+        jitter_gen = streams.get("compute-jitter")
+        jitter_gen.bit_generator.state = rec["rng_state"]
+        if rec["pipeline_ready_at"] is not None and job.pipeline is not None:
+            clock = PipelineClock(job.pipeline, job.per_gpu_batch, self.env.now)
+            clock._ready_at = list(rec["pipeline_ready_at"])
+        else:
+            clock = None
+        try:
+            # Finish the interrupted iteration's tail: the checkpoint was
+            # captured at its barrier, before any optimizer time elapsed.
+            iteration = rec["iteration"]
+            jitter = rec["jitter"]
+            yield self.env.timeout(
+                profile.optimizer_s * jitter * self._fault_mult(rank)
+            )
+            self.completed_iterations[rank] = (
+                self.completed_iterations.get(rank, 0) + 1
+            )
+            if self._alive and rank == min(self._alive):
+                self._iteration_marks.setdefault(iteration, self.env.now)
+            if self.probe is not None:
+                from repro.telemetry.instrument import IterationSample
+
+                s = rec["sample"]
+                self.probe.on_iteration(IterationSample(
+                    rank=rank,
+                    iteration=iteration,
+                    start_s=s[0],
+                    stall_end_s=s[1],
+                    forward_end_s=s[2],
+                    last_emit_s=s[3],
+                    barrier_s=s[4],
+                    end_s=self.env.now,
+                ))
+            while self._next_barrier < job.iterations:
+                yield from self._one_iteration(
+                    rank, self._next_barrier, jitter_gen, clock
+                )
+        except Interrupt:
+            return

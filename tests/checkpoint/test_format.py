@@ -1,0 +1,106 @@
+"""Tests for the checkpoint container format: magic, schema, CRC, atomics."""
+
+import pickle
+import struct
+
+import pytest
+
+from repro.checkpoint import (
+    CheckpointError,
+    SCHEMA_VERSION,
+    dumps_checkpoint,
+    inspect_checkpoint,
+    loads_checkpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.checkpoint.format import _HEADER, MAGIC
+
+PAYLOAD = {"clock": 1.25, "ranks": {0: [1, 2, 3]}, "nested": ("a", None)}
+
+
+def test_dumps_loads_roundtrip():
+    blob = dumps_checkpoint(PAYLOAD)
+    assert blob.startswith(MAGIC)
+    assert loads_checkpoint(blob) == PAYLOAD
+
+
+def test_roundtrip_is_bit_identical():
+    blob = dumps_checkpoint(PAYLOAD)
+    assert pickle.dumps(loads_checkpoint(blob)) == pickle.dumps(PAYLOAD)
+
+
+def test_write_read_roundtrip(tmp_path):
+    path = tmp_path / "ckpt" / "train.ckpt"
+    assert write_checkpoint(path, PAYLOAD) == path
+    assert read_checkpoint(path) == PAYLOAD
+
+
+def test_write_is_atomic_no_tmp_left(tmp_path):
+    path = tmp_path / "train.ckpt"
+    write_checkpoint(path, PAYLOAD)
+    assert list(tmp_path.glob("*.tmp")) == []
+    # Overwrite in place works and stays clean.
+    write_checkpoint(path, {"v": 2})
+    assert read_checkpoint(path) == {"v": 2}
+    assert list(tmp_path.glob("*.tmp")) == []
+
+
+@pytest.mark.parametrize("cut", [0, 4, len(MAGIC) + _HEADER.size - 1])
+def test_truncated_header_detected(cut):
+    blob = dumps_checkpoint(PAYLOAD)[:cut]
+    with pytest.raises(CheckpointError, match="truncated"):
+        loads_checkpoint(blob)
+
+
+def test_truncated_payload_detected():
+    blob = dumps_checkpoint(PAYLOAD)
+    with pytest.raises(CheckpointError, match="truncated"):
+        loads_checkpoint(blob[:-7])
+
+
+def test_bitflip_detected_by_crc():
+    blob = bytearray(dumps_checkpoint(PAYLOAD))
+    blob[-1] ^= 0xFF
+    with pytest.raises(CheckpointError, match="CRC"):
+        loads_checkpoint(bytes(blob))
+
+
+def test_bad_magic_rejected():
+    blob = b"NOTACKPT" + dumps_checkpoint(PAYLOAD)[len(MAGIC):]
+    with pytest.raises(CheckpointError, match="magic"):
+        loads_checkpoint(blob)
+
+
+def test_future_schema_rejected():
+    blob = dumps_checkpoint(PAYLOAD)
+    payload = blob[len(MAGIC) + _HEADER.size:]
+    _, crc, length = _HEADER.unpack_from(blob, len(MAGIC))
+    future = MAGIC + _HEADER.pack(SCHEMA_VERSION + 1, crc, length) + payload
+    with pytest.raises(CheckpointError, match="newer than supported"):
+        loads_checkpoint(future)
+
+
+def test_read_missing_file(tmp_path):
+    with pytest.raises(CheckpointError, match="cannot read"):
+        read_checkpoint(tmp_path / "nope.ckpt")
+
+
+def test_inspect_reports_header(tmp_path):
+    path = write_checkpoint(tmp_path / "train.ckpt", PAYLOAD)
+    info = inspect_checkpoint(path)
+    assert info["schema_version"] == SCHEMA_VERSION
+    assert info["complete"] is True
+    assert info["payload_bytes"] == struct.unpack_from(
+        "<Q", path.read_bytes(), len(MAGIC) + 6)[0]
+    # Truncate: inspect still works (header only) but flags incomplete.
+    blob = path.read_bytes()
+    path.write_bytes(blob[:-10])
+    assert inspect_checkpoint(path)["complete"] is False
+
+
+def test_inspect_rejects_non_checkpoint(tmp_path):
+    path = tmp_path / "junk.bin"
+    path.write_bytes(b"hello world")
+    with pytest.raises(CheckpointError, match="not a checkpoint"):
+        inspect_checkpoint(path)

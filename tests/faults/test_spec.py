@@ -124,3 +124,100 @@ class TestSchemaErrors:
                 {"faults": [{"type": "degraded_rail", "link": ["nic:0:0"],
                              "start_s": 0, "duration_s": 1, "factor": 0.5}]}
             )
+
+
+class TestProcessKill:
+    def test_negative_start_rejected(self):
+        from repro.faults import ProcessKill
+
+        with pytest.raises(ValueError, match="start_s must be >= 0"):
+            ProcessKill(start_s=-0.5)
+
+    def test_round_trips_through_dict_and_json(self):
+        from repro.faults import ProcessKill
+
+        s = FaultSchedule.of(ProcessKill(start_s=2.5))
+        assert FaultSchedule.from_dict(s.to_dict()) == s
+        assert FaultSchedule.from_json(s.to_json()) == s
+
+
+class TestScheduleValidate:
+    """Cross-spec validation: exact messages, not just 'it raises'."""
+
+    def test_double_crash_without_restart(self):
+        s = FaultSchedule.of(RankCrash(rank=2, start_s=1.0),
+                             RankCrash(rank=2, start_s=2.0))
+        with pytest.raises(ValueError) as err:
+            s.validate()
+        assert str(err.value) == (
+            "rank 2 crashes again at 2s without a rank_restart in between"
+        )
+
+    def test_restart_without_preceding_crash(self):
+        s = FaultSchedule.of(RankRestart(rank=1, start_s=0.5))
+        with pytest.raises(ValueError) as err:
+            s.validate()
+        assert str(err.value) == (
+            "rank_restart at 0.5s has no preceding rank_crash for rank 1"
+        )
+
+    def test_crash_order_is_by_time_not_declaration(self):
+        # Declared restart-first but times alternate correctly: valid.
+        s = FaultSchedule.of(RankRestart(rank=0, start_s=2.0),
+                             RankCrash(rank=0, start_s=1.0),
+                             RankCrash(rank=0, start_s=3.0))
+        assert s.validate() is s
+
+    def test_overlapping_flap_windows(self):
+        s = FaultSchedule.of(
+            LinkFlap(link=RAIL, start_s=0, duration_s=2.0, period_s=0.5,
+                     down_s=0.1),
+            LinkFlap(link=RAIL, start_s=1.5, duration_s=1.0, period_s=0.5,
+                     down_s=0.1),
+        )
+        with pytest.raises(ValueError) as err:
+            s.validate()
+        assert str(err.value) == (
+            "overlapping link_flap windows on link nic:0:0--switch:-1:1: "
+            "[0,2)s and [1.5,2.5)s"
+        )
+
+    def test_adjacent_flap_windows_are_fine(self):
+        s = FaultSchedule.of(
+            LinkFlap(link=RAIL, start_s=0, duration_s=2.0, period_s=0.5,
+                     down_s=0.1),
+            LinkFlap(link=RAIL, start_s=2.0, duration_s=1.0, period_s=0.5,
+                     down_s=0.1),
+        )
+        assert s.validate() is s
+
+    def test_flaps_on_different_links_never_overlap(self):
+        other = ("nic:1:0", "switch:-1:1")
+        s = FaultSchedule.of(
+            LinkFlap(link=RAIL, start_s=0, duration_s=2.0, period_s=0.5,
+                     down_s=0.1),
+            LinkFlap(link=other, start_s=1.0, duration_s=2.0, period_s=0.5,
+                     down_s=0.1),
+        )
+        assert s.validate() is s
+
+    def test_from_dict_validates_automatically(self):
+        doc = {"faults": [
+            {"type": "rank_restart", "rank": 4, "start_s": 1.0},
+        ]}
+        with pytest.raises(ValueError, match="no preceding rank_crash"):
+            FaultSchedule.from_dict(doc)
+
+    def test_negative_duration_exact_message(self):
+        with pytest.raises(ValueError) as err:
+            StragglerGPU(rank=0, start_s=0, duration_s=-1.0)
+        assert str(err.value) == "duration_s must be > 0"
+        with pytest.raises(ValueError) as err:
+            DegradedRail(link=RAIL, start_s=0, duration_s=-2.0, factor=0.5)
+        assert str(err.value) == "duration_s must be > 0"
+
+    def test_negative_start_exact_message(self):
+        with pytest.raises(ValueError) as err:
+            LinkFlap(link=RAIL, start_s=-0.1, duration_s=1.0, period_s=0.5,
+                     down_s=0.1)
+        assert str(err.value) == "start_s must be >= 0"

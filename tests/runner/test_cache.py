@@ -92,3 +92,54 @@ def test_missing_directory_is_all_misses(tmp_path):
 def test_max_bytes_must_be_positive(tmp_path):
     with pytest.raises(ValueError):
         ResultCache(directory=tmp_path, max_bytes=0)
+
+
+def test_zero_byte_entry_is_a_miss_and_deleted(cache):
+    path = cache.put(KEY_A, {"v": 1})
+    path.write_bytes(b"")
+    assert cache.get(KEY_A) is None
+    assert not path.exists()
+    assert cache.stats.misses == 1
+    # Self-healed: the slot accepts a fresh store.
+    cache.put(KEY_A, {"v": 2})
+    assert cache.get(KEY_A) == {"v": 2}
+
+
+def test_truncated_entry_is_a_miss_and_deleted(cache):
+    path = cache.put(KEY_A, {"values": list(range(1000))})
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])  # torn write mid-file
+    assert cache.get(KEY_A) is None
+    assert not path.exists()
+    assert cache.stats.misses == 1
+
+
+def test_stale_tmp_files_swept_on_put(cache):
+    cache.directory.mkdir(parents=True, exist_ok=True)
+    stale = cache.directory / f"{KEY_B}.pkl.12345.tmp"
+    stale.write_bytes(b"orphaned by a dead writer")
+    os.utime(stale, (1, 1))  # ancient
+    fresh = cache.directory / f"{KEY_C}.pkl.12346.tmp"
+    fresh.write_bytes(b"another writer, mid-store right now")
+    cache.put(KEY_A, {"v": 1})
+    assert not stale.exists()
+    assert fresh.exists()  # recent tmp files belong to live writers
+
+
+def test_put_holds_advisory_lock(cache):
+    pytest.importorskip("fcntl")
+    cache.put(KEY_A, {"v": 1})
+    assert (cache.directory / ".lock").exists()
+    # Lock files are not cache entries.
+    assert all(p.suffix == ".pkl" for p, _, _ in cache.entries())
+
+
+def test_concurrent_style_interleaved_puts(cache):
+    # Two instances sharing a directory never corrupt each other.
+    other = ResultCache(directory=cache.directory)
+    cache.put(KEY_A, "from-first")
+    other.put(KEY_B, "from-second")
+    other.put(KEY_A, "overwritten")
+    assert cache.get(KEY_A) == "overwritten"
+    assert cache.get(KEY_B) == "from-second"
+    assert list(cache.directory.glob("*.tmp")) == []

@@ -1,0 +1,77 @@
+"""Tests for the append-only JSONL run journal behind `repro run --resume`."""
+
+import json
+
+from repro.runner import RunJournal
+
+
+def test_append_and_events_roundtrip(tmp_path):
+    journal = RunJournal(tmp_path / "journal.jsonl")
+    journal.append("sweep_start", experiments=["E1", "E2"], variant="quick")
+    journal.append("experiment_start", experiment="E1", variant="quick")
+    journal.append("experiment_done", experiment="E1", variant="quick",
+                   elapsed_s=1.25)
+    events = journal.events()
+    assert [e["event"] for e in events] == [
+        "sweep_start", "experiment_start", "experiment_done"]
+    assert events[0]["experiments"] == ["E1", "E2"]
+    assert events[2]["elapsed_s"] == 1.25
+
+
+def test_missing_journal_is_empty(tmp_path):
+    journal = RunJournal(tmp_path / "nope.jsonl")
+    assert journal.events() == []
+    assert journal.completed() == set()
+
+
+def test_truncated_last_line_is_dropped(tmp_path):
+    journal = RunJournal(tmp_path / "journal.jsonl")
+    journal.append("experiment_done", experiment="E1", variant="quick")
+    journal.append("experiment_done", experiment="E2", variant="quick")
+    # Simulate a writer killed mid-append: cut the final line in half.
+    text = journal.path.read_text()
+    journal.path.write_text(text[: len(text) - 18])
+    events = journal.events()
+    assert [e.get("experiment") for e in events] == ["E1"]
+    assert journal.completed("quick") == {"E1"}
+
+
+def test_garbage_line_is_skipped_not_fatal(tmp_path):
+    journal = RunJournal(tmp_path / "journal.jsonl")
+    journal.append("experiment_done", experiment="E1", variant="full")
+    with open(journal.path, "a") as f:
+        f.write("}{ definitely not json\n")
+        f.write(json.dumps({"event": "experiment_done",
+                            "experiment": "E2", "variant": "full"}) + "\n")
+        f.write('"a bare string, not an object"\n')
+    assert journal.completed("full") == {"E1", "E2"}
+
+
+def test_completed_filters_by_variant(tmp_path):
+    journal = RunJournal(tmp_path / "journal.jsonl")
+    journal.append("experiment_done", experiment="E1", variant="quick")
+    journal.append("experiment_done", experiment="E2", variant="full")
+    journal.append("experiment_failed", experiment="E3", variant="quick")
+    assert journal.completed("quick") == {"E1"}
+    assert journal.completed("full") == {"E2"}
+    assert journal.completed() == {"E1", "E2"}  # no filter: any variant
+
+
+def test_reset_removes_the_file(tmp_path):
+    journal = RunJournal(tmp_path / "journal.jsonl")
+    journal.append("sweep_start", variant="quick")
+    assert journal.path.exists()
+    journal.reset()
+    assert not journal.path.exists()
+    journal.reset()  # idempotent
+    assert journal.events() == []
+
+
+def test_lines_are_single_sorted_json_objects(tmp_path):
+    journal = RunJournal(tmp_path / "journal.jsonl")
+    journal.append("experiment_done", experiment="E9", variant="full",
+                   path="bench_results/e9.json")
+    (line,) = journal.path.read_text().splitlines()
+    record = json.loads(line)
+    assert list(record) == sorted(record)
+    assert record["event"] == "experiment_done"

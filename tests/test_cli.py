@@ -164,25 +164,139 @@ def test_cache_stats_and_clear(tmp_path, capsys):
     assert json.loads(capsys.readouterr().out)["entries"] == 0
 
 
-def test_run_all_expands_to_every_experiment(monkeypatch):
+class FakeSpec:
+    """Registry stand-in that records run order and can misbehave."""
+
+    parallelizable = False
+
+    def __init__(self, exp_id, ran, fail=False, interrupt=False):
+        self.id = exp_id
+        self.ran = ran
+        self.fail = fail
+        self.interrupt = interrupt
+
+    def run(self, quick=False, runner=None):
+        self.ran.append(self.id)
+        if self.interrupt:
+            raise KeyboardInterrupt
+        if self.fail:
+            raise RuntimeError(f"{self.id} exploded")
+        from repro.bench.harness import ExperimentResult
+
+        return ExperimentResult(self.id, "fake")
+
+
+def _fake_registry(cli, monkeypatch, ran, fail=(), interrupt=()):
+    monkeypatch.setattr(cli, "save_result", lambda r: "unsaved")
+    fake = {
+        exp_id: FakeSpec(exp_id, ran, fail=exp_id in fail,
+                         interrupt=exp_id in interrupt)
+        for exp_id in cli.REGISTRY
+    }
+    monkeypatch.setattr(cli, "REGISTRY", fake)
+    return fake
+
+
+def test_run_all_expands_to_every_experiment(tmp_path, monkeypatch):
     from repro import __main__ as cli
 
+    monkeypatch.chdir(tmp_path)
     ran = []
-    monkeypatch.setattr(cli, "save_result", lambda r: "unsaved")
-
-    class FakeSpec:
-        parallelizable = False
-
-        def __init__(self, exp_id):
-            self.id = exp_id
-
-        def run(self, quick=False, runner=None):
-            ran.append(self.id)
-            from repro.bench.harness import ExperimentResult
-
-            return ExperimentResult(self.id, "fake")
-
-    fake = {exp_id: FakeSpec(exp_id) for exp_id in cli.REGISTRY}
-    monkeypatch.setattr(cli, "REGISTRY", fake)
+    fake = _fake_registry(cli, monkeypatch, ran)
     assert cli.cmd_run(["all"], quick=True) == 0
     assert ran == list(fake)
+
+
+def test_run_journals_every_experiment(tmp_path, monkeypatch):
+    from repro import __main__ as cli
+    from repro.runner import RunJournal
+
+    monkeypatch.chdir(tmp_path)
+    _fake_registry(cli, monkeypatch, [])
+    assert cli.cmd_run(["E1", "E2"], quick=True) == 0
+    journal = RunJournal()
+    events = [e["event"] for e in journal.events()]
+    assert events == ["sweep_start", "experiment_start", "experiment_done",
+                      "experiment_start", "experiment_done", "sweep_done"]
+    assert journal.completed("quick") == {"E1", "E2"}
+
+
+def test_run_failed_experiment_continues_and_reports(tmp_path, monkeypatch,
+                                                     capsys):
+    from repro import __main__ as cli
+    from repro.runner import RunJournal
+
+    monkeypatch.chdir(tmp_path)
+    ran = []
+    _fake_registry(cli, monkeypatch, ran, fail={"E2"})
+    assert cli.cmd_run(["E1", "E2", "E3"], quick=True) == 1
+    assert ran == ["E1", "E2", "E3"]  # the failure did not sink the sweep
+    err = capsys.readouterr().err
+    assert "E2 failed" in err
+    journal = RunJournal()
+    assert journal.completed("quick") == {"E1", "E3"}
+    failed = [e for e in journal.events()
+              if e["event"] == "experiment_failed"]
+    assert [e["experiment"] for e in failed] == ["E2"]
+    assert "exploded" in failed[0]["error"]
+
+
+def test_run_interrupt_then_resume_completes_the_rest(tmp_path, monkeypatch,
+                                                      capsys):
+    from repro import __main__ as cli
+    from repro.runner import RunJournal
+
+    monkeypatch.chdir(tmp_path)
+    ran = []
+    fake = _fake_registry(cli, monkeypatch, ran, interrupt={"E3"})
+    # Ctrl-C lands mid-sweep: clean journal, exit 130, resume hint.
+    assert cli.cmd_run(["E1", "E2", "E3", "E4"], quick=True) == 130
+    assert ran == ["E1", "E2", "E3"]
+    assert "--resume" in capsys.readouterr().err
+    events = [e["event"] for e in RunJournal().events()]
+    assert events[-1] == "sweep_interrupted"
+    assert "experiment_done" in events
+
+    # Resume: completed experiments are skipped, the rest run.
+    fake["E3"].interrupt = False
+    ran.clear()
+    assert cli.cmd_run(["E1", "E2", "E3", "E4"], quick=True,
+                       resume=True) == 0
+    assert ran == ["E3", "E4"]
+    out = capsys.readouterr().out
+    assert "skipping 2" in out
+    assert RunJournal().completed("quick") == {"E1", "E2", "E3", "E4"}
+
+    # A second resume finds nothing left.
+    ran.clear()
+    assert cli.cmd_run(["E1", "E2", "E3", "E4"], quick=True,
+                       resume=True) == 0
+    assert ran == []
+    assert "nothing left" in capsys.readouterr().out
+
+
+def test_resume_respects_variant(tmp_path, monkeypatch):
+    from repro import __main__ as cli
+
+    monkeypatch.chdir(tmp_path)
+    ran = []
+    _fake_registry(cli, monkeypatch, ran)
+    assert cli.cmd_run(["E1"], quick=True) == 0
+    # A quick-tier completion must not satisfy a full-tier resume.
+    ran.clear()
+    assert cli.cmd_run(["E1"], quick=False, resume=True) == 0
+    assert ran == ["E1"]
+
+
+def test_run_custom_journal_path(tmp_path, monkeypatch):
+    from repro import __main__ as cli
+    from repro.runner import RunJournal
+
+    monkeypatch.chdir(tmp_path)
+    _fake_registry(cli, monkeypatch, [])
+    journal_path = tmp_path / "elsewhere" / "j.jsonl"
+    assert cli.cmd_run(["E1"], quick=True,
+                       journal_path=str(journal_path)) == 0
+    assert journal_path.exists()
+    assert not (tmp_path / "bench_results" / "run_journal.jsonl").exists()
+    assert RunJournal(journal_path).completed("quick") == {"E1"}
