@@ -51,22 +51,28 @@ def cmd_list() -> int:
 
 
 def _build_runner(parallel: bool, workers: int, no_cache: bool,
-                  retries: int = 0):
-    """Runner for ``run --parallel`` (None = plain serial execution)."""
-    if not parallel:
+                  retries: int = 0, trace_dir: str | None = None):
+    """Runner for ``run --parallel`` (None = plain serial execution).
+
+    ``--trace-dir`` alone still builds an (inline) runner — trace
+    capture rides on the runner's resolution pass.
+    """
+    if not parallel and trace_dir is None:
         return None
     import os
 
     from repro.runner import ResultCache, Runner
 
-    return Runner(workers=workers or (os.cpu_count() or 1),
+    workers = (workers or (os.cpu_count() or 1)) if parallel else 0
+    return Runner(workers=workers,
                   cache=None if no_cache else ResultCache(),
-                  retries=retries)
+                  retries=retries, trace_dir=trace_dir)
 
 
 def cmd_run(ids: list[str], quick: bool, parallel: bool = False,
             workers: int = 0, no_cache: bool = False, resume: bool = False,
-            journal_path: str | None = None, retries: int = 1) -> int:
+            journal_path: str | None = None, retries: int = 1,
+            trace_dir: str | None = None) -> int:
     """Run the selected experiments, journaling each for ``--resume``."""
     from repro.runner import RunJournal
 
@@ -92,7 +98,8 @@ def cmd_run(ids: list[str], quick: bool, parallel: bool = False,
         journal.append("sweep_resume", experiments=ids, variant=variant)
     else:
         journal.append("sweep_start", experiments=ids, variant=variant)
-    runner = _build_runner(parallel, workers, no_cache, retries=retries)
+    runner = _build_runner(parallel, workers, no_cache, retries=retries,
+                           trace_dir=trace_dir)
     failures = []
     try:
         for exp_id in ids:
@@ -128,6 +135,12 @@ def cmd_run(ids: list[str], quick: bool, parallel: bool = False,
                 line += (f" [runner: {run_meta['workers']} workers, "
                          f"{run_meta['cache_hits']} hits / "
                          f"{run_meta['cache_misses']} misses]")
+            if trace_dir is not None:
+                captured = (runner.stats.as_dict()["traces_captured"]
+                            - before["traces_captured"]) if before else 0
+                state = (f"{captured} trace file(s) -> {trace_dir}"
+                         if captured else "no traced points")
+                print(f"[{exp_id} trace capture: {state}]")
             print(line + "\n")
     except KeyboardInterrupt:
         journal.append("sweep_interrupted", variant=variant)
@@ -230,7 +243,8 @@ def cmd_faults_run(schedule_path: str, gpus: int, config_name: str,
 
 
 def cmd_measure(gpus: int, config_name: str, iterations: int,
-                model: str, as_json: bool = False) -> int:
+                model: str, as_json: bool = False,
+                trace: bool = False) -> int:
     """One ad-hoc measurement of a named configuration."""
     configs = {"default": paper_default_config, "tuned": paper_tuned_config}
     if config_name not in configs:
@@ -238,7 +252,13 @@ def cmd_measure(gpus: int, config_name: str, iterations: int,
         return 2
     m = measure_training(gpus, configs[config_name](), model=model,
                          iterations=iterations, jitter_std=0.03,
-                         telemetry=as_json)
+                         telemetry=as_json or trace,
+                         trace="spans" if trace else None)
+    trace_summary = None
+    if trace:
+        from repro.trace import explain_measurement
+
+        trace_summary = explain_measurement(m).trace_summary()
     if as_json:
         import json
 
@@ -271,11 +291,17 @@ def cmd_measure(gpus: int, config_name: str, iterations: int,
                 "overhead_share": att.overhead_share(),
                 "max_sum_error": att.max_sum_error,
             },
+            **({"trace_summary": trace_summary}
+               if trace_summary is not None else {}),
         }, indent=1))
         return 0
     print(f"{m.config.label}  model={model}")
     print(f"{gpus} GPUs: {m.images_per_second:.1f} img/s, "
           f"{m.scaling_efficiency * 100:.1f}% scaling efficiency")
+    if trace_summary is not None:
+        print(f"critical path: {trace_summary['critical_path_ms']:.1f} ms, "
+              f"exposed allreduce share "
+              f"{trace_summary['exposed_allreduce_share'] * 100:.2f}%")
     return 0
 
 
@@ -317,6 +343,128 @@ def cmd_telemetry(gpus: int, config_name: str, iterations: int, model: str,
     return 0
 
 
+def cmd_trace_run(gpus: int, config_name: str, iterations: int, model: str,
+                  level: str, out_dir: str | None) -> int:
+    """One traced measurement: critical-path report + optional exports."""
+    from pathlib import Path
+
+    from repro.trace import (
+        explain_measurement,
+        merged_chrome_trace,
+        save_spans,
+    )
+
+    configs = {"default": paper_default_config, "tuned": paper_tuned_config}
+    if config_name not in configs:
+        print(f"config must be one of {sorted(configs)}", file=sys.stderr)
+        return 2
+    m = measure_training(gpus, configs[config_name](), model=model,
+                         iterations=iterations, jitter_std=0.03,
+                         telemetry=True, trace=level)
+    report = explain_measurement(m)
+    print(f"{m.config.label}  model={model}")
+    print(f"{gpus} GPUs: {m.images_per_second:.1f} img/s, "
+          f"{m.scaling_efficiency * 100:.1f}% scaling efficiency\n")
+    print(report.report())
+    if out_dir is not None:
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        save_spans(m.trace, out / "spans.json")
+        (out / "trace.json").write_text(merged_chrome_trace(
+            m.timeline, m.telemetry.registry, m.trace))
+        (out / "critical_path.txt").write_text(report.report() + "\n")
+        print(f"\n[exported spans.json, trace.json, critical_path.txt "
+              f"to {out}]")
+    return 0
+
+
+def cmd_explain(target: str) -> int:
+    """Critical-path diagnosis of a saved trace or experiment result.
+
+    ``target`` is either a span JSON file written by
+    ``repro trace run --out`` / the runner's ``--trace-dir``, or an
+    experiment id whose saved ``bench_results/<id>.json`` carries a
+    ``trace_summary`` block (E16).
+    """
+    import json
+    from pathlib import Path
+
+    from repro.trace import compute_critical_path, load_spans
+
+    path = Path(target)
+    if path.suffix == ".json" or path.exists():
+        if not path.exists():
+            print(f"trace file not found: {path}", file=sys.stderr)
+            return 2
+        try:
+            recorder = load_spans(path)
+        except (ValueError, json.JSONDecodeError) as err:
+            print(f"bad trace file {path}: {err}", file=sys.stderr)
+            return 2
+        report = compute_critical_path(recorder, label=path.stem)
+        print(report.report())
+        return 0
+    if target in REGISTRY:
+        from repro.bench.harness import load_result
+
+        saved = Path("bench_results") / f"{target.lower()}.json"
+        if not saved.exists():
+            print(f"no saved result for {target}; run "
+                  f"`python -m repro run {target}` first", file=sys.stderr)
+            return 2
+        result = load_result(saved)
+        if result.trace_summary is None:
+            print(f"{saved} carries no trace_summary; only traced "
+                  f"experiments (E16) record one — or point explain at a "
+                  f"span JSON from `repro trace run --out`",
+                  file=sys.stderr)
+            return 2
+        summary = result.trace_summary
+        print(f"== {result.experiment}: {result.title} ==")
+        print(f"critical path : {summary['critical_path_ms']:.1f} ms/iter "
+              f"over {summary['iterations']} steady iterations "
+              f"(level={summary['level']})")
+        print(f"exposed allreduce share: "
+              f"{summary['exposed_allreduce_share'] * 100:.2f}%")
+        print("shares:")
+        for bucket, share in summary["shares"].items():
+            print(f"  {bucket:<16} {share * 100:6.2f}%")
+        print("top spans:")
+        for span in summary["top_spans"]:
+            print(f"  {span['cat']:<12} {span['name']:<24} "
+                  f"{span['seconds_per_iter'] * 1e3:8.2f} ms/iter "
+                  f"({span['share'] * 100:.1f}%)")
+        return 0
+    print(f"unknown target {target!r}: not a trace file and not an "
+          f"experiment id (known: {', '.join(REGISTRY)})", file=sys.stderr)
+    return 2
+
+
+def cmd_bench_compare(baselines: list[str], tolerance: float,
+                      artifact: str | None, full: bool = False) -> int:
+    """``repro bench compare``: regression-gate fresh runs vs baselines."""
+    from repro.bench.sentinel import run_sentinel
+
+    try:
+        reports = run_sentinel(baselines, tolerance=tolerance,
+                               quick=not full, artifact=artifact)
+    except (ValueError, OSError) as err:
+        print(f"bench compare failed: {err}", file=sys.stderr)
+        return 2
+    for report in reports:
+        print(report.summary())
+        for delta in report.regressions:
+            rel = (f" (rel_error {delta.rel_error:.4f})"
+                   if delta.rel_error is not None else "")
+            print(f"  {delta.status:<10} {delta.key}: "
+                  f"baseline={delta.baseline!r} fresh={delta.fresh!r}{rel}")
+    if artifact is not None:
+        print(f"[diff artifact written to {artifact}]")
+    if any(not r.ok for r in reports):
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments and dispatch."""
     parser = argparse.ArgumentParser(prog="python -m repro",
@@ -346,6 +494,9 @@ def main(argv: list[str] | None = None) -> int:
     run_p.add_argument("--retries", type=int, default=1,
                        help="with --parallel: per-point retries before a "
                             "failure is fatal (default 1)")
+    run_p.add_argument("--trace-dir", metavar="DIR", default=None,
+                       help="capture span traces of traced points into DIR "
+                            "(one <key>.trace.json per traced measurement)")
     cache_p = sub.add_parser("cache", help="inspect/clear the result cache")
     cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
     for verb, help_ in (("stats", "show cache contents and hit accounting"),
@@ -367,6 +518,9 @@ def main(argv: list[str] | None = None) -> int:
     meas_p.add_argument("--json", action="store_true",
                         help="machine-readable output (includes the "
                              "telemetry attribution summary)")
+    meas_p.add_argument("--trace", action="store_true",
+                        help="also trace spans and report the critical "
+                             "path (adds trace_summary to --json)")
     tele_p = sub.add_parser(
         "telemetry",
         help="instrumented measurement + efficiency attribution")
@@ -380,6 +534,44 @@ def main(argv: list[str] | None = None) -> int:
     tele_p.add_argument("--export", metavar="DIR", default=None,
                         help="also write metrics.prom, telemetry.jsonl and "
                              "trace.json into DIR")
+    trace_p = sub.add_parser(
+        "trace", help="span tracing + critical-path diagnosis")
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+    trun_p = trace_sub.add_parser(
+        "run", help="one traced measurement + critical-path report")
+    trun_p.add_argument("--gpus", type=int, default=24)
+    trun_p.add_argument("--config", default="tuned",
+                        choices=("default", "tuned"))
+    trun_p.add_argument("--iterations", type=int, default=3)
+    trun_p.add_argument("--model", default="deeplab",
+                        choices=("deeplab", "resnet50", "resnet101",
+                                 "mobilenetv2"))
+    trun_p.add_argument("--level", default="spans",
+                        choices=("spans", "links"),
+                        help="'links' adds per-transfer spans")
+    trun_p.add_argument("--out", metavar="DIR", default=None,
+                        help="also write spans.json, trace.json (Chrome) "
+                             "and critical_path.txt into DIR")
+    explain_p = sub.add_parser(
+        "explain",
+        help="critical-path diagnosis of a span JSON or saved experiment")
+    explain_p.add_argument("target",
+                           help="a spans .json file or an experiment id "
+                                "with a saved trace_summary (E16)")
+    bench_p = sub.add_parser("bench", help="benchmark result utilities")
+    bench_sub = bench_p.add_subparsers(dest="bench_command", required=True)
+    bcomp_p = bench_sub.add_parser(
+        "compare",
+        help="regression sentinel: fresh quick runs vs baseline JSONs")
+    bcomp_p.add_argument("baselines", nargs="+", metavar="BASELINE",
+                         help="result JSON files written by save_result")
+    bcomp_p.add_argument("--tolerance", type=float, default=0.05,
+                         help="relative tolerance for numeric measured "
+                              "keys (default 0.05)")
+    bcomp_p.add_argument("--artifact", metavar="PATH", default=None,
+                         help="write the full diff as JSON to PATH")
+    bcomp_p.add_argument("--full", action="store_true",
+                         help="re-run at the full tier instead of quick")
     faults_p = sub.add_parser("faults",
                               help="fault-injection runs (see repro.faults)")
     faults_sub = faults_p.add_subparsers(dest="faults_command", required=True)
@@ -404,7 +596,7 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_run(args.ids, args.quick, parallel=args.parallel,
                        workers=args.workers, no_cache=args.no_cache,
                        resume=args.resume, journal_path=args.journal,
-                       retries=args.retries)
+                       retries=args.retries, trace_dir=args.trace_dir)
     if args.command == "cache":
         return cmd_cache(args.cache_command, args.dir,
                          getattr(args, "json", False))
@@ -414,8 +606,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "telemetry":
         return cmd_telemetry(args.gpus, args.config, args.iterations,
                              args.model, args.export)
+    if args.command == "trace":
+        return cmd_trace_run(args.gpus, args.config, args.iterations,
+                             args.model, args.level, args.out)
+    if args.command == "explain":
+        return cmd_explain(args.target)
+    if args.command == "bench":
+        return cmd_bench_compare(args.baselines, args.tolerance,
+                                 args.artifact, full=args.full)
     return cmd_measure(args.gpus, args.config, args.iterations, args.model,
-                       args.json)
+                       args.json, trace=args.trace)
 
 
 if __name__ == "__main__":

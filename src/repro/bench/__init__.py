@@ -20,16 +20,24 @@ from repro.bench.harness import (
 from repro.bench.plots import ascii_chart, chart_result
 from repro.bench import experiments
 from repro.bench.registry import REGISTRY, ExperimentSpec
+from repro.bench.sentinel import (
+    SentinelReport,
+    compare_results,
+    run_sentinel,
+)
 
 __all__ = [
     "REGISTRY",
     "SCHEMA_VERSION",
     "ExperimentResult",
     "ExperimentSpec",
+    "SentinelReport",
     "ascii_chart",
     "chart_result",
+    "compare_results",
     "experiments",
     "format_rows",
     "load_result",
+    "run_sentinel",
     "save_result",
 ]

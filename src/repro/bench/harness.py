@@ -27,8 +27,9 @@ __all__ = [
 
 #: Version of the on-disk result JSON layout.  History:
 #: 0 — bare payload (no envelope);
-#: 1 — envelope with schema/package version + ``meta`` block.
-SCHEMA_VERSION = 1
+#: 1 — envelope with schema/package version + ``meta`` block;
+#: 2 — optional ``trace_summary`` block (critical-path digest).
+SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -41,6 +42,10 @@ class ExperimentResult:
     ``meta`` is producer metadata (run variant, runner workers and cache
     hit/miss counts) that travels with the result but is *not* part of
     the measurement payload — determinism comparisons ignore it.
+    ``trace_summary`` is an optional critical-path digest (see
+    :meth:`repro.trace.CriticalPathReport.trace_summary`) attached when
+    the experiment ran with span tracing; it *is* part of the payload
+    (the simulation is deterministic, so the digest is too).
     """
 
     experiment: str
@@ -50,6 +55,7 @@ class ExperimentResult:
     measured: dict[str, float | str] = field(default_factory=dict)
     notes: str = ""
     meta: dict = field(default_factory=dict)
+    trace_summary: dict | None = None
 
     def table(self) -> str:
         """Rendered fixed-width table plus the paper-vs-measured block."""
@@ -72,7 +78,7 @@ class ExperimentResult:
         warm-cache runs of the same experiment must agree byte-for-byte
         on ``json.dumps(result.payload(), ...)``.
         """
-        return {
+        out = {
             "experiment": self.experiment,
             "title": self.title,
             "rows": self.rows,
@@ -80,6 +86,9 @@ class ExperimentResult:
             "measured": self.measured,
             "notes": self.notes,
         }
+        if self.trace_summary is not None:
+            out["trace_summary"] = self.trace_summary
+        return out
 
     def to_json(self) -> str:
         """Versioned JSON form: envelope + payload + ``meta``."""
@@ -152,4 +161,5 @@ def load_result(source: str | Path) -> ExperimentResult:
         measured=data.get("measured", {}),
         notes=data.get("notes", ""),
         meta=data.get("meta", {}),
+        trace_summary=data.get("trace_summary"),
     )

@@ -176,6 +176,14 @@ _SPECS = (
         quick_kwargs={"gpus": 12, "iterations": 5, "cadences": (1,)},
         tags=("extension", "checkpoint"),
     ),
+    ExperimentSpec(
+        "E16", "critical-path diagnosis: span tracing (extension)",
+        E.e16_critical_path,
+        full_kwargs={"gpu_counts": (6, 24, 96, 132), "iterations": 2},
+        quick_kwargs={"gpu_counts": (6, 24), "iterations": 2},
+        tags=("extension", "trace"),
+        parallelizable=True,
+    ),
 )
 
 #: id -> spec, in presentation order.

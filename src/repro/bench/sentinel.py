@@ -1,0 +1,167 @@
+"""Bench-regression sentinel: committed baselines vs a fresh quick run.
+
+The guarded quantity is an :class:`~repro.bench.harness.ExperimentResult`
+``measured`` block — the paper-facing numbers each driver distills from
+its rows.  A *baseline* is a result JSON committed under
+``bench_results/`` (any schema :func:`~repro.bench.harness.load_result`
+understands); the sentinel re-runs the matching registry experiment at
+the **quick** tier and diffs the two blocks key by key:
+
+* numeric keys compare at a relative ``tolerance`` (the simulation is
+  deterministic, so drift means the code changed — the tolerance only
+  absorbs intentional recalibration noise);
+* non-numeric keys compare for exact equality;
+* a baseline key **missing** from the fresh run is always a regression
+  (a deleted metric is a silently dropped claim);
+* a fresh key absent from the baseline is reported as ``new`` and never
+  fails the gate.
+
+:func:`run_sentinel` drives the whole check for a set of baseline files
+and renders a JSON diff artifact for CI; the ``repro bench compare`` CLI
+wraps it and exits nonzero on any regression.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.bench.harness import ExperimentResult, load_result
+from repro.bench.registry import REGISTRY
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "KeyDelta",
+    "SentinelReport",
+    "compare_results",
+    "run_sentinel",
+]
+
+#: Default relative tolerance for numeric ``measured`` keys.
+DEFAULT_TOLERANCE = 0.05
+
+
+@dataclass(frozen=True)
+class KeyDelta:
+    """One ``measured`` key's baseline-vs-fresh comparison."""
+
+    key: str
+    baseline: object
+    fresh: object
+    #: Relative error for numeric pairs; ``None`` otherwise.
+    rel_error: float | None
+    #: ``ok`` | ``regression`` | ``missing`` | ``new``.
+    status: str
+
+    def as_dict(self) -> dict:
+        return {"key": self.key, "baseline": self.baseline,
+                "fresh": self.fresh, "rel_error": self.rel_error,
+                "status": self.status}
+
+
+@dataclass
+class SentinelReport:
+    """Every key delta for one experiment's baseline-vs-fresh diff."""
+
+    experiment: str
+    tolerance: float
+    deltas: list[KeyDelta] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[KeyDelta]:
+        """Deltas that fail the gate (regressed or missing keys)."""
+        return [d for d in self.deltas
+                if d.status in ("regression", "missing")]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def as_dict(self) -> dict:
+        return {
+            "experiment": self.experiment,
+            "tolerance": self.tolerance,
+            "ok": self.ok,
+            "deltas": [d.as_dict() for d in self.deltas],
+        }
+
+    def summary(self) -> str:
+        """One status line, e.g. ``E14: OK (12 keys)``."""
+        if self.ok:
+            return f"{self.experiment}: OK ({len(self.deltas)} keys)"
+        worst = max(
+            (d for d in self.regressions if d.rel_error is not None),
+            key=lambda d: d.rel_error, default=None,
+        )
+        detail = (f", worst {worst.key} rel_error={worst.rel_error:.4f}"
+                  if worst is not None else "")
+        return (f"{self.experiment}: REGRESSION "
+                f"({len(self.regressions)}/{len(self.deltas)} keys{detail})")
+
+
+def _numeric(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _delta(key: str, base, fresh, tolerance: float) -> KeyDelta:
+    if _numeric(base) and _numeric(fresh):
+        rel = abs(fresh - base) / max(abs(base), 1e-12)
+        status = "ok" if rel <= tolerance else "regression"
+        return KeyDelta(key, base, fresh, rel, status)
+    status = "ok" if base == fresh else "regression"
+    return KeyDelta(key, base, fresh, None, status)
+
+
+def compare_results(baseline: ExperimentResult, fresh: ExperimentResult,
+                    tolerance: float = DEFAULT_TOLERANCE) -> SentinelReport:
+    """Diff two results' ``measured`` blocks key by key."""
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0")
+    report = SentinelReport(experiment=baseline.experiment,
+                            tolerance=tolerance)
+    for key, base in baseline.measured.items():
+        if key not in fresh.measured:
+            report.deltas.append(KeyDelta(key, base, None, None, "missing"))
+            continue
+        report.deltas.append(_delta(key, base, fresh.measured[key],
+                                    tolerance))
+    for key, value in fresh.measured.items():
+        if key not in baseline.measured:
+            report.deltas.append(KeyDelta(key, None, value, None, "new"))
+    return report
+
+
+def run_sentinel(baseline_paths, tolerance: float = DEFAULT_TOLERANCE,
+                 quick: bool = True, runner=None,
+                 artifact: str | Path | None = None,
+                 ) -> list[SentinelReport]:
+    """Re-run each baseline's experiment and diff the measured blocks.
+
+    ``baseline_paths`` are result JSON files written by
+    :func:`~repro.bench.harness.save_result`; each maps to a registry
+    experiment via its ``experiment`` field and is re-run at the
+    ``quick`` tier (the CI-affordable scale — commit quick-tier
+    baselines to guard with this).  When ``artifact`` is given, the full
+    diff is written there as JSON regardless of outcome.  Raises
+    ``ValueError`` for a baseline naming an unknown experiment.
+    """
+    reports = []
+    for path in baseline_paths:
+        baseline = load_result(path)
+        if baseline.experiment not in REGISTRY:
+            raise ValueError(
+                f"{path}: baseline names unknown experiment "
+                f"{baseline.experiment!r}; known: {', '.join(REGISTRY)}"
+            )
+        spec = REGISTRY[baseline.experiment]
+        fresh = spec.run(quick=quick, runner=runner)
+        reports.append(compare_results(baseline, fresh, tolerance))
+    if artifact is not None:
+        Path(artifact).write_text(json.dumps(
+            {"tolerance": tolerance,
+             "ok": all(r.ok for r in reports),
+             "experiments": [r.as_dict() for r in reports]},
+            indent=1,
+        ))
+    return reports

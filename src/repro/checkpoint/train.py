@@ -184,6 +184,8 @@ def resume_training(checkpoint: "TrainCheckpoint | str | Path", *,
         link.busy_seconds = busy
 
     probe = pickle.loads(state["probe"]) if state["probe"] is not None else None
+    trace_blob = state.get("trace")
+    tracer = pickle.loads(trace_blob) if trace_blob is not None else None
     job = TrainJob(
         iterations=spec["iterations"],
         per_gpu_batch=profile.batch_size,
@@ -217,6 +219,9 @@ def resume_training(checkpoint: "TrainCheckpoint | str | Path", *,
         probe.registry.counter(
             "checkpoint_resumes_total", "runs resumed from a checkpoint"
         ).inc()
+    if tracer is not None:
+        tracer.attach(env=env, comm=comm, runtime=runtime, trainer=trainer,
+                      fabric=fabric)
     stats = trainer.run()
     if probe is not None:
         probe.finalize()
@@ -236,4 +241,5 @@ def resume_training(checkpoint: "TrainCheckpoint | str | Path", *,
         link_utilization=fabric.utilization_report(),
         fault_report=fault_report,
         telemetry=probe,
+        trace=tracer,
     )

@@ -21,6 +21,7 @@ overheads (protocol handshakes, staging-buffer management).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.cluster.topology import Device, Topology
 from repro.sim import Environment
@@ -67,6 +68,8 @@ class Fabric:
         self.topology = topology
         self.env: Environment = topology.env
         self.stats = TransferStats()
+        #: Optional span recorder (``repro.trace``); observation only.
+        self.tracer: Any = None
 
     def transfer_seconds(self, src: Device, dst: Device, nbytes: int,
                          extra_latency: float = 0.0,
@@ -150,6 +153,7 @@ class Fabric:
             req = link.resource.request()
             yield req
             held.append((link, req))
+        acquired_at = self.env.now
         # A link may have flapped down while we queued for the route;
         # release everything and fail so the sender can back off.
         down = next((l for l in info.links if not l.up), None)
@@ -163,6 +167,9 @@ class Fabric:
             link.resource.release(req)
         elapsed = self.env.now - start
         self.stats.record(nbytes, elapsed, [l.spec.name for l in info.links])
+        if self.tracer is not None and self.tracer.link_detail:
+            self.tracer.on_transfer(src, dst, nbytes, start, acquired_at,
+                                    self.env.now, info)
         return elapsed
 
     @staticmethod

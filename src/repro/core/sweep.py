@@ -93,6 +93,9 @@ class Measurement:
     #: :class:`~repro.telemetry.TelemetryProbe` attached to the run, when
     #: measured with ``telemetry=True`` (feeds the attribution engine).
     telemetry: object = None
+    #: :class:`~repro.trace.SpanRecorder` attached to the run, when
+    #: measured with ``trace=`` (feeds the critical-path engine).
+    trace: object = None
     #: :class:`~repro.checkpoint.TrainCheckpoint` captured at the last
     #: plan boundary, when measured with ``checkpoint=``.
     checkpoint: object = None
@@ -164,6 +167,7 @@ def measure_training(
     schedule=None,
     telemetry=None,
     checkpoint=None,
+    trace=None,
 ) -> Measurement:
     """Simulate a measured training job and return its statistics.
 
@@ -194,6 +198,14 @@ def measure_training(
     The captured :class:`~repro.checkpoint.TrainCheckpoint` is returned
     on ``Measurement.checkpoint``, ready for
     :func:`~repro.checkpoint.resume_training`.
+
+    ``trace`` attaches span tracing: ``"spans"`` (or ``True``) records the
+    hierarchical span tree down to per-rank algorithm steps, ``"links"``
+    additionally records per-link transfer spans; an existing
+    :class:`~repro.trace.SpanRecorder` is also accepted.  Like the probe,
+    tracing is observation-only — simulated timings are bit-identical —
+    and the recorder is returned on ``Measurement.trace``, ready for
+    :func:`~repro.trace.compute_critical_path`.
     """
     if gpus < 1:
         raise ValueError(f"gpus must be >= 1, got {gpus}")
@@ -253,6 +265,15 @@ def measure_training(
         probe.attach(
             env=env, comm=comm, runtime=runtime, trainer=trainer, fabric=fabric
         )
+    tracer = None
+    if trace:
+        from repro.trace import SpanRecorder
+
+        tracer = (trace if isinstance(trace, SpanRecorder)
+                  else SpanRecorder(level="spans" if trace is True else trace))
+        tracer.attach(
+            env=env, comm=comm, runtime=runtime, trainer=trainer, fabric=fabric
+        )
     stats = trainer.run()
     if probe is not None:
         probe.finalize()
@@ -277,6 +298,7 @@ def measure_training(
                 "seed": seed,
                 "negotiation": negotiation,
                 "schedule": schedule,
+                "trace": tracer.level if tracer is not None else None,
             },
             state=trainer.last_checkpoint_state,
         )
@@ -293,6 +315,7 @@ def measure_training(
         link_utilization=fabric.utilization_report(),
         fault_report=fault_report,
         telemetry=probe,
+        trace=tracer,
         checkpoint=train_checkpoint,
         interrupted=trainer.job_killed,
     )

@@ -136,6 +136,8 @@ class HorovodRuntime:
         #: ``on_group`` / ``on_detect``) — see
         #: :class:`repro.telemetry.TelemetryProbe`.
         self.probe: Any = None
+        #: Optional span recorder (``repro.trace``); observation only.
+        self.tracer: Any = None
         self.stats = RuntimeStats()
         self._entries: dict[str, _TensorEntry] = {}
         self._ready: list[tuple[PendingTensor, frozenset[int]]] = []
@@ -382,6 +384,10 @@ class HorovodRuntime:
         self.timeline.record(
             "NEGOTIATE", f"cycle_{self.stats.cycles}", start, self.env.now
         )
+        if self.tracer is not None:
+            self.tracer.record(
+                "NEGOTIATE", f"cycle_{self.stats.cycles}", start, self.env.now,
+                cycle=self.stats.cycles, cached=cached, tensors=len(ready))
 
     # -- data plane --------------------------------------------------------------
     def _execute_group(self, group: FusionGroup, participants: frozenset[int] | None = None):
@@ -404,6 +410,16 @@ class HorovodRuntime:
                 self.config.fusion_threshold_bytes,
                 max(0.0, self.env.now - queued_since),
             )
+        tracer = self.tracer
+        gspan = None
+        if tracer is not None:
+            gspan = tracer.begin(
+                "GROUP", label, min(self.env.now, queued_since),
+                tensors=len(entries), bytes=int(group.nbytes),
+                participants=len(ranks))
+            if self.env.now > queued_since:
+                tracer.record("QUEUE", label, queued_since, self.env.now,
+                              parent=gspan)
 
         # Pack into the fusion buffer (skipped for singletons, as Horovod
         # skips the copy when a tensor is reduced unfused).
@@ -412,6 +428,9 @@ class HorovodRuntime:
             yield self.env.timeout(2 * group.nbytes / self.gpu.sustained_mem_Bps)
             self.stats.memcpy_seconds += self.env.now - start
             self.timeline.record("MEMCPY_IN", label, start, self.env.now)
+            if tracer is not None:
+                tracer.record("MEMCPY_IN", label, start, self.env.now,
+                              parent=gspan)
 
         wire_bytes = group.nbytes
         if self.config.compression == "fp16":
@@ -419,6 +438,9 @@ class HorovodRuntime:
             yield self.env.timeout(cast_seconds(group.nbytes, self.gpu.sustained_mem_Bps))
             self.stats.compression_seconds += self.env.now - start
             self.timeline.record("COMPRESS", label, start, self.env.now)
+            if tracer is not None:
+                tracer.record("COMPRESS", label, start, self.env.now,
+                              parent=gspan)
             wire_bytes = group.nbytes // 2
 
         if numpy_mode:
@@ -437,9 +459,16 @@ class HorovodRuntime:
             else self.config.allreduce_algorithm
         )
         subgroup = ranks if len(ranks) < self.size else None
+        aspan = None
+        if tracer is not None:
+            aspan = tracer.begin("ALLREDUCE", label, start, parent=gspan)
+            tracer.comm_parent = aspan
         results = yield self.comm.allreduce(
             fused, algorithm=algorithm, average=True, ranks=subgroup
         )
+        if aspan is not None:
+            tracer.comm_parent = None
+            tracer.end(aspan, self.env.now)
         self.stats.allreduce_seconds += self.env.now - start
         self.timeline.record("ALLREDUCE", label, start, self.env.now)
 
@@ -448,12 +477,20 @@ class HorovodRuntime:
             yield self.env.timeout(cast_seconds(group.nbytes, self.gpu.sustained_mem_Bps))
             self.stats.compression_seconds += self.env.now - start
             self.timeline.record("DECOMPRESS", label, start, self.env.now)
+            if tracer is not None:
+                tracer.record("DECOMPRESS", label, start, self.env.now,
+                              parent=gspan)
 
         if len(entries) > 1:
             start = self.env.now
             yield self.env.timeout(2 * group.nbytes / self.gpu.sustained_mem_Bps)
             self.stats.memcpy_seconds += self.env.now - start
             self.timeline.record("MEMCPY_OUT", label, start, self.env.now)
+            if tracer is not None:
+                tracer.record("MEMCPY_OUT", label, start, self.env.now,
+                              parent=gspan)
+        if gspan is not None:
+            tracer.end(gspan, self.env.now)
 
         self.stats.fused_ops += 1
         self.stats.tensors_reduced += len(entries)

@@ -101,6 +101,8 @@ class Comm:
         #: Optional telemetry hook (``on_allreduce(algorithm, nbytes,
         #: ranks, seconds)``) — see :class:`repro.telemetry.TelemetryProbe`.
         self.probe: Any = None
+        #: Optional span recorder (``repro.trace``); observation only.
+        self.tracer: Any = None
         #: Number of point-to-point messages sent (control + data).
         self.messages_sent = 0
         #: Transfers that found a down link and backed off before retrying.
@@ -266,8 +268,20 @@ class Comm:
         fn = get_algorithm(name)
         ctx = CollCtx(self, ops, self.fresh_tag_block(), group)
         started_s = self.env.now
-        procs = [self.env.process(fn(ctx, g, payloads[g])) for g in range(len(group))]
+        cspan = None
+        if self.tracer is not None:
+            cspan = self.tracer.begin(
+                "COLLECTIVE", name, started_s, parent=self.tracer.comm_parent,
+                bytes=int(nbytes), ranks=len(group))
+            gens = [self.tracer.wrap_alg(fn(ctx, g, payloads[g]), group[g],
+                                         cspan, name)
+                    for g in range(len(group))]
+        else:
+            gens = [fn(ctx, g, payloads[g]) for g in range(len(group))]
+        procs = [self.env.process(gen) for gen in gens]
         yield self.env.all_of(procs)
+        if cspan is not None:
+            self.tracer.end(cspan, self.env.now)
         if self.probe is not None:
             self.probe.on_allreduce(
                 name, nbytes, len(group), self.env.now - started_s

@@ -34,7 +34,7 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 from repro.sim.units import MiB
 
 __all__ = ["CacheStats", "ResultCache", "DEFAULT_CACHE_DIR",
-           "DEFAULT_MAX_BYTES"]
+           "DEFAULT_MAX_BYTES", "sweep_stale_tmp"]
 
 #: Default on-disk location, next to the experiment JSON it accelerates.
 DEFAULT_CACHE_DIR = Path("bench_results") / ".cache"
@@ -43,6 +43,27 @@ DEFAULT_MAX_BYTES = 256 * MiB
 #: Orphaned temp files older than this are swept on the next ``put`` —
 #: they are leftovers from a writer that died mid-store.
 STALE_TMP_SECONDS = 300.0
+
+
+def sweep_stale_tmp(directory: str | Path,
+                    older_than: float = STALE_TMP_SECONDS) -> int:
+    """Remove ``*.tmp`` files orphaned by writers that died mid-store.
+
+    Shared by the result cache and every other atomic-rename writer that
+    parks temp files in its output directory (e.g. the runner's
+    ``<key>.trace.json.<pid>.tmp`` capture files).  Returns the number of
+    files removed; a missing directory sweeps nothing.
+    """
+    cutoff = time.time() - older_than
+    removed = 0
+    for tmp in Path(directory).glob("*.tmp"):
+        try:
+            if tmp.stat().st_mtime < cutoff:
+                tmp.unlink(missing_ok=True)
+                removed += 1
+        except OSError:
+            continue
+    return removed
 
 
 @dataclass
@@ -145,13 +166,7 @@ class ResultCache:
 
     def _sweep_stale_tmp(self) -> None:
         """Remove temp files orphaned by writers that died mid-store."""
-        cutoff = time.time() - STALE_TMP_SECONDS
-        for tmp in self.directory.glob("*.tmp"):
-            try:
-                if tmp.stat().st_mtime < cutoff:
-                    tmp.unlink(missing_ok=True)
-            except OSError:
-                continue
+        sweep_stale_tmp(self.directory)
 
     def _evict(self, keep: Path) -> None:
         """Delete oldest-recency entries until under ``max_bytes``."""

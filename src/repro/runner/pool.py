@@ -43,6 +43,8 @@ Self-healing: the pool survives the failures a long sweep actually hits.
 
 from __future__ import annotations
 
+import json
+import os
 import random
 import time
 from collections import deque
@@ -54,9 +56,10 @@ from concurrent.futures import (
     wait,
 )
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Sequence
 
-from repro.runner.cache import ResultCache
+from repro.runner.cache import ResultCache, sweep_stale_tmp
 from repro.runner.simpoint import SimPoint
 from repro.telemetry.metrics import MetricRegistry
 
@@ -81,6 +84,7 @@ class RunnerStats:
     quarantined: int = 0
     pool_respawns: int = 0
     progress_errors: int = 0
+    traces_captured: int = 0
 
     def as_dict(self) -> dict:
         """Plain dict (JSON-able)."""
@@ -96,6 +100,7 @@ class RunnerStats:
             "quarantined": self.quarantined,
             "pool_respawns": self.pool_respawns,
             "progress_errors": self.progress_errors,
+            "traces_captured": self.traces_captured,
         }
 
     def delta(self, before: dict) -> dict:
@@ -151,6 +156,14 @@ class Runner:
         :class:`RunnerError`; ``"quarantine"`` records it in
         :attr:`quarantined`, resolves the point to ``None`` and keeps
         going.
+    trace_dir:
+        When set, every resolved measurement carrying a span recorder
+        (``measurement.trace``, from a traced :class:`TrainPoint`) has
+        its spans exported to ``<trace_dir>/<key[:16]>.trace.json`` in
+        the :mod:`repro.trace` span format.  Writes are atomic (temp
+        file + rename) and stale temp files from dead writers are swept
+        on every batch; cache hits are captured too, so a warm resume
+        still materializes the trace files.
     """
 
     def __init__(self, workers: int = 0,
@@ -162,6 +175,7 @@ class Runner:
                  max_backoff_s: float = 2.0,
                  timeout_s: float | None = None,
                  failure_policy: str = "raise",
+                 trace_dir: str | Path | None = None,
                  ) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
@@ -182,6 +196,7 @@ class Runner:
         self.max_backoff_s = float(max_backoff_s)
         self.timeout_s = timeout_s
         self.failure_policy = failure_policy
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
         self.registry = registry if registry is not None else MetricRegistry()
         self.stats = RunnerStats()
         #: Terminal failures recorded under ``failure_policy="quarantine"``:
@@ -206,6 +221,9 @@ class Runner:
         self._m_progress_errors = self.registry.counter(
             "runner_progress_errors_total",
             "exceptions swallowed from progress callbacks")
+        self._m_traces = self.registry.counter(
+            "runner_traces_captured_total",
+            "span traces exported to trace_dir")
         self._m_workers = self.registry.gauge(
             "runner_workers", "configured worker processes")
         self._m_workers.set(self.workers)
@@ -259,7 +277,32 @@ class Runner:
         self.stats.executed += len(todo)
         self.stats.execute_seconds += elapsed
         self._m_seconds.inc(elapsed)
+        if self.trace_dir is not None:
+            self._capture_traces(groups, results)
         return results
+
+    def _capture_traces(self, groups: dict, results: list) -> None:
+        """Export each traced measurement's spans into ``trace_dir``."""
+        written = 0
+        for key, positions in groups.items():
+            value = results[positions[0]]
+            tracer = getattr(value, "trace", None)
+            if tracer is None:
+                continue
+            self.trace_dir.mkdir(parents=True, exist_ok=True)
+            path = self.trace_dir / f"{key[:16]}.trace.json"
+            tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+            blob = json.dumps(tracer.to_payload(), separators=(",", ":"))
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
+            tmp.replace(path)
+            written += 1
+        if written:
+            sweep_stale_tmp(self.trace_dir)
+            self.stats.traces_captured += written
+            self._m_traces.inc(written)
 
     def _run_inline(self, points, groups, todo, resolve) -> None:
         for key in todo:

@@ -134,6 +134,9 @@ class TrainPoint(SimPoint):
     negotiation: str = "analytic"
     schedule: FaultSchedule | None = None
     telemetry: bool = False
+    #: Span-tracing level (``None`` | ``"spans"`` | ``"links"``) — see
+    #: ``measure_training``'s ``trace=``.
+    trace: str | None = None
 
     def execute(self):
         """Run the measurement (imports lazily: workers pay once)."""
@@ -151,6 +154,7 @@ class TrainPoint(SimPoint):
             negotiation=self.negotiation,
             schedule=self.schedule,
             telemetry=self.telemetry,
+            trace=self.trace,
         )
 
     def describe(self) -> str:

@@ -423,6 +423,16 @@ class Environment:
         """The process currently being resumed, if any."""
         return self._active
 
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever scheduled (monotone kernel fingerprint).
+
+        Observation-only instrumentation (probes, span tracers) must not
+        change this count: the zero-perturbation tests compare it between
+        instrumented and bare runs of the same workload.
+        """
+        return self._eid
+
     # -- factories -------------------------------------------------------
     def event(self) -> Event:
         """Create a new untriggered :class:`Event`."""

@@ -225,29 +225,21 @@ def to_jsonl(registry: MetricRegistry, samples: list | None = None) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
-def merge_chrome_trace(timeline, registry: MetricRegistry) -> str:
+def merge_chrome_trace(timeline, registry: MetricRegistry,
+                       recorder=None) -> str:
     """The timeline's Chrome trace plus tracked series as counter rows.
 
     ``timeline`` is the runtime's
     :class:`~repro.horovod.timeline.Timeline`; every tracked
-    counter/gauge series in ``registry`` is appended as ``"ph": "C"``
-    events so Perfetto draws it as a counter track under the phase spans.
+    counter/gauge series in ``registry`` becomes ``"ph": "C"`` events on
+    a dedicated ``counters`` thread row so Perfetto draws it under the
+    phase spans.  ``recorder`` (optional, a
+    :class:`~repro.trace.SpanRecorder`) adds the span hierarchy and
+    cross-rank flow arrows.  Delegates to
+    :func:`repro.trace.export.merged_chrome_trace` — one coherent
+    pid/tid scheme, metadata first, events sorted by timestamp.
     """
-    trace = json.loads(timeline.to_chrome_trace())
-    for family in registry.collect():
-        if not family.tracked:
-            continue
-        for values, child in family.child_items():
-            if not child.track:
-                continue
-            labels = _labels_text(family.labelnames, values)
-            series = family.name + labels
-            for t, v in child.track:
-                trace["traceEvents"].append({
-                    "name": series,
-                    "ph": "C",
-                    "ts": t * 1e6,
-                    "pid": 0,
-                    "args": {family.name: v},
-                })
-    return json.dumps(trace, indent=1)
+    # Lazy import: repro.trace imports attribution from this package.
+    from repro.trace.export import merged_chrome_trace
+
+    return merged_chrome_trace(timeline, registry, recorder)

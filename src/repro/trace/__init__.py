@@ -1,0 +1,43 @@
+"""Span tracing and critical-path diagnosis for simulated training runs.
+
+``repro.trace`` answers the question the flat E14 attribution cannot:
+*which* rank, link or fused buffer bounded each iteration.  A
+:class:`SpanRecorder` hooks into every layer of the stack (observation
+only — tracing on is bit-identical to tracing off), and
+:func:`compute_critical_path` refines each steady iteration into an
+ordered critical path whose bucket totals reconcile exactly with the
+attribution engine.  Exporters: merged span-aware Chrome trace, a
+self-contained JSON span format, and a plain-text bottleneck report.
+"""
+
+from repro.trace.critical import (
+    CriticalPathReport,
+    IterationPath,
+    PathSegment,
+    compute_critical_path,
+    explain_measurement,
+)
+from repro.trace.export import merged_chrome_trace
+from repro.trace.spans import (
+    SPAN_SCHEMA_VERSION,
+    Span,
+    SpanRecorder,
+    load_spans,
+    save_spans,
+    well_nested_violations,
+)
+
+__all__ = [
+    "SPAN_SCHEMA_VERSION",
+    "CriticalPathReport",
+    "IterationPath",
+    "PathSegment",
+    "Span",
+    "SpanRecorder",
+    "compute_critical_path",
+    "explain_measurement",
+    "load_spans",
+    "merged_chrome_trace",
+    "save_spans",
+    "well_nested_violations",
+]

@@ -1,0 +1,163 @@
+"""Span-aware Chrome trace export, merged with the runtime timeline.
+
+One coherent ``traceEvents`` stream under a single pid/tid naming scheme:
+
+* ``pid 0`` — the Horovod runtime timeline: one thread row per phase
+  (exactly the PR 2 layout) plus a ``counters`` row
+  (``tid == len(PHASES)``) carrying every tracked metric series as
+  ``"ph": "C"`` events;
+* ``pid 1`` — the coordinator: negotiation cycles, fused-buffer groups
+  and their data-plane phases, and the collective spans;
+* ``pid 2 + rank`` — one process per rank: the iteration phase stack,
+  the rank's algorithm steps and (``level="links"``) its link transfers.
+
+Flow events (``ph "s"``/``"f"``, one flow id per collective) tie each
+collective's per-rank algorithm steps back to the coordinator span, so
+Perfetto draws the cross-rank arrows the Horovod timeline lacks.
+
+Metadata (``"M"``) naming events come first; every other event is sorted
+by ``ts`` (stable), which the golden-trace test pins.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.horovod.timeline import PHASES
+from repro.trace.spans import Span, SpanRecorder
+
+__all__ = ["merged_chrome_trace"]
+
+#: Thread layout inside the coordinator process (pid 1).
+_COORD_THREADS = {
+    "NEGOTIATE": (0, "negotiation"),
+    "GROUP": (1, "fused groups"),
+    "QUEUE": (2, "data plane"),
+    "MEMCPY_IN": (2, "data plane"),
+    "COMPRESS": (2, "data plane"),
+    "ALLREDUCE": (2, "data plane"),
+    "DECOMPRESS": (2, "data plane"),
+    "MEMCPY_OUT": (2, "data plane"),
+    "COLLECTIVE": (3, "collectives"),
+}
+
+#: Thread layout inside each per-rank process (pid 2 + rank).
+_RANK_THREADS = {
+    "ITERATION": (0, "iteration"),
+    "INPUT_STALL": (0, "iteration"),
+    "FORWARD": (0, "iteration"),
+    "BACKWARD": (0, "iteration"),
+    "BARRIER_WAIT": (0, "iteration"),
+    "OPTIMIZER": (0, "iteration"),
+    "ALG_STEP": (1, "collective steps"),
+    "TRANSFER": (2, "link transfers"),
+}
+
+
+def _span_rank(span: Span, by_sid: dict[int, Span]) -> int | None:
+    """The world rank a span belongs to, walking up to a tagged ancestor."""
+    cursor: Span | None = span
+    while cursor is not None:
+        if "rank" in cursor.tags:
+            return cursor.tags["rank"]
+        if "src" in cursor.tags:
+            return cursor.tags["src"]
+        cursor = by_sid.get(cursor.parent) if cursor.parent is not None \
+            else None
+    return None
+
+
+def merged_chrome_trace(timeline: Any = None, registry: Any = None,
+                        recorder: SpanRecorder | None = None) -> str:
+    """Merge timeline phases, counter tracks and trace spans into one JSON."""
+    meta: list[dict] = []
+    events: list[dict] = []
+    named_procs: set[int] = set()
+    named_threads: set[tuple[int, int]] = set()
+
+    def process(pid: int, name: str) -> None:
+        if pid not in named_procs:
+            named_procs.add(pid)
+            meta.append({"name": "process_name", "ph": "M", "pid": pid,
+                         "tid": 0, "args": {"name": name}})
+
+    def thread(pid: int, tid: int, name: str) -> None:
+        if (pid, tid) not in named_threads:
+            named_threads.add((pid, tid))
+            meta.append({"name": "thread_name", "ph": "M", "pid": pid,
+                         "tid": tid, "args": {"name": name}})
+
+    if timeline is not None:
+        process(0, "horovod runtime")
+        for ev in timeline.events:
+            tid = PHASES.index(ev.phase)
+            thread(0, tid, ev.phase)
+            events.append({
+                "name": ev.label, "cat": ev.phase, "ph": "X",
+                "ts": ev.start_s * 1e6, "dur": ev.duration_s * 1e6,
+                "pid": 0, "tid": tid,
+            })
+
+    if registry is not None:
+        process(0, "horovod runtime")
+        counter_tid = len(PHASES)
+        for family in registry.collect():
+            if not family.tracked:
+                continue
+            for values, child in family.child_items():
+                if not child.track:
+                    continue
+                labels = ",".join(
+                    f'{n}="{v}"' for n, v in zip(family.labelnames, values))
+                series = (f"{family.name}{{{labels}}}" if labels
+                          else family.name)
+                thread(0, counter_tid, "counters")
+                for t, v in child.track:
+                    events.append({
+                        "name": series, "ph": "C", "ts": t * 1e6,
+                        "pid": 0, "tid": counter_tid,
+                        "args": {family.name: v},
+                    })
+
+    if recorder is not None:
+        by_sid = {s.sid: s for s in recorder.spans}
+        for span in recorder.spans:
+            if span.cat in _COORD_THREADS:
+                pid = 1
+                tid, tname = _COORD_THREADS[span.cat]
+                process(1, "coordinator")
+            else:
+                rank = _span_rank(span, by_sid)
+                tid, tname = _RANK_THREADS.get(span.cat, (3, "other"))
+                if rank is None:
+                    pid = 1
+                    process(1, "coordinator")
+                else:
+                    pid = 2 + rank
+                    process(pid, f"rank {rank}")
+            thread(pid, tid, tname)
+            events.append({
+                "name": span.name, "cat": span.cat, "ph": "X",
+                "ts": span.start_s * 1e6, "dur": span.duration_s * 1e6,
+                "pid": pid, "tid": tid, "args": dict(span.tags),
+            })
+            # One flow per collective, fanning out to its rank steps.
+            if span.cat == "COLLECTIVE":
+                events.append({
+                    "name": "allreduce", "cat": "flow", "ph": "s",
+                    "id": span.sid, "ts": span.start_s * 1e6,
+                    "pid": 1, "tid": _COORD_THREADS["COLLECTIVE"][0],
+                })
+            elif span.cat == "ALG_STEP" and span.parent is not None:
+                rank = span.tags.get("rank")
+                events.append({
+                    "name": "allreduce", "cat": "flow", "ph": "f",
+                    "bp": "e", "id": span.parent,
+                    "ts": span.start_s * 1e6,
+                    "pid": 1 if rank is None else 2 + rank,
+                    "tid": _RANK_THREADS["ALG_STEP"][0],
+                })
+
+    events.sort(key=lambda e: e["ts"])
+    return json.dumps({"traceEvents": meta + events}, indent=1)

@@ -1,0 +1,294 @@
+"""Hierarchical span recording against simulated time.
+
+A :class:`SpanRecorder` is an observation-only hook threaded through the
+simulation stack — trainer, Horovod runtime, communicator and fabric all
+carry an optional ``tracer`` attribute that defaults to ``None``, exactly
+like the telemetry probe.  When attached, each layer records *spans*:
+``(category, name, start_s, end_s, parent, tags)`` intervals in simulated
+seconds, nested parent/child:
+
+    ITERATION (rank)
+      ├─ INPUT_STALL / FORWARD / BACKWARD / BARRIER_WAIT / OPTIMIZER
+    NEGOTIATE (coordinator cycle)
+    GROUP (fused buffer)
+      ├─ QUEUE / MEMCPY_IN / COMPRESS / DECOMPRESS / MEMCPY_OUT
+      └─ ALLREDUCE
+           └─ COLLECTIVE (algorithm)
+                └─ ALG_STEP (per rank)
+                     └─ TRANSFER (per link traversal; ``level="links"``)
+
+The recorder never creates simulation events and never reads anything but
+``env.now`` at instants the instrumented code already reaches: tracing on
+vs. off is bit-identical (enforced by ``tests/trace/test_perturbation``).
+
+Spans are picklable (they ride inside training checkpoints) and round-trip
+through a self-contained JSON format via :func:`save_spans` /
+:func:`load_spans`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+__all__ = [
+    "SPAN_SCHEMA_VERSION",
+    "Span",
+    "SpanRecorder",
+    "load_spans",
+    "save_spans",
+    "well_nested_violations",
+]
+
+#: Version stamp for the on-disk span JSON format.
+SPAN_SCHEMA_VERSION = 1
+
+#: Recorder detail levels: ``"spans"`` stops at per-rank algorithm steps,
+#: ``"links"`` additionally records one TRANSFER span per link traversal.
+LEVELS = ("spans", "links")
+
+
+@dataclass
+class Span:
+    """One traced interval in simulated seconds.
+
+    ``end_s`` is mutable so begin/end style spans (GROUP, ALLREDUCE,
+    COLLECTIVE, ALG_STEP) can exist — and parent children — before they
+    finish.  ``parent`` is a span id or ``None`` for roots.
+    """
+
+    sid: int
+    parent: int | None
+    cat: str
+    name: str
+    start_s: float
+    end_s: float
+    tags: dict = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def to_dict(self) -> dict:
+        return {
+            "sid": self.sid, "parent": self.parent, "cat": self.cat,
+            "name": self.name, "start_s": self.start_s, "end_s": self.end_s,
+            "tags": self.tags,
+        }
+
+
+class SpanRecorder:
+    """Collects spans from every instrumented layer of one simulation.
+
+    Attach with :meth:`attach` after the stack is built (mirrors
+    ``TelemetryProbe.attach``).  The recorder keeps a little cross-layer
+    rendezvous state so children can find parents created in other
+    layers:
+
+    - ``comm_parent``: sid of the runtime's in-flight ALLREDUCE span,
+      set around the ``comm.allreduce`` yield (the coordinator serialises
+      groups, so a single slot suffices).
+    - ``_rank_parent``: world rank -> sid of that rank's open ALG_STEP,
+      registered by :meth:`wrap_alg` so fabric TRANSFER spans can parent
+      under the algorithm step that issued the send.
+    """
+
+    def __init__(self, level: str = "spans") -> None:
+        if level not in LEVELS:
+            raise ValueError(f"level must be one of {LEVELS}, got {level!r}")
+        self.level = level
+        self.spans: list[Span] = []
+        self._next_sid = 0
+        self.comm_parent: int | None = None
+        self._rank_parent: dict[int, int] = {}
+        self._env: Any = None
+        self._device_rank: dict[Any, int] = {}
+
+    # -- properties ---------------------------------------------------
+
+    @property
+    def link_detail(self) -> bool:
+        return self.level == "links"
+
+    @property
+    def now(self) -> float:
+        return self._env.now if self._env is not None else 0.0
+
+    # -- recording ----------------------------------------------------
+
+    def record(self, cat: str, name: str, start_s: float, end_s: float,
+               parent: int | None = None, **tags: Any) -> int:
+        """Record a completed span; returns its id."""
+        sid = self._next_sid
+        self._next_sid += 1
+        self.spans.append(Span(sid, parent, cat, name, start_s, end_s,
+                               dict(tags)))
+        return sid
+
+    def begin(self, cat: str, name: str, start_s: float,
+              parent: int | None = None, **tags: Any) -> int:
+        """Open a span whose end is not yet known (``end_s == start_s``)."""
+        return self.record(cat, name, start_s, start_s, parent, **tags)
+
+    def end(self, sid: int, end_s: float) -> None:
+        """Close a span opened with :meth:`begin`."""
+        self.spans[sid].end_s = end_s
+
+    # -- attachment ---------------------------------------------------
+
+    def attach(self, env: Any = None, comm: Any = None, runtime: Any = None,
+               trainer: Any = None, fabric: Any = None) -> None:
+        """Install this recorder on each layer's ``tracer`` slot."""
+        if env is not None:
+            self._env = env
+        if comm is not None:
+            comm.tracer = self
+            self._device_rank = {dev: rank
+                                 for rank, dev in enumerate(comm.devices)}
+        if runtime is not None:
+            runtime.tracer = self
+        if trainer is not None:
+            trainer.tracer = self
+        if fabric is not None:
+            fabric.tracer = self
+
+    # -- cross-layer hooks --------------------------------------------
+
+    def wrap_alg(self, gen: Iterator, world_rank: int, parent: int,
+                 name: str) -> Iterator:
+        """Wrap one rank's algorithm generator in an ALG_STEP span.
+
+        Pure generator delegation — the wrapped process schedules exactly
+        the events the bare one would.  While the step is open the rank is
+        registered in ``_rank_parent`` so its TRANSFER spans nest here.
+        """
+        sid = self.begin("ALG_STEP", name, self.now, parent=parent,
+                         rank=world_rank)
+        prev = self._rank_parent.get(world_rank)
+        self._rank_parent[world_rank] = sid
+        try:
+            result = yield from gen
+        finally:
+            if prev is None:
+                self._rank_parent.pop(world_rank, None)
+            else:
+                self._rank_parent[world_rank] = prev
+            self.end(sid, self.now)
+        return result
+
+    def on_transfer(self, src: Any, dst: Any, nbytes: int, start_s: float,
+                    acquired_s: float, end_s: float, info: Any) -> None:
+        """Record one fabric link traversal (``level="links"`` only)."""
+        src_rank = self._device_rank.get(src)
+        parent = (self._rank_parent.get(src_rank)
+                  if src_rank is not None else None)
+        links = [link.label for link in info.links]
+        kinds = sorted({link.spec.name for link in info.links})
+        self.record(
+            "TRANSFER", "->".join(kinds) if kinds else "route",
+            start_s, end_s, parent=parent,
+            src=src_rank, dst=self._device_rank.get(dst),
+            bytes=int(nbytes), wait_s=acquired_s - start_s, links=links,
+        )
+
+    # -- queries ------------------------------------------------------
+
+    def by_cat(self, *cats: str) -> list[Span]:
+        wanted = set(cats)
+        return [s for s in self.spans if s.cat in wanted]
+
+    def children_of(self, sid: int) -> list[Span]:
+        return [s for s in self.spans if s.parent == sid]
+
+    def child_index(self) -> dict[int | None, list[Span]]:
+        index: dict[int | None, list[Span]] = {}
+        for span in self.spans:
+            index.setdefault(span.parent, []).append(span)
+        return index
+
+    # -- persistence --------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Checkpoint-safe state: drop live references, keep the spans.
+
+        ``comm_parent``/``_rank_parent`` are transient rendezvous slots;
+        checkpoints are cut at iteration barriers where no collective is
+        in flight, so they are always empty there.
+        """
+        state = self.__dict__.copy()
+        state["_env"] = None
+        state["_device_rank"] = {}
+        state["comm_parent"] = None
+        state["_rank_parent"] = {}
+        return state
+
+    def to_payload(self) -> dict:
+        return {
+            "schema_version": SPAN_SCHEMA_VERSION,
+            "level": self.level,
+            "spans": [s.to_dict() for s in self.spans],
+        }
+
+
+def save_spans(recorder: SpanRecorder, path: str | Path) -> Path:
+    """Write a recorder's spans as self-contained JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(recorder.to_payload(), indent=1))
+    return path
+
+
+def load_spans(source: str | Path | dict) -> SpanRecorder:
+    """Rebuild a :class:`SpanRecorder` from :func:`save_spans` output."""
+    payload = (source if isinstance(source, dict)
+               else json.loads(Path(source).read_text()))
+    version = payload.get("schema_version")
+    if version != SPAN_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported span schema {version!r} "
+            f"(this build reads {SPAN_SCHEMA_VERSION})")
+    rec = SpanRecorder(level=payload.get("level", "spans"))
+    for item in payload["spans"]:
+        rec.spans.append(Span(
+            sid=int(item["sid"]),
+            parent=item["parent"],
+            cat=item["cat"],
+            name=item["name"],
+            start_s=float(item["start_s"]),
+            end_s=float(item["end_s"]),
+            tags=dict(item.get("tags", {})),
+        ))
+    rec._next_sid = 1 + max((s.sid for s in rec.spans), default=-1)
+    return rec
+
+
+def well_nested_violations(spans: Iterable[Span],
+                           slop: float = 1e-9) -> list[str]:
+    """Structural checks: every parent exists, children fit inside it.
+
+    Returns human-readable violation strings (empty == well-nested).
+    Shared helper for the property tests and ``repro trace`` validation.
+    """
+    spans = list(spans)
+    by_sid = {s.sid: s for s in spans}
+    problems = []
+    for span in spans:
+        if span.end_s < span.start_s - slop:
+            problems.append(f"span {span.sid} ({span.cat}) ends before start")
+        if span.parent is None:
+            continue
+        parent = by_sid.get(span.parent)
+        if parent is None:
+            problems.append(
+                f"span {span.sid} ({span.cat}) has orphan parent "
+                f"{span.parent}")
+            continue
+        if (span.start_s < parent.start_s - slop
+                or span.end_s > parent.end_s + slop):
+            problems.append(
+                f"span {span.sid} ({span.cat} [{span.start_s:.6f},"
+                f" {span.end_s:.6f}]) escapes parent {parent.sid}"
+                f" ({parent.cat} [{parent.start_s:.6f}, {parent.end_s:.6f}])")
+    return problems

@@ -96,6 +96,8 @@ class DistributedTrainer:
         #: Optional telemetry hook (``on_iteration(IterationSample)``) —
         #: see :class:`repro.telemetry.TelemetryProbe`.
         self.probe = probe
+        #: Optional span recorder (``repro.trace``); observation only.
+        self.tracer: Any = None
         #: Optional :class:`~repro.checkpoint.CheckpointPlan` controlling
         #: state capture at iteration boundaries (duck-typed: anything
         #: with ``every`` / ``stop_at`` works).
@@ -350,6 +352,30 @@ class DistributedTrainer:
                 barrier_s=barrier_s,
                 end_s=self.env.now,
             ))
+        if self.tracer is not None:
+            self._trace_iteration(rank, iteration, start_s, stall_end_s,
+                                  forward_end_s, last_emit_s, barrier_s)
+
+    def _trace_iteration(self, rank: int, iteration: int, start_s: float,
+                         stall_end_s: float, forward_end_s: float,
+                         last_emit_s: float, barrier_s: float) -> None:
+        """Record one finished iteration's span stack (post-hoc, at the
+        optimizer-completion instant — mirrors ``probe.on_iteration``)."""
+        rec = self.tracer
+        end_s = self.env.now
+        it = rec.record("ITERATION", f"iter_{iteration}", start_s, end_s,
+                        rank=rank, iteration=iteration)
+        if stall_end_s > start_s:
+            rec.record("INPUT_STALL", "input stall", start_s, stall_end_s,
+                       parent=it)
+        rec.record("FORWARD", "forward", stall_end_s, forward_end_s,
+                   parent=it)
+        rec.record("BACKWARD", "backward", forward_end_s, last_emit_s,
+                   parent=it)
+        if barrier_s > last_emit_s:
+            rec.record("BARRIER_WAIT", "allreduce wait", last_emit_s,
+                       barrier_s, parent=it)
+        rec.record("OPTIMIZER", "optimizer", barrier_s, end_s, parent=it)
 
     # -- checkpointing ---------------------------------------------------------
     def _capture_wanted(self, barrier: int) -> bool:
@@ -467,6 +493,9 @@ class DistributedTrainer:
             "probe": (
                 pickle.dumps(self.probe) if self.probe is not None else None
             ),
+            "trace": (
+                pickle.dumps(self.tracer) if self.tracer is not None else None
+            ),
         }
 
     def _ckpt_count(self, name: str) -> None:
@@ -512,6 +541,10 @@ class DistributedTrainer:
                     barrier_s=s[4],
                     end_s=self.env.now,
                 ))
+            if self.tracer is not None:
+                s = rec["sample"]
+                self._trace_iteration(rank, iteration, s[0], s[1], s[2],
+                                      s[3], s[4])
             while self._next_barrier < job.iterations:
                 yield from self._one_iteration(
                     rank, self._next_barrier, jitter_gen, clock

@@ -1,0 +1,116 @@
+"""Bench-regression sentinel: measured-block diffs and the quick gate."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import ExperimentResult, save_result
+from repro.bench.sentinel import (
+    DEFAULT_TOLERANCE,
+    compare_results,
+    run_sentinel,
+)
+
+
+def _result(measured, experiment="E1"):
+    return ExperimentResult(experiment=experiment, title="t",
+                            measured=measured)
+
+
+def test_identical_results_are_ok():
+    base = _result({"a": 1.0, "b": "yes"})
+    report = compare_results(base, _result({"a": 1.0, "b": "yes"}))
+    assert report.ok and len(report.deltas) == 2
+    assert all(d.status == "ok" for d in report.deltas)
+    assert "OK" in report.summary()
+
+
+def test_numeric_drift_within_tolerance_is_ok():
+    base = _result({"a": 100.0})
+    assert compare_results(base, _result({"a": 104.0}),
+                           tolerance=0.05).ok
+    report = compare_results(base, _result({"a": 106.0}), tolerance=0.05)
+    assert not report.ok
+    (delta,) = report.regressions
+    assert delta.status == "regression"
+    assert delta.rel_error == pytest.approx(0.06)
+    assert "REGRESSION" in report.summary()
+
+
+def test_zero_baseline_tolerates_only_zero():
+    base = _result({"share": 0.0})
+    assert compare_results(base, _result({"share": 0.0})).ok
+    assert not compare_results(base, _result({"share": 0.01})).ok
+
+
+def test_missing_key_is_always_a_regression():
+    report = compare_results(_result({"a": 1.0, "gone": 2.0}),
+                             _result({"a": 1.0}))
+    assert not report.ok
+    (delta,) = report.regressions
+    assert delta.key == "gone" and delta.status == "missing"
+
+
+def test_new_key_is_reported_but_not_a_regression():
+    report = compare_results(_result({"a": 1.0}),
+                             _result({"a": 1.0, "extra": 3.0}))
+    assert report.ok
+    assert [d.status for d in report.deltas] == ["ok", "new"]
+
+
+def test_non_numeric_keys_compare_exactly():
+    assert not compare_results(_result({"who": "tuned"}),
+                               _result({"who": "default"})).ok
+    # Booleans are not numeric: True must not drift into 1.04.
+    assert not compare_results(_result({"flag": True}),
+                               _result({"flag": 1.04})).ok
+
+
+def test_negative_tolerance_rejected():
+    with pytest.raises(ValueError):
+        compare_results(_result({}), _result({}), tolerance=-0.1)
+
+
+# -- run_sentinel against a monkeypatched registry --------------------------
+
+class _FakeSpec:
+    def __init__(self, measured):
+        self.measured = measured
+
+    def run(self, quick=False, runner=None):
+        assert quick
+        return _result(self.measured)
+
+
+def _patch_registry(monkeypatch, measured):
+    import repro.bench.sentinel as sentinel
+
+    monkeypatch.setattr(sentinel, "REGISTRY", {"E1": _FakeSpec(measured)})
+
+
+def test_run_sentinel_ok_and_artifact(tmp_path, monkeypatch):
+    _patch_registry(monkeypatch, {"a": 1.0})
+    path = save_result(_result({"a": 1.0}), tmp_path)
+    artifact = tmp_path / "diff.json"
+    reports = run_sentinel([path], artifact=artifact)
+    assert [r.ok for r in reports] == [True]
+    doc = json.loads(artifact.read_text())
+    assert doc["ok"] is True
+    assert doc["tolerance"] == DEFAULT_TOLERANCE
+    assert doc["experiments"][0]["experiment"] == "E1"
+
+
+def test_run_sentinel_flags_injected_regression(tmp_path, monkeypatch):
+    _patch_registry(monkeypatch, {"a": 1.0})
+    path = save_result(_result({"a": 2.0}), tmp_path)  # baseline disagrees
+    artifact = tmp_path / "diff.json"
+    reports = run_sentinel([path], artifact=artifact)
+    assert not reports[0].ok
+    assert json.loads(artifact.read_text())["ok"] is False
+
+
+def test_run_sentinel_rejects_unknown_experiment(tmp_path, monkeypatch):
+    _patch_registry(monkeypatch, {"a": 1.0})
+    path = save_result(_result({"a": 1.0}, experiment="E99"), tmp_path)
+    with pytest.raises(ValueError, match="unknown experiment"):
+        run_sentinel([path])

@@ -1,0 +1,79 @@
+"""Runner trace capture: ``trace_dir`` exports spans per resolved point."""
+
+import json
+import os
+import time
+
+from repro.core import paper_tuned_config
+from repro.runner import ResultCache, Runner, TrainPoint
+from repro.runner.cache import sweep_stale_tmp
+from repro.trace import load_spans
+
+
+def _traced_point(gpus=2):
+    return TrainPoint(gpus=gpus, config=paper_tuned_config(), iterations=2,
+                      jitter_std=0.0, trace="spans")
+
+
+def test_trace_dir_writes_one_file_per_traced_point(tmp_path):
+    trace_dir = tmp_path / "traces"
+    runner = Runner(trace_dir=trace_dir)
+    points = [_traced_point(2), _traced_point(3)]
+    runner.run(points)
+    files = sorted(trace_dir.glob("*.trace.json"))
+    assert [f.name for f in files] == sorted(
+        f"{p.key()[:16]}.trace.json" for p in points)
+    assert runner.stats.traces_captured == 2
+    assert runner.stats.as_dict()["traces_captured"] == 2
+    # The exported file is the span format load_spans understands.
+    rec = load_spans(files[0])
+    assert rec.by_cat("ITERATION")
+
+
+def test_untraced_points_write_nothing(tmp_path):
+    trace_dir = tmp_path / "traces"
+    runner = Runner(trace_dir=trace_dir)
+    runner.run([TrainPoint(gpus=2, config=paper_tuned_config(),
+                           iterations=2, jitter_std=0.0)])
+    assert not trace_dir.exists() or not list(trace_dir.iterdir())
+    assert runner.stats.traces_captured == 0
+
+
+def test_cache_hits_still_capture(tmp_path):
+    """A warm resume re-materializes trace files from cached results."""
+    cache = ResultCache(directory=tmp_path / "cache")
+    point = _traced_point()
+    Runner(cache=cache).run([point])  # warm the cache, no capture
+    trace_dir = tmp_path / "traces"
+    runner = Runner(cache=cache, trace_dir=trace_dir)
+    runner.run([point])
+    assert runner.stats.cache_hits == 1
+    assert (trace_dir / f"{point.key()[:16]}.trace.json").exists()
+
+
+def test_capture_sweeps_stale_tmp_files(tmp_path):
+    trace_dir = tmp_path / "traces"
+    trace_dir.mkdir()
+    stale = trace_dir / "deadbeef.trace.json.999.tmp"
+    stale.write_text("{}")
+    old = time.time() - 3600
+    os.utime(stale, (old, old))
+    fresh = trace_dir / "cafef00d.trace.json.999.tmp"
+    fresh.write_text("{}")
+    Runner(trace_dir=trace_dir).run([_traced_point()])
+    assert not stale.exists(), "stale temp file survived the sweep"
+    assert fresh.exists(), "fresh temp file must not be swept"
+
+
+def test_sweep_stale_tmp_function(tmp_path):
+    """The module-level sweeper shared with the result cache."""
+    (tmp_path / "a.trace.json.1.tmp").write_text("x")
+    old = time.time() - 3600
+    os.utime(tmp_path / "a.trace.json.1.tmp", (old, old))
+    (tmp_path / "b.pkl.2.tmp").write_text("x")
+    os.utime(tmp_path / "b.pkl.2.tmp", (old, old))
+    (tmp_path / "keep.trace.json").write_text("{}")
+    assert sweep_stale_tmp(tmp_path) == 2
+    assert (tmp_path / "keep.trace.json").exists()
+    # A missing directory sweeps nothing.
+    assert sweep_stale_tmp(tmp_path / "absent") == 0

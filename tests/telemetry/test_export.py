@@ -91,7 +91,7 @@ def test_jsonl_includes_iteration_samples():
 
 
 def test_merge_chrome_trace_appends_counter_events():
-    from repro.horovod.timeline import Timeline
+    from repro.horovod.timeline import PHASES, Timeline
 
     timeline = Timeline()
     timeline.record("ALLREDUCE", "t0", 0.5, 1.0)
@@ -104,6 +104,19 @@ def test_merge_chrome_trace_appends_counter_events():
     assert [(c["ts"], c["args"]["queue_depth"]) for c in counters] == [
         (1.5e6, 4.0), (2.0e6, 1.0),
     ]
+    # Coherent merged scheme: counters ride a dedicated thread row of the
+    # runtime process, metadata names come first, and the non-metadata
+    # stream is globally ts-sorted.
+    assert all(c["pid"] == 0 and c["tid"] == len(PHASES) for c in counters)
+    names = {(e["pid"], e["tid"]): e["args"]["name"]
+             for e in trace["traceEvents"] if e["ph"] == "M"
+             and e["name"] == "thread_name"}
+    assert names[(0, len(PHASES))] == "counters"
+    body = [e for e in trace["traceEvents"] if e["ph"] != "M"]
+    assert [e["ts"] for e in body] == sorted(e["ts"] for e in body)
+    meta_idx = [i for i, e in enumerate(trace["traceEvents"])
+                if e["ph"] == "M"]
+    assert meta_idx == list(range(len(meta_idx)))
 
 
 def test_empty_registry_exports():

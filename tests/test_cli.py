@@ -300,3 +300,93 @@ def test_run_custom_journal_path(tmp_path, monkeypatch):
     assert journal_path.exists()
     assert not (tmp_path / "bench_results" / "run_journal.jsonl").exists()
     assert RunJournal(journal_path).completed("quick") == {"E1"}
+
+
+# -- span tracing / critical-path surfaces ----------------------------------
+
+def test_measure_json_trace_round_trip(capsys):
+    assert main(["measure", "--gpus", "2", "--iterations", "2",
+                 "--json", "--trace"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    summary = payload["trace_summary"]
+    assert {"critical_path_ms", "iterations", "level",
+            "exposed_allreduce_share", "shares",
+            "top_spans"} <= set(summary)
+    assert summary["critical_path_ms"] > 0
+    assert summary["level"] == "spans"
+    for span in summary["top_spans"]:
+        assert {"cat", "name", "seconds_per_iter", "share"} <= set(span)
+
+
+def test_measure_trace_text_mentions_critical_path(capsys):
+    assert main(["measure", "--gpus", "2", "--iterations", "2",
+                 "--trace"]) == 0
+    out = capsys.readouterr().out
+    assert "critical path" in out and "allreduce share" in out
+
+
+def test_trace_run_exports_and_explain(tmp_path, capsys):
+    out_dir = tmp_path / "trace_out"
+    assert main(["trace", "run", "--gpus", "6", "--iterations", "2",
+                 "--level", "links", "--out", str(out_dir)]) == 0
+    report = capsys.readouterr().out
+    assert "critical path" in report and "top bottleneck spans" in report
+    for name in ("spans.json", "trace.json", "critical_path.txt"):
+        assert (out_dir / name).exists(), name
+    from repro.trace import load_spans
+
+    assert load_spans(out_dir / "spans.json").by_cat("ITERATION")
+    # The exported span file feeds straight back into `repro explain`.
+    assert main(["explain", str(out_dir / "spans.json")]) == 0
+    assert "critical path" in capsys.readouterr().out
+
+
+def test_explain_unknown_target_fails(capsys):
+    assert main(["explain", "E99"]) == 2
+    assert "unknown target" in capsys.readouterr().err
+
+
+def test_bench_compare_exit_codes(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    assert main(["run", "E2", "--quick"]) == 0
+    capsys.readouterr()
+    baseline = tmp_path / "bench_results" / "e2.json"
+
+    # Fresh rerun of the same quick tier matches its own baseline.
+    assert main(["bench", "compare", str(baseline)]) == 0
+    assert "E2: OK" in capsys.readouterr().out
+
+    # Injected regression: doubled tensor_count trips the sentinel.
+    doc = json.loads(baseline.read_text())
+    doc["measured"]["tensor_count"] *= 2
+    baseline.write_text(json.dumps(doc))
+    artifact = tmp_path / "diff.json"
+    assert main(["bench", "compare", str(baseline),
+                 "--artifact", str(artifact)]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out and "tensor_count" in out
+    assert json.loads(artifact.read_text())["ok"] is False
+
+    # Unreadable baseline is a usage error, not a regression.
+    assert main(["bench", "compare", str(tmp_path / "nope.json")]) == 2
+
+
+def test_run_trace_dir_status_line(tmp_path, monkeypatch, capsys):
+    from repro import __main__ as cli
+
+    monkeypatch.chdir(tmp_path)
+    _fake_registry(cli, monkeypatch, [])
+    assert cli.cmd_run(["E1"], quick=True,
+                       trace_dir=str(tmp_path / "traces")) == 0
+    assert "E1 trace capture: no traced points" in capsys.readouterr().out
+
+
+def test_run_e16_trace_dir_captures_files(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    assert main(["run", "E16", "--quick", "--trace-dir", "traces"]) == 0
+    out = capsys.readouterr().out
+    assert "[E16 trace capture: 4 trace file(s) -> traces]" in out
+    files = list((tmp_path / "traces").glob("*.trace.json"))
+    assert len(files) == 4
+    saved = json.loads((tmp_path / "bench_results" / "e16.json").read_text())
+    assert saved["trace_summary"]["critical_path_ms"] > 0

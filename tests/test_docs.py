@@ -26,7 +26,7 @@ def test_readme_mentions_all_packages(readme):
     for pkg in ("repro.sim", "repro.cluster", "repro.mpi", "repro.horovod",
                 "repro.models", "repro.train", "repro.npnn", "repro.core",
                 "repro.bench", "repro.data", "repro.faults",
-                "repro.telemetry"):
+                "repro.telemetry", "repro.trace"):
         assert pkg in readme, pkg
 
 
@@ -45,10 +45,10 @@ def test_design_experiment_ids_have_drivers(design):
     from repro.bench import experiments
 
     for exp_id in ("E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
-                   "E10", "E11", "E12", "E13", "E14"):
+                   "E10", "E11", "E12", "E13", "E14", "E15", "E16"):
         assert f"| {exp_id} |" in design, exp_id
     for fn in ("e1_single_gpu_throughput", "e13_degraded_rail",
-               "e14_efficiency_attribution"):
+               "e14_efficiency_attribution", "e16_critical_path"):
         assert hasattr(experiments, fn)
 
 

@@ -1,0 +1,36 @@
+"""Spans survive checkpoint/resume: payload JSON is bit-identical.
+
+The recorder rides inside the trainer's checkpoint snapshot; a run
+interrupted at a boundary and resumed must end with exactly the spans of
+the uninterrupted run.  The gate compares canonical JSON payloads —
+pickle bytes are not stable across an unpickle (memoization differs)
+even when every value is equal.
+"""
+
+import json
+import pickle
+
+from repro.core import measure_training, paper_tuned_config
+
+
+def test_spans_survive_interrupt_resume():
+    from repro.checkpoint import CheckpointPlan, resume_training
+
+    kwargs = dict(iterations=5, jitter_std=0.03, seed=0, trace="spans")
+    gpus = 6
+    baseline = measure_training(gpus, paper_tuned_config(), **kwargs)
+
+    interrupted = measure_training(
+        gpus, paper_tuned_config(),
+        checkpoint=CheckpointPlan(every=1, stop_at=2), **kwargs)
+    assert interrupted.interrupted and interrupted.checkpoint is not None
+    # The captured state carries the recorder mid-run.
+    mid = pickle.loads(interrupted.checkpoint.state["trace"])
+    assert 0 < len(mid.spans) < len(baseline.trace.spans)
+
+    resumed = resume_training(interrupted.checkpoint)
+    assert resumed.trace is not None
+    assert (json.dumps(resumed.trace.to_payload())
+            == json.dumps(baseline.trace.to_payload()))
+    assert (pickle.dumps(resumed.stats)
+            == pickle.dumps(baseline.stats))

@@ -1,0 +1,91 @@
+"""Critical-path engine: properties, reconciliation and reporting."""
+
+import pytest
+
+from repro.telemetry import BUCKETS, attribute_measurement
+from repro.trace import (
+    SpanRecorder,
+    compute_critical_path,
+    explain_measurement,
+)
+
+
+@pytest.fixture(scope="module")
+def report(traced_measurement):
+    return explain_measurement(traced_measurement)
+
+
+def test_path_never_exceeds_wall(report):
+    for p in report.iterations:
+        assert p.path_s <= p.wall_s + 1e-9
+        # ... and covers at least the largest single bucket.
+        assert p.path_s >= max(p.buckets().values()) - 1e-9
+
+
+def test_path_equals_wall_by_construction(report):
+    # The segment walk spans the whole iteration: path == wall.
+    assert report.mean_path_s == pytest.approx(report.mean_wall_s)
+    assert report.max_sum_error < 1e-9
+
+
+def test_reconciles_with_attribution(traced_measurement, report):
+    att = attribute_measurement(traced_measurement)
+    cp_tot, att_tot = report.totals(), att.totals()
+    for bucket in BUCKETS:
+        assert cp_tot[bucket] == pytest.approx(att_tot[bucket], abs=1e-9), \
+            bucket
+    assert report.shares().keys() == att.shares().keys()
+    assert sum(report.shares().values()) == pytest.approx(1.0)
+
+
+def test_segments_are_ordered_and_contiguous(report):
+    for p in report.iterations:
+        segs = p.segments
+        assert segs
+        for a, b in zip(segs, segs[1:]):
+            assert a.end_s <= b.start_s + 1e-9
+        assert all(s.seconds >= -1e-12 for s in segs)
+
+
+def test_slack_non_negative_and_zero_on_path(report):
+    assert report.slack_s
+    assert all(s >= -1e-9 for s in report.slack_s.values())
+    assert any(s == 0.0 for s in report.slack_s.values())
+
+
+def test_link_dwell_present_at_links_level(report):
+    assert report.level == "links"
+    # The traced run exposes some allreduce, so links accrue dwell.
+    assert isinstance(report.link_dwell_s, dict)
+    for label, seconds in report.dwell_by_link():
+        assert isinstance(label, str) and seconds >= 0
+
+
+def test_ranked_views_and_top_spans(report):
+    dwell = report.dwell_by_phase()
+    assert dwell and dwell == sorted(dwell, key=lambda kv: -kv[1])
+    top = report.top_spans(count=3)
+    assert 0 < len(top) <= 3
+    assert all({"sid", "cat", "name", "seconds_per_iter", "share"}
+               <= set(item) for item in top)
+    summary = report.trace_summary()
+    assert summary["critical_path_ms"] > 0
+    assert summary["level"] == "links"
+    assert 0 <= summary["exposed_allreduce_share"] <= 1
+    assert all("sid" not in item for item in summary["top_spans"])
+    text = report.report()
+    assert "critical path" in text and "top bottleneck spans" in text
+
+
+def test_untraced_measurement_is_rejected():
+    from repro.core import measure_training, paper_tuned_config
+
+    m = measure_training(2, paper_tuned_config(), iterations=2,
+                         telemetry=True)
+    with pytest.raises(ValueError, match="no trace"):
+        explain_measurement(m)
+
+
+def test_empty_recorder_is_rejected():
+    with pytest.raises(ValueError, match="ITERATION"):
+        compute_critical_path(SpanRecorder())
