@@ -18,6 +18,7 @@ Results are printed as tables and saved under ``bench_results/``;
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -72,10 +73,17 @@ def _build_runner(parallel: bool, workers: int, no_cache: bool,
 def cmd_run(ids: list[str], quick: bool, parallel: bool = False,
             workers: int = 0, no_cache: bool = False, resume: bool = False,
             journal_path: str | None = None, retries: int = 1,
-            trace_dir: str | None = None) -> int:
+            trace_dir: str | None = None, fast: bool | None = None) -> int:
     """Run the selected experiments, journaling each for ``--resume``."""
     from repro.runner import RunJournal
 
+    if fast is not None:
+        from repro.sim import fastpath
+
+        fastpath.set_fast_path(fast)
+        # Worker processes re-read the environment at import, so the
+        # flag survives both fork and spawn start methods.
+        os.environ[fastpath.ENV_VAR] = "1" if fast else "0"
     if ids == ["all"]:
         ids = list(REGISTRY)
     unknown = [i for i in ids if i not in REGISTRY]
@@ -497,6 +505,14 @@ def main(argv: list[str] | None = None) -> int:
     run_p.add_argument("--trace-dir", metavar="DIR", default=None,
                        help="capture span traces of traced points into DIR "
                             "(one <key>.trace.json per traced measurement)")
+    run_p.add_argument("--fast", action="store_true", default=None,
+                       dest="fast",
+                       help="force the simulator fast path on "
+                            "(default: on, or REPRO_FAST_PATH)")
+    run_p.add_argument("--no-fast", action="store_false", default=None,
+                       dest="fast",
+                       help="force the reference simulation path "
+                            "(bit-identical results, more kernel events)")
     cache_p = sub.add_parser("cache", help="inspect/clear the result cache")
     cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
     for verb, help_ in (("stats", "show cache contents and hit accounting"),
@@ -596,7 +612,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_run(args.ids, args.quick, parallel=args.parallel,
                        workers=args.workers, no_cache=args.no_cache,
                        resume=args.resume, journal_path=args.journal,
-                       retries=args.retries, trace_dir=args.trace_dir)
+                       retries=args.retries, trace_dir=args.trace_dir,
+                       fast=args.fast)
     if args.command == "cache":
         return cmd_cache(args.cache_command, args.dir,
                          getattr(args, "json", False))

@@ -184,6 +184,15 @@ _SPECS = (
         tags=("extension", "trace"),
         parallelizable=True,
     ),
+    ExperimentSpec(
+        "E17", "simulator fast path: equivalence & speedup (extension)",
+        E.e17_fastpath_speedup,
+        full_kwargs={"gpu_counts": (1, 6, 24, 96), "iterations": 2,
+                     "ladder": (2, 3, 5, 8)},
+        quick_kwargs={"gpu_counts": (1, 6, 24), "iterations": 2,
+                      "ladder": (2, 3, 5)},
+        tags=("extension", "fastpath"),
+    ),
 )
 
 #: id -> spec, in presentation order.

@@ -11,10 +11,11 @@ the **quick** tier and diffs the two blocks key by key:
   deterministic, so drift means the code changed — the tolerance only
   absorbs intentional recalibration noise);
 * non-numeric keys compare for exact equality;
-* a baseline key **missing** from the fresh run is always a regression
-  (a deleted metric is a silently dropped claim);
-* a fresh key absent from the baseline is reported as ``new`` and never
-  fails the gate.
+* missing-key semantics are **symmetric**: a baseline key missing from
+  the fresh run fails the gate (a deleted metric is a silently dropped
+  claim), and a fresh key absent from the baseline fails it too (an
+  unreviewed new metric means the committed baseline no longer
+  describes the experiment — refresh it in the same change).
 
 :func:`run_sentinel` drives the whole check for a set of baseline files
 and renders a JSON diff artifact for CI; the ``repro bench compare`` CLI
@@ -70,9 +71,9 @@ class SentinelReport:
 
     @property
     def regressions(self) -> list[KeyDelta]:
-        """Deltas that fail the gate (regressed or missing keys)."""
+        """Deltas that fail the gate (regressed, missing or new keys)."""
         return [d for d in self.deltas
-                if d.status in ("regression", "missing")]
+                if d.status in ("regression", "missing", "new")]
 
     @property
     def ok(self) -> bool:

@@ -99,6 +99,14 @@ class Measurement:
     #: :class:`~repro.checkpoint.TrainCheckpoint` captured at the last
     #: plan boundary, when measured with ``checkpoint=``.
     checkpoint: object = None
+    #: ``{boundary: TrainCheckpoint}`` for the plan's explicit ``at``
+    #: boundaries — the handles :mod:`repro.runner.prefix` resumes from.
+    checkpoints: dict | None = None
+    #: Simulator fast-path counters (fast/fallback/events_elided) for
+    #: this run's fabric traffic.  Diagnostics only: the split depends
+    #: on which execution path ran, so it is excluded from every
+    #: compared payload — both paths yield bit-identical results.
+    fast_path: dict | None = None
     #: True when the run was killed before completing (``ProcessKill`` /
     #: ``CheckpointPlan.stop_at``) — the stats above are partial.
     interrupted: bool = False
@@ -283,25 +291,31 @@ def measure_training(
             injector, timeline, comm, runtime, trainer
         )
     train_checkpoint = None
+    train_checkpoints = None
     if plan is not None and trainer.last_checkpoint_state is not None:
         from repro.checkpoint import TrainCheckpoint, write_checkpoint
 
+        spec = {
+            "gpus": gpus,
+            "config": config,
+            "model": model,
+            "per_gpu_batch": per_gpu_batch,
+            "iterations": iterations,
+            "warmup_iterations": warmup_iterations,
+            "jitter_std": jitter_std,
+            "seed": seed,
+            "negotiation": negotiation,
+            "schedule": schedule,
+            "trace": tracer.level if tracer is not None else None,
+        }
         train_checkpoint = TrainCheckpoint(
-            spec={
-                "gpus": gpus,
-                "config": config,
-                "model": model,
-                "per_gpu_batch": per_gpu_batch,
-                "iterations": iterations,
-                "warmup_iterations": warmup_iterations,
-                "jitter_std": jitter_std,
-                "seed": seed,
-                "negotiation": negotiation,
-                "schedule": schedule,
-                "trace": tracer.level if tracer is not None else None,
-            },
-            state=trainer.last_checkpoint_state,
+            spec=spec, state=trainer.last_checkpoint_state
         )
+        if trainer.checkpoint_states:
+            train_checkpoints = {
+                boundary: TrainCheckpoint(spec=spec, state=state)
+                for boundary, state in sorted(trainer.checkpoint_states.items())
+            }
         if plan.path is not None:
             write_checkpoint(plan.path, train_checkpoint)
     return Measurement(
@@ -317,6 +331,8 @@ def measure_training(
         telemetry=probe,
         trace=tracer,
         checkpoint=train_checkpoint,
+        checkpoints=train_checkpoints,
+        fast_path=runtime.fast_path_report(),
         interrupted=trainer.job_killed,
     )
 

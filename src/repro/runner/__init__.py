@@ -20,7 +20,12 @@ simulation.  This package makes the sweep layer exploit that:
 * :class:`~repro.runner.journal.RunJournal` — append-only JSONL event
   log under ``bench_results/`` that makes ``repro run all --resume``
   replay only the experiments a crashed or interrupted sweep left
-  unfinished.
+  unfinished;
+* :func:`~repro.runner.prefix.prefix_run` /
+  :class:`~repro.runner.prefix.PrefixStore` — prefix memoization for
+  iterations-laddered sweeps: simulate each ladder once, materialize the
+  smaller members by checkpoint resume with the iteration target
+  rewritten.
 
 The sweep-shaped experiment drivers (E3–E6, E8, E9, E11, E12, E14), the
 staged tuner and ``repro run --parallel`` all execute through here;
@@ -35,6 +40,12 @@ from repro.runner.cache import (
 )
 from repro.runner.journal import DEFAULT_JOURNAL_PATH, RunJournal
 from repro.runner.pool import Runner, RunnerError, RunnerStats, run_points
+from repro.runner.prefix import (
+    PrefixStats,
+    PrefixStore,
+    prefix_run,
+    run_with_prefix_memo,
+)
 from repro.runner.simpoint import OSUPoint, SimPoint, TrainPoint, cache_salt
 
 __all__ = [
@@ -43,6 +54,8 @@ __all__ = [
     "DEFAULT_MAX_BYTES",
     "CacheStats",
     "OSUPoint",
+    "PrefixStats",
+    "PrefixStore",
     "ResultCache",
     "RunJournal",
     "Runner",
@@ -51,5 +64,7 @@ __all__ = [
     "SimPoint",
     "TrainPoint",
     "cache_salt",
+    "prefix_run",
     "run_points",
+    "run_with_prefix_memo",
 ]

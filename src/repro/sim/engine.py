@@ -205,7 +205,7 @@ class Initialize(Event):
 
     def __init__(self, env: "Environment", process: "Process") -> None:
         super().__init__(env)
-        self.callbacks.append(process._resume)
+        self.callbacks.append(process._rcb)
         self._ok = True
         self._value = None
         env._schedule(self, URGENT)
@@ -219,7 +219,7 @@ class Process(Event):
     processes can therefore ``yield proc`` to join on it.
     """
 
-    __slots__ = ("_generator", "_target")
+    __slots__ = ("_generator", "_target", "_rcb")
 
     def __init__(self, env: "Environment", generator: Generator) -> None:
         if not hasattr(generator, "throw"):
@@ -229,6 +229,10 @@ class Process(Event):
         #: The event this process is currently waiting on (None when ready
         #: to run or finished).
         self._target: Event | None = None
+        #: The bound ``_resume`` callback, allocated once — registering a
+        #: waiter is the hottest append in the kernel and a fresh bound
+        #: method per suspension is measurable at millions of events.
+        self._rcb = self._resume
         Initialize(env, self)
 
     @property
@@ -256,57 +260,60 @@ class Process(Event):
         event._ok = False
         event._value = Interrupt(cause)
         event.defused = True
-        event.callbacks.append(self._resume)
+        event.callbacks.append(self._rcb)
         self.env._schedule(event, URGENT)
         # Detach from the old target so its trigger no longer resumes us.
         if self._target is not None and self._target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                self._target.callbacks.remove(self._rcb)
             except ValueError:  # pragma: no cover - already detached
                 pass
         self._target = None
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the outcome of ``event``."""
-        self.env._active = self
+        env = self.env
+        env._active = self
+        gen = self._generator
         while True:
             try:
                 if event._ok:
-                    next_target = self._generator.send(event._value)
+                    next_target = gen.send(event._value)
                 else:
                     # The waiter is handling the failure: defuse it so the
                     # environment does not abort.
                     event.defused = True
-                    next_target = self._generator.throw(event._value)
+                    next_target = gen.throw(event._value)
             except StopIteration as stop:
                 self._ok = True
                 self._value = stop.value
-                self.env._schedule(self, NORMAL)
+                env._schedule(self, NORMAL)
                 break
             except BaseException as exc:
                 self._ok = False
                 self._value = exc
-                self.env._schedule(self, NORMAL)
+                env._schedule(self, NORMAL)
                 break
 
             if not isinstance(next_target, Event):
                 exc = SimulationError(
                     f"process {self.name!r} yielded non-event {next_target!r}"
                 )
-                event = Event(self.env)
+                event = Event(env)
                 event._ok = False
                 event._value = exc
                 event.defused = True
                 continue  # throw into the generator on next loop turn
 
-            if next_target.processed:
+            callbacks = next_target.callbacks
+            if callbacks is None:
                 # Already happened: resume immediately with its outcome.
                 event = next_target
                 continue
             self._target = next_target
-            next_target.callbacks.append(self._resume)
+            callbacks.append(self._rcb)
             break
-        self.env._active = None
+        env._active = None
 
 
 class Condition(Event):
@@ -407,6 +414,13 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active: Process | None = None
+        #: Callbacks of the event being dispatched that have not run yet.
+        #: Non-zero means code is executing mid-cascade: a later callback
+        #: of the *same* event could still observe or mutate shared state
+        #: at this timestamp.  Fast-path shortcuts (the fabric's
+        #: closed-form transfer) refuse to fire mid-cascade — see
+        #: :mod:`repro.sim.fastpath`.
+        self._cascade_rest = 0
         #: Optional observation-only hook object (``on_schedule(env, event,
         #: delay)`` / ``on_step(env, event, depth)``) — see
         #: :class:`repro.telemetry.TelemetryProbe`.  Must never create
@@ -492,10 +506,50 @@ class Environment:
         if self.monitor is not None:
             self.monitor.on_step(self, event, len(self._queue))
         callbacks, event.callbacks = event.callbacks, None
+        rest = len(callbacks)
         for callback in callbacks:
+            rest -= 1
+            self._cascade_rest = rest
             callback(event)
         if not event._ok and not event.defused:
             raise event._value
+
+    def _drain(self, horizon: float | None, until: "Event | None") -> None:
+        """Hot drain loop shared by every :meth:`run` mode.
+
+        Dispatch is inlined rather than delegated to :meth:`step` so a
+        same-timestamp event cohort (a barrier releasing dozens of rank
+        processes, a fused group completing on every rank at once) drains
+        in one tight loop: one heap pop, one monitor check and one
+        callback walk per event, with no per-event method-call or
+        attribute-lookup overhead on top.  Semantics are identical to
+        calling :meth:`step` in a loop — the differential and
+        zero-perturbation suites compare the two paths event for event.
+        """
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            if until is not None and until.callbacks is None:
+                return
+            if horizon is not None and queue[0][0] > horizon:
+                return
+            self._now, _, _, event = pop(queue)
+            monitor = self.monitor
+            if monitor is not None:
+                monitor.on_step(self, event, len(queue))
+            callbacks = event.callbacks
+            event.callbacks = None
+            if len(callbacks) == 1:
+                self._cascade_rest = 0
+                callbacks[0](event)
+            else:
+                rest = len(callbacks)
+                for callback in callbacks:
+                    rest -= 1
+                    self._cascade_rest = rest
+                    callback(event)
+            if not event._ok and not event.defused:
+                raise event._value
 
     def run(self, until: "float | Event | None" = None) -> Any:
         """Run the simulation.
@@ -509,16 +563,12 @@ class Environment:
           event's value (raising its exception if it failed).
         """
         if until is None:
-            while self._queue:
-                self.step()
+            self._drain(None, None)
             return None
         if isinstance(until, Event):
             sentinel: list[Event] = []
             until.callbacks.append(sentinel.append) if not until.processed else None
-            while self._queue:
-                if until.processed:
-                    break
-                self.step()
+            self._drain(None, until)
             if not until.processed:
                 raise SimulationError(
                     f"run(until={until!r}): queue drained before event triggered"
@@ -530,7 +580,6 @@ class Environment:
         horizon = float(until)
         if horizon < self._now:
             raise ValueError(f"run(until={horizon}) is in the past (now={self._now})")
-        while self._queue and self._queue[0][0] <= horizon:
-            self.step()
+        self._drain(horizon, None)
         self._now = horizon
         return None

@@ -51,11 +51,28 @@ def test_missing_key_is_always_a_regression():
     assert delta.key == "gone" and delta.status == "missing"
 
 
-def test_new_key_is_reported_but_not_a_regression():
+def test_new_key_fails_the_gate_symmetrically():
+    # Regression test for the one-directional gate: a candidate key
+    # absent from the baseline must fail exactly like a baseline key
+    # absent from the candidate — otherwise unreviewed metrics ship
+    # against a stale committed baseline with exit code 0.
     report = compare_results(_result({"a": 1.0}),
                              _result({"a": 1.0, "extra": 3.0}))
-    assert report.ok
-    assert [d.status for d in report.deltas] == ["ok", "new"]
+    assert not report.ok
+    (delta,) = report.regressions
+    assert delta.key == "extra" and delta.status == "new"
+    assert delta.baseline is None and delta.fresh == 3.0
+    assert "REGRESSION" in report.summary()
+
+
+def test_missing_key_semantics_are_symmetric():
+    left = _result({"a": 1.0, "only_left": 2.0})
+    right = _result({"a": 1.0, "only_right": 2.0})
+    forward = compare_results(left, right)
+    backward = compare_results(right, left)
+    assert not forward.ok and not backward.ok
+    assert [d.status for d in forward.regressions] == ["missing", "new"]
+    assert [d.status for d in backward.regressions] == ["missing", "new"]
 
 
 def test_non_numeric_keys_compare_exactly():

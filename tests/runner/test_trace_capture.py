@@ -65,6 +65,40 @@ def test_capture_sweeps_stale_tmp_files(tmp_path):
     assert fresh.exists(), "fresh temp file must not be swept"
 
 
+def test_resumed_run_exports_identical_trace_file(tmp_path):
+    """Checkpoint/resume × trace capture: resuming a traced run mid-way
+    and materializing it through ``trace_dir`` yields the byte-identical
+    trace file the uninterrupted sweep writes."""
+    from repro.checkpoint import CheckpointPlan, resume_training
+    from repro.core import measure_training
+
+    point = TrainPoint(gpus=3, config=paper_tuned_config(), iterations=5,
+                       jitter_std=0.03, trace="spans")
+    baseline_dir = tmp_path / "baseline"
+    Runner(trace_dir=baseline_dir).run([point])
+    trace_file = f"{point.key()[:16]}.trace.json"
+
+    # Same point, interrupted at boundary 2 with the recorder attached.
+    interrupted = measure_training(
+        gpus=point.gpus, config=point.config, iterations=point.iterations,
+        jitter_std=point.jitter_std, trace=point.trace,
+        checkpoint=CheckpointPlan(every=1, stop_at=2))
+    assert interrupted.interrupted and interrupted.checkpoint is not None
+    resumed = resume_training(interrupted.checkpoint)
+    assert resumed.trace is not None
+
+    # Seed a cache with the resumed measurement under the point's own
+    # key; the runner's cache-hit path re-materializes its trace file.
+    cache = ResultCache(directory=tmp_path / "cache")
+    cache.put(point.key(), resumed)
+    resumed_dir = tmp_path / "resumed"
+    runner = Runner(cache=cache, trace_dir=resumed_dir)
+    runner.run([point])
+    assert runner.stats.cache_hits == 1 and runner.stats.traces_captured == 1
+    assert ((resumed_dir / trace_file).read_bytes()
+            == (baseline_dir / trace_file).read_bytes())
+
+
 def test_sweep_stale_tmp_function(tmp_path):
     """The module-level sweeper shared with the result cache."""
     (tmp_path / "a.trace.json.1.tmp").write_text("x")

@@ -1,0 +1,257 @@
+"""Differential-equivalence gate for the simulator fast path.
+
+Every test runs the same scenario twice — fast path forced **on** and
+forced **off** — and asserts the results are bit-identical in every
+compared observable: training statistics, timeline events, runtime
+stats, link utilization, fault reports, telemetry attribution buckets,
+trace spans, and checkpoint state.  The only permitted difference is
+kernel event *counts* (``Environment.events_scheduled``,
+``sim_events_processed_total``), the same exclusion the
+checkpoint/resume contract makes (:mod:`repro.checkpoint.train`).
+
+Scenario classes: uncontended and contended routes, property-generated
+knob/seed/scale combinations (hypothesis), fault schedules, elastic
+shrink through rank crash/restart, tracing and telemetry attached, and
+checkpoint capture + resume across the two paths.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Fabric, build_summit
+from repro.core import (
+    measure_training,
+    paper_default_config,
+    paper_tuned_config,
+)
+from repro.core.sweep import clear_profile_cache
+from repro.faults import (
+    DegradedRail,
+    FaultSchedule,
+    LinkFlap,
+    RankCrash,
+    RankRestart,
+    StragglerGPU,
+)
+from repro.sim import Environment, fast_path, fast_path_enabled
+
+RAIL_A = ("nic:0:0", "switch:-1:1")
+
+
+def run_both(**kwargs):
+    """One scenario through both paths; returns ``(fast, reference)``."""
+    clear_profile_cache()
+    with fast_path(True):
+        hot = measure_training(**kwargs)
+    clear_profile_cache()
+    with fast_path(False):
+        ref = measure_training(**kwargs)
+    return hot, ref
+
+
+def assert_equivalent(hot, ref):
+    """Field-for-field bit-identity on every compared observable."""
+    assert pickle.dumps(hot.stats) == pickle.dumps(ref.stats)
+    assert pickle.dumps(hot.runtime_stats) == pickle.dumps(ref.runtime_stats)
+    assert pickle.dumps(hot.link_utilization) == \
+        pickle.dumps(ref.link_utilization)
+    assert pickle.dumps(hot.fault_report) == pickle.dumps(ref.fault_report)
+    assert len(hot.timeline.events) == len(ref.timeline.events)
+    for ours, theirs in zip(hot.timeline.events, ref.timeline.events):
+        assert pickle.dumps(ours) == pickle.dumps(theirs)
+    if hot.trace is not None or ref.trace is not None:
+        assert pickle.dumps(hot.trace.spans) == pickle.dumps(ref.trace.spans)
+    if hot.telemetry is not None or ref.telemetry is not None:
+        from repro.telemetry import attribute_measurement
+
+        # Attribution buckets are simulated-seconds that sum to wall
+        # time — they must match exactly.  Raw registry metrics are NOT
+        # compared: kernel event counters legitimately differ.
+        assert pickle.dumps(attribute_measurement(hot)) == \
+            pickle.dumps(attribute_measurement(ref))
+
+
+def test_fast_path_defaults_on():
+    """The fast path is on unless REPRO_FAST_PATH explicitly disables it.
+
+    CI runs this same suite with the variable pinned to both values, so
+    the assertion targets the env-aware default, not a bare True.
+    """
+    import os
+
+    from repro.sim.fastpath import ENV_VAR
+
+    raw = os.environ.get(ENV_VAR)
+    expected = raw is None or raw.strip().lower() not in {
+        "0", "false", "no", "off", ""}
+    assert fast_path_enabled() == expected
+
+
+def test_shortcut_engages_on_uncontended_transfers():
+    """Serial point-to-point transfers elide every grant event."""
+    env = Environment()
+    topo = build_summit(env, nodes=1)
+    fabric = Fabric(topo)
+    gpus = topo.gpus()
+    with fast_path(True):
+        for i in range(4):
+            fabric.transfer(gpus[0], gpus[i + 1], 1 << 20)
+            env.run(None)
+    assert fabric.fast_stats.fast == 4
+    assert fabric.fast_stats.fallback == 0
+    assert fabric.fast_stats.events_elided > 0
+    assert fabric.fast_stats.hit_rate == 1.0
+
+
+def test_shortcut_never_engages_when_disabled():
+    env = Environment()
+    topo = build_summit(env, nodes=1)
+    fabric = Fabric(topo)
+    gpus = topo.gpus()
+    with fast_path(False):
+        fabric.transfer(gpus[0], gpus[1], 1 << 20)
+        env.run(None)
+    assert fabric.fast_stats.fast == 0
+    assert fabric.fast_stats.fallback == 1
+
+
+def test_contended_route_takes_reference_path_with_same_times():
+    """Two transfers fighting over one link: identical completion times
+    whichever path the first one took."""
+    times = {}
+    for enabled in (True, False):
+        env = Environment()
+        topo = build_summit(env, nodes=1)
+        fabric = Fabric(topo)
+        gpus = topo.gpus()
+        with fast_path(enabled):
+            a = fabric.transfer(gpus[0], gpus[1], 8 << 20)
+            b = fabric.transfer(gpus[0], gpus[1], 8 << 20)
+            env.run(None)
+        times[enabled] = (env.now, a.value, b.value)
+        if enabled:
+            # The second transfer waits on the first: it must fall back.
+            assert fabric.fast_stats.fallback >= 1
+    assert times[True] == times[False]
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    gpus=st.sampled_from([2, 3, 6]),
+    tuned=st.booleans(),
+    seed=st.integers(min_value=0, max_value=3),
+    jitter=st.sampled_from([0.0, 0.03]),
+    iterations=st.integers(min_value=2, max_value=3),
+)
+def test_training_equivalence_property(gpus, tuned, seed, jitter, iterations):
+    """Property sweep over knobs/scale/seed: fast ≡ reference."""
+    cfg = paper_tuned_config() if tuned else paper_default_config()
+    hot, ref = run_both(gpus=gpus, config=cfg, iterations=iterations,
+                        seed=seed, jitter_std=jitter)
+    assert_equivalent(hot, ref)
+
+
+def test_multinode_training_equivalence():
+    """Inter-node routes (EDR rails, multi-link acquisition order)."""
+    hot, ref = run_both(gpus=12, config=paper_tuned_config(), iterations=2,
+                        seed=5)
+    assert_equivalent(hot, ref)
+
+
+def test_fault_overlap_equivalence():
+    """Stragglers, degraded rails and link flaps across both paths."""
+    cfg = paper_tuned_config()
+    schedule = FaultSchedule.of(
+        StragglerGPU(rank=1, start_s=0.5, duration_s=2.0, slowdown=2.0),
+        DegradedRail(link=RAIL_A, start_s=1.0, duration_s=2.0, factor=0.5),
+        LinkFlap(link=("nic:1:0", "switch:-1:1"), start_s=0.8,
+                 duration_s=2.5, period_s=0.6, down_s=0.2, severity=0.4),
+    )
+    hot, ref = run_both(gpus=12, config=cfg, iterations=4, seed=2,
+                        schedule=schedule)
+    assert hot.fault_report["faults_applied"] >= 3
+    assert_equivalent(hot, ref)
+
+
+def test_elastic_shrink_equivalence():
+    """Rank crash + restart (membership change) across both paths."""
+    base = paper_tuned_config()
+    probe = measure_training(6, base, iterations=2, jitter_std=0.0)
+    t = probe.stats.mean_iteration_seconds
+    cfg = dataclasses.replace(base, horovod=base.horovod.with_(
+        negotiation_deadline_s=0.15 * t, suspect_retries=1,
+    ))
+    schedule = FaultSchedule.of(
+        RankCrash(rank=5, start_s=1.5 * t),
+        RankRestart(rank=5, start_s=3.5 * t),
+    )
+    hot, ref = run_both(gpus=6, config=cfg, iterations=6, seed=3,
+                        schedule=schedule)
+    assert hot.fault_report["rank_crashes"] == 1
+    assert hot.fault_report["rank_restarts"] == 1
+    assert_equivalent(hot, ref)
+
+
+@pytest.mark.parametrize("observation", ["trace", "telemetry"])
+def test_observation_attached_equivalence(observation):
+    """Tracing/telemetry attached: still bit-identical, and activation
+    is observation-independent (same elision whether observed or not)."""
+    kwargs = dict(gpus=6, config=paper_tuned_config(), iterations=2, seed=1)
+    if observation == "trace":
+        kwargs["trace"] = "links"
+    else:
+        kwargs["telemetry"] = True
+    hot, ref = run_both(**kwargs)
+    assert_equivalent(hot, ref)
+
+
+def test_checkpoint_resume_equivalence():
+    """Capture on one path, resume on the other — all four combinations
+    land on the same completed payload."""
+    from repro.checkpoint import CheckpointPlan, resume_training
+
+    cfg = paper_tuned_config()
+    kwargs = dict(gpus=6, config=cfg, iterations=5, seed=1)
+    clear_profile_cache()
+    with fast_path(False):
+        baseline = measure_training(**kwargs)
+    payloads = set()
+    for capture_fast in (True, False):
+        clear_profile_cache()
+        with fast_path(capture_fast):
+            m = measure_training(
+                checkpoint=CheckpointPlan(every=1, stop_at=3), **kwargs
+            )
+        assert m.interrupted and m.checkpoint is not None
+        for resume_fast in (True, False):
+            with fast_path(resume_fast):
+                resumed = resume_training(m.checkpoint)
+            assert not resumed.interrupted
+            payloads.add(pickle.dumps(
+                (resumed.stats, resumed.link_utilization)
+            ))
+            assert len(resumed.timeline.events) == len(baseline.timeline.events)
+            for ours, theirs in zip(resumed.timeline.events,
+                                    baseline.timeline.events):
+                assert pickle.dumps(ours) == pickle.dumps(theirs)
+    assert payloads == {
+        pickle.dumps((baseline.stats, baseline.link_utilization))
+    }
+
+
+def test_osu_collective_equivalence():
+    """The OSU microbenchmark path: identical latencies both ways."""
+    from repro.runner import OSUPoint
+
+    results = {}
+    for enabled in (True, False):
+        with fast_path(enabled):
+            point = OSUPoint(gpus=12, library=paper_tuned_config().library,
+                             nbytes=1 << 20, iterations=3)
+            results[enabled] = pickle.dumps(point.execute())
+    assert results[True] == results[False]

@@ -45,10 +45,11 @@ def test_design_experiment_ids_have_drivers(design):
     from repro.bench import experiments
 
     for exp_id in ("E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
-                   "E10", "E11", "E12", "E13", "E14", "E15", "E16"):
+                   "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"):
         assert f"| {exp_id} |" in design, exp_id
     for fn in ("e1_single_gpu_throughput", "e13_degraded_rail",
-               "e14_efficiency_attribution", "e16_critical_path"):
+               "e14_efficiency_attribution", "e16_critical_path",
+               "e17_fastpath_speedup"):
         assert hasattr(experiments, fn)
 
 
