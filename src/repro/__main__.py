@@ -9,10 +9,17 @@ Usage::
     python -m repro run all --resume      # finish an interrupted sweep
     python -m repro cache stats           # inspect the result cache
     python -m repro measure --gpus 48 --config tuned
+    python -m repro serve --port 8765     # simulation-as-a-service API
+    python -m repro submit E6 --wait      # queue a job on a server
+    python -m repro jobs ls               # inspect the job queue
 
 Results are printed as tables and saved under ``bench_results/``;
 ``run --parallel`` executes sweep-shaped experiments through
 :mod:`repro.runner` (process pool + content-addressed result cache).
+
+Exit codes follow one convention across every subcommand: 0 = ok,
+1 = domain failure (an experiment/job/server-side error), 2 = usage
+error (bad arguments, unknown ids, unreadable inputs).
 """
 
 from __future__ import annotations
@@ -33,6 +40,21 @@ from repro.core import (
 #: Legacy tuple view (description, fn, full kwargs, quick kwargs), kept
 #: for external callers; :mod:`repro.bench.registry` is the source of truth.
 EXPERIMENTS = legacy_table()
+
+#: Shared exit codes (the convention ``repro bench compare`` set).
+EXIT_OK, EXIT_FAILURE, EXIT_USAGE = 0, 1, 2
+
+
+def fail(message: str, *, usage: bool = False) -> int:
+    """The single error envelope every subcommand reports through.
+
+    Prints ``error: <message>`` to stderr and returns the conventional
+    exit code: 2 for usage errors (bad arguments, unknown ids), 1 for
+    domain failures (an experiment or request that legitimately
+    failed).
+    """
+    print(f"error: {message}", file=sys.stderr)
+    return EXIT_USAGE if usage else EXIT_FAILURE
 
 
 def package_version() -> str:
@@ -88,9 +110,8 @@ def cmd_run(ids: list[str], quick: bool, parallel: bool = False,
         ids = list(REGISTRY)
     unknown = [i for i in ids if i not in REGISTRY]
     if unknown:
-        print(f"unknown experiment ids: {unknown}; try `python -m repro list`",
-              file=sys.stderr)
-        return 2
+        return fail(f"unknown experiment ids: {unknown}; "
+                    f"try `python -m repro list`", usage=True)
     variant = "quick" if quick else "full"
     journal = RunJournal(journal_path)
     if resume:
@@ -187,8 +208,171 @@ def cmd_cache(action: str, directory: str | None, as_json: bool) -> int:
     print(f"entries         : {snap['entries']}")
     print(f"total bytes     : {snap['total_bytes']}")
     print(f"max bytes       : {snap['max_bytes']}")
+    print(f"hits / misses   : {snap['hits']} / {snap['misses']}")
+    print(f"hit ratio       : {snap['hit_ratio']:.3f}")
     print(f"salt            : {snap['salt']}")
     return 0
+
+
+def cmd_journal_compact(journal_path: str | None) -> int:
+    """``repro journal compact``: drop superseded run-journal entries."""
+    from repro.runner import RunJournal
+    from repro.runner.journal import compact_run_journal
+
+    journal = RunJournal(journal_path)
+    if not journal.path.exists():
+        return fail(f"no journal at {journal.path}", usage=True)
+    before, after = compact_run_journal(journal)
+    print(f"compacted {journal.path}: {before} -> {after} record(s)")
+    return 0
+
+
+def _service_client(url: str, token: str | None):
+    from repro.service import ServiceClient
+
+    return ServiceClient(url=url, token=token)
+
+
+def cmd_serve(host: str, port: int, state_dir: str, tokens: str | None,
+              workers: int, lease_s: float) -> int:
+    """``repro serve``: run the blocking simulation-service HTTP server."""
+    from pathlib import Path
+
+    from repro.service import Service, ServiceConfig, serve
+
+    try:
+        config = ServiceConfig(
+            host=host, port=port, state_dir=Path(state_dir),
+            tokens_path=Path(tokens) if tokens else None,
+            workers=workers, lease_s=lease_s)
+        service = Service(config)
+    except ValueError as err:
+        return fail(str(err), usage=True)
+    recovered = service.start()
+    for job in recovered:
+        print(f"[recovered job {job.id}: now {job.state}]")
+
+    def ready(bound_host: str, bound_port: int) -> None:
+        auth = "bearer-token" if service.auth.enabled else "open"
+        print(f"[repro service listening on http://{bound_host}:{bound_port} "
+              f"— state {config.state_dir}, {workers} worker(s), "
+              f"auth={auth}]", flush=True)
+
+    try:
+        serve(service, ready=ready)
+    except KeyboardInterrupt:
+        print("\n[shutting down]", file=sys.stderr)
+    except OSError as err:
+        service.stop()
+        return fail(f"cannot bind {host}:{port}: {err}")
+    service.stop()
+    return 0
+
+
+def cmd_submit(target: str, variant: str, priority: int, url: str,
+               token: str | None, wait: bool, timeout: float) -> int:
+    """``repro submit``: queue an experiment id or a points JSON file."""
+    import json
+    from pathlib import Path
+    from urllib.error import URLError
+
+    from repro.service import ServiceError
+
+    client = _service_client(url, token)
+    points = None
+    experiment = None
+    if target in REGISTRY:
+        experiment = target
+    else:
+        path = Path(target)
+        if not path.exists():
+            return fail(f"{target!r} is neither an experiment id (known: "
+                        f"{', '.join(REGISTRY)}) nor a points JSON file",
+                        usage=True)
+        try:
+            loaded = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as err:
+            return fail(f"cannot read points file {path}: {err}", usage=True)
+        points = loaded.get("points") if isinstance(loaded, dict) else loaded
+        if not isinstance(points, list) or not points:
+            return fail(f"{path} must hold a JSON list of points or "
+                        f"{{\"points\": [...]}}", usage=True)
+    try:
+        job = client.submit(experiment=experiment, variant=variant,
+                            points=points, priority=priority)
+    except ServiceError as err:
+        return fail(str(err), usage=err.status in (400, 404))
+    except (URLError, OSError) as err:
+        return fail(f"cannot reach {url}: {err}")
+    print(f"[submitted job {job['id']} "
+          f"(tenant={job['tenant']}, priority={job['priority']})]")
+    if not wait:
+        return 0
+    try:
+        job = client.wait(job["id"], timeout=timeout)
+    except TimeoutError as err:
+        return fail(str(err))
+    except (URLError, OSError) as err:
+        return fail(f"lost connection to {url}: {err}")
+    print(f"[job {job['id']}: {job['state']} "
+          f"in {job.get('elapsed_s') or 0.0:.3f}s]")
+    if job["state"] != "DONE":
+        return fail(f"job finished {job['state']}: {job.get('error')}")
+    runner = job.get("runner") or {}
+    if runner:
+        print(f"[runner: {runner.get('cache_hits', 0)} hits / "
+              f"{runner.get('cache_misses', 0)} misses, "
+              f"{runner.get('executed', 0)} executed]")
+    return 0
+
+
+def cmd_jobs(action: str, job_id: str | None, url: str, token: str | None,
+             state: str | None, out: str | None) -> int:
+    """``repro jobs ls|show|result|cancel``: inspect the remote queue."""
+    import json
+    from urllib.error import URLError
+
+    from repro.service import ServiceError
+
+    client = _service_client(url, token)
+    try:
+        if action == "ls":
+            jobs = client.jobs(state=state)
+            print(f"{'id':<16} {'state':<11} {'tenant':<10} "
+                  f"{'prio':>4} {'elapsed_s':>9}  spec")
+            for job in jobs:
+                spec = job["spec"]
+                label = (f"{spec['experiment']}/{spec['variant']}"
+                         if "experiment" in spec
+                         else f"{len(spec['points'])} point(s)")
+                elapsed = job.get("elapsed_s")
+                print(f"{job['id']:<16} {job['state']:<11} "
+                      f"{job['tenant']:<10} {job['priority']:>4} "
+                      f"{elapsed if elapsed is not None else '—':>9}  "
+                      f"{label}")
+            return 0
+        if job_id is None:
+            return fail(f"jobs {action} needs a JOB_ID", usage=True)
+        if action == "show":
+            print(json.dumps(client.job(job_id), indent=1))
+            return 0
+        if action == "result":
+            blob = client.result_bytes(job_id)
+            if out is not None:
+                from pathlib import Path
+
+                Path(out).write_bytes(blob)
+                print(f"[result written to {out}]")
+            else:
+                print(blob.decode("utf-8"))
+            return 0
+        job = client.cancel(job_id)
+        print(f"[job {job['id']}: {job['state']}]")
+        return 0
+    except ServiceError as err:
+        return fail(str(err), usage=err.status == 404)
+    except (URLError, OSError) as err:
+        return fail(f"cannot reach {url}: {err}")
 
 
 def cmd_faults_run(schedule_path: str, gpus: int, config_name: str,
@@ -201,29 +385,24 @@ def cmd_faults_run(schedule_path: str, gpus: int, config_name: str,
 
     configs = {"default": paper_default_config, "tuned": paper_tuned_config}
     if config_name not in configs:
-        print(f"config must be one of {sorted(configs)}", file=sys.stderr)
-        return 2
+        return fail(f"config must be one of {sorted(configs)}", usage=True)
     path = Path(schedule_path)
     if not path.exists():
-        print(f"schedule file not found: {path}", file=sys.stderr)
-        return 2
+        return fail(f"schedule file not found: {path}", usage=True)
     try:
         schedule = FaultSchedule.from_json(path.read_text())
     except ValueError as err:
-        print(f"bad schedule {path}: {err}", file=sys.stderr)
-        return 2
+        return fail(f"bad schedule {path}: {err}", usage=True)
     bad_ranks = sorted({getattr(f, "rank", 0) for f in schedule
                         if not 0 <= getattr(f, "rank", 0) < gpus})
     if bad_ranks:
-        print(f"bad schedule {path}: ranks {bad_ranks} out of range for "
-              f"--gpus {gpus}", file=sys.stderr)
-        return 2
+        return fail(f"bad schedule {path}: ranks {bad_ranks} out of range "
+                    f"for --gpus {gpus}", usage=True)
     if deadline_ms <= 0 and any(type(f).__name__ == "RankCrash"
                                 for f in schedule):
-        print("schedule contains a rank_crash but the failure detector is "
-              "off; pass --deadline-ms > 0 or the run will never terminate",
-              file=sys.stderr)
-        return 2
+        return fail("schedule contains a rank_crash but the failure "
+                    "detector is off; pass --deadline-ms > 0 or the run "
+                    "will never terminate", usage=True)
     cfg = configs[config_name]()
     if deadline_ms > 0:
         cfg = dataclasses.replace(cfg, horovod=cfg.horovod.with_(
@@ -256,8 +435,7 @@ def cmd_measure(gpus: int, config_name: str, iterations: int,
     """One ad-hoc measurement of a named configuration."""
     configs = {"default": paper_default_config, "tuned": paper_tuned_config}
     if config_name not in configs:
-        print(f"config must be one of {sorted(configs)}", file=sys.stderr)
-        return 2
+        return fail(f"config must be one of {sorted(configs)}", usage=True)
     m = measure_training(gpus, configs[config_name](), model=model,
                          iterations=iterations, jitter_std=0.03,
                          telemetry=as_json or trace,
@@ -327,8 +505,7 @@ def cmd_telemetry(gpus: int, config_name: str, iterations: int, model: str,
 
     configs = {"default": paper_default_config, "tuned": paper_tuned_config}
     if config_name not in configs:
-        print(f"config must be one of {sorted(configs)}", file=sys.stderr)
-        return 2
+        return fail(f"config must be one of {sorted(configs)}", usage=True)
     m = measure_training(gpus, configs[config_name](), model=model,
                          iterations=iterations, jitter_std=0.03,
                          telemetry=True)
@@ -364,8 +541,7 @@ def cmd_trace_run(gpus: int, config_name: str, iterations: int, model: str,
 
     configs = {"default": paper_default_config, "tuned": paper_tuned_config}
     if config_name not in configs:
-        print(f"config must be one of {sorted(configs)}", file=sys.stderr)
-        return 2
+        return fail(f"config must be one of {sorted(configs)}", usage=True)
     m = measure_training(gpus, configs[config_name](), model=model,
                          iterations=iterations, jitter_std=0.03,
                          telemetry=True, trace=level)
@@ -402,13 +578,11 @@ def cmd_explain(target: str) -> int:
     path = Path(target)
     if path.suffix == ".json" or path.exists():
         if not path.exists():
-            print(f"trace file not found: {path}", file=sys.stderr)
-            return 2
+            return fail(f"trace file not found: {path}", usage=True)
         try:
             recorder = load_spans(path)
         except (ValueError, json.JSONDecodeError) as err:
-            print(f"bad trace file {path}: {err}", file=sys.stderr)
-            return 2
+            return fail(f"bad trace file {path}: {err}", usage=True)
         report = compute_critical_path(recorder, label=path.stem)
         print(report.report())
         return 0
@@ -417,16 +591,14 @@ def cmd_explain(target: str) -> int:
 
         saved = Path("bench_results") / f"{target.lower()}.json"
         if not saved.exists():
-            print(f"no saved result for {target}; run "
-                  f"`python -m repro run {target}` first", file=sys.stderr)
-            return 2
+            return fail(f"no saved result for {target}; run "
+                        f"`python -m repro run {target}` first", usage=True)
         result = load_result(saved)
         if result.trace_summary is None:
-            print(f"{saved} carries no trace_summary; only traced "
-                  f"experiments (E16) record one — or point explain at a "
-                  f"span JSON from `repro trace run --out`",
-                  file=sys.stderr)
-            return 2
+            return fail(f"{saved} carries no trace_summary; only traced "
+                        f"experiments (E16) record one — or point explain "
+                        f"at a span JSON from `repro trace run --out`",
+                        usage=True)
         summary = result.trace_summary
         print(f"== {result.experiment}: {result.title} ==")
         print(f"critical path : {summary['critical_path_ms']:.1f} ms/iter "
@@ -443,9 +615,9 @@ def cmd_explain(target: str) -> int:
                   f"{span['seconds_per_iter'] * 1e3:8.2f} ms/iter "
                   f"({span['share'] * 100:.1f}%)")
         return 0
-    print(f"unknown target {target!r}: not a trace file and not an "
-          f"experiment id (known: {', '.join(REGISTRY)})", file=sys.stderr)
-    return 2
+    return fail(f"unknown target {target!r}: not a trace file and not "
+                f"an experiment id (known: {', '.join(REGISTRY)})",
+                usage=True)
 
 
 def cmd_bench_compare(baselines: list[str], tolerance: float,
@@ -457,8 +629,7 @@ def cmd_bench_compare(baselines: list[str], tolerance: float,
         reports = run_sentinel(baselines, tolerance=tolerance,
                                quick=not full, artifact=artifact)
     except (ValueError, OSError) as err:
-        print(f"bench compare failed: {err}", file=sys.stderr)
-        return 2
+        return fail(f"bench compare failed: {err}", usage=True)
     for report in reports:
         print(report.summary())
         for delta in report.regressions:
@@ -523,6 +694,56 @@ def main(argv: list[str] | None = None) -> int:
         if verb == "stats":
             cp.add_argument("--json", action="store_true",
                             help="machine-readable output")
+    journal_p = sub.add_parser("journal", help="run-journal utilities")
+    journal_sub = journal_p.add_subparsers(dest="journal_command",
+                                           required=True)
+    jcomp_p = journal_sub.add_parser(
+        "compact",
+        help="drop superseded/completed entries (atomic rewrite)")
+    jcomp_p.add_argument("--journal", metavar="PATH", default=None,
+                         help="journal path "
+                              "(default bench_results/run_journal.jsonl)")
+    serve_p = sub.add_parser(
+        "serve", help="run the simulation service (REST API + job queue)")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8765,
+                         help="TCP port (0 = ephemeral, printed at startup)")
+    serve_p.add_argument("--state-dir", default="bench_results/service",
+                         help="queue journal, results and cache live here")
+    serve_p.add_argument("--tokens", metavar="PATH", default=None,
+                         help="bearer-token config JSON "
+                              "(omit for open, unauthenticated mode)")
+    serve_p.add_argument("--workers", type=int, default=2,
+                         help="scheduler worker threads (default 2)")
+    serve_p.add_argument("--lease-s", type=float, default=60.0,
+                         help="job lease duration in seconds (default 60)")
+    submit_p = sub.add_parser(
+        "submit", help="submit a job to a running repro service")
+    submit_p.add_argument("target", metavar="EXP_ID|points.json",
+                          help="an experiment id or a JSON file of points")
+    submit_p.add_argument("--variant", default="quick",
+                          choices=("quick", "full"))
+    submit_p.add_argument("--priority", type=int, default=0,
+                          help="higher runs first (default 0)")
+    submit_p.add_argument("--url", default="http://127.0.0.1:8765",
+                          help="service base URL")
+    submit_p.add_argument("--token", default=None, help="bearer token")
+    submit_p.add_argument("--wait", action="store_true",
+                          help="poll until the job reaches a terminal state")
+    submit_p.add_argument("--timeout", type=float, default=600.0,
+                          help="--wait deadline in seconds (default 600)")
+    jobs_p = sub.add_parser(
+        "jobs", help="inspect/cancel jobs on a running repro service")
+    jobs_p.add_argument("jobs_command",
+                        choices=("ls", "show", "result", "cancel"))
+    jobs_p.add_argument("job_id", nargs="?", default=None, metavar="JOB_ID")
+    jobs_p.add_argument("--url", default="http://127.0.0.1:8765",
+                        help="service base URL")
+    jobs_p.add_argument("--token", default=None, help="bearer token")
+    jobs_p.add_argument("--state", default=None,
+                        help="with ls: filter by job state")
+    jobs_p.add_argument("--out", metavar="PATH", default=None,
+                        help="with result: write the envelope to PATH")
     meas_p = sub.add_parser("measure", help="one ad-hoc training measurement")
     meas_p.add_argument("--gpus", type=int, default=24)
     meas_p.add_argument("--config", default="tuned",
@@ -617,6 +838,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "cache":
         return cmd_cache(args.cache_command, args.dir,
                          getattr(args, "json", False))
+    if args.command == "journal":
+        return cmd_journal_compact(args.journal)
+    if args.command == "serve":
+        return cmd_serve(args.host, args.port, args.state_dir, args.tokens,
+                         args.workers, args.lease_s)
+    if args.command == "submit":
+        return cmd_submit(args.target, args.variant, args.priority,
+                          args.url, args.token, args.wait, args.timeout)
+    if args.command == "jobs":
+        return cmd_jobs(args.jobs_command, args.job_id, args.url,
+                        args.token, args.state, args.out)
     if args.command == "faults":
         return cmd_faults_run(args.schedule, args.gpus, args.config,
                               args.iterations, args.model, args.deadline_ms)

@@ -56,6 +56,16 @@ class ExperimentSpec:
             kwargs["runner"] = runner
         return self.fn(**kwargs)
 
+    def to_api(self) -> dict:
+        """JSON-able view for the service's ``GET /v1/experiments``."""
+        return {
+            "id": self.id,
+            "title": self.title,
+            "tags": list(self.tags),
+            "parallelizable": self.parallelizable,
+            "variants": ["quick", "full"],
+        }
+
 
 _SPECS = (
     ExperimentSpec(

@@ -123,6 +123,15 @@ Result JSONs are schema-versioned (`schema_version` + producing
 the parallel cached runner (`repro.runner`); serial, parallel and
 warm-cache runs of an experiment yield bit-identical payloads.
 
+Every E-series experiment can also be run through the simulation
+service instead of the CLI: `python -m repro serve`, then
+`python -m repro submit E6 --variant quick --wait` (or `POST /v1/jobs`
+with `{"experiment": "E6", "variant": "quick"}`). The envelope fetched
+from `GET /v1/jobs/{id}/result` is byte-identical to the
+`bench_results/*.json` a serial `repro run` writes, and identical
+resubmissions resolve from the shared result cache without
+re-simulating — see README "Running as a service" and DESIGN.md §11.
+
 Reproduction scope note: absolute times come from a calibrated simulation
 (see DESIGN.md §2/§5); the claims checked here are the paper's *shapes
 and headline ratios* — who wins, by how much, and where the crossovers

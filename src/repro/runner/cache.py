@@ -22,6 +22,7 @@ from __future__ import annotations
 import contextlib
 import os
 import pickle
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -75,10 +76,17 @@ class CacheStats:
     stores: int = 0
     evictions: int = 0
 
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over lookups (0.0 before the first lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
     def as_dict(self) -> dict:
         """Plain dict (for result metadata and CLI output)."""
         return {"hits": self.hits, "misses": self.misses,
-                "stores": self.stores, "evictions": self.evictions}
+                "stores": self.stores, "evictions": self.evictions,
+                "hit_ratio": round(self.hit_ratio, 6)}
 
 
 class ResultCache:
@@ -152,7 +160,10 @@ class ResultCache:
         path = self._path(key)
         self.directory.mkdir(parents=True, exist_ok=True)
         blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        # pid alone is not unique within a process: two threads storing
+        # the same key would share a temp name and race the rename.
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
         with open(tmp, "wb") as handle:
             handle.write(blob)
             handle.flush()

@@ -19,8 +19,9 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
+from typing import Iterable
 
-__all__ = ["DEFAULT_JOURNAL_PATH", "RunJournal"]
+__all__ = ["DEFAULT_JOURNAL_PATH", "RunJournal", "compact_run_journal"]
 
 #: Default location, next to the experiment results it tracks.
 DEFAULT_JOURNAL_PATH = Path("bench_results") / "run_journal.jsonl"
@@ -91,3 +92,58 @@ class RunJournal:
     def reset(self) -> None:
         """Delete the journal (a fresh, non-resumed sweep starts clean)."""
         self.path.unlink(missing_ok=True)
+
+    # -- compaction --------------------------------------------------------
+    def rewrite(self, records: Iterable[dict]) -> int:
+        """Atomically replace the journal with ``records``.
+
+        The same temp-file + ``fsync`` + rename discipline as
+        :meth:`append`, so a crash mid-compaction leaves either the old
+        journal or the new one, never a torn mixture.  Returns the
+        number of records written.
+        """
+        records = list(records)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(f"{self.path.name}.{os.getpid()}.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True,
+                                        separators=(",", ":")) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        tmp.replace(self.path)
+        return len(records)
+
+
+def compact_run_journal(journal: RunJournal) -> tuple[int, int]:
+    """Drop superseded run-journal entries; returns ``(before, after)``.
+
+    Long-lived journals accumulate one ``experiment_start`` /
+    ``experiment_done`` pair (plus sweep markers) per invocation.  Only
+    the *latest* ``experiment_done`` per ``(experiment, variant)`` feeds
+    ``--resume``, so compaction keeps exactly those, drops start/failed
+    events that a later completion superseded, and keeps the trailing
+    sweep marker for context.  The queue's JSONL store reuses
+    :meth:`RunJournal.rewrite` with its own retention policy.
+    """
+    events = journal.events()
+    latest_done: dict[tuple[str, str | None], dict] = {}
+    open_experiments: list[dict] = []
+    last_sweep: dict | None = None
+    for record in events:
+        event = record.get("event")
+        if event == "experiment_done":
+            key = (str(record.get("experiment")), record.get("variant"))
+            latest_done[key] = record
+        elif event in ("experiment_start", "experiment_failed"):
+            open_experiments.append(record)
+        elif event in ("sweep_start", "sweep_resume", "sweep_done",
+                       "sweep_interrupted"):
+            last_sweep = record
+    done_keys = set(latest_done)
+    keep = [r for r in open_experiments
+            if (str(r.get("experiment")), r.get("variant")) not in done_keys]
+    kept = ([last_sweep] if last_sweep is not None else [])
+    kept += keep + list(latest_done.values())
+    journal.rewrite(kept)
+    return len(events), len(kept)

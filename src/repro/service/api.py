@@ -1,0 +1,323 @@
+"""REST API layer: pure request dispatch + stdlib HTTP server.
+
+The API is split so it is testable without sockets:
+
+* :class:`ServiceApp` — a pure function of ``(method, path, headers,
+  body) -> (status, content_type, payload bytes)``.  Every route,
+  auth check and error envelope lives here;
+* :class:`Service` — composition root: config + queue + scheduler +
+  cache + telemetry registry, with ``start()``/``stop()`` lifecycle
+  (recovery of a crashed predecessor's leases happens in ``start()``);
+* :func:`serve` — wraps the app in a stdlib
+  ``http.server.ThreadingHTTPServer``; zero dependencies beyond the
+  standard library.
+
+Routes (all JSON unless noted)::
+
+    GET  /v1/healthz           liveness (unauthenticated)
+    GET  /v1/metrics           Prometheus text exposition (unauth)
+    GET  /v1/experiments       the ExperimentSpec registry
+    POST /v1/jobs              submit {"experiment", "variant"} or
+                               {"points": [...]}; 201 + job doc
+    GET  /v1/jobs[?state=]     list job docs
+    GET  /v1/jobs/{id}         one job doc
+    GET  /v1/jobs/{id}/result  the result envelope (exact stored bytes)
+    POST /v1/jobs/{id}/cancel  cancel a SUBMITTED job
+
+Errors use one envelope: ``{"error": {"code", "message"}}`` with the
+matching HTTP status (400 bad spec, 401 auth, 404 unknown, 409 wrong
+state, 429 quota).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.runner import ResultCache
+from repro.service.config import AuthError, QuotaError, ServiceConfig, TokenAuth
+from repro.service.jobs import JobState, SpecError, parse_spec
+from repro.service.queue import JobQueue, QueueError
+from repro.service.scheduler import Scheduler
+from repro.telemetry.metrics import MetricRegistry
+
+__all__ = ["Service", "ServiceApp", "serve", "serve_in_thread"]
+
+_JSON = "application/json"
+_PROM = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class Service:
+    """Composition root for one running simulation service."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.registry = MetricRegistry(clock=time.time)
+        self.cache = ResultCache(directory=self.config.cache_dir)
+        self.queue = JobQueue(self.config.state_dir, registry=self.registry,
+                              max_recoveries=3)
+        self.scheduler = Scheduler(
+            self.queue, results_dir=self.config.results_dir,
+            cache=self.cache, registry=self.registry,
+            workers=self.config.workers, lease_s=self.config.lease_s,
+            job_retries=self.config.job_retries,
+            point_retries=self.config.point_retries)
+        self.auth = TokenAuth.load(self.config.tokens_path,
+                                   default_quota=self.config.max_active_jobs)
+        self.app = ServiceApp(self)
+        self.started_at = time.time()
+
+    def start(self) -> list:
+        """Recover leases a dead predecessor left, then start workers.
+
+        Returns the jobs recovery touched (requeued or quarantined) so
+        the caller can log them.
+        """
+        recovered = self.queue.recover()
+        self.scheduler.start()
+        return recovered
+
+    def stop(self) -> None:
+        """Stop the worker pool (queue state stays on disk)."""
+        self.scheduler.stop()
+
+
+class ServiceApp:
+    """Pure HTTP-shaped dispatch over a :class:`Service`."""
+
+    def __init__(self, service: Service) -> None:
+        self.service = service
+        self._m_requests = service.registry.counter(
+            "service_requests_total", "API requests served",
+            labelnames=("route", "code"))
+
+    # -- plumbing ----------------------------------------------------------
+    @staticmethod
+    def _json(status: int, payload) -> tuple[int, str, bytes]:
+        body = json.dumps(payload, indent=1).encode("utf-8")
+        return status, _JSON, body
+
+    @classmethod
+    def _error(cls, status: int, code: str, message: str) -> tuple[int, str, bytes]:
+        """The single error envelope every failure path goes through."""
+        return cls._json(status, {"error": {"code": code, "message": message}})
+
+    def handle(self, method: str, path: str, headers: dict | None = None,
+               body: bytes | None = None) -> tuple[int, str, bytes]:
+        """Dispatch one request; never raises (500 envelope instead)."""
+        headers = {k.lower(): v for k, v in (headers or {}).items()}
+        url = urlparse(path)
+        parts = [p for p in url.path.split("/") if p]
+        query = {k: v[-1] for k, v in parse_qs(url.query).items()}
+        route = "/".join(parts[:3]) or "/"
+        try:
+            status, ctype, payload = self._dispatch(
+                method.upper(), parts, query, headers, body)
+        except (QueueError,) as err:
+            status, ctype, payload = self._error(404, "unknown_job", str(err))
+        except Exception as err:  # pragma: no cover - defensive
+            status, ctype, payload = self._error(
+                500, "internal", f"{type(err).__name__}: {err}")
+        self._m_requests.labels(route=route, code=str(status)).inc()
+        return status, ctype, payload
+
+    def _tenant(self, headers: dict) -> str:
+        return self.service.auth.authenticate(headers.get("authorization"))
+
+    # -- routing -----------------------------------------------------------
+    def _dispatch(self, method, parts, query, headers, body):
+        if len(parts) < 2 or parts[0] != "v1":
+            return self._error(404, "unknown_route",
+                               "routes live under /v1/")
+        head = parts[1]
+        if head == "healthz" and method == "GET":
+            return self._healthz()
+        if head == "metrics" and method == "GET":
+            return self._metrics()
+        try:
+            tenant = self._tenant(headers)
+        except AuthError as err:
+            return self._error(401, "unauthorized", str(err))
+        if head == "experiments" and method == "GET":
+            return self._experiments()
+        if head == "jobs":
+            if len(parts) == 2:
+                if method == "POST":
+                    return self._submit(tenant, body)
+                if method == "GET":
+                    return self._jobs(query)
+            elif len(parts) == 3 and method == "GET":
+                return self._job(parts[2])
+            elif len(parts) == 4 and parts[3] == "result" and method == "GET":
+                return self._result(parts[2])
+            elif len(parts) == 4 and parts[3] == "cancel" and method == "POST":
+                return self._cancel(parts[2])
+        return self._error(404, "unknown_route",
+                           f"no route {method} /{'/'.join(parts)}")
+
+    # -- handlers ----------------------------------------------------------
+    def _healthz(self):
+        from repro import package_version
+
+        service = self.service
+        return self._json(200, {
+            "status": "ok",
+            "version": package_version(),
+            "uptime_s": round(time.time() - service.started_at, 3),
+            "queue_depth": service.queue.depth(),
+            "workers": service.scheduler.workers,
+        })
+
+    def _metrics(self):
+        from repro.telemetry import to_prometheus
+
+        service = self.service
+        # One code path with `repro cache stats`: the cache snapshot
+        # feeds both the CLI and these gauges.
+        snap = service.cache.snapshot()
+        gauges = service.registry.gauge(
+            "service_cache", "result-cache state from ResultCache.snapshot",
+            labelnames=("field",))
+        for fieldname in ("entries", "total_bytes", "hits", "misses",
+                          "hit_ratio"):
+            gauges.labels(field=fieldname).set(float(snap[fieldname]))
+        text = to_prometheus(service.registry)
+        return 200, _PROM, text.encode("utf-8")
+
+    def _experiments(self):
+        from repro.bench.registry import REGISTRY
+
+        return self._json(200, {
+            "experiments": [spec.to_api() for spec in REGISTRY.values()],
+        })
+
+    def _submit(self, tenant: str, body: bytes | None):
+        try:
+            payload = json.loads((body or b"{}").decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as err:
+            return self._error(400, "bad_json", f"request body: {err}")
+        try:
+            spec = parse_spec(payload)
+        except SpecError as err:
+            return self._error(400, "bad_spec", str(err))
+        priority = payload.get("priority", 0)
+        if not isinstance(priority, int):
+            return self._error(400, "bad_spec", "priority must be an integer")
+        service = self.service
+        try:
+            service.auth.check_quota(tenant,
+                                     service.queue.active_count(tenant))
+        except QuotaError as err:
+            return self._error(429, "quota_exceeded", str(err))
+        job = service.queue.submit(spec, tenant=tenant, priority=priority)
+        return self._json(201, {"job": job.to_dict()})
+
+    def _jobs(self, query: dict):
+        state = query.get("state")
+        if state is not None and state not in JobState.ALL:
+            return self._error(400, "bad_state",
+                               f"state must be one of {JobState.ALL}")
+        jobs = self.service.queue.jobs(state=state)
+        return self._json(200, {"jobs": [j.to_dict() for j in jobs]})
+
+    def _job(self, job_id: str):
+        job = self.service.queue.get(job_id)
+        return self._json(200, {"job": job.to_dict()})
+
+    def _result(self, job_id: str):
+        job = self.service.queue.get(job_id)
+        if job.state != JobState.DONE:
+            return self._error(
+                409, "not_done",
+                f"job {job_id} is {job.state}; results exist only for "
+                f"DONE jobs")
+        try:
+            text = open(job.result_path, "rb").read()
+        except OSError as err:
+            return self._error(500, "result_missing",
+                               f"stored result unreadable: {err}")
+        return 200, _JSON, text
+
+    def _cancel(self, job_id: str):
+        try:
+            job = self.service.queue.cancel(job_id)
+        except QueueError as err:
+            if "unknown job" in str(err):
+                return self._error(404, "unknown_job", str(err))
+            return self._error(409, "not_cancellable", str(err))
+        return self._json(200, {"job": job.to_dict()})
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin adapter from the socket layer onto :meth:`ServiceApp.handle`."""
+
+    app: ServiceApp  # set by serve()
+    protocol_version = "HTTP/1.1"
+
+    def _serve(self, method: str) -> None:
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else b""
+        status, ctype, payload = self.app.handle(
+            method, self.path, dict(self.headers.items()), body)
+        self.send_response(status)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        self._serve("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._serve("POST")
+
+    def log_message(self, fmt: str, *args) -> None:
+        # Request accounting goes through service_requests_total, not
+        # stderr chatter.
+        pass
+
+
+def serve(service: Service, ready=None) -> None:
+    """Run the blocking HTTP server for an already-started service.
+
+    ``ready`` (optional) is called with the bound ``(host, port)`` once
+    the socket is listening — with ``port=0`` this is how the caller
+    learns the ephemeral port.  Returns when ``server.shutdown()`` is
+    invoked (the handler thread installs it on the service as
+    ``service.http_server`` for exactly that purpose).
+    """
+    handler = type("BoundHandler", (_Handler,), {"app": service.app})
+    server = ThreadingHTTPServer(
+        (service.config.host, service.config.port), handler)
+    server.daemon_threads = True
+    service.http_server = server
+    if ready is not None:
+        ready(server.server_address[0], server.server_address[1])
+    try:
+        server.serve_forever(poll_interval=0.2)
+    finally:
+        server.server_close()
+
+
+def serve_in_thread(service: Service) -> tuple[threading.Thread, str]:
+    """Start :func:`serve` on a daemon thread; returns ``(thread, url)``.
+
+    Test/embedding convenience — production entry points block in
+    :func:`serve` directly.
+    """
+    bound: dict = {}
+    event = threading.Event()
+
+    def ready(host: str, port: int) -> None:
+        bound["url"] = f"http://{host}:{port}"
+        event.set()
+
+    thread = threading.Thread(target=serve, args=(service,),
+                              kwargs={"ready": ready}, daemon=True)
+    thread.start()
+    if not event.wait(timeout=10.0):  # pragma: no cover - bind failure
+        raise RuntimeError("HTTP server failed to bind")
+    return thread, bound["url"]

@@ -1,0 +1,161 @@
+"""Service client: one call surface over HTTP or in-process dispatch.
+
+Two transports behind the same methods:
+
+* ``ServiceClient(url=..., token=...)`` — real HTTP via stdlib
+  ``urllib.request`` (what ``repro submit`` / ``repro jobs`` use);
+* ``ServiceClient(app=service.app, token=...)`` — direct calls into
+  :meth:`~repro.service.api.ServiceApp.handle`, no sockets at all,
+  which is how the test suite exercises the full API without network
+  access.
+
+Every non-2xx response raises :class:`ServiceError` carrying the
+server's error envelope (``status``, ``code``, ``message``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx API response, decoded from the error envelope."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(f"[{status} {code}] {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+class ServiceClient:
+    """Typed convenience methods over the service's REST routes."""
+
+    def __init__(self, url: str | None = None, token: str | None = None,
+                 app=None, timeout: float = 30.0) -> None:
+        if (url is None) == (app is None):
+            raise ValueError("pass exactly one of url= or app=")
+        self.url = url.rstrip("/") if url is not None else None
+        self.app = app
+        self.token = token
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+    def _headers(self) -> dict:
+        headers = {"Content-Type": "application/json"}
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
+        return headers
+
+    def _request(self, method: str, path: str,
+                 payload: dict | None = None) -> tuple[int, bytes]:
+        body = (json.dumps(payload).encode("utf-8")
+                if payload is not None else None)
+        if self.app is not None:
+            status, _ctype, data = self.app.handle(
+                method, path, self._headers(), body)
+            return status, data
+        request = urllib.request.Request(
+            self.url + path, data=body, method=method,
+            headers=self._headers())
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return response.status, response.read()
+        except urllib.error.HTTPError as err:
+            return err.code, err.read()
+
+    def _json(self, method: str, path: str,
+              payload: dict | None = None) -> dict:
+        status, data = self._request(method, path, payload)
+        try:
+            doc = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            doc = {}
+        if status >= 400:
+            error = doc.get("error", {}) if isinstance(doc, dict) else {}
+            raise ServiceError(status, error.get("code", "error"),
+                               error.get("message", data[:200].decode(
+                                   "utf-8", "replace")))
+        return doc
+
+    # -- routes ------------------------------------------------------------
+    def healthz(self) -> dict:
+        """``GET /v1/healthz``."""
+        return self._json("GET", "/v1/healthz")
+
+    def metrics(self) -> str:
+        """``GET /v1/metrics`` (Prometheus text)."""
+        status, data = self._request("GET", "/v1/metrics")
+        if status >= 400:
+            raise ServiceError(status, "metrics", data[:200].decode(
+                "utf-8", "replace"))
+        return data.decode("utf-8")
+
+    def experiments(self) -> list[dict]:
+        """``GET /v1/experiments``."""
+        return self._json("GET", "/v1/experiments")["experiments"]
+
+    def submit(self, experiment: str | None = None, variant: str = "quick",
+               points: list[dict] | None = None, priority: int = 0) -> dict:
+        """``POST /v1/jobs``; returns the created job doc."""
+        if (experiment is None) == (points is None):
+            raise ValueError("pass exactly one of experiment= or points=")
+        payload: dict = {"priority": priority}
+        if experiment is not None:
+            payload.update(experiment=experiment, variant=variant)
+        else:
+            payload["points"] = points
+        return self._json("POST", "/v1/jobs", payload)["job"]
+
+    def jobs(self, state: str | None = None) -> list[dict]:
+        """``GET /v1/jobs``."""
+        suffix = f"?state={state}" if state is not None else ""
+        return self._json("GET", f"/v1/jobs{suffix}")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        """``GET /v1/jobs/{id}``."""
+        return self._json("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def result_bytes(self, job_id: str) -> bytes:
+        """``GET /v1/jobs/{id}/result`` — the exact stored envelope."""
+        status, data = self._request("GET", f"/v1/jobs/{job_id}/result")
+        if status >= 400:
+            try:
+                error = json.loads(data.decode("utf-8")).get("error", {})
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                error = {}
+            raise ServiceError(status, error.get("code", "error"),
+                               error.get("message", ""))
+        return data
+
+    def result(self, job_id: str) -> dict:
+        """The result envelope, JSON-decoded."""
+        return json.loads(self.result_bytes(job_id).decode("utf-8"))
+
+    def cancel(self, job_id: str) -> dict:
+        """``POST /v1/jobs/{id}/cancel``."""
+        return self._json("POST", f"/v1/jobs/{job_id}/cancel")["job"]
+
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll: float = 0.1) -> dict:
+        """Poll until the job reaches a terminal state; returns it.
+
+        Raises :class:`TimeoutError` if it does not finish in time.
+        """
+        from repro.service.jobs import TERMINAL_STATES
+
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in TERMINAL_STATES:
+                return job
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['state']} after {timeout}s")
+            time.sleep(poll)

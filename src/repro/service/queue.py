@@ -1,0 +1,390 @@
+"""Persistent priority job queue with leases and exactly-once recovery.
+
+State lives in two places with one source of truth:
+
+* an append-only fsynced JSONL journal (``<state_dir>/queue.jsonl``,
+  the :class:`~repro.runner.journal.RunJournal` discipline: one
+  ``write`` + ``flush`` + ``fsync`` per event, torn tails dropped on
+  read), which records every state transition;
+* an in-memory ``{id: Job}`` map rebuilt by replaying the journal, so a
+  restarted scheduler resumes exactly where the journal says the last
+  one died.
+
+Exactly-once contract
+---------------------
+A job reaches DONE at most once: ``complete()`` refuses a second
+completion, and result files are written atomically *before* the
+``job_done`` event is journaled — a crash between the two replays the
+job, whose points then resolve from the ResultCache and atomically
+overwrite the same file, leaving a single result entry.
+
+On :meth:`recover` (scheduler restart), LEASED/RUNNING jobs revert to
+SUBMITTED — the workers holding those leases died with the old process.
+Each revert increments ``recoveries``; a job that keeps taking the
+scheduler down with it is quarantined after ``max_recoveries`` rather
+than crash-looping forever.  Within a live scheduler,
+:meth:`requeue_expired` reclaims leases whose holder stopped
+heartbeating (heartbeats refresh ``lease_until`` in memory only — they
+are liveness, not durable state).
+
+Compaction (:meth:`compact`) rewrites the journal atomically, keeping
+one ``job_snapshot`` record per terminal job and the raw event tail for
+live ones, so long-lived service state dirs don't grow unbounded.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+
+from repro.runner.journal import RunJournal
+from repro.service.jobs import ACTIVE_STATES, Job, JobState
+
+__all__ = ["JobQueue", "QueueError"]
+
+
+class QueueError(RuntimeError):
+    """An illegal queue transition (unknown job, double completion...)."""
+
+
+class JobQueue:
+    """Journal-backed priority queue of :class:`~repro.service.jobs.Job`.
+
+    Thread-safe: every public method holds the queue lock.  ``registry``
+    (optional) receives ``service_*`` counters/gauges.
+    """
+
+    def __init__(self, state_dir: str | Path, registry=None,
+                 max_recoveries: int = 3,
+                 clock=time.time) -> None:
+        self.state_dir = Path(state_dir)
+        self.journal = RunJournal(self.state_dir / "queue.jsonl")
+        self.max_recoveries = int(max_recoveries)
+        self.clock = clock
+        self._lock = threading.RLock()
+        self._jobs: dict[str, Job] = {}
+        self._seq: dict[str, int] = {}  # submission order tiebreak
+        self._next_seq = 0
+        self._m_submitted = self._m_finished = self._m_leases = None
+        self._m_recovered = self._m_depth = None
+        if registry is not None:
+            self._m_submitted = registry.counter(
+                "service_jobs_submitted_total", "jobs accepted into the queue",
+                labelnames=("tenant",))
+            self._m_finished = registry.counter(
+                "service_jobs_finished_total", "jobs reaching a terminal state",
+                labelnames=("state",))
+            self._m_leases = registry.counter(
+                "service_leases_total", "job leases granted")
+            self._m_recovered = registry.counter(
+                "service_leases_recovered_total",
+                "leases reclaimed from dead or silent workers")
+            self._m_depth = registry.gauge(
+                "service_queue_depth", "SUBMITTED jobs awaiting a worker")
+        self._replay()
+
+    # -- journal replay ----------------------------------------------------
+    def _replay(self) -> None:
+        for record in self.journal.events():
+            event = record.get("event")
+            if event in ("job_submitted", "job_snapshot"):
+                job = Job.from_dict(record.get("job", {}))
+                self._install(job)
+            elif event == "job_heartbeat":
+                continue
+            else:
+                job = self._jobs.get(record.get("id", ""))
+                if job is None:
+                    continue
+                self._apply(job, record)
+        self._update_depth()
+
+    def _install(self, job: Job) -> None:
+        self._jobs[job.id] = job
+        self._seq[job.id] = self._next_seq
+        self._next_seq += 1
+
+    @staticmethod
+    def _apply(job: Job, record: dict) -> None:
+        event = record["event"]
+        if event == "job_leased":
+            job.state = JobState.LEASED
+            job.worker = record.get("worker")
+            job.lease_until = record.get("lease_until")
+            job.attempts = record.get("attempts", job.attempts)
+        elif event == "job_running":
+            job.state = JobState.RUNNING
+            job.started_s = record.get("started_s", job.started_s)
+        elif event == "job_requeued":
+            job.state = JobState.SUBMITTED
+            job.worker = None
+            job.lease_until = None
+            job.recoveries = record.get("recoveries", job.recoveries)
+            job.error = record.get("error", job.error)
+        elif event == "job_done":
+            job.state = JobState.DONE
+            job.result_path = record.get("result_path")
+            job.finished_s = record.get("finished_s")
+            job.elapsed_s = record.get("elapsed_s")
+            job.runner = record.get("runner", {})
+            job.worker = None
+            job.lease_until = None
+        elif event in ("job_failed", "job_quarantined"):
+            job.state = (JobState.FAILED if event == "job_failed"
+                         else JobState.QUARANTINED)
+            job.error = record.get("error")
+            job.finished_s = record.get("finished_s")
+            job.worker = None
+            job.lease_until = None
+        elif event == "job_cancelled":
+            job.state = JobState.CANCELLED
+            job.finished_s = record.get("finished_s")
+
+    def _update_depth(self) -> None:
+        if self._m_depth is not None:
+            self._m_depth.set(sum(
+                1 for j in self._jobs.values()
+                if j.state == JobState.SUBMITTED))
+
+    def _finish_metric(self, state: str) -> None:
+        if self._m_finished is not None:
+            self._m_finished.labels(state=state).inc()
+
+    # -- submission --------------------------------------------------------
+    def submit(self, spec: dict, tenant: str = "anonymous",
+               priority: int = 0) -> Job:
+        """Durably enqueue a validated spec; returns the new job."""
+        with self._lock:
+            job = Job.create(spec, tenant=tenant, priority=priority,
+                             now=self.clock())
+            self.journal.append("job_submitted", job=job.to_dict())
+            self._install(job)
+            if self._m_submitted is not None:
+                self._m_submitted.labels(tenant=tenant).inc()
+            self._update_depth()
+            return job
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a job that has not started; raises otherwise."""
+        with self._lock:
+            job = self.get(job_id)
+            if job.state != JobState.SUBMITTED:
+                raise QueueError(
+                    f"job {job_id} is {job.state}; only SUBMITTED jobs "
+                    f"can be cancelled")
+            now = self.clock()
+            self.journal.append("job_cancelled", id=job.id, finished_s=now)
+            job.state = JobState.CANCELLED
+            job.finished_s = now
+            self._finish_metric(JobState.CANCELLED)
+            self._update_depth()
+            return job
+
+    # -- worker protocol ---------------------------------------------------
+    def lease(self, worker: str, lease_s: float = 60.0) -> Job | None:
+        """Highest-priority SUBMITTED job, leased to ``worker``.
+
+        Priority descends; equal priorities serve in submission order.
+        Returns ``None`` when the queue is drained.
+        """
+        with self._lock:
+            ready = [j for j in self._jobs.values()
+                     if j.state == JobState.SUBMITTED]
+            if not ready:
+                return None
+            job = min(ready, key=lambda j: (-j.priority, self._seq[j.id]))
+            job.state = JobState.LEASED
+            job.worker = worker
+            job.attempts += 1
+            job.lease_until = self.clock() + lease_s
+            self.journal.append("job_leased", id=job.id, worker=worker,
+                                lease_until=job.lease_until,
+                                attempts=job.attempts)
+            if self._m_leases is not None:
+                self._m_leases.inc()
+            self._update_depth()
+            return job
+
+    def mark_running(self, job_id: str) -> None:
+        """LEASED -> RUNNING (the worker began executing)."""
+        with self._lock:
+            job = self.get(job_id)
+            if job.state != JobState.LEASED:
+                raise QueueError(f"job {job_id} is {job.state}, not LEASED")
+            now = self.clock()
+            self.journal.append("job_running", id=job.id, started_s=now)
+            job.state = JobState.RUNNING
+            job.started_s = now
+
+    def heartbeat(self, job_id: str, lease_s: float = 60.0) -> None:
+        """Refresh a live worker's lease (in-memory only — liveness,
+        not durable state; recovery after a crash never trusts it)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is not None and job.state in (JobState.LEASED,
+                                                 JobState.RUNNING):
+                job.lease_until = self.clock() + lease_s
+
+    def complete(self, job_id: str, result_path: str,
+                 runner: dict | None = None) -> Job:
+        """RUNNING/LEASED -> DONE; refuses a duplicate completion."""
+        with self._lock:
+            job = self.get(job_id)
+            if job.terminal:
+                raise QueueError(
+                    f"job {job_id} already terminal ({job.state}); "
+                    f"refusing duplicate completion")
+            now = self.clock()
+            elapsed = (round(now - job.started_s, 6)
+                       if job.started_s is not None else None)
+            self.journal.append("job_done", id=job.id,
+                                result_path=str(result_path),
+                                finished_s=now, elapsed_s=elapsed,
+                                runner=dict(runner or {}))
+            job.state = JobState.DONE
+            job.result_path = str(result_path)
+            job.finished_s = now
+            job.elapsed_s = elapsed
+            job.runner = dict(runner or {})
+            job.worker = None
+            job.lease_until = None
+            self._finish_metric(JobState.DONE)
+            self._update_depth()
+            return job
+
+    def fail(self, job_id: str, error: str,
+             quarantine: bool = False) -> Job:
+        """Terminal failure: FAILED, or QUARANTINED for poison work."""
+        with self._lock:
+            job = self.get(job_id)
+            if job.terminal:
+                raise QueueError(
+                    f"job {job_id} already terminal ({job.state})")
+            now = self.clock()
+            event = "job_quarantined" if quarantine else "job_failed"
+            self.journal.append(event, id=job.id, error=str(error),
+                                finished_s=now)
+            job.state = (JobState.QUARANTINED if quarantine
+                         else JobState.FAILED)
+            job.error = str(error)
+            job.finished_s = now
+            job.worker = None
+            job.lease_until = None
+            self._finish_metric(job.state)
+            self._update_depth()
+            return job
+
+    def requeue(self, job_id: str, error: str | None = None,
+                recovered: bool = False) -> Job:
+        """Send a leased/running job back to SUBMITTED (retry path)."""
+        with self._lock:
+            job = self.get(job_id)
+            if job.terminal:
+                raise QueueError(
+                    f"job {job_id} already terminal ({job.state})")
+            recoveries = job.recoveries + (1 if recovered else 0)
+            self.journal.append("job_requeued", id=job.id,
+                                recoveries=recoveries,
+                                **({"error": str(error)}
+                                   if error is not None else {}))
+            job.state = JobState.SUBMITTED
+            job.worker = None
+            job.lease_until = None
+            job.recoveries = recoveries
+            if error is not None:
+                job.error = str(error)
+            if recovered and self._m_recovered is not None:
+                self._m_recovered.inc()
+            self._update_depth()
+            return job
+
+    # -- crash recovery ----------------------------------------------------
+    def recover(self) -> list[Job]:
+        """Reclaim every lease left by a dead scheduler process.
+
+        LEASED/RUNNING jobs revert to SUBMITTED (their holders died with
+        the previous process); a job seen mid-lease more than
+        ``max_recoveries`` times is quarantined instead — it keeps
+        taking the scheduler down with it.  Returns the touched jobs.
+        """
+        with self._lock:
+            touched = []
+            for job in self._jobs.values():
+                if job.state not in (JobState.LEASED, JobState.RUNNING):
+                    continue
+                if job.recoveries + 1 > self.max_recoveries:
+                    self.fail(job.id,
+                              f"quarantined after {job.recoveries + 1} "
+                              f"scheduler crashes mid-job",
+                              quarantine=True)
+                else:
+                    self.requeue(job.id, recovered=True)
+                touched.append(job)
+            return touched
+
+    def requeue_expired(self, skip_workers: set[str] = frozenset()) -> list[Job]:
+        """Reclaim leases whose holder stopped heartbeating.
+
+        ``skip_workers`` names workers known to be alive in this
+        process (their threads cannot silently vanish) — reclaiming a
+        lease a live thread still holds would double-run the job.
+        """
+        with self._lock:
+            now = self.clock()
+            touched = []
+            for job in list(self._jobs.values()):
+                if job.state not in (JobState.LEASED, JobState.RUNNING):
+                    continue
+                if job.worker in skip_workers:
+                    continue
+                if job.lease_until is not None and job.lease_until < now:
+                    self.requeue(job.id, recovered=True)
+                    touched.append(job)
+            return touched
+
+    # -- inspection --------------------------------------------------------
+    def get(self, job_id: str) -> Job:
+        """The job, or :class:`QueueError` listing what exists."""
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise QueueError(f"unknown job {job_id!r}")
+        return job
+
+    def jobs(self, state: str | None = None,
+             tenant: str | None = None) -> list[Job]:
+        """Jobs in submission order, optionally filtered."""
+        with self._lock:
+            out = [j for j in self._jobs.values()
+                   if (state is None or j.state == state)
+                   and (tenant is None or j.tenant == tenant)]
+            out.sort(key=lambda j: self._seq[j.id])
+            return out
+
+    def active_count(self, tenant: str) -> int:
+        """SUBMITTED+LEASED+RUNNING jobs for one tenant (quota check)."""
+        with self._lock:
+            return sum(1 for j in self._jobs.values()
+                       if j.tenant == tenant and j.state in ACTIVE_STATES)
+
+    def depth(self) -> int:
+        """SUBMITTED jobs awaiting a worker."""
+        with self._lock:
+            return sum(1 for j in self._jobs.values()
+                       if j.state == JobState.SUBMITTED)
+
+    # -- maintenance -------------------------------------------------------
+    def compact(self) -> tuple[int, int]:
+        """Atomically rewrite the journal; returns ``(before, after)``.
+
+        Terminal jobs collapse to one ``job_snapshot`` record each;
+        live jobs keep their raw event tail (their snapshots are
+        re-emitted as ``job_snapshot`` too, since in-memory state *is*
+        the replay of those events).  Heartbeats never persist.
+        """
+        with self._lock:
+            before = len(self.journal.events())
+            records = [{"event": "job_snapshot", "job": job.to_dict()}
+                       for job in self.jobs()]
+            after = self.journal.rewrite(records)
+            return before, after

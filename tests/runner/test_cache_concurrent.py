@@ -1,0 +1,85 @@
+"""Concurrent hammering of one cache directory: threads + processes.
+
+The service scheduler's thread pool and any number of external CLI
+processes can share a single cache directory.  This drives both shapes
+at once and asserts the invariants the exactly-once machinery relies
+on: no corrupt or zero-byte entries, no stray temp files, and hit
+accounting that adds up.
+"""
+
+import hashlib
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from repro.runner import ResultCache
+
+KEYS = [hashlib.sha256(f"point-{i}".encode()).hexdigest()
+        for i in range(8)]
+ROUNDS = 25
+
+
+def _value(key: str) -> dict:
+    return {"key": key, "payload": [0.125] * 64}
+
+
+def _hammer_inprocess(cache: ResultCache, worker: int) -> int:
+    """Thread worker: interleave puts and gets, count observed hits."""
+    hits = 0
+    for round_no in range(ROUNDS):
+        key = KEYS[(worker + round_no) % len(KEYS)]
+        if cache.get(key) is not None:
+            hits += 1
+        else:
+            cache.put(key, _value(key))
+    return hits
+
+
+def _hammer_subprocess(directory: str, worker: int) -> int:
+    """Process worker: a fresh ResultCache on the same directory."""
+    cache = ResultCache(directory=directory)
+    return _hammer_inprocess(cache, worker)
+
+
+def test_threads_and_processes_share_one_cache_dir(tmp_path):
+    directory = tmp_path / "cache"
+    cache = ResultCache(directory=directory)
+
+    with ThreadPoolExecutor(max_workers=4) as threads, \
+            ProcessPoolExecutor(max_workers=2) as processes:
+        thread_work = [threads.submit(_hammer_inprocess, cache, i)
+                       for i in range(4)]
+        process_work = [
+            processes.submit(_hammer_subprocess, str(directory), i)
+            for i in range(2)]
+        thread_hits = sum(f.result() for f in thread_work)
+        process_hits = sum(f.result() for f in process_work)
+
+    # Every key ends up present, readable and non-empty.
+    paths = sorted(directory.glob("*.pkl"))
+    assert [p.name for p in paths] == sorted(f"{k}.pkl" for k in KEYS)
+    for path in paths:
+        assert path.stat().st_size > 0
+        value = pickle.loads(path.read_bytes())
+        assert value == _value(path.name[:-len(".pkl")])
+
+    # No torn writes left behind: the put protocol is tmp + rename.
+    assert list(directory.glob("*.tmp")) == []
+
+    # Hit accounting: the shared in-process cache object saw every
+    # thread-side hit; totals must add up against misses.
+    assert cache.stats.hits >= thread_hits
+    assert cache.stats.hits + cache.stats.misses == 4 * ROUNDS
+    assert cache.stats.hit_ratio == (
+        cache.stats.hits / (cache.stats.hits + cache.stats.misses))
+    # Most operations after warm-up are hits across both pools.
+    assert thread_hits + process_hits > (6 * ROUNDS) // 2
+
+
+def test_subprocess_sees_entries_written_by_parent(tmp_path):
+    directory = tmp_path / "cache"
+    parent = ResultCache(directory=directory)
+    for key in KEYS:
+        parent.put(key, _value(key))
+    with ProcessPoolExecutor(max_workers=1) as pool:
+        hits = pool.submit(_hammer_subprocess, str(directory), 0).result()
+    assert hits == ROUNDS  # every access in the child is a hit

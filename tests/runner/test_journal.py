@@ -75,3 +75,64 @@ def test_lines_are_single_sorted_json_objects(tmp_path):
     record = json.loads(line)
     assert list(record) == sorted(record)
     assert record["event"] == "experiment_done"
+
+
+# -- compaction (`repro journal compact`) ---------------------------------
+
+def test_compact_keeps_latest_done_per_experiment(tmp_path):
+    from repro.runner.journal import compact_run_journal
+
+    journal = RunJournal(tmp_path / "journal.jsonl")
+    journal.append("sweep_start", experiments=["E1", "E2"], variant="quick")
+    for _ in range(3):  # three full sweeps of the same pair
+        for exp in ("E1", "E2"):
+            journal.append("experiment_start", experiment=exp,
+                           variant="quick")
+            journal.append("experiment_done", experiment=exp,
+                           variant="quick", elapsed_s=1.0)
+        journal.append("sweep_done", variant="quick", failed=[])
+    before, after = compact_run_journal(journal)
+    assert before == 16 and after == 3  # sweep marker + one done each
+    assert journal.completed("quick") == {"E1", "E2"}
+
+
+def test_compact_preserves_resume_semantics(tmp_path):
+    from repro.runner.journal import compact_run_journal
+
+    journal = RunJournal(tmp_path / "journal.jsonl")
+    journal.append("experiment_start", experiment="E1", variant="quick")
+    journal.append("experiment_done", experiment="E1", variant="quick")
+    journal.append("experiment_start", experiment="E2", variant="quick")
+    journal.append("experiment_failed", experiment="E2", variant="quick",
+                   error="boom")
+    journal.append("experiment_done", experiment="E1", variant="full")
+    compact_run_journal(journal)
+    # Resume must see exactly what it saw before the rewrite: E1 done at
+    # both variants, E2 still open (its failure record kept).
+    assert journal.completed("quick") == {"E1"}
+    assert journal.completed("full") == {"E1"}
+    events = journal.events()
+    assert any(e["event"] == "experiment_failed" for e in events)
+
+
+def test_compact_is_idempotent(tmp_path):
+    from repro.runner.journal import compact_run_journal
+
+    journal = RunJournal(tmp_path / "journal.jsonl")
+    for exp in ("E1", "E2", "E3"):
+        journal.append("experiment_done", experiment=exp, variant="quick")
+    compact_run_journal(journal)
+    first = journal.path.read_text()
+    before, after = compact_run_journal(journal)
+    assert before == after == 3
+    assert journal.path.read_text() == first
+
+
+def test_rewrite_is_atomic_and_leaves_no_tmp(tmp_path):
+    journal = RunJournal(tmp_path / "journal.jsonl")
+    journal.append("experiment_done", experiment="E1", variant="quick")
+    written = journal.rewrite([{"event": "experiment_done",
+                                "experiment": "E9", "variant": "quick"}])
+    assert written == 1
+    assert journal.completed("quick") == {"E9"}
+    assert list(tmp_path.glob("*.tmp")) == []

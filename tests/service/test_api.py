@@ -1,0 +1,174 @@
+"""The REST API exercised entirely in-process (no sockets)."""
+
+import json
+
+import pytest
+
+from repro.service import (
+    JobState,
+    Service,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    write_result,
+)
+from repro.telemetry import parse_prometheus
+
+
+@pytest.fixture()
+def service(tmp_path):
+    return Service(ServiceConfig(state_dir=tmp_path / "state"))
+
+
+@pytest.fixture()
+def client(service):
+    # Scheduler deliberately not started: these tests drive the queue
+    # by hand so jobs stay in whatever state the test needs.
+    return ServiceClient(app=service.app)
+
+
+def test_healthz(client):
+    doc = client.healthz()
+    assert doc["status"] == "ok"
+    assert doc["queue_depth"] == 0
+    assert "version" in doc and "uptime_s" in doc
+
+
+def test_experiments_lists_registry(client):
+    experiments = client.experiments()
+    ids = {e["id"] for e in experiments}
+    assert {"E2", "E6"} <= ids
+    sample = experiments[0]
+    assert set(sample) == {"id", "title", "tags", "parallelizable",
+                           "variants"}
+
+
+def test_submit_show_list_cancel(client):
+    job = client.submit(experiment="E6", variant="quick", priority=2)
+    assert job["state"] == JobState.SUBMITTED
+    assert job["spec"] == {"experiment": "E6", "variant": "quick"}
+    assert job["priority"] == 2
+
+    assert client.job(job["id"])["id"] == job["id"]
+    assert [j["id"] for j in client.jobs()] == [job["id"]]
+    assert client.jobs(state=JobState.DONE) == []
+
+    cancelled = client.cancel(job["id"])
+    assert cancelled["state"] == JobState.CANCELLED
+
+
+def test_submit_points(client):
+    job = client.submit(points=[{"kind": "train", "gpus": 2,
+                                 "iterations": 2}])
+    assert job["spec"]["points"][0]["gpus"] == 2
+
+
+@pytest.mark.parametrize("payload,code", [
+    (b"{not json", "bad_json"),
+    (b'{"experiment": "E99"}', "bad_spec"),
+    (b'{"experiment": "E6", "priority": "high"}', "bad_spec"),
+])
+def test_submit_rejections(service, payload, code):
+    status, _ctype, body = service.app.handle("POST", "/v1/jobs", {},
+                                              payload)
+    assert status == 400
+    assert json.loads(body)["error"]["code"] == code
+
+
+def test_unknown_job_and_routes(client, service):
+    with pytest.raises(ServiceError) as err:
+        client.job("deadbeef")
+    assert err.value.status == 404
+    status, _, _ = service.app.handle("GET", "/no/such/route", {}, None)
+    assert status == 404
+    status, _, _ = service.app.handle("DELETE", "/v1/jobs", {}, None)
+    assert status == 404
+
+
+def test_result_conflicts_until_done(client, service):
+    job = client.submit(experiment="E6")
+    with pytest.raises(ServiceError) as err:
+        client.result(job["id"])
+    assert err.value.status == 409 and err.value.code == "not_done"
+
+    # Complete it by hand; the result route must return the exact
+    # stored bytes.
+    path = service.config.results_dir / f"{job['id']}.json"
+    payload = '{"schema_version": 2, "experiment": "E6"}\n'
+    write_result(path, payload)
+    service.queue.lease("w0")
+    service.queue.mark_running(job["id"])
+    service.queue.complete(job["id"], str(path))
+    assert client.result_bytes(job["id"]) == payload.encode("utf-8")
+
+    with pytest.raises(ServiceError) as err:
+        client.cancel(job["id"])
+    assert err.value.status == 409 and err.value.code == "not_cancellable"
+
+
+def test_bad_state_filter(client):
+    with pytest.raises(ServiceError) as err:
+        client.jobs(state="IMAGINARY")
+    assert err.value.status == 400
+
+
+def test_metrics_parse_and_include_cache_gauges(client):
+    client.submit(experiment="E6")
+    parsed = parse_prometheus(client.metrics())
+    names = {name for name, _labels in parsed["samples"]}
+    assert "service_jobs_submitted_total" in names
+    assert "service_queue_depth" in names
+    cache_fields = {dict(labels).get("field")
+                    for name, labels in parsed["samples"]
+                    if name == "service_cache"}
+    assert {"entries", "total_bytes", "hits", "misses",
+            "hit_ratio"} <= cache_fields
+    assert any(name == "service_requests_total"
+               and dict(labels).get("route") == "v1/jobs"
+               for name, labels in parsed["samples"])
+
+
+def test_auth_and_quota(tmp_path):
+    tokens = tmp_path / "tokens.json"
+    tokens.write_text(json.dumps({"tokens": [
+        {"token": "alice-secret", "tenant": "alice", "max_active_jobs": 1},
+        {"token": "bob-secret", "tenant": "bob"},
+    ]}))
+    service = Service(ServiceConfig(state_dir=tmp_path / "state",
+                                    tokens_path=tokens))
+
+    anonymous = ServiceClient(app=service.app)
+    with pytest.raises(ServiceError) as err:
+        anonymous.jobs()
+    assert err.value.status == 401
+
+    intruder = ServiceClient(app=service.app, token="wrong")
+    with pytest.raises(ServiceError) as err:
+        intruder.jobs()
+    assert err.value.status == 401
+
+    # healthz/metrics stay open for probes and scrapers.
+    assert anonymous.healthz()["status"] == "ok"
+    assert "service_requests_total" in anonymous.metrics()
+
+    alice = ServiceClient(app=service.app, token="alice-secret")
+    job = alice.submit(experiment="E6")
+    assert job["tenant"] == "alice"
+    with pytest.raises(ServiceError) as err:
+        alice.submit(experiment="E6")
+    assert err.value.status == 429 and err.value.code == "quota_exceeded"
+
+    # Bob has his own quota; alice frees hers by cancelling.
+    bob = ServiceClient(app=service.app, token="bob-secret")
+    assert bob.submit(experiment="E2")["tenant"] == "bob"
+    alice.cancel(job["id"])
+    assert alice.submit(experiment="E6")["state"] == JobState.SUBMITTED
+
+
+def test_client_requires_exactly_one_transport(service):
+    with pytest.raises(ValueError):
+        ServiceClient()
+    with pytest.raises(ValueError):
+        ServiceClient(url="http://x", app=service.app)
+    with pytest.raises(ValueError):
+        ServiceClient(app=service.app).submit()

@@ -1,0 +1,134 @@
+"""The service-facing CLI: serve/submit/jobs, journal compact, exit codes."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.service import Service, ServiceConfig, serve_in_thread
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    """One real HTTP server on an ephemeral port for the whole module."""
+    state_dir = tmp_path_factory.mktemp("service-state")
+    service = Service(ServiceConfig(state_dir=state_dir, port=0, workers=1))
+    service.start()
+    _thread, url = serve_in_thread(service)
+    yield url
+    service.http_server.shutdown()
+    service.stop()
+
+
+def test_submit_wait_and_fetch_result(server, capsys, tmp_path):
+    assert main(["submit", "E2", "--url", server, "--wait",
+                 "--timeout", "60"]) == 0
+    out = capsys.readouterr().out
+    assert "submitted job" in out and "DONE" in out
+
+    assert main(["jobs", "ls", "--url", server]) == 0
+    table = capsys.readouterr().out
+    assert "E2/quick" in table and "DONE" in table
+    job_id = table.splitlines()[1].split()[0]
+
+    assert main(["jobs", "show", job_id, "--url", server]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["id"] == job_id and doc["state"] == "DONE"
+
+    out_path = tmp_path / "result.json"
+    assert main(["jobs", "result", job_id, "--url", server,
+                 "--out", str(out_path)]) == 0
+    envelope = json.loads(out_path.read_text())
+    assert envelope["experiment"] == "E2"
+
+    # Identical resubmission resolves from cache: zero points executed.
+    assert main(["submit", "E2", "--url", server, "--wait",
+                 "--timeout", "60"]) == 0
+    rerun = capsys.readouterr().out
+    assert "0 executed" in rerun
+
+
+def test_submit_points_file(server, capsys, tmp_path):
+    points = tmp_path / "points.json"
+    points.write_text(json.dumps(
+        {"points": [{"kind": "train", "gpus": 2, "iterations": 2}]}))
+    assert main(["submit", str(points), "--url", server, "--wait",
+                 "--timeout", "60"]) == 0
+    assert "DONE" in capsys.readouterr().out
+
+
+def test_cancel_requires_submitted_state(server, capsys):
+    # High-priority submit without --wait, then racing cancel: the only
+    # guaranteed-stable assertion is the exit-code contract, so cancel a
+    # job the single worker has not leased yet by flooding first.
+    assert main(["submit", "E2", "--url", server]) == 0
+    out = capsys.readouterr().out
+    job_id = out.split("submitted job ")[1].split()[0]
+    code = main(["jobs", "cancel", job_id, "--url", server])
+    assert code in (0, 1)  # 1 if the worker leased it first (409)
+    err = capsys.readouterr()
+    if code == 1:
+        assert "error:" in err.err
+
+
+@pytest.mark.parametrize("argv,fragment", [
+    (["submit", "E99"], "neither an experiment id"),
+    (["jobs", "show"], "needs a JOB_ID"),
+])
+def test_usage_errors_exit_2(argv, fragment, capsys):
+    assert main(argv) == 2
+    assert fragment in capsys.readouterr().err
+
+
+def test_unknown_job_is_usage_error(server, capsys):
+    assert main(["jobs", "show", "deadbeef", "--url", server]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_unreachable_server_is_domain_failure(capsys):
+    assert main(["submit", "E2", "--url",
+                 "http://127.0.0.1:1", "--wait"]) == 1
+    assert "cannot reach" in capsys.readouterr().err
+
+
+def test_bad_points_file_exit_2(tmp_path, capsys):
+    empty = tmp_path / "empty.json"
+    empty.write_text("{}")
+    assert main(["submit", str(empty)]) == 2
+    assert "must hold a JSON list" in capsys.readouterr().err
+
+
+def test_serve_rejects_bad_token_file(tmp_path, capsys):
+    bad = tmp_path / "tokens.json"
+    bad.write_text("[]")
+    assert main(["serve", "--state-dir", str(tmp_path / "s"),
+                 "--tokens", str(bad)]) == 2
+    assert "bad token file" in capsys.readouterr().err
+
+
+def test_journal_compact_cli(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    assert main(["journal", "compact"]) == 2  # nothing to compact yet
+    assert "no journal" in capsys.readouterr().err
+
+    from repro.runner import RunJournal
+
+    journal = RunJournal()
+    for attempt in range(3):
+        journal.append("experiment_start", experiment="E2", variant="quick")
+        journal.append("experiment_done", experiment="E2", variant="quick",
+                       path="bench_results/e2.json")
+    assert main(["journal", "compact"]) == 0
+    assert "6 -> 1" in capsys.readouterr().out
+
+
+def test_cache_stats_reports_hit_ratio(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    assert main(["cache", "stats"]) == 0
+    assert "hit ratio" in capsys.readouterr().out
+    assert main(["cache", "stats", "--json"]) == 0
+    snap = json.loads(capsys.readouterr().out)
+    assert snap["hit_ratio"] == 0.0
+    assert {"entries", "total_bytes", "hits", "misses"} <= set(snap)

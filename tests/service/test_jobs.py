@@ -1,0 +1,87 @@
+"""Spec validation and the job model."""
+
+import pytest
+
+from repro.service import Job, SpecError, build_points, parse_spec, spec_key
+
+
+# -- experiment specs -----------------------------------------------------
+
+def test_experiment_spec_roundtrip():
+    spec = parse_spec({"experiment": "E6", "variant": "quick"})
+    assert spec == {"experiment": "E6", "variant": "quick"}
+
+
+def test_experiment_defaults_to_quick():
+    assert parse_spec({"experiment": "E2"})["variant"] == "quick"
+
+
+@pytest.mark.parametrize("payload,fragment", [
+    ({"experiment": "E99"}, "unknown experiment"),
+    ({"experiment": "E6", "variant": "paper"}, "variant"),
+    ({}, "exactly one"),
+    ({"experiment": "E6", "points": []}, "exactly one"),
+    ([1, 2], "JSON object"),
+])
+def test_bad_experiment_specs(payload, fragment):
+    with pytest.raises(SpecError, match=fragment):
+        parse_spec(payload)
+
+
+# -- points specs ---------------------------------------------------------
+
+def test_train_point_normalization_and_build():
+    spec = parse_spec({"points": [{"kind": "train", "gpus": 6,
+                                   "iterations": 2}]})
+    point = spec["points"][0]
+    assert point["config"] == "tuned" and point["model"] == "deeplab"
+    built = build_points(spec)
+    assert built[0].gpus == 6 and built[0].iterations == 2
+    assert built[0].key()  # hashable into the cache
+
+
+def test_osu_point_build():
+    spec = parse_spec({"points": [{"kind": "osu_allreduce", "gpus": 4,
+                                   "nbytes": 4096}]})
+    built = build_points(spec)
+    assert built[0].nbytes == 4096
+    assert built[0].library.name == "MVAPICH2-GDR"
+
+
+@pytest.mark.parametrize("point,fragment", [
+    ({"kind": "warp"}, "kind"),
+    ({"kind": "train", "fault": "x"}, "unknown field"),
+    ({"kind": "train", "gpus": "six"}, "expected int"),
+    ({"kind": "train", "gpus": 0}, "gpus"),
+    ({"kind": "train", "config": "mystery"}, "config"),
+    ({"kind": "train", "model": "gpt"}, "model"),
+    ({"kind": "osu_allreduce", "library": "OpenMPI-9"}, "library"),
+    ({"kind": "train", "iterations": 0}, "iterations"),
+    ("not-an-object", "expected an object"),
+])
+def test_bad_points(point, fragment):
+    with pytest.raises(SpecError, match=fragment):
+        parse_spec({"points": [point]})
+
+
+def test_points_must_be_nonempty_list():
+    with pytest.raises(SpecError, match="non-empty"):
+        parse_spec({"points": []})
+
+
+# -- keys and serialization -----------------------------------------------
+
+def test_spec_key_is_canonical():
+    a = spec_key({"experiment": "E6", "variant": "quick"})
+    b = spec_key({"variant": "quick", "experiment": "E6"})
+    assert a == b and len(a) == 64
+    assert a != spec_key({"experiment": "E6", "variant": "full"})
+
+
+def test_job_dict_roundtrip():
+    job = Job.create(parse_spec({"experiment": "E2"}), tenant="alice",
+                     priority=3, now=12.5)
+    clone = Job.from_dict(dict(job.to_dict(), unknown_future_field=1))
+    assert clone == job
+    assert clone.tenant == "alice" and clone.priority == 3
+    assert not clone.terminal

@@ -1,0 +1,183 @@
+"""The persistent job queue: priorities, leases, recovery, compaction."""
+
+import pytest
+
+from repro.service import JobQueue, JobState, QueueError, parse_spec
+from repro.telemetry.metrics import MetricRegistry
+
+SPEC = {"experiment": "E2", "variant": "quick"}
+
+
+def make_queue(tmp_path, **kwargs):
+    return JobQueue(tmp_path / "state", **kwargs)
+
+
+def test_submit_and_lease_fifo(tmp_path):
+    queue = make_queue(tmp_path)
+    first = queue.submit(SPEC)
+    second = queue.submit(SPEC)
+    assert queue.depth() == 2
+    assert queue.lease("w0").id == first.id
+    assert queue.lease("w0").id == second.id
+    assert queue.lease("w0") is None
+
+
+def test_priority_descends_fifo_within_level(tmp_path):
+    queue = make_queue(tmp_path)
+    low = queue.submit(SPEC, priority=0)
+    high_a = queue.submit(SPEC, priority=5)
+    high_b = queue.submit(SPEC, priority=5)
+    assert [queue.lease("w").id for _ in range(3)] == [
+        high_a.id, high_b.id, low.id]
+
+
+def test_full_lifecycle_and_accounting(tmp_path):
+    registry = MetricRegistry()
+    queue = make_queue(tmp_path, registry=registry)
+    job = queue.submit(SPEC, tenant="alice")
+    leased = queue.lease("w0", lease_s=30.0)
+    assert leased.state == JobState.LEASED and leased.attempts == 1
+    queue.mark_running(job.id)
+    done = queue.complete(job.id, "results/x.json",
+                          runner={"cache_hits": 3})
+    assert done.state == JobState.DONE
+    assert done.runner == {"cache_hits": 3}
+    assert done.elapsed_s is not None
+    assert queue.active_count("alice") == 0
+
+
+def test_duplicate_completion_refused(tmp_path):
+    queue = make_queue(tmp_path)
+    job = queue.submit(SPEC)
+    queue.lease("w0")
+    queue.mark_running(job.id)
+    queue.complete(job.id, "r.json")
+    with pytest.raises(QueueError, match="duplicate"):
+        queue.complete(job.id, "r2.json")
+    with pytest.raises(QueueError, match="terminal"):
+        queue.fail(job.id, "late error")
+
+
+def test_cancel_only_submitted(tmp_path):
+    queue = make_queue(tmp_path)
+    job = queue.submit(SPEC)
+    leased = queue.submit(SPEC)
+    queue.lease("w0")  # takes `job`
+    assert queue.cancel(leased.id).state == JobState.CANCELLED
+    with pytest.raises(QueueError, match="only SUBMITTED"):
+        queue.cancel(job.id)
+    with pytest.raises(QueueError, match="unknown job"):
+        queue.cancel("nope")
+
+
+def test_replay_rebuilds_state(tmp_path):
+    queue = make_queue(tmp_path)
+    done = queue.submit(SPEC, tenant="alice", priority=2)
+    failed = queue.submit(SPEC)
+    pending = queue.submit(SPEC)
+    queue.lease("w0")
+    queue.mark_running(done.id)
+    queue.complete(done.id, "r.json", runner={"cache_hits": 1})
+    queue.lease("w0")
+    queue.fail(failed.id, "boom")
+
+    replayed = make_queue(tmp_path)
+    assert replayed.get(done.id).state == JobState.DONE
+    assert replayed.get(done.id).runner == {"cache_hits": 1}
+    assert replayed.get(done.id).priority == 2
+    assert replayed.get(failed.id).state == JobState.FAILED
+    assert replayed.get(failed.id).error == "boom"
+    assert replayed.get(pending.id).state == JobState.SUBMITTED
+    assert replayed.depth() == 1
+
+
+def test_recover_requeues_leases_of_dead_process(tmp_path):
+    queue = make_queue(tmp_path)
+    job = queue.submit(SPEC)
+    queue.lease("dead:w0")
+    queue.mark_running(job.id)
+
+    restarted = make_queue(tmp_path)
+    touched = restarted.recover()
+    assert [j.id for j in touched] == [job.id]
+    fresh = restarted.get(job.id)
+    assert fresh.state == JobState.SUBMITTED
+    assert fresh.recoveries == 1
+    assert fresh.worker is None
+    # The next leaseholder picks it up normally.
+    assert restarted.lease("w1").id == job.id
+
+
+def test_recover_quarantines_poison_jobs(tmp_path):
+    queue = make_queue(tmp_path, max_recoveries=2)
+    job = queue.submit(SPEC)
+    for crash in range(3):
+        queue.lease(f"dead:{crash}")
+        queue = make_queue(tmp_path, max_recoveries=2)
+        queue.recover()
+    assert queue.get(job.id).state == JobState.QUARANTINED
+    assert "crashes" in queue.get(job.id).error
+
+
+def test_requeue_expired_skips_live_workers(tmp_path):
+    clock = [100.0]
+    queue = make_queue(tmp_path, clock=lambda: clock[0])
+    expired = queue.submit(SPEC)
+    live = queue.submit(SPEC)
+    queue.lease("silent-worker", lease_s=10.0)   # takes `expired`
+    queue.lease("live-worker", lease_s=10.0)     # takes `live`
+    clock[0] = 200.0
+    touched = queue.requeue_expired(skip_workers={"live-worker"})
+    assert [j.id for j in touched] == [expired.id]
+    assert queue.get(expired.id).state == JobState.SUBMITTED
+    assert queue.get(live.id).state == JobState.LEASED
+
+
+def test_heartbeat_extends_lease_in_memory(tmp_path):
+    clock = [0.0]
+    queue = make_queue(tmp_path, clock=lambda: clock[0])
+    job = queue.submit(SPEC)
+    queue.lease("w0", lease_s=10.0)
+    clock[0] = 8.0
+    queue.heartbeat(job.id, lease_s=10.0)
+    clock[0] = 15.0  # past the original lease, inside the refreshed one
+    assert queue.requeue_expired() == []
+    assert queue.get(job.id).state == JobState.LEASED
+
+
+def test_compact_collapses_terminal_jobs(tmp_path):
+    queue = make_queue(tmp_path)
+    done = queue.submit(SPEC)
+    queue.lease("w0")
+    queue.mark_running(done.id)
+    queue.complete(done.id, "r.json")
+    pending = queue.submit(SPEC)
+    before, after = queue.compact()
+    assert before == 5 and after == 2  # one snapshot per job
+
+    replayed = make_queue(tmp_path)
+    assert replayed.get(done.id).state == JobState.DONE
+    assert replayed.get(done.id).result_path == "r.json"
+    assert replayed.get(pending.id).state == JobState.SUBMITTED
+    # Compaction must not break exactly-once: completion stays refused.
+    with pytest.raises(QueueError, match="terminal"):
+        replayed.complete(done.id, "again.json")
+
+
+def test_torn_final_line_does_not_break_replay(tmp_path):
+    queue = make_queue(tmp_path)
+    job = queue.submit(SPEC)
+    queue.lease("w0")
+    # Simulate a crash mid-append of the running event.
+    text = queue.journal.path.read_text()
+    queue.journal.path.write_text(text + '{"event": "job_runn')
+    replayed = make_queue(tmp_path)
+    assert replayed.get(job.id).state == JobState.LEASED
+
+
+def test_points_spec_jobs_queue_too(tmp_path):
+    queue = make_queue(tmp_path)
+    spec = parse_spec({"points": [{"kind": "train", "gpus": 2,
+                                   "iterations": 2}]})
+    job = queue.submit(spec)
+    assert queue.get(job.id).spec == spec

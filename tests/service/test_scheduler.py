@@ -1,0 +1,180 @@
+"""End-to-end scheduling: byte-identity, cache hits, exactly-once."""
+
+import json
+
+import pytest
+
+from repro.bench.registry import REGISTRY
+from repro.runner import RunnerError
+from repro.service import (
+    JobState,
+    Service,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+)
+
+
+def make_service(tmp_path, **overrides):
+    kwargs = dict(state_dir=tmp_path / "state", workers=1)
+    kwargs.update(overrides)
+    return Service(ServiceConfig(**kwargs))
+
+
+def run_job(service, client, **submit_kwargs):
+    job = client.submit(**submit_kwargs)
+    finished = client.wait(job["id"], timeout=120.0)
+    return finished
+
+
+def test_job_envelope_byte_identical_to_serial_run(tmp_path):
+    service = make_service(tmp_path)
+    client = ServiceClient(app=service.app)
+    service.start()
+    try:
+        job = run_job(service, client, experiment="E3", variant="quick")
+        assert job["state"] == JobState.DONE
+        got = client.result_bytes(job["id"])
+    finally:
+        service.stop()
+
+    expected = REGISTRY["E3"].run(quick=True)
+    expected.meta = {"variant": "quick"}
+    assert got == expected.to_json().encode("utf-8")
+
+
+def test_identical_resubmission_served_from_cache(tmp_path):
+    service = make_service(tmp_path)
+    client = ServiceClient(app=service.app)
+    service.start()
+    try:
+        first = run_job(service, client, experiment="E3", variant="quick")
+        assert first["state"] == JobState.DONE
+        assert first["runner"]["executed"] > 0
+
+        second = run_job(service, client, experiment="E3", variant="quick")
+        assert second["state"] == JobState.DONE
+        # The dedup layer at work: every point resolves from cache.
+        assert second["runner"]["executed"] == 0
+        assert second["runner"]["cache_hits"] > 0
+
+        assert (client.result_bytes(first["id"])
+                == client.result_bytes(second["id"]))
+    finally:
+        service.stop()
+
+
+def test_points_job_and_resubmission(tmp_path):
+    points = [
+        {"kind": "train", "gpus": 2, "iterations": 2},
+        {"kind": "osu_allreduce", "gpus": 2, "nbytes": 1024,
+         "iterations": 3},
+    ]
+    service = make_service(tmp_path)
+    client = ServiceClient(app=service.app)
+    service.start()
+    try:
+        job = run_job(service, client, points=points)
+        assert job["state"] == JobState.DONE
+        envelope = client.result(job["id"])
+        assert envelope["kind"] == "points"
+        summaries = [row["summary"] for row in envelope["rows"]]
+        assert summaries[0]["images_per_second"] > 0
+        assert summaries[1]["latency_us"] > 0
+
+        again = run_job(service, client, points=points)
+        assert again["runner"]["executed"] == 0
+        assert (client.result_bytes(job["id"])
+                == client.result_bytes(again["id"]))
+    finally:
+        service.stop()
+
+
+def test_transient_error_requeues_then_fails(tmp_path):
+    service = make_service(tmp_path)
+    client = ServiceClient(app=service.app)
+    job = client.submit(experiment="E2")
+
+    def explode(job):
+        raise ValueError("transient wobble")
+
+    service.scheduler._run_experiment = explode
+    scheduler = service.scheduler
+    leased = service.queue.lease("w0")
+    scheduler._execute(leased)
+    requeued = client.job(job["id"])
+    assert requeued["state"] == JobState.SUBMITTED
+    assert requeued["attempts"] == 1
+    assert "transient wobble" in requeued["error"]
+
+    # Second failure exhausts job_retries=1 and is terminal.
+    scheduler._execute(service.queue.lease("w0"))
+    assert client.job(job["id"])["state"] == JobState.FAILED
+
+
+def test_poison_job_quarantines_without_retry(tmp_path):
+    service = make_service(tmp_path)
+    client = ServiceClient(app=service.app)
+    job = client.submit(experiment="E2")
+
+    def poison(job):
+        raise RunnerError("1 point(s) quarantined: boom")
+
+    service.scheduler._run_experiment = poison
+    service.scheduler._execute(service.queue.lease("w0"))
+    doc = client.job(job["id"])
+    assert doc["state"] == JobState.QUARANTINED
+    assert doc["attempts"] == 1
+    with pytest.raises(ServiceError) as err:
+        client.result(job["id"])
+    assert err.value.status == 409
+
+
+@pytest.mark.chaos
+def test_crashed_scheduler_restart_completes_exactly_once(tmp_path):
+    # A predecessor process leased the job, started running it, then
+    # died without journaling an outcome.
+    state_dir = tmp_path / "state"
+    crashed = Service(ServiceConfig(state_dir=state_dir, workers=1))
+    job = ServiceClient(app=crashed.app).submit(experiment="E3")
+    crashed.queue.lease("99999:repro-service-worker-0", lease_s=60.0)
+    crashed.queue.mark_running(job["id"])
+    del crashed  # simulated crash: no complete/fail ever journaled
+
+    # `repro serve` restarts on the same state dir.
+    service = Service(ServiceConfig(state_dir=state_dir, workers=1))
+    client = ServiceClient(app=service.app)
+    recovered = service.start()
+    try:
+        assert [j.id for j in recovered] == [job["id"]]
+        finished = client.wait(job["id"], timeout=120.0)
+    finally:
+        service.stop()
+
+    assert finished["state"] == JobState.DONE
+    assert finished["recoveries"] == 1
+
+    # Exactly once: a single DONE event in the journal, a single
+    # result file on disk.
+    events = [json.loads(line)["event"]
+              for line in (state_dir / "queue.jsonl").read_text()
+              .splitlines() if line]
+    assert events.count("job_done") == 1
+    results = list((state_dir / "results").iterdir())
+    assert [p.name for p in results] == [f"{job['id']}.json"]
+
+
+@pytest.mark.chaos
+def test_sweep_reclaims_remote_leases_but_not_local(tmp_path):
+    service = make_service(tmp_path)
+    client = ServiceClient(app=service.app)
+    stuck = client.submit(experiment="E2")
+    # A remote holder whose lease expired long ago.
+    service.queue.lease("elsewhere:worker", lease_s=-1.0)
+    touched = service.scheduler.sweep_leases()
+    assert [j.id for j in touched] == [stuck["id"]]
+    service.start()
+    try:
+        assert client.wait(stuck["id"], timeout=60.0)["state"] == JobState.DONE
+    finally:
+        service.stop()
