@@ -12,6 +12,9 @@ Usage::
     python -m repro serve --port 8765     # simulation-as-a-service API
     python -m repro submit E6 --wait      # queue a job on a server
     python -m repro jobs ls               # inspect the job queue
+    python -m repro run E6 --backend fabric   # sweep via pulled workers
+    python -m repro worker --url URL      # join a fabric as a worker
+    python -m repro fabric status --url URL   # inspect a fabric queue
 
 Results are printed as tables and saved under ``bench_results/``;
 ``run --parallel`` executes sweep-shaped experiments through
@@ -74,17 +77,34 @@ def cmd_list() -> int:
 
 
 def _build_runner(parallel: bool, workers: int, no_cache: bool,
-                  retries: int = 0, trace_dir: str | None = None):
-    """Runner for ``run --parallel`` (None = plain serial execution).
+                  retries: int = 0, trace_dir: str | None = None,
+                  backend: str = "local"):
+    """Execution backend for ``run`` (None = plain serial execution).
 
-    ``--trace-dir`` alone still builds an (inline) runner — trace
-    capture rides on the runner's resolution pass.
+    ``--backend fabric`` builds a :class:`~repro.fabric.FabricRunner`:
+    a local coordinator plus ``repro worker`` subprocesses pulling
+    points over the lease protocol.  Otherwise ``--parallel`` (or
+    ``--trace-dir`` alone — trace capture rides on the runner's
+    resolution pass) builds the inline process-pool
+    :class:`~repro.runner.Runner`.
     """
+    from repro.runner import ResultCache
+
+    if backend == "fabric":
+        from repro.fabric import FabricRunner
+
+        runner = FabricRunner(workers=workers or 2,
+                              cache=None if no_cache else ResultCache(),
+                              retries=retries)
+        url = runner.start()
+        print(f"[fabric coordinator on {url} — {runner.workers} "
+              f"worker(s); extra workers: repro worker --url {url}]")
+        return runner
     if not parallel and trace_dir is None:
         return None
     import os
 
-    from repro.runner import ResultCache, Runner
+    from repro.runner import Runner
 
     workers = (workers or (os.cpu_count() or 1)) if parallel else 0
     return Runner(workers=workers,
@@ -95,9 +115,13 @@ def _build_runner(parallel: bool, workers: int, no_cache: bool,
 def cmd_run(ids: list[str], quick: bool, parallel: bool = False,
             workers: int = 0, no_cache: bool = False, resume: bool = False,
             journal_path: str | None = None, retries: int = 1,
-            trace_dir: str | None = None, fast: bool | None = None) -> int:
+            trace_dir: str | None = None, fast: bool | None = None,
+            backend: str = "local") -> int:
     """Run the selected experiments, journaling each for ``--resume``."""
     from repro.runner import RunJournal
+
+    if backend == "fabric" and trace_dir is not None:
+        return fail("--trace-dir requires the local backend", usage=True)
 
     if fast is not None:
         from repro.sim import fastpath
@@ -128,7 +152,7 @@ def cmd_run(ids: list[str], quick: bool, parallel: bool = False,
     else:
         journal.append("sweep_start", experiments=ids, variant=variant)
     runner = _build_runner(parallel, workers, no_cache, retries=retries,
-                           trace_dir=trace_dir)
+                           trace_dir=trace_dir, backend=backend)
     failures = []
     try:
         for exp_id in ids:
@@ -177,6 +201,10 @@ def cmd_run(ids: list[str], quick: bool, parallel: bool = False,
               f"rerun with --resume to finish the remaining experiments]",
               file=sys.stderr)
         return 130
+    finally:
+        close = getattr(runner, "close", None)
+        if close is not None:
+            close()
     journal.append("sweep_done", variant=variant, failed=failures)
     if runner is not None and runner.cache is not None:
         s = runner.cache.stats
@@ -274,9 +302,8 @@ def cmd_submit(target: str, variant: str, priority: int, url: str,
     """``repro submit``: queue an experiment id or a points JSON file."""
     import json
     from pathlib import Path
-    from urllib.error import URLError
 
-    from repro.service import ServiceError
+    from repro.service import ApiError, TransportError
 
     client = _service_client(url, token)
     points = None
@@ -300,19 +327,19 @@ def cmd_submit(target: str, variant: str, priority: int, url: str,
     try:
         job = client.submit(experiment=experiment, variant=variant,
                             points=points, priority=priority)
-    except ServiceError as err:
+    except ApiError as err:
         return fail(str(err), usage=err.status in (400, 404))
-    except (URLError, OSError) as err:
-        return fail(f"cannot reach {url}: {err}")
+    except TransportError as err:
+        return fail(str(err))
     print(f"[submitted job {job['id']} "
           f"(tenant={job['tenant']}, priority={job['priority']})]")
     if not wait:
         return 0
     try:
-        job = client.wait(job["id"], timeout=timeout)
+        job = client.wait(job["id"], timeout_s=timeout)
     except TimeoutError as err:
         return fail(str(err))
-    except (URLError, OSError) as err:
+    except TransportError as err:
         return fail(f"lost connection to {url}: {err}")
     print(f"[job {job['id']}: {job['state']} "
           f"in {job.get('elapsed_s') or 0.0:.3f}s]")
@@ -330,9 +357,8 @@ def cmd_jobs(action: str, job_id: str | None, url: str, token: str | None,
              state: str | None, out: str | None) -> int:
     """``repro jobs ls|show|result|cancel``: inspect the remote queue."""
     import json
-    from urllib.error import URLError
 
-    from repro.service import ServiceError
+    from repro.service import ApiError, TransportError
 
     client = _service_client(url, token)
     try:
@@ -369,10 +395,78 @@ def cmd_jobs(action: str, job_id: str | None, url: str, token: str | None,
         job = client.cancel(job_id)
         print(f"[job {job['id']}: {job['state']}]")
         return 0
-    except ServiceError as err:
+    except ApiError as err:
         return fail(str(err), usage=err.status == 404)
-    except (URLError, OSError) as err:
-        return fail(f"cannot reach {url}: {err}")
+    except TransportError as err:
+        return fail(str(err))
+
+
+def cmd_worker(url: str, token: str | None, poll_s: float, lease_s: float,
+               retries: int, timeout_s: float | None) -> int:
+    """``repro worker``: join a fabric as a pull worker.
+
+    Leases points off the coordinator at ``url``, executes them through
+    the inline self-healing runner, ships results back exactly-once.
+    SIGTERM (and Ctrl-C) drain gracefully: the in-flight point finishes
+    and is reported before the loop exits.
+    """
+    import signal
+
+    from repro.fabric import (
+        FabricClient,
+        FabricWorker,
+        HttpTransport,
+        ServiceError,
+    )
+
+    client = FabricClient(HttpTransport(url, token=token))
+    try:
+        client.status()
+    except ServiceError as err:
+        return fail(str(err))
+    worker = FabricWorker(client, poll_s=poll_s, lease_s=lease_s,
+                          retries=retries, timeout_s=timeout_s)
+    signal.signal(signal.SIGTERM, lambda signum, frame: worker.stop())
+    print(f"[fabric worker {worker.worker} pulling from {url}]", flush=True)
+    try:
+        done = worker.run_forever()
+    except KeyboardInterrupt:
+        worker.stop()
+        done = worker.done
+    print(f"[fabric worker {worker.worker}: {done} point(s) executed]",
+          flush=True)
+    return 0
+
+
+def cmd_fabric(action: str, url: str, token: str | None,
+               as_json: bool) -> int:
+    """``repro fabric status``: inspect a running fabric coordinator."""
+    import json
+
+    from repro.fabric import FabricClient, HttpTransport, ServiceError
+
+    client = FabricClient(HttpTransport(url, token=token))
+    try:
+        snap = client.status()
+    except ServiceError as err:
+        return fail(str(err))
+    if as_json:
+        print(json.dumps(snap, indent=1))
+        return 0
+    states = snap.get("states", {})
+    print(f"coordinator : {url}"
+          f"{'  (draining)' if snap.get('draining') else ''}")
+    print(f"items       : {snap.get('items', 0)}  ("
+          + ", ".join(f"{k}={v}" for k, v in sorted(states.items())) + ")")
+    print(f"lease_s     : {snap.get('lease_s')}")
+    workers = snap.get("workers", {})
+    if not workers:
+        print("workers     : none seen")
+    else:
+        print(f"workers     : {len(workers)}")
+        for name, age in workers.items():
+            print(f"  {name:<28} last contact {age:.1f}s ago")
+    return 0
 
 
 def cmd_faults_run(schedule_path: str, gpus: int, config_name: str,
@@ -684,6 +778,11 @@ def main(argv: list[str] | None = None) -> int:
                        dest="fast",
                        help="force the reference simulation path "
                             "(bit-identical results, more kernel events)")
+    run_p.add_argument("--backend", default="local",
+                       choices=("local", "fabric"),
+                       help="execution backend: 'local' (inline/process "
+                            "pool) or 'fabric' (repro-worker subprocesses "
+                            "pulling points over the lease protocol)")
     cache_p = sub.add_parser("cache", help="inspect/clear the result cache")
     cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
     for verb, help_ in (("stats", "show cache contents and hit accounting"),
@@ -744,6 +843,32 @@ def main(argv: list[str] | None = None) -> int:
                         help="with ls: filter by job state")
     jobs_p.add_argument("--out", metavar="PATH", default=None,
                         help="with result: write the envelope to PATH")
+    worker_p = sub.add_parser(
+        "worker", help="join a fabric as a pull worker (repro worker)")
+    worker_p.add_argument("--url", required=True,
+                          help="fabric coordinator base URL")
+    worker_p.add_argument("--token", default=None, help="bearer token")
+    worker_p.add_argument("--poll-s", type=float, default=0.1,
+                          help="idle poll interval in seconds (default 0.1)")
+    worker_p.add_argument("--lease-s", type=float, default=30.0,
+                          help="requested lease duration (default 30)")
+    worker_p.add_argument("--retries", type=int, default=0,
+                          help="per-point retries before reporting failure "
+                               "(default 0)")
+    worker_p.add_argument("--timeout-s", type=float, default=None,
+                          help="per-point budget; past it the worker stops "
+                               "heartbeating so the lease lapses and the "
+                               "point is reassigned")
+    fabric_p = sub.add_parser(
+        "fabric", help="inspect a running fabric coordinator")
+    fabric_sub = fabric_p.add_subparsers(dest="fabric_command", required=True)
+    fstat_p = fabric_sub.add_parser(
+        "status", help="queue depth, item states and worker liveness")
+    fstat_p.add_argument("--url", required=True,
+                         help="fabric coordinator base URL")
+    fstat_p.add_argument("--token", default=None, help="bearer token")
+    fstat_p.add_argument("--json", action="store_true",
+                         help="machine-readable output")
     meas_p = sub.add_parser("measure", help="one ad-hoc training measurement")
     meas_p.add_argument("--gpus", type=int, default=24)
     meas_p.add_argument("--config", default="tuned",
@@ -834,7 +959,7 @@ def main(argv: list[str] | None = None) -> int:
                        workers=args.workers, no_cache=args.no_cache,
                        resume=args.resume, journal_path=args.journal,
                        retries=args.retries, trace_dir=args.trace_dir,
-                       fast=args.fast)
+                       fast=args.fast, backend=args.backend)
     if args.command == "cache":
         return cmd_cache(args.cache_command, args.dir,
                          getattr(args, "json", False))
@@ -849,6 +974,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "jobs":
         return cmd_jobs(args.jobs_command, args.job_id, args.url,
                         args.token, args.state, args.out)
+    if args.command == "worker":
+        return cmd_worker(args.url, args.token, args.poll_s, args.lease_s,
+                          args.retries, args.timeout_s)
+    if args.command == "fabric":
+        return cmd_fabric(args.fabric_command, args.url, args.token,
+                          args.json)
     if args.command == "faults":
         return cmd_faults_run(args.schedule, args.gpus, args.config,
                               args.iterations, args.model, args.deadline_ms)

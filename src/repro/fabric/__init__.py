@@ -1,0 +1,51 @@
+"""Distributed runner fabric: multi-worker pull protocol.
+
+N worker processes (on any hosts that can reach the coordinator) pull
+:class:`~repro.runner.simpoint.SimPoint` work off a shared journaled
+queue, execute it through the inline self-healing Runner, and report
+completions exactly-once over the lease protocol.  The package also
+hosts the primitives the rest of the codebase shares:
+
+* :mod:`repro.fabric.lease` — lease/heartbeat/exactly-once mechanics
+  (consumed by :mod:`repro.service.queue` too);
+* :mod:`repro.fabric.transport` — the single HTTP client/server layer
+  and the typed :class:`ServiceError` hierarchy;
+* :mod:`repro.fabric.queue` — the journaled point queue;
+* :mod:`repro.fabric.worker` — the pull-loop worker (``repro worker``);
+* :mod:`repro.fabric.runner` — coordinator + the drop-in
+  :class:`FabricRunner` execution backend.
+"""
+
+from repro.fabric.lease import LeaseManager, atomic_write
+from repro.fabric.queue import ItemState, PointQueue, PointQueueError, WorkItem
+from repro.fabric.runner import FabricApp, FabricCoordinator, FabricRunner
+from repro.fabric.transport import (
+    ApiError,
+    HttpTransport,
+    InProcessTransport,
+    ServiceError,
+    Transport,
+    TransportError,
+)
+from repro.fabric.worker import FabricClient, FabricWorker, worker_id
+
+__all__ = [
+    "ApiError",
+    "FabricApp",
+    "FabricClient",
+    "FabricCoordinator",
+    "FabricRunner",
+    "FabricWorker",
+    "HttpTransport",
+    "InProcessTransport",
+    "ItemState",
+    "LeaseManager",
+    "PointQueue",
+    "PointQueueError",
+    "ServiceError",
+    "Transport",
+    "TransportError",
+    "WorkItem",
+    "atomic_write",
+    "worker_id",
+]

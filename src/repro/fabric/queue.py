@@ -1,0 +1,344 @@
+"""Journaled work queue of simulation points for the distributed fabric.
+
+The coordinator-side state of one fabric session: batches of
+:class:`~repro.runner.simpoint.SimPoint` become :class:`WorkItem`
+entries that remote workers lease, heartbeat, and complete exactly
+once.  The mechanics mirror the service's
+:class:`~repro.service.queue.JobQueue` — deliberately: both consume the
+same :class:`~repro.fabric.lease.LeaseManager` primitives and the same
+fsynced-JSONL :class:`~repro.runner.journal.RunJournal` discipline, so
+the lease/heartbeat/exactly-once logic exists in the codebase once.
+
+Exactly-once contract
+---------------------
+A point's result is written into the shared content-addressed
+:class:`~repro.runner.ResultCache` *before* ``point_done`` is journaled
+(the coordinator does both; see :mod:`repro.fabric.runner`).  The first
+completion wins: a late completion from a worker whose lease was
+reclaimed is journaled as a no-op duplicate — harmless, because the
+deterministic simulation wrote byte-identical bytes under the same
+content key — and the item reaches DONE exactly once.
+
+Item states::
+
+    PENDING -> LEASED -> DONE
+                      -> PENDING   (worker failed/vanished; retry)
+                      -> FAILED    (attempts exhausted: poison point)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.fabric.lease import LeaseManager
+from repro.runner.journal import RunJournal
+from repro.runner.simpoint import SimPoint
+
+__all__ = ["ItemState", "PointQueue", "PointQueueError", "WorkItem"]
+
+
+class PointQueueError(RuntimeError):
+    """An illegal work-item transition (unknown item, bad worker...)."""
+
+
+class ItemState:
+    """String constants for the work-item lifecycle."""
+
+    PENDING = "PENDING"
+    LEASED = "LEASED"
+    DONE = "DONE"
+    FAILED = "FAILED"
+
+    ALL = (PENDING, LEASED, DONE, FAILED)
+
+
+@dataclass
+class WorkItem:
+    """One leasable unit of work: a unique point within a batch."""
+
+    id: str
+    batch: int
+    key: str
+    describe: str
+    state: str = ItemState.PENDING
+    worker: str | None = None
+    lease_until: float | None = None
+    attempts: int = 0
+    recoveries: int = 0
+    error: str | None = None
+    completed_by: str | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-able form for journal records and status payloads."""
+        return asdict(self)
+
+
+class PointQueue:
+    """Lease-tracked point queue behind the fabric coordinator.
+
+    Thread-safe: the HTTP server dispatches worker requests from many
+    threads.  ``registry`` (optional) receives ``fabric_*`` counters.
+    """
+
+    def __init__(self, state_dir: str | Path, registry=None,
+                 lease_s: float = 30.0, retries: int = 1,
+                 max_recoveries: int = 3, clock=time.time) -> None:
+        self.state_dir = Path(state_dir)
+        self.journal = RunJournal(self.state_dir / "fabric.jsonl")
+        self.retries = int(retries)
+        self.leases = LeaseManager(active_states=(ItemState.LEASED,),
+                                   lease_s=lease_s,
+                                   max_recoveries=max_recoveries,
+                                   clock=clock)
+        self._lock = threading.RLock()
+        self._items: dict[str, WorkItem] = {}
+        self._points: dict[str, SimPoint] = {}
+        self._order: list[str] = []
+        self._next_batch = 0
+        #: worker id -> last contact timestamp (lease/heartbeat/complete).
+        self.workers_seen: dict[str, float] = {}
+        self._m_leases = self._m_heartbeats = self._m_completions = None
+        self._m_requeues = self._m_failures = self._m_depth = None
+        self._m_workers = None
+        if registry is not None:
+            self._m_leases = registry.counter(
+                "fabric_leases_total", "point leases granted to workers")
+            self._m_heartbeats = registry.counter(
+                "fabric_heartbeats_total", "lease heartbeats accepted")
+            self._m_completions = registry.counter(
+                "fabric_completions_total", "point completions reported",
+                labelnames=("status",))
+            self._m_requeues = registry.counter(
+                "fabric_requeues_total",
+                "leases reclaimed from dead or silent workers")
+            self._m_failures = registry.counter(
+                "fabric_failures_total", "worker-reported point failures")
+            self._m_depth = registry.gauge(
+                "fabric_queue_depth", "PENDING points awaiting a worker")
+            self._m_workers = registry.gauge(
+                "fabric_workers", "distinct workers seen within one lease")
+
+    # -- metric plumbing ---------------------------------------------------
+    def _update_gauges(self) -> None:
+        if self._m_depth is not None:
+            self._m_depth.set(sum(1 for i in self._items.values()
+                                  if i.state == ItemState.PENDING))
+        if self._m_workers is not None:
+            horizon = self.leases.clock() - self.leases.lease_s
+            self._m_workers.set(sum(1 for t in self.workers_seen.values()
+                                    if t >= horizon))
+
+    def _saw(self, worker: str) -> None:
+        self.workers_seen[str(worker)] = self.leases.clock()
+
+    # -- enqueue -----------------------------------------------------------
+    def enqueue(self, points: Sequence[SimPoint]) -> tuple[int, list[str]]:
+        """Add one batch; returns ``(batch id, item ids in order)``.
+
+        Points whose key is already tracked (pending, leased or done
+        from an earlier batch) attach to the existing item instead of
+        enqueuing a duplicate execution — the fabric-level analogue of
+        the runner's batch dedup.
+        """
+        with self._lock:
+            batch = self._next_batch
+            self._next_batch += 1
+            ids = []
+            for index, point in enumerate(points):
+                key = point.key()
+                existing = next((i for i in self._items.values()
+                                 if i.key == key
+                                 and i.state != ItemState.FAILED), None)
+                if existing is not None:
+                    ids.append(existing.id)
+                    continue
+                item = WorkItem(id=f"{batch}:{index}", batch=batch, key=key,
+                                describe=point.describe())
+                self._items[item.id] = item
+                self._points[item.id] = point
+                self._order.append(item.id)
+                self.journal.append("point_enqueued", id=item.id, key=key,
+                                    batch=batch, describe=item.describe)
+                ids.append(item.id)
+            self._update_gauges()
+            return batch, ids
+
+    # -- worker protocol ---------------------------------------------------
+    def lease(self, worker: str,
+              lease_s: float | None = None) -> WorkItem | None:
+        """Oldest PENDING item, leased to ``worker`` (``None`` = drained)."""
+        with self._lock:
+            self._saw(worker)
+            item = next((self._items[i] for i in self._order
+                         if self._items[i].state == ItemState.PENDING), None)
+            if item is None:
+                self._update_gauges()
+                return None
+            item.state = ItemState.LEASED
+            lease_until = self.leases.grant(item, worker, lease_s)
+            self.journal.append("point_leased", id=item.id, worker=worker,
+                                lease_until=lease_until,
+                                attempts=item.attempts)
+            if self._m_leases is not None:
+                self._m_leases.inc()
+            self._update_gauges()
+            return item
+
+    def point(self, item_id: str) -> SimPoint:
+        """The executable point behind one item."""
+        with self._lock:
+            if item_id not in self._points:
+                raise PointQueueError(f"unknown item {item_id!r}")
+            return self._points[item_id]
+
+    def heartbeat(self, worker: str, item_id: str,
+                  lease_s: float | None = None) -> bool:
+        """Refresh a live lease (in-memory only).  Returns ``False``
+        when the lease is no longer this worker's to refresh."""
+        with self._lock:
+            self._saw(worker)
+            item = self._items.get(item_id)
+            if item is None or item.worker != worker:
+                return False
+            ok = self.leases.refresh(item, lease_s)
+            if ok and self._m_heartbeats is not None:
+                self._m_heartbeats.inc()
+            return ok
+
+    def complete(self, worker: str, item_id: str) -> str:
+        """Record a completion; returns ``"done"``, ``"late"`` or
+        ``"duplicate"``.
+
+        Call only *after* the result bytes are durably in the shared
+        cache (result-before-journal).  The first completion journals
+        ``point_done``; a second is a no-op duplicate.  A completion
+        from a worker whose lease was reclaimed but whose item is still
+        un-done is accepted (``"late"``) — the result is deterministic
+        and already stored, so discarding it would only waste work.
+        """
+        with self._lock:
+            self._saw(worker)
+            item = self.get(item_id)
+            if item.state == ItemState.DONE:
+                if self._m_completions is not None:
+                    self._m_completions.labels(status="duplicate").inc()
+                return "duplicate"
+            status = "done" if item.worker == worker else "late"
+            item.state = ItemState.DONE
+            item.completed_by = str(worker)
+            item.error = None
+            self.leases.release(item)
+            self.journal.append("point_done", id=item.id, worker=worker,
+                                status=status)
+            if self._m_completions is not None:
+                self._m_completions.labels(status=status).inc()
+            self._update_gauges()
+            return status
+
+    def fail(self, worker: str, item_id: str, error: str) -> str:
+        """A worker reports a terminal point failure; returns the new
+        state (``PENDING`` for a retry, ``FAILED`` once attempts are
+        exhausted)."""
+        with self._lock:
+            self._saw(worker)
+            item = self.get(item_id)
+            if item.state == ItemState.DONE:
+                return ItemState.DONE
+            if self._m_failures is not None:
+                self._m_failures.inc()
+            if item.attempts > self.retries:
+                item.state = ItemState.FAILED
+                item.error = str(error)
+                self.leases.release(item)
+                self.journal.append("point_failed", id=item.id,
+                                    worker=worker, error=str(error))
+            else:
+                self._requeue(item, error=str(error))
+            self._update_gauges()
+            return item.state
+
+    # -- crash recovery ----------------------------------------------------
+    def _requeue(self, item: WorkItem, error: str | None = None,
+                 recovered: bool = False) -> None:
+        item.state = ItemState.PENDING
+        self.leases.release(item)
+        if error is not None:
+            item.error = str(error)
+        if recovered:
+            item.recoveries += 1
+        self.journal.append("point_requeued", id=item.id,
+                            recoveries=item.recoveries,
+                            **({"error": str(error)}
+                               if error is not None else {}))
+
+    def requeue_expired(self,
+                        skip_workers: frozenset[str] = frozenset()) -> list:
+        """Reclaim leases whose holder stopped heartbeating.
+
+        Uses the shared TOCTOU-closed sweep: a heartbeat arriving
+        mid-sweep rescues its item.  An item that has cycled through
+        too many dead workers is FAILED as poison instead of requeued
+        forever.
+        """
+        def reclaim(item: WorkItem) -> None:
+            if self.leases.should_quarantine(item):
+                item.state = ItemState.FAILED
+                item.error = (f"failed after {item.recoveries + 1} "
+                              f"dead-worker recoveries")
+                self.leases.release(item)
+                self.journal.append("point_failed", id=item.id,
+                                    worker=None, error=item.error)
+            else:
+                self._requeue(item, recovered=True)
+            if self._m_requeues is not None:
+                self._m_requeues.inc()
+
+        touched = self.leases.sweep_expired(
+            lambda: list(self._items.values()), lock=self._lock,
+            reclaim=reclaim, skip_workers=skip_workers)
+        with self._lock:
+            self._update_gauges()
+        return touched
+
+    # -- inspection --------------------------------------------------------
+    def get(self, item_id: str) -> WorkItem:
+        """The item, or :class:`PointQueueError` when unknown."""
+        with self._lock:
+            item = self._items.get(item_id)
+            if item is None:
+                raise PointQueueError(f"unknown item {item_id!r}")
+            return item
+
+    def items(self, batch: int | None = None,
+              state: str | None = None) -> list[WorkItem]:
+        """Items in enqueue order, optionally filtered."""
+        with self._lock:
+            return [self._items[i] for i in self._order
+                    if (batch is None or self._items[i].batch == batch)
+                    and (state is None or self._items[i].state == state)]
+
+    def batch_done(self, ids: Sequence[str]) -> bool:
+        """Whether every named item is terminal (DONE or FAILED)."""
+        with self._lock:
+            return all(self._items[i].state in (ItemState.DONE,
+                                                ItemState.FAILED)
+                       for i in ids)
+
+    def snapshot(self) -> dict:
+        """Counts + per-worker last-contact ages, for ``/status``."""
+        with self._lock:
+            now = self.leases.clock()
+            counts = {state: 0 for state in ItemState.ALL}
+            for item in self._items.values():
+                counts[item.state] += 1
+            return {
+                "items": len(self._items),
+                "states": counts,
+                "lease_s": self.leases.lease_s,
+                "workers": {w: round(now - t, 3)
+                            for w, t in sorted(self.workers_seen.items())},
+            }

@@ -1,0 +1,531 @@
+"""Coordinator side of the fabric: protocol app + drop-in runner.
+
+Three layers, mirroring the service's app/composition split:
+
+* :class:`FabricApp` — pure dispatch ``(method, path, headers, body) ->
+  (status, content_type, bytes)`` for the worker protocol, testable
+  without sockets through
+  :class:`~repro.fabric.transport.InProcessTransport`;
+* :class:`FabricCoordinator` — composition root owning the journaled
+  :class:`~repro.fabric.queue.PointQueue`, the shared
+  :class:`~repro.runner.cache.ResultCache` and the HTTP server.  Its
+  :meth:`~FabricCoordinator.complete` enforces the exactly-once order:
+  result bytes land in the cache *before* ``point_done`` is journaled;
+* :class:`FabricRunner` — presents the local
+  :class:`~repro.runner.pool.Runner` surface (``run``, ``run_points``,
+  ``stats``, ``meta``, ``quarantined``) over N remote pull-workers, so
+  ``repro run --backend fabric`` and the service scheduler target it
+  transparently.
+
+Protocol routes (all JSON)::
+
+    GET  /v1/fabric/status     queue snapshot + drain flag (unauth)
+    POST /v1/fabric/lease      {"worker", "lease_s"?} -> one leased
+                               item + its pickled point, or nothing
+                               (plus a "shutdown" hint when draining)
+    POST /v1/fabric/heartbeat  {"worker", "id"} -> {"ok": bool}
+    POST /v1/fabric/complete   {"worker", "id", "result"} -> {"status"}
+    POST /v1/fabric/fail       {"worker", "id", "error"} -> {"state"}
+
+Determinism contract: the fabric merges results **in input order from
+the shared cache**, exactly as the local runner does, so a sweep
+executed by two workers (even with one SIGKILLed mid-lease) returns
+values bit-identical to the serial run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.fabric.queue import ItemState, PointQueue, PointQueueError
+from repro.fabric.transport import serve_app_in_thread
+from repro.fabric.worker import decode_payload, encode_payload
+from repro.runner.cache import ResultCache
+from repro.runner.pool import RunnerError, RunnerStats
+from repro.runner.simpoint import SimPoint
+from repro.telemetry.metrics import MetricRegistry
+
+__all__ = ["FabricApp", "FabricCoordinator", "FabricRunner"]
+
+_JSON = "application/json"
+
+
+class FabricApp:
+    """Pure HTTP-shaped dispatch over a :class:`FabricCoordinator`."""
+
+    def __init__(self, coordinator: "FabricCoordinator",
+                 token: str | None = None) -> None:
+        self.coordinator = coordinator
+        self.token = token
+
+    # -- plumbing ----------------------------------------------------------
+    @staticmethod
+    def _json(status: int, payload) -> tuple[int, str, bytes]:
+        return status, _JSON, json.dumps(payload, indent=1).encode("utf-8")
+
+    @classmethod
+    def _error(cls, status: int, code: str,
+               message: str) -> tuple[int, str, bytes]:
+        """The same error envelope the service API uses."""
+        return cls._json(status, {"error": {"code": code,
+                                            "message": message}})
+
+    def handle(self, method: str, path: str, headers: dict | None = None,
+               body: bytes | None = None) -> tuple[int, str, bytes]:
+        """Dispatch one request; never raises (500 envelope instead)."""
+        headers = {k.lower(): v for k, v in (headers or {}).items()}
+        parts = [p for p in path.split("?")[0].split("/") if p]
+        try:
+            return self._dispatch(method.upper(), parts, headers, body)
+        except PointQueueError as err:
+            return self._error(404, "unknown_item", str(err))
+        except Exception as err:  # pragma: no cover - defensive
+            return self._error(500, "internal",
+                               f"{type(err).__name__}: {err}")
+
+    def _dispatch(self, method, parts, headers, body):
+        if len(parts) != 3 or parts[0] != "v1" or parts[1] != "fabric":
+            return self._error(404, "unknown_route",
+                               "fabric routes live under /v1/fabric/")
+        verb = parts[2]
+        if verb == "status" and method == "GET":
+            return self._json(200, {"fabric": self.coordinator.status()})
+        if method != "POST" or verb not in ("lease", "heartbeat",
+                                            "complete", "fail"):
+            return self._error(404, "unknown_route",
+                               f"no route {method} /v1/fabric/{verb}")
+        if self.token is not None:
+            if headers.get("authorization") != f"Bearer {self.token}":
+                return self._error(401, "unauthorized",
+                                   "missing or invalid bearer token")
+        try:
+            payload = json.loads((body or b"{}").decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as err:
+            return self._error(400, "bad_json", f"request body: {err}")
+        worker = payload.get("worker")
+        if not isinstance(worker, str) or not worker:
+            return self._error(400, "bad_request",
+                               '"worker" (non-empty string) is required')
+        if verb == "lease":
+            return self._lease(worker, payload)
+        item_id = payload.get("id")
+        if not isinstance(item_id, str):
+            return self._error(400, "bad_request", '"id" is required')
+        if verb == "heartbeat":
+            ok = self.coordinator.queue.heartbeat(worker, item_id)
+            return self._json(200, {"ok": ok})
+        if verb == "complete":
+            blob = payload.get("result")
+            if not isinstance(blob, str):
+                return self._error(400, "bad_request",
+                                   '"result" (base64 pickle) is required')
+            try:
+                value = decode_payload(blob)
+            except Exception as err:
+                return self._error(400, "bad_payload",
+                                   f"cannot decode result: {err}")
+            status = self.coordinator.complete(worker, item_id, value)
+            return self._json(200, {"status": status})
+        state = self.coordinator.queue.fail(
+            worker, item_id, str(payload.get("error", "worker failure")))
+        return self._json(200, {"state": state})
+
+    def _lease(self, worker: str, payload: dict):
+        lease_s = payload.get("lease_s")
+        item = self.coordinator.queue.lease(
+            worker, lease_s=float(lease_s) if lease_s is not None else None)
+        if item is None:
+            return self._json(200, {
+                "item": None, "point": None,
+                "shutdown": self.coordinator.draining})
+        point = self.coordinator.queue.point(item.id)
+        return self._json(200, {
+            "item": item.to_dict(),
+            "point": encode_payload(point),
+            "shutdown": False,
+        })
+
+
+class FabricCoordinator:
+    """Composition root: point queue + shared cache + HTTP endpoint.
+
+    :meth:`complete` is where the exactly-once ordering lives: the
+    decoded result is written to the shared cache (an atomic
+    temp-file + rename inside :meth:`ResultCache.put`) *before* the
+    queue journals ``point_done`` — a crash between the two replays
+    the point onto the same cache key and the sweep still yields one
+    result per point.
+    """
+
+    def __init__(self, state_dir: str | Path,
+                 cache: ResultCache | None = None,
+                 registry: MetricRegistry | None = None,
+                 lease_s: float = 30.0, retries: int = 1,
+                 max_recoveries: int = 3,
+                 token: str | None = None) -> None:
+        self.registry = registry if registry is not None else MetricRegistry()
+        self.queue = PointQueue(state_dir, registry=self.registry,
+                                lease_s=lease_s, retries=retries,
+                                max_recoveries=max_recoveries)
+        self.cache = cache
+        #: key -> value for this session (merge source when no cache).
+        self.results: dict = {}
+        self.draining = False
+        self.app = FabricApp(self, token=token)
+        self._server = None
+        self._thread = None
+        self.url: str | None = None
+
+    def complete(self, worker: str, item_id: str, value) -> str:
+        """Store the result durably, then record the completion."""
+        item = self.queue.get(item_id)
+        if self.cache is not None:
+            self.cache.put(item.key, value)
+        self.results[item.key] = value
+        return self.queue.complete(worker, item_id)
+
+    def value(self, key: str):
+        """A completed point's value (session memory, then cache)."""
+        if key in self.results:
+            return self.results[key]
+        if self.cache is not None:
+            return self.cache.get(key)
+        return None
+
+    def status(self) -> dict:
+        """Snapshot for ``/v1/fabric/status``."""
+        return {**self.queue.snapshot(), "draining": self.draining,
+                "url": self.url}
+
+    # -- HTTP lifecycle ----------------------------------------------------
+    def serve(self, host: str = "127.0.0.1", port: int = 0) -> str:
+        """Start the endpoint on a daemon thread; returns its URL."""
+        if self.url is None:
+            self._server, self._thread, self.url = serve_app_in_thread(
+                self.app.handle, host=host, port=port)
+        return self.url
+
+    def close(self) -> None:
+        """Flag draining and tear the HTTP endpoint down."""
+        self.draining = True
+        server, self._server = self._server, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        self.url = None
+
+
+class FabricRunner:
+    """The local Runner surface over a fleet of remote pull-workers.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes to spawn (``spawn="process"``/``"thread"``) or
+        merely expected (``spawn=None``: the caller starts workers by
+        hand, e.g. ``repro worker`` on other hosts).
+    cache / registry / progress / retries / timeout_s / failure_policy:
+        Exactly the local :class:`~repro.runner.pool.Runner` meanings —
+        ``retries`` is enforced by the *coordinator* (a failed point is
+        re-leased up to that many times), ``timeout_s`` by each worker's
+        heartbeat deadline (a point running past it loses its lease and
+        is reassigned; the stuck worker process stays busy, which is
+        the honest remote analogue of the pool watchdog's kill).
+    state_dir:
+        Where the fabric lease journal lives
+        (default ``bench_results/fabric``).
+    spawn:
+        ``"process"`` (default) launches ``repro worker`` subprocesses —
+        points must be importable in a fresh interpreter;
+        ``"thread"`` runs :class:`~repro.fabric.worker.FabricWorker`
+        loops on daemon threads of this process (tests, single-host);
+        ``None`` spawns nothing and waits for external workers.
+    """
+
+    def __init__(self, workers: int = 2,
+                 cache: ResultCache | None = None,
+                 registry: MetricRegistry | None = None,
+                 progress: Callable[[int, int, SimPoint, bool], None] | None = None,
+                 retries: int = 0,
+                 timeout_s: float | None = None,
+                 failure_policy: str = "raise",
+                 lease_s: float = 30.0,
+                 poll_s: float = 0.05,
+                 host: str = "127.0.0.1",
+                 port: int = 0,
+                 state_dir: str | Path | None = None,
+                 token: str | None = None,
+                 spawn: str | None = "process",
+                 max_recoveries: int = 3) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if failure_policy not in ("raise", "quarantine"):
+            raise ValueError(
+                f"failure_policy must be 'raise' or 'quarantine', "
+                f"got {failure_policy!r}")
+        if spawn not in (None, "process", "thread"):
+            raise ValueError("spawn must be 'process', 'thread' or None")
+        self.workers = int(workers)
+        self.cache = cache
+        self.progress = progress
+        self.retries = int(retries)
+        self.timeout_s = timeout_s
+        self.failure_policy = failure_policy
+        self.lease_s = float(lease_s)
+        self.poll_s = float(poll_s)
+        self.host = host
+        self.port = port
+        self.token = token
+        self.spawn = spawn
+        self.registry = registry if registry is not None else MetricRegistry()
+        state_dir = (Path(state_dir) if state_dir is not None
+                     else Path("bench_results") / "fabric")
+        self.coordinator = FabricCoordinator(
+            state_dir, cache=cache, registry=self.registry,
+            lease_s=lease_s, retries=self.retries,
+            max_recoveries=max_recoveries, token=token)
+        self.stats = RunnerStats()
+        self.quarantined: list[dict] = []
+        self._procs: list[subprocess.Popen] = []
+        self._thread_workers: list = []
+        self._m_points = self.registry.counter(
+            "runner_points_total", "simulation points resolved",
+            labelnames=("status",))
+        self._m_batches = self.registry.counter(
+            "runner_batches_total", "run() invocations")
+        self._m_seconds = self.registry.counter(
+            "runner_execute_seconds_total",
+            "host wall seconds spent executing points")
+        self._m_quarantined = self.registry.counter(
+            "runner_quarantined_total", "points quarantined after retries")
+        self._m_respawns = self.registry.counter(
+            "runner_pool_respawns_total", "worker pool respawns")
+        self._m_progress_errors = self.registry.counter(
+            "runner_progress_errors_total",
+            "exceptions swallowed from progress callbacks")
+        self._m_workers = self.registry.gauge(
+            "runner_workers", "configured worker processes")
+        self._m_workers.set(self.workers)
+
+    # -- worker fleet ------------------------------------------------------
+    @property
+    def url(self) -> str | None:
+        return self.coordinator.url
+
+    def start(self) -> str:
+        """Bring the endpoint up and the worker fleet to strength."""
+        url = self.coordinator.serve(host=self.host, port=self.port)
+        self._ensure_workers()
+        return url
+
+    def _worker_argv(self) -> list[str]:
+        argv = [sys.executable, "-m", "repro", "worker",
+                "--url", self.coordinator.url,
+                "--lease-s", str(self.lease_s),
+                "--poll-s", str(max(self.poll_s, 0.02))]
+        if self.timeout_s is not None:
+            argv += ["--timeout-s", str(self.timeout_s)]
+        if self.token is not None:
+            argv += ["--token", self.token]
+        return argv
+
+    def _ensure_workers(self) -> None:
+        """Spawn (and respawn) workers up to the configured width."""
+        if self.spawn is None or self.coordinator.draining:
+            return
+        if self.spawn == "thread":
+            from repro.fabric.transport import InProcessTransport
+            from repro.fabric.worker import FabricClient, FabricWorker
+
+            self._thread_workers = [
+                w for w in self._thread_workers if w[1].is_alive()]
+            while len(self._thread_workers) < self.workers:
+                index = len(self._thread_workers)
+                fabric_worker = FabricWorker(
+                    FabricClient(InProcessTransport(self.coordinator.app,
+                                                    token=self.token)),
+                    worker=f"thread:{os.getpid()}:{index}",
+                    poll_s=self.poll_s, lease_s=self.lease_s,
+                    timeout_s=self.timeout_s)
+                import threading
+
+                thread = threading.Thread(
+                    target=fabric_worker.run_forever,
+                    name=f"fabric-worker-{index}", daemon=True)
+                thread.start()
+                self._thread_workers.append((fabric_worker, thread))
+            return
+        live = []
+        for proc in self._procs:
+            if proc.poll() is None:
+                live.append(proc)
+            else:
+                self.stats.pool_respawns += 1
+                self._m_respawns.inc()
+        self._procs = live
+        while len(self._procs) < self.workers:
+            self._procs.append(subprocess.Popen(
+                self._worker_argv(),
+                stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL))
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of live spawned worker subprocesses."""
+        return [p.pid for p in self._procs if p.poll() is None]
+
+    # -- the core ----------------------------------------------------------
+    def run(self, points: Sequence[SimPoint]) -> list:
+        """Resolve every point via the fleet; results in input order."""
+        points = list(points)
+        self.start()
+        self._m_batches.inc()
+        self.stats.points += len(points)
+        results: list = [None] * len(points)
+        done = 0
+
+        groups: dict[str, list[int]] = {}
+        for i, point in enumerate(points):
+            groups.setdefault(point.key(), []).append(i)
+        self.stats.deduplicated += len(points) - len(groups)
+
+        def resolve(key: str, value, cached: bool,
+                    status: str | None = None) -> None:
+            nonlocal done
+            for i in groups[key]:
+                results[i] = value
+                done += 1
+                label = status or ("cache_hit" if cached else "executed")
+                self._m_points.labels(status=label).inc()
+                if cached:
+                    self.stats.cache_hits += 1
+                if self.progress is not None:
+                    try:
+                        self.progress(done, len(points), points[i], cached)
+                    except Exception:
+                        self.stats.progress_errors += 1
+                        self._m_progress_errors.inc()
+
+        todo: list[str] = []
+        for key in groups:
+            value = self.cache.get(key) if self.cache is not None else None
+            if value is not None:
+                resolve(key, value, cached=True)
+            else:
+                todo.append(key)
+
+        start = time.perf_counter()
+        if todo:
+            self._drive(points, groups, todo, resolve)
+        self.stats.executed += len(todo)
+        self.stats.execute_seconds += time.perf_counter() - start
+        self._m_seconds.inc(time.perf_counter() - start)
+        return results
+
+    def _drive(self, points, groups, todo, resolve) -> None:
+        """Enqueue the misses and poll the queue until all are terminal."""
+        queue = self.coordinator.queue
+        batch_points = [points[groups[key][0]] for key in todo]
+        _batch, ids = queue.enqueue(batch_points)
+        key_of = dict(zip(ids, todo))
+        pending = set(ids)
+        while pending:
+            for item_id in list(pending):
+                item = queue.get(item_id)
+                if item.state == ItemState.DONE:
+                    pending.discard(item_id)
+                    key = key_of[item_id]
+                    resolve(key, self.coordinator.value(key), cached=False)
+                elif item.state == ItemState.FAILED:
+                    pending.discard(item_id)
+                    self._terminal(key_of[item_id],
+                                   points[groups[key_of[item_id]][0]],
+                                   item.error, resolve)
+            if not pending:
+                break
+            queue.requeue_expired()
+            self._ensure_workers()
+            time.sleep(self.poll_s)
+
+    def _terminal(self, key, point, error, resolve) -> None:
+        if self.failure_policy == "quarantine":
+            self.stats.quarantined += 1
+            self._m_quarantined.inc()
+            self.quarantined.append({
+                "key": key,
+                "point": point.describe(),
+                "error": str(error),
+            })
+            resolve(key, None, cached=False, status="quarantined")
+            return
+        raise RunnerError(
+            f"point failed: {point.describe()} ({error})")
+
+    def run_points(self, points: Sequence[SimPoint], *,
+                   timeout_s: float | None = None,
+                   retries: int | None = None,
+                   on_progress: Callable | None = None) -> list:
+        """:class:`~repro.runner.backend.ExecutionBackend` entry point.
+
+        ``retries`` adjusts the coordinator's re-lease budget for this
+        batch; ``timeout_s`` applies to workers spawned from now on
+        (in-flight workers keep their configured deadline).
+        """
+        saved = (self.progress, self.coordinator.queue.retries,
+                 self.timeout_s)
+        if on_progress is not None:
+            self.progress = on_progress
+        if retries is not None:
+            self.coordinator.queue.retries = int(retries)
+        if timeout_s is not None:
+            self.timeout_s = timeout_s
+        try:
+            return self.run(points)
+        finally:
+            self.progress, self.coordinator.queue.retries, \
+                self.timeout_s = saved
+
+    # -- reporting / lifecycle ---------------------------------------------
+    def meta(self) -> dict:
+        """Runner metadata, same shape as the local Runner's."""
+        out = {"workers": self.workers, "backend": "fabric",
+               **self.stats.as_dict()}
+        if self.quarantined:
+            out["quarantined_points"] = [dict(q) for q in self.quarantined]
+        if self.cache is not None:
+            out["cache"] = self.cache.snapshot()
+        return out
+
+    def close(self, timeout_s: float = 10.0) -> None:
+        """Drain the fleet (shutdown hint), reap it, stop the server."""
+        self.coordinator.draining = True
+        deadline = time.monotonic() + timeout_s
+        for proc in self._procs:
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=2.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+        self._procs = []
+        for fabric_worker, thread in self._thread_workers:
+            fabric_worker.stop()
+        for fabric_worker, thread in self._thread_workers:
+            thread.join(timeout=max(0.1, deadline - time.monotonic()))
+        self._thread_workers = []
+        self.coordinator.close()
+
+    def __enter__(self) -> "FabricRunner":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,246 @@
+"""One HTTP transport + error-envelope layer for every client and server.
+
+The service client and the fabric's worker protocol speak the same
+dialect — JSON bodies, bearer tokens, one ``{"error": {"code",
+"message"}}`` envelope — so the plumbing lives here exactly once:
+
+* :class:`HttpTransport` — stdlib ``urllib`` with connection-level
+  retry/backoff (an HTTP *response*, any status, is never retried;
+  only requests that produced no response are);
+* :class:`InProcessTransport` — direct calls into a pure app's
+  ``handle(method, path, headers, body)``, no sockets, which is how
+  the test suites exercise full APIs without network access;
+* :func:`serve_app` / :func:`serve_app_in_thread` — the server half:
+  wrap any such pure app in a stdlib ``ThreadingHTTPServer``.
+
+Error hierarchy (single and typed, replacing ad-hoc ``RuntimeError``
+and bare ``URLError`` leakage)::
+
+    ServiceError              any client-side service/fabric failure
+    ├── ApiError              the server answered with a non-2xx
+    │                         envelope (carries status/code/message)
+    └── TransportError        the request never produced a response
+                              (connection refused, timeout, DNS...)
+
+Catching :class:`ServiceError` therefore covers everything a remote
+call can throw.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+__all__ = [
+    "ApiError",
+    "HttpTransport",
+    "InProcessTransport",
+    "ServiceError",
+    "Transport",
+    "TransportError",
+    "serve_app",
+    "serve_app_in_thread",
+]
+
+
+class ServiceError(RuntimeError):
+    """Base of every failure a service/fabric client call can raise."""
+
+
+class ApiError(ServiceError):
+    """A non-2xx API response, decoded from the error envelope."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(f"[{status} {code}] {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+class TransportError(ServiceError):
+    """The request never produced an HTTP response."""
+
+    def __init__(self, message: str,
+                 cause: BaseException | None = None) -> None:
+        super().__init__(message)
+        self.cause = cause
+
+
+class Transport:
+    """Request plumbing shared by every client; subclasses move bytes."""
+
+    def __init__(self, token: str | None = None) -> None:
+        self.token = token
+
+    def headers(self) -> dict:
+        """Standard request headers (JSON + optional bearer token)."""
+        headers = {"Content-Type": "application/json"}
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
+        return headers
+
+    def request(self, method: str, path: str,
+                payload: dict | None = None) -> tuple[int, bytes]:
+        """One request; returns ``(status, body bytes)`` or raises
+        :class:`TransportError`."""
+        raise NotImplementedError
+
+    # -- decoded conveniences ----------------------------------------------
+    def json(self, method: str, path: str,
+             payload: dict | None = None) -> dict:
+        """Request + JSON decode; non-2xx raises :class:`ApiError`."""
+        status, data = self.request(method, path, payload)
+        try:
+            doc = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            doc = {}
+        if status >= 400:
+            raise self.error(status, data, doc)
+        return doc if isinstance(doc, dict) else {}
+
+    def bytes(self, method: str, path: str,
+              payload: dict | None = None) -> bytes:
+        """Request returning the raw body; non-2xx raises
+        :class:`ApiError` (envelope decoded when present)."""
+        status, data = self.request(method, path, payload)
+        if status >= 400:
+            try:
+                doc = json.loads(data.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                doc = {}
+            raise self.error(status, data, doc)
+        return data
+
+    @staticmethod
+    def error(status: int, data: bytes, doc) -> ApiError:
+        """Build the :class:`ApiError` for one non-2xx response."""
+        envelope = doc.get("error", {}) if isinstance(doc, dict) else {}
+        return ApiError(status, envelope.get("code", "error"),
+                        envelope.get("message",
+                                     data[:200].decode("utf-8", "replace")))
+
+
+class HttpTransport(Transport):
+    """Real HTTP over stdlib ``urllib`` with connection-level retry.
+
+    Only requests that produced *no response* are retried (connection
+    refused, timeout, reset): the server never saw or fully answered
+    them, so retrying cannot double-apply an effect the caller will
+    observe — lease grants lost this way simply expire and requeue.
+    An HTTP response, whatever the status, is returned/raised as-is.
+    """
+
+    def __init__(self, url: str, token: str | None = None,
+                 timeout_s: float = 30.0, retries: int = 2,
+                 backoff_s: float = 0.1) -> None:
+        super().__init__(token=token)
+        self.url = url.rstrip("/")
+        self.timeout_s = float(timeout_s)
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
+
+    def request(self, method: str, path: str,
+                payload: dict | None = None) -> tuple[int, bytes]:
+        body = (json.dumps(payload).encode("utf-8")
+                if payload is not None else None)
+        last: BaseException | None = None
+        for attempt in range(self.retries + 1):
+            request = urllib.request.Request(
+                self.url + path, data=body, method=method,
+                headers=self.headers())
+            try:
+                with urllib.request.urlopen(
+                        request, timeout=self.timeout_s) as response:
+                    return response.status, response.read()
+            except urllib.error.HTTPError as err:
+                # An HTTP response *is* an answer; never retried.
+                return err.code, err.read()
+            except (urllib.error.URLError, OSError, TimeoutError) as err:
+                last = err
+                if attempt < self.retries:
+                    time.sleep(self.backoff_s * (2 ** attempt))
+        raise TransportError(
+            f"cannot reach {self.url}{path} "
+            f"after {self.retries + 1} attempt(s): {last}", cause=last)
+
+
+class InProcessTransport(Transport):
+    """Direct dispatch into a pure app — no sockets, same semantics."""
+
+    def __init__(self, app, token: str | None = None) -> None:
+        super().__init__(token=token)
+        self.app = app
+
+    def request(self, method: str, path: str,
+                payload: dict | None = None) -> tuple[int, bytes]:
+        body = (json.dumps(payload).encode("utf-8")
+                if payload is not None else None)
+        status, _ctype, data = self.app.handle(
+            method, path, self.headers(), body)
+        return status, data
+
+
+# -- the server half -------------------------------------------------------
+
+class _AppHandler(BaseHTTPRequestHandler):
+    """Thin adapter from the socket layer onto a pure app ``handle``."""
+
+    handle_fn: Callable  # set by serve_app()
+    protocol_version = "HTTP/1.1"
+
+    def _serve(self, method: str) -> None:
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else b""
+        status, ctype, payload = type(self).handle_fn(
+            method, self.path, dict(self.headers.items()), body)
+        self.send_response(status)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        self._serve("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._serve("POST")
+
+    def log_message(self, fmt: str, *args) -> None:
+        # Request accounting belongs in the app's metrics, not stderr.
+        pass
+
+
+def serve_app(handle: Callable, host: str = "127.0.0.1",
+              port: int = 0) -> ThreadingHTTPServer:
+    """Bind a ``ThreadingHTTPServer`` around a pure app ``handle``.
+
+    ``handle`` is ``(method, path, headers, body) -> (status,
+    content_type, payload bytes)``.  Returns the bound (not yet
+    serving) server; ``server.server_address`` carries the ephemeral
+    port when ``port=0``.  The caller owns ``serve_forever()`` /
+    ``shutdown()`` / ``server_close()``.
+    """
+    handler = type("BoundAppHandler", (_AppHandler,),
+                   {"handle_fn": staticmethod(handle)})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server
+
+
+def serve_app_in_thread(handle: Callable, host: str = "127.0.0.1",
+                        port: int = 0) -> tuple[ThreadingHTTPServer,
+                                                threading.Thread, str]:
+    """:func:`serve_app` + a daemon serving thread; returns
+    ``(server, thread, url)``."""
+    server = serve_app(handle, host=host, port=port)
+    thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.1},
+        name="repro-app-server", daemon=True)
+    thread.start()
+    bound_host, bound_port = server.server_address[0], server.server_address[1]
+    return server, thread, f"http://{bound_host}:{bound_port}"

@@ -1,0 +1,263 @@
+"""The fabric worker: pull → lease → run → report, until drained.
+
+A :class:`FabricWorker` is one executor process (spawnable on any host
+that can reach the coordinator's HTTP endpoint).  Its loop:
+
+1. **pull** — ``POST /v1/fabric/lease`` asks for work; the coordinator
+   answers with one leased item + its pickled point, or nothing (plus a
+   ``shutdown`` hint once the session is draining);
+2. **run** — the point executes through an *inline* self-healing
+   :class:`~repro.runner.pool.Runner` (``workers=0``), so the local
+   retry/backoff/quarantine machinery is exactly the one serial runs
+   use;
+3. **heartbeat** — a background thread refreshes the lease while the
+   point runs.  With ``timeout_s`` set it deliberately *stops*
+   refreshing past the deadline: inline execution cannot be interrupted,
+   so "this worker's point timed out" is expressed by letting the lease
+   lapse and the coordinator reassign the item — the fabric analogue of
+   the pool watchdog killing a worker process;
+4. **report** — success ships the pickled result back
+   (``/v1/fabric/complete``); a terminal failure reports
+   ``/v1/fabric/fail`` and lets the coordinator's retry policy decide.
+
+Graceful drain: :meth:`FabricWorker.stop` (wired to SIGTERM by ``repro
+worker``) lets the in-flight point finish and report before the loop
+exits; only SIGKILL abandons a lease, and that is precisely the case
+the lease expiry + requeue protocol recovers.
+"""
+
+from __future__ import annotations
+
+import base64
+import pickle
+import socket
+import threading
+import time
+
+from repro.fabric.transport import ApiError, Transport, TransportError
+from repro.runner.pool import Runner, RunnerError
+from repro.telemetry.metrics import MetricRegistry
+
+__all__ = ["FabricClient", "FabricWorker", "decode_payload",
+           "encode_payload", "worker_id"]
+
+
+def encode_payload(obj) -> str:
+    """Pickle + base64 an object for a JSON protocol body."""
+    return base64.b64encode(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)).decode("ascii")
+
+
+def decode_payload(blob: str):
+    """Inverse of :func:`encode_payload`."""
+    return pickle.loads(base64.b64decode(blob.encode("ascii")))
+
+
+def worker_id() -> str:
+    """Default identity: ``host:pid`` (unique across a cluster)."""
+    import os
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+class FabricClient:
+    """Typed client for the fabric worker protocol.
+
+    Speaks through any :class:`~repro.fabric.transport.Transport`
+    (HTTP to a remote coordinator, or in-process for tests) — the same
+    shared layer :class:`~repro.service.client.ServiceClient` uses.
+    """
+
+    def __init__(self, transport: Transport) -> None:
+        self.transport = transport
+
+    def status(self) -> dict:
+        """Coordinator queue snapshot (``repro fabric status``)."""
+        return self.transport.json("GET", "/v1/fabric/status")["fabric"]
+
+    def lease(self, worker: str, lease_s: float | None = None) -> dict:
+        """Ask for work.  Returns the response document:
+        ``{"item": {...}|None, "point": b64|None, "shutdown": bool}``."""
+        payload = {"worker": worker}
+        if lease_s is not None:
+            payload["lease_s"] = lease_s
+        return self.transport.json("POST", "/v1/fabric/lease", payload)
+
+    def heartbeat(self, worker: str, item_id: str) -> bool:
+        """Refresh a lease; ``False`` means it is no longer ours."""
+        doc = self.transport.json("POST", "/v1/fabric/heartbeat",
+                                  {"worker": worker, "id": item_id})
+        return bool(doc.get("ok"))
+
+    def complete(self, worker: str, item_id: str, value) -> str:
+        """Ship a result; returns ``done`` / ``late`` / ``duplicate``."""
+        doc = self.transport.json(
+            "POST", "/v1/fabric/complete",
+            {"worker": worker, "id": item_id,
+             "result": encode_payload(value)})
+        return str(doc.get("status", "done"))
+
+    def fail(self, worker: str, item_id: str, error: str) -> str:
+        """Report a terminal point failure; returns the item's new state."""
+        doc = self.transport.json(
+            "POST", "/v1/fabric/fail",
+            {"worker": worker, "id": item_id, "error": str(error)})
+        return str(doc.get("state", ""))
+
+
+class _Heartbeat:
+    """Background lease refresher for one in-flight item.
+
+    Refreshes every ``lease_s / 3``.  Past ``deadline`` (the worker's
+    ``timeout_s`` budget) it stops refreshing on purpose, so the lease
+    lapses and the coordinator reassigns the point.
+    """
+
+    def __init__(self, client: FabricClient, worker: str, item_id: str,
+                 lease_s: float, deadline: float | None) -> None:
+        self.client = client
+        self.worker = worker
+        self.item_id = item_id
+        self.interval = max(0.05, lease_s / 3.0)
+        self.deadline = deadline
+        self.lost = threading.Event()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name=f"fabric-heartbeat-{item_id}",
+            daemon=True)
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+    def _loop(self) -> None:
+        start = time.monotonic()
+        while not self._stop.wait(self.interval):
+            if self.deadline is not None \
+                    and time.monotonic() - start > self.deadline:
+                return  # let the lease lapse: this point timed out
+            try:
+                if not self.client.heartbeat(self.worker, self.item_id):
+                    self.lost.set()
+                    return
+            except (TransportError, ApiError):
+                # Transient coordinator unreachability: keep trying; the
+                # lease survives as long as one refresh lands in time.
+                continue
+
+
+class FabricWorker:
+    """One pull-loop executor process.
+
+    Parameters
+    ----------
+    client:
+        A :class:`FabricClient` pointed at the coordinator.
+    worker:
+        Identity reported on every protocol call (default ``host:pid``).
+    poll_s:
+        Idle sleep between empty pulls while the queue is open.
+    lease_s:
+        Lease duration to request; heartbeats run at a third of it.
+    retries / timeout_s:
+        Local inline-runner retry budget and the heartbeat deadline
+        (see module docstring for the timeout semantics).
+    registry:
+        Optional :class:`~repro.telemetry.MetricRegistry` for
+        worker-side ``fabric_worker_*`` counters.
+    """
+
+    def __init__(self, client: FabricClient, worker: str | None = None,
+                 poll_s: float = 0.1, lease_s: float = 30.0,
+                 retries: int = 0, timeout_s: float | None = None,
+                 registry: MetricRegistry | None = None) -> None:
+        self.client = client
+        self.worker = worker if worker is not None else worker_id()
+        self.poll_s = float(poll_s)
+        self.lease_s = float(lease_s)
+        self.timeout_s = timeout_s
+        self.registry = registry if registry is not None else MetricRegistry()
+        self.runner = Runner(workers=0, retries=retries,
+                             registry=self.registry,
+                             failure_policy="raise")
+        self._stop = threading.Event()
+        self.done = 0
+        self.failed = 0
+        self._m_done = self.registry.counter(
+            "fabric_worker_points_total", "points this worker resolved",
+            labelnames=("status",))
+
+    def stop(self) -> None:
+        """Graceful drain: finish the in-flight point, then exit."""
+        self._stop.set()
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop.is_set()
+
+    # -- the loop ----------------------------------------------------------
+    def run_forever(self) -> int:
+        """Pull until the coordinator drains (or :meth:`stop`).
+
+        Returns the number of points completed.  Coordinator
+        unreachability is retried with the transport's backoff and then
+        treated as a drain — a vanished coordinator has reclaimed (or
+        lost) our leases either way.
+        """
+        while not self._stop.is_set():
+            try:
+                doc = self.client.lease(self.worker, lease_s=self.lease_s)
+            except (TransportError, ApiError):
+                break
+            item = doc.get("item")
+            if item is None:
+                if doc.get("shutdown"):
+                    break
+                self._stop.wait(self.poll_s)
+                continue
+            self._run_one(item["id"], decode_payload(doc["point"]))
+        return self.done
+
+    def run_one(self) -> bool:
+        """Pull and run a single point (tests); ``True`` if one ran."""
+        doc = self.client.lease(self.worker, lease_s=self.lease_s)
+        item = doc.get("item")
+        if item is None:
+            return False
+        self._run_one(item["id"], decode_payload(doc["point"]))
+        return True
+
+    def _run_one(self, item_id: str, point) -> None:
+        with _Heartbeat(self.client, self.worker, item_id,
+                        self.lease_s, self.timeout_s) as beat:
+            try:
+                value = self.runner.run([point])[0]
+            except KeyboardInterrupt:
+                raise
+            except (RunnerError, Exception) as exc:
+                self.failed += 1
+                self._m_done.labels(status="failed").inc()
+                self._report(lambda: self.client.fail(
+                    self.worker, item_id, repr(exc)))
+                return
+        if beat.lost.is_set():
+            # Our lease was reclaimed mid-run; the result is still
+            # deterministic and worth shipping (the coordinator counts
+            # it as a late completion).
+            pass
+        self.done += 1
+        self._m_done.labels(status="done").inc()
+        self._report(lambda: self.client.complete(
+            self.worker, item_id, value))
+
+    @staticmethod
+    def _report(call) -> None:
+        """Best-effort report: an unreachable coordinator must not kill
+        the worker loop — the lease protocol recovers the item."""
+        try:
+            call()
+        except (TransportError, ApiError):
+            pass

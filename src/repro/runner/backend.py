@@ -1,0 +1,49 @@
+"""The unified execution-backend protocol.
+
+Three things execute batches of simulation points — the local
+:class:`~repro.runner.pool.Runner`, the service scheduler's job
+execution, and the distributed
+:class:`~repro.fabric.runner.FabricRunner` — and they all present this
+one surface, so callers (experiment drivers, ``repro run``, the
+scheduler) are backend-agnostic:
+
+* ``run_points(points, *, timeout_s=None, retries=None,
+  on_progress=None) -> list`` — resolve a batch, results in input
+  order; the keyword-only overrides apply to that batch;
+* ``stats`` — a :class:`~repro.runner.pool.RunnerStats`;
+* ``meta()`` — accounting dict for result envelopes;
+* ``quarantined`` — terminal failures recorded under
+  ``failure_policy="quarantine"``.
+
+Parameter names are deliberately uniform everywhere: ``timeout_s``
+(never ``timeout``), ``retries``, ``workers``, ``on_progress``.  Old
+spellings keep working through :func:`repro.bench.compat.deprecated_kwargs`
+shims at the call sites that historically accepted them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, Sequence, runtime_checkable
+
+from repro.runner.simpoint import SimPoint
+
+__all__ = ["ExecutionBackend", "ProgressFn"]
+
+#: ``on_progress(done, total, point, cached)`` — fired per resolved point.
+ProgressFn = Callable[[int, int, SimPoint, bool], None]
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """What every point-execution engine exposes."""
+
+    def run_points(self, points: Sequence[SimPoint], *,
+                   timeout_s: float | None = None,
+                   retries: int | None = None,
+                   on_progress: ProgressFn | None = None) -> list:
+        """Resolve ``points``; results return in input order."""
+        ...
+
+    def meta(self) -> dict:
+        """Accounting for result envelopes (workers, hits, retries...)."""
+        ...

@@ -67,6 +67,14 @@ def sweep_stale_tmp(directory: str | Path,
     return removed
 
 
+#: Numeric fields of :meth:`ResultCache.snapshot` exported as telemetry.
+#: `repro cache stats --json` and the service's ``/v1/metrics``
+#: ``service_cache{field=...}`` gauges both publish exactly these, so the
+#: CLI and the API can never drift apart on the schema.
+SNAPSHOT_STAT_FIELDS = ("entries", "total_bytes", "hits", "misses",
+                        "hit_ratio")
+
+
 @dataclass
 class CacheStats:
     """Lookup accounting for one :class:`ResultCache` instance."""

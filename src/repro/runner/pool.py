@@ -47,6 +47,7 @@ import json
 import os
 import random
 import time
+import warnings
 from collections import deque
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -352,6 +353,30 @@ class Runner:
         if self.cache is not None:
             self.cache.put(key, value)
 
+    # -- the unified backend surface ---------------------------------------
+    def run_points(self, points: Sequence[SimPoint], *,
+                   timeout_s: float | None = None,
+                   retries: int | None = None,
+                   on_progress: Callable[[int, int, SimPoint, bool], None] | None = None,
+                   ) -> list:
+        """:class:`~repro.runner.backend.ExecutionBackend` entry point.
+
+        Identical to :meth:`run`, with per-batch overrides: any of the
+        keyword-only arguments set here replaces the runner's configured
+        value for this batch alone (restored afterwards).
+        """
+        saved = (self.timeout_s, self.retries, self.progress)
+        if timeout_s is not None:
+            self.timeout_s = timeout_s
+        if retries is not None:
+            self.retries = int(retries)
+        if on_progress is not None:
+            self.progress = on_progress
+        try:
+            return self.run(points)
+        finally:
+            self.timeout_s, self.retries, self.progress = saved
+
     # -- reporting ---------------------------------------------------------
     def meta(self) -> dict:
         """Runner metadata for :class:`~repro.bench.harness.ExperimentResult`."""
@@ -534,15 +559,65 @@ class _PoolDriver:
         pool.shutdown(wait=False, cancel_futures=True)
 
 
-def run_points(points: Sequence[SimPoint], workers: int = 0,
-               cache: ResultCache | None = None,
-               registry: MetricRegistry | None = None,
-               progress: Callable[[int, int, SimPoint, bool], None] | None = None,
-               **kwargs) -> list:
+_LEGACY_WARNED: set[str] = set()
+
+
+def _warn_legacy(key: str, message: str) -> None:
+    """Warn once per process about a deprecated calling convention."""
+    if key not in _LEGACY_WARNED:
+        _LEGACY_WARNED.add(key)
+        warnings.warn(message, DeprecationWarning, stacklevel=3)
+
+
+def _run_points(points: Sequence[SimPoint], *legacy, workers: int = 0,
+                cache: ResultCache | None = None,
+                registry: MetricRegistry | None = None,
+                on_progress: Callable[[int, int, SimPoint, bool], None] | None = None,
+                **kwargs) -> list:
     """One-shot convenience: build a :class:`Runner` and resolve ``points``.
 
-    Extra keyword arguments (``retries``, ``timeout_s``,
-    ``failure_policy``, ...) pass through to :class:`Runner`.
+    Keyword-only (the :class:`~repro.runner.backend.ExecutionBackend`
+    spellings: ``workers``, ``timeout_s``, ``retries``,
+    ``on_progress``); extra keywords (``retries``, ``timeout_s``,
+    ``failure_policy``, ...) pass through to :class:`Runner`.  The
+    historical positional ``(workers, cache, registry, progress)`` and
+    ``progress=`` / ``timeout=`` spellings keep working through
+    deprecation shims that warn once per process.
     """
+    if legacy:
+        if len(legacy) > 4:
+            raise TypeError(
+                f"run_points() takes at most 5 positional arguments "
+                f"({1 + len(legacy)} given)")
+        _warn_legacy(
+            "run_points:positional",
+            "run_points() positional workers/cache/registry/progress "
+            "arguments are deprecated; pass them as keywords")
+        resolved = {"workers": workers, "cache": cache,
+                    "registry": registry, "on_progress": on_progress}
+        for name, value in zip(("workers", "cache", "registry",
+                                "on_progress"), legacy):
+            resolved[name] = value
+        workers, cache, registry, on_progress = (
+            resolved["workers"], resolved["cache"], resolved["registry"],
+            resolved["on_progress"])
     return Runner(workers=workers, cache=cache, registry=registry,
-                  progress=progress, **kwargs).run(points)
+                  progress=on_progress, **kwargs).run(points)
+
+
+_run_points_shimmed = None
+
+
+def run_points(points: Sequence[SimPoint], *legacy, **kwargs) -> list:
+    """Keyword-only :func:`_run_points` behind the ``bench.compat``
+    deprecation shims (``progress=`` -> ``on_progress``, ``timeout=``
+    -> ``timeout_s``).  The shim wraps lazily because
+    :mod:`repro.bench` imports this package at module scope.
+    """
+    global _run_points_shimmed
+    if _run_points_shimmed is None:
+        from repro.bench.compat import deprecated_kwargs
+
+        _run_points_shimmed = deprecated_kwargs(
+            progress="on_progress", timeout="timeout_s")(_run_points)
+    return _run_points_shimmed(points, *legacy, **kwargs)

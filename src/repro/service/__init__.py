@@ -30,7 +30,12 @@ ls|show|result|cancel``.
 """
 
 from repro.service.api import Service, ServiceApp, serve, serve_in_thread
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import (
+    ApiError,
+    ServiceClient,
+    ServiceError,
+    TransportError,
+)
 from repro.service.config import (
     AuthError,
     QuotaError,
@@ -53,6 +58,7 @@ from repro.service.scheduler import Scheduler, points_envelope, write_result
 __all__ = [
     "ACTIVE_STATES",
     "TERMINAL_STATES",
+    "ApiError",
     "AuthError",
     "Job",
     "JobQueue",
@@ -67,6 +73,7 @@ __all__ = [
     "ServiceError",
     "SpecError",
     "TokenAuth",
+    "TransportError",
     "build_points",
     "parse_spec",
     "points_envelope",

@@ -34,10 +34,11 @@ from __future__ import annotations
 import json
 import threading
 import time
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
+from repro.fabric.transport import serve_app
 from repro.runner import ResultCache
+from repro.runner.cache import SNAPSHOT_STAT_FIELDS
 from repro.service.config import AuthError, QuotaError, ServiceConfig, TokenAuth
 from repro.service.jobs import JobState, SpecError, parse_spec
 from repro.service.queue import JobQueue, QueueError
@@ -176,13 +177,13 @@ class ServiceApp:
 
         service = self.service
         # One code path with `repro cache stats`: the cache snapshot
-        # feeds both the CLI and these gauges.
+        # feeds both the CLI and these gauges, and SNAPSHOT_STAT_FIELDS
+        # pins the shared schema.
         snap = service.cache.snapshot()
         gauges = service.registry.gauge(
             "service_cache", "result-cache state from ResultCache.snapshot",
             labelnames=("field",))
-        for fieldname in ("entries", "total_bytes", "hits", "misses",
-                          "hit_ratio"):
+        for fieldname in SNAPSHOT_STAT_FIELDS:
             gauges.labels(field=fieldname).set(float(snap[fieldname]))
         text = to_prometheus(service.registry)
         return 200, _PROM, text.encode("utf-8")
@@ -251,37 +252,13 @@ class ServiceApp:
         return self._json(200, {"job": job.to_dict()})
 
 
-class _Handler(BaseHTTPRequestHandler):
-    """Thin adapter from the socket layer onto :meth:`ServiceApp.handle`."""
-
-    app: ServiceApp  # set by serve()
-    protocol_version = "HTTP/1.1"
-
-    def _serve(self, method: str) -> None:
-        length = int(self.headers.get("Content-Length") or 0)
-        body = self.rfile.read(length) if length else b""
-        status, ctype, payload = self.app.handle(
-            method, self.path, dict(self.headers.items()), body)
-        self.send_response(status)
-        self.send_header("Content-Type", ctype)
-        self.send_header("Content-Length", str(len(payload)))
-        self.end_headers()
-        self.wfile.write(payload)
-
-    def do_GET(self) -> None:  # noqa: N802 - http.server naming
-        self._serve("GET")
-
-    def do_POST(self) -> None:  # noqa: N802
-        self._serve("POST")
-
-    def log_message(self, fmt: str, *args) -> None:
-        # Request accounting goes through service_requests_total, not
-        # stderr chatter.
-        pass
-
-
 def serve(service: Service, ready=None) -> None:
     """Run the blocking HTTP server for an already-started service.
+
+    The socket layer is the shared
+    :func:`repro.fabric.transport.serve_app` adapter (the same one the
+    fabric coordinator binds), so there is exactly one stdlib HTTP
+    server implementation in the tree.
 
     ``ready`` (optional) is called with the bound ``(host, port)`` once
     the socket is listening — with ``port=0`` this is how the caller
@@ -289,10 +266,8 @@ def serve(service: Service, ready=None) -> None:
     invoked (the handler thread installs it on the service as
     ``service.http_server`` for exactly that purpose).
     """
-    handler = type("BoundHandler", (_Handler,), {"app": service.app})
-    server = ThreadingHTTPServer(
-        (service.config.host, service.config.port), handler)
-    server.daemon_threads = True
+    server = serve_app(service.app.handle, host=service.config.host,
+                       port=service.config.port)
     service.http_server = server
     if ready is not None:
         ready(server.server_address[0], server.server_address[1])

@@ -1,105 +1,71 @@
 """Service client: one call surface over HTTP or in-process dispatch.
 
-Two transports behind the same methods:
+Two transports behind the same methods, both provided by the shared
+:mod:`repro.fabric.transport` layer (no HTTP plumbing lives here):
 
-* ``ServiceClient(url=..., token=...)`` — real HTTP via stdlib
-  ``urllib.request`` (what ``repro submit`` / ``repro jobs`` use);
-* ``ServiceClient(app=service.app, token=...)`` — direct calls into
-  :meth:`~repro.service.api.ServiceApp.handle`, no sockets at all,
-  which is how the test suite exercises the full API without network
-  access.
+* ``ServiceClient(url=..., token=...)`` —
+  :class:`~repro.fabric.transport.HttpTransport` (what ``repro
+  submit`` / ``repro jobs`` use), with connection-level retry/backoff;
+* ``ServiceClient(app=service.app, token=...)`` —
+  :class:`~repro.fabric.transport.InProcessTransport` calling straight
+  into :meth:`~repro.service.api.ServiceApp.handle`, no sockets at
+  all, which is how the test suite exercises the full API.
 
-Every non-2xx response raises :class:`ServiceError` carrying the
-server's error envelope (``status``, ``code``, ``message``).
+Errors are the shared typed hierarchy: a non-2xx response raises
+:class:`~repro.fabric.transport.ApiError` (``status`` / ``code`` /
+``message`` from the envelope); a request that produced no response
+raises :class:`~repro.fabric.transport.TransportError`.  Both derive
+from :class:`~repro.fabric.transport.ServiceError`, re-exported here,
+so ``except ServiceError`` covers everything a remote call can throw.
 """
 
 from __future__ import annotations
 
-import json
 import time
-import urllib.error
-import urllib.request
 
-__all__ = ["ServiceClient", "ServiceError"]
+from repro.bench.compat import deprecated_kwargs
+from repro.fabric.transport import (
+    ApiError,
+    HttpTransport,
+    InProcessTransport,
+    ServiceError,
+    Transport,
+    TransportError,
+)
 
-
-class ServiceError(RuntimeError):
-    """A non-2xx API response, decoded from the error envelope."""
-
-    def __init__(self, status: int, code: str, message: str) -> None:
-        super().__init__(f"[{status} {code}] {message}")
-        self.status = status
-        self.code = code
-        self.message = message
+__all__ = ["ApiError", "ServiceClient", "ServiceError", "TransportError"]
 
 
 class ServiceClient:
     """Typed convenience methods over the service's REST routes."""
 
+    @deprecated_kwargs(timeout="timeout_s")
     def __init__(self, url: str | None = None, token: str | None = None,
-                 app=None, timeout: float = 30.0) -> None:
+                 app=None, timeout_s: float = 30.0) -> None:
         if (url is None) == (app is None):
             raise ValueError("pass exactly one of url= or app=")
+        if url is not None:
+            self.transport: Transport = HttpTransport(
+                url, token=token, timeout_s=timeout_s)
+        else:
+            self.transport = InProcessTransport(app, token=token)
         self.url = url.rstrip("/") if url is not None else None
         self.app = app
         self.token = token
-        self.timeout = timeout
-
-    # -- transport ---------------------------------------------------------
-    def _headers(self) -> dict:
-        headers = {"Content-Type": "application/json"}
-        if self.token is not None:
-            headers["Authorization"] = f"Bearer {self.token}"
-        return headers
-
-    def _request(self, method: str, path: str,
-                 payload: dict | None = None) -> tuple[int, bytes]:
-        body = (json.dumps(payload).encode("utf-8")
-                if payload is not None else None)
-        if self.app is not None:
-            status, _ctype, data = self.app.handle(
-                method, path, self._headers(), body)
-            return status, data
-        request = urllib.request.Request(
-            self.url + path, data=body, method=method,
-            headers=self._headers())
-        try:
-            with urllib.request.urlopen(request,
-                                        timeout=self.timeout) as response:
-                return response.status, response.read()
-        except urllib.error.HTTPError as err:
-            return err.code, err.read()
-
-    def _json(self, method: str, path: str,
-              payload: dict | None = None) -> dict:
-        status, data = self._request(method, path, payload)
-        try:
-            doc = json.loads(data.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError):
-            doc = {}
-        if status >= 400:
-            error = doc.get("error", {}) if isinstance(doc, dict) else {}
-            raise ServiceError(status, error.get("code", "error"),
-                               error.get("message", data[:200].decode(
-                                   "utf-8", "replace")))
-        return doc
+        self.timeout_s = float(timeout_s)
 
     # -- routes ------------------------------------------------------------
     def healthz(self) -> dict:
         """``GET /v1/healthz``."""
-        return self._json("GET", "/v1/healthz")
+        return self.transport.json("GET", "/v1/healthz")
 
     def metrics(self) -> str:
         """``GET /v1/metrics`` (Prometheus text)."""
-        status, data = self._request("GET", "/v1/metrics")
-        if status >= 400:
-            raise ServiceError(status, "metrics", data[:200].decode(
-                "utf-8", "replace"))
-        return data.decode("utf-8")
+        return self.transport.bytes("GET", "/v1/metrics").decode("utf-8")
 
     def experiments(self) -> list[dict]:
         """``GET /v1/experiments``."""
-        return self._json("GET", "/v1/experiments")["experiments"]
+        return self.transport.json("GET", "/v1/experiments")["experiments"]
 
     def submit(self, experiment: str | None = None, variant: str = "quick",
                points: list[dict] | None = None, priority: int = 0) -> dict:
@@ -111,51 +77,46 @@ class ServiceClient:
             payload.update(experiment=experiment, variant=variant)
         else:
             payload["points"] = points
-        return self._json("POST", "/v1/jobs", payload)["job"]
+        return self.transport.json("POST", "/v1/jobs", payload)["job"]
 
     def jobs(self, state: str | None = None) -> list[dict]:
         """``GET /v1/jobs``."""
         suffix = f"?state={state}" if state is not None else ""
-        return self._json("GET", f"/v1/jobs{suffix}")["jobs"]
+        return self.transport.json("GET", f"/v1/jobs{suffix}")["jobs"]
 
     def job(self, job_id: str) -> dict:
         """``GET /v1/jobs/{id}``."""
-        return self._json("GET", f"/v1/jobs/{job_id}")["job"]
+        return self.transport.json("GET", f"/v1/jobs/{job_id}")["job"]
 
     def result_bytes(self, job_id: str) -> bytes:
         """``GET /v1/jobs/{id}/result`` — the exact stored envelope."""
-        status, data = self._request("GET", f"/v1/jobs/{job_id}/result")
-        if status >= 400:
-            try:
-                error = json.loads(data.decode("utf-8")).get("error", {})
-            except (UnicodeDecodeError, json.JSONDecodeError):
-                error = {}
-            raise ServiceError(status, error.get("code", "error"),
-                               error.get("message", ""))
-        return data
+        return self.transport.bytes("GET", f"/v1/jobs/{job_id}/result")
 
     def result(self, job_id: str) -> dict:
         """The result envelope, JSON-decoded."""
+        import json
+
         return json.loads(self.result_bytes(job_id).decode("utf-8"))
 
     def cancel(self, job_id: str) -> dict:
         """``POST /v1/jobs/{id}/cancel``."""
-        return self._json("POST", f"/v1/jobs/{job_id}/cancel")["job"]
+        return self.transport.json("POST", f"/v1/jobs/{job_id}/cancel")["job"]
 
-    def wait(self, job_id: str, timeout: float = 120.0,
-             poll: float = 0.1) -> dict:
+    @deprecated_kwargs(timeout="timeout_s", poll="poll_s")
+    def wait(self, job_id: str, timeout_s: float = 120.0,
+             poll_s: float = 0.1) -> dict:
         """Poll until the job reaches a terminal state; returns it.
 
         Raises :class:`TimeoutError` if it does not finish in time.
         """
         from repro.service.jobs import TERMINAL_STATES
 
-        deadline = time.monotonic() + timeout
+        deadline = time.monotonic() + timeout_s
         while True:
             job = self.job(job_id)
             if job["state"] in TERMINAL_STATES:
                 return job
             if time.monotonic() > deadline:
                 raise TimeoutError(
-                    f"job {job_id} still {job['state']} after {timeout}s")
-            time.sleep(poll)
+                    f"job {job_id} still {job['state']} after {timeout_s}s")
+            time.sleep(poll_s)

@@ -27,6 +27,11 @@ than crash-looping forever.  Within a live scheduler,
 heartbeating (heartbeats refresh ``lease_until`` in memory only — they
 are liveness, not durable state).
 
+The lease mechanics themselves (grant/refresh/release, expiry sweeps
+with the heartbeat-vs-sweep TOCTOU window closed, recovery counting)
+live in :class:`repro.fabric.lease.LeaseManager`, shared with the
+distributed fabric's point queue — one implementation, two consumers.
+
 Compaction (:meth:`compact`) rewrites the journal atomically, keeping
 one ``job_snapshot`` record per terminal job and the raw event tail for
 live ones, so long-lived service state dirs don't grow unbounded.
@@ -38,6 +43,7 @@ import threading
 import time
 from pathlib import Path
 
+from repro.fabric.lease import LeaseManager
 from repro.runner.journal import RunJournal
 from repro.service.jobs import ACTIVE_STATES, Job, JobState
 
@@ -62,6 +68,9 @@ class JobQueue:
         self.journal = RunJournal(self.state_dir / "queue.jsonl")
         self.max_recoveries = int(max_recoveries)
         self.clock = clock
+        self.leases = LeaseManager(
+            active_states=(JobState.LEASED, JobState.RUNNING),
+            lease_s=60.0, max_recoveries=max_recoveries, clock=clock)
         self._lock = threading.RLock()
         self._jobs: dict[str, Job] = {}
         self._seq: dict[str, int] = {}  # submission order tiebreak
@@ -195,9 +204,7 @@ class JobQueue:
                 return None
             job = min(ready, key=lambda j: (-j.priority, self._seq[j.id]))
             job.state = JobState.LEASED
-            job.worker = worker
-            job.attempts += 1
-            job.lease_until = self.clock() + lease_s
+            self.leases.grant(job, worker, lease_s)
             self.journal.append("job_leased", id=job.id, worker=worker,
                                 lease_until=job.lease_until,
                                 attempts=job.attempts)
@@ -222,9 +229,8 @@ class JobQueue:
         not durable state; recovery after a crash never trusts it)."""
         with self._lock:
             job = self._jobs.get(job_id)
-            if job is not None and job.state in (JobState.LEASED,
-                                                 JobState.RUNNING):
-                job.lease_until = self.clock() + lease_s
+            if job is not None:
+                self.leases.refresh(job, lease_s)
 
     def complete(self, job_id: str, result_path: str,
                  runner: dict | None = None) -> Job:
@@ -247,8 +253,7 @@ class JobQueue:
             job.finished_s = now
             job.elapsed_s = elapsed
             job.runner = dict(runner or {})
-            job.worker = None
-            job.lease_until = None
+            self.leases.release(job)
             self._finish_metric(JobState.DONE)
             self._update_depth()
             return job
@@ -269,8 +274,7 @@ class JobQueue:
                          else JobState.FAILED)
             job.error = str(error)
             job.finished_s = now
-            job.worker = None
-            job.lease_until = None
+            self.leases.release(job)
             self._finish_metric(job.state)
             self._update_depth()
             return job
@@ -289,8 +293,7 @@ class JobQueue:
                                 **({"error": str(error)}
                                    if error is not None else {}))
             job.state = JobState.SUBMITTED
-            job.worker = None
-            job.lease_until = None
+            self.leases.release(job)
             job.recoveries = recoveries
             if error is not None:
                 job.error = str(error)
@@ -313,7 +316,7 @@ class JobQueue:
             for job in self._jobs.values():
                 if job.state not in (JobState.LEASED, JobState.RUNNING):
                     continue
-                if job.recoveries + 1 > self.max_recoveries:
+                if self.leases.should_quarantine(job):
                     self.fail(job.id,
                               f"quarantined after {job.recoveries + 1} "
                               f"scheduler crashes mid-job",
@@ -329,19 +332,17 @@ class JobQueue:
         ``skip_workers`` names workers known to be alive in this
         process (their threads cannot silently vanish) — reclaiming a
         lease a live thread still holds would double-run the job.
+
+        The shared sweep re-checks each job against a fresh clock right
+        before its requeue write, with the lock released between jobs:
+        a heartbeat that arrives after the sweep's snapshot (the
+        journal fsyncs of earlier requeues make that window real)
+        rescues its job instead of losing the race.
         """
-        with self._lock:
-            now = self.clock()
-            touched = []
-            for job in list(self._jobs.values()):
-                if job.state not in (JobState.LEASED, JobState.RUNNING):
-                    continue
-                if job.worker in skip_workers:
-                    continue
-                if job.lease_until is not None and job.lease_until < now:
-                    self.requeue(job.id, recovered=True)
-                    touched.append(job)
-            return touched
+        return self.leases.sweep_expired(
+            lambda: list(self._jobs.values()), lock=self._lock,
+            reclaim=lambda job: self.requeue(job.id, recovered=True),
+            skip_workers=skip_workers)
 
     # -- inspection --------------------------------------------------------
     def get(self, job_id: str) -> Job:

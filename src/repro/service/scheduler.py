@@ -33,7 +33,8 @@ import time
 import traceback
 from pathlib import Path
 
-from repro.runner import ResultCache, Runner, RunnerError
+from repro.fabric.lease import atomic_write
+from repro.runner import ExecutionBackend, ResultCache, Runner, RunnerError
 from repro.service.jobs import Job, build_points
 from repro.service.queue import JobQueue
 
@@ -84,16 +85,10 @@ def write_result(path: str | Path, text: str) -> Path:
 
     Replaying a crashed job rewrites the same path, so the directory
     holds exactly one entry per job no matter how many attempts ran.
+    Delegates to the shared exactly-once primitive in
+    :func:`repro.fabric.lease.atomic_write`.
     """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-    with open(tmp, "w", encoding="utf-8") as handle:
-        handle.write(text)
-        handle.flush()
-        os.fsync(handle.fileno())
-    tmp.replace(path)
-    return path
+    return atomic_write(path, text)
 
 
 class Scheduler:
@@ -115,6 +110,13 @@ class Scheduler:
     workers / lease_s / poll_s / job_retries / point_retries:
         Pool width, lease duration, idle poll interval, job-level and
         point-level retry budgets.
+    backend:
+        Optional :class:`~repro.runner.ExecutionBackend` that executes
+        every job's points instead of the default inline
+        :class:`Runner` — pass a
+        :class:`~repro.fabric.FabricRunner` to fan jobs out to pulled
+        workers.  Job-level retry, lease heartbeats and result-envelope
+        bytes are unchanged either way.
     """
 
     def __init__(self, queue: JobQueue, results_dir: str | Path,
@@ -122,9 +124,11 @@ class Scheduler:
                  workers: int = 2, lease_s: float = 60.0,
                  poll_s: float = 0.05, job_retries: int = 1,
                  point_retries: int = 1,
-                 timeout_s: float | None = None) -> None:
+                 timeout_s: float | None = None,
+                 backend: ExecutionBackend | None = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        self.backend = backend
         self.queue = queue
         self.results_dir = Path(results_dir)
         self.cache = cache
@@ -210,10 +214,19 @@ class Scheduler:
         return self.queue.requeue_expired(skip_workers=self.worker_ids())
 
     # -- execution ---------------------------------------------------------
-    def _runner(self, job: Job, policy: str) -> Runner:
+    def _runner(self, job: Job, policy: str) -> ExecutionBackend:
+        """The execution backend for one job.
+
+        The configured ``backend`` if one was injected, else a fresh
+        inline :class:`Runner`; both satisfy
+        :class:`~repro.runner.ExecutionBackend`, so the job handlers
+        below are backend-agnostic.
+        """
         def progress(done, total, point, cached) -> None:
             self.queue.heartbeat(job.id, lease_s=self.lease_s)
 
+        if self.backend is not None:
+            return self.backend
         return Runner(workers=0, cache=self.cache, registry=self.registry,
                       progress=progress, retries=self.point_retries,
                       timeout_s=self.timeout_s, failure_policy=policy)
@@ -252,11 +265,22 @@ class Scheduler:
     def _run_points(self, job: Job) -> tuple[Path, dict]:
         points = build_points(job.spec)
         runner = self._runner(job, policy="quarantine")
-        values = runner.run(points)
-        if runner.quarantined:
-            detail = "; ".join(q["error"] for q in runner.quarantined[:3])
+
+        def beat(done, total, point, cached) -> None:
+            self.queue.heartbeat(job.id, lease_s=self.lease_s)
+
+        # An injected backend is shared across jobs, so quarantine
+        # records accumulate: only the ones this batch added are this
+        # job's poison.
+        seen = len(getattr(runner, "quarantined", ()))
+        values = runner.run_points(points, timeout_s=self.timeout_s,
+                                   retries=self.point_retries,
+                                   on_progress=beat)
+        quarantined = list(getattr(runner, "quarantined", ()))[seen:]
+        if quarantined:
+            detail = "; ".join(q["error"] for q in quarantined[:3])
             raise RunnerError(
-                f"{len(runner.quarantined)} point(s) quarantined: {detail}")
+                f"{len(quarantined)} point(s) quarantined: {detail}")
         path = self.results_dir / f"{job.id}.json"
         write_result(path, points_envelope(points, values))
         return path, dict(runner.meta())

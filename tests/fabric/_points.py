@@ -1,0 +1,44 @@
+"""Synthetic points shared by the fabric tests.
+
+A real module (not a test file) so fork-spawned worker processes can
+unpickle them by reference: both the thread-mode unit tests and the
+multi-process chaos battery ship these over the wire.
+"""
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.runner.simpoint import SimPoint
+
+
+@dataclass(frozen=True)
+class OkPoint(SimPoint):
+    """Deterministic success: returns a payload derived from its token."""
+
+    kind: ClassVar[str] = "fabric_ok"
+    token: str
+    delay_s: float = 0.0
+
+    def execute(self):
+        if self.delay_s:
+            import time
+
+            time.sleep(self.delay_s)
+        return {"token": self.token, "squared": len(self.token) ** 2}
+
+    def describe(self):
+        return f"ok:{self.token}"
+
+
+@dataclass(frozen=True)
+class FailPoint(SimPoint):
+    """Always raises — a deterministic poison point."""
+
+    kind: ClassVar[str] = "fabric_fail"
+    token: str
+
+    def execute(self):
+        raise ValueError(f"poison {self.token}")
+
+    def describe(self):
+        return f"fail:{self.token}"

@@ -1,0 +1,114 @@
+"""FabricRunner: the local Runner surface over pulled workers.
+
+Thread-mode fleets (no sockets beyond the loopback coordinator) keep
+these fast; the multi-process SIGKILL battery lives in
+``test_chaos_fabric.py``.
+"""
+
+import pickle
+
+import pytest
+
+from repro.fabric import FabricRunner
+from repro.runner import ExecutionBackend, ResultCache, Runner, RunnerError
+from repro.telemetry import to_prometheus
+
+from tests.fabric._points import FailPoint, OkPoint
+
+
+def make_runner(tmp_path, **kwargs):
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("spawn", "thread")
+    kwargs.setdefault("poll_s", 0.01)
+    kwargs.setdefault("lease_s", 5.0)
+    kwargs.setdefault("state_dir", tmp_path / "fab")
+    return FabricRunner(**kwargs)
+
+
+def test_satisfies_execution_backend(tmp_path):
+    runner = make_runner(tmp_path)
+    try:
+        assert isinstance(runner, ExecutionBackend)
+    finally:
+        runner.close()
+
+
+def test_results_byte_identical_to_serial(tmp_path):
+    points = [OkPoint(token=t) for t in ("a", "bb", "ccc", "dddd")]
+    serial = Runner(workers=0).run(list(points))
+    with make_runner(tmp_path) as fabric:
+        fanned = fabric.run(list(points))
+    assert [pickle.dumps(v) for v in fanned] == \
+        [pickle.dumps(v) for v in serial]
+    meta = fabric.meta()
+    assert meta["backend"] == "fabric" and meta["executed"] == 4
+
+
+def test_dedup_and_input_order(tmp_path):
+    points = [OkPoint(token="a"), OkPoint(token="bb"), OkPoint(token="a")]
+    with make_runner(tmp_path) as fabric:
+        values = fabric.run(points)
+    assert values[0] == values[2] == {"token": "a", "squared": 1}
+    assert values[1]["token"] == "bb"
+    assert fabric.stats.deduplicated == 1
+
+
+def test_shared_cache_turns_rerun_into_hits(tmp_path):
+    cache = ResultCache(directory=tmp_path / "cache")
+    points = [OkPoint(token=t) for t in ("a", "bb")]
+    with make_runner(tmp_path, cache=cache) as fabric:
+        first = fabric.run(list(points))
+        second = fabric.run(list(points))
+    assert [pickle.dumps(v) for v in first] == \
+        [pickle.dumps(v) for v in second]
+    assert fabric.stats.cache_hits == 2
+    assert fabric.meta()["cache"]["hits"] == 2
+
+
+def test_raise_policy_propagates_point_failure(tmp_path):
+    with make_runner(tmp_path) as fabric:
+        with pytest.raises(RunnerError, match="fail:bad"):
+            fabric.run([FailPoint(token="bad")])
+
+
+def test_quarantine_policy_resolves_none(tmp_path):
+    with make_runner(tmp_path, failure_policy="quarantine") as fabric:
+        values = fabric.run([OkPoint(token="a"), FailPoint(token="bad")])
+    assert values[0]["token"] == "a"
+    assert values[1] is None
+    assert len(fabric.quarantined) == 1
+    assert fabric.meta()["quarantined_points"][0]["point"] == "fail:bad"
+    assert "runner_quarantined_total 1" in to_prometheus(fabric.registry)
+
+
+def test_run_points_overrides_are_batch_scoped(tmp_path):
+    seen = []
+    with make_runner(tmp_path) as fabric:
+        values = fabric.run_points(
+            [OkPoint(token="a")], retries=3, timeout_s=9.0,
+            on_progress=lambda done, total, point, cached:
+                seen.append((done, total, cached)))
+        assert fabric.coordinator.queue.retries == 0  # restored
+        assert fabric.timeout_s is None
+        assert fabric.progress is None
+    assert values[0]["token"] == "a"
+    assert seen == [(1, 1, False)]
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError, match="workers"):
+        FabricRunner(workers=0)
+    with pytest.raises(ValueError, match="failure_policy"):
+        FabricRunner(failure_policy="explode")
+    with pytest.raises(ValueError, match="spawn"):
+        FabricRunner(spawn="hologram")
+
+
+def test_runner_metrics_mirror_local_names(tmp_path):
+    with make_runner(tmp_path) as fabric:
+        fabric.run([OkPoint(token="a")])
+    text = to_prometheus(fabric.registry)
+    assert 'runner_points_total{status="executed"} 1' in text
+    assert "runner_batches_total 1" in text
+    assert "runner_workers 2" in text
+    assert "fabric_leases_total" in text  # protocol counters ride along

@@ -1,0 +1,178 @@
+"""The coordinator's point queue: leases, exactly-once, recovery."""
+
+import json
+
+import pytest
+
+from repro.fabric import ItemState, PointQueue, PointQueueError
+from repro.telemetry.metrics import MetricRegistry
+
+from tests.fabric._points import OkPoint
+
+
+def make_queue(tmp_path, **kwargs):
+    kwargs.setdefault("lease_s", 10.0)
+    kwargs.setdefault("clock", None)
+    clock = kwargs.pop("clock")
+    if clock is None:
+        clock = [0.0]
+    return PointQueue(tmp_path / "fab", clock=lambda: clock[0],
+                      **kwargs), clock
+
+
+def points(*tokens):
+    return [OkPoint(token=t) for t in tokens]
+
+
+def journal_events(queue, event=None):
+    lines = queue.journal.path.read_text().splitlines()
+    records = [json.loads(line) for line in lines]
+    if event is not None:
+        records = [r for r in records if r["event"] == event]
+    return records
+
+
+def test_enqueue_lease_fifo_and_complete(tmp_path):
+    queue, _ = make_queue(tmp_path)
+    batch, ids = queue.enqueue(points("a", "b"))
+    assert ids == ["0:0", "0:1"]
+    first = queue.lease("w0")
+    assert first.id == "0:0" and first.state == ItemState.LEASED
+    assert first.attempts == 1
+    assert queue.point(first.id).token == "a"
+    assert queue.complete("w0", first.id) == "done"
+    assert queue.get(first.id).completed_by == "w0"
+    assert queue.lease("w0").id == "0:1"
+    assert queue.lease("w0") is None  # drained
+
+
+def test_enqueue_dedups_by_key_across_batches(tmp_path):
+    queue, _ = make_queue(tmp_path)
+    _, first_ids = queue.enqueue(points("a"))
+    _, second_ids = queue.enqueue(points("a", "b"))
+    assert second_ids[0] == first_ids[0]  # same key attaches, no dup
+    assert len(queue.items()) == 2
+    assert len(journal_events(queue, "point_enqueued")) == 2
+
+
+def test_heartbeat_refuses_foreign_and_unknown(tmp_path):
+    queue, clock = make_queue(tmp_path)
+    _, (item_id,) = queue.enqueue(points("a"))
+    queue.lease("w0")
+    assert queue.heartbeat("w0", item_id) is True
+    assert queue.heartbeat("other", item_id) is False
+    assert queue.heartbeat("w0", "9:9") is False
+
+
+def test_complete_classifies_late_and_duplicate(tmp_path):
+    registry = MetricRegistry()
+    queue, clock = make_queue(tmp_path, registry=registry)
+    _, (item_id,) = queue.enqueue(points("a"))
+    queue.lease("w0")
+    clock[0] = 50.0  # w0's lease lapses...
+    queue.requeue_expired()
+    queue.lease("w1")  # ...and w1 picks the point up
+    # w0 finishes anyway: accepted as "late" (deterministic bytes,
+    # already durably cached by the coordinator).
+    assert queue.complete("w0", item_id) == "late"
+    assert queue.complete("w1", item_id) == "duplicate"
+    # Exactly one point_done no matter how many completions raced.
+    assert len(journal_events(queue, "point_done")) == 1
+
+
+def test_fail_retries_then_goes_terminal(tmp_path):
+    queue, _ = make_queue(tmp_path, retries=1)
+    _, (item_id,) = queue.enqueue(points("a"))
+    queue.lease("w0")
+    assert queue.fail("w0", item_id, "boom") == ItemState.PENDING
+    queue.lease("w0")  # attempt 2 (the retry)
+    assert queue.fail("w0", item_id, "boom again") == ItemState.FAILED
+    assert queue.get(item_id).error == "boom again"
+    assert len(journal_events(queue, "point_failed")) == 1
+
+
+def test_requeue_expired_recovers_then_quarantines(tmp_path):
+    queue, clock = make_queue(tmp_path, max_recoveries=1)
+    _, (item_id,) = queue.enqueue(points("a"))
+    for cycle, start in enumerate((0.0, 100.0)):
+        clock[0] = start
+        queue.lease(f"dead-{cycle}")
+        clock[0] = start + 50.0
+        touched = queue.requeue_expired()
+        assert [i.id for i in touched] == [item_id]
+    item = queue.get(item_id)
+    assert item.state == ItemState.FAILED  # poison after 2nd recovery
+    assert "dead-worker recoveries" in item.error
+
+
+def test_requeue_expired_skip_workers(tmp_path):
+    queue, clock = make_queue(tmp_path)
+    _, (item_id,) = queue.enqueue(points("a"))
+    queue.lease("local")
+    clock[0] = 50.0
+    assert queue.requeue_expired(skip_workers=frozenset({"local"})) == []
+    assert queue.get(item_id).state == ItemState.LEASED
+
+
+def test_mid_sweep_heartbeat_rescues_item(tmp_path):
+    """Fabric-side TOCTOU regression: a heartbeat that lands while the
+    sweep is reclaiming an *earlier* item rescues the later one."""
+    queue, clock = make_queue(tmp_path)
+    _, (first, second) = queue.enqueue(points("a", "b"))
+    queue.lease("w-first")
+    queue.lease("w-second")
+    clock[0] = 50.0  # both lapsed
+
+    original_append = queue.journal.append
+    state = {"fired": False}
+
+    def slow_append(event, **fields):
+        original_append(event, **fields)
+        if event == "point_requeued" and not state["fired"]:
+            state["fired"] = True
+            # Deliberately slow sweep: w-second's heartbeat arrives
+            # during the first reclaim's journal write (RLock allows
+            # the same-thread reentry the HTTP thread would do).
+            queue.heartbeat("w-second", second)
+
+    queue.journal.append = slow_append
+    touched = queue.requeue_expired()
+    assert [i.id for i in touched] == [first]
+    assert queue.get(second).state == ItemState.LEASED
+    assert queue.get(second).worker == "w-second"
+
+
+def test_unknown_item_raises(tmp_path):
+    queue, _ = make_queue(tmp_path)
+    with pytest.raises(PointQueueError, match="unknown item"):
+        queue.get("9:9")
+    with pytest.raises(PointQueueError, match="unknown item"):
+        queue.point("9:9")
+
+
+def test_snapshot_counts_states_and_workers(tmp_path):
+    queue, clock = make_queue(tmp_path)
+    _, (a, b) = queue.enqueue(points("a", "b"))
+    queue.lease("w0")
+    queue.complete("w0", a)
+    snap = queue.snapshot()
+    assert snap["items"] == 2
+    assert snap["states"][ItemState.DONE] == 1
+    assert snap["states"][ItemState.PENDING] == 1
+    assert "w0" in snap["workers"]
+
+
+def test_fabric_metrics_track_protocol(tmp_path):
+    registry = MetricRegistry()
+    queue, clock = make_queue(tmp_path, registry=registry)
+    _, (a, b) = queue.enqueue(points("a", "b"))
+    queue.lease("w0")
+    queue.heartbeat("w0", a)
+    queue.complete("w0", a)
+    from repro.telemetry import to_prometheus
+
+    text = to_prometheus(registry)
+    assert "fabric_leases_total 1" in text
+    assert "fabric_heartbeats_total 1" in text
+    assert 'fabric_completions_total{status="done"} 1' in text
+    assert "fabric_queue_depth 1" in text

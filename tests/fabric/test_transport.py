@@ -1,0 +1,103 @@
+"""The shared transport: error hierarchy, retry policy, both dialects."""
+
+import json
+
+import pytest
+
+from repro.fabric.transport import (
+    ApiError,
+    HttpTransport,
+    InProcessTransport,
+    ServiceError,
+    TransportError,
+    serve_app_in_thread,
+)
+
+
+class EchoApp:
+    """Counts requests; scripted status codes per path."""
+
+    def __init__(self):
+        self.calls = []
+
+    def handle(self, method, path, headers=None, body=None):
+        self.calls.append((method, path))
+        if path == "/boom":
+            payload = {"error": {"code": "kaput", "message": "no such"}}
+            return 404, "application/json", json.dumps(payload).encode()
+        if path == "/flaky":
+            payload = {"error": {"code": "internal", "message": "oops"}}
+            return 500, "application/json", json.dumps(payload).encode()
+        doc = {"method": method, "path": path,
+               "auth": (headers or {}).get("Authorization"),
+               "body": (body or b"").decode() or None}
+        return 200, "application/json", json.dumps(doc).encode()
+
+
+def test_error_hierarchy_is_typed_and_unified():
+    assert issubclass(ApiError, ServiceError)
+    assert issubclass(TransportError, ServiceError)
+    assert issubclass(ServiceError, RuntimeError)
+    err = ApiError(404, "unknown_job", "no job j123")
+    assert (err.status, err.code) == (404, "unknown_job")
+    assert str(err) == "[404 unknown_job] no job j123"
+
+
+def test_in_process_round_trip_with_token():
+    app = EchoApp()
+    transport = InProcessTransport(app, token="sekrit")
+    doc = transport.json("POST", "/v1/thing", {"a": 1})
+    assert doc["method"] == "POST"
+    assert doc["auth"] == "Bearer sekrit"
+    assert json.loads(doc["body"]) == {"a": 1}
+
+
+def test_in_process_non_2xx_raises_api_error():
+    transport = InProcessTransport(EchoApp())
+    with pytest.raises(ApiError) as err:
+        transport.json("GET", "/boom")
+    assert err.value.status == 404 and err.value.code == "kaput"
+
+
+def test_http_round_trip_over_real_socket():
+    app = EchoApp()
+    server, thread, url = serve_app_in_thread(app.handle)
+    try:
+        transport = HttpTransport(url, token="t0", timeout_s=5.0)
+        doc = transport.json("GET", "/v1/ping")
+        assert doc["path"] == "/v1/ping" and doc["auth"] == "Bearer t0"
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_http_response_is_never_retried():
+    """Retry policy: any HTTP *response* (even 5xx) is final; only
+    requests that produced no response at all are retried."""
+    app = EchoApp()
+    server, thread, url = serve_app_in_thread(app.handle)
+    try:
+        transport = HttpTransport(url, retries=3, backoff_s=0.0)
+        with pytest.raises(ApiError) as err:
+            transport.json("GET", "/flaky")
+        assert err.value.status == 500
+        assert app.calls.count(("GET", "/flaky")) == 1
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_connection_failure_raises_transport_error():
+    # Bind-then-close guarantees nothing listens on the port.
+    server, thread, url = serve_app_in_thread(EchoApp().handle)
+    server.shutdown()
+    server.server_close()
+    transport = HttpTransport(url, retries=1, backoff_s=0.0, timeout_s=0.5)
+    with pytest.raises(TransportError):
+        transport.json("GET", "/v1/ping")
+
+
+def test_service_error_catches_both():
+    transport = InProcessTransport(EchoApp())
+    with pytest.raises(ServiceError):
+        transport.json("GET", "/boom")

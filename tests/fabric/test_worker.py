@@ -1,0 +1,98 @@
+"""The pull worker against an in-process coordinator (no sockets)."""
+
+import threading
+
+from repro.fabric import (
+    FabricClient,
+    FabricCoordinator,
+    FabricWorker,
+    InProcessTransport,
+    ItemState,
+)
+from repro.fabric.worker import decode_payload, encode_payload, worker_id
+from repro.telemetry import to_prometheus
+from repro.telemetry.metrics import MetricRegistry
+
+from tests.fabric._points import FailPoint, OkPoint
+
+
+def make_fabric(tmp_path, **kwargs):
+    coordinator = FabricCoordinator(tmp_path / "fab", **kwargs)
+    client = FabricClient(InProcessTransport(coordinator.app))
+    return coordinator, client
+
+
+def test_payload_codec_round_trips():
+    point = OkPoint(token="abc")
+    assert decode_payload(encode_payload(point)) == point
+
+
+def test_worker_id_names_host_and_pid():
+    import os
+    import socket
+
+    assert worker_id() == f"{socket.gethostname()}:{os.getpid()}"
+
+
+def test_run_one_executes_and_completes(tmp_path):
+    coordinator, client = make_fabric(tmp_path)
+    coordinator.queue.enqueue([OkPoint(token="abc")])
+    registry = MetricRegistry()
+    worker = FabricWorker(client, worker="w0", lease_s=5.0,
+                          registry=registry)
+    assert worker.run_one() is True
+    assert worker.done == 1
+    item = coordinator.queue.items()[0]
+    assert item.state == ItemState.DONE and item.completed_by == "w0"
+    assert coordinator.value(OkPoint(token="abc").key())["squared"] == 9
+    assert 'fabric_worker_points_total{status="done"} 1' \
+        in to_prometheus(registry)
+    assert worker.run_one() is False  # drained
+
+
+def test_worker_reports_failures(tmp_path):
+    coordinator, client = make_fabric(tmp_path, retries=0)
+    coordinator.queue.enqueue([FailPoint(token="bad")])
+    worker = FabricWorker(client, worker="w0", lease_s=5.0)
+    assert worker.run_one() is True
+    assert (worker.done, worker.failed) == (0, 1)
+    item = coordinator.queue.items()[0]
+    assert item.state == ItemState.FAILED
+    assert "fail:bad" in item.error
+
+
+def test_run_forever_drains_on_coordinator_shutdown(tmp_path):
+    coordinator, client = make_fabric(tmp_path)
+    coordinator.queue.enqueue([OkPoint(token=t) for t in ("a", "bb")])
+    coordinator.draining = True  # empty queue + draining => shutdown hint
+    worker = FabricWorker(client, worker="w0", lease_s=5.0, poll_s=0.01)
+    done = worker.run_forever()
+    assert done == 2
+    assert all(i.state == ItemState.DONE for i in coordinator.queue.items())
+
+
+def test_stop_is_a_graceful_drain(tmp_path):
+    coordinator, client = make_fabric(tmp_path)
+    worker = FabricWorker(client, worker="w0", poll_s=0.01)
+    thread = threading.Thread(target=worker.run_forever, daemon=True)
+    thread.start()
+    worker.stop()
+    thread.join(timeout=5.0)
+    assert not thread.is_alive()
+
+
+def test_lost_lease_result_ships_as_late_completion(tmp_path):
+    coordinator, client = make_fabric(tmp_path)
+    _, (item_id,) = coordinator.queue.enqueue([OkPoint(token="abc")])
+    worker = FabricWorker(client, worker="w0", lease_s=5.0)
+    doc = client.lease("w0", lease_s=5.0)
+    # Simulate the coordinator reclaiming our lease mid-run.
+    coordinator.queue._requeue(coordinator.queue.get(item_id),
+                               recovered=True)
+    other = client.lease("w1", lease_s=5.0)
+    assert other["item"]["id"] == item_id
+    worker._run_one(item_id, decode_payload(doc["point"]))
+    item = coordinator.queue.get(item_id)
+    assert item.state == ItemState.DONE
+    assert item.completed_by == "w0"  # late, but accepted and stored
+    assert coordinator.value(OkPoint(token="abc").key()) is not None

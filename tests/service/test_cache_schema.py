@@ -1,0 +1,45 @@
+"""One snapshot schema: `repro cache stats --json` == /metrics gauges.
+
+The CLI and the service both publish the cache state through
+``ResultCache.snapshot()`` with :data:`SNAPSHOT_STAT_FIELDS` pinning
+the shared numeric schema — these tests hold the two surfaces to it.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.runner import ResultCache
+from repro.runner.cache import SNAPSHOT_STAT_FIELDS
+from repro.service import Service, ServiceClient, ServiceConfig
+from repro.telemetry import parse_prometheus
+
+
+def test_snapshot_covers_the_shared_fields(tmp_path):
+    snap = ResultCache(directory=tmp_path / "cache").snapshot()
+    assert set(SNAPSHOT_STAT_FIELDS) <= set(snap)
+
+
+def test_empty_cache_hit_ratio_is_zero(tmp_path):
+    snap = ResultCache(directory=tmp_path / "cache").snapshot()
+    assert snap["hit_ratio"] == 0.0
+    assert snap["entries"] == 0 and snap["total_bytes"] == 0
+
+
+def test_cli_stats_json_emits_the_schema(tmp_path, capsys):
+    assert main(["cache", "stats", "--json",
+                 "--dir", str(tmp_path / "cache")]) == 0
+    snap = json.loads(capsys.readouterr().out)
+    assert set(SNAPSHOT_STAT_FIELDS) <= set(snap)
+    assert snap["hit_ratio"] == 0.0  # empty cache: no div-by-zero
+
+
+def test_service_metrics_emit_the_same_fields(tmp_path):
+    service = Service(ServiceConfig(state_dir=tmp_path / "state"))
+    client = ServiceClient(app=service.app)
+    parsed = parse_prometheus(client.metrics())
+    emitted = {dict(labels).get("field")
+               for name, labels in parsed["samples"]
+               if name == "service_cache"}
+    assert emitted == set(SNAPSHOT_STAT_FIELDS)

@@ -133,6 +133,41 @@ def test_requeue_expired_skips_live_workers(tmp_path):
     assert queue.get(live.id).state == JobState.LEASED
 
 
+def test_mid_sweep_heartbeat_rescues_later_job(tmp_path):
+    """TOCTOU regression: a heartbeat that arrives *during* the sweep —
+    after its snapshot, while an earlier job's requeue is journaling —
+    must rescue its job instead of losing the race to a stale snapshot.
+
+    The journal append is monkeypatched to act as a deliberately slow
+    sweep: the first reclaim's fsync window is exactly when the second
+    worker's heartbeat lands (the RLock admits the reentry a request
+    thread would otherwise block on until after the full sweep).
+    """
+    clock = [0.0]
+    queue = make_queue(tmp_path, clock=lambda: clock[0])
+    first = queue.submit(SPEC)
+    second = queue.submit(SPEC)
+    queue.lease("w-first", lease_s=10.0)
+    queue.lease("w-second", lease_s=10.0)
+    clock[0] = 50.0  # both lapsed; both land in the sweep's snapshot
+
+    original_append = queue.journal.append
+    state = {"fired": False}
+
+    def slow_append(event, **fields):
+        original_append(event, **fields)
+        if event == "job_requeued" and not state["fired"]:
+            state["fired"] = True
+            queue.heartbeat(second.id, lease_s=10.0)
+
+    queue.journal.append = slow_append
+    touched = queue.requeue_expired()
+    assert [j.id for j in touched] == [first.id]
+    assert queue.get(first.id).state == JobState.SUBMITTED
+    assert queue.get(second.id).state == JobState.LEASED
+    assert queue.get(second.id).worker == "w-second"
+
+
 def test_heartbeat_extends_lease_in_memory(tmp_path):
     clock = [0.0]
     queue = make_queue(tmp_path, clock=lambda: clock[0])

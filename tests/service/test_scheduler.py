@@ -23,7 +23,7 @@ def make_service(tmp_path, **overrides):
 
 def run_job(service, client, **submit_kwargs):
     job = client.submit(**submit_kwargs)
-    finished = client.wait(job["id"], timeout=120.0)
+    finished = client.wait(job["id"], timeout_s=120.0)
     return finished
 
 
@@ -147,7 +147,7 @@ def test_crashed_scheduler_restart_completes_exactly_once(tmp_path):
     recovered = service.start()
     try:
         assert [j.id for j in recovered] == [job["id"]]
-        finished = client.wait(job["id"], timeout=120.0)
+        finished = client.wait(job["id"], timeout_s=120.0)
     finally:
         service.stop()
 
@@ -175,6 +175,6 @@ def test_sweep_reclaims_remote_leases_but_not_local(tmp_path):
     assert [j.id for j in touched] == [stuck["id"]]
     service.start()
     try:
-        assert client.wait(stuck["id"], timeout=60.0)["state"] == JobState.DONE
+        assert client.wait(stuck["id"], timeout_s=60.0)["state"] == JobState.DONE
     finally:
         service.stop()
