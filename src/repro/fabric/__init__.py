@@ -27,7 +27,12 @@ from repro.fabric.transport import (
     Transport,
     TransportError,
 )
-from repro.fabric.worker import FabricClient, FabricWorker, worker_id
+from repro.fabric.worker import (
+    FabricClient,
+    FabricWorker,
+    PayloadError,
+    worker_id,
+)
 
 __all__ = [
     "ApiError",
@@ -40,6 +45,7 @@ __all__ = [
     "InProcessTransport",
     "ItemState",
     "LeaseManager",
+    "PayloadError",
     "PointQueue",
     "PointQueueError",
     "ServiceError",

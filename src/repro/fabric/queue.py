@@ -58,7 +58,14 @@ class ItemState:
 
 @dataclass
 class WorkItem:
-    """One leasable unit of work: a unique point within a batch."""
+    """One leasable unit of work: a unique point within a batch.
+
+    ``retries`` and ``timeout_s`` are optional per-item overrides of
+    the queue/worker defaults, stamped at enqueue time so a batch's
+    ``run_points(..., retries=..., timeout_s=...)`` settings travel
+    with its items instead of mutating shared state that concurrent
+    batches would cross-wire.
+    """
 
     id: str
     batch: int
@@ -71,6 +78,8 @@ class WorkItem:
     recoveries: int = 0
     error: str | None = None
     completed_by: str | None = None
+    retries: int | None = None
+    timeout_s: float | None = None
 
     def to_dict(self) -> dict:
         """JSON-able form for journal records and status payloads."""
@@ -136,13 +145,17 @@ class PointQueue:
         self.workers_seen[str(worker)] = self.leases.clock()
 
     # -- enqueue -----------------------------------------------------------
-    def enqueue(self, points: Sequence[SimPoint]) -> tuple[int, list[str]]:
+    def enqueue(self, points: Sequence[SimPoint],
+                retries: int | None = None,
+                timeout_s: float | None = None) -> tuple[int, list[str]]:
         """Add one batch; returns ``(batch id, item ids in order)``.
 
         Points whose key is already tracked (pending, leased or done
         from an earlier batch) attach to the existing item instead of
         enqueuing a duplicate execution — the fabric-level analogue of
-        the runner's batch dedup.
+        the runner's batch dedup (an attached point keeps the existing
+        item's overrides).  ``retries`` / ``timeout_s`` are per-batch
+        overrides stamped onto the new items.
         """
         with self._lock:
             batch = self._next_batch
@@ -157,7 +170,10 @@ class PointQueue:
                     ids.append(existing.id)
                     continue
                 item = WorkItem(id=f"{batch}:{index}", batch=batch, key=key,
-                                describe=point.describe())
+                                describe=point.describe(),
+                                retries=(int(retries) if retries is not None
+                                         else None),
+                                timeout_s=timeout_s)
                 self._items[item.id] = item
                 self._points[item.id] = point
                 self._order.append(item.id)
@@ -242,15 +258,26 @@ class PointQueue:
     def fail(self, worker: str, item_id: str, error: str) -> str:
         """A worker reports a terminal point failure; returns the new
         state (``PENDING`` for a retry, ``FAILED`` once attempts are
-        exhausted)."""
+        exhausted).
+
+        Mirrors :meth:`complete`'s staleness classification: a report
+        from a worker that no longer holds the lease (it lapsed and was
+        reclaimed, possibly re-granted) is a no-op — transitioning the
+        item on a stale report would requeue work another worker is
+        live-leasing (double execution) or spuriously FAIL a point its
+        new holder may yet complete.
+        """
         with self._lock:
             self._saw(worker)
             item = self.get(item_id)
             if item.state == ItemState.DONE:
                 return ItemState.DONE
+            if item.worker != worker:
+                return item.state
             if self._m_failures is not None:
                 self._m_failures.inc()
-            if item.attempts > self.retries:
+            budget = item.retries if item.retries is not None else self.retries
+            if item.attempts > budget:
                 item.state = ItemState.FAILED
                 item.error = str(error)
                 self.leases.release(item)
@@ -305,6 +332,13 @@ class PointQueue:
         return touched
 
     # -- inspection --------------------------------------------------------
+    @property
+    def lock(self) -> threading.RLock:
+        """The queue's re-entrant lock, for callers composing larger
+        atomic steps around it (e.g. the coordinator's
+        check-state-then-cache-then-journal completion)."""
+        return self._lock
+
     def get(self, item_id: str) -> WorkItem:
         """The item, or :class:`PointQueueError` when unknown."""
         with self._lock:

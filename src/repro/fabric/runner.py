@@ -35,16 +35,18 @@ values bit-identical to the serial run.
 
 from __future__ import annotations
 
+import hmac
 import json
 import os
 import subprocess
 import sys
+import threading
 import time
 from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.fabric.queue import ItemState, PointQueue, PointQueueError
-from repro.fabric.transport import serve_app_in_thread
+from repro.fabric.transport import is_loopback, serve_app_in_thread
 from repro.fabric.worker import decode_payload, encode_payload
 from repro.runner.cache import ResultCache
 from repro.runner.pool import RunnerError, RunnerStats
@@ -101,7 +103,9 @@ class FabricApp:
             return self._error(404, "unknown_route",
                                f"no route {method} /v1/fabric/{verb}")
         if self.token is not None:
-            if headers.get("authorization") != f"Bearer {self.token}":
+            supplied = headers.get("authorization", "")
+            if not hmac.compare_digest(supplied.encode("utf-8"),
+                                       f"Bearer {self.token}".encode("utf-8")):
                 return self._error(401, "unauthorized",
                                    "missing or invalid bearer token")
         try:
@@ -126,7 +130,7 @@ class FabricApp:
                 return self._error(400, "bad_request",
                                    '"result" (base64 pickle) is required')
             try:
-                value = decode_payload(blob)
+                value = decode_payload(blob, key=self.token)
             except Exception as err:
                 return self._error(400, "bad_payload",
                                    f"cannot decode result: {err}")
@@ -147,7 +151,7 @@ class FabricApp:
         point = self.coordinator.queue.point(item.id)
         return self._json(200, {
             "item": item.to_dict(),
-            "point": encode_payload(point),
+            "point": encode_payload(point, key=self.token),
             "shutdown": False,
         })
 
@@ -178,17 +182,27 @@ class FabricCoordinator:
         self.results: dict = {}
         self.draining = False
         self.app = FabricApp(self, token=token)
+        self._serve_lock = threading.Lock()
         self._server = None
         self._thread = None
         self.url: str | None = None
 
     def complete(self, worker: str, item_id: str, value) -> str:
-        """Store the result durably, then record the completion."""
-        item = self.queue.get(item_id)
-        if self.cache is not None:
-            self.cache.put(item.key, value)
-        self.results[item.key] = value
-        return self.queue.complete(worker, item_id)
+        """Store the result durably, then record the completion.
+
+        First write wins: the whole check-state → cache-put → journal
+        sequence runs under the queue lock, and an item that is already
+        DONE skips the stores entirely — a duplicate (or never-leased)
+        worker's bytes must not replace a result the journal already
+        vouches for, even if that worker is buggy or nondeterministic.
+        """
+        with self.queue.lock:
+            item = self.queue.get(item_id)
+            if item.state != ItemState.DONE:
+                if self.cache is not None:
+                    self.cache.put(item.key, value)
+                self.results[item.key] = value
+            return self.queue.complete(worker, item_id)
 
     def value(self, key: str):
         """A completed point's value (session memory, then cache)."""
@@ -205,11 +219,26 @@ class FabricCoordinator:
 
     # -- HTTP lifecycle ----------------------------------------------------
     def serve(self, host: str = "127.0.0.1", port: int = 0) -> str:
-        """Start the endpoint on a daemon thread; returns its URL."""
-        if self.url is None:
-            self._server, self._thread, self.url = serve_app_in_thread(
-                self.app.handle, host=host, port=port)
-        return self.url
+        """Start the endpoint on a daemon thread; returns its URL.
+
+        Refuses to bind a non-loopback host without a token: the
+        protocol ships pickled payloads, so an open port would hand
+        arbitrary code execution to anyone who can reach it (see the
+        trust-boundary notes in :mod:`repro.fabric.worker`).  Even
+        loopback-only fabrics on multi-user hosts should set a token —
+        it also turns on payload signing.
+        """
+        if self.app.token is None and not is_loopback(host):
+            raise ValueError(
+                f"refusing to serve the fabric protocol on non-loopback "
+                f"host {host!r} without a token: the protocol exchanges "
+                f"pickled payloads (code execution for any process that "
+                f"can reach the port); pass token=...")
+        with self._serve_lock:
+            if self.url is None:
+                self._server, self._thread, self.url = serve_app_in_thread(
+                    self.app.handle, host=host, port=port)
+            return self.url
 
     def close(self) -> None:
         """Flag draining and tear the HTTP endpoint down."""
@@ -292,6 +321,7 @@ class FabricRunner:
             max_recoveries=max_recoveries, token=token)
         self.stats = RunnerStats()
         self.quarantined: list[dict] = []
+        self._fleet_lock = threading.Lock()
         self._procs: list[subprocess.Popen] = []
         self._thread_workers: list = []
         self._m_points = self.registry.counter(
@@ -336,9 +366,18 @@ class FabricRunner:
         return argv
 
     def _ensure_workers(self) -> None:
-        """Spawn (and respawn) workers up to the configured width."""
+        """Spawn (and respawn) workers up to the configured width.
+
+        Serialized by ``_fleet_lock``: concurrent batches (scheduler
+        worker threads sharing one injected backend) poll this, and
+        unsynchronized checks would overshoot the fleet width.
+        """
         if self.spawn is None or self.coordinator.draining:
             return
+        with self._fleet_lock:
+            self._ensure_workers_locked()
+
+    def _ensure_workers_locked(self) -> None:
         if self.spawn == "thread":
             from repro.fabric.transport import InProcessTransport
             from repro.fabric.worker import FabricClient, FabricWorker
@@ -353,8 +392,6 @@ class FabricRunner:
                     worker=f"thread:{os.getpid()}:{index}",
                     poll_s=self.poll_s, lease_s=self.lease_s,
                     timeout_s=self.timeout_s)
-                import threading
-
                 thread = threading.Thread(
                     target=fabric_worker.run_forever,
                     name=f"fabric-worker-{index}", daemon=True)
@@ -379,9 +416,21 @@ class FabricRunner:
         return [p.pid for p in self._procs if p.poll() is None]
 
     # -- the core ----------------------------------------------------------
-    def run(self, points: Sequence[SimPoint]) -> list:
-        """Resolve every point via the fleet; results in input order."""
+    def run(self, points: Sequence[SimPoint], *,
+            timeout_s: float | None = None,
+            retries: int | None = None,
+            progress: Callable | None = None) -> list:
+        """Resolve every point via the fleet; results in input order.
+
+        The keyword-only arguments are batch-scoped overrides of the
+        configured defaults.  They are threaded through as locals and
+        stamped onto the enqueued items — never stored on the runner —
+        so concurrent batches (scheduler worker threads sharing one
+        backend) cannot cross-wire each other's progress callbacks or
+        retry/timeout budgets.
+        """
         points = list(points)
+        progress = self.progress if progress is None else progress
         self.start()
         self._m_batches.inc()
         self.stats.points += len(points)
@@ -403,9 +452,9 @@ class FabricRunner:
                 self._m_points.labels(status=label).inc()
                 if cached:
                     self.stats.cache_hits += 1
-                if self.progress is not None:
+                if progress is not None:
                     try:
-                        self.progress(done, len(points), points[i], cached)
+                        progress(done, len(points), points[i], cached)
                     except Exception:
                         self.stats.progress_errors += 1
                         self._m_progress_errors.inc()
@@ -420,17 +469,21 @@ class FabricRunner:
 
         start = time.perf_counter()
         if todo:
-            self._drive(points, groups, todo, resolve)
+            self._drive(points, groups, todo, resolve,
+                        timeout_s=timeout_s, retries=retries)
         self.stats.executed += len(todo)
         self.stats.execute_seconds += time.perf_counter() - start
         self._m_seconds.inc(time.perf_counter() - start)
         return results
 
-    def _drive(self, points, groups, todo, resolve) -> None:
+    def _drive(self, points, groups, todo, resolve, *,
+               timeout_s: float | None = None,
+               retries: int | None = None) -> None:
         """Enqueue the misses and poll the queue until all are terminal."""
         queue = self.coordinator.queue
         batch_points = [points[groups[key][0]] for key in todo]
-        _batch, ids = queue.enqueue(batch_points)
+        _batch, ids = queue.enqueue(batch_points, retries=retries,
+                                    timeout_s=timeout_s)
         key_of = dict(zip(ids, todo))
         pending = set(ids)
         while pending:
@@ -471,23 +524,14 @@ class FabricRunner:
                    on_progress: Callable | None = None) -> list:
         """:class:`~repro.runner.backend.ExecutionBackend` entry point.
 
-        ``retries`` adjusts the coordinator's re-lease budget for this
-        batch; ``timeout_s`` applies to workers spawned from now on
-        (in-flight workers keep their configured deadline).
+        ``retries`` and ``timeout_s`` are stamped onto this batch's
+        queue items (so they apply wherever the points land, and only
+        to them); ``on_progress`` replaces the configured callback for
+        this batch alone.  Nothing on the runner is mutated, so
+        concurrent ``run_points`` calls are safe.
         """
-        saved = (self.progress, self.coordinator.queue.retries,
-                 self.timeout_s)
-        if on_progress is not None:
-            self.progress = on_progress
-        if retries is not None:
-            self.coordinator.queue.retries = int(retries)
-        if timeout_s is not None:
-            self.timeout_s = timeout_s
-        try:
-            return self.run(points)
-        finally:
-            self.progress, self.coordinator.queue.retries, \
-                self.timeout_s = saved
+        return self.run(points, timeout_s=timeout_s, retries=retries,
+                        progress=on_progress)
 
     # -- reporting / lifecycle ---------------------------------------------
     def meta(self) -> dict:

@@ -6,7 +6,8 @@ dialect — JSON bodies, bearer tokens, one ``{"error": {"code",
 
 * :class:`HttpTransport` — stdlib ``urllib`` with connection-level
   retry/backoff (an HTTP *response*, any status, is never retried;
-  only requests that produced no response are);
+  connection failures are retried only for **idempotent** requests —
+  GETs, plus POSTs the caller explicitly marks replay-safe);
 * :class:`InProcessTransport` — direct calls into a pure app's
   ``handle(method, path, headers, body)``, no sockets, which is how
   the test suites exercise full APIs without network access;
@@ -43,9 +44,20 @@ __all__ = [
     "ServiceError",
     "Transport",
     "TransportError",
+    "is_loopback",
     "serve_app",
     "serve_app_in_thread",
 ]
+
+
+def is_loopback(host: str) -> bool:
+    """Whether binding ``host`` is reachable from this machine only.
+
+    ``""`` and ``"0.0.0.0"``/``"::"`` (all interfaces) are *not*
+    loopback; callers exposing a trust-sensitive endpoint use this to
+    decide whether to demand authentication.
+    """
+    return host in ("localhost", "::1") or host.startswith("127.")
 
 
 class ServiceError(RuntimeError):
@@ -85,16 +97,24 @@ class Transport:
         return headers
 
     def request(self, method: str, path: str,
-                payload: dict | None = None) -> tuple[int, bytes]:
+                payload: dict | None = None, *,
+                idempotent: bool | None = None) -> tuple[int, bytes]:
         """One request; returns ``(status, body bytes)`` or raises
-        :class:`TransportError`."""
+        :class:`TransportError`.
+
+        ``idempotent`` asserts the request is safe to replay after a
+        connection-level failure (default: GETs only).  Transports
+        without a retry loop ignore it.
+        """
         raise NotImplementedError
 
     # -- decoded conveniences ----------------------------------------------
     def json(self, method: str, path: str,
-             payload: dict | None = None) -> dict:
+             payload: dict | None = None, *,
+             idempotent: bool | None = None) -> dict:
         """Request + JSON decode; non-2xx raises :class:`ApiError`."""
-        status, data = self.request(method, path, payload)
+        status, data = self.request(method, path, payload,
+                                    idempotent=idempotent)
         try:
             doc = json.loads(data.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError):
@@ -104,10 +124,12 @@ class Transport:
         return doc if isinstance(doc, dict) else {}
 
     def bytes(self, method: str, path: str,
-              payload: dict | None = None) -> bytes:
+              payload: dict | None = None, *,
+              idempotent: bool | None = None) -> bytes:
         """Request returning the raw body; non-2xx raises
         :class:`ApiError` (envelope decoded when present)."""
-        status, data = self.request(method, path, payload)
+        status, data = self.request(method, path, payload,
+                                    idempotent=idempotent)
         if status >= 400:
             try:
                 doc = json.loads(data.decode("utf-8"))
@@ -128,11 +150,19 @@ class Transport:
 class HttpTransport(Transport):
     """Real HTTP over stdlib ``urllib`` with connection-level retry.
 
-    Only requests that produced *no response* are retried (connection
-    refused, timeout, reset): the server never saw or fully answered
-    them, so retrying cannot double-apply an effect the caller will
-    observe — lease grants lost this way simply expire and requeue.
-    An HTTP response, whatever the status, is returned/raised as-is.
+    An HTTP response, whatever the status, is returned/raised as-is
+    and never retried.  A request that produced *no response*
+    (connection refused, timeout, reset) is retried only when it is
+    **idempotent**: a dropped connection cannot prove the server did
+    not accept and execute the request before the failure, so blindly
+    replaying a non-idempotent POST can double-apply it (e.g. create
+    a duplicate job).  GETs retry by default; a POST retries only when
+    the caller passes ``idempotent=True``, asserting the route is
+    replay-safe by design (the fabric worker protocol qualifies: a
+    replayed lease grant expires and requeues, a replayed completion
+    or stale failure report is a journaled no-op).  Everything else
+    surfaces the failure as :class:`TransportError` for the caller to
+    reconcile.
     """
 
     def __init__(self, url: str, token: str | None = None,
@@ -145,11 +175,15 @@ class HttpTransport(Transport):
         self.backoff_s = float(backoff_s)
 
     def request(self, method: str, path: str,
-                payload: dict | None = None) -> tuple[int, bytes]:
+                payload: dict | None = None, *,
+                idempotent: bool | None = None) -> tuple[int, bytes]:
+        if idempotent is None:
+            idempotent = method.upper() == "GET"
+        retries = self.retries if idempotent else 0
         body = (json.dumps(payload).encode("utf-8")
                 if payload is not None else None)
         last: BaseException | None = None
-        for attempt in range(self.retries + 1):
+        for attempt in range(retries + 1):
             request = urllib.request.Request(
                 self.url + path, data=body, method=method,
                 headers=self.headers())
@@ -162,11 +196,11 @@ class HttpTransport(Transport):
                 return err.code, err.read()
             except (urllib.error.URLError, OSError, TimeoutError) as err:
                 last = err
-                if attempt < self.retries:
+                if attempt < retries:
                     time.sleep(self.backoff_s * (2 ** attempt))
         raise TransportError(
             f"cannot reach {self.url}{path} "
-            f"after {self.retries + 1} attempt(s): {last}", cause=last)
+            f"after {retries + 1} attempt(s): {last}", cause=last)
 
 
 class InProcessTransport(Transport):
@@ -177,7 +211,8 @@ class InProcessTransport(Transport):
         self.app = app
 
     def request(self, method: str, path: str,
-                payload: dict | None = None) -> tuple[int, bytes]:
+                payload: dict | None = None, *,
+                idempotent: bool | None = None) -> tuple[int, bytes]:
         body = (json.dumps(payload).encode("utf-8")
                 if payload is not None else None)
         status, _ctype, data = self.app.handle(

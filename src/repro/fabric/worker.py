@@ -24,11 +24,26 @@ Graceful drain: :meth:`FabricWorker.stop` (wired to SIGTERM by ``repro
 worker``) lets the in-flight point finish and report before the loop
 exits; only SIGKILL abandons a lease, and that is precisely the case
 the lease expiry + requeue protocol recovers.
+
+Trust boundary
+--------------
+Points and results travel as **pickle** — unpickling a payload is
+arbitrary code execution, so coordinator and workers must mutually
+trust each other.  The protocol enforces that in two layers: the
+coordinator refuses to bind a non-loopback host without a bearer
+``token``, and whenever a token is configured every payload carries an
+HMAC-SHA256 signature keyed by it — :func:`decode_payload` verifies
+the signature (constant-time) *before* ``pickle.loads`` touches the
+bytes, so an unauthenticated sender cannot reach the deserializer in
+either direction.  Run loopback-only fabrics on single-user hosts, or
+set a token.
 """
 
 from __future__ import annotations
 
 import base64
+import hashlib
+import hmac
 import pickle
 import socket
 import threading
@@ -38,19 +53,48 @@ from repro.fabric.transport import ApiError, Transport, TransportError
 from repro.runner.pool import Runner, RunnerError
 from repro.telemetry.metrics import MetricRegistry
 
-__all__ = ["FabricClient", "FabricWorker", "decode_payload",
+__all__ = ["FabricClient", "FabricWorker", "PayloadError", "decode_payload",
            "encode_payload", "worker_id"]
 
-
-def encode_payload(obj) -> str:
-    """Pickle + base64 an object for a JSON protocol body."""
-    return base64.b64encode(
-        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)).decode("ascii")
+#: Length of the HMAC-SHA256 signature prefixed to keyed payloads.
+_SIG_BYTES = hashlib.sha256().digest_size
 
 
-def decode_payload(blob: str):
-    """Inverse of :func:`encode_payload`."""
-    return pickle.loads(base64.b64decode(blob.encode("ascii")))
+class PayloadError(ValueError):
+    """A protocol payload failed signature verification or decoding."""
+
+
+def encode_payload(obj, key: str | None = None) -> str:
+    """Pickle + base64 an object for a JSON protocol body.
+
+    With ``key`` set the pickled bytes are prefixed by an HMAC-SHA256
+    signature over them, proving the sender holds the shared fabric
+    token (pickle is code execution on the receiving side — see the
+    module docstring's trust-boundary notes).
+    """
+    raw = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    if key is not None:
+        raw = hmac.new(key.encode("utf-8"), raw, hashlib.sha256).digest() + raw
+    return base64.b64encode(raw).decode("ascii")
+
+
+def decode_payload(blob: str, key: str | None = None):
+    """Inverse of :func:`encode_payload`.
+
+    With ``key`` set the signature is verified (constant-time,
+    :func:`hmac.compare_digest`) **before** the bytes reach
+    ``pickle.loads``; a missing or wrong signature raises
+    :class:`PayloadError` without deserializing anything.
+    """
+    raw = base64.b64decode(blob.encode("ascii"))
+    if key is not None:
+        if len(raw) < _SIG_BYTES:
+            raise PayloadError("payload too short to carry a signature")
+        sig, raw = raw[:_SIG_BYTES], raw[_SIG_BYTES:]
+        want = hmac.new(key.encode("utf-8"), raw, hashlib.sha256).digest()
+        if not hmac.compare_digest(sig, want):
+            raise PayloadError("payload signature mismatch")
+    return pickle.loads(raw)
 
 
 def worker_id() -> str:
@@ -65,10 +109,21 @@ class FabricClient:
     Speaks through any :class:`~repro.fabric.transport.Transport`
     (HTTP to a remote coordinator, or in-process for tests) — the same
     shared layer :class:`~repro.service.client.ServiceClient` uses.
+    The transport's bearer token doubles as the payload-signing key.
+
+    Every protocol route is replay-safe by design (a re-granted lease
+    expires and requeues; duplicate completions and stale failure
+    reports are journaled no-ops), so the calls opt into the
+    transport's connection-level retry with ``idempotent=True``.
     """
 
     def __init__(self, transport: Transport) -> None:
         self.transport = transport
+
+    @property
+    def payload_key(self) -> str | None:
+        """HMAC key for point/result payloads (the bearer token)."""
+        return self.transport.token
 
     def status(self) -> dict:
         """Coordinator queue snapshot (``repro fabric status``)."""
@@ -80,12 +135,14 @@ class FabricClient:
         payload = {"worker": worker}
         if lease_s is not None:
             payload["lease_s"] = lease_s
-        return self.transport.json("POST", "/v1/fabric/lease", payload)
+        return self.transport.json("POST", "/v1/fabric/lease", payload,
+                                   idempotent=True)
 
     def heartbeat(self, worker: str, item_id: str) -> bool:
         """Refresh a lease; ``False`` means it is no longer ours."""
         doc = self.transport.json("POST", "/v1/fabric/heartbeat",
-                                  {"worker": worker, "id": item_id})
+                                  {"worker": worker, "id": item_id},
+                                  idempotent=True)
         return bool(doc.get("ok"))
 
     def complete(self, worker: str, item_id: str, value) -> str:
@@ -93,14 +150,16 @@ class FabricClient:
         doc = self.transport.json(
             "POST", "/v1/fabric/complete",
             {"worker": worker, "id": item_id,
-             "result": encode_payload(value)})
+             "result": encode_payload(value, key=self.payload_key)},
+            idempotent=True)
         return str(doc.get("status", "done"))
 
     def fail(self, worker: str, item_id: str, error: str) -> str:
         """Report a terminal point failure; returns the item's new state."""
         doc = self.transport.json(
             "POST", "/v1/fabric/fail",
-            {"worker": worker, "id": item_id, "error": str(error)})
+            {"worker": worker, "id": item_id, "error": str(error)},
+            idempotent=True)
         return str(doc.get("state", ""))
 
 
@@ -218,7 +277,8 @@ class FabricWorker:
                     break
                 self._stop.wait(self.poll_s)
                 continue
-            self._run_one(item["id"], decode_payload(doc["point"]))
+            self._run_one(item, decode_payload(doc["point"],
+                                               key=self.client.payload_key))
         return self.done
 
     def run_one(self) -> bool:
@@ -227,12 +287,19 @@ class FabricWorker:
         item = doc.get("item")
         if item is None:
             return False
-        self._run_one(item["id"], decode_payload(doc["point"]))
+        self._run_one(item, decode_payload(doc["point"],
+                                           key=self.client.payload_key))
         return True
 
-    def _run_one(self, item_id: str, point) -> None:
+    def _run_one(self, item: dict, point) -> None:
+        item_id = item["id"]
+        # A batch-scoped timeout override rides on the item itself, so
+        # it applies no matter which worker the point lands on.
+        timeout_s = item.get("timeout_s")
+        if timeout_s is None:
+            timeout_s = self.timeout_s
         with _Heartbeat(self.client, self.worker, item_id,
-                        self.lease_s, self.timeout_s) as beat:
+                        self.lease_s, timeout_s) as beat:
             try:
                 value = self.runner.run([point])[0]
             except KeyboardInterrupt:

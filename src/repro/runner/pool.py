@@ -230,9 +230,22 @@ class Runner:
         self._m_workers.set(self.workers)
 
     # -- the core ----------------------------------------------------------
-    def run(self, points: Sequence[SimPoint]) -> list:
-        """Resolve every point; results are returned in input order."""
+    def run(self, points: Sequence[SimPoint], *,
+            timeout_s: float | None = None,
+            retries: int | None = None,
+            progress: Callable[[int, int, SimPoint, bool], None] | None = None,
+            ) -> list:
+        """Resolve every point; results are returned in input order.
+
+        The keyword-only arguments override the configured values for
+        this batch alone.  They are threaded through as locals — never
+        written to the instance — so concurrent batches on one shared
+        runner cannot cross-wire each other's callbacks or budgets.
+        """
         points = list(points)
+        timeout_s = self.timeout_s if timeout_s is None else timeout_s
+        retries = self.retries if retries is None else int(retries)
+        progress = self.progress if progress is None else progress
         self._m_batches.inc()
         self.stats.points += len(points)
         results: list = [None] * len(points)
@@ -254,9 +267,9 @@ class Runner:
                 self._m_points.labels(status=label).inc()
                 if cached:
                     self.stats.cache_hits += 1
-                if self.progress is not None:
+                if progress is not None:
                     try:
-                        self.progress(done, len(points), points[i], cached)
+                        progress(done, len(points), points[i], cached)
                     except Exception:
                         self.stats.progress_errors += 1
                         self._m_progress_errors.inc()
@@ -271,9 +284,10 @@ class Runner:
 
         start = time.perf_counter()
         if self.workers >= 2 and len(todo) > 1:
-            _PoolDriver(self, points, groups, todo, resolve).run()
+            _PoolDriver(self, points, groups, todo, resolve,
+                        timeout_s=timeout_s, retries=retries).run()
         else:
-            self._run_inline(points, groups, todo, resolve)
+            self._run_inline(points, groups, todo, resolve, retries)
         elapsed = time.perf_counter() - start
         self.stats.executed += len(todo)
         self.stats.execute_seconds += elapsed
@@ -305,7 +319,7 @@ class Runner:
             self.stats.traces_captured += written
             self._m_traces.inc(written)
 
-    def _run_inline(self, points, groups, todo, resolve) -> None:
+    def _run_inline(self, points, groups, todo, resolve, retries) -> None:
         for key in todo:
             point = points[groups[key][0]]
             attempt = 0
@@ -316,7 +330,7 @@ class Runner:
                     raise
                 except Exception as exc:
                     attempt += 1
-                    if attempt <= self.retries:
+                    if attempt <= retries:
                         self._count_retry(key, attempt)
                         continue
                     self._terminal(key, point, exc, resolve)
@@ -362,20 +376,13 @@ class Runner:
         """:class:`~repro.runner.backend.ExecutionBackend` entry point.
 
         Identical to :meth:`run`, with per-batch overrides: any of the
-        keyword-only arguments set here replaces the runner's configured
-        value for this batch alone (restored afterwards).
+        keyword-only arguments set here replaces the runner's
+        configured value for this batch alone.  The overrides are
+        threaded through as parameters (never stored on the instance),
+        so concurrent batches on one shared runner stay isolated.
         """
-        saved = (self.timeout_s, self.retries, self.progress)
-        if timeout_s is not None:
-            self.timeout_s = timeout_s
-        if retries is not None:
-            self.retries = int(retries)
-        if on_progress is not None:
-            self.progress = on_progress
-        try:
-            return self.run(points)
-        finally:
-            self.timeout_s, self.retries, self.progress = saved
+        return self.run(points, timeout_s=timeout_s, retries=retries,
+                        progress=on_progress)
 
     # -- reporting ---------------------------------------------------------
     def meta(self) -> dict:
@@ -398,11 +405,17 @@ class _PoolDriver:
     only a key that fails alone is charged an attempt.
     """
 
-    def __init__(self, runner: Runner, points, groups, todo, resolve) -> None:
+    def __init__(self, runner: Runner, points, groups, todo, resolve, *,
+                 timeout_s: float | None = None,
+                 retries: int | None = None) -> None:
         self.r = runner
         self.points = points
         self.groups = groups
         self.resolve = resolve
+        # Batch-scoped budgets (run()'s overrides, else the configured
+        # defaults) — read from here, not from the shared runner.
+        self.timeout_s = runner.timeout_s if timeout_s is None else timeout_s
+        self.retries = runner.retries if retries is None else int(retries)
         self.queue: deque[str] = deque(todo)
         self.isolate: deque[str] = deque()
         self.attempts: dict[str, int] = {key: 0 for key in todo}
@@ -450,9 +463,9 @@ class _PoolDriver:
         if not self.inflight:
             return
         timeout = None
-        if self.r.timeout_s is not None:
+        if self.timeout_s is not None:
             now = time.perf_counter()
-            deadline = min(self.started[f] for f in self.inflight) + self.r.timeout_s
+            deadline = min(self.started[f] for f in self.inflight) + self.timeout_s
             timeout = max(0.02, deadline - now)
         finished, _ = wait(set(self.inflight), timeout=timeout,
                            return_when=FIRST_COMPLETED)
@@ -476,7 +489,7 @@ class _PoolDriver:
                 self.resolve(key, value, cached=False)
             else:
                 self._failure(key, exc, solo_retry=False)
-        if not finished and self.r.timeout_s is not None:
+        if not finished and self.timeout_s is not None:
             self._handle_timeouts()
 
     @staticmethod
@@ -504,7 +517,7 @@ class _PoolDriver:
     def _handle_timeouts(self) -> None:
         now = time.perf_counter()
         victims = [f for f in self.inflight
-                   if now - self.started[f] > self.r.timeout_s]
+                   if now - self.started[f] > self.timeout_s]
         if not victims:
             return
         victim_keys = [self.inflight[f] for f in victims]
@@ -524,7 +537,7 @@ class _PoolDriver:
             self._failure(
                 key,
                 TimeoutError(
-                    f"point exceeded timeout_s={self.r.timeout_s:g}"
+                    f"point exceeded timeout_s={self.timeout_s:g}"
                 ),
                 solo_retry=True,
             )
@@ -532,7 +545,7 @@ class _PoolDriver:
     def _failure(self, key: str, exc: BaseException, solo_retry: bool) -> None:
         self.attempts[key] += 1
         attempt = self.attempts[key]
-        if attempt <= self.r.retries:
+        if attempt <= self.retries:
             self.r._count_retry(key, attempt)
             # Crashers/timeouts damaged the pool — retry them solo so a
             # repeat offence cannot take innocents down with it.

@@ -269,18 +269,23 @@ class Scheduler:
         def beat(done, total, point, cached) -> None:
             self.queue.heartbeat(job.id, lease_s=self.lease_s)
 
-        # An injected backend is shared across jobs, so quarantine
-        # records accumulate: only the ones this batch added are this
-        # job's poison.
-        seen = len(getattr(runner, "quarantined", ()))
         values = runner.run_points(points, timeout_s=self.timeout_s,
                                    retries=self.point_retries,
                                    on_progress=beat)
-        quarantined = list(getattr(runner, "quarantined", ()))[seen:]
-        if quarantined:
-            detail = "; ".join(q["error"] for q in quarantined[:3])
+        # A quarantined point resolves to None (the runner's documented
+        # sentinel).  Detecting poison from this batch's own values —
+        # rather than slicing the shared runner.quarantined list — stays
+        # correct when concurrent jobs share one injected backend and
+        # their quarantine records interleave.
+        poison_keys = list(dict.fromkeys(
+            p.key() for p, v in zip(points, values) if v is None))
+        if poison_keys:
+            errors = {q["key"]: q["error"]
+                      for q in getattr(runner, "quarantined", ())}
+            detail = "; ".join(errors.get(k, "quarantined")
+                               for k in poison_keys[:3])
             raise RunnerError(
-                f"{len(quarantined)} point(s) quarantined: {detail}")
+                f"{len(poison_keys)} point(s) quarantined: {detail}")
         path = self.results_dir / f"{job.id}.json"
         write_result(path, points_envelope(points, values))
         return path, dict(runner.meta())

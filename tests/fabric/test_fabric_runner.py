@@ -6,10 +6,11 @@ these fast; the multi-process SIGKILL battery lives in
 """
 
 import pickle
+import threading
 
 import pytest
 
-from repro.fabric import FabricRunner
+from repro.fabric import FabricCoordinator, FabricRunner
 from repro.runner import ExecutionBackend, ResultCache, Runner, RunnerError
 from repro.telemetry import to_prometheus
 
@@ -93,6 +94,57 @@ def test_run_points_overrides_are_batch_scoped(tmp_path):
         assert fabric.progress is None
     assert values[0]["token"] == "a"
     assert seen == [(1, 1, False)]
+
+
+def test_concurrent_run_points_keep_overrides_isolated(tmp_path):
+    """Two scheduler-style threads sharing one backend must not
+    cross-wire progress callbacks or retry budgets (regression: the
+    old implementation mutated shared instance state per batch)."""
+    seen = {"a": [], "b": []}
+    out = {}
+    with make_runner(tmp_path, workers=2) as fabric:
+        def job(name, tokens):
+            pts = [OkPoint(token=t) for t in tokens]
+            out[name] = fabric.run_points(
+                pts, retries=1,
+                on_progress=lambda done, total, point, cached:
+                    seen[name].append(point.token))
+
+        threads = [
+            threading.Thread(target=job, args=("a", ["a1", "a2", "a3"])),
+            threading.Thread(target=job, args=("b", ["b1", "b2", "b3"])),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+    assert [v["token"] for v in out["a"]] == ["a1", "a2", "a3"]
+    assert [v["token"] for v in out["b"]] == ["b1", "b2", "b3"]
+    # Each batch's callback saw exactly its own points.
+    assert sorted(seen["a"]) == ["a1", "a2", "a3"]
+    assert sorted(seen["b"]) == ["b1", "b2", "b3"]
+
+
+def test_duplicate_completion_cannot_overwrite_stored_result(tmp_path):
+    """First write wins: once a completion is journaled, a buggy or
+    nondeterministic duplicate must not replace the cached bytes."""
+    cache = ResultCache(directory=tmp_path / "cache")
+    coordinator = FabricCoordinator(tmp_path / "fab", cache=cache)
+    _, (item_id,) = coordinator.queue.enqueue([OkPoint(token="a")])
+    key = OkPoint(token="a").key()
+    coordinator.queue.lease("w0")
+    assert coordinator.complete("w0", item_id, {"v": 1}) == "done"
+    assert coordinator.complete("w1", item_id, {"v": 2}) == "duplicate"
+    assert coordinator.value(key) == {"v": 1}
+    assert cache.get(key) == {"v": 1}
+
+
+def test_serve_refuses_non_loopback_bind_without_token(tmp_path):
+    coordinator = FabricCoordinator(tmp_path / "fab")
+    with pytest.raises(ValueError, match="non-loopback.*token"):
+        coordinator.serve(host="0.0.0.0")
+    assert coordinator.url is None  # nothing was bound
+    coordinator.close()
 
 
 def test_validation_errors():

@@ -91,6 +91,46 @@ def test_fail_retries_then_goes_terminal(tmp_path):
     assert len(journal_events(queue, "point_failed")) == 1
 
 
+def test_fail_from_stale_worker_is_a_noop(tmp_path):
+    """A late failure report from a reclaimed lease must not requeue
+    (double-lease) or spuriously FAIL the new holder's live item."""
+    queue, clock = make_queue(tmp_path, retries=0)
+    _, (item_id,) = queue.enqueue(points("a"))
+    queue.lease("w0")
+    clock[0] = 50.0  # w0's lease lapses...
+    queue.requeue_expired()
+    queue.lease("w1")  # ...and w1 picks the point up
+    assert queue.fail("w0", item_id, "late boom") == ItemState.LEASED
+    item = queue.get(item_id)
+    assert item.state == ItemState.LEASED and item.worker == "w1"
+    assert journal_events(queue, "point_failed") == []
+    # The live holder's own report still lands.
+    assert queue.fail("w1", item_id, "real boom") == ItemState.FAILED
+    assert queue.get(item_id).error == "real boom"
+
+
+def test_fail_from_never_leased_worker_is_a_noop(tmp_path):
+    queue, _ = make_queue(tmp_path)
+    _, (item_id,) = queue.enqueue(points("a"))
+    assert queue.fail("ghost", item_id, "boom") == ItemState.PENDING
+    assert queue.get(item_id).state == ItemState.PENDING
+    assert journal_events(queue, "point_requeued") == []
+
+
+def test_enqueue_stamps_batch_scoped_retry_budget(tmp_path):
+    """Per-batch retries travel on the items, not on shared queue state."""
+    queue, _ = make_queue(tmp_path, retries=0)
+    _, (item_id,) = queue.enqueue(points("a"), retries=1, timeout_s=7.5)
+    item = queue.get(item_id)
+    assert item.retries == 1 and item.timeout_s == 7.5
+    assert item.to_dict()["timeout_s"] == 7.5  # rides the lease response
+    queue.lease("w0")
+    assert queue.fail("w0", item_id, "boom") == ItemState.PENDING
+    queue.lease("w0")
+    assert queue.fail("w0", item_id, "boom") == ItemState.FAILED
+    assert queue.retries == 0  # queue default untouched
+
+
 def test_requeue_expired_recovers_then_quarantines(tmp_path):
     queue, clock = make_queue(tmp_path, max_recoveries=1)
     _, (item_id,) = queue.enqueue(points("a"))

@@ -87,6 +87,49 @@ def test_http_response_is_never_retried():
         server.server_close()
 
 
+def test_connection_retry_is_limited_to_idempotent_requests():
+    """A dropped connection cannot prove the server didn't execute the
+    request, so only GETs (and POSTs explicitly marked replay-safe,
+    like the fabric protocol routes) are retried."""
+    import socket
+    import threading
+
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(16)
+    accepted = []
+
+    def drop_loop():
+        while True:
+            try:
+                conn, _ = listener.accept()
+            except OSError:
+                return
+            accepted.append(1)
+            conn.close()  # accepted, then dropped before any response
+
+    thread = threading.Thread(target=drop_loop, daemon=True)
+    thread.start()
+    url = f"http://127.0.0.1:{listener.getsockname()[1]}"
+    transport = HttpTransport(url, retries=2, backoff_s=0.0, timeout_s=2.0)
+    try:
+        with pytest.raises(TransportError):
+            transport.json("POST", "/v1/jobs", {"experiment": "E1"})
+        post_attempts = len(accepted)
+        with pytest.raises(TransportError):
+            transport.json("GET", "/v1/jobs")
+        get_attempts = len(accepted) - post_attempts
+        with pytest.raises(TransportError):
+            transport.json("POST", "/v1/fabric/heartbeat",
+                           {"worker": "w0", "id": "0:0"}, idempotent=True)
+        marked_attempts = len(accepted) - post_attempts - get_attempts
+    finally:
+        listener.close()
+    assert post_attempts == 1      # non-idempotent: never replayed
+    assert get_attempts == 3       # GET: retries + 1
+    assert marked_attempts == 3    # replay-safe POST: retries + 1
+
+
 def test_connection_failure_raises_transport_error():
     # Bind-then-close guarantees nothing listens on the port.
     server, thread, url = serve_app_in_thread(EchoApp().handle)

@@ -1,6 +1,9 @@
 """The pull worker against an in-process coordinator (no sockets)."""
 
+import base64
 import threading
+
+import pytest
 
 from repro.fabric import (
     FabricClient,
@@ -9,7 +12,12 @@ from repro.fabric import (
     InProcessTransport,
     ItemState,
 )
-from repro.fabric.worker import decode_payload, encode_payload, worker_id
+from repro.fabric.worker import (
+    PayloadError,
+    decode_payload,
+    encode_payload,
+    worker_id,
+)
 from repro.telemetry import to_prometheus
 from repro.telemetry.metrics import MetricRegistry
 
@@ -25,6 +33,52 @@ def make_fabric(tmp_path, **kwargs):
 def test_payload_codec_round_trips():
     point = OkPoint(token="abc")
     assert decode_payload(encode_payload(point)) == point
+
+
+def test_keyed_payload_signs_and_verifies():
+    point = OkPoint(token="abc")
+    blob = encode_payload(point, key="sekrit")
+    assert decode_payload(blob, key="sekrit") == point
+
+
+def test_keyed_decode_rejects_tampering_before_unpickling():
+    blob = encode_payload(OkPoint(token="abc"), key="sekrit")
+    raw = bytearray(base64.b64decode(blob))
+    raw[-1] ^= 0x01  # flip one bit of the pickled body
+    tampered = base64.b64encode(bytes(raw)).decode("ascii")
+    with pytest.raises(PayloadError, match="signature"):
+        decode_payload(tampered, key="sekrit")
+    # Unsigned and wrong-key blobs never reach pickle.loads either.
+    with pytest.raises(PayloadError):
+        decode_payload(encode_payload(OkPoint(token="abc")), key="sekrit")
+    with pytest.raises(PayloadError):
+        decode_payload(blob, key="wrong")
+    with pytest.raises(PayloadError, match="too short"):
+        decode_payload(base64.b64encode(b"x").decode("ascii"), key="sekrit")
+
+
+def test_token_secured_fabric_round_trips(tmp_path):
+    """With a token both directions sign payloads and auth is enforced."""
+    coordinator = FabricCoordinator(tmp_path / "fab", token="sekrit")
+    coordinator.queue.enqueue([OkPoint(token="abc")])
+    client = FabricClient(InProcessTransport(coordinator.app,
+                                             token="sekrit"))
+    worker = FabricWorker(client, worker="w0", lease_s=5.0)
+    assert worker.run_one() is True
+    assert coordinator.queue.items()[0].state == ItemState.DONE
+    assert coordinator.value(OkPoint(token="abc").key())["squared"] == 9
+
+
+def test_wrong_token_is_rejected_with_constant_time_compare(tmp_path):
+    from repro.fabric import ApiError
+
+    coordinator = FabricCoordinator(tmp_path / "fab", token="sekrit")
+    coordinator.queue.enqueue([OkPoint(token="abc")])
+    client = FabricClient(InProcessTransport(coordinator.app,
+                                             token="wrong"))
+    with pytest.raises(ApiError) as err:
+        client.lease("w0")
+    assert err.value.status == 401
 
 
 def test_worker_id_names_host_and_pid():
@@ -91,7 +145,7 @@ def test_lost_lease_result_ships_as_late_completion(tmp_path):
                                recovered=True)
     other = client.lease("w1", lease_s=5.0)
     assert other["item"]["id"] == item_id
-    worker._run_one(item_id, decode_payload(doc["point"]))
+    worker._run_one(doc["item"], decode_payload(doc["point"]))
     item = coordinator.queue.get(item_id)
     assert item.state == ItemState.DONE
     assert item.completed_by == "w0"  # late, but accepted and stored
