@@ -262,7 +262,8 @@ def _service_client(url: str, token: str | None):
 
 
 def cmd_serve(host: str, port: int, state_dir: str, tokens: str | None,
-              workers: int, lease_s: float) -> int:
+              workers: int, lease_s: float,
+              max_queue_depth: int = 128) -> int:
     """``repro serve``: run the blocking simulation-service HTTP server."""
     from pathlib import Path
 
@@ -272,7 +273,8 @@ def cmd_serve(host: str, port: int, state_dir: str, tokens: str | None,
         config = ServiceConfig(
             host=host, port=port, state_dir=Path(state_dir),
             tokens_path=Path(tokens) if tokens else None,
-            workers=workers, lease_s=lease_s)
+            workers=workers, lease_s=lease_s,
+            max_queue_depth=max_queue_depth)
         service = Service(config)
     except ValueError as err:
         return fail(str(err), usage=True)
@@ -298,7 +300,8 @@ def cmd_serve(host: str, port: int, state_dir: str, tokens: str | None,
 
 
 def cmd_submit(target: str, variant: str, priority: int, url: str,
-               token: str | None, wait: bool, timeout: float) -> int:
+               token: str | None, wait: bool, timeout: float,
+               busy_retries: int = 2) -> int:
     """``repro submit``: queue an experiment id or a points JSON file."""
     import json
     from pathlib import Path
@@ -326,7 +329,8 @@ def cmd_submit(target: str, variant: str, priority: int, url: str,
                         f"{{\"points\": [...]}}", usage=True)
     try:
         job = client.submit(experiment=experiment, variant=variant,
-                            points=points, priority=priority)
+                            points=points, priority=priority,
+                            busy_retries=busy_retries)
     except ApiError as err:
         return fail(str(err), usage=err.status in (400, 404))
     except TransportError as err:
@@ -456,6 +460,13 @@ def cmd_fabric(action: str, url: str, token: str | None,
     states = snap.get("states", {})
     print(f"coordinator : {url}"
           f"{'  (draining)' if snap.get('draining') else ''}")
+    health = snap.get("health") or {}
+    if health:
+        reasons = health.get("reasons") or {}
+        detail = ("  (" + "; ".join(
+            f"{k}: {v}" for k, v in sorted(reasons.items())) + ")"
+            if reasons else "")
+        print(f"health      : {health.get('state', 'unknown')}{detail}")
     print(f"items       : {snap.get('items', 0)}  ("
           + ", ".join(f"{k}={v}" for k, v in sorted(states.items())) + ")")
     print(f"lease_s     : {snap.get('lease_s')}")
@@ -816,6 +827,9 @@ def main(argv: list[str] | None = None) -> int:
                          help="scheduler worker threads (default 2)")
     serve_p.add_argument("--lease-s", type=float, default=60.0,
                          help="job lease duration in seconds (default 60)")
+    serve_p.add_argument("--max-queue-depth", type=int, default=128,
+                         help="shed submissions with 503 + Retry-After "
+                              "past this many queued jobs (default 128)")
     submit_p = sub.add_parser(
         "submit", help="submit a job to a running repro service")
     submit_p.add_argument("target", metavar="EXP_ID|points.json",
@@ -831,6 +845,9 @@ def main(argv: list[str] | None = None) -> int:
                           help="poll until the job reaches a terminal state")
     submit_p.add_argument("--timeout", type=float, default=600.0,
                           help="--wait deadline in seconds (default 600)")
+    submit_p.add_argument("--busy-retries", type=int, default=2,
+                          help="re-submit after 429/503 honouring the "
+                               "server's Retry-After (default 2)")
     jobs_p = sub.add_parser(
         "jobs", help="inspect/cancel jobs on a running repro service")
     jobs_p.add_argument("jobs_command",
@@ -967,10 +984,11 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_journal_compact(args.journal)
     if args.command == "serve":
         return cmd_serve(args.host, args.port, args.state_dir, args.tokens,
-                         args.workers, args.lease_s)
+                         args.workers, args.lease_s, args.max_queue_depth)
     if args.command == "submit":
         return cmd_submit(args.target, args.variant, args.priority,
-                          args.url, args.token, args.wait, args.timeout)
+                          args.url, args.token, args.wait, args.timeout,
+                          args.busy_retries)
     if args.command == "jobs":
         return cmd_jobs(args.jobs_command, args.job_id, args.url,
                         args.token, args.state, args.out)

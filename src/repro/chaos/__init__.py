@@ -1,0 +1,50 @@
+"""Deterministic chaos harness for the infrastructure substrate.
+
+The twin of :mod:`repro.faults`: where that package injects faults into
+the *simulated cluster*, this one injects them into the real
+infrastructure built around it — the service API, the distributed
+fabric, and the caches/journals underneath — through three planes:
+
+* **transport** — :class:`ChaosTransport` wraps any
+  :class:`~repro.fabric.transport.Transport` and drops/delays/5xx-es
+  requests by op index;
+* **filesystem** — :class:`ChaosFS` plugs into the
+  :class:`~repro.runner.fsio.LocalFS` seam behind ``ResultCache``,
+  ``RunJournal`` and both queues, raising ENOSPC/EIO and tearing
+  writes at byte offsets;
+* **process** — :class:`ProcessChaos` drives worker kill/hang
+  schedules from the harness side.
+
+Everything is driven by one declarative, JSON-round-trippable
+:class:`ChaosSchedule` with a single ``seed``: a failing run's schedule
+*is* its reproduction recipe (the CI ``chaos-matrix`` job uploads it on
+failure).
+"""
+
+from repro.chaos.fs import ChaosFS
+from repro.chaos.process import ProcessChaos, kill_pid, stop_then_continue
+from repro.chaos.spec import (
+    ChaosSchedule,
+    DiskError,
+    DiskFull,
+    TornWrite,
+    TransportFlap,
+    WorkerHang,
+    WorkerKill,
+)
+from repro.chaos.transport import ChaosTransport
+
+__all__ = [
+    "ChaosFS",
+    "ChaosSchedule",
+    "ChaosTransport",
+    "DiskError",
+    "DiskFull",
+    "ProcessChaos",
+    "TornWrite",
+    "TransportFlap",
+    "WorkerHang",
+    "WorkerKill",
+    "kill_pid",
+    "stop_then_continue",
+]

@@ -1,0 +1,120 @@
+"""Filesystem fault plane: a :class:`~repro.runner.fsio.LocalFS` that
+fails like a real disk.
+
+:class:`ChaosFS` counts **write-plane opens** (any ``open`` whose mode
+writes: ``w``/``a``/``x``/``+``) and injects the schedule's fs faults
+by op index — the Nth durable write is the Nth durable write on every
+run, so an ENOSPC episode lands on exactly the same cache store or
+journal append when a failing seed is replayed.  Read-plane opens pass
+straight through uncounted: the degradation contracts under test
+(cache memory fallback, journal torn-tail healing, lease refusal) are
+all about the write path.
+
+Faults:
+
+* :class:`~repro.chaos.spec.DiskFull` — the open raises ``ENOSPC``;
+* :class:`~repro.chaos.spec.DiskError` — the open raises ``EIO``;
+* :class:`~repro.chaos.spec.TornWrite` — the open succeeds but the
+  handle persists only the first ``keep_bytes`` of what is written,
+  then raises ``EIO``; the torn prefix really reaches the file, which
+  is precisely the artifact the journals' drop-garbled-tail discipline
+  exists to absorb.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import threading
+from pathlib import Path
+
+from repro.chaos.spec import ChaosSchedule, DiskError, DiskFull, TornWrite
+from repro.runner.fsio import LocalFS
+
+__all__ = ["ChaosFS"]
+
+
+class _TornHandle:
+    """File-handle proxy that tears the first write at a byte offset."""
+
+    def __init__(self, handle, keep: int) -> None:
+        self._handle = handle
+        self._budget = int(keep)
+        self._torn = False
+
+    def write(self, data) -> int:
+        if self._torn:
+            raise OSError(errno.EIO, os.strerror(errno.EIO))
+        kept = data[:self._budget]
+        if kept:
+            self._handle.write(kept)
+            self._handle.flush()
+            self._budget -= len(kept)
+        self._torn = True
+        raise OSError(errno.EIO, os.strerror(errno.EIO))
+
+    def flush(self) -> None:
+        if self._torn:
+            raise OSError(errno.EIO, os.strerror(errno.EIO))
+        self._handle.flush()
+
+    def fileno(self) -> int:
+        return self._handle.fileno()
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "_TornHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ChaosFS(LocalFS):
+    """Fault-injecting filesystem seam, driven by a
+    :class:`~repro.chaos.spec.ChaosSchedule`'s fs plane.
+
+    Thread-safe: the op counter is lock-protected, so concurrent
+    writers (coordinator threads, scheduler workers) observe one global
+    deterministic op order per run.  ``injected`` counts faults
+    actually delivered, for assertions.
+    """
+
+    def __init__(self, schedule: ChaosSchedule) -> None:
+        self.schedule = schedule
+        self._lock = threading.Lock()
+        self.write_ops = 0
+        self.injected = 0
+
+    @staticmethod
+    def _writes(mode: str) -> bool:
+        return any(flag in mode for flag in ("w", "a", "x", "+"))
+
+    def _fault_for(self, op: int):
+        for spec in self.schedule.fs_faults():
+            if isinstance(spec, (DiskFull, DiskError)):
+                if spec.start_op <= op < spec.start_op + spec.count:
+                    return spec
+            elif isinstance(spec, TornWrite) and spec.at_op == op:
+                return spec
+        return None
+
+    def open(self, path: str | Path, mode: str = "r",
+             encoding: str | None = None):
+        if not self._writes(mode):
+            return super().open(path, mode, encoding)
+        with self._lock:
+            op = self.write_ops
+            self.write_ops += 1
+            spec = self._fault_for(op)
+            if spec is not None:
+                self.injected += 1
+        if spec is None:
+            return super().open(path, mode, encoding)
+        if isinstance(spec, DiskFull):
+            raise OSError(errno.ENOSPC, os.strerror(errno.ENOSPC), str(path))
+        if isinstance(spec, DiskError):
+            raise OSError(errno.EIO, os.strerror(errno.EIO), str(path))
+        return _TornHandle(super().open(path, mode, encoding),
+                           spec.keep_bytes)

@@ -1,0 +1,116 @@
+"""Process fault plane: kill/hang schedules for worker processes.
+
+Unlike the transport and fs planes, process faults cannot be injected
+from *inside* the victim — a SIGKILL is delivered by the harness that
+owns the process.  :class:`ProcessChaos` is that harness-side driver:
+it watches a completion counter (the coordinator queue's DONE count,
+typically) and fires each :class:`~repro.chaos.spec.WorkerKill` /
+:class:`~repro.chaos.spec.WorkerHang` exactly once when its
+``after_done`` threshold is crossed.
+
+The killing/stopping itself goes through injected callables, so the
+same driver serves ``os.kill(pid, SIGKILL)`` harnesses and
+thread-worker tests that "hang" by other means.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+
+from repro.chaos.spec import ChaosSchedule, WorkerHang, WorkerKill
+
+__all__ = ["ProcessChaos", "kill_pid", "stop_then_continue"]
+
+
+def kill_pid(pid: int) -> bool:
+    """SIGKILL one process; ``False`` when it is already gone."""
+    try:
+        os.kill(pid, signal.SIGKILL)
+        return True
+    except ProcessLookupError:
+        return False
+
+
+def stop_then_continue(pid: int, hang_s: float) -> bool:
+    """SIGSTOP now, SIGCONT on a timer — a bounded hard hang."""
+    try:
+        os.kill(pid, signal.SIGSTOP)
+    except ProcessLookupError:
+        return False
+
+    def resume() -> None:
+        try:
+            os.kill(pid, signal.SIGCONT)
+        except ProcessLookupError:
+            pass
+
+    timer = threading.Timer(hang_s, resume)
+    timer.daemon = True
+    timer.start()
+    return True
+
+
+class ProcessChaos:
+    """Fire the schedule's process faults against a worker fleet.
+
+    Parameters
+    ----------
+    schedule:
+        Source of :class:`WorkerKill` / :class:`WorkerHang` specs.
+    kill / hang:
+        ``kill(worker_name)`` and ``hang(worker_name, hang_s)``
+        callables supplied by the harness (it knows how worker names
+        map to PIDs/threads).  Each returns truthy when the fault was
+        actually delivered.
+
+    Call :meth:`poll` whenever the observed completion count may have
+    advanced; each spec fires at most once.  Thread-safe.
+    """
+
+    def __init__(self, schedule: ChaosSchedule, kill=None, hang=None) -> None:
+        self.schedule = schedule
+        self.kill = kill
+        self.hang = hang
+        self._lock = threading.Lock()
+        self._pending = list(schedule.process_faults())
+        self.fired: list = []
+
+    @property
+    def done(self) -> bool:
+        """Whether every process fault has been delivered."""
+        with self._lock:
+            return not self._pending
+
+    def poll(self, completed: int, pick=None) -> list:
+        """Fire every pending spec whose threshold is crossed.
+
+        ``pick()`` (optional) names a victim for specs whose ``worker``
+        is ``None`` — e.g. "whichever worker currently holds a lease".
+        Returns the specs fired by this call.
+        """
+        with self._lock:
+            ready = [s for s in self._pending if s.after_done <= completed]
+            self._pending = [s for s in self._pending
+                             if s.after_done > completed]
+        fired = []
+        for spec in ready:
+            victim = spec.worker
+            if victim is None and pick is not None:
+                victim = pick()
+            delivered = False
+            if isinstance(spec, WorkerKill) and self.kill is not None:
+                delivered = bool(self.kill(victim))
+            elif isinstance(spec, WorkerHang) and self.hang is not None:
+                delivered = bool(self.hang(victim, spec.hang_s))
+            if delivered:
+                fired.append(spec)
+            else:
+                # Victim not deliverable yet (e.g. no lease holder):
+                # rearm so a later poll retries.
+                with self._lock:
+                    self._pending.append(spec)
+        with self._lock:
+            self.fired.extend(fired)
+        return fired

@@ -1,0 +1,286 @@
+"""Declarative chaos specifications for the infrastructure substrate.
+
+:mod:`repro.faults` injects faults into the *simulated cluster*
+(stragglers, link flaps, rank crashes); this module is its twin for the
+*real* infrastructure around the simulator — the service API, the
+fabric protocol, and the journals/caches under them.  A
+:class:`ChaosSchedule` is plain data: typed specs across three fault
+planes, plus one ``seed`` feeding every probabilistic decision, so a
+failing chaos run replays **exactly** from its schedule alone.
+
+Fault planes and their anchors:
+
+* **transport** (:class:`TransportFlap`) — anchored at the wrapping
+  :class:`~repro.chaos.transport.ChaosTransport`'s request-op index;
+* **filesystem** (:class:`DiskFull`, :class:`DiskError`,
+  :class:`TornWrite`) — anchored at the
+  :class:`~repro.chaos.fs.ChaosFS`'s write-open op index;
+* **process** (:class:`WorkerKill`, :class:`WorkerHang`) — anchored at
+  completion counts, consumed by test harnesses via
+  :class:`~repro.chaos.process.ProcessChaos`.
+
+Op-count anchoring (instead of wall-clock windows) is what makes
+replay deterministic: the Nth write is the Nth write on every run,
+however fast the host is.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass, field
+from typing import Any, Iterator
+
+__all__ = [
+    "ChaosSchedule",
+    "DiskError",
+    "DiskFull",
+    "TornWrite",
+    "TransportFlap",
+    "WorkerHang",
+    "WorkerKill",
+]
+
+#: Transport fault modes: vanish (``TransportError``), stall, or answer
+#: with a synthesized 5xx envelope.
+_FLAP_MODES = ("drop", "delay", "error")
+
+
+def _check_window(start_op: int, count: int) -> None:
+    if start_op < 0:
+        raise ValueError("start_op must be >= 0")
+    if count < 1:
+        raise ValueError("count must be >= 1")
+
+
+@dataclass(frozen=True)
+class TransportFlap:
+    """Requests in ``[start_op, start_op+count)`` misbehave.
+
+    Each request in the window draws once from the schedule RNG and is
+    faulted with ``probability``; ``mode`` picks how — ``"drop"``
+    raises :class:`~repro.fabric.transport.TransportError` (the request
+    never produced a response), ``"delay"`` sleeps ``delay_s`` before
+    forwarding, ``"error"`` short-circuits with an HTTP ``status``
+    error envelope (code ``"chaos"``).
+    """
+
+    start_op: int
+    count: int
+    probability: float = 1.0
+    mode: str = "drop"
+    delay_s: float = 0.05
+    status: int = 503
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_op, self.count)
+        if not 0 < self.probability <= 1:
+            raise ValueError("probability must be in (0, 1]")
+        if self.mode not in _FLAP_MODES:
+            raise ValueError(f"mode must be one of {_FLAP_MODES}")
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be >= 0")
+        if not 500 <= self.status <= 599:
+            raise ValueError("status must be a 5xx code")
+
+
+@dataclass(frozen=True)
+class DiskFull:
+    """Write-opens in ``[start_op, start_op+count)`` raise ENOSPC."""
+
+    start_op: int
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_op, self.count)
+
+
+@dataclass(frozen=True)
+class DiskError:
+    """Write-opens in ``[start_op, start_op+count)`` raise EIO."""
+
+    start_op: int
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_op, self.count)
+
+
+@dataclass(frozen=True)
+class TornWrite:
+    """Write-open ``at_op`` persists only ``keep_bytes``, then raises EIO.
+
+    Models a crash mid-``write()``: the handle really writes the prefix
+    to disk (so readers see a torn tail, exactly what the journals'
+    drop-garbled-tail discipline must absorb) and every later operation
+    on it fails.
+    """
+
+    at_op: int
+    keep_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.at_op < 0:
+            raise ValueError("at_op must be >= 0")
+        if self.keep_bytes < 0:
+            raise ValueError("keep_bytes must be >= 0")
+
+
+@dataclass(frozen=True)
+class WorkerKill:
+    """SIGKILL one worker once ``after_done`` completions are observed.
+
+    ``worker`` optionally names which (harness-specific identity);
+    ``None`` means whichever currently holds a lease.
+    """
+
+    after_done: int
+    worker: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.after_done < 0:
+            raise ValueError("after_done must be >= 0")
+
+
+@dataclass(frozen=True)
+class WorkerHang:
+    """One worker stops making progress for ``hang_s`` after
+    ``after_done`` completions (SIGSTOP/sleep in the harness) — long
+    enough to lapse its lease, short enough to come back and report
+    late."""
+
+    after_done: int
+    hang_s: float = 5.0
+    worker: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.after_done < 0:
+            raise ValueError("after_done must be >= 0")
+        if self.hang_s <= 0:
+            raise ValueError("hang_s must be > 0")
+
+
+#: JSON ``type`` tag ↔ spec class (the :mod:`repro.faults` idiom).
+_TYPES = {
+    "transport_flap": TransportFlap,
+    "disk_full": DiskFull,
+    "disk_error": DiskError,
+    "torn_write": TornWrite,
+    "worker_kill": WorkerKill,
+    "worker_hang": WorkerHang,
+}
+_TAGS = {cls: tag for tag, cls in _TYPES.items()}
+
+#: Which plane each spec type injects into.
+_PLANES = {
+    TransportFlap: "transport",
+    DiskFull: "fs",
+    DiskError: "fs",
+    TornWrite: "fs",
+    WorkerKill: "process",
+    WorkerHang: "process",
+}
+
+ChaosSpec = (
+    TransportFlap | DiskFull | DiskError | TornWrite | WorkerKill | WorkerHang
+)
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """An ordered collection of chaos specs plus the replay seed."""
+
+    faults: tuple = field(default_factory=tuple)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for spec in self.faults:
+            if type(spec) not in _TAGS:
+                raise TypeError(f"not a chaos spec: {spec!r}")
+        if not isinstance(self.seed, int):
+            raise TypeError("seed must be an integer")
+
+    def __iter__(self) -> Iterator[ChaosSpec]:
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    @classmethod
+    def of(cls, *specs: ChaosSpec, seed: int = 0) -> "ChaosSchedule":
+        """Build from spec arguments."""
+        return cls(tuple(specs), seed=seed)
+
+    def rng(self) -> random.Random:
+        """A fresh RNG seeded for exact replay.
+
+        Every consumer that needs randomness (one
+        :class:`~repro.chaos.transport.ChaosTransport`, say) takes its
+        own ``rng()`` so interleaving between consumers cannot change
+        any one consumer's draw sequence.
+        """
+        return random.Random(self.seed)
+
+    # -- plane filters ------------------------------------------------------
+    def plane(self, name: str) -> tuple:
+        """The specs injecting into one plane
+        (``"transport"``/``"fs"``/``"process"``)."""
+        if name not in ("transport", "fs", "process"):
+            raise ValueError(f"unknown fault plane {name!r}")
+        return tuple(s for s in self.faults if _PLANES[type(s)] == name)
+
+    def transport_faults(self) -> tuple:
+        return self.plane("transport")
+
+    def fs_faults(self) -> tuple:
+        return self.plane("fs")
+
+    def process_faults(self) -> tuple:
+        return self.plane("process")
+
+    # -- (de)serialization --------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ChaosSchedule":
+        """Parse ``{"seed": ..., "faults": [{"type": ..., ...}, ...]}``."""
+        if not isinstance(data, dict) or "faults" not in data:
+            raise ValueError(
+                "schedule must be an object with a 'faults' array")
+        seed = data.get("seed", 0)
+        if not isinstance(seed, int):
+            raise ValueError("seed must be an integer")
+        specs = []
+        for i, item in enumerate(data["faults"]):
+            if not isinstance(item, dict) or "type" not in item:
+                raise ValueError(
+                    f"fault #{i} must be an object with a 'type'")
+            kind = item["type"]
+            spec_cls = _TYPES.get(kind)
+            if spec_cls is None:
+                raise ValueError(
+                    f"fault #{i}: unknown type {kind!r} "
+                    f"(expected one of {sorted(_TYPES)})")
+            kwargs = {k: v for k, v in item.items() if k != "type"}
+            try:
+                specs.append(spec_cls(**kwargs))
+            except TypeError as err:
+                raise ValueError(f"fault #{i} ({kind}): {err}") from err
+        return cls(tuple(specs), seed=seed)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosSchedule":
+        """Parse a JSON document in the :meth:`from_dict` schema."""
+        return cls.from_dict(json.loads(text))
+
+    def to_dict(self) -> dict[str, Any]:
+        """Inverse of :meth:`from_dict` (round-trip safe)."""
+        return {
+            "seed": self.seed,
+            "faults": [{"type": _TAGS[type(spec)], **asdict(spec)}
+                       for spec in self.faults],
+        }
+
+    def to_json(self) -> str:
+        """Serialize to the JSON schema ``from_json`` reads — what the
+        CI ``chaos-matrix`` job uploads as the replay artifact."""
+        return json.dumps(self.to_dict(), indent=1)

@@ -10,12 +10,16 @@ hosts the primitives the rest of the codebase shares:
   (consumed by :mod:`repro.service.queue` too);
 * :mod:`repro.fabric.transport` — the single HTTP client/server layer
   and the typed :class:`ServiceError` hierarchy;
+* :mod:`repro.fabric.breaker` / :mod:`repro.fabric.health` — the shared
+  circuit breaker and the healthy/degraded/draining state machine;
 * :mod:`repro.fabric.queue` — the journaled point queue;
 * :mod:`repro.fabric.worker` — the pull-loop worker (``repro worker``);
 * :mod:`repro.fabric.runner` — coordinator + the drop-in
   :class:`FabricRunner` execution backend.
 """
 
+from repro.fabric.breaker import CircuitBreaker, CircuitOpenError
+from repro.fabric.health import Health
 from repro.fabric.lease import LeaseManager, atomic_write
 from repro.fabric.queue import ItemState, PointQueue, PointQueueError, WorkItem
 from repro.fabric.runner import FabricApp, FabricCoordinator, FabricRunner
@@ -36,11 +40,14 @@ from repro.fabric.worker import (
 
 __all__ = [
     "ApiError",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "FabricApp",
     "FabricClient",
     "FabricCoordinator",
     "FabricRunner",
     "FabricWorker",
+    "Health",
     "HttpTransport",
     "InProcessTransport",
     "ItemState",

@@ -1,0 +1,143 @@
+"""Shared circuit breaker: closed → open → half-open, deterministic.
+
+Both remote-call clients (:class:`~repro.service.client.ServiceClient`
+and :class:`~repro.fabric.worker.FabricClient`) face the same failure
+shape: a peer that is down or overloaded answers every request with a
+connection error or a 5xx, and a naive retry loop turns one sick
+server into a fleet-wide retry storm.  A :class:`CircuitBreaker`
+attached to a transport converts consecutive failures into *fast
+local* rejections:
+
+* **closed** — requests flow; ``failures`` consecutive failures trip
+  the breaker open;
+* **open** — :meth:`allow` raises :class:`CircuitOpenError`
+  immediately (no network I/O) until the backoff window lapses.  The
+  window doubles on every consecutive trip, capped at
+  ``max_backoff_s`` — deterministic, so tests with an injected clock
+  replay exactly;
+* **half-open** — after the window, exactly one probe request is let
+  through; its success closes the breaker (and resets the backoff
+  ladder), its failure re-opens with the next-longer window.
+
+The breaker is transport-agnostic: :meth:`allow` /
+:meth:`record_success` / :meth:`record_failure` are called by
+:class:`~repro.fabric.transport.Transport`'s decoded request paths.
+A :class:`TransportError` or any 5xx response counts as a failure;
+every other response (including 4xx — the server is *working*, it just
+dislikes the request) counts as success.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.fabric.transport import ServiceError
+
+__all__ = ["CircuitBreaker", "CircuitOpenError"]
+
+
+class CircuitOpenError(ServiceError):
+    """The breaker is open: the call was rejected without any I/O.
+
+    ``retry_after`` is the remaining backoff in seconds — the local
+    analogue of a server's ``Retry-After`` header, and callers handle
+    both the same way.
+    """
+
+    def __init__(self, message: str, retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class CircuitBreaker:
+    """Thread-safe closed/open/half-open breaker with capped backoff."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(self, failures: int = 5, backoff_s: float = 0.5,
+                 max_backoff_s: float = 30.0, clock=time.monotonic) -> None:
+        if failures < 1:
+            raise ValueError("failures must be >= 1")
+        if backoff_s <= 0 or max_backoff_s < backoff_s:
+            raise ValueError("need 0 < backoff_s <= max_backoff_s")
+        self.failures = int(failures)
+        self.backoff_s = float(backoff_s)
+        self.max_backoff_s = float(max_backoff_s)
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._consecutive = 0
+        self._trips = 0
+        self._open_until = 0.0
+        self._probing = False
+
+    # -- inspection ---------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def as_dict(self) -> dict:
+        """Snapshot for status surfaces."""
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive,
+                "trips": self._trips,
+                "retry_after": (max(0.0, self._open_until - self.clock())
+                                if self._state == self.OPEN else 0.0),
+            }
+
+    # -- the protocol -------------------------------------------------------
+    def allow(self) -> None:
+        """Gate one request; raises :class:`CircuitOpenError` when open.
+
+        In the open state, the first caller past the backoff window is
+        promoted to the half-open probe; concurrent callers keep being
+        rejected until the probe reports.
+        """
+        with self._lock:
+            if self._state == self.CLOSED:
+                return
+            now = self.clock()
+            if now >= self._open_until and not self._probing:
+                self._probing = True
+                self._state = self.HALF_OPEN
+                return
+            wait = max(0.0, self._open_until - now)
+            raise CircuitOpenError(
+                f"circuit open after {self._consecutive} consecutive "
+                f"failure(s); retry in {wait:.3g}s",
+                retry_after=wait if wait > 0 else self._window())
+
+    def record_success(self) -> None:
+        """A request got a healthy answer: close and reset the ladder."""
+        with self._lock:
+            self._state = self.CLOSED
+            self._consecutive = 0
+            self._trips = 0
+            self._probing = False
+
+    def record_failure(self) -> None:
+        """A request failed; trip (or re-trip) once the threshold hits."""
+        with self._lock:
+            self._consecutive += 1
+            if self._state == self.HALF_OPEN:
+                self._trip()  # the probe failed: next-longer window
+            elif (self._state == self.CLOSED
+                    and self._consecutive >= self.failures):
+                self._trip()
+
+    # -- internals (call with the lock held) --------------------------------
+    def _window(self) -> float:
+        return min(self.backoff_s * (2 ** max(self._trips - 1, 0)),
+                   self.max_backoff_s)
+
+    def _trip(self) -> None:
+        self._trips += 1
+        self._state = self.OPEN
+        self._probing = False
+        self._open_until = self.clock() + self._window()

@@ -1,0 +1,93 @@
+"""Component health state machine: ``healthy``/``degraded``/``draining``.
+
+One :class:`Health` instance per long-lived component (the service,
+a fabric coordinator) aggregates keyed degradation *reasons* — a
+failing journal, a cache that cannot persist — into a single state:
+
+* **healthy** — no reasons outstanding;
+* **degraded** — at least one reason outstanding; the component keeps
+  serving what it safely can (reads, already-leased work) while
+  refusing what it cannot make durable;
+* **draining** — shutdown in progress; terminal (a draining component
+  never goes back to healthy).
+
+Reasons are edge-triggered by the code that detects the fault
+(``degrade(key, detail)``) and cleared by the code that observes
+recovery (``resolve(key)``) — typically the next successful write to
+the same resource, so recovery needs no background prober.  The state
+is surfaced on ``/healthz`` payloads and, when a registry is supplied,
+as ``{component}_health{state=...}`` one-hot gauges.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["Health"]
+
+
+class Health:
+    """Thread-safe keyed-reason health aggregator for one component."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    DRAINING = "draining"
+    STATES = (HEALTHY, DEGRADED, DRAINING)
+
+    def __init__(self, registry=None, component: str = "service") -> None:
+        self.component = str(component)
+        self._lock = threading.Lock()
+        self._reasons: dict[str, str] = {}
+        self._draining = False
+        self._gauge = None
+        if registry is not None:
+            self._gauge = registry.gauge(
+                f"{self.component}_health",
+                f"one-hot health state of the {self.component}",
+                labelnames=("state",))
+        self._publish()
+
+    # -- state --------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if self._draining:
+            return self.DRAINING
+        return self.DEGRADED if self._reasons else self.HEALTHY
+
+    def as_dict(self) -> dict:
+        """``{"state": ..., "reasons": {key: detail}}`` for healthz."""
+        with self._lock:
+            return {"state": self._state_locked(),
+                    "reasons": dict(sorted(self._reasons.items()))}
+
+    # -- transitions --------------------------------------------------------
+    def degrade(self, key: str, detail: str) -> None:
+        """Record one outstanding degradation reason (idempotent)."""
+        with self._lock:
+            self._reasons[str(key)] = str(detail)
+        self._publish()
+
+    def resolve(self, key: str) -> None:
+        """Clear one reason; healthy again once none remain."""
+        with self._lock:
+            self._reasons.pop(str(key), None)
+        self._publish()
+
+    def drain(self) -> None:
+        """Enter the terminal draining state (shutdown in progress)."""
+        with self._lock:
+            self._draining = True
+        self._publish()
+
+    # -- telemetry ----------------------------------------------------------
+    def _publish(self) -> None:
+        if self._gauge is None:
+            return
+        current = self.state
+        for state in self.STATES:
+            self._gauge.labels(state=state).set(
+                1.0 if state == current else 0.0)

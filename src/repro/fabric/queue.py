@@ -34,6 +34,7 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Sequence
 
+from repro.fabric.health import Health
 from repro.fabric.lease import LeaseManager
 from repro.runner.journal import RunJournal
 from repro.runner.simpoint import SimPoint
@@ -91,13 +92,28 @@ class PointQueue:
 
     Thread-safe: the HTTP server dispatches worker requests from many
     threads.  ``registry`` (optional) receives ``fabric_*`` counters.
+
+    Journal-failure policy: the fabric journal is an audit trail (this
+    queue never replays it), so a failing disk must not corrupt live
+    state — most events degrade :attr:`health` and proceed in memory.
+    The exception is **granting new leases**: handing out work the
+    journal cannot witness would silently widen the audit gap, so a
+    lease whose ``point_leased`` record cannot be written is reverted
+    and refused (the node answers "no work" until the disk recovers;
+    the next successful journal write resolves the degradation).
+    ``fs`` injects the filesystem seam for the chaos harness; ``health``
+    shares a :class:`~repro.fabric.health.Health` (one is created,
+    tagged ``fabric``, when not supplied).
     """
 
     def __init__(self, state_dir: str | Path, registry=None,
                  lease_s: float = 30.0, retries: int = 1,
-                 max_recoveries: int = 3, clock=time.time) -> None:
+                 max_recoveries: int = 3, clock=time.time,
+                 fs=None, health: Health | None = None) -> None:
         self.state_dir = Path(state_dir)
-        self.journal = RunJournal(self.state_dir / "fabric.jsonl")
+        self.journal = RunJournal(self.state_dir / "fabric.jsonl", fs=fs)
+        self.health = (health if health is not None
+                       else Health(registry=registry, component="fabric"))
         self.retries = int(retries)
         self.leases = LeaseManager(active_states=(ItemState.LEASED,),
                                    lease_s=lease_s,
@@ -112,8 +128,11 @@ class PointQueue:
         self.workers_seen: dict[str, float] = {}
         self._m_leases = self._m_heartbeats = self._m_completions = None
         self._m_requeues = self._m_failures = self._m_depth = None
-        self._m_workers = None
+        self._m_workers = self._m_journal_errors = None
         if registry is not None:
+            self._m_journal_errors = registry.counter(
+                "fabric_journal_errors_total",
+                "journal appends lost to disk errors")
             self._m_leases = registry.counter(
                 "fabric_leases_total", "point leases granted to workers")
             self._m_heartbeats = registry.counter(
@@ -143,6 +162,24 @@ class PointQueue:
 
     def _saw(self, worker: str) -> None:
         self.workers_seen[str(worker)] = self.leases.clock()
+
+    # -- journal plumbing --------------------------------------------------
+    def _journal(self, event: str, **fields) -> bool:
+        """Append one audit record; ``False`` when the disk refused it.
+
+        Success doubles as the recovery probe: the first append that
+        lands after an outage resolves the ``journal`` degradation.
+        """
+        try:
+            self.journal.append(event, **fields)
+        except OSError as err:
+            if self._m_journal_errors is not None:
+                self._m_journal_errors.inc()
+            self.health.degrade("journal",
+                                f"{event} append failed: {err}")
+            return False
+        self.health.resolve("journal")
+        return True
 
     # -- enqueue -----------------------------------------------------------
     def enqueue(self, points: Sequence[SimPoint],
@@ -177,8 +214,8 @@ class PointQueue:
                 self._items[item.id] = item
                 self._points[item.id] = point
                 self._order.append(item.id)
-                self.journal.append("point_enqueued", id=item.id, key=key,
-                                    batch=batch, describe=item.describe)
+                self._journal("point_enqueued", id=item.id, key=key,
+                              batch=batch, describe=item.describe)
                 ids.append(item.id)
             self._update_gauges()
             return batch, ids
@@ -196,9 +233,17 @@ class PointQueue:
                 return None
             item.state = ItemState.LEASED
             lease_until = self.leases.grant(item, worker, lease_s)
-            self.journal.append("point_leased", id=item.id, worker=worker,
-                                lease_until=lease_until,
-                                attempts=item.attempts)
+            if not self._journal("point_leased", id=item.id, worker=worker,
+                                 lease_until=lease_until,
+                                 attempts=item.attempts):
+                # A lease the journal cannot witness must not stand:
+                # revert the grant (including its attempt charge) and
+                # refuse work until the disk recovers.
+                item.state = ItemState.PENDING
+                self.leases.release(item)
+                item.attempts -= 1
+                self._update_gauges()
+                return None
             if self._m_leases is not None:
                 self._m_leases.inc()
             self._update_gauges()
@@ -248,8 +293,8 @@ class PointQueue:
             item.completed_by = str(worker)
             item.error = None
             self.leases.release(item)
-            self.journal.append("point_done", id=item.id, worker=worker,
-                                status=status)
+            self._journal("point_done", id=item.id, worker=worker,
+                          status=status)
             if self._m_completions is not None:
                 self._m_completions.labels(status=status).inc()
             self._update_gauges()
@@ -281,8 +326,8 @@ class PointQueue:
                 item.state = ItemState.FAILED
                 item.error = str(error)
                 self.leases.release(item)
-                self.journal.append("point_failed", id=item.id,
-                                    worker=worker, error=str(error))
+                self._journal("point_failed", id=item.id,
+                              worker=worker, error=str(error))
             else:
                 self._requeue(item, error=str(error))
             self._update_gauges()
@@ -297,10 +342,10 @@ class PointQueue:
             item.error = str(error)
         if recovered:
             item.recoveries += 1
-        self.journal.append("point_requeued", id=item.id,
-                            recoveries=item.recoveries,
-                            **({"error": str(error)}
-                               if error is not None else {}))
+        self._journal("point_requeued", id=item.id,
+                      recoveries=item.recoveries,
+                      **({"error": str(error)}
+                         if error is not None else {}))
 
     def requeue_expired(self,
                         skip_workers: frozenset[str] = frozenset()) -> list:
@@ -317,8 +362,8 @@ class PointQueue:
                 item.error = (f"failed after {item.recoveries + 1} "
                               f"dead-worker recoveries")
                 self.leases.release(item)
-                self.journal.append("point_failed", id=item.id,
-                                    worker=None, error=item.error)
+                self._journal("point_failed", id=item.id,
+                              worker=None, error=item.error)
             else:
                 self._requeue(item, recovered=True)
             if self._m_requeues is not None:
@@ -373,6 +418,7 @@ class PointQueue:
                 "items": len(self._items),
                 "states": counts,
                 "lease_s": self.leases.lease_s,
+                "health": self.health.as_dict(),
                 "workers": {w: round(now - t, 3)
                             for w, t in sorted(self.workers_seen.items())},
             }

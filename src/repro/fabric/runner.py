@@ -19,6 +19,7 @@ Three layers, mirroring the service's app/composition split:
 
 Protocol routes (all JSON)::
 
+    GET  /v1/fabric/healthz    liveness + health state (unauth)
     GET  /v1/fabric/status     queue snapshot + drain flag (unauth)
     POST /v1/fabric/lease      {"worker", "lease_s"?} -> one leased
                                item + its pickled point, or nothing
@@ -96,6 +97,13 @@ class FabricApp:
             return self._error(404, "unknown_route",
                                "fabric routes live under /v1/fabric/")
         verb = parts[2]
+        if verb == "healthz" and method == "GET":
+            health = self.coordinator.queue.health
+            state = health.state
+            return self._json(200, {
+                "status": {health.HEALTHY: "ok"}.get(state, state),
+                "health": health.as_dict(),
+            })
         if verb == "status" and method == "GET":
             return self._json(200, {"fabric": self.coordinator.status()})
         if method != "POST" or verb not in ("lease", "heartbeat",
@@ -172,11 +180,11 @@ class FabricCoordinator:
                  registry: MetricRegistry | None = None,
                  lease_s: float = 30.0, retries: int = 1,
                  max_recoveries: int = 3,
-                 token: str | None = None) -> None:
+                 token: str | None = None, fs=None) -> None:
         self.registry = registry if registry is not None else MetricRegistry()
         self.queue = PointQueue(state_dir, registry=self.registry,
                                 lease_s=lease_s, retries=retries,
-                                max_recoveries=max_recoveries)
+                                max_recoveries=max_recoveries, fs=fs)
         self.cache = cache
         #: key -> value for this session (merge source when no cache).
         self.results: dict = {}
@@ -243,6 +251,7 @@ class FabricCoordinator:
     def close(self) -> None:
         """Flag draining and tear the HTTP endpoint down."""
         self.draining = True
+        self.queue.health.drain()
         server, self._server = self._server, None
         if server is not None:
             server.shutdown()
@@ -291,7 +300,9 @@ class FabricRunner:
                  state_dir: str | Path | None = None,
                  token: str | None = None,
                  spawn: str | None = "process",
-                 max_recoveries: int = 3) -> None:
+                 max_recoveries: int = 3,
+                 fs=None,
+                 wrap_transport: Callable | None = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if failure_policy not in ("raise", "quarantine"):
@@ -312,13 +323,17 @@ class FabricRunner:
         self.port = port
         self.token = token
         self.spawn = spawn
+        #: Chaos seam: ``wrap_transport(transport, index) -> transport``
+        #: decorates each thread-worker's transport (fault injection);
+        #: ``fs`` threads the filesystem seam down to the point queue.
+        self.wrap_transport = wrap_transport
         self.registry = registry if registry is not None else MetricRegistry()
         state_dir = (Path(state_dir) if state_dir is not None
                      else Path("bench_results") / "fabric")
         self.coordinator = FabricCoordinator(
             state_dir, cache=cache, registry=self.registry,
             lease_s=lease_s, retries=self.retries,
-            max_recoveries=max_recoveries, token=token)
+            max_recoveries=max_recoveries, token=token, fs=fs)
         self.stats = RunnerStats()
         self.quarantined: list[dict] = []
         self._fleet_lock = threading.Lock()
@@ -386,9 +401,12 @@ class FabricRunner:
                 w for w in self._thread_workers if w[1].is_alive()]
             while len(self._thread_workers) < self.workers:
                 index = len(self._thread_workers)
+                transport = InProcessTransport(self.coordinator.app,
+                                               token=self.token)
+                if self.wrap_transport is not None:
+                    transport = self.wrap_transport(transport, index)
                 fabric_worker = FabricWorker(
-                    FabricClient(InProcessTransport(self.coordinator.app,
-                                                    token=self.token)),
+                    FabricClient(transport),
                     worker=f"thread:{os.getpid()}:{index}",
                     poll_s=self.poll_s, lease_s=self.lease_s,
                     timeout_s=self.timeout_s)

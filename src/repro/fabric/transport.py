@@ -7,21 +7,38 @@ dialect — JSON bodies, bearer tokens, one ``{"error": {"code",
 * :class:`HttpTransport` — stdlib ``urllib`` with connection-level
   retry/backoff (an HTTP *response*, any status, is never retried;
   connection failures are retried only for **idempotent** requests —
-  GETs, plus POSTs the caller explicitly marks replay-safe);
+  GETs, plus POSTs the caller explicitly marks replay-safe).  Retry
+  sleeps are exponential, capped at ``max_backoff_s`` and
+  deterministically jittered so a worker fleet doesn't hammer a
+  recovering server in lock-step;
 * :class:`InProcessTransport` — direct calls into a pure app's
   ``handle(method, path, headers, body)``, no sockets, which is how
   the test suites exercise full APIs without network access;
 * :func:`serve_app` / :func:`serve_app_in_thread` — the server half:
   wrap any such pure app in a stdlib ``ThreadingHTTPServer``.
 
+The transfer primitive is :meth:`Transport.exchange`, returning
+``(status, response headers, body bytes)`` — headers carry
+``Retry-After`` from overloaded/degraded servers through to
+:attr:`ApiError.retry_after`.  :meth:`Transport.request` is the
+headerless legacy surface, derived from it.  A transport may carry a
+:class:`~repro.fabric.breaker.CircuitBreaker`: the decoded request
+paths (:meth:`~Transport.json` / :meth:`~Transport.bytes`) gate on it
+and feed it outcomes (transport failures and 5xx responses count as
+failures; everything else — 4xx included, the server is alive — counts
+as success).
+
 Error hierarchy (single and typed, replacing ad-hoc ``RuntimeError``
 and bare ``URLError`` leakage)::
 
     ServiceError              any client-side service/fabric failure
     ├── ApiError              the server answered with a non-2xx
-    │                         envelope (carries status/code/message)
-    └── TransportError        the request never produced a response
-                              (connection refused, timeout, DNS...)
+    │                         envelope (carries status/code/message
+    │                         and an optional retry_after hint)
+    ├── TransportError        the request never produced a response
+    │                         (connection refused, timeout, DNS...)
+    └── CircuitOpenError      (repro.fabric.breaker) rejected locally
+                              by an open circuit breaker
 
 Catching :class:`ServiceError` therefore covers everything a remote
 call can throw.
@@ -30,6 +47,8 @@ call can throw.
 from __future__ import annotations
 
 import json
+import os
+import random
 import threading
 import time
 import urllib.error
@@ -65,13 +84,20 @@ class ServiceError(RuntimeError):
 
 
 class ApiError(ServiceError):
-    """A non-2xx API response, decoded from the error envelope."""
+    """A non-2xx API response, decoded from the error envelope.
 
-    def __init__(self, status: int, code: str, message: str) -> None:
+    ``retry_after`` (seconds, or ``None``) is the server's advice from
+    a ``Retry-After`` header or a ``retry_after`` envelope field —
+    overloaded (503) and quota-limited (429) responses carry it.
+    """
+
+    def __init__(self, status: int, code: str, message: str,
+                 retry_after: float | None = None) -> None:
         super().__init__(f"[{status} {code}] {message}")
         self.status = status
         self.code = code
         self.message = message
+        self.retry_after = retry_after
 
 
 class TransportError(ServiceError):
@@ -83,11 +109,33 @@ class TransportError(ServiceError):
         self.cause = cause
 
 
-class Transport:
-    """Request plumbing shared by every client; subclasses move bytes."""
+def _parse_retry_after(value) -> float | None:
+    """A ``Retry-After`` delay in seconds, or ``None`` when unusable.
 
-    def __init__(self, token: str | None = None) -> None:
+    Only delta-seconds are supported (the only form this codebase
+    emits); HTTP-date forms are ignored rather than misparsed.
+    """
+    if value is None:
+        return None
+    try:
+        delay = float(value)
+    except (TypeError, ValueError):
+        return None
+    return delay if delay >= 0 else None
+
+
+class Transport:
+    """Request plumbing shared by every client; subclasses move bytes.
+
+    ``breaker`` (optional) is a
+    :class:`~repro.fabric.breaker.CircuitBreaker` consulted by the
+    decoded request paths; it is plain duck-typed state here so the
+    breaker module can import this one without a cycle.
+    """
+
+    def __init__(self, token: str | None = None, breaker=None) -> None:
         self.token = token
+        self.breaker = breaker
 
     def headers(self) -> dict:
         """Standard request headers (JSON + optional bearer token)."""
@@ -96,11 +144,11 @@ class Transport:
             headers["Authorization"] = f"Bearer {self.token}"
         return headers
 
-    def request(self, method: str, path: str,
-                payload: dict | None = None, *,
-                idempotent: bool | None = None) -> tuple[int, bytes]:
-        """One request; returns ``(status, body bytes)`` or raises
-        :class:`TransportError`.
+    def exchange(self, method: str, path: str,
+                 payload: dict | None = None, *,
+                 idempotent: bool | None = None) -> tuple[int, dict, bytes]:
+        """One request; returns ``(status, response headers, body)`` or
+        raises :class:`TransportError`.  Header keys are lowercased.
 
         ``idempotent`` asserts the request is safe to replay after a
         connection-level failure (default: GETs only).  Transports
@@ -108,19 +156,47 @@ class Transport:
         """
         raise NotImplementedError
 
+    def request(self, method: str, path: str,
+                payload: dict | None = None, *,
+                idempotent: bool | None = None) -> tuple[int, bytes]:
+        """Headerless legacy surface over :meth:`exchange`."""
+        status, _headers, data = self.exchange(method, path, payload,
+                                               idempotent=idempotent)
+        return status, data
+
+    def _guarded(self, method: str, path: str, payload,
+                 idempotent) -> tuple[int, dict, bytes]:
+        """:meth:`exchange` gated by and feeding the circuit breaker."""
+        breaker = self.breaker
+        if breaker is not None:
+            breaker.allow()  # raises CircuitOpenError when open
+        try:
+            status, headers, data = self.exchange(method, path, payload,
+                                                  idempotent=idempotent)
+        except TransportError:
+            if breaker is not None:
+                breaker.record_failure()
+            raise
+        if breaker is not None:
+            if status >= 500:
+                breaker.record_failure()
+            else:
+                breaker.record_success()
+        return status, headers, data
+
     # -- decoded conveniences ----------------------------------------------
     def json(self, method: str, path: str,
              payload: dict | None = None, *,
              idempotent: bool | None = None) -> dict:
         """Request + JSON decode; non-2xx raises :class:`ApiError`."""
-        status, data = self.request(method, path, payload,
-                                    idempotent=idempotent)
+        status, headers, data = self._guarded(method, path, payload,
+                                              idempotent)
         try:
             doc = json.loads(data.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError):
             doc = {}
         if status >= 400:
-            raise self.error(status, data, doc)
+            raise self.error(status, data, doc, headers)
         return doc if isinstance(doc, dict) else {}
 
     def bytes(self, method: str, path: str,
@@ -128,23 +204,29 @@ class Transport:
               idempotent: bool | None = None) -> bytes:
         """Request returning the raw body; non-2xx raises
         :class:`ApiError` (envelope decoded when present)."""
-        status, data = self.request(method, path, payload,
-                                    idempotent=idempotent)
+        status, headers, data = self._guarded(method, path, payload,
+                                              idempotent)
         if status >= 400:
             try:
                 doc = json.loads(data.decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError):
                 doc = {}
-            raise self.error(status, data, doc)
+            raise self.error(status, data, doc, headers)
         return data
 
     @staticmethod
-    def error(status: int, data: bytes, doc) -> ApiError:
+    def error(status: int, data: bytes, doc,
+              headers: dict | None = None) -> ApiError:
         """Build the :class:`ApiError` for one non-2xx response."""
         envelope = doc.get("error", {}) if isinstance(doc, dict) else {}
+        retry_after = _parse_retry_after(envelope.get("retry_after"))
+        if retry_after is None:
+            retry_after = _parse_retry_after(
+                (headers or {}).get("retry-after"))
         return ApiError(status, envelope.get("code", "error"),
                         envelope.get("message",
-                                     data[:200].decode("utf-8", "replace")))
+                                     data[:200].decode("utf-8", "replace")),
+                        retry_after=retry_after)
 
 
 class HttpTransport(Transport):
@@ -163,20 +245,38 @@ class HttpTransport(Transport):
     or stale failure report is a journaled no-op).  Everything else
     surfaces the failure as :class:`TransportError` for the caller to
     reconcile.
+
+    Retry sleeps are ``backoff_s * 2**attempt`` **capped at
+    ``max_backoff_s``** and jittered into ``[50%, 100%]`` of that by a
+    per-transport RNG, so a fleet of workers retrying against one
+    recovering coordinator desynchronizes instead of dog-piling.  The
+    RNG seeds from ``jitter_seed`` when given (tests replay the exact
+    sleep sequence) and from the url+pid otherwise — deterministic per
+    process, distinct across a fleet.
     """
 
     def __init__(self, url: str, token: str | None = None,
                  timeout_s: float = 30.0, retries: int = 2,
-                 backoff_s: float = 0.1) -> None:
-        super().__init__(token=token)
+                 backoff_s: float = 0.1, max_backoff_s: float = 2.0,
+                 jitter_seed: int | None = None, breaker=None) -> None:
+        super().__init__(token=token, breaker=breaker)
         self.url = url.rstrip("/")
         self.timeout_s = float(timeout_s)
         self.retries = int(retries)
         self.backoff_s = float(backoff_s)
+        self.max_backoff_s = float(max_backoff_s)
+        self._rng = random.Random(
+            jitter_seed if jitter_seed is not None
+            else f"{self.url}:{os.getpid()}")
 
-    def request(self, method: str, path: str,
-                payload: dict | None = None, *,
-                idempotent: bool | None = None) -> tuple[int, bytes]:
+    def _sleep_s(self, attempt: int) -> float:
+        """The (capped, jittered) sleep before retry ``attempt + 1``."""
+        base = min(self.backoff_s * (2 ** attempt), self.max_backoff_s)
+        return base * (0.5 + 0.5 * self._rng.random())
+
+    def exchange(self, method: str, path: str,
+                 payload: dict | None = None, *,
+                 idempotent: bool | None = None) -> tuple[int, dict, bytes]:
         if idempotent is None:
             idempotent = method.upper() == "GET"
         retries = self.retries if idempotent else 0
@@ -190,14 +290,20 @@ class HttpTransport(Transport):
             try:
                 with urllib.request.urlopen(
                         request, timeout=self.timeout_s) as response:
-                    return response.status, response.read()
+                    return (response.status,
+                            {k.lower(): v
+                             for k, v in response.headers.items()},
+                            response.read())
             except urllib.error.HTTPError as err:
                 # An HTTP response *is* an answer; never retried.
-                return err.code, err.read()
+                return (err.code,
+                        {k.lower(): v
+                         for k, v in (err.headers or {}).items()},
+                        err.read())
             except (urllib.error.URLError, OSError, TimeoutError) as err:
                 last = err
                 if attempt < retries:
-                    time.sleep(self.backoff_s * (2 ** attempt))
+                    time.sleep(self._sleep_s(attempt))
         raise TransportError(
             f"cannot reach {self.url}{path} "
             f"after {retries + 1} attempt(s): {last}", cause=last)
@@ -206,18 +312,35 @@ class HttpTransport(Transport):
 class InProcessTransport(Transport):
     """Direct dispatch into a pure app — no sockets, same semantics."""
 
-    def __init__(self, app, token: str | None = None) -> None:
-        super().__init__(token=token)
+    def __init__(self, app, token: str | None = None, breaker=None) -> None:
+        super().__init__(token=token, breaker=breaker)
         self.app = app
 
-    def request(self, method: str, path: str,
-                payload: dict | None = None, *,
-                idempotent: bool | None = None) -> tuple[int, bytes]:
+    def exchange(self, method: str, path: str,
+                 payload: dict | None = None, *,
+                 idempotent: bool | None = None) -> tuple[int, dict, bytes]:
         body = (json.dumps(payload).encode("utf-8")
                 if payload is not None else None)
-        status, _ctype, data = self.app.handle(
-            method, path, self.headers(), body)
-        return status, data
+        response = self.app.handle(method, path, self.headers(), body)
+        status, _ctype, data, extra = _unpack_response(response)
+        return status, extra, data
+
+
+def _unpack_response(response) -> tuple[int, str, bytes, dict]:
+    """Normalize a pure app's 3- or 4-tuple ``handle`` return.
+
+    Apps return ``(status, content_type, payload)`` normally and
+    ``(status, content_type, payload, headers)`` for responses that
+    carry extra headers (e.g. ``Retry-After``).  Header keys come back
+    lowercased.
+    """
+    if len(response) == 4:
+        status, ctype, data, extra = response
+        headers = {str(k).lower(): str(v)
+                   for k, v in (extra or {}).items()}
+        return status, ctype, data, headers
+    status, ctype, data = response
+    return status, ctype, data, {}
 
 
 # -- the server half -------------------------------------------------------
@@ -231,11 +354,14 @@ class _AppHandler(BaseHTTPRequestHandler):
     def _serve(self, method: str) -> None:
         length = int(self.headers.get("Content-Length") or 0)
         body = self.rfile.read(length) if length else b""
-        status, ctype, payload = type(self).handle_fn(
+        response = type(self).handle_fn(
             method, self.path, dict(self.headers.items()), body)
+        status, ctype, payload, extra = _unpack_response(response)
         self.send_response(status)
         self.send_header("Content-Type", ctype)
         self.send_header("Content-Length", str(len(payload)))
+        for name, value in extra.items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(payload)
 
@@ -255,10 +381,11 @@ def serve_app(handle: Callable, host: str = "127.0.0.1",
     """Bind a ``ThreadingHTTPServer`` around a pure app ``handle``.
 
     ``handle`` is ``(method, path, headers, body) -> (status,
-    content_type, payload bytes)``.  Returns the bound (not yet
-    serving) server; ``server.server_address`` carries the ephemeral
-    port when ``port=0``.  The caller owns ``serve_forever()`` /
-    ``shutdown()`` / ``server_close()``.
+    content_type, payload bytes)``, optionally with a fourth
+    extra-headers dict element.  Returns the bound (not yet serving)
+    server; ``server.server_address`` carries the ephemeral port when
+    ``port=0``.  The caller owns ``serve_forever()`` / ``shutdown()``
+    / ``server_close()``.
     """
     handler = type("BoundAppHandler", (_AppHandler,),
                    {"handle_fn": staticmethod(handle)})

@@ -49,7 +49,13 @@ import socket
 import threading
 import time
 
-from repro.fabric.transport import ApiError, Transport, TransportError
+from repro.fabric.breaker import CircuitOpenError
+from repro.fabric.transport import (
+    ApiError,
+    ServiceError,
+    Transport,
+    TransportError,
+)
 from repro.runner.pool import Runner, RunnerError
 from repro.telemetry.metrics import MetricRegistry
 
@@ -117,8 +123,12 @@ class FabricClient:
     transport's connection-level retry with ``idempotent=True``.
     """
 
-    def __init__(self, transport: Transport) -> None:
+    def __init__(self, transport: Transport, breaker=None) -> None:
         self.transport = transport
+        if breaker is not None:
+            # Share one circuit breaker across every call this client
+            # makes — the transport consults it in ``_guarded``.
+            self.transport.breaker = breaker
 
     @property
     def payload_key(self) -> str | None:
@@ -202,9 +212,10 @@ class _Heartbeat:
                 if not self.client.heartbeat(self.worker, self.item_id):
                     self.lost.set()
                     return
-            except (TransportError, ApiError):
-                # Transient coordinator unreachability: keep trying; the
-                # lease survives as long as one refresh lands in time.
+            except ServiceError:
+                # Transient coordinator unreachability (or an open
+                # circuit): keep trying; the lease survives as long as
+                # one refresh lands in time.
                 continue
 
 
@@ -224,6 +235,11 @@ class FabricWorker:
     retries / timeout_s:
         Local inline-runner retry budget and the heartbeat deadline
         (see module docstring for the timeout semantics).
+    lease_error_limit:
+        Consecutive failed pulls tolerated before the coordinator is
+        presumed gone and the loop drains.  Transient flaps (a dropped
+        packet, a single 503 from a degraded node) ride through; a
+        dead coordinator still drains after a short burst.
     registry:
         Optional :class:`~repro.telemetry.MetricRegistry` for
         worker-side ``fabric_worker_*`` counters.
@@ -232,12 +248,14 @@ class FabricWorker:
     def __init__(self, client: FabricClient, worker: str | None = None,
                  poll_s: float = 0.1, lease_s: float = 30.0,
                  retries: int = 0, timeout_s: float | None = None,
+                 lease_error_limit: int = 3,
                  registry: MetricRegistry | None = None) -> None:
         self.client = client
         self.worker = worker if worker is not None else worker_id()
         self.poll_s = float(poll_s)
         self.lease_s = float(lease_s)
         self.timeout_s = timeout_s
+        self.lease_error_limit = int(lease_error_limit)
         self.registry = registry if registry is not None else MetricRegistry()
         self.runner = Runner(workers=0, retries=retries,
                              registry=self.registry,
@@ -261,16 +279,29 @@ class FabricWorker:
     def run_forever(self) -> int:
         """Pull until the coordinator drains (or :meth:`stop`).
 
-        Returns the number of points completed.  Coordinator
-        unreachability is retried with the transport's backoff and then
-        treated as a drain — a vanished coordinator has reclaimed (or
-        lost) our leases either way.
+        Returns the number of points completed.  A failed pull is
+        tolerated up to ``lease_error_limit`` consecutive times
+        (transient flap, degraded node) and then treated as a drain —
+        a vanished coordinator has reclaimed (or lost) our leases
+        either way.
         """
+        lease_errors = 0
         while not self._stop.is_set():
             try:
                 doc = self.client.lease(self.worker, lease_s=self.lease_s)
+            except CircuitOpenError as err:
+                # The breaker is shedding calls locally: the coordinator
+                # was failing moments ago but may recover — wait out the
+                # open window instead of treating it as a drain.
+                self._stop.wait(min(err.retry_after or 1.0, 5.0))
+                continue
             except (TransportError, ApiError):
-                break
+                lease_errors += 1
+                if lease_errors >= self.lease_error_limit:
+                    break
+                self._stop.wait(self.poll_s)
+                continue
+            lease_errors = 0
             item = doc.get("item")
             if item is None:
                 if doc.get("shutdown"):
@@ -326,5 +357,5 @@ class FabricWorker:
         the worker loop — the lease protocol recovers the item."""
         try:
             call()
-        except (TransportError, ApiError):
+        except ServiceError:
             pass

@@ -24,6 +24,7 @@ import os
 import pickle
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -32,6 +33,7 @@ try:
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None
 
+from repro.runner.fsio import LOCAL_FS
 from repro.sim.units import MiB
 
 __all__ = ["CacheStats", "ResultCache", "DEFAULT_CACHE_DIR",
@@ -44,6 +46,10 @@ DEFAULT_MAX_BYTES = 256 * MiB
 #: Orphaned temp files older than this are swept on the next ``put`` —
 #: they are leftovers from a writer that died mid-store.
 STALE_TMP_SECONDS = 300.0
+#: How many entries the memory-only degradation fallback retains when
+#: the disk refuses writes (ENOSPC/EIO) — enough to keep an in-flight
+#: sweep deduplicating, bounded so a long outage cannot exhaust RAM.
+MEMORY_FALLBACK_ENTRIES = 128
 
 
 def sweep_stale_tmp(directory: str | Path,
@@ -72,7 +78,7 @@ def sweep_stale_tmp(directory: str | Path,
 #: ``service_cache{field=...}`` gauges both publish exactly these, so the
 #: CLI and the API can never drift apart on the schema.
 SNAPSHOT_STAT_FIELDS = ("entries", "total_bytes", "hits", "misses",
-                        "hit_ratio")
+                        "hit_ratio", "put_errors")
 
 
 @dataclass
@@ -83,6 +89,7 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    put_errors: int = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -94,19 +101,43 @@ class CacheStats:
         """Plain dict (for result metadata and CLI output)."""
         return {"hits": self.hits, "misses": self.misses,
                 "stores": self.stores, "evictions": self.evictions,
+                "put_errors": self.put_errors,
                 "hit_ratio": round(self.hit_ratio, 6)}
 
 
 class ResultCache:
-    """Content-addressed pickle store keyed by ``SimPoint.key()``."""
+    """Content-addressed pickle store keyed by ``SimPoint.key()``.
+
+    Degradation contract: a disk that refuses writes (ENOSPC, EIO)
+    must never crash the worker holding a result — :meth:`put`
+    catches ``OSError``, counts it (``stats.put_errors``, plus the
+    ``runner_cache_put_errors`` counter when a ``registry`` is wired),
+    and parks the value in a bounded in-memory fallback so the current
+    sweep keeps deduplicating; the next successful disk store clears
+    the degradation.  ``fs`` injects the filesystem seam
+    (:mod:`repro.runner.fsio`), which is how the chaos harness makes
+    those failures happen on demand; ``health`` (optional, a
+    :class:`~repro.fabric.health.Health`) is flipped to degraded/back
+    as the disk fails/recovers.
+    """
 
     def __init__(self, directory: str | Path | None = None,
-                 max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+                 max_bytes: int = DEFAULT_MAX_BYTES, fs=None,
+                 registry=None, health=None) -> None:
         if max_bytes <= 0:
             raise ValueError("max_bytes must be > 0")
         self.directory = Path(directory) if directory is not None else DEFAULT_CACHE_DIR
         self.max_bytes = int(max_bytes)
+        self.fs = fs if fs is not None else LOCAL_FS
+        self.health = health
         self.stats = CacheStats()
+        self._memory: OrderedDict[str, object] = OrderedDict()
+        self._mem_lock = threading.Lock()
+        self._m_put_errors = None
+        if registry is not None:
+            self._m_put_errors = registry.counter(
+                "runner_cache_put_errors",
+                "cache stores degraded to memory-only by disk errors")
 
     def _path(self, key: str) -> Path:
         if not key or any(c not in "0123456789abcdef" for c in key):
@@ -142,20 +173,17 @@ class ResultCache:
         try:
             blob = path.read_bytes()
         except OSError:
-            self.stats.misses += 1
-            return None
+            return self._memory_fallback(key)
         if not blob:
             # Zero-byte entry: a torn write; self-heal as a miss.
             path.unlink(missing_ok=True)
-            self.stats.misses += 1
-            return None
+            return self._memory_fallback(key)
         try:
             value = pickle.loads(blob)
         except Exception:
             # Truncated or garbage pickle: delete and re-execute.
             path.unlink(missing_ok=True)
-            self.stats.misses += 1
-            return None
+            return self._memory_fallback(key)
         try:
             os.utime(path)
         except OSError:
@@ -163,25 +191,73 @@ class ResultCache:
         self.stats.hits += 1
         return value
 
+    def _memory_fallback(self, key: str):
+        """Disk missed: consult the degradation fallback before giving
+        up — a value parked there by a failed :meth:`put` is as good as
+        a disk hit for the sweep that stored it."""
+        with self._mem_lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                self.stats.hits += 1
+                return self._memory[key]
+        self.stats.misses += 1
+        return None
+
     def put(self, key: str, value) -> Path:
-        """Store ``value`` under ``key``; enforce the LRU size cap."""
+        """Store ``value`` under ``key``; enforce the LRU size cap.
+
+        A disk failure (ENOSPC, EIO, torn write) degrades the store to
+        the in-memory fallback instead of raising: the caller keeps
+        its value either way, and the sweep in flight keeps
+        deduplicating.  The next successful store resolves the
+        degradation.
+        """
         path = self._path(key)
-        self.directory.mkdir(parents=True, exist_ok=True)
         blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         # pid alone is not unique within a process: two threads storing
         # the same key would share a temp name and race the rename.
         tmp = path.with_name(
             f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
-        with open(tmp, "wb") as handle:
-            handle.write(blob)
-            handle.flush()
-            os.fsync(handle.fileno())
-        tmp.replace(path)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            with self.fs.open(tmp, "wb") as handle:
+                handle.write(blob)
+                handle.flush()
+                self.fs.fsync(handle.fileno())
+            self.fs.replace(tmp, path)
+        except OSError as err:
+            self._put_degraded(key, value, tmp, err)
+            return path
         self.stats.stores += 1
-        with self._lock():
-            self._sweep_stale_tmp()
-            self._evict(keep=path)
+        with self._mem_lock:
+            self._memory.pop(key, None)  # durable now; drop the fallback
+        if self.health is not None:
+            self.health.resolve("cache")
+        try:
+            with self._lock():
+                self._sweep_stale_tmp()
+                self._evict(keep=path)
+        except OSError:
+            pass  # eviction is maintenance; the store already landed
         return path
+
+    def _put_degraded(self, key: str, value, tmp: Path,
+                      err: OSError) -> None:
+        """Absorb one failed disk store into the memory fallback."""
+        self.stats.put_errors += 1
+        if self._m_put_errors is not None:
+            self._m_put_errors.inc()
+        if self.health is not None:
+            self.health.degrade("cache", f"put failed: {err}")
+        try:
+            tmp.unlink(missing_ok=True)  # a torn write may have landed
+        except OSError:
+            pass
+        with self._mem_lock:
+            self._memory[key] = value
+            self._memory.move_to_end(key)
+            while len(self._memory) > MEMORY_FALLBACK_ENTRIES:
+                self._memory.popitem(last=False)
 
     def _sweep_stale_tmp(self) -> None:
         """Remove temp files orphaned by writers that died mid-store."""

@@ -21,6 +21,8 @@ import os
 from pathlib import Path
 from typing import Iterable
 
+from repro.runner.fsio import LOCAL_FS
+
 __all__ = ["DEFAULT_JOURNAL_PATH", "RunJournal", "compact_run_journal"]
 
 #: Default location, next to the experiment results it tracks.
@@ -28,10 +30,18 @@ DEFAULT_JOURNAL_PATH = Path("bench_results") / "run_journal.jsonl"
 
 
 class RunJournal:
-    """Append-only JSONL event log keyed by experiment id."""
+    """Append-only JSONL event log keyed by experiment id.
 
-    def __init__(self, path: str | Path | None = None) -> None:
+    ``fs`` injects the filesystem seam (:mod:`repro.runner.fsio`) the
+    durable writes go through — production uses the real disk; the
+    chaos harness substitutes a fault-injecting one.  A failed append
+    raises ``OSError`` to the caller, whose journal-failure policy
+    (degrade, refuse leases, retry later) lives at the queue layer.
+    """
+
+    def __init__(self, path: str | Path | None = None, fs=None) -> None:
         self.path = Path(path) if path is not None else DEFAULT_JOURNAL_PATH
+        self.fs = fs if fs is not None else LOCAL_FS
 
     # -- writing -----------------------------------------------------------
     def append(self, event: str, **fields) -> dict:
@@ -39,10 +49,10 @@ class RunJournal:
         record = {"event": str(event), **fields}
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a", encoding="utf-8") as handle:
+        with self.fs.open(self.path, "a", encoding="utf-8") as handle:
             handle.write(line + "\n")
             handle.flush()
-            os.fsync(handle.fileno())
+            self.fs.fsync(handle.fileno())
         return record
 
     # -- reading -----------------------------------------------------------
@@ -105,13 +115,13 @@ class RunJournal:
         records = list(records)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         tmp = self.path.with_name(f"{self.path.name}.{os.getpid()}.tmp")
-        with open(tmp, "w", encoding="utf-8") as handle:
+        with self.fs.open(tmp, "w", encoding="utf-8") as handle:
             for record in records:
                 handle.write(json.dumps(record, sort_keys=True,
                                         separators=(",", ":")) + "\n")
             handle.flush()
-            os.fsync(handle.fileno())
-        tmp.replace(self.path)
+            self.fs.fsync(handle.fileno())
+        self.fs.replace(tmp, self.path)
         return len(records)
 
 

@@ -52,7 +52,7 @@ from repro.service.jobs import (
     parse_spec,
     spec_key,
 )
-from repro.service.queue import JobQueue, QueueError
+from repro.service.queue import JobQueue, QueueError, QueueWriteError
 from repro.service.scheduler import Scheduler, points_envelope, write_result
 
 __all__ = [
@@ -64,6 +64,7 @@ __all__ = [
     "JobQueue",
     "JobState",
     "QueueError",
+    "QueueWriteError",
     "QuotaError",
     "Scheduler",
     "Service",

@@ -26,7 +26,8 @@ Routes (all JSON unless noted)::
 
 Errors use one envelope: ``{"error": {"code", "message"}}`` with the
 matching HTTP status (400 bad spec, 401 auth, 404 unknown, 409 wrong
-state, 429 quota).
+state, 429 quota, 503 overloaded/degraded).  429 and 503 carry a
+``Retry-After`` header plus a ``retry_after`` envelope field.
 """
 
 from __future__ import annotations
@@ -36,12 +37,13 @@ import threading
 import time
 from urllib.parse import parse_qs, urlparse
 
+from repro.fabric.health import Health
 from repro.fabric.transport import serve_app
 from repro.runner import ResultCache
 from repro.runner.cache import SNAPSHOT_STAT_FIELDS
 from repro.service.config import AuthError, QuotaError, ServiceConfig, TokenAuth
 from repro.service.jobs import JobState, SpecError, parse_spec
-from repro.service.queue import JobQueue, QueueError
+from repro.service.queue import JobQueue, QueueError, QueueWriteError
 from repro.service.scheduler import Scheduler
 from repro.telemetry.metrics import MetricRegistry
 
@@ -54,12 +56,15 @@ _PROM = "text/plain; version=0.0.4; charset=utf-8"
 class Service:
     """Composition root for one running simulation service."""
 
-    def __init__(self, config: ServiceConfig | None = None) -> None:
+    def __init__(self, config: ServiceConfig | None = None,
+                 fs=None) -> None:
         self.config = config if config is not None else ServiceConfig()
         self.registry = MetricRegistry(clock=time.time)
-        self.cache = ResultCache(directory=self.config.cache_dir)
+        self.health = Health(registry=self.registry, component="service")
+        self.cache = ResultCache(directory=self.config.cache_dir, fs=fs,
+                                 registry=self.registry, health=self.health)
         self.queue = JobQueue(self.config.state_dir, registry=self.registry,
-                              max_recoveries=3)
+                              max_recoveries=3, fs=fs, health=self.health)
         self.scheduler = Scheduler(
             self.queue, results_dir=self.config.results_dir,
             cache=self.cache, registry=self.registry,
@@ -81,8 +86,15 @@ class Service:
         self.scheduler.start()
         return recovered
 
-    def stop(self) -> None:
-        """Stop the worker pool (queue state stays on disk)."""
+    def stop(self, drain: bool = False) -> None:
+        """Stop the worker pool (queue state stays on disk).
+
+        ``drain=True`` additionally flips :attr:`health` to its
+        terminal ``draining`` state — final shutdown, as opposed to a
+        pause/restart cycle (tests stop and start schedulers freely).
+        """
+        if drain:
+            self.health.drain()
         self.scheduler.stop()
 
 
@@ -97,33 +109,59 @@ class ServiceApp:
 
     # -- plumbing ----------------------------------------------------------
     @staticmethod
-    def _json(status: int, payload) -> tuple[int, str, bytes]:
+    def _json(status: int, payload, headers: dict | None = None):
         body = json.dumps(payload, indent=1).encode("utf-8")
+        if headers:
+            return status, _JSON, body, headers
         return status, _JSON, body
 
     @classmethod
-    def _error(cls, status: int, code: str, message: str) -> tuple[int, str, bytes]:
-        """The single error envelope every failure path goes through."""
-        return cls._json(status, {"error": {"code": code, "message": message}})
+    def _error(cls, status: int, code: str, message: str,
+               retry_after: float | None = None):
+        """The single error envelope every failure path goes through.
+
+        ``retry_after`` (429 quota, 503 overload/degraded) is emitted
+        twice on purpose: as the standard ``Retry-After`` header for
+        generic HTTP clients, and inside the envelope so in-process
+        transports and logged bodies carry the same hint.
+        """
+        envelope: dict = {"code": code, "message": message}
+        headers = None
+        if retry_after is not None:
+            envelope["retry_after"] = retry_after
+            headers = {"Retry-After": f"{retry_after:g}"}
+        return cls._json(status, {"error": envelope}, headers)
 
     def handle(self, method: str, path: str, headers: dict | None = None,
-               body: bytes | None = None) -> tuple[int, str, bytes]:
-        """Dispatch one request; never raises (500 envelope instead)."""
+               body: bytes | None = None):
+        """Dispatch one request; never raises (500 envelope instead).
+
+        Returns ``(status, content_type, payload)``, extended with a
+        fourth extra-headers dict for responses that carry one
+        (``Retry-After`` on 429/503).
+        """
         headers = {k.lower(): v for k, v in (headers or {}).items()}
         url = urlparse(path)
         parts = [p for p in url.path.split("/") if p]
         query = {k: v[-1] for k, v in parse_qs(url.query).items()}
         route = "/".join(parts[:3]) or "/"
         try:
-            status, ctype, payload = self._dispatch(
+            response = self._dispatch(
                 method.upper(), parts, query, headers, body)
-        except (QueueError,) as err:
-            status, ctype, payload = self._error(404, "unknown_job", str(err))
+        except QueueWriteError as err:
+            # The journal disk is refusing writes: the node is
+            # degraded, the transition did not happen — shed the
+            # request and tell the client when to come back.
+            response = self._error(
+                503, "degraded", str(err),
+                retry_after=self.service.config.retry_after_s)
+        except QueueError as err:
+            response = self._error(404, "unknown_job", str(err))
         except Exception as err:  # pragma: no cover - defensive
-            status, ctype, payload = self._error(
+            response = self._error(
                 500, "internal", f"{type(err).__name__}: {err}")
-        self._m_requests.labels(route=route, code=str(status)).inc()
-        return status, ctype, payload
+        self._m_requests.labels(route=route, code=str(response[0])).inc()
+        return response
 
     def _tenant(self, headers: dict) -> str:
         return self.service.auth.authenticate(headers.get("authorization"))
@@ -164,8 +202,12 @@ class ServiceApp:
         from repro import package_version
 
         service = self.service
+        state = service.health.state
         return self._json(200, {
-            "status": "ok",
+            # "ok" (not "healthy") for liveness-probe compatibility;
+            # degraded/draining pass through so operators see them.
+            "status": {Health.HEALTHY: "ok"}.get(state, state),
+            "health": service.health.as_dict(),
             "version": package_version(),
             "uptime_s": round(time.time() - service.started_at, 3),
             "queue_depth": service.queue.depth(),
@@ -208,11 +250,23 @@ class ServiceApp:
         if not isinstance(priority, int):
             return self._error(400, "bad_spec", "priority must be an integer")
         service = self.service
+        config = service.config
+        # Bounded admission: past the watermark the node is overloaded
+        # regardless of whose jobs fill it — shed with 503 (a *node*
+        # condition, distinct from the per-tenant 429 quota below).
+        depth = service.queue.depth()
+        if depth >= config.max_queue_depth:
+            return self._error(
+                503, "overloaded",
+                f"queue depth {depth} at watermark "
+                f"{config.max_queue_depth}; retry later",
+                retry_after=config.retry_after_s)
         try:
             service.auth.check_quota(tenant,
                                      service.queue.active_count(tenant))
         except QuotaError as err:
-            return self._error(429, "quota_exceeded", str(err))
+            return self._error(429, "quota_exceeded", str(err),
+                               retry_after=config.retry_after_s)
         job = service.queue.submit(spec, tenant=tenant, priority=priority)
         return self._json(201, {"job": job.to_dict()})
 

@@ -41,14 +41,15 @@ class ServiceClient:
 
     @deprecated_kwargs(timeout="timeout_s")
     def __init__(self, url: str | None = None, token: str | None = None,
-                 app=None, timeout_s: float = 30.0) -> None:
+                 app=None, timeout_s: float = 30.0, breaker=None) -> None:
         if (url is None) == (app is None):
             raise ValueError("pass exactly one of url= or app=")
         if url is not None:
             self.transport: Transport = HttpTransport(
-                url, token=token, timeout_s=timeout_s)
+                url, token=token, timeout_s=timeout_s, breaker=breaker)
         else:
-            self.transport = InProcessTransport(app, token=token)
+            self.transport = InProcessTransport(app, token=token,
+                                                breaker=breaker)
         self.url = url.rstrip("/") if url is not None else None
         self.app = app
         self.token = token
@@ -68,8 +69,15 @@ class ServiceClient:
         return self.transport.json("GET", "/v1/experiments")["experiments"]
 
     def submit(self, experiment: str | None = None, variant: str = "quick",
-               points: list[dict] | None = None, priority: int = 0) -> dict:
-        """``POST /v1/jobs``; returns the created job doc."""
+               points: list[dict] | None = None, priority: int = 0,
+               busy_retries: int = 0) -> dict:
+        """``POST /v1/jobs``; returns the created job doc.
+
+        ``busy_retries`` re-submits after a 429 (quota) or 503
+        (overloaded/degraded) response, sleeping for the server's
+        ``Retry-After`` hint between attempts; other errors raise
+        immediately as usual.
+        """
         if (experiment is None) == (points is None):
             raise ValueError("pass exactly one of experiment= or points=")
         payload: dict = {"priority": priority}
@@ -77,7 +85,15 @@ class ServiceClient:
             payload.update(experiment=experiment, variant=variant)
         else:
             payload["points"] = points
-        return self.transport.json("POST", "/v1/jobs", payload)["job"]
+        for attempt in range(int(busy_retries) + 1):
+            try:
+                return self.transport.json("POST", "/v1/jobs", payload)["job"]
+            except ApiError as err:
+                if err.status not in (429, 503) or attempt >= busy_retries:
+                    raise
+                time.sleep(err.retry_after if err.retry_after is not None
+                           else 0.5)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def jobs(self, state: str | None = None) -> list[dict]:
         """``GET /v1/jobs``."""

@@ -52,6 +52,12 @@ class ServiceConfig:
     job_retries: int = 1
     point_retries: int = 1
     max_active_jobs: int = DEFAULT_MAX_ACTIVE_JOBS
+    #: Bounded admission: submissions are shed with ``503 +
+    #: Retry-After`` once this many jobs sit SUBMITTED (cross-tenant —
+    #: the overload backstop behind the per-tenant 429 quota).
+    max_queue_depth: int = 128
+    #: The ``Retry-After`` hint (seconds) on 429/503 responses.
+    retry_after_s: float = 1.0
 
     @property
     def results_dir(self) -> Path:

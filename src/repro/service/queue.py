@@ -47,11 +47,19 @@ from repro.fabric.lease import LeaseManager
 from repro.runner.journal import RunJournal
 from repro.service.jobs import ACTIVE_STATES, Job, JobState
 
-__all__ = ["JobQueue", "QueueError"]
+__all__ = ["JobQueue", "QueueError", "QueueWriteError"]
 
 
 class QueueError(RuntimeError):
     """An illegal queue transition (unknown job, double completion...)."""
+
+
+class QueueWriteError(QueueError):
+    """The journal — the queue's durable source of truth — refused a
+    write (ENOSPC, EIO).  The attempted transition did **not** happen:
+    this journal is replayed on restart, so an un-journaled mutation
+    would be silently undone by the next recovery.  The API layer maps
+    this to ``503 + Retry-After``."""
 
 
 class JobQueue:
@@ -63,9 +71,10 @@ class JobQueue:
 
     def __init__(self, state_dir: str | Path, registry=None,
                  max_recoveries: int = 3,
-                 clock=time.time) -> None:
+                 clock=time.time, fs=None, health=None) -> None:
         self.state_dir = Path(state_dir)
-        self.journal = RunJournal(self.state_dir / "queue.jsonl")
+        self.journal = RunJournal(self.state_dir / "queue.jsonl", fs=fs)
+        self.health = health
         self.max_recoveries = int(max_recoveries)
         self.clock = clock
         self.leases = LeaseManager(
@@ -160,6 +169,26 @@ class JobQueue:
         if self._m_finished is not None:
             self._m_finished.labels(state=state).inc()
 
+    def _append(self, event: str, **fields) -> None:
+        """Durable journal append, or :class:`QueueWriteError`.
+
+        Unlike the fabric's audit journal, this journal IS the queue's
+        recovery state — a transition that cannot be journaled must
+        not happen at all, so the failure propagates (after flipping
+        :attr:`health` to degraded).  The first append that lands
+        after an outage resolves the degradation.
+        """
+        try:
+            self.journal.append(event, **fields)
+        except OSError as err:
+            if self.health is not None:
+                self.health.degrade("journal",
+                                    f"{event} append failed: {err}")
+            raise QueueWriteError(
+                f"queue journal write failed ({event}): {err}") from err
+        if self.health is not None:
+            self.health.resolve("journal")
+
     # -- submission --------------------------------------------------------
     def submit(self, spec: dict, tenant: str = "anonymous",
                priority: int = 0) -> Job:
@@ -167,7 +196,7 @@ class JobQueue:
         with self._lock:
             job = Job.create(spec, tenant=tenant, priority=priority,
                              now=self.clock())
-            self.journal.append("job_submitted", job=job.to_dict())
+            self._append("job_submitted", job=job.to_dict())
             self._install(job)
             if self._m_submitted is not None:
                 self._m_submitted.labels(tenant=tenant).inc()
@@ -183,7 +212,7 @@ class JobQueue:
                     f"job {job_id} is {job.state}; only SUBMITTED jobs "
                     f"can be cancelled")
             now = self.clock()
-            self.journal.append("job_cancelled", id=job.id, finished_s=now)
+            self._append("job_cancelled", id=job.id, finished_s=now)
             job.state = JobState.CANCELLED
             job.finished_s = now
             self._finish_metric(JobState.CANCELLED)
@@ -205,9 +234,18 @@ class JobQueue:
             job = min(ready, key=lambda j: (-j.priority, self._seq[j.id]))
             job.state = JobState.LEASED
             self.leases.grant(job, worker, lease_s)
-            self.journal.append("job_leased", id=job.id, worker=worker,
-                                lease_until=job.lease_until,
-                                attempts=job.attempts)
+            try:
+                self._append("job_leased", id=job.id, worker=worker,
+                             lease_until=job.lease_until,
+                             attempts=job.attempts)
+            except QueueWriteError:
+                # A lease that would vanish on replay must not be
+                # handed out: revert the grant (and its attempt
+                # charge) and refuse work until the disk recovers.
+                job.state = JobState.SUBMITTED
+                self.leases.release(job)
+                job.attempts -= 1
+                return None
             if self._m_leases is not None:
                 self._m_leases.inc()
             self._update_depth()
@@ -220,7 +258,7 @@ class JobQueue:
             if job.state != JobState.LEASED:
                 raise QueueError(f"job {job_id} is {job.state}, not LEASED")
             now = self.clock()
-            self.journal.append("job_running", id=job.id, started_s=now)
+            self._append("job_running", id=job.id, started_s=now)
             job.state = JobState.RUNNING
             job.started_s = now
 
@@ -244,7 +282,7 @@ class JobQueue:
             now = self.clock()
             elapsed = (round(now - job.started_s, 6)
                        if job.started_s is not None else None)
-            self.journal.append("job_done", id=job.id,
+            self._append("job_done", id=job.id,
                                 result_path=str(result_path),
                                 finished_s=now, elapsed_s=elapsed,
                                 runner=dict(runner or {}))
@@ -268,7 +306,7 @@ class JobQueue:
                     f"job {job_id} already terminal ({job.state})")
             now = self.clock()
             event = "job_quarantined" if quarantine else "job_failed"
-            self.journal.append(event, id=job.id, error=str(error),
+            self._append(event, id=job.id, error=str(error),
                                 finished_s=now)
             job.state = (JobState.QUARANTINED if quarantine
                          else JobState.FAILED)
@@ -288,7 +326,7 @@ class JobQueue:
                 raise QueueError(
                     f"job {job_id} already terminal ({job.state})")
             recoveries = job.recoveries + (1 if recovered else 0)
-            self.journal.append("job_requeued", id=job.id,
+            self._append("job_requeued", id=job.id,
                                 recoveries=recoveries,
                                 **({"error": str(error)}
                                    if error is not None else {}))

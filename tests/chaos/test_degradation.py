@@ -1,0 +1,189 @@
+"""Graceful degradation: backpressure, Retry-After, health transitions."""
+
+import json
+
+import pytest
+
+from repro.chaos import ChaosFS, ChaosSchedule, DiskFull
+from repro.fabric import FabricCoordinator, ItemState, PointQueue
+from repro.fabric.health import Health
+from repro.fabric.transport import ApiError, InProcessTransport
+from repro.service import Service, ServiceClient, ServiceConfig
+
+from tests.fabric._points import OkPoint
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = Service(ServiceConfig(state_dir=tmp_path / "svc",
+                                max_queue_depth=3, retry_after_s=2.5))
+    # The scheduler stays stopped: submitted jobs pile up SUBMITTED,
+    # which is exactly what backpressure tests need.
+    yield svc
+
+
+def _points_payload(i: int) -> list[dict]:
+    return [{"kind": "train", "gpus": 2 + i, "iterations": 2}]
+
+
+def test_overload_burst_sheds_503_with_retry_after(service):
+    client = ServiceClient(app=service.app)
+    for i in range(3):
+        client.submit(points=_points_payload(i))
+    assert service.queue.depth() == 3
+
+    # At the watermark: the burst is shed, the queue does not grow.
+    for i in range(5):
+        with pytest.raises(ApiError) as err:
+            client.submit(points=_points_payload(100 + i))
+        assert err.value.status == 503
+        assert err.value.code == "overloaded"
+        assert err.value.retry_after == pytest.approx(2.5)
+    assert service.queue.depth() == 3
+
+    # 503 is a node condition, not a quota: other routes still work.
+    assert client.healthz()["queue_depth"] == 3
+
+
+def test_retry_after_travels_as_a_real_http_header(service):
+    response = service.app.handle(
+        "POST", "/v1/jobs", {},
+        json.dumps({"points": _points_payload(0)}).encode())
+    assert len(response) == 3 and response[0] == 201  # no extra headers
+    for i in range(1, 3):
+        service.app.handle("POST", "/v1/jobs", {}, json.dumps(
+            {"points": _points_payload(i)}).encode())
+    response = service.app.handle("POST", "/v1/jobs", {}, json.dumps(
+        {"points": _points_payload(9)}).encode())
+    assert response[0] == 503
+    assert response[3] == {"Retry-After": "2.5"}
+    assert json.loads(response[2])["error"]["retry_after"] == 2.5
+
+
+def test_quota_429_carries_retry_after(tmp_path):
+    svc = Service(ServiceConfig(state_dir=tmp_path / "svc",
+                                max_active_jobs=1, retry_after_s=0.75))
+    client = ServiceClient(app=svc.app)
+    client.submit(points=_points_payload(0))
+    with pytest.raises(ApiError) as err:
+        client.submit(points=_points_payload(1))
+    assert err.value.status == 429
+    assert err.value.code == "quota_exceeded"
+    assert err.value.retry_after == pytest.approx(0.75)
+
+
+def test_client_busy_retries_honor_retry_after(monkeypatch):
+    """submit(busy_retries=N) sleeps the server's hint and re-submits."""
+
+    class _BusyOnceApp:
+        def __init__(self):
+            self.calls = 0
+
+        def handle(self, method, path, headers=None, body=None):
+            self.calls += 1
+            if self.calls == 1:
+                return (503, "application/json", json.dumps({
+                    "error": {"code": "overloaded", "message": "busy",
+                              "retry_after": 0.125}}).encode(),
+                    {"Retry-After": "0.125"})
+            return (201, "application/json",
+                    json.dumps({"job": {"id": "j1"}}).encode())
+
+    slept = []
+    monkeypatch.setattr("repro.service.client.time.sleep", slept.append)
+    app = _BusyOnceApp()
+    client = ServiceClient(app=app)
+    job = client.submit(points=_points_payload(0), busy_retries=2)
+    assert job["id"] == "j1"
+    assert app.calls == 2
+    assert slept == [0.125]
+
+    # Without the retry budget the 503 surfaces immediately.
+    with pytest.raises(ApiError):
+        ServiceClient(app=_AlwaysBusy()).submit(
+            points=_points_payload(0), busy_retries=0)
+
+
+class _AlwaysBusy:
+    def handle(self, method, path, headers=None, body=None):
+        return (503, "application/json", json.dumps({
+            "error": {"code": "overloaded", "message": "busy"}}).encode())
+
+
+def test_service_journal_failure_degrades_then_recovers(tmp_path):
+    # Write op 0 is the first submission's journal append.
+    fs = ChaosFS(ChaosSchedule.of(DiskFull(start_op=0, count=1)))
+    svc = Service(ServiceConfig(state_dir=tmp_path / "svc",
+                                retry_after_s=1.5), fs=fs)
+    client = ServiceClient(app=svc.app)
+
+    with pytest.raises(ApiError) as err:
+        client.submit(points=_points_payload(0))
+    assert err.value.status == 503
+    assert err.value.code == "degraded"
+    assert err.value.retry_after == pytest.approx(1.5)
+    # The transition did not happen: the queue holds nothing.
+    assert svc.queue.depth() == 0
+    assert client.healthz()["status"] == "degraded"
+    assert "journal" in client.healthz()["health"]["reasons"]
+
+    # Disk recovered: the next submission lands and heals the state.
+    job = client.submit(points=_points_payload(1))
+    assert job["id"]
+    assert svc.queue.depth() == 1
+    assert client.healthz()["status"] == "ok"
+    assert client.healthz()["health"]["reasons"] == {}
+
+
+def test_point_queue_refuses_leases_it_cannot_journal(tmp_path):
+    # Ops 0-1: the two point_enqueued appends; op 2: the lease grant.
+    fs = ChaosFS(ChaosSchedule.of(DiskFull(start_op=2, count=1)))
+    queue = PointQueue(tmp_path / "fab", fs=fs, lease_s=5.0)
+    points = [OkPoint(token="a"), OkPoint(token="b")]
+    _batch, ids = queue.enqueue(points)
+
+    # The un-journalable grant is reverted and refused.
+    assert queue.lease("w1") is None
+    assert queue.health.state == Health.DEGRADED
+    item = queue.get(ids[0])
+    assert item.state == ItemState.PENDING
+    assert item.attempts == 0  # the revert refunded the attempt charge
+    assert item.worker is None
+
+    # Disk back: the same item leases cleanly and health resolves.
+    item = queue.lease("w1")
+    assert item is not None and item.id == ids[0]
+    assert item.attempts == 1
+    assert queue.health.state == Health.HEALTHY
+    assert queue.snapshot()["health"]["state"] == Health.HEALTHY
+
+
+def test_fabric_healthz_route_reports_transitions(tmp_path):
+    coordinator = FabricCoordinator(tmp_path / "fab")
+    transport = InProcessTransport(coordinator.app)
+
+    doc = transport.json("GET", "/v1/fabric/healthz")
+    assert doc["status"] == "ok"
+
+    coordinator.queue.health.degrade("journal", "EIO on append")
+    doc = transport.json("GET", "/v1/fabric/healthz")
+    assert doc["status"] == "degraded"
+    assert doc["health"]["reasons"] == {"journal": "EIO on append"}
+
+    coordinator.queue.health.resolve("journal")
+    assert transport.json("GET", "/v1/fabric/healthz")["status"] == "ok"
+
+    coordinator.close()  # terminal
+    doc = transport.json("GET", "/v1/fabric/healthz")
+    assert doc["status"] == "draining"
+
+
+def test_health_gauges_are_one_hot(tmp_path):
+    svc = Service(ServiceConfig(state_dir=tmp_path / "svc"))
+    text = ServiceClient(app=svc.app).metrics()
+    assert 'service_health{state="healthy"} 1' in text
+    assert 'service_health{state="degraded"} 0' in text
+    svc.health.degrade("cache", "disk full")
+    text = ServiceClient(app=svc.app).metrics()
+    assert 'service_health{state="healthy"} 0' in text
+    assert 'service_health{state="degraded"} 1' in text

@@ -1,0 +1,138 @@
+"""Filesystem fault plane: ChaosFS against the cache and the journal."""
+
+import errno
+import json
+
+import pytest
+
+from repro.chaos import ChaosFS, ChaosSchedule, DiskError, DiskFull, TornWrite
+from repro.fabric.health import Health
+from repro.runner.cache import MEMORY_FALLBACK_ENTRIES, ResultCache
+from repro.runner.journal import RunJournal
+from repro.telemetry.metrics import MetricRegistry
+
+KEY_A = "a" * 16
+KEY_B = "b" * 16
+
+
+def test_only_write_opens_count_and_fault(tmp_path):
+    fs = ChaosFS(ChaosSchedule.of(DiskFull(start_op=1)))
+    target = tmp_path / "x.txt"
+    with fs.open(target, "w", encoding="utf-8") as handle:  # op 0: fine
+        handle.write("hello")
+    with fs.open(target, "r", encoding="utf-8") as handle:  # read: uncounted
+        assert handle.read() == "hello"
+    with pytest.raises(OSError) as err:                     # op 1: ENOSPC
+        fs.open(target, "a", encoding="utf-8")
+    assert err.value.errno == errno.ENOSPC
+    assert fs.write_ops == 2
+    assert fs.injected == 1
+
+
+def test_disk_error_raises_eio(tmp_path):
+    fs = ChaosFS(ChaosSchedule.of(DiskError(start_op=0)))
+    with pytest.raises(OSError) as err:
+        fs.open(tmp_path / "y.txt", "w", encoding="utf-8")
+    assert err.value.errno == errno.EIO
+
+
+def test_torn_write_persists_prefix_then_fails(tmp_path):
+    fs = ChaosFS(ChaosSchedule.of(TornWrite(at_op=0, keep_bytes=4)))
+    target = tmp_path / "torn.txt"
+    handle = fs.open(target, "w", encoding="utf-8")
+    with pytest.raises(OSError):
+        handle.write("0123456789")
+    handle.close()
+    assert target.read_text(encoding="utf-8") == "0123"
+
+
+def test_cache_put_degrades_to_memory_and_recovers(tmp_path):
+    registry = MetricRegistry()
+    health = Health(registry=registry, component="service")
+    fs = ChaosFS(ChaosSchedule.of(DiskFull(start_op=0, count=1)))
+    cache = ResultCache(directory=tmp_path / "cache", fs=fs,
+                        registry=registry, health=health)
+
+    # Op 0 (the first put's temp-file open) hits ENOSPC: no crash, the
+    # value parks in memory, accounting and health reflect it.
+    cache.put(KEY_A, {"v": 1})
+    assert cache.stats.put_errors == 1
+    assert health.state == Health.DEGRADED
+    assert not list((tmp_path / "cache").glob("*.pkl"))
+    # The sweep in flight still deduplicates: the miss path consults
+    # the fallback, and it counts as a hit.
+    assert cache.get(KEY_A) == {"v": 1}
+    assert cache.stats.hits == 1
+
+    # The next put lands on disk and resolves the degradation.
+    cache.put(KEY_B, {"v": 2})
+    assert health.state == Health.HEALTHY
+    assert cache.stats.stores == 1
+    assert cache.get(KEY_B) == {"v": 2}
+    # Snapshot/metrics expose the error count.
+    assert cache.snapshot()["put_errors"] == 1
+
+
+def test_cache_memory_fallback_is_bounded(tmp_path):
+    n = MEMORY_FALLBACK_ENTRIES + 10
+    fs = ChaosFS(ChaosSchedule.of(DiskFull(start_op=0, count=n)))
+    cache = ResultCache(directory=tmp_path / "cache", fs=fs)
+    keys = [f"{i:016x}" for i in range(n)]
+    for i, key in enumerate(keys):
+        cache.put(key, i)
+    assert cache.stats.put_errors == n
+    assert len(cache._memory) == MEMORY_FALLBACK_ENTRIES
+    # Oldest parked values were dropped; the newest survive.
+    assert cache.get(keys[0]) is None
+    assert cache.get(keys[-1]) == n - 1
+
+
+def test_journal_append_failure_propagates(tmp_path):
+    fs = ChaosFS(ChaosSchedule.of(DiskFull(start_op=0)))
+    journal = RunJournal(tmp_path / "j.jsonl", fs=fs)
+    with pytest.raises(OSError):
+        journal.append("experiment_done", experiment="E1")
+    # The failure wrote nothing; the next append lands cleanly.
+    journal.append("experiment_done", experiment="E2")
+    assert [e["experiment"] for e in journal.events()] == ["E2"]
+
+
+def test_journal_drops_torn_tail_on_read(tmp_path):
+    fs = ChaosFS(ChaosSchedule.of(TornWrite(at_op=1, keep_bytes=9)))
+    journal = RunJournal(tmp_path / "j.jsonl", fs=fs)
+    journal.append("experiment_done", experiment="E1")   # op 0: fine
+    with pytest.raises(OSError):
+        journal.append("experiment_done", experiment="E2")  # op 1: torn
+    # The torn prefix really reached the file...
+    raw = (tmp_path / "j.jsonl").read_text(encoding="utf-8")
+    assert len(raw.splitlines()) == 2
+    with pytest.raises(json.JSONDecodeError):
+        json.loads(raw.splitlines()[-1])
+    # ...and the reader heals by dropping it.
+    events = journal.events()
+    assert [e["experiment"] for e in events] == ["E1"]
+
+
+def test_chaos_fs_replays_identically(tmp_path):
+    """Same schedule -> same faults on the same ops, run after run."""
+    schedule = ChaosSchedule.of(DiskFull(start_op=2, count=2),
+                                TornWrite(at_op=6, keep_bytes=3))
+
+    def run(root):
+        fs = ChaosFS(schedule)
+        outcomes = []
+        for i in range(8):
+            try:
+                with fs.open(root / f"f{i}", "w", encoding="utf-8") as fh:
+                    fh.write("payload")
+                outcomes.append("ok")
+            except OSError as err:
+                outcomes.append(errno.errorcode.get(err.errno, "?"))
+        return outcomes
+
+    (tmp_path / "a").mkdir()
+    (tmp_path / "b").mkdir()
+    first = run(tmp_path / "a")
+    assert run(tmp_path / "b") == first
+    assert first == ["ok", "ok", "ENOSPC", "ENOSPC", "ok", "ok",
+                     "EIO", "ok"]

@@ -1,0 +1,95 @@
+"""ChaosSchedule: typed specs, plane filters, seeded replay, JSON."""
+
+import pytest
+
+from repro.chaos import (
+    ChaosSchedule,
+    DiskError,
+    DiskFull,
+    TornWrite,
+    TransportFlap,
+    WorkerHang,
+    WorkerKill,
+)
+
+
+def _full_schedule() -> ChaosSchedule:
+    return ChaosSchedule.of(
+        TransportFlap(start_op=2, count=3, probability=0.5,
+                      mode="error", status=503),
+        TransportFlap(start_op=10, count=1, mode="delay", delay_s=0.2),
+        DiskFull(start_op=4, count=2),
+        DiskError(start_op=9),
+        TornWrite(at_op=12, keep_bytes=7),
+        WorkerKill(after_done=3),
+        WorkerHang(after_done=5, hang_s=2.0, worker="w1"),
+        seed=42,
+    )
+
+
+def test_plane_filters_partition_the_specs():
+    schedule = _full_schedule()
+    assert len(schedule) == 7
+    assert len(schedule.transport_faults()) == 2
+    assert len(schedule.fs_faults()) == 3
+    assert len(schedule.process_faults()) == 2
+    total = (schedule.transport_faults() + schedule.fs_faults()
+             + schedule.process_faults())
+    assert sorted(map(repr, total)) == sorted(map(repr, schedule.faults))
+    with pytest.raises(ValueError):
+        schedule.plane("gpu")
+
+
+def test_json_round_trip_is_lossless():
+    schedule = _full_schedule()
+    again = ChaosSchedule.from_json(schedule.to_json())
+    assert again == schedule
+    assert again.seed == 42
+    # And the dict form round-trips too.
+    assert ChaosSchedule.from_dict(schedule.to_dict()) == schedule
+
+
+def test_seeded_rng_replays_exactly():
+    a = ChaosSchedule.of(seed=7).rng()
+    b = ChaosSchedule.of(seed=7).rng()
+    assert [a.random() for _ in range(20)] == \
+        [b.random() for _ in range(20)]
+    assert ChaosSchedule.of(seed=8).rng().random() != \
+        ChaosSchedule.of(seed=7).rng().random()
+
+
+@pytest.mark.parametrize("bad", [
+    lambda: TransportFlap(start_op=-1, count=1),
+    lambda: TransportFlap(start_op=0, count=0),
+    lambda: TransportFlap(start_op=0, count=1, probability=0.0),
+    lambda: TransportFlap(start_op=0, count=1, probability=1.5),
+    lambda: TransportFlap(start_op=0, count=1, mode="explode"),
+    lambda: TransportFlap(start_op=0, count=1, status=404),
+    lambda: DiskFull(start_op=0, count=0),
+    lambda: TornWrite(at_op=-1),
+    lambda: TornWrite(at_op=0, keep_bytes=-1),
+    lambda: WorkerKill(after_done=-1),
+    lambda: WorkerHang(after_done=0, hang_s=0.0),
+])
+def test_spec_validation_rejects_bad_fields(bad):
+    with pytest.raises(ValueError):
+        bad()
+
+
+def test_schedule_rejects_non_specs_and_bad_seed():
+    with pytest.raises(TypeError):
+        ChaosSchedule.of("not a spec")
+    with pytest.raises(TypeError):
+        ChaosSchedule.of(seed="42")
+
+
+@pytest.mark.parametrize("doc,match", [
+    ({"seed": 1}, "faults"),
+    ({"faults": [{"no_type": 1}]}, "type"),
+    ({"faults": [{"type": "meteor_strike"}]}, "unknown type"),
+    ({"faults": [{"type": "disk_full", "bogus": 1}]}, "disk_full"),
+    ({"faults": [], "seed": "x"}, "seed"),
+])
+def test_from_dict_rejects_malformed_documents(doc, match):
+    with pytest.raises(ValueError, match=match):
+        ChaosSchedule.from_dict(doc)
