@@ -263,10 +263,12 @@ def _service_client(url: str, token: str | None):
 
 def cmd_serve(host: str, port: int, state_dir: str, tokens: str | None,
               workers: int, lease_s: float,
-              max_queue_depth: int = 128) -> int:
+              max_queue_depth: int = 128, backend: str = "local",
+              fabric_workers: int = 2, obs_dir: str | None = None) -> int:
     """``repro serve``: run the blocking simulation-service HTTP server."""
     from pathlib import Path
 
+    from repro.obs import configure as configure_obs
     from repro.service import Service, ServiceConfig, serve
 
     try:
@@ -274,7 +276,14 @@ def cmd_serve(host: str, port: int, state_dir: str, tokens: str | None,
             host=host, port=port, state_dir=Path(state_dir),
             tokens_path=Path(tokens) if tokens else None,
             workers=workers, lease_s=lease_s,
-            max_queue_depth=max_queue_depth)
+            max_queue_depth=max_queue_depth, backend=backend,
+            fabric_workers=fabric_workers)
+        # Structured events on by default, next to the queue journal;
+        # configure() also exports REPRO_OBS_DIR so fabric worker
+        # subprocesses log into the same directory (REPRO_OBS=0 is the
+        # kill switch).
+        emitter = configure_obs(Path(obs_dir) if obs_dir
+                                else config.obs_dir)
         service = Service(config)
     except ValueError as err:
         return fail(str(err), usage=True)
@@ -284,24 +293,38 @@ def cmd_serve(host: str, port: int, state_dir: str, tokens: str | None,
 
     def ready(bound_host: str, bound_port: int) -> None:
         auth = "bearer-token" if service.auth.enabled else "open"
+        obs = emitter.directory if emitter.enabled else "off"
         print(f"[repro service listening on http://{bound_host}:{bound_port} "
               f"— state {config.state_dir}, {workers} worker(s), "
-              f"auth={auth}]", flush=True)
+              f"backend={backend}, auth={auth}, obs={obs}]", flush=True)
 
     try:
         serve(service, ready=ready)
     except KeyboardInterrupt:
         print("\n[shutting down]", file=sys.stderr)
     except OSError as err:
-        service.stop()
+        service.stop(drain=True)
         return fail(f"cannot bind {host}:{port}: {err}")
-    service.stop()
+    service.stop(drain=True)
     return 0
+
+
+def _print_follow_line(doc: dict) -> None:
+    """One progress line per followed job update."""
+    progress = doc.get("progress") or {}
+    if progress.get("total"):
+        cached = progress.get("cached", 0)
+        extra = f" ({cached} cached)" if cached else ""
+        print(f"[job {doc['id']}: {doc['state']} "
+              f"{progress.get('done', 0)}/{progress['total']}{extra}]",
+              flush=True)
+    else:
+        print(f"[job {doc['id']}: {doc['state']}]", flush=True)
 
 
 def cmd_submit(target: str, variant: str, priority: int, url: str,
                token: str | None, wait: bool, timeout: float,
-               busy_retries: int = 2) -> int:
+               busy_retries: int = 2, follow: bool = False) -> int:
     """``repro submit``: queue an experiment id or a points JSON file."""
     import json
     from pathlib import Path
@@ -337,10 +360,18 @@ def cmd_submit(target: str, variant: str, priority: int, url: str,
         return fail(str(err))
     print(f"[submitted job {job['id']} "
           f"(tenant={job['tenant']}, priority={job['priority']})]")
-    if not wait:
+    if not (wait or follow):
         return 0
     try:
-        job = client.wait(job["id"], timeout_s=timeout)
+        if follow:
+            for doc in client.follow(job["id"], timeout_s=timeout):
+                job = doc
+                _print_follow_line(doc)
+            if job["state"] not in ("DONE", "FAILED", "QUARANTINED",
+                                    "CANCELLED"):
+                job = client.job(job["id"])
+        else:
+            job = client.wait(job["id"], timeout_s=timeout)
     except TimeoutError as err:
         return fail(str(err))
     except TransportError as err:
@@ -386,6 +417,20 @@ def cmd_jobs(action: str, job_id: str | None, url: str, token: str | None,
         if action == "show":
             print(json.dumps(client.job(job_id), indent=1))
             return 0
+        if action == "tail":
+            job = client.job(job_id)
+            _print_follow_line(job)
+            if job["state"] not in ("DONE", "FAILED", "QUARANTINED",
+                                    "CANCELLED"):
+                try:
+                    for doc in client.follow(job_id):
+                        job = doc
+                        _print_follow_line(doc)
+                except TimeoutError as err:
+                    return fail(str(err))
+            if job["state"] == "DONE":
+                return 0
+            return fail(f"job finished {job['state']}: {job.get('error')}")
         if action == "result":
             blob = client.result_bytes(job_id)
             if out is not None:
@@ -471,13 +516,36 @@ def cmd_fabric(action: str, url: str, token: str | None,
           + ", ".join(f"{k}={v}" for k, v in sorted(states.items())) + ")")
     print(f"lease_s     : {snap.get('lease_s')}")
     workers = snap.get("workers", {})
+    detail = snap.get("worker_detail") or {}
     if not workers:
         print("workers     : none seen")
     else:
         print(f"workers     : {len(workers)}")
         for name, age in workers.items():
-            print(f"  {name:<28} last contact {age:.1f}s ago")
+            info = detail.get(name) or {}
+            beat = info.get("last_heartbeat_s")
+            extra = (f", heartbeat {beat:.1f}s ago" if beat is not None
+                     else ", no heartbeat seen")
+            stale = "  STALE" if info.get("stale") else ""
+            print(f"  {name:<28} last contact {age:.1f}s ago{extra}{stale}")
     return 0
+
+
+def cmd_top(url: str, token: str | None, interval_s: float,
+            once: bool, iterations: int | None, no_color: bool) -> int:
+    """``repro top``: live dashboard over a running repro service."""
+    from repro.obs import top
+    from repro.service import ServiceError
+
+    client = _service_client(url, token)
+    try:
+        client.healthz()
+    except ServiceError as err:
+        return fail(str(err))
+    frames = top.run(client, interval_s=interval_s,
+                     iterations=1 if once else iterations,
+                     color=(not no_color) and sys.stdout.isatty())
+    return 0 if frames else 1
 
 
 def cmd_faults_run(schedule_path: str, gpus: int, config_name: str,
@@ -830,6 +898,16 @@ def main(argv: list[str] | None = None) -> int:
     serve_p.add_argument("--max-queue-depth", type=int, default=128,
                          help="shed submissions with 503 + Retry-After "
                               "past this many queued jobs (default 128)")
+    serve_p.add_argument("--backend", default="local",
+                         choices=("local", "fabric"),
+                         help="job execution backend: 'local' (inline) or "
+                              "'fabric' (repro-worker subprocess fleet)")
+    serve_p.add_argument("--fabric-workers", type=int, default=2,
+                         help="with --backend fabric: worker subprocesses "
+                              "(default 2)")
+    serve_p.add_argument("--obs-dir", metavar="DIR", default=None,
+                         help="structured event log directory (default "
+                              "<state-dir>/obs; REPRO_OBS=0 disables)")
     submit_p = sub.add_parser(
         "submit", help="submit a job to a running repro service")
     submit_p.add_argument("target", metavar="EXP_ID|points.json",
@@ -848,10 +926,13 @@ def main(argv: list[str] | None = None) -> int:
     submit_p.add_argument("--busy-retries", type=int, default=2,
                           help="re-submit after 429/503 honouring the "
                                "server's Retry-After (default 2)")
+    submit_p.add_argument("--follow", action="store_true",
+                          help="stream live progress (SSE, falling back "
+                               "to long-polling) until the job finishes")
     jobs_p = sub.add_parser(
         "jobs", help="inspect/cancel jobs on a running repro service")
     jobs_p.add_argument("jobs_command",
-                        choices=("ls", "show", "result", "cancel"))
+                        choices=("ls", "show", "result", "cancel", "tail"))
     jobs_p.add_argument("job_id", nargs="?", default=None, metavar="JOB_ID")
     jobs_p.add_argument("--url", default="http://127.0.0.1:8765",
                         help="service base URL")
@@ -886,6 +967,19 @@ def main(argv: list[str] | None = None) -> int:
     fstat_p.add_argument("--token", default=None, help="bearer token")
     fstat_p.add_argument("--json", action="store_true",
                          help="machine-readable output")
+    top_p = sub.add_parser(
+        "top", help="live dashboard: jobs, workers, latencies, events")
+    top_p.add_argument("--url", default="http://127.0.0.1:8765",
+                       help="service base URL")
+    top_p.add_argument("--token", default=None, help="bearer token")
+    top_p.add_argument("--interval", type=float, default=2.0,
+                       help="refresh interval in seconds (default 2)")
+    top_p.add_argument("--once", action="store_true",
+                       help="print a single frame and exit (pipe-safe)")
+    top_p.add_argument("--iterations", type=int, default=None,
+                       help="stop after N frames (default: until Ctrl-C)")
+    top_p.add_argument("--no-color", action="store_true",
+                       help="plain text (no ANSI colors)")
     meas_p = sub.add_parser("measure", help="one ad-hoc training measurement")
     meas_p.add_argument("--gpus", type=int, default=24)
     meas_p.add_argument("--config", default="tuned",
@@ -984,11 +1078,14 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_journal_compact(args.journal)
     if args.command == "serve":
         return cmd_serve(args.host, args.port, args.state_dir, args.tokens,
-                         args.workers, args.lease_s, args.max_queue_depth)
+                         args.workers, args.lease_s, args.max_queue_depth,
+                         backend=args.backend,
+                         fabric_workers=args.fabric_workers,
+                         obs_dir=args.obs_dir)
     if args.command == "submit":
         return cmd_submit(args.target, args.variant, args.priority,
                           args.url, args.token, args.wait, args.timeout,
-                          args.busy_retries)
+                          args.busy_retries, follow=args.follow)
     if args.command == "jobs":
         return cmd_jobs(args.jobs_command, args.job_id, args.url,
                         args.token, args.state, args.out)
@@ -998,6 +1095,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "fabric":
         return cmd_fabric(args.fabric_command, args.url, args.token,
                           args.json)
+    if args.command == "top":
+        return cmd_top(args.url, args.token, args.interval, args.once,
+                       args.iterations, args.no_color)
     if args.command == "faults":
         return cmd_faults_run(args.schedule, args.gpus, args.config,
                               args.iterations, args.model, args.deadline_ms)

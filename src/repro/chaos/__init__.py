@@ -21,6 +21,27 @@ Everything is driven by one declarative, JSON-round-trippable
 failure).
 """
 
+def chaos_event(plane: str, **fields) -> None:
+    """Emit one correlated ``chaos_injected`` observability event.
+
+    Every delivered fault is announced on the structured event log so
+    the acceptance gate can pair each injected fault window with the
+    degradation it produced.  The record always carries a
+    ``request_id``: the one already bound on this thread when the fault
+    fired inside a request (tying the fault to that request's other
+    events), or a freshly minted one otherwise.
+
+    Defined above the plane imports below so the planes can import it
+    from the partially initialised package without a cycle.
+    """
+    from repro.obs import bind, current_context, emit, new_request_id
+
+    extra = ({} if current_context().get("request_id")
+             else {"request_id": new_request_id()})
+    with bind(**extra):
+        emit("chaos_injected", level="warn", plane=plane, **fields)
+
+
 from repro.chaos.fs import ChaosFS
 from repro.chaos.process import ProcessChaos, kill_pid, stop_then_continue
 from repro.chaos.spec import (
@@ -36,6 +57,7 @@ from repro.chaos.transport import ChaosTransport
 
 __all__ = [
     "ChaosFS",
+    "chaos_event",
     "ChaosSchedule",
     "ChaosTransport",
     "DiskError",

@@ -112,6 +112,10 @@ class ChaosFS(LocalFS):
                 self.injected += 1
         if spec is None:
             return super().open(path, mode, encoding)
+        from repro.chaos import chaos_event
+
+        chaos_event("fs", fault=type(spec).__name__, op=op,
+                    target=str(path))
         if isinstance(spec, DiskFull):
             raise OSError(errno.ENOSPC, os.strerror(errno.ENOSPC), str(path))
         if isinstance(spec, DiskError):

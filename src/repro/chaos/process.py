@@ -105,6 +105,10 @@ class ProcessChaos:
             elif isinstance(spec, WorkerHang) and self.hang is not None:
                 delivered = bool(self.hang(victim, spec.hang_s))
             if delivered:
+                from repro.chaos import chaos_event
+
+                chaos_event("process", fault=type(spec).__name__,
+                            worker=victim, after_done=spec.after_done)
                 fired.append(spec)
             else:
                 # Victim not deliverable yet (e.g. no lease holder):

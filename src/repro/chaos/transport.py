@@ -67,6 +67,10 @@ class ChaosTransport(Transport):
             if fire:
                 self.injected += 1
         if fire:
+            from repro.chaos import chaos_event
+
+            chaos_event("transport", mode=spec.mode, op=op,
+                        method=method, path=path)
             if spec.mode == "drop":
                 raise TransportError(
                     f"chaos: dropped request #{op} ({method} {path})")

@@ -116,28 +116,43 @@ class CircuitBreaker:
     def record_success(self) -> None:
         """A request got a healthy answer: close and reset the ladder."""
         with self._lock:
+            reopened = self._state != self.CLOSED
             self._state = self.CLOSED
             self._consecutive = 0
             self._trips = 0
             self._probing = False
+        if reopened:
+            self._emit("breaker_closed")
 
     def record_failure(self) -> None:
         """A request failed; trip (or re-trip) once the threshold hits."""
+        tripped = None
         with self._lock:
             self._consecutive += 1
             if self._state == self.HALF_OPEN:
-                self._trip()  # the probe failed: next-longer window
+                tripped = self._trip()  # probe failed: next-longer window
             elif (self._state == self.CLOSED
                     and self._consecutive >= self.failures):
-                self._trip()
+                tripped = self._trip()
+        if tripped is not None:
+            self._emit("breaker_open", consecutive=tripped[0],
+                       trips=tripped[1], window_s=tripped[2])
+
+    def _emit(self, event: str, **fields) -> None:
+        """State-transition obs event (operators watch trips live)."""
+        from repro.obs import emit
+
+        emit(event, level="warn", **fields)
 
     # -- internals (call with the lock held) --------------------------------
     def _window(self) -> float:
         return min(self.backoff_s * (2 ** max(self._trips - 1, 0)),
                    self.max_backoff_s)
 
-    def _trip(self) -> None:
+    def _trip(self) -> tuple[int, int, float]:
         self._trips += 1
         self._state = self.OPEN
         self._probing = False
-        self._open_until = self.clock() + self._window()
+        window = self._window()
+        self._open_until = self.clock() + window
+        return self._consecutive, self._trips, window

@@ -68,20 +68,50 @@ class Health:
     def degrade(self, key: str, detail: str) -> None:
         """Record one outstanding degradation reason (idempotent)."""
         with self._lock:
+            before = self._state_locked()
             self._reasons[str(key)] = str(detail)
+            after = self._state_locked()
         self._publish()
+        if after != before:
+            self._flip(before, after, key=str(key), detail=str(detail))
 
     def resolve(self, key: str) -> None:
         """Clear one reason; healthy again once none remain."""
         with self._lock:
-            self._reasons.pop(str(key), None)
+            before = self._state_locked()
+            cleared = self._reasons.pop(str(key), None)
+            after = self._state_locked()
         self._publish()
+        if after != before and cleared is not None:
+            self._flip(before, after, key=str(key))
 
     def drain(self) -> None:
         """Enter the terminal draining state (shutdown in progress)."""
         with self._lock:
+            before = self._state_locked()
             self._draining = True
+            after = self._state_locked()
         self._publish()
+        if after != before:
+            self._flip(before, after)
+
+    def _flip(self, before: str, after: str, **fields) -> None:
+        """A state *flip* (not every keyed reason) is operator news:
+        emit it, and on entering ``degraded`` dump the flight recorder
+        so the postmortem evidence exists even if the process dies
+        next.  Never raises."""
+        try:
+            from repro.obs import emit, emitter
+
+            emit("health_flip",
+                 level="warn" if after != self.HEALTHY else "info",
+                 component=self.component, before=before, after=after,
+                 **fields)
+            if after == self.DEGRADED:
+                emitter().dump(reason=f"{self.component} degraded: "
+                                      f"{fields.get('key', '')}")
+        except Exception:
+            pass
 
     # -- telemetry ----------------------------------------------------------
     def _publish(self) -> None:

@@ -36,6 +36,7 @@ from typing import Sequence
 
 from repro.fabric.health import Health
 from repro.fabric.lease import LeaseManager
+from repro.obs import bind as obs_bind, current_context, emit as obs_emit
 from repro.runner.journal import RunJournal
 from repro.runner.simpoint import SimPoint
 
@@ -66,6 +67,11 @@ class WorkItem:
     ``run_points(..., retries=..., timeout_s=...)`` settings travel
     with its items instead of mutating shared state that concurrent
     batches would cross-wire.
+
+    ``ctx`` is the correlation context bound when the item was
+    enqueued (``job_id``/``request_id``); it travels to the leasing
+    worker inside the lease response, so a worker's event log carries
+    the same ``job_id`` as the coordinator's.
     """
 
     id: str
@@ -81,6 +87,7 @@ class WorkItem:
     completed_by: str | None = None
     retries: int | None = None
     timeout_s: float | None = None
+    ctx: dict | None = None
 
     def to_dict(self) -> dict:
         """JSON-able form for journal records and status payloads."""
@@ -126,6 +133,11 @@ class PointQueue:
         self._next_batch = 0
         #: worker id -> last contact timestamp (lease/heartbeat/complete).
         self.workers_seen: dict[str, float] = {}
+        #: worker id -> last *heartbeat* timestamp — tracked apart from
+        #: general contact so operators can see a worker that still
+        #: leases/polls but whose in-flight heartbeats stopped (it is
+        #: about to lose its lease) before the sweep fires.
+        self.heartbeats_seen: dict[str, float] = {}
         self._m_leases = self._m_heartbeats = self._m_completions = None
         self._m_requeues = self._m_failures = self._m_depth = None
         self._m_workers = self._m_journal_errors = None
@@ -211,11 +223,14 @@ class PointQueue:
                                 retries=(int(retries) if retries is not None
                                          else None),
                                 timeout_s=timeout_s)
+                item.ctx = current_context() or None
                 self._items[item.id] = item
                 self._points[item.id] = point
                 self._order.append(item.id)
                 self._journal("point_enqueued", id=item.id, key=key,
                               batch=batch, describe=item.describe)
+                obs_emit("point_enqueued", level="debug", item=item.id,
+                         point_key=key, batch=batch)
                 ids.append(item.id)
             self._update_gauges()
             return batch, ids
@@ -246,6 +261,10 @@ class PointQueue:
                 return None
             if self._m_leases is not None:
                 self._m_leases.inc()
+            with obs_bind(**(item.ctx or {}), point_key=item.key,
+                          worker_id=worker):
+                obs_emit("point_leased", item=item.id,
+                         attempts=item.attempts, lease_until=lease_until)
             self._update_gauges()
             return item
 
@@ -266,8 +285,10 @@ class PointQueue:
             if item is None or item.worker != worker:
                 return False
             ok = self.leases.refresh(item, lease_s)
-            if ok and self._m_heartbeats is not None:
-                self._m_heartbeats.inc()
+            if ok:
+                self.heartbeats_seen[str(worker)] = self.leases.clock()
+                if self._m_heartbeats is not None:
+                    self._m_heartbeats.inc()
             return ok
 
     def complete(self, worker: str, item_id: str) -> str:
@@ -297,6 +318,9 @@ class PointQueue:
                           status=status)
             if self._m_completions is not None:
                 self._m_completions.labels(status=status).inc()
+            with obs_bind(**(item.ctx or {}), point_key=item.key,
+                          worker_id=worker):
+                obs_emit("point_done", item=item.id, status=status)
             self._update_gauges()
             return status
 
@@ -328,6 +352,10 @@ class PointQueue:
                 self.leases.release(item)
                 self._journal("point_failed", id=item.id,
                               worker=worker, error=str(error))
+                with obs_bind(**(item.ctx or {}), point_key=item.key,
+                              worker_id=worker):
+                    obs_emit("point_failed", level="error", item=item.id,
+                             error=str(error))
             else:
                 self._requeue(item, error=str(error))
             self._update_gauges()
@@ -336,6 +364,7 @@ class PointQueue:
     # -- crash recovery ----------------------------------------------------
     def _requeue(self, item: WorkItem, error: str | None = None,
                  recovered: bool = False) -> None:
+        holder = item.worker
         item.state = ItemState.PENDING
         self.leases.release(item)
         if error is not None:
@@ -346,6 +375,11 @@ class PointQueue:
                       recoveries=item.recoveries,
                       **({"error": str(error)}
                          if error is not None else {}))
+        with obs_bind(**(item.ctx or {}), point_key=item.key,
+                      worker_id=holder):
+            obs_emit("point_requeued", level="warn", item=item.id,
+                     recovered=recovered, recoveries=item.recoveries,
+                     **({"error": str(error)} if error is not None else {}))
 
     def requeue_expired(self,
                         skip_workers: frozenset[str] = frozenset()) -> list:
@@ -358,12 +392,17 @@ class PointQueue:
         """
         def reclaim(item: WorkItem) -> None:
             if self.leases.should_quarantine(item):
+                holder = item.worker
                 item.state = ItemState.FAILED
                 item.error = (f"failed after {item.recoveries + 1} "
                               f"dead-worker recoveries")
                 self.leases.release(item)
                 self._journal("point_failed", id=item.id,
                               worker=None, error=item.error)
+                with obs_bind(**(item.ctx or {}), point_key=item.key,
+                              worker_id=holder):
+                    obs_emit("point_failed", level="error", item=item.id,
+                             error=item.error, poison=True)
             else:
                 self._requeue(item, recovered=True)
             if self._m_requeues is not None:
@@ -408,12 +447,35 @@ class PointQueue:
                        for i in ids)
 
     def snapshot(self) -> dict:
-        """Counts + per-worker last-contact ages, for ``/status``."""
+        """Counts + per-worker ages, for ``/status``.
+
+        ``workers`` keeps its original shape (worker -> last-contact
+        age); ``worker_detail`` adds the last-*heartbeat* age and a
+        ``stale`` flag (no heartbeat within one lease window while
+        holding a lease) so operators see a worker going silent
+        *before* the expiry sweep reclaims its item.
+        """
         with self._lock:
             now = self.leases.clock()
             counts = {state: 0 for state in ItemState.ALL}
+            holding = set()
             for item in self._items.values():
                 counts[item.state] += 1
+                if item.state == ItemState.LEASED and item.worker:
+                    holding.add(item.worker)
+            detail = {}
+            for worker, seen in sorted(self.workers_seen.items()):
+                beat = self.heartbeats_seen.get(worker)
+                beat_age = round(now - beat, 3) if beat is not None else None
+                stale = (worker in holding
+                         and (beat is None
+                              or now - beat > self.leases.lease_s))
+                detail[worker] = {
+                    "last_contact_s": round(now - seen, 3),
+                    "last_heartbeat_s": beat_age,
+                    "leased": worker in holding,
+                    "stale": stale,
+                }
             return {
                 "items": len(self._items),
                 "states": counts,
@@ -421,4 +483,5 @@ class PointQueue:
                 "health": self.health.as_dict(),
                 "workers": {w: round(now - t, 3)
                             for w, t in sorted(self.workers_seen.items())},
+                "worker_detail": detail,
             }

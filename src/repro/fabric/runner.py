@@ -49,6 +49,8 @@ from typing import Callable, Sequence
 from repro.fabric.queue import ItemState, PointQueue, PointQueueError
 from repro.fabric.transport import is_loopback, serve_app_in_thread
 from repro.fabric.worker import decode_payload, encode_payload
+from repro.obs import (SYSTEM_CLOCK, CONTEXT_HEADER, bind as obs_bind,
+                       decode_context, new_request_id)
 from repro.runner.cache import ResultCache
 from repro.runner.pool import RunnerError, RunnerStats
 from repro.runner.simpoint import SimPoint
@@ -81,16 +83,25 @@ class FabricApp:
 
     def handle(self, method: str, path: str, headers: dict | None = None,
                body: bytes | None = None) -> tuple[int, str, bytes]:
-        """Dispatch one request; never raises (500 envelope instead)."""
+        """Dispatch one request; never raises (500 envelope instead).
+
+        Context propagated by the caller (the worker's
+        ``X-Repro-Context`` header) is re-bound around the dispatch, so
+        coordinator-side obs events carry the same ``job_id`` /
+        ``request_id`` as the hop that caused them.
+        """
         headers = {k.lower(): v for k, v in (headers or {}).items()}
         parts = [p for p in path.split("?")[0].split("/") if p]
-        try:
-            return self._dispatch(method.upper(), parts, headers, body)
-        except PointQueueError as err:
-            return self._error(404, "unknown_item", str(err))
-        except Exception as err:  # pragma: no cover - defensive
-            return self._error(500, "internal",
-                               f"{type(err).__name__}: {err}")
+        ctx = decode_context(headers.get(CONTEXT_HEADER.lower()))
+        ctx.setdefault("request_id", new_request_id())
+        with obs_bind(**ctx):
+            try:
+                return self._dispatch(method.upper(), parts, headers, body)
+            except PointQueueError as err:
+                return self._error(404, "unknown_item", str(err))
+            except Exception as err:  # pragma: no cover - defensive
+                return self._error(500, "internal",
+                                   f"{type(err).__name__}: {err}")
 
     def _dispatch(self, method, parts, headers, body):
         if len(parts) != 3 or parts[0] != "v1" or parts[1] != "fabric":
@@ -180,11 +191,14 @@ class FabricCoordinator:
                  registry: MetricRegistry | None = None,
                  lease_s: float = 30.0, retries: int = 1,
                  max_recoveries: int = 3,
-                 token: str | None = None, fs=None) -> None:
+                 token: str | None = None, fs=None,
+                 clock=SYSTEM_CLOCK) -> None:
         self.registry = registry if registry is not None else MetricRegistry()
+        self.clock = clock
         self.queue = PointQueue(state_dir, registry=self.registry,
                                 lease_s=lease_s, retries=retries,
-                                max_recoveries=max_recoveries, fs=fs)
+                                max_recoveries=max_recoveries, fs=fs,
+                                clock=clock.wall)
         self.cache = cache
         #: key -> value for this session (merge source when no cache).
         self.results: dict = {}
@@ -302,7 +316,8 @@ class FabricRunner:
                  spawn: str | None = "process",
                  max_recoveries: int = 3,
                  fs=None,
-                 wrap_transport: Callable | None = None) -> None:
+                 wrap_transport: Callable | None = None,
+                 clock=SYSTEM_CLOCK) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if failure_policy not in ("raise", "quarantine"):
@@ -328,12 +343,18 @@ class FabricRunner:
         #: ``fs`` threads the filesystem seam down to the point queue.
         self.wrap_transport = wrap_transport
         self.registry = registry if registry is not None else MetricRegistry()
+        #: One clock *pair* for the whole runner: ``clock.wall`` feeds
+        #: the lease deadlines (operators reason about lease expiry in
+        #: wall time), ``clock.mono`` feeds durations — never mixed,
+        #: and both injectable together for deterministic tests.
+        self.clock = clock
         state_dir = (Path(state_dir) if state_dir is not None
                      else Path("bench_results") / "fabric")
         self.coordinator = FabricCoordinator(
             state_dir, cache=cache, registry=self.registry,
             lease_s=lease_s, retries=self.retries,
-            max_recoveries=max_recoveries, token=token, fs=fs)
+            max_recoveries=max_recoveries, token=token, fs=fs,
+            clock=clock)
         self.stats = RunnerStats()
         self.quarantined: list[dict] = []
         self._fleet_lock = threading.Lock()
@@ -485,13 +506,14 @@ class FabricRunner:
             else:
                 todo.append(key)
 
-        start = time.perf_counter()
+        start = self.clock.mono()
         if todo:
             self._drive(points, groups, todo, resolve,
                         timeout_s=timeout_s, retries=retries)
+        elapsed = self.clock.mono() - start
         self.stats.executed += len(todo)
-        self.stats.execute_seconds += time.perf_counter() - start
-        self._m_seconds.inc(time.perf_counter() - start)
+        self.stats.execute_seconds += elapsed
+        self._m_seconds.inc(elapsed)
         return results
 
     def _drive(self, points, groups, todo, resolve, *,
@@ -565,9 +587,9 @@ class FabricRunner:
     def close(self, timeout_s: float = 10.0) -> None:
         """Drain the fleet (shutdown hint), reap it, stop the server."""
         self.coordinator.draining = True
-        deadline = time.monotonic() + timeout_s
+        deadline = self.clock.mono() + timeout_s
         for proc in self._procs:
-            remaining = max(0.1, deadline - time.monotonic())
+            remaining = max(0.1, deadline - self.clock.mono())
             try:
                 proc.wait(timeout=remaining)
             except subprocess.TimeoutExpired:
@@ -581,7 +603,7 @@ class FabricRunner:
         for fabric_worker, thread in self._thread_workers:
             fabric_worker.stop()
         for fabric_worker, thread in self._thread_workers:
-            thread.join(timeout=max(0.1, deadline - time.monotonic()))
+            thread.join(timeout=max(0.1, deadline - self.clock.mono()))
         self._thread_workers = []
         self.coordinator.close()
 

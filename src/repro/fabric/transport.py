@@ -56,6 +56,8 @@ import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable
 
+from repro.obs.context import CONTEXT_HEADER, context_header
+
 __all__ = [
     "ApiError",
     "HttpTransport",
@@ -138,10 +140,19 @@ class Transport:
         self.breaker = breaker
 
     def headers(self) -> dict:
-        """Standard request headers (JSON + optional bearer token)."""
+        """Standard request headers (JSON + optional bearer token).
+
+        When a correlation context is bound (:func:`repro.obs.bind`)
+        it rides along as ``X-Repro-Context`` — the one seam through
+        which ``job_id``/``request_id`` correlation crosses every HTTP
+        hop, since all clients build their headers here.
+        """
         headers = {"Content-Type": "application/json"}
         if self.token is not None:
             headers["Authorization"] = f"Bearer {self.token}"
+        context = context_header()
+        if context is not None:
+            headers[CONTEXT_HEADER] = context
         return headers
 
     def exchange(self, method: str, path: str,
@@ -323,15 +334,23 @@ class InProcessTransport(Transport):
                 if payload is not None else None)
         response = self.app.handle(method, path, self.headers(), body)
         status, _ctype, data, extra = _unpack_response(response)
+        if not isinstance(data, bytes):
+            # Streaming payloads collapse to one body in-process: the
+            # caller sees the same bytes an HTTP client would read off
+            # the fully consumed stream.
+            data = b"".join(data)
         return status, extra, data
 
 
-def _unpack_response(response) -> tuple[int, str, bytes, dict]:
+def _unpack_response(response) -> tuple[int, str, object, dict]:
     """Normalize a pure app's 3- or 4-tuple ``handle`` return.
 
     Apps return ``(status, content_type, payload)`` normally and
     ``(status, content_type, payload, headers)`` for responses that
-    carry extra headers (e.g. ``Retry-After``).  Header keys come back
+    carry extra headers (e.g. ``Retry-After``).  ``payload`` is bytes
+    for ordinary responses, or an *iterable of bytes chunks* for
+    streaming ones (SSE) — the socket layer writes chunks as they
+    come, the in-process transport joins them.  Header keys come back
     lowercased.
     """
     if len(response) == 4:
@@ -357,13 +376,41 @@ class _AppHandler(BaseHTTPRequestHandler):
         response = type(self).handle_fn(
             method, self.path, dict(self.headers.items()), body)
         status, ctype, payload, extra = _unpack_response(response)
+        if isinstance(payload, bytes):
+            self.send_response(status)
+            self.send_header("Content-Type", ctype)
+            self.send_header("Content-Length", str(len(payload)))
+            for name, value in extra.items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(payload)
+            return
+        self._stream(status, ctype, payload, extra)
+
+    def _stream(self, status: int, ctype: str, chunks, extra: dict) -> None:
+        """Write an incremental payload (SSE): no Content-Length, each
+        chunk flushed as it is produced, connection closed at the end
+        so the client sees EOF as end-of-stream."""
         self.send_response(status)
         self.send_header("Content-Type", ctype)
-        self.send_header("Content-Length", str(len(payload)))
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
         for name, value in extra.items():
-            self.send_header(name, value)
+            if name.lower() not in ("content-length", "connection"):
+                self.send_header(name, value)
         self.end_headers()
-        self.wfile.write(payload)
+        self.close_connection = True
+        try:
+            for chunk in chunks:
+                if chunk:
+                    self.wfile.write(chunk)
+                    self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass  # the follower hung up; nothing to salvage
+        finally:
+            close = getattr(chunks, "close", None)
+            if close is not None:
+                close()
 
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
         self._serve("GET")

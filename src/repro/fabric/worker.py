@@ -56,6 +56,7 @@ from repro.fabric.transport import (
     Transport,
     TransportError,
 )
+from repro.obs import bind as obs_bind, emit as obs_emit
 from repro.runner.pool import Runner, RunnerError
 from repro.telemetry.metrics import MetricRegistry
 
@@ -329,27 +330,41 @@ class FabricWorker:
         timeout_s = item.get("timeout_s")
         if timeout_s is None:
             timeout_s = self.timeout_s
-        with _Heartbeat(self.client, self.worker, item_id,
-                        self.lease_s, timeout_s) as beat:
-            try:
-                value = self.runner.run([point])[0]
-            except KeyboardInterrupt:
-                raise
-            except (RunnerError, Exception) as exc:
-                self.failed += 1
-                self._m_done.labels(status="failed").inc()
-                self._report(lambda: self.client.fail(
-                    self.worker, item_id, repr(exc)))
-                return
-        if beat.lost.is_set():
-            # Our lease was reclaimed mid-run; the result is still
-            # deterministic and worth shipping (the coordinator counts
-            # it as a late completion).
-            pass
-        self.done += 1
-        self._m_done.labels(status="done").inc()
-        self._report(lambda: self.client.complete(
-            self.worker, item_id, value))
+        # Re-bind the enqueuer's context (it rode here inside the lease
+        # response): every event this worker emits for the point — and
+        # every protocol call it makes about it, via the transport's
+        # ``X-Repro-Context`` header — carries the submitting job's ids.
+        ctx = dict(item.get("ctx") or {})
+        ctx["worker_id"] = self.worker
+        ctx["point_key"] = item.get("key")
+        with obs_bind(**ctx):
+            obs_emit("point_execute_start", item=item_id,
+                     attempts=item.get("attempts"))
+            with _Heartbeat(self.client, self.worker, item_id,
+                            self.lease_s, timeout_s) as beat:
+                try:
+                    value = self.runner.run([point])[0]
+                except KeyboardInterrupt:
+                    raise
+                except (RunnerError, Exception) as exc:
+                    self.failed += 1
+                    self._m_done.labels(status="failed").inc()
+                    obs_emit("point_execute_failed", level="error",
+                             item=item_id, error=repr(exc))
+                    self._report(lambda: self.client.fail(
+                        self.worker, item_id, repr(exc)))
+                    return
+            if beat.lost.is_set():
+                # Our lease was reclaimed mid-run; the result is still
+                # deterministic and worth shipping (the coordinator
+                # counts it as a late completion).
+                pass
+            self.done += 1
+            self._m_done.labels(status="done").inc()
+            obs_emit("point_execute_done", item=item_id,
+                     lease_lost=beat.lost.is_set())
+            self._report(lambda: self.client.complete(
+                self.worker, item_id, value))
 
     @staticmethod
     def _report(call) -> None:

@@ -1,0 +1,73 @@
+"""Operator observability plane: events, correlation, streaming.
+
+Everything in :mod:`repro.telemetry` and :mod:`repro.trace` is
+*simulation-facing* — it measures and attributes **simulated** time.
+This package is the wall-clock counterpart: what the service, fabric,
+scheduler and workers are doing *right now*, in real seconds, across
+real processes.
+
+Four pieces:
+
+* :mod:`repro.obs.events` — a process-wide structured JSONL event
+  emitter with leveled, schema-versioned records.  Every record
+  carries a correlation context (``job_id``, ``point_key``,
+  ``worker_id``, ``request_id``) bound via :func:`bind` and
+  propagated across HTTP hops in the ``X-Repro-Context`` header, so
+  one job's life is grep-able end to end across coordinator and
+  worker processes.
+* :mod:`repro.obs.recorder` — a bounded in-memory flight recorder
+  (ring buffer) of recent events per process, queryable at
+  ``GET /v1/events?since=`` and auto-dumped next to the journal on
+  job failure/quarantine/health flips.
+* :mod:`repro.obs.sse` — Server-Sent-Events framing and a streaming
+  client with ``Last-Event-ID`` reconnect, behind
+  ``GET /v1/jobs/{id}/events``, ``repro submit --follow`` and
+  ``repro jobs tail``.
+* :mod:`repro.obs.top` — the curses-free ANSI dashboard behind
+  ``repro top``.
+
+The emitter is **isolated from the simulated plane**: events are
+wall-clock stamped, never consulted by any simulation code path, and
+a fully disabled emitter (``REPRO_OBS=0``) produces byte-identical
+result envelopes — CI enforces this.
+"""
+
+from repro.obs.clock import Clock, ManualClock, SYSTEM_CLOCK
+from repro.obs.context import (
+    CONTEXT_HEADER,
+    CONTEXT_KEYS,
+    bind,
+    context_header,
+    current_context,
+    decode_context,
+    new_request_id,
+)
+from repro.obs.events import (
+    OBS_SCHEMA,
+    EventEmitter,
+    configure,
+    emit,
+    emitter,
+    reset_emitter,
+)
+from repro.obs.recorder import FlightRecorder
+
+__all__ = [
+    "CONTEXT_HEADER",
+    "CONTEXT_KEYS",
+    "Clock",
+    "EventEmitter",
+    "FlightRecorder",
+    "ManualClock",
+    "OBS_SCHEMA",
+    "SYSTEM_CLOCK",
+    "bind",
+    "configure",
+    "context_header",
+    "current_context",
+    "decode_context",
+    "emit",
+    "emitter",
+    "new_request_id",
+    "reset_emitter",
+]

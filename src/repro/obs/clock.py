@@ -1,0 +1,62 @@
+"""One injectable wall + monotonic clock pair.
+
+The codebase needs *both* time planes: wall time for lease deadlines
+and event timestamps that must survive process restarts and compare
+across machines (:func:`time.time`), and monotonic time for durations
+and local timeouts that must not jump when NTP slews the wall clock
+(:func:`time.monotonic`).  Before this module, call sites mixed
+``time.perf_counter``, ``time.time`` and ``time.monotonic`` ad hoc,
+which made it impossible for chaos/tests to freeze "now" consistently
+— freezing one plane left the other running.
+
+:class:`Clock` packages the pair; :data:`SYSTEM_CLOCK` is the real
+one; :class:`ManualClock` is the test double whose planes advance
+together (or apart, when a test wants deliberate skew).
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Clock", "ManualClock", "SYSTEM_CLOCK"]
+
+
+class Clock:
+    """A wall + monotonic clock pair with injectable sources."""
+
+    def __init__(self, wall=time.time, mono=time.monotonic) -> None:
+        self._wall = wall
+        self._mono = mono
+
+    def wall(self) -> float:
+        """Seconds since the epoch (comparable across processes)."""
+        return self._wall()
+
+    def mono(self) -> float:
+        """Monotonic seconds (durations/timeouts within a process)."""
+        return self._mono()
+
+
+#: The production pair: ``time.time`` + ``time.monotonic``.
+SYSTEM_CLOCK = Clock()
+
+
+class ManualClock(Clock):
+    """Frozen clock pair for tests: both planes move only on
+    :meth:`advance`, and always by the same amount unless a test
+    skews one plane explicitly via ``advance(wall_s=..., mono_s=...)``.
+    """
+
+    def __init__(self, wall_s: float = 1_700_000_000.0,
+                 mono_s: float = 0.0) -> None:
+        self._wall_now = float(wall_s)
+        self._mono_now = float(mono_s)
+        super().__init__(wall=lambda: self._wall_now,
+                         mono=lambda: self._mono_now)
+
+    def advance(self, seconds: float = 0.0, *,
+                wall_s: float | None = None,
+                mono_s: float | None = None) -> None:
+        """Advance both planes by ``seconds`` (or each by its own)."""
+        self._wall_now += seconds if wall_s is None else wall_s
+        self._mono_now += seconds if mono_s is None else mono_s

@@ -1,0 +1,121 @@
+"""Correlation context: who a wall-clock event is *about*.
+
+A context is a small dict of identity fields — ``job_id``,
+``point_key``, ``worker_id``, ``request_id`` — bound for the duration
+of a unit of work (:func:`bind` is a context manager) and stamped onto
+every event the emitter writes while it is bound.  The binding lives
+in a :class:`contextvars.ContextVar`, so concurrent requests in a
+threaded server each see their own context.
+
+Propagation across HTTP hops is one header, ``X-Repro-Context``,
+holding the context as compact JSON: every
+:class:`~repro.fabric.transport.Transport` injects it on outgoing
+requests (:meth:`Transport.headers`), and ``ServiceApp`` /
+``FabricApp`` decode and re-bind it around request dispatch.  A
+``request_id`` is minted at the first hop that lacks one, so a fault
+observed deep in the fabric is traceable back to the HTTP request
+that triggered it.
+
+Only the four known keys cross the wire, values are forced to short
+strings, and a garbled header decodes to ``{}`` — a hostile or ancient
+peer cannot inject arbitrary structure into event logs.
+"""
+
+from __future__ import annotations
+
+import json
+import uuid
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+__all__ = [
+    "CONTEXT_HEADER",
+    "CONTEXT_KEYS",
+    "bind",
+    "context_header",
+    "current_context",
+    "decode_context",
+    "new_request_id",
+]
+
+CONTEXT_HEADER = "X-Repro-Context"
+
+#: The only fields that exist (and cross process boundaries).
+CONTEXT_KEYS = ("job_id", "point_key", "worker_id", "request_id")
+
+_MAX_VALUE_LEN = 200
+
+_CONTEXT: ContextVar[dict | None] = ContextVar("repro_obs_context",
+                                               default=None)
+
+
+def current_context() -> dict:
+    """A copy of the currently bound context (``{}`` when none)."""
+    ctx = _CONTEXT.get()
+    return dict(ctx) if ctx else {}
+
+
+def _clean(fields: dict) -> dict:
+    """Filter to known keys with non-empty, bounded string values."""
+    out = {}
+    for key in CONTEXT_KEYS:
+        value = fields.get(key)
+        if value is None:
+            continue
+        text = str(value)[:_MAX_VALUE_LEN]
+        if text:
+            out[key] = text
+    return out
+
+
+@contextmanager
+def bind(**fields):
+    """Bind correlation fields for the enclosed block (merge-down).
+
+    Unknown keys and ``None`` values are ignored; nested binds merge
+    (inner wins on conflict) and unwind on exit.  Yields the merged
+    context dict.
+    """
+    merged = current_context()
+    merged.update(_clean(fields))
+    token = _CONTEXT.set(merged)
+    try:
+        yield merged
+    finally:
+        _CONTEXT.reset(token)
+
+
+def context_header() -> str | None:
+    """The ``X-Repro-Context`` value for the current context.
+
+    ``None`` when nothing is bound — callers skip the header entirely
+    rather than send an empty one.
+    """
+    ctx = current_context()
+    if not ctx:
+        return None
+    return json.dumps(ctx, sort_keys=True, separators=(",", ":"))
+
+
+def decode_context(value: str | None) -> dict:
+    """Parse a received ``X-Repro-Context`` header, defensively.
+
+    Garbled JSON, non-dict payloads, unknown keys and non-scalar
+    values all degrade to "not there" — observability must never turn
+    a bad header into a 500.
+    """
+    if not value:
+        return {}
+    try:
+        doc = json.loads(value)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return {}
+    if not isinstance(doc, dict):
+        return {}
+    return _clean({k: v for k, v in doc.items()
+                   if isinstance(v, (str, int, float))})
+
+
+def new_request_id() -> str:
+    """A fresh request correlation id (12 hex chars)."""
+    return uuid.uuid4().hex[:12]

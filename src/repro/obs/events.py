@@ -1,0 +1,216 @@
+"""The process-wide structured event emitter.
+
+One :class:`EventEmitter` per process (the module-level singleton via
+:func:`emitter` / :func:`emit`) turns named events into leveled,
+schema-versioned JSONL records::
+
+    {"schema": 1, "seq": 42, "ts": 1754560123.4, "level": "info",
+     "event": "job_leased", "pid": 31337,
+     "ctx": {"job_id": "1f2e...", "request_id": "9a0b..."},
+     "worker": "svc:0", ...}
+
+``ctx`` is whatever correlation context (:mod:`repro.obs.context`)
+was bound when the event fired — the grep key that stitches one job's
+life together across coordinator and worker processes.
+
+Sinks, both optional and both crash-proof (an emitter failure must
+never take down the code being observed):
+
+* the per-process :class:`~repro.obs.recorder.FlightRecorder` ring —
+  always on while the emitter is enabled;
+* an append-only JSONL file ``events-<pid>.jsonl`` under the
+  configured obs directory — on when a directory is configured, via
+  :func:`configure` or the ``REPRO_OBS_DIR`` environment variable
+  (which child worker processes inherit, so one ``repro serve`` run
+  yields one obs directory holding every process's log).
+
+``REPRO_OBS=0`` disables the emitter entirely; the acceptance gate
+proves result envelopes are byte-identical either way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.obs.context import current_context
+from repro.obs.recorder import FlightRecorder
+
+__all__ = [
+    "OBS_SCHEMA",
+    "EventEmitter",
+    "configure",
+    "emit",
+    "emitter",
+    "reset_emitter",
+]
+
+#: Version stamped into every record; bump on incompatible change.
+OBS_SCHEMA = 1
+
+ENV_DIR = "REPRO_OBS_DIR"
+ENV_ENABLED = "REPRO_OBS"
+
+DUMP_NAME = "flight-recorder.jsonl"
+
+_LEVELS = {"debug": 10, "info": 20, "warn": 30, "error": 40}
+
+
+class EventEmitter:
+    """Leveled JSONL event emitter with a flight-recorder ring.
+
+    ``enabled=False`` turns :meth:`emit` into a no-op returning
+    ``None`` — the switch the byte-identity acceptance test flips.
+    ``level`` is the floor below which events are dropped (they still
+    cost one dict build, nothing more).
+    """
+
+    def __init__(self, *, directory: str | Path | None = None,
+                 recorder: FlightRecorder | None = None,
+                 level: str = "debug", enabled: bool = True,
+                 capacity: int = 2048, clock=time.time) -> None:
+        self.recorder = recorder or FlightRecorder(capacity=capacity)
+        self.level = level
+        self.enabled = bool(enabled)
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._file = None
+        self.path: Path | None = None
+        self.directory: Path | None = None
+        self.write_errors = 0
+        if directory is not None:
+            self.set_directory(directory)
+
+    def set_directory(self, directory: str | Path) -> None:
+        """Attach (or move) the JSONL file sink and dump location."""
+        directory = Path(directory)
+        with self._lock:
+            if self._file is not None:
+                try:
+                    self._file.close()
+                except OSError:
+                    pass
+                self._file = None
+            self.directory = directory
+            self.path = directory / f"events-{os.getpid()}.jsonl"
+
+    def emit(self, event: str, level: str = "info",
+             **fields) -> dict | None:
+        """Record one event; returns the record, or ``None`` when
+        disabled/filtered.  Never raises."""
+        if not self.enabled:
+            return None
+        if _LEVELS.get(level, 20) < _LEVELS.get(self.level, 10):
+            return None
+        record = {
+            "schema": OBS_SCHEMA,
+            "ts": self.clock(),
+            "level": level if level in _LEVELS else "info",
+            "event": str(event),
+            "pid": os.getpid(),
+            "ctx": current_context(),
+        }
+        for key, value in fields.items():
+            if key not in record:
+                record[key] = value
+        try:
+            self.recorder.add(record)  # assigns record["seq"]
+            self._write(record)
+        except Exception:
+            # Observability must never break the observed code.
+            self.write_errors += 1
+        return record
+
+    def _write(self, record: dict) -> None:
+        if self.path is None:
+            return
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        with self._lock:
+            try:
+                if self._file is None:
+                    self.path.parent.mkdir(parents=True, exist_ok=True)
+                    self._file = open(self.path, "a", encoding="utf-8")
+                self._file.write(line)
+                self._file.flush()
+            except OSError:
+                self.write_errors += 1
+                self._file = None
+
+    def dump(self, reason: str = "",
+             directory: str | Path | None = None) -> Path | None:
+        """Flight-recorder dump to ``<obs dir>/flight-recorder.jsonl``.
+
+        Called on job failure/quarantine and health flips; a no-op
+        (returning ``None``) when no directory is configured or the
+        emitter is disabled.  Never raises.
+        """
+        if not self.enabled:
+            return None
+        target = Path(directory) if directory is not None else self.directory
+        if target is None:
+            return None
+        try:
+            return self.recorder.dump(target / DUMP_NAME, reason=reason,
+                                      clock=self.clock)
+        except OSError:
+            self.write_errors += 1
+            return None
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                try:
+                    self._file.close()
+                except OSError:
+                    pass
+                self._file = None
+
+
+_GLOBAL_LOCK = threading.Lock()
+_EMITTER: EventEmitter | None = None
+
+
+def _from_env() -> EventEmitter:
+    enabled = os.environ.get(ENV_ENABLED, "1") not in ("0", "false", "no")
+    directory = os.environ.get(ENV_DIR) or None
+    return EventEmitter(directory=directory, enabled=enabled)
+
+
+def emitter() -> EventEmitter:
+    """The process-wide emitter (built from the environment on first
+    use: ``REPRO_OBS_DIR`` file sink, ``REPRO_OBS=0`` kill switch)."""
+    global _EMITTER
+    with _GLOBAL_LOCK:
+        if _EMITTER is None:
+            _EMITTER = _from_env()
+        return _EMITTER
+
+
+def configure(directory: str | Path | None = None, *,
+              enabled: bool | None = None) -> EventEmitter:
+    """Adjust the process-wide emitter (and export ``REPRO_OBS_DIR``
+    so spawned worker processes log into the same directory)."""
+    current = emitter()
+    if directory is not None:
+        current.set_directory(directory)
+        os.environ[ENV_DIR] = str(directory)
+    if enabled is not None:
+        current.enabled = bool(enabled)
+    return current
+
+
+def emit(event: str, level: str = "info", **fields) -> dict | None:
+    """Emit one event through the process-wide emitter."""
+    return emitter().emit(event, level=level, **fields)
+
+
+def reset_emitter() -> None:
+    """Drop the singleton (tests; next :func:`emitter` re-reads env)."""
+    global _EMITTER
+    with _GLOBAL_LOCK:
+        if _EMITTER is not None:
+            _EMITTER.close()
+        _EMITTER = None

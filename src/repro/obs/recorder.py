@@ -1,0 +1,116 @@
+"""Flight recorder: a bounded in-memory ring of recent events.
+
+Every process that emits obs events keeps its last ``capacity``
+records here, each stamped with a process-monotonic ``seq``.  Three
+consumers:
+
+* ``GET /v1/events?since=SEQ`` — operators (and ``repro top``) page
+  through recent events without any file access;
+* :meth:`wait_since` — the blocking primitive behind SSE streams and
+  the long-poll fallback (one condition variable, no polling);
+* :meth:`dump` — on job failure/quarantine/health flip the whole ring
+  is written next to the journal, so a chaos-run postmortem ships its
+  own evidence even when nobody was watching live.
+
+The ring is deliberately lossy (old events fall off) and the dump is
+write-then-rename so a crash mid-dump never leaves a torn file where
+a postmortem expects evidence.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """Bounded event ring with sequence numbers and change signaling."""
+
+    def __init__(self, capacity: int = 2048) -> None:
+        self.capacity = max(1, int(capacity))
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._ring: list[dict] = []
+        self._seq = 0
+        self.dumps = 0
+
+    def add(self, record: dict) -> int:
+        """Append one event record; returns its assigned ``seq``."""
+        with self._cond:
+            self._seq += 1
+            record["seq"] = self._seq
+            self._ring.append(record)
+            if len(self._ring) > self.capacity:
+                del self._ring[:len(self._ring) - self.capacity]
+            self._cond.notify_all()
+            return self._seq
+
+    @property
+    def last_seq(self) -> int:
+        with self._lock:
+            return self._seq
+
+    def since(self, seq: int = 0, limit: int | None = None,
+              match=None) -> list[dict]:
+        """Events with ``seq`` strictly greater than ``seq``, oldest
+        first, optionally filtered by ``match(record)`` and capped at
+        ``limit``."""
+        with self._lock:
+            out = [dict(r) for r in self._ring if r.get("seq", 0) > seq]
+        if match is not None:
+            out = [r for r in out if match(r)]
+        if limit is not None and limit >= 0:
+            out = out[:limit]
+        return out
+
+    def wait_since(self, seq: int, timeout_s: float,
+                   match=None) -> list[dict]:
+        """Block until an event newer than ``seq`` *and* passing
+        ``match`` arrives (or ``timeout_s`` elapses); returns the
+        matching events, or ``[]`` on timeout.  Events the filter
+        rejects are skipped permanently, so a selective waiter never
+        spins on traffic it doesn't care about."""
+        deadline = time.monotonic() + max(0.0, timeout_s)
+        cursor = seq
+        while True:
+            fresh = self.since(cursor)
+            if fresh:
+                cursor = fresh[-1]["seq"]
+                if match is not None:
+                    fresh = [r for r in fresh if match(r)]
+                if fresh:
+                    return fresh
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return []
+            with self._cond:
+                if self._seq <= cursor:
+                    self._cond.wait(min(remaining, 0.5))
+
+    def dump(self, path: str | Path, reason: str = "",
+             clock=time.time) -> Path:
+        """Write the whole ring as JSONL to ``path`` (atomic rename).
+
+        The first line is a header record describing the dump itself;
+        the rest are the ring's events, oldest first.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            records = [dict(r) for r in self._ring]
+        header = {"schema": 1, "ts": clock(), "event": "flight_recorder_dump",
+                  "reason": reason, "pid": os.getpid(),
+                  "events": len(records)}
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for record in [header] + records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+        with self._lock:
+            self.dumps += 1
+        return path

@@ -1,0 +1,190 @@
+"""Server-Sent-Events framing: the wire format of live job streams.
+
+``GET /v1/jobs/{id}/events`` speaks the SSE subset this module
+implements — ``id:``/``event:``/``data:``/``retry:`` fields, comment
+keep-alives, blank-line dispatch — and ``repro submit --follow`` /
+``repro jobs tail`` consume it through :func:`follow`, which
+reconnects with ``Last-Event-ID`` when a stream drops mid-run.
+
+Framing and parsing are pure functions over lines, so the unit tests
+exercise the exact bytes that cross the wire without a socket.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SSEvent",
+    "follow",
+    "format_comment",
+    "format_event",
+    "parse_sse",
+]
+
+
+def format_event(data, *, id=None, event=None,  # noqa: A002 - SSE field name
+                 retry_ms: int | None = None) -> bytes:
+    """One SSE frame.  ``data`` may be a dict (compact JSON), a
+    string, or bytes; multi-line data becomes multiple ``data:``
+    lines, which parsers rejoin with ``\\n``."""
+    if isinstance(data, (dict, list)):
+        text = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    elif isinstance(data, bytes):
+        text = data.decode("utf-8", "replace")
+    else:
+        text = str(data)
+    lines = []
+    if retry_ms is not None:
+        lines.append(f"retry: {int(retry_ms)}")
+    if id is not None:
+        lines.append(f"id: {id}")
+    if event is not None:
+        lines.append(f"event: {event}")
+    for part in (text.split("\n") if text else [""]):
+        lines.append(f"data: {part}")
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+def format_comment(text: str = "heartbeat") -> bytes:
+    """An SSE comment line — the keep-alive that holds idle
+    connections open without dispatching an event."""
+    return f": {text}\n\n".encode("utf-8")
+
+
+@dataclass
+class SSEvent:
+    """One parsed SSE frame."""
+
+    data: str = ""
+    id: str | None = None  # noqa: A003 - SSE field name
+    event: str = "message"
+    retry_ms: int | None = None
+    comments: list = field(default_factory=list)
+
+    def json(self) -> dict:
+        """``data`` decoded as JSON (``{}`` when not valid JSON)."""
+        try:
+            doc = json.loads(self.data)
+        except (json.JSONDecodeError, ValueError):
+            return {}
+        return doc if isinstance(doc, dict) else {}
+
+
+def parse_sse(lines) -> "list[SSEvent]":
+    """Parse an iterable of SSE lines (str or bytes, newline-tolerant)
+    into dispatched events, per the spec's accumulate-until-blank-line
+    state machine.  ``retry:`` updates stick to the frame they arrive
+    in; comments are collected onto the next dispatched event."""
+    events: list[SSEvent] = []
+    current = SSEvent()
+    has_fields = False
+
+    def dispatch():
+        nonlocal current, has_fields
+        if has_fields:
+            events.append(current)
+            current = SSEvent()
+        else:
+            # A comment-only frame dispatches nothing, but its
+            # comments ride along to the next real event.
+            current = SSEvent(comments=current.comments)
+        has_fields = False
+
+    data_parts: list[str] = []
+    for raw in lines:
+        line = raw.decode("utf-8", "replace") if isinstance(raw, bytes) \
+            else raw
+        line = line.rstrip("\r\n")
+        if line == "":
+            current.data = "\n".join(data_parts)
+            data_parts = []
+            dispatch()
+            continue
+        if line.startswith(":"):
+            current.comments.append(line[1:].strip())
+            continue
+        name, _, value = line.partition(":")
+        value = value[1:] if value.startswith(" ") else value
+        if name == "data":
+            data_parts.append(value)
+            has_fields = True
+        elif name == "id":
+            current.id = value
+            has_fields = True
+        elif name == "event":
+            current.event = value or "message"
+            has_fields = True
+        elif name == "retry":
+            try:
+                current.retry_ms = int(value)
+            except ValueError:
+                pass
+            else:
+                has_fields = True
+    if data_parts:
+        current.data = "\n".join(data_parts)
+        dispatch()
+    return events
+
+
+def _iter_frames(response):
+    """Incrementally parse SSE frames off a streaming file-like."""
+    pending: list[str] = []
+    for raw in response:
+        line = raw.decode("utf-8", "replace").rstrip("\r\n")
+        pending.append(line)
+        if line == "":
+            for event in parse_sse(pending):
+                yield event
+            pending = []
+    if pending:
+        for event in parse_sse(pending + [""]):
+            yield event
+
+
+def follow(url: str, *, token: str | None = None,
+           last_event_id: str | None = None, timeout_s: float = 30.0,
+           max_reconnects: int = 5, sleep=time.sleep, opener=None):
+    """Stream SSE events from ``url``, yielding :class:`SSEvent`.
+
+    Terminates when the server dispatches an ``end`` event (our job
+    streams always do) or the stream closes cleanly.  A stream that
+    *drops* (connection reset, timeout) reconnects up to
+    ``max_reconnects`` times with the ``Last-Event-ID`` header, so a
+    follower resumes where it left off instead of replaying.  A
+    non-2xx response raises ``urllib.error.HTTPError`` for the caller
+    to fall back to long-polling.
+    """
+    opener = opener or urllib.request.urlopen
+    reconnects = 0
+    retry_ms = 2000
+    while True:
+        headers = {"Accept": "text/event-stream"}
+        if token is not None:
+            headers["Authorization"] = f"Bearer {token}"
+        if last_event_id is not None:
+            headers["Last-Event-ID"] = str(last_event_id)
+        request = urllib.request.Request(url, headers=headers)
+        try:
+            with opener(request, timeout=timeout_s) as response:
+                for event in _iter_frames(response):
+                    if event.id is not None:
+                        last_event_id = event.id
+                    if event.retry_ms is not None:
+                        retry_ms = event.retry_ms
+                    yield event
+                    if event.event == "end":
+                        return
+            return  # clean close without an end event
+        except urllib.error.HTTPError:
+            raise  # a response is an answer; let the caller fall back
+        except (urllib.error.URLError, OSError, TimeoutError):
+            reconnects += 1
+            if reconnects > max_reconnects:
+                raise
+            sleep(retry_ms / 1000.0)

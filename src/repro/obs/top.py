@@ -1,0 +1,250 @@
+"""``repro top``: a live terminal dashboard over the service surfaces.
+
+One screen aggregates what an operator otherwise greps four endpoints
+for: job counts by state and the most recent jobs with live progress
+(``/v1/jobs``), queue depth / health / uptime (``/v1/healthz``),
+stage-latency means and cache traffic (``/v1/metrics``), the fabric
+worker fleet with per-worker heartbeat ages (``/v1/fabric/status``,
+when the service runs the fabric backend), and the tail of the
+flight-recorder event ring (``/v1/events``).
+
+The module splits the same way the service API does: :func:`gather`
+fetches (tolerating partial failures — a degraded endpoint renders as
+a dash, not a crash), :func:`render` is a pure snapshot -> text
+function the unit tests drive directly, and :func:`run` is the
+clear-screen refresh loop.  Plain ANSI, no curses — it works in any
+terminal and in captured CI logs.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["gather", "render", "run"]
+
+_CLEAR = "\x1b[2J\x1b[H"
+_BOLD = "\x1b[1m"
+_DIM = "\x1b[2m"
+_RED = "\x1b[31m"
+_GREEN = "\x1b[32m"
+_YELLOW = "\x1b[33m"
+_RESET = "\x1b[0m"
+
+_STATE_ORDER = ("SUBMITTED", "LEASED", "RUNNING", "DONE", "FAILED",
+                "QUARANTINED", "CANCELLED")
+
+_LEVEL_COLOR = {"warn": _YELLOW, "error": _RED}
+
+
+def _color(text: str, code: str, enabled: bool) -> str:
+    return f"{code}{text}{_RESET}" if enabled else text
+
+
+def gather(client, events_since: int = 0, events_limit: int = 12) -> dict:
+    """One snapshot of every surface the dashboard renders.
+
+    Each section degrades independently: an endpoint that errors
+    contributes ``None`` and the failure lands in ``snap["errors"]``.
+    """
+    snap: dict = {"taken_s": time.time(), "errors": {}}
+
+    def fetch(name, call):
+        try:
+            snap[name] = call()
+        except Exception as err:
+            snap[name] = None
+            snap["errors"][name] = f"{type(err).__name__}: {err}"
+
+    fetch("healthz", client.healthz)
+    fetch("jobs", client.jobs)
+    fetch("metrics", client.metrics)
+    fetch("events", lambda: client.events(since=events_since,
+                                          limit=events_limit))
+    fetch("fabric", lambda: client.transport.json(
+        "GET", "/v1/fabric/status")["fabric"])
+    return snap
+
+
+def _samples(snap: dict) -> dict:
+    from repro.telemetry.export import parse_prometheus
+
+    if not snap.get("metrics"):
+        return {}
+    try:
+        return parse_prometheus(snap["metrics"])["samples"]
+    except Exception:
+        return {}
+
+
+def _sample(samples: dict, name: str, **labels) -> float | None:
+    want = tuple(sorted(labels.items()))
+    for (sample_name, sample_labels), value in samples.items():
+        if sample_name == name and tuple(sorted(sample_labels)) == want:
+            return value
+    return None
+
+
+def _stage_means(samples: dict) -> list[tuple[str, float, int]]:
+    """``(stage, mean_seconds, count)`` rows from the stage histogram."""
+    out = []
+    for stage in ("submit_to_lease", "lease_to_start", "start_to_complete"):
+        total = _sample(samples, "service_job_stage_seconds_sum", stage=stage)
+        count = _sample(samples, "service_job_stage_seconds_count",
+                        stage=stage)
+        if total is None or not count:
+            continue
+        out.append((stage, total / count, int(count)))
+    return out
+
+
+def _progress_cell(job: dict) -> str:
+    progress = job.get("progress") or {}
+    total = progress.get("total")
+    if not total:
+        return "-"
+    done = progress.get("done", 0)
+    cached = progress.get("cached", 0)
+    cell = f"{done}/{total}"
+    if cached:
+        cell += f" ({cached} cached)"
+    return cell
+
+
+def render(snap: dict, width: int = 78, color: bool = True,
+           max_jobs: int = 8, max_events: int = 8) -> str:
+    """The dashboard frame for one snapshot (pure; no I/O)."""
+    lines: list[str] = []
+    rule = "-" * width
+
+    healthz = snap.get("healthz") or {}
+    status = healthz.get("status", "?")
+    status_color = _GREEN if status == "ok" else _RED
+    lines.append(_color(f" repro top  |  service {status}  "
+                        f"|  v{healthz.get('version', '?')}  "
+                        f"|  up {healthz.get('uptime_s', 0):.0f}s  "
+                        f"|  queue depth {healthz.get('queue_depth', '?')}",
+                        _BOLD, color).replace(
+                            f"service {status}",
+                            _color(f"service {status}", status_color, color)))
+    reasons = (healthz.get("health") or {}).get("reasons") or {}
+    for key, detail in sorted(reasons.items()):
+        lines.append(_color(f"   degraded: {key}: {detail}", _RED, color))
+    lines.append(rule)
+
+    jobs = snap.get("jobs")
+    if jobs is None:
+        lines.append(" jobs: unavailable")
+    else:
+        counts = {state: 0 for state in _STATE_ORDER}
+        for job in jobs:
+            counts[job.get("state", "?")] = counts.get(
+                job.get("state", "?"), 0) + 1
+        lines.append(" jobs   " + "  ".join(
+            f"{state.lower()}={counts[state]}" for state in _STATE_ORDER
+            if counts.get(state)))
+        recent = sorted(jobs, key=lambda j: j.get("created_s", 0.0),
+                        reverse=True)[:max_jobs]
+        if recent:
+            lines.append(f"   {'id':<17}{'state':<12}{'tenant':<11}"
+                         f"{'progress':<18}{'elapsed':<9}")
+        for job in recent:
+            state = job.get("state", "?")
+            state_text = _color(
+                f"{state:<12}",
+                {"FAILED": _RED, "QUARANTINED": _RED,
+                 "DONE": _GREEN, "RUNNING": _YELLOW}.get(state, _DIM),
+                color)
+            elapsed = job.get("elapsed_s")
+            lines.append(
+                f"   {job.get('id', '?'):<17}{state_text}"
+                f"{job.get('tenant', '?'):<11}"
+                f"{_progress_cell(job):<18}"
+                f"{'' if elapsed is None else f'{elapsed:.2f}s':<9}")
+    lines.append(rule)
+
+    samples = _samples(snap)
+    stages = _stage_means(samples)
+    if stages:
+        lines.append(" stage latency (mean)  " + "   ".join(
+            f"{stage.replace('_', '>')}: {mean * 1000:.0f}ms x{count}"
+            for stage, mean, count in stages))
+    hits = _sample(samples, "service_cache", field="hits")
+    misses = _sample(samples, "service_cache", field="misses")
+    if hits is not None and misses is not None and (hits + misses) > 0:
+        lines.append(f" cache hit ratio       "
+                     f"{hits / (hits + misses):.0%} "
+                     f"({int(hits)} hits / {int(misses)} misses)")
+
+    fabric = snap.get("fabric")
+    if fabric:
+        lines.append(rule)
+        states = fabric.get("states") or {}
+        lines.append(
+            " fabric  " + "  ".join(
+                f"{k.lower()}={v}" for k, v in sorted(states.items()) if v)
+            + ("  draining" if fabric.get("draining") else ""))
+        detail = fabric.get("worker_detail") or {}
+        for name, info in sorted(detail.items()):
+            beat = info.get("last_heartbeat_s")
+            flags = []
+            if info.get("leased"):
+                flags.append("leased")
+            if info.get("stale"):
+                flags.append(_color("STALE", _RED, color))
+            lines.append(
+                f"   {name:<28} contact {info.get('last_contact_s', 0):>7.1f}s"
+                f"  heartbeat {'-' if beat is None else f'{beat:.1f}s':>7}"
+                f"  {' '.join(flags)}")
+
+    events = (snap.get("events") or {}).get("events") or []
+    if events:
+        lines.append(rule)
+        lines.append(" recent events")
+        for record in events[-max_events:]:
+            level = record.get("level", "info")
+            ctx = record.get("ctx") or {}
+            tag = ctx.get("job_id") or ctx.get("request_id") or ""
+            line = (f"   {record.get('seq', ''):>5} "
+                    f"{level:<5} {record.get('event', '?'):<24} "
+                    f"{tag[:16]}")
+            lines.append(_color(line, _LEVEL_COLOR.get(level, _DIM), color))
+
+    for name, err in sorted((snap.get("errors") or {}).items()):
+        if name == "fabric":
+            continue  # absent on the local backend: expected, not news
+        lines.append(_color(f" ! {name}: {err}", _RED, color))
+    return "\n".join(lines)
+
+
+def run(client, interval_s: float = 2.0, iterations: int | None = None,
+        color: bool = True, out=None, clock=time.monotonic,
+        sleep=time.sleep) -> int:
+    """The refresh loop; returns the number of frames drawn.
+
+    ``iterations=None`` runs until interrupted; ``iterations=1`` is
+    ``repro top --once`` (a single frame, no screen clearing — safe to
+    pipe).  ``out``/``clock``/``sleep`` are injectable for tests.
+    """
+    import sys
+
+    out = out if out is not None else sys.stdout
+    frames = 0
+    since = 0
+    try:
+        while iterations is None or frames < iterations:
+            snap = gather(client, events_since=max(0, since - 64))
+            last = (snap.get("events") or {}).get("last_seq")
+            if isinstance(last, int):
+                since = last
+            frame = render(snap, color=color)
+            if iterations != 1:
+                out.write(_CLEAR)
+            out.write(frame + "\n")
+            out.flush()
+            frames += 1
+            if iterations is not None and frames >= iterations:
+                break
+            sleep(interval_s)
+    except KeyboardInterrupt:
+        pass
+    return frames

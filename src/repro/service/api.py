@@ -22,7 +22,12 @@ Routes (all JSON unless noted)::
     GET  /v1/jobs[?state=]     list job docs
     GET  /v1/jobs/{id}         one job doc
     GET  /v1/jobs/{id}/result  the result envelope (exact stored bytes)
+    GET  /v1/jobs/{id}/events  live job stream: SSE by default,
+                               ``?poll=1&since=&timeout=`` long-poll
     POST /v1/jobs/{id}/cancel  cancel a SUBMITTED job
+    GET  /v1/events            flight-recorder ring (``?since=&limit=``)
+    GET  /v1/fabric/...        read-only delegation to the fabric
+                               coordinator (``--backend fabric`` only)
 
 Errors use one envelope: ``{"error": {"code", "message"}}`` with the
 matching HTTP status (400 bad spec, 401 auth, 404 unknown, 409 wrong
@@ -39,6 +44,8 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.fabric.health import Health
 from repro.fabric.transport import serve_app
+from repro.obs import (CONTEXT_HEADER, bind as obs_bind, decode_context,
+                       emit as obs_emit, new_request_id)
 from repro.runner import ResultCache
 from repro.runner.cache import SNAPSHOT_STAT_FIELDS
 from repro.service.config import AuthError, QuotaError, ServiceConfig, TokenAuth
@@ -65,12 +72,32 @@ class Service:
                                  registry=self.registry, health=self.health)
         self.queue = JobQueue(self.config.state_dir, registry=self.registry,
                               max_recoveries=3, fs=fs, health=self.health)
+        #: The distributed execution backend (``--backend fabric``):
+        #: one in-process coordinator plus ``fabric_workers`` pulled
+        #: ``repro worker`` subprocesses, all sharing this service's
+        #: ResultCache — job-level semantics and result bytes are
+        #: identical to the local backend.
+        self.fabric = None
+        if self.config.backend == "fabric":
+            from repro.fabric.runner import FabricRunner
+
+            self.fabric = FabricRunner(
+                workers=self.config.fabric_workers, cache=self.cache,
+                registry=self.registry,
+                retries=self.config.point_retries,
+                failure_policy="quarantine",
+                state_dir=self.config.fabric_dir, fs=fs)
+        elif self.config.backend != "local":
+            raise ValueError(
+                f"unknown backend {self.config.backend!r}; "
+                f"expected 'local' or 'fabric'")
         self.scheduler = Scheduler(
             self.queue, results_dir=self.config.results_dir,
             cache=self.cache, registry=self.registry,
             workers=self.config.workers, lease_s=self.config.lease_s,
             job_retries=self.config.job_retries,
-            point_retries=self.config.point_retries)
+            point_retries=self.config.point_retries,
+            backend=self.fabric)
         self.auth = TokenAuth.load(self.config.tokens_path,
                                    default_quota=self.config.max_active_jobs)
         self.app = ServiceApp(self)
@@ -96,6 +123,10 @@ class Service:
         if drain:
             self.health.drain()
         self.scheduler.stop()
+        if drain and self.fabric is not None:
+            # Final shutdown reaps the worker subprocesses; a plain
+            # pause (tests stop/start schedulers) leaves the fleet up.
+            self.fabric.close()
 
 
 class ServiceApp:
@@ -115,22 +146,25 @@ class ServiceApp:
             return status, _JSON, body, headers
         return status, _JSON, body
 
-    @classmethod
-    def _error(cls, status: int, code: str, message: str,
+    def _error(self, status: int, code: str, message: str,
                retry_after: float | None = None):
         """The single error envelope every failure path goes through.
 
         ``retry_after`` (429 quota, 503 overload/degraded) is emitted
-        twice on purpose: as the standard ``Retry-After`` header for
-        generic HTTP clients, and inside the envelope so in-process
-        transports and logged bodies carry the same hint.
+        three ways on purpose: as the standard ``Retry-After`` header
+        for generic HTTP clients, inside the envelope so in-process
+        transports and logged bodies carry the same hint, and as a
+        ``retry_after_hint`` obs event so operators watching the stream
+        see backpressure the moment it starts.
         """
         envelope: dict = {"code": code, "message": message}
         headers = None
         if retry_after is not None:
             envelope["retry_after"] = retry_after
             headers = {"Retry-After": f"{retry_after:g}"}
-        return cls._json(status, {"error": envelope}, headers)
+            obs_emit("retry_after_hint", level="warn", status=status,
+                     code=code, retry_after_s=retry_after)
+        return self._json(status, {"error": envelope}, headers)
 
     def handle(self, method: str, path: str, headers: dict | None = None,
                body: bytes | None = None):
@@ -145,23 +179,33 @@ class ServiceApp:
         parts = [p for p in url.path.split("/") if p]
         query = {k: v[-1] for k, v in parse_qs(url.query).items()}
         route = "/".join(parts[:3]) or "/"
-        try:
-            response = self._dispatch(
-                method.upper(), parts, query, headers, body)
-        except QueueWriteError as err:
-            # The journal disk is refusing writes: the node is
-            # degraded, the transition did not happen — shed the
-            # request and tell the client when to come back.
-            response = self._error(
-                503, "degraded", str(err),
-                retry_after=self.service.config.retry_after_s)
-        except QueueError as err:
-            response = self._error(404, "unknown_job", str(err))
-        except Exception as err:  # pragma: no cover - defensive
-            response = self._error(
-                500, "internal", f"{type(err).__name__}: {err}")
-        self._m_requests.labels(route=route, code=str(response[0])).inc()
-        return response
+        # Re-bind the caller's correlation context (one header hop) and
+        # mint a request_id at this, the first hop that lacks one —
+        # every event emitted below, on any thread this request touches
+        # synchronously, carries it.
+        ctx = decode_context(headers.get(CONTEXT_HEADER.lower()))
+        ctx.setdefault("request_id", new_request_id())
+        with obs_bind(**ctx):
+            try:
+                response = self._dispatch(
+                    method.upper(), parts, query, headers, body)
+            except QueueWriteError as err:
+                # The journal disk is refusing writes: the node is
+                # degraded, the transition did not happen — shed the
+                # request and tell the client when to come back.
+                response = self._error(
+                    503, "degraded", str(err),
+                    retry_after=self.service.config.retry_after_s)
+            except QueueError as err:
+                response = self._error(404, "unknown_job", str(err))
+            except Exception as err:  # pragma: no cover - defensive
+                response = self._error(
+                    500, "internal", f"{type(err).__name__}: {err}")
+            self._m_requests.labels(route=route,
+                                    code=str(response[0])).inc()
+            obs_emit("http_request", level="debug", method=method.upper(),
+                     route=route, code=response[0])
+            return response
 
     def _tenant(self, headers: dict) -> str:
         return self.service.auth.authenticate(headers.get("authorization"))
@@ -182,6 +226,10 @@ class ServiceApp:
             return self._error(401, "unauthorized", str(err))
         if head == "experiments" and method == "GET":
             return self._experiments()
+        if head == "events" and len(parts) == 2 and method == "GET":
+            return self._events(query)
+        if head == "fabric" and method == "GET":
+            return self._fabric(method, parts, headers, body)
         if head == "jobs":
             if len(parts) == 2:
                 if method == "POST":
@@ -192,6 +240,8 @@ class ServiceApp:
                 return self._job(parts[2])
             elif len(parts) == 4 and parts[3] == "result" and method == "GET":
                 return self._result(parts[2])
+            elif len(parts) == 4 and parts[3] == "events" and method == "GET":
+                return self._job_events(parts[2], query, headers)
             elif len(parts) == 4 and parts[3] == "cancel" and method == "POST":
                 return self._cancel(parts[2])
         return self._error(404, "unknown_route",
@@ -304,6 +354,128 @@ class ServiceApp:
                 return self._error(404, "unknown_job", str(err))
             return self._error(409, "not_cancellable", str(err))
         return self._json(200, {"job": job.to_dict()})
+
+    # -- observability routes ----------------------------------------------
+    def _events(self, query: dict):
+        """The flight recorder's recent-event ring, ``?since=&limit=``."""
+        from repro.obs import emitter
+
+        recorder = emitter().recorder
+        try:
+            since = int(query.get("since", 0))
+            limit = max(1, min(int(query.get("limit", 250)), 1000))
+        except (TypeError, ValueError):
+            return self._error(400, "bad_query",
+                               "since and limit must be integers")
+        return self._json(200, {
+            "events": recorder.since(since, limit=limit),
+            "last_seq": recorder.last_seq,
+        })
+
+    def _fabric(self, method, parts, headers, body):
+        """Read-only delegation to the backend coordinator's app.
+
+        Only GETs pass through (status/healthz for ``repro top`` and
+        ``repro fabric status``): the mutating fabric protocol stays on
+        the coordinator's own port with its own trust boundary.
+        """
+        fabric = self.service.fabric
+        if fabric is None:
+            return self._error(
+                404, "no_fabric",
+                "this service runs the local backend; start it with "
+                "--backend fabric to expose /v1/fabric/ routes")
+        return fabric.coordinator.app.handle(
+            method, "/" + "/".join(parts), headers, body)
+
+    def _job_events(self, job_id: str, query: dict, headers: dict):
+        """Live job watching: SSE stream, or long-poll with ``?poll=1``.
+
+        Long-poll contract: ``since`` is the last job version the
+        client saw (start at ``-1``); the response arrives as soon as
+        the version moves past it (or after ``timeout`` seconds with
+        ``"changed": false``), carrying the full job doc.
+
+        SSE contract: ``state`` events carry the job doc (event id =
+        job version, the ``Last-Event-ID`` resume cursor), comment
+        keep-alives hold the connection open, and a terminal job sends
+        a ``result`` event whose data is the *exact* stored result
+        envelope, then ``end``.
+        """
+        queue = self.service.queue
+        job = queue.get(job_id)  # 404 via QueueError when unknown
+        if query.get("poll"):
+            try:
+                since = int(query.get("since", -1))
+                timeout = min(max(float(query.get("timeout", 10.0)), 0.0),
+                              30.0)
+            except (TypeError, ValueError):
+                return self._error(400, "bad_query",
+                                   "since/timeout must be numeric")
+            fresh = queue.wait_version(job_id, since, timeout_s=timeout)
+            doc = (fresh if fresh is not None else queue.get(job_id)).to_dict()
+            return self._json(200, {"job": doc,
+                                    "changed": fresh is not None})
+        try:
+            since = int(headers.get("last-event-id",
+                                    query.get("since", -1)))
+        except (TypeError, ValueError):
+            since = -1
+        try:
+            heartbeat_s = min(max(float(query.get("heartbeat", 5.0)), 0.05),
+                              30.0)
+        except (TypeError, ValueError):
+            heartbeat_s = 5.0
+        return 200, "text/event-stream", self._sse_frames(
+            job.id, since, heartbeat_s)
+
+    def _sse_frames(self, job_id: str, since: int, heartbeat_s: float):
+        """Frame generator behind ``GET /v1/jobs/{id}/events``.
+
+        Runs in the HTTP handler thread as the response streams; a
+        dropped client surfaces as a broken pipe in the socket layer,
+        which closes this generator.
+        """
+        from repro.obs.sse import format_comment, format_event
+
+        queue = self.service.queue
+        seen = since
+        sent_retry = False
+        while True:
+            try:
+                job = queue.get(job_id)
+                if job.version > seen:
+                    seen = job.version
+                    yield format_event(
+                        job.to_dict(), id=seen, event="state",
+                        retry_ms=None if sent_retry else 2000)
+                    sent_retry = True
+                if job.terminal:
+                    if job.state == JobState.DONE and job.result_path:
+                        try:
+                            text = open(job.result_path, "rb").read()
+                        except OSError:
+                            text = None
+                        if text is not None:
+                            # The exact envelope bytes: data framing
+                            # splits on \n and parsers rejoin with \n,
+                            # so the round trip is byte-lossless.
+                            yield format_event(text, id=seen,
+                                               event="result")
+                    yield format_event({"id": job.id, "state": job.state},
+                                       id=seen, event="end")
+                    return
+                if queue.wait_version(job_id, seen,
+                                      timeout_s=heartbeat_s) is None:
+                    yield format_comment()
+            except GeneratorExit:
+                raise
+            except Exception:
+                # A watcher must never crash the handler thread with a
+                # half-written frame: close the stream cleanly.
+                yield format_event({"id": job_id, "state": "unknown"},
+                                   event="end")
+                return
 
 
 def serve(service: Service, ready=None) -> None:

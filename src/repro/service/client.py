@@ -36,6 +36,11 @@ from repro.fabric.transport import (
 __all__ = ["ApiError", "ServiceClient", "ServiceError", "TransportError"]
 
 
+class _SSEUnavailable(Exception):
+    """The server answered the stream request with an error status —
+    the follower's cue to fall back to long-polling."""
+
+
 class ServiceClient:
     """Typed convenience methods over the service's REST routes."""
 
@@ -117,6 +122,87 @@ class ServiceClient:
     def cancel(self, job_id: str) -> dict:
         """``POST /v1/jobs/{id}/cancel``."""
         return self.transport.json("POST", f"/v1/jobs/{job_id}/cancel")["job"]
+
+    def events(self, since: int = 0, limit: int = 250) -> dict:
+        """``GET /v1/events`` — the server's flight-recorder ring.
+
+        Returns ``{"events": [...], "last_seq": N}``; pass the returned
+        ``last_seq`` back as ``since`` to tail incrementally.
+        """
+        return self.transport.json(
+            "GET", f"/v1/events?since={int(since)}&limit={int(limit)}")
+
+    def follow(self, job_id: str, timeout_s: float = 300.0,
+               poll_s: float = 0.25, heartbeat_s: float | None = None):
+        """Yield job docs as the job progresses, until it is terminal.
+
+        Over HTTP this streams ``GET /v1/jobs/{id}/events`` as SSE
+        (reconnecting with ``Last-Event-ID`` if the stream drops) and
+        falls back to long-polling when the server answers the stream
+        request with an error status.  In-process clients long-poll
+        directly — the blocking transport consumes a whole response at
+        a time, so streaming buys nothing there.
+
+        The final yielded doc is terminal; :class:`TimeoutError` if the
+        job outlives ``timeout_s``.
+        """
+        from repro.service.jobs import TERMINAL_STATES
+
+        deadline = time.monotonic() + timeout_s
+        if self.url is not None:
+            try:
+                yield from self._follow_sse(job_id, deadline, heartbeat_s)
+                return
+            except _SSEUnavailable:
+                pass  # fall back to long-polling below
+        yield from self._follow_poll(job_id, deadline, TERMINAL_STATES)
+
+    def _follow_sse(self, job_id: str, deadline: float,
+                    heartbeat_s: float | None):
+        import json
+        import urllib.error
+
+        from repro.obs.sse import follow as sse_follow
+
+        url = f"{self.url}/v1/jobs/{job_id}/events"
+        if heartbeat_s is not None:
+            url += f"?heartbeat={heartbeat_s:g}"
+        try:
+            stream = sse_follow(url, token=self.token,
+                                timeout_s=self.timeout_s)
+            for event in stream:
+                if time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"job {job_id} still running at the follow "
+                        f"deadline")
+                if event.event == "state":
+                    try:
+                        yield json.loads(event.data)
+                    except (ValueError, TypeError):
+                        continue
+                elif event.event == "end":
+                    return
+        except urllib.error.HTTPError as err:
+            # A response is an answer: the server exists but will not
+            # stream (auth proxy, old version) — long-poll instead.
+            raise _SSEUnavailable(str(err)) from err
+
+    def _follow_poll(self, job_id: str, deadline: float, terminal):
+        version = -1
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"job {job_id} still running at the follow deadline")
+            doc = self.transport.json(
+                "GET", f"/v1/jobs/{job_id}/events?poll=1"
+                       f"&since={version}&timeout={min(remaining, 10.0):g}")
+            job = doc["job"]
+            if doc.get("changed"):
+                version = int(job.get("version", version))
+                yield job
+                if job["state"] in terminal:
+                    return
 
     @deprecated_kwargs(timeout="timeout_s", poll="poll_s")
     def wait(self, job_id: str, timeout_s: float = 120.0,

@@ -58,11 +58,28 @@ class ServiceConfig:
     max_queue_depth: int = 128
     #: The ``Retry-After`` hint (seconds) on 429/503 responses.
     retry_after_s: float = 1.0
+    #: Execution backend: ``"local"`` runs every job through an inline
+    #: Runner; ``"fabric"`` fans points out to a pull-worker fleet via
+    #: a :class:`~repro.fabric.FabricRunner` (coordinator in-process,
+    #: workers as ``repro worker`` subprocesses).
+    backend: str = "local"
+    #: Worker fleet width when ``backend == "fabric"``.
+    fabric_workers: int = 2
 
     @property
     def results_dir(self) -> Path:
         """Result envelopes, one ``<job_id>.json`` each."""
         return Path(self.state_dir) / "results"
+
+    @property
+    def fabric_dir(self) -> Path:
+        """The fabric coordinator's lease journal directory."""
+        return Path(self.state_dir) / "fabric"
+
+    @property
+    def obs_dir(self) -> Path:
+        """Default structured-event log directory (one JSONL per pid)."""
+        return Path(self.state_dir) / "obs"
 
     @property
     def cache_dir(self) -> Path:

@@ -228,6 +228,16 @@ class Job:
     attempts: int = 0
     #: Times a scheduler crash/restart found this job mid-lease.
     recoveries: int = 0
+    #: Wall time the current (or last) lease was granted — the anchor
+    #: for the submit->lease and lease->start stage latencies.
+    leased_s: float | None = None
+    #: Live progress (``{"done", "total", "cached", "point",
+    #: "updated_s"}``).  Liveness, not durable state: refreshed in
+    #: memory while the job runs, like heartbeats.
+    progress: dict = field(default_factory=dict)
+    #: Monotonic change counter for watchers (SSE / long-poll): bumped
+    #: on every visible mutation, never journaled.
+    version: int = 0
     worker: str | None = None
     lease_until: float | None = None
     error: str | None = None

@@ -44,6 +44,7 @@ import time
 from pathlib import Path
 
 from repro.fabric.lease import LeaseManager
+from repro.obs import bind as obs_bind, emit as obs_emit, emitter
 from repro.runner.journal import RunJournal
 from repro.service.jobs import ACTIVE_STATES, Job, JobState
 
@@ -81,11 +82,14 @@ class JobQueue:
             active_states=(JobState.LEASED, JobState.RUNNING),
             lease_s=60.0, max_recoveries=max_recoveries, clock=clock)
         self._lock = threading.RLock()
+        #: Watcher wakeup: notified on every job-version bump, so SSE
+        #: streams and long-polls block here instead of spinning.
+        self._cond = threading.Condition(self._lock)
         self._jobs: dict[str, Job] = {}
         self._seq: dict[str, int] = {}  # submission order tiebreak
         self._next_seq = 0
         self._m_submitted = self._m_finished = self._m_leases = None
-        self._m_recovered = self._m_depth = None
+        self._m_recovered = self._m_depth = self._m_stage = None
         if registry is not None:
             self._m_submitted = registry.counter(
                 "service_jobs_submitted_total", "jobs accepted into the queue",
@@ -100,6 +104,11 @@ class JobQueue:
                 "leases reclaimed from dead or silent workers")
             self._m_depth = registry.gauge(
                 "service_queue_depth", "SUBMITTED jobs awaiting a worker")
+            self._m_stage = registry.histogram(
+                "service_job_stage_seconds",
+                "wall seconds jobs spend between lifecycle stages",
+                labelnames=("stage",),
+                buckets=(0.01, 0.05, 0.25, 1.0, 5.0, 30.0, 120.0, 600.0))
         self._replay()
 
     # -- journal replay ----------------------------------------------------
@@ -126,10 +135,12 @@ class JobQueue:
     @staticmethod
     def _apply(job: Job, record: dict) -> None:
         event = record["event"]
+        job.version += 1
         if event == "job_leased":
             job.state = JobState.LEASED
             job.worker = record.get("worker")
             job.lease_until = record.get("lease_until")
+            job.leased_s = record.get("leased_s", job.leased_s)
             job.attempts = record.get("attempts", job.attempts)
         elif event == "job_running":
             job.state = JobState.RUNNING
@@ -169,6 +180,28 @@ class JobQueue:
         if self._m_finished is not None:
             self._m_finished.labels(state=state).inc()
 
+    def _bump(self, job: Job) -> None:
+        """Advance the job's watcher version and wake every waiter.
+
+        Call with the lock held (every transition does)."""
+        job.version += 1
+        self._cond.notify_all()
+
+    def _observe_stage(self, stage: str, start: float | None,
+                       end: float | None) -> None:
+        """One stage-latency observation (submit->lease etc.)."""
+        if self._m_stage is None or start is None or end is None:
+            return
+        self._m_stage.labels(stage=stage).observe(max(0.0, end - start))
+
+    def _emit(self, job: Job, event: str, level: str = "info",
+              **fields) -> None:
+        """Obs event for one journaled transition, correlated by
+        ``job_id`` (merged with any caller-bound request context)."""
+        with obs_bind(job_id=job.id):
+            obs_emit(event, level=level, tenant=job.tenant,
+                     state=job.state, **fields)
+
     def _append(self, event: str, **fields) -> None:
         """Durable journal append, or :class:`QueueWriteError`.
 
@@ -201,6 +234,9 @@ class JobQueue:
             if self._m_submitted is not None:
                 self._m_submitted.labels(tenant=tenant).inc()
             self._update_depth()
+            self._bump(job)
+            self._emit(job, "job_submitted", priority=job.priority,
+                       spec_key=job.spec_key)
             return job
 
     def cancel(self, job_id: str) -> Job:
@@ -217,6 +253,8 @@ class JobQueue:
             job.finished_s = now
             self._finish_metric(JobState.CANCELLED)
             self._update_depth()
+            self._bump(job)
+            self._emit(job, "job_cancelled")
             return job
 
     # -- worker protocol ---------------------------------------------------
@@ -234,10 +272,11 @@ class JobQueue:
             job = min(ready, key=lambda j: (-j.priority, self._seq[j.id]))
             job.state = JobState.LEASED
             self.leases.grant(job, worker, lease_s)
+            now = self.clock()
             try:
                 self._append("job_leased", id=job.id, worker=worker,
                              lease_until=job.lease_until,
-                             attempts=job.attempts)
+                             leased_s=now, attempts=job.attempts)
             except QueueWriteError:
                 # A lease that would vanish on replay must not be
                 # handed out: revert the grant (and its attempt
@@ -246,9 +285,14 @@ class JobQueue:
                 self.leases.release(job)
                 job.attempts -= 1
                 return None
+            job.leased_s = now
             if self._m_leases is not None:
                 self._m_leases.inc()
+            self._observe_stage("submit_to_lease", job.created_s, now)
             self._update_depth()
+            self._bump(job)
+            self._emit(job, "job_leased", worker=worker,
+                       attempts=job.attempts)
             return job
 
     def mark_running(self, job_id: str) -> None:
@@ -261,6 +305,9 @@ class JobQueue:
             self._append("job_running", id=job.id, started_s=now)
             job.state = JobState.RUNNING
             job.started_s = now
+            self._observe_stage("lease_to_start", job.leased_s, now)
+            self._bump(job)
+            self._emit(job, "job_running")
 
     def heartbeat(self, job_id: str, lease_s: float = 60.0) -> None:
         """Refresh a live worker's lease (in-memory only — liveness,
@@ -269,6 +316,53 @@ class JobQueue:
             job = self._jobs.get(job_id)
             if job is not None:
                 self.leases.refresh(job, lease_s)
+
+    def set_progress(self, job_id: str, done: int, total: int,
+                     point: str | None = None,
+                     cached: bool = False) -> None:
+        """Record live point-level progress on the job document.
+
+        Like heartbeats this is liveness, not durable state: it only
+        mutates memory (never the journal) and vanishes on restart —
+        which is correct, because a restarted job re-runs from zero.
+        Each call bumps the job version so SSE/long-poll watchers wake
+        immediately.  Unknown or already-terminal jobs are ignored (a
+        straggler callback must not resurrect a finished doc).
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.terminal:
+                return
+            cached_n = (int(job.progress.get("cached", 0))
+                        + (1 if cached else 0))
+            job.progress = {"done": int(done), "total": int(total),
+                            "cached": cached_n,
+                            "point": None if point is None else str(point),
+                            "updated_s": self.clock()}
+            self._bump(job)
+
+    def wait_version(self, job_id: str, version: int,
+                     timeout_s: float = 10.0) -> Job | None:
+        """Block until the job's version exceeds ``version``.
+
+        Returns the job as soon as it has changed past what the caller
+        last saw, or ``None`` on timeout (the caller's cue to send a
+        keep-alive).  The wait is real wall time on the condition
+        variable — watchers are operator-facing, so the injected queue
+        clock (which tests freeze) deliberately plays no part.
+        """
+        deadline = time.monotonic() + max(0.0, timeout_s)
+        with self._cond:
+            while True:
+                job = self._jobs.get(job_id)
+                if job is None:
+                    raise QueueError(f"unknown job {job_id!r}")
+                if job.version > version:
+                    return job
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                self._cond.wait(remaining)
 
     def complete(self, job_id: str, result_path: str,
                  runner: dict | None = None) -> Job:
@@ -293,7 +387,11 @@ class JobQueue:
             job.runner = dict(runner or {})
             self.leases.release(job)
             self._finish_metric(JobState.DONE)
+            self._observe_stage("start_to_complete", job.started_s, now)
             self._update_depth()
+            self._bump(job)
+            self._emit(job, "job_done", elapsed_s=elapsed,
+                       result_path=job.result_path)
             return job
 
     def fail(self, job_id: str, error: str,
@@ -315,6 +413,15 @@ class JobQueue:
             self.leases.release(job)
             self._finish_metric(job.state)
             self._update_depth()
+            self._bump(job)
+            self._emit(job, event, level="error", error=job.error)
+            # Postmortem evidence, captured while it still exists: the
+            # recent event ring lands next to the queue journal.
+            try:
+                emitter().dump(reason=f"job {job.id} {job.state}",
+                               directory=self.state_dir)
+            except Exception:
+                pass
             return job
 
     def requeue(self, job_id: str, error: str | None = None,
@@ -338,6 +445,11 @@ class JobQueue:
             if recovered and self._m_recovered is not None:
                 self._m_recovered.inc()
             self._update_depth()
+            self._bump(job)
+            self._emit(job, "job_requeued", level="warn",
+                       recoveries=recoveries, recovered=recovered,
+                       **({"error": str(error)} if error is not None
+                          else {}))
             return job
 
     # -- crash recovery ----------------------------------------------------

@@ -34,6 +34,7 @@ import traceback
 from pathlib import Path
 
 from repro.fabric.lease import atomic_write
+from repro.obs import bind as obs_bind, emit as obs_emit
 from repro.runner import ExecutionBackend, ResultCache, Runner, RunnerError
 from repro.service.jobs import Job, build_points
 from repro.service.queue import JobQueue
@@ -89,6 +90,36 @@ def write_result(path: str | Path, text: str) -> Path:
     :func:`repro.fabric.lease.atomic_write`.
     """
     return atomic_write(path, text)
+
+
+class _JobBackend:
+    """A per-job view over a shared execution backend.
+
+    Delegates everything to the wrapped backend but defaults the
+    per-call progress hook (``progress=`` on :meth:`run`,
+    ``on_progress=`` on :meth:`run_points`) to this job's
+    heartbeat-and-progress callback — an experiment driver that calls
+    plain ``runner.run(points)`` still streams live progress, and two
+    concurrent jobs sharing one fabric can never cross-wire callbacks.
+    """
+
+    def __init__(self, backend: ExecutionBackend, progress) -> None:
+        self._backend = backend
+        self._progress = progress
+
+    def run(self, points, **kwargs):
+        kwargs.setdefault("progress", self._progress)
+        return self._backend.run(points, **kwargs)
+
+    def run_points(self, points, **kwargs):
+        kwargs.setdefault("on_progress", self._progress)
+        return self._backend.run_points(points, **kwargs)
+
+    def meta(self) -> dict:
+        return self._backend.meta()
+
+    def __getattr__(self, name):
+        return getattr(self._backend, name)
 
 
 class Scheduler:
@@ -220,32 +251,48 @@ class Scheduler:
         The configured ``backend`` if one was injected, else a fresh
         inline :class:`Runner`; both satisfy
         :class:`~repro.runner.ExecutionBackend`, so the job handlers
-        below are backend-agnostic.
+        below are backend-agnostic.  An injected backend is shared by
+        every concurrent job, so it comes back wrapped in a per-job
+        view that threads *this* job's heartbeat/progress callback
+        into each call without mutating shared state.
         """
         def progress(done, total, point, cached) -> None:
             self.queue.heartbeat(job.id, lease_s=self.lease_s)
+            self.queue.set_progress(job.id, done, total,
+                                    point=point.describe(), cached=cached)
 
         if self.backend is not None:
-            return self.backend
+            return _JobBackend(self.backend, progress)
         return Runner(workers=0, cache=self.cache, registry=self.registry,
                       progress=progress, retries=self.point_retries,
                       timeout_s=self.timeout_s, failure_policy=policy)
 
     def _execute(self, job: Job) -> None:
-        self.queue.mark_running(job.id)
-        start = time.perf_counter()
-        try:
-            if "experiment" in job.spec:
-                result_path, runner_meta = self._run_experiment(job)
-            else:
-                result_path, runner_meta = self._run_points(job)
-        except Exception as err:
-            self._handle_error(job, err)
-            return
-        elapsed = time.perf_counter() - start
-        if self._m_seconds is not None:
-            self._m_seconds.inc(elapsed)
-        self.queue.complete(job.id, str(result_path), runner=runner_meta)
+        # Bind the job id for the whole execution: every event emitted
+        # below this frame — including fabric hops, whose transport
+        # forwards the binding as ``X-Repro-Context`` — correlates back
+        # to this job.
+        with obs_bind(job_id=job.id):
+            self.queue.mark_running(job.id)
+            obs_emit("job_execute_start", kind=(
+                "experiment" if "experiment" in job.spec else "points"))
+            start = time.perf_counter()
+            try:
+                if "experiment" in job.spec:
+                    result_path, runner_meta = self._run_experiment(job)
+                else:
+                    result_path, runner_meta = self._run_points(job)
+            except Exception as err:
+                obs_emit("job_execute_failed", level="error",
+                         error=f"{type(err).__name__}: {err}")
+                self._handle_error(job, err)
+                return
+            elapsed = time.perf_counter() - start
+            if self._m_seconds is not None:
+                self._m_seconds.inc(elapsed)
+            obs_emit("job_execute_done", elapsed_s=round(elapsed, 6))
+            self.queue.complete(job.id, str(result_path),
+                                runner=runner_meta)
 
     def _run_experiment(self, job: Job) -> tuple[Path, dict]:
         from repro.bench.registry import REGISTRY
@@ -268,6 +315,8 @@ class Scheduler:
 
         def beat(done, total, point, cached) -> None:
             self.queue.heartbeat(job.id, lease_s=self.lease_s)
+            self.queue.set_progress(job.id, done, total,
+                                    point=point.describe(), cached=cached)
 
         values = runner.run_points(points, timeout_s=self.timeout_s,
                                    retries=self.point_retries,

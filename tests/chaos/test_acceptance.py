@@ -66,8 +66,37 @@ def _worker_main(url: str, name: str, schedule_json: str) -> None:
                  lease_s=1.0, lease_error_limit=10).run_forever()
 
 
+@pytest.fixture(autouse=True)
+def _obs_sandbox():
+    """A fresh emitter per run, with no ``REPRO_OBS*`` leakage."""
+    import os
+
+    from repro.obs import reset_emitter
+
+    saved = {key: os.environ.pop(key, None)
+             for key in ("REPRO_OBS", "REPRO_OBS_DIR")}
+    reset_emitter()
+    try:
+        yield
+    finally:
+        reset_emitter()
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
 @pytest.mark.chaos
 def test_three_plane_chaos_sweep_is_byte_identical(tmp_path):
+    from repro.obs import configure
+
+    # Every process in the run (this harness, which hosts the
+    # coordinator, and the forked workers) logs obs events here — the
+    # evidence the observability gate at the bottom greps.
+    obs_dir = tmp_path / "obs"
+    configure(obs_dir)
+
     points = [OkPoint(token=f"pt{i:02d}", delay_s=0.02) for i in range(50)]
     serial = Runner(workers=0).run(list(points))
 
@@ -157,3 +186,24 @@ def test_three_plane_chaos_sweep_is_byte_identical(tmp_path):
     fabric.close()
     for proc in procs.values():
         proc.join(timeout=10.0)
+
+    # Observability gate: every fault plane that fired announced
+    # itself on the event log as a correlated ``chaos_injected``
+    # record — each traceable by a non-empty request_id (the one the
+    # enclosing request had bound, or one minted at injection time).
+    from repro.obs import emitter
+
+    emitter().close()
+    records = []
+    for path in sorted(obs_dir.glob("events-*.jsonl")):
+        for line in path.read_text().splitlines():
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    injected = [r for r in records if r.get("event") == "chaos_injected"]
+    assert {r.get("plane") for r in injected} >= \
+        {"transport", "fs", "process"}
+    assert all((r.get("ctx") or {}).get("request_id") for r in injected)
+    # Entering DEGRADED also dumped the flight recorder next to the log.
+    assert (obs_dir / "flight-recorder.jsonl").exists()

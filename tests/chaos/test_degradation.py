@@ -135,6 +135,32 @@ def test_service_journal_failure_degrades_then_recovers(tmp_path):
     assert client.healthz()["health"]["reasons"] == {}
 
 
+def test_injected_fault_and_health_flip_share_a_request_id(tmp_path):
+    """The chaos-to-postmortem thread: the ``chaos_injected`` event and
+    the ``health_flip`` it caused carry the same bound ``request_id``,
+    because both fire inside the request whose journal append died."""
+    from repro.obs import emitter, reset_emitter
+
+    reset_emitter()
+    try:
+        fs = ChaosFS(ChaosSchedule.of(DiskFull(start_op=0, count=1)))
+        svc = Service(ServiceConfig(state_dir=tmp_path / "svc"), fs=fs)
+        client = ServiceClient(app=svc.app)
+        with pytest.raises(ApiError):
+            client.submit(points=_points_payload(0))
+
+        ring = emitter().recorder.since(0)
+        injected = [r for r in ring if r["event"] == "chaos_injected"]
+        flips = [r for r in ring if r["event"] == "health_flip"]
+        assert len(injected) == 1 and injected[0]["plane"] == "fs"
+        assert flips and flips[0]["after"] == Health.DEGRADED
+        request_id = injected[0]["ctx"]["request_id"]
+        assert request_id
+        assert flips[0]["ctx"]["request_id"] == request_id
+    finally:
+        reset_emitter()
+
+
 def test_point_queue_refuses_leases_it_cannot_journal(tmp_path):
     # Ops 0-1: the two point_enqueued appends; op 2: the lease grant.
     fs = ChaosFS(ChaosSchedule.of(DiskFull(start_op=2, count=1)))

@@ -1,0 +1,25 @@
+"""Shared obs-test hygiene: the emitter is a process-wide singleton
+configured from the environment, so every test here gets a fresh one
+and leaves no ``REPRO_OBS*`` variables behind."""
+
+import os
+
+import pytest
+
+from repro.obs import reset_emitter
+
+
+@pytest.fixture(autouse=True)
+def fresh_emitter():
+    saved = {key: os.environ.pop(key, None)
+             for key in ("REPRO_OBS", "REPRO_OBS_DIR")}
+    reset_emitter()
+    try:
+        yield
+    finally:
+        reset_emitter()
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value

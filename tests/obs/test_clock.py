@@ -1,0 +1,30 @@
+"""The injectable wall + monotonic clock pair."""
+
+from repro.obs import Clock, ManualClock, SYSTEM_CLOCK
+
+
+def test_system_clock_planes_advance():
+    wall0, mono0 = SYSTEM_CLOCK.wall(), SYSTEM_CLOCK.mono()
+    assert SYSTEM_CLOCK.wall() >= wall0
+    assert SYSTEM_CLOCK.mono() >= mono0
+    assert wall0 > 1_500_000_000  # epoch seconds, not monotonic seconds
+
+
+def test_manual_clock_is_frozen_until_advanced():
+    clock = ManualClock(wall_s=100.0, mono_s=5.0)
+    assert clock.wall() == 100.0 and clock.mono() == 5.0
+    clock.advance(2.5)
+    assert clock.wall() == 102.5 and clock.mono() == 7.5
+
+
+def test_manual_clock_planes_can_skew():
+    clock = ManualClock(wall_s=0.0, mono_s=0.0)
+    clock.advance(wall_s=10.0, mono_s=1.0)  # NTP slew: wall jumps, mono crawls
+    assert clock.wall() == 10.0 and clock.mono() == 1.0
+    clock.advance(wall_s=-5.0, mono_s=0.0)  # wall may even step backwards
+    assert clock.wall() == 5.0 and clock.mono() == 1.0
+
+
+def test_clock_accepts_injected_sources():
+    clock = Clock(wall=lambda: 1.0, mono=lambda: 2.0)
+    assert clock.wall() == 1.0 and clock.mono() == 2.0

@@ -1,0 +1,70 @@
+"""Correlation context: bind/unwind semantics and header hygiene."""
+
+import json
+
+from repro.obs import (
+    CONTEXT_HEADER,
+    CONTEXT_KEYS,
+    bind,
+    context_header,
+    current_context,
+    decode_context,
+    new_request_id,
+)
+
+
+def test_header_name_and_keys_are_stable():
+    assert CONTEXT_HEADER == "X-Repro-Context"
+    assert set(CONTEXT_KEYS) == {"job_id", "point_key", "worker_id",
+                                 "request_id"}
+
+
+def test_bind_merges_and_unwinds():
+    assert current_context() == {}
+    with bind(job_id="j1") as outer:
+        assert outer == {"job_id": "j1"}
+        with bind(worker_id="w1", job_id="j2") as inner:
+            assert inner == {"job_id": "j2", "worker_id": "w1"}
+            assert current_context() == inner
+        assert current_context() == {"job_id": "j1"}
+    assert current_context() == {}
+
+
+def test_bind_ignores_unknown_keys_and_none_values():
+    with bind(job_id=None, tenant="alice", shell="rm -rf /"):
+        assert current_context() == {}
+
+
+def test_bind_stringifies_and_truncates_values():
+    with bind(job_id=42, point_key="x" * 500):
+        ctx = current_context()
+    assert ctx["job_id"] == "42"
+    assert len(ctx["point_key"]) == 200
+
+
+def test_header_round_trip():
+    assert context_header() is None  # nothing bound -> no header at all
+    with bind(job_id="j1", request_id="r1"):
+        header = context_header()
+    assert header == '{"job_id":"j1","request_id":"r1"}'
+    assert decode_context(header) == {"job_id": "j1", "request_id": "r1"}
+
+
+def test_decode_is_defensive():
+    assert decode_context(None) == {}
+    assert decode_context("") == {}
+    assert decode_context("not json{") == {}
+    assert decode_context('["a", "list"]') == {}
+    assert decode_context('{"job_id": {"nested": 1}}') == {}
+    assert decode_context('{"evil_key": "x", "job_id": "ok"}') == \
+        {"job_id": "ok"}
+    long = json.dumps({"job_id": "y" * 500})
+    assert len(decode_context(long)["job_id"]) == 200
+
+
+def test_new_request_id_is_short_hex_and_unique():
+    ids = {new_request_id() for _ in range(64)}
+    assert len(ids) == 64
+    for rid in ids:
+        assert len(rid) == 12
+        int(rid, 16)  # hex or raise

@@ -1,0 +1,120 @@
+"""The structured event emitter: record shape, sinks, kill switch."""
+
+import json
+import os
+
+from repro.obs import (
+    OBS_SCHEMA,
+    EventEmitter,
+    bind,
+    configure,
+    emit,
+    emitter,
+    reset_emitter,
+)
+
+
+def test_record_shape_and_context_stamp():
+    em = EventEmitter(clock=lambda: 123.5)
+    with bind(job_id="j1", request_id="r1"):
+        record = em.emit("job_leased", worker="svc:0")
+    assert record == {
+        "schema": OBS_SCHEMA, "seq": 1, "ts": 123.5, "level": "info",
+        "event": "job_leased", "pid": os.getpid(),
+        "ctx": {"job_id": "j1", "request_id": "r1"}, "worker": "svc:0",
+    }
+
+
+def test_fields_cannot_shadow_the_envelope():
+    em = EventEmitter()
+    record = em.emit("x", ts=-1, ctx="spoof", pid=0, schema=99)
+    assert record["ctx"] == {} and record["schema"] == OBS_SCHEMA
+    assert record["pid"] == os.getpid() and record["ts"] != -1
+
+
+def test_level_floor_filters_below():
+    em = EventEmitter(level="warn")
+    assert em.emit("quiet", level="debug") is None
+    assert em.emit("quiet", level="info") is None
+    assert em.emit("loud", level="error")["level"] == "error"
+    assert [r["event"] for r in em.recorder.since(0)] == ["loud"]
+
+
+def test_disabled_emitter_is_a_no_op():
+    em = EventEmitter(enabled=False)
+    assert em.emit("x") is None
+    assert em.recorder.since(0) == []
+
+
+def test_file_sink_writes_one_jsonl_per_pid(tmp_path):
+    em = EventEmitter(directory=tmp_path)
+    em.emit("first", detail=1)
+    em.emit("second", level="warn")
+    em.close()
+    path = tmp_path / f"events-{os.getpid()}.jsonl"
+    lines = [json.loads(line) for line in
+             path.read_text().strip().split("\n")]
+    assert [r["event"] for r in lines] == ["first", "second"]
+    assert lines[0]["seq"] == 1 and lines[1]["level"] == "warn"
+
+
+def test_emit_survives_unserializable_fields(tmp_path):
+    em = EventEmitter(directory=tmp_path)
+    em.emit("odd", payload=object())  # default=str in the sink
+    em.close()
+    path = tmp_path / f"events-{os.getpid()}.jsonl"
+    record = json.loads(path.read_text())
+    assert record["event"] == "odd" and "object object" in record["payload"]
+    assert em.write_errors == 0
+
+
+def test_emit_survives_a_dead_sink_directory(tmp_path):
+    target = tmp_path / "obs"
+    target.mkdir()
+    em = EventEmitter(directory=target / "nested")
+    (target / "nested").write_text("a file where a directory should be")
+    record = em.emit("still_recorded")
+    assert record is not None  # never raises; ring still has it
+    assert em.recorder.since(0)[0]["event"] == "still_recorded"
+    assert em.write_errors >= 1
+
+
+def test_dump_lands_next_to_the_events_log(tmp_path):
+    em = EventEmitter(directory=tmp_path)
+    em.emit("before_crash")
+    path = em.dump(reason="test")
+    header, record = [json.loads(line) for line in
+                      path.read_text().strip().split("\n")]
+    assert path == tmp_path / "flight-recorder.jsonl"
+    assert header["event"] == "flight_recorder_dump"
+    assert header["reason"] == "test" and header["events"] == 1
+    assert record["event"] == "before_crash"
+
+
+def test_dump_without_directory_is_none():
+    assert EventEmitter().dump(reason="nowhere") is None
+
+
+def test_singleton_reads_environment(tmp_path):
+    os.environ["REPRO_OBS_DIR"] = str(tmp_path)
+    reset_emitter()
+    em = emitter()
+    assert em.directory == tmp_path
+    emit("via_module")
+    assert em.recorder.since(0)[0]["event"] == "via_module"
+
+
+def test_kill_switch_disables_everything(tmp_path):
+    os.environ["REPRO_OBS"] = "0"
+    os.environ["REPRO_OBS_DIR"] = str(tmp_path)
+    reset_emitter()
+    assert emit("dropped") is None
+    assert emitter().recorder.since(0) == []
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_configure_exports_dir_for_child_processes(tmp_path):
+    em = configure(tmp_path / "obs")
+    assert os.environ["REPRO_OBS_DIR"] == str(tmp_path / "obs")
+    assert em is emitter()
+    assert em.path.name == f"events-{os.getpid()}.jsonl"

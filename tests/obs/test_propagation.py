@@ -1,0 +1,72 @@
+"""Cross-process correlation: one ``job_id`` greppable end-to-end.
+
+The tentpole claim of the observability plane is that a bound context
+survives every hop — scheduler thread to coordinator queue via the
+``X-Repro-Context`` header, lease response to worker, worker report
+back to coordinator — so a single ``job_id`` ties together records
+emitted by *different processes* into different JSONL files.
+"""
+
+import json
+
+from repro.fabric import FabricRunner
+from repro.obs import bind, configure, emitter
+
+from tests.fabric._points import OkPoint
+
+
+def records_by_job(paths, job_id):
+    out = []
+    for path in paths:
+        for line in path.read_text().strip().split("\n"):
+            if not line:
+                continue
+            record = json.loads(line)
+            if (record.get("ctx") or {}).get("job_id") == job_id:
+                out.append(record)
+    return out
+
+
+def test_thread_fleet_stamps_job_id_on_both_sides(tmp_path):
+    with bind(job_id="job-threaded"):
+        with FabricRunner(workers=2, spawn="thread", poll_s=0.01,
+                          state_dir=tmp_path / "fab") as runner:
+            runner.run([OkPoint(token=t) for t in ("a", "bb")])
+    ring = emitter().recorder.since(
+        0, match=lambda r: (r.get("ctx") or {}).get("job_id")
+        == "job-threaded")
+    names = {r["event"] for r in ring}
+    # Coordinator-side and worker-side events both carry the binding.
+    assert "point_enqueued" in names
+    assert "point_execute_start" in names and "point_execute_done" in names
+    workers = {r["ctx"].get("worker_id") for r in ring
+               if r["event"] == "point_execute_done"}
+    assert workers and all(w for w in workers)
+
+
+def test_process_fleet_correlates_across_jsonl_files(tmp_path):
+    obs_dir = tmp_path / "obs"
+    configure(obs_dir)  # exports REPRO_OBS_DIR for the spawned workers
+    with bind(job_id="job-multiproc"):
+        with FabricRunner(workers=2, spawn="process", poll_s=0.05,
+                          state_dir=tmp_path / "fab") as runner:
+            values = runner.run([OkPoint(token=t)
+                                 for t in ("a", "bb", "ccc")])
+    assert [v["token"] for v in values] == ["a", "bb", "ccc"]
+    emitter().close()
+
+    logs = sorted(obs_dir.glob("events-*.jsonl"))
+    assert len(logs) >= 2  # the coordinator process plus >=1 worker
+    matched = records_by_job(logs, "job-multiproc")
+    pids = {r["pid"] for r in matched}
+    assert len(pids) >= 2, \
+        f"job_id should appear in >=2 processes' logs, got pids={pids}"
+    worker_side = [r for r in matched
+                   if r["event"].startswith("point_execute")]
+    coordinator_side = [r for r in matched
+                        if r["event"] in ("point_enqueued", "point_leased",
+                                          "point_done")]
+    assert worker_side and coordinator_side
+    # The worker re-bound the inherited context plus its own identity.
+    assert all(r["ctx"].get("worker_id") for r in worker_side)
+    assert all(r["ctx"].get("point_key") for r in worker_side)

@@ -1,0 +1,93 @@
+"""Flight recorder: ring bounds, cursors, blocking waits, dumps."""
+
+import json
+import threading
+
+from repro.obs import FlightRecorder
+
+
+def add(recorder, event, **fields):
+    record = {"event": event, **fields}
+    recorder.add(record)
+    return record
+
+
+def test_seq_is_monotonic_and_ring_is_bounded():
+    recorder = FlightRecorder(capacity=3)
+    for i in range(5):
+        add(recorder, f"e{i}")
+    events = recorder.since(0)
+    assert [r["event"] for r in events] == ["e2", "e3", "e4"]
+    assert [r["seq"] for r in events] == [3, 4, 5]
+    assert recorder.last_seq == 5
+
+
+def test_since_cursor_limit_and_match():
+    recorder = FlightRecorder()
+    for i in range(6):
+        add(recorder, f"e{i}", even=(i % 2 == 0))
+    assert [r["seq"] for r in recorder.since(4)] == [5, 6]
+    assert [r["seq"] for r in recorder.since(0, limit=2)] == [1, 2]
+    evens = recorder.since(0, match=lambda r: r["even"])
+    assert [r["event"] for r in evens] == ["e0", "e2", "e4"]
+
+
+def test_since_returns_copies():
+    recorder = FlightRecorder()
+    add(recorder, "original")
+    recorder.since(0)[0]["event"] = "mutated"
+    assert recorder.since(0)[0]["event"] == "original"
+
+
+def test_wait_since_returns_immediately_when_fresh():
+    recorder = FlightRecorder()
+    add(recorder, "already_there")
+    got = recorder.wait_since(0, timeout_s=5.0)
+    assert [r["event"] for r in got] == ["already_there"]
+
+
+def test_wait_since_times_out_empty():
+    recorder = FlightRecorder()
+    assert recorder.wait_since(0, timeout_s=0.05) == []
+
+
+def test_wait_since_wakes_on_add():
+    recorder = FlightRecorder()
+    got = []
+
+    def waiter():
+        got.extend(recorder.wait_since(0, timeout_s=5.0))
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    add(recorder, "late")
+    thread.join(timeout=5.0)
+    assert [r["event"] for r in got] == ["late"]
+
+
+def test_wait_since_match_skips_rejected_events_permanently():
+    recorder = FlightRecorder()
+    add(recorder, "noise")
+    add(recorder, "signal")
+    got = recorder.wait_since(0, timeout_s=1.0,
+                              match=lambda r: r["event"] == "signal")
+    assert [r["event"] for r in got] == ["signal"]
+    # The rejected "noise" must not satisfy (or hot-spin) a second wait.
+    assert recorder.wait_since(got[-1]["seq"], timeout_s=0.05,
+                               match=lambda r: r["event"] == "signal") == []
+
+
+def test_dump_is_header_plus_ring(tmp_path):
+    recorder = FlightRecorder()
+    add(recorder, "a")
+    add(recorder, "b")
+    path = recorder.dump(tmp_path / "dump.jsonl", reason="unit",
+                         clock=lambda: 7.0)
+    lines = [json.loads(line) for line in
+             path.read_text().strip().split("\n")]
+    assert lines[0]["event"] == "flight_recorder_dump"
+    assert lines[0]["reason"] == "unit" and lines[0]["events"] == 2
+    assert lines[0]["ts"] == 7.0
+    assert [r["event"] for r in lines[1:]] == ["a", "b"]
+    assert recorder.dumps == 1
+    assert not (tmp_path / "dump.jsonl.tmp").exists()  # renamed, not torn

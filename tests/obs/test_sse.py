@@ -1,0 +1,156 @@
+"""SSE framing and the reconnecting follower, without sockets."""
+
+import json
+import urllib.error
+
+import pytest
+
+from repro.obs.sse import (
+    SSEvent,
+    follow,
+    format_comment,
+    format_event,
+    parse_sse,
+)
+
+
+def frames_to_lines(*frames: bytes):
+    return b"".join(frames).decode("utf-8").split("\n")
+
+
+def test_format_event_field_order_and_framing():
+    frame = format_event({"b": 2, "a": 1}, id=7, event="state",
+                         retry_ms=1500)
+    assert frame == (b"retry: 1500\nid: 7\nevent: state\n"
+                     b'data: {"a":1,"b":2}\n\n')
+
+
+def test_format_comment_is_not_an_event():
+    assert format_comment("tick") == b": tick\n\n"
+    assert parse_sse(frames_to_lines(format_comment("tick"))) == []
+
+
+def test_parse_round_trip_with_ids_and_retry():
+    lines = frames_to_lines(
+        format_event({"n": 1}, id=1, event="state", retry_ms=2000),
+        format_comment(),
+        format_event({"n": 2}, id=2, event="state"),
+        format_event("bye", event="end"),
+    )
+    events = parse_sse(lines)
+    assert [e.event for e in events] == ["state", "state", "end"]
+    assert events[0].retry_ms == 2000 and events[0].id == "1"
+    assert events[0].json() == {"n": 1}
+    assert events[1].comments == ["heartbeat"]  # collected onto the next
+    assert events[2].data == "bye" and events[2].id is None
+
+
+def test_multiline_data_is_byte_lossless():
+    envelope = json.dumps({"results": [1, 2], "meta": {"variant": "quick"}},
+                          indent=1).encode("utf-8")
+    assert b"\n" in envelope
+    events = parse_sse(frames_to_lines(format_event(envelope,
+                                                    event="result")))
+    assert events[0].data.encode("utf-8") == envelope
+
+
+def test_parse_tolerates_crlf_and_missing_trailing_blank():
+    events = parse_sse(["event: state\r\n", "data: x\r\n", "\r\n",
+                        "data: tail-no-blank"])
+    assert [(e.event, e.data) for e in events] == [("state", "x"),
+                                                   ("message",
+                                                    "tail-no-blank")]
+
+
+def test_ssevent_json_is_defensive():
+    assert SSEvent(data="not json").json() == {}
+    assert SSEvent(data="[1,2]").json() == {}
+    assert SSEvent(data='{"ok":1}').json() == {"ok": 1}
+
+
+class FakeResponse:
+    """A streaming body: iterable of raw lines, optional mid-stream drop."""
+
+    def __init__(self, frames: bytes, error: Exception | None = None):
+        self._lines = [line + b"\n" for line in frames.split(b"\n")]
+        self._error = error
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def __iter__(self):
+        yield from self._lines
+        if self._error is not None:
+            raise self._error
+
+
+class FakeOpener:
+    """Scripted ``urlopen``: pops one response per connection attempt."""
+
+    def __init__(self, responses):
+        self._responses = list(responses)
+        self.requests = []
+
+    def __call__(self, request, timeout=None):
+        self.requests.append(request)
+        response = self._responses.pop(0)
+        if isinstance(response, Exception):
+            raise response
+        return response
+
+
+def test_follow_terminates_on_end_event():
+    opener = FakeOpener([FakeResponse(
+        format_event({"n": 1}, id=1, event="state")
+        + format_event({}, id=2, event="end"))])
+    events = list(follow("http://x/v1/jobs/j/events", token="t",
+                         opener=opener))
+    assert [e.event for e in events] == ["state", "end"]
+    headers = opener.requests[0].headers
+    assert headers["Authorization"] == "Bearer t"
+    assert headers["Accept"] == "text/event-stream"
+
+
+def test_follow_reconnects_with_last_event_id():
+    dropped = FakeResponse(format_event({"n": 1}, id=41, event="state"),
+                           error=ConnectionResetError("mid-stream"))
+    resumed = FakeResponse(format_event({"n": 2}, id=42, event="state")
+                           + format_event({}, id=43, event="end"))
+    opener = FakeOpener([dropped, resumed])
+    slept = []
+    events = list(follow("http://x/v1/jobs/j/events", opener=opener,
+                         sleep=slept.append))
+    assert [e.id for e in events] == ["41", "42", "43"]
+    assert "Last-event-id" not in opener.requests[0].headers
+    assert opener.requests[1].headers["Last-event-id"] == "41"
+    assert slept == [2.0]  # default retry: 2000ms between attempts
+
+
+def test_follow_honours_server_retry_hint():
+    dropped = FakeResponse(format_event({}, id=1, event="state",
+                                        retry_ms=50),
+                           error=OSError("gone"))
+    opener = FakeOpener([dropped,
+                         FakeResponse(format_event({}, id=2, event="end"))])
+    slept = []
+    list(follow("http://x/s", opener=opener, sleep=slept.append))
+    assert slept == [0.05]
+
+
+def test_follow_gives_up_after_max_reconnects():
+    opener = FakeOpener([OSError("refused")] * 3)
+    with pytest.raises(OSError):
+        list(follow("http://x/s", opener=opener, max_reconnects=2,
+                    sleep=lambda _s: None))
+    assert len(opener.requests) == 3
+
+
+def test_follow_reraises_http_errors_for_fallback():
+    denied = urllib.error.HTTPError("http://x/s", 404, "nope", {}, None)
+    opener = FakeOpener([denied])
+    with pytest.raises(urllib.error.HTTPError):
+        list(follow("http://x/s", opener=opener))
+    assert len(opener.requests) == 1  # an answer is an answer: no retry

@@ -1,0 +1,108 @@
+"""``repro top``: snapshot gathering and pure-text rendering."""
+
+import io
+
+from repro.obs import top
+from repro.service import Service, ServiceClient, ServiceConfig
+
+
+def sample_snapshot():
+    return {
+        "taken_s": 0.0,
+        "errors": {"fabric": "ApiError: 404 no_fabric"},
+        "healthz": {"status": "ok", "version": "1.0", "uptime_s": 12.0,
+                    "queue_depth": 1,
+                    "health": {"reasons": {}}},
+        "jobs": [
+            {"id": "aaaa11112222", "state": "RUNNING", "tenant": "alice",
+             "created_s": 2.0,
+             "progress": {"done": 3, "total": 8, "cached": 1}},
+            {"id": "bbbb33334444", "state": "DONE", "tenant": "bob",
+             "created_s": 1.0, "elapsed_s": 4.25, "progress": {}},
+        ],
+        "metrics": "\n".join((
+            'service_job_stage_seconds_sum{stage="submit_to_lease"} 0.5',
+            'service_job_stage_seconds_count{stage="submit_to_lease"} 5',
+            'service_cache{field="hits"} 3',
+            'service_cache{field="misses"} 1',
+        )) + "\n",
+        "events": {"events": [
+            {"seq": 9, "level": "info", "event": "job_submitted",
+             "ctx": {"job_id": "aaaa11112222"}},
+            {"seq": 10, "level": "error", "event": "point_failed",
+             "ctx": {"request_id": "feedbeefcafe"}},
+        ], "last_seq": 10},
+        "fabric": {
+            "states": {"DONE": 4, "LEASED": 1}, "draining": False,
+            "worker_detail": {
+                "w0": {"last_contact_s": 0.2, "last_heartbeat_s": 0.1,
+                       "leased": True, "stale": False},
+                "w1": {"last_contact_s": 9.0, "last_heartbeat_s": 8.0,
+                       "leased": True, "stale": True},
+            },
+        },
+    }
+
+
+def test_render_covers_every_section_plainly():
+    text = top.render(sample_snapshot(), color=False)
+    assert "\x1b[" not in text
+    assert "service ok" in text and "queue depth 1" in text
+    assert "running=1" in text and "done=1" in text
+    assert "3/8 (1 cached)" in text and "4.25s" in text
+    assert "submit>to>lease: 100ms x5" in text
+    assert "cache hit ratio" in text and "75%" in text
+    assert "done=4" in text and "leased=1" in text
+    assert "STALE" in text and "w1" in text
+    assert "point_failed" in text and "feedbeefcafe" in text
+    # A missing fabric endpoint is expected on the local backend.
+    assert "no_fabric" not in text
+
+
+def test_render_colors_only_when_asked():
+    assert "\x1b[" in top.render(sample_snapshot(), color=True)
+
+
+def test_render_degrades_per_section():
+    snap = {"taken_s": 0.0, "healthz": None, "jobs": None, "metrics": None,
+            "events": None, "fabric": None,
+            "errors": {"jobs": "TransportError: connection refused"}}
+    text = top.render(snap, color=False)
+    assert "jobs: unavailable" in text
+    assert "! jobs: TransportError: connection refused" in text
+
+
+def test_gather_from_a_live_in_process_service(tmp_path):
+    service = Service(ServiceConfig(state_dir=tmp_path / "state"))
+    client = ServiceClient(app=service.app)
+    client.submit(experiment="E6", variant="quick")
+    snap = top.gather(client)
+    assert snap["healthz"]["status"] == "ok"
+    assert len(snap["jobs"]) == 1
+    assert "service_jobs_submitted_total" in snap["metrics"]
+    assert snap["events"]["last_seq"] >= 1
+    assert snap["fabric"] is None  # local backend: endpoint 404s
+    assert "fabric" in snap["errors"]
+
+
+def test_run_loop_draws_frames_and_clears_between(tmp_path):
+    service = Service(ServiceConfig(state_dir=tmp_path / "state"))
+    client = ServiceClient(app=service.app)
+    out = io.StringIO()
+    slept = []
+    frames = top.run(client, interval_s=0.5, iterations=2, color=False,
+                     out=out, sleep=slept.append)
+    assert frames == 2
+    assert slept == [0.5]  # no sleep after the final frame
+    assert out.getvalue().count("\x1b[2J") == 2  # clear precedes each frame
+
+
+def test_run_once_never_clears(tmp_path):
+    service = Service(ServiceConfig(state_dir=tmp_path / "state"))
+    client = ServiceClient(app=service.app)
+    out = io.StringIO()
+    frames = top.run(client, iterations=1, color=False, out=out,
+                     sleep=lambda _s: None)
+    assert frames == 1
+    assert "\x1b[" not in out.getvalue()
+    assert "repro top" in out.getvalue()

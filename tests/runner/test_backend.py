@@ -32,13 +32,20 @@ def test_runner_satisfies_protocol():
 
 
 def test_scheduler_accepts_any_backend(tmp_path):
-    """The scheduler's _runner() returns an injected backend as-is."""
+    """The scheduler wraps an injected backend in a per-job view that
+    delegates everything to the shared backend underneath."""
     from repro.service import JobQueue, Scheduler
 
     backend = Runner(workers=0)
     scheduler = Scheduler(JobQueue(tmp_path / "state"),
                           tmp_path / "results", backend=backend)
-    assert scheduler._runner(job=None, policy="quarantine") is backend
+    runner = scheduler._runner(job=None, policy="quarantine")
+    assert runner._backend is backend
+    assert isinstance(runner, ExecutionBackend)
+    # Attribute access falls through to the shared backend.
+    assert runner.workers == backend.workers
+    assert runner.meta() == backend.meta()
+    assert runner.run_points([TokenPoint(token="x")]) == [{"token": "x"}]
 
 
 def test_run_points_overrides_are_batch_scoped():
